@@ -1,0 +1,102 @@
+// Ablation: the full state x behavior design space of Section 2.4.
+// The paper derives CGS/CB and FGS/HB and notes that FGS/HB degenerates
+// to FGS/CB at h = 0; this bench measures all four corners (plus the
+// oracle) both as passive observers of a fixed-rate run (pure estimation
+// accuracy) and closing the SAGA control loop (end-to-end accuracy).
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/estimator.h"
+#include "oo7/generator.h"
+#include "sim/runner.h"
+#include "sim/simulation.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace odbgc;
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader("Estimator design-space grid (state x behavior)",
+                     "Section 2.4's design space, all four corners");
+
+  Oo7Params params = bench::SmallPrimeWithConnectivity(args.connectivity);
+
+  // --- Passive estimation accuracy under a fixed-rate schedule ---
+  std::cout << "\nPassive estimation error (fixed rate 200, UpdatedPointer "
+               "selection):\n";
+  struct Cell {
+    EstimatorKind kind;
+    const char* label;
+  };
+  const Cell kGrid[] = {
+      {EstimatorKind::kCgsCb, "CGS/CB"},
+      {EstimatorKind::kCgsHb, "CGS/HB(0.8)"},
+      {EstimatorKind::kFgsCb, "FGS/CB"},
+      {EstimatorKind::kFgsHb, "FGS/HB(0.8)"},
+  };
+  TablePrinter passive({"estimator", "abs_err_pct(mean)", "bias_pct(mean)",
+                        "err_pct(max)"});
+  for (const Cell& cell : kGrid) {
+    RunningStats err;
+    RunningStats bias;
+    for (int run = 0; run < args.runs; ++run) {
+      uint64_t seed = args.base_seed + run;
+      Oo7Generator gen(params, seed);
+      Trace trace = gen.GenerateFullApplication();
+      SimConfig cfg = bench::PaperConfig();
+      cfg.policy = PolicyKind::kFixedRate;
+      cfg.fixed_rate_overwrites = 200;
+      auto est = MakeEstimator(cell.kind, 0.8);
+      Simulation sim(cfg);
+      sim.AddPassiveEstimator(est.get());
+      uint64_t seen = 0;
+      for (const TraceEvent& e : trace.events()) {
+        sim.Apply(e);
+        if (sim.collections() != seen) {
+          seen = sim.collections();
+          if (seen <= 10) continue;  // cold start
+          const ObjectStore& store = sim.store();
+          double used = static_cast<double>(store.used_bytes());
+          if (used == 0) continue;
+          double actual =
+              100.0 * static_cast<double>(store.actual_garbage_bytes()) /
+              used;
+          double estimated = 100.0 * est->Estimate() / used;
+          err.Add(std::abs(estimated - actual));
+          bias.Add(estimated - actual);
+        }
+      }
+    }
+    passive.AddRow({cell.label, TablePrinter::Fmt(err.mean(), 2),
+                    TablePrinter::Fmt(bias.mean(), 2),
+                    TablePrinter::Fmt(err.max(), 2)});
+  }
+  passive.Print(std::cout);
+
+  // --- Closed-loop accuracy: SAGA at 10% with each estimator ---
+  std::cout << "\nClosed-loop SAGA accuracy at a 10% garbage target:\n";
+  TablePrinter loop({"estimator", "achieved_pct(mean)", "achieved_pct(min)",
+                     "achieved_pct(max)"});
+  for (const Cell& cell : kGrid) {
+    SimConfig cfg = bench::PaperConfig();
+    cfg.policy = PolicyKind::kSaga;
+    cfg.estimator = cell.kind;
+    cfg.fgs_history_factor = 0.8;
+    cfg.saga.garbage_frac = 0.10;
+    AggregateResult agg = RunOo7Many(cfg, params, args.base_seed, args.runs);
+    loop.AddRow({cell.label,
+                 TablePrinter::Fmt(agg.mean_garbage_pct.mean, 2),
+                 TablePrinter::Fmt(agg.mean_garbage_pct.min, 2),
+                 TablePrinter::Fmt(agg.mean_garbage_pct.max, 2)});
+  }
+  loop.Print(std::cout);
+  std::cout << "\nExpected shape: fine-grain state beats coarse-grain state "
+               "— the CGS bias\ncomes from unrepresentative samples, which "
+               "smoothing narrows but cannot\nfix. History reduces variance "
+               "within each state granularity, so the\nfine-state corners "
+               "both track the target and FGS/HB (the paper's choice)\nis "
+               "the tightest.\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Ablation (Section 4.1.2's explanation of Figure 6a): the CGS/CB
+// heuristic assumes the collected partition is *representative* of all
+// partitions. UpdatedPointer deliberately picks garbage-rich partitions,
+// breaking the assumption; under Random or RoundRobin selection the
+// collected partition is closer to average and CGS/CB's estimate
+// improves — at the cost of worse per-collection yield.
+//
+// To isolate estimation accuracy from the control loop, the collection
+// schedule is pinned to a fixed rate and the estimators observe the run
+// passively: same workload, same rate, only the selection policy varies.
+
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "core/estimator.h"
+#include "oo7/generator.h"
+#include "sim/simulation.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace odbgc;
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader(
+      "Partition-selection ablation for garbage estimation",
+      "Section 4.1.2 (why Figure 6a's CGS/CB estimate overshoots)");
+
+  Oo7Params params = bench::SmallPrimeWithConnectivity(args.connectivity);
+
+  struct Row {
+    SelectorKind kind;
+    const char* label;
+  };
+  TablePrinter t({"selection", "cgs_cb_err_pct", "cgs_cb_bias_pct",
+                  "fgs_hb_err_pct", "yield_per_coll_KB", "collections"});
+  for (Row sel :
+       {Row{SelectorKind::kUpdatedPointer, "UpdatedPointer"},
+        Row{SelectorKind::kOverwriteDensity, "OverwriteDensity"},
+        Row{SelectorKind::kRandom, "Random"},
+        Row{SelectorKind::kRoundRobin, "RoundRobin"},
+        Row{SelectorKind::kLeastRecentlyCollected, "LeastRecentlyColl"}}) {
+    RunningStats cgs_err;
+    RunningStats cgs_bias;
+    RunningStats fgs_err;
+    RunningStats yield;
+    RunningStats colls;
+    for (int run = 0; run < args.runs; ++run) {
+      uint64_t seed = args.base_seed + run;
+      Oo7Generator gen(params, seed);
+      Trace trace = gen.GenerateFullApplication();
+
+      SimConfig cfg = bench::PaperConfig();
+      cfg.policy = PolicyKind::kFixedRate;
+      cfg.fixed_rate_overwrites = 200;  // the paper's settled SAGA rate
+      cfg.selector = sel.kind;
+      cfg.selector_seed = seed * 7919 + 17;
+
+      CgsCbEstimator cgs;
+      FgsHbEstimator fgs(0.8);
+      Simulation sim(cfg);
+      sim.AddPassiveEstimator(&cgs);
+      sim.AddPassiveEstimator(&fgs);
+
+      uint64_t seen_collections = 0;
+      uint64_t reclaimed_before = 0;
+      for (const TraceEvent& e : trace.events()) {
+        sim.Apply(e);
+        if (sim.collections() != seen_collections) {
+          seen_collections = sim.collections();
+          const ObjectStore& store = sim.store();
+          double used = static_cast<double>(store.used_bytes());
+          if (used > 0 && seen_collections > 10) {  // skip cold start
+            double actual_pct =
+                100.0 * static_cast<double>(store.actual_garbage_bytes()) /
+                used;
+            double cgs_pct = 100.0 * cgs.Estimate() / used;
+            double fgs_pct = 100.0 * fgs.Estimate() / used;
+            cgs_err.Add(std::abs(cgs_pct - actual_pct));
+            cgs_bias.Add(cgs_pct - actual_pct);
+            fgs_err.Add(std::abs(fgs_pct - actual_pct));
+          }
+          uint64_t reclaimed =
+              store.total_garbage_collected() - reclaimed_before;
+          reclaimed_before = store.total_garbage_collected();
+          yield.Add(static_cast<double>(reclaimed) / 1024.0);
+        }
+      }
+      colls.Add(static_cast<double>(seen_collections));
+    }
+    t.AddRow({sel.label, TablePrinter::Fmt(cgs_err.mean(), 2),
+              TablePrinter::Fmt(cgs_bias.mean(), 2),
+              TablePrinter::Fmt(fgs_err.mean(), 2),
+              TablePrinter::Fmt(yield.mean(), 1),
+              TablePrinter::Fmt(colls.mean(), 1)});
+  }
+  t.Print(std::cout);
+  std::cout << "\nExpected shape: CGS/CB overestimates strongly (positive "
+               "bias) under\nUpdatedPointer and becomes far more accurate "
+               "under Random/RoundRobin;\nFGS/HB is accurate regardless; "
+               "UpdatedPointer yields the most garbage\nper collection "
+               "(Section 4.1.2).\n";
+  return 0;
+}

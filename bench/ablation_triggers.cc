@@ -1,0 +1,77 @@
+// Ablation: the choice of "clock" (Section 2's opening argument). In
+// programming-language GC, allocation and garbage creation correlate,
+// so collecting on allocation volume or on space exhaustion works —
+// the triggers Yong/Naughton/Yu used. The paper argues they do NOT
+// correlate in object databases and uses pointer overwrites instead.
+// This bench measures that argument: on the OO7 application, where does
+// each trigger spend its collections, and what does each leave behind?
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "sim/runner.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace odbgc;
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader(
+      "Collection clocks: allocation vs pointer overwrites",
+      "Section 2's argument against allocation-based triggers");
+
+  Oo7Params params = bench::SmallPrimeWithConnectivity(args.connectivity);
+
+  struct Contender {
+    PolicyKind policy;
+    const char* label;
+  };
+  TablePrinter t({"trigger", "collections", "colls_GenDB", "colls_Reorg1",
+                  "colls_Trav", "colls_Reorg2", "reclaimed_MB",
+                  "mean_garbage_pct"});
+  for (Contender c :
+       {Contender{PolicyKind::kAllocationTriggered,
+                  "space exhausted (YNY94)"},
+        Contender{PolicyKind::kAllocationRate,
+                  "every 96KB allocated (YNY94)"},
+        Contender{PolicyKind::kFixedRate, "every 200 overwrites"},
+        Contender{PolicyKind::kSaga, "SAGA(10%,FGS/HB)"}}) {
+    RunningStats colls;
+    RunningStats reclaimed;
+    RunningStats garb;
+    double phase_colls[5] = {0, 0, 0, 0, 0};
+    for (int i = 0; i < args.runs; ++i) {
+      SimConfig cfg = bench::PaperConfig();
+      cfg.policy = c.policy;
+      cfg.allocation_rate_bytes = 96 * 1024;
+      cfg.fixed_rate_overwrites = 200;
+      cfg.estimator = EstimatorKind::kFgsHb;
+      cfg.saga.garbage_frac = 0.10;
+      SimResult r = RunOo7Once(cfg, params, args.base_seed + i);
+      colls.Add(static_cast<double>(r.collections));
+      reclaimed.Add(static_cast<double>(r.total_reclaimed_bytes) / 1.0e6);
+      garb.Add(r.garbage_pct.mean());
+      for (const PhaseStats& p : r.phase_stats) {
+        phase_colls[static_cast<int>(p.phase)] +=
+            static_cast<double>(p.collections) / args.runs;
+      }
+    }
+    t.AddRow({c.label, TablePrinter::Fmt(colls.mean(), 1),
+              TablePrinter::Fmt(phase_colls[static_cast<int>(Phase::kGenDb)], 1),
+              TablePrinter::Fmt(phase_colls[static_cast<int>(Phase::kReorg1)], 1),
+              TablePrinter::Fmt(
+                  phase_colls[static_cast<int>(Phase::kTraverse)], 1),
+              TablePrinter::Fmt(phase_colls[static_cast<int>(Phase::kReorg2)], 1),
+              TablePrinter::Fmt(reclaimed.mean(), 2),
+              TablePrinter::Fmt(garb.mean(), 2)});
+  }
+  t.Print(std::cout);
+  std::cout << "\nExpected shape: the allocation clocks burn most of their "
+               "collections in\nGenDB — where allocation is heaviest and "
+               "garbage is zero — and fire too\nrarely inside the "
+               "reorganizations, leaving garbage high; the overwrite\n"
+               "clocks put collections where garbage actually forms. "
+               "Allocation and\ngarbage creation are not correlated in "
+               "this database (Section 2).\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+#ifndef ODBGC_BENCH_BENCH_UTIL_H_
+#define ODBGC_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the figure/table reproduction harnesses. Each bench
+// binary prints the rows or series the corresponding paper artifact
+// reports; EXPERIMENTS.md records the paper-vs-measured comparison.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "oo7/params.h"
+#include "sim/config.h"
+
+namespace odbgc::bench {
+
+// Command-line knobs shared by the harnesses:
+//   --runs=N          seeds per data point (default 10, the paper's count)
+//   --connectivity=N  NumConnPerAtomic (default 3)
+//   --seed=N          base seed (default 1)
+struct BenchArgs {
+  int runs = 10;
+  uint32_t connectivity = 3;
+  uint64_t base_seed = 1;
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strncmp(a, "--runs=", 7) == 0) {
+        args.runs = std::atoi(a + 7);
+      } else if (std::strncmp(a, "--connectivity=", 15) == 0) {
+        args.connectivity = static_cast<uint32_t>(std::atoi(a + 15));
+      } else if (std::strncmp(a, "--seed=", 7) == 0) {
+        args.base_seed = static_cast<uint64_t>(std::atoll(a + 7));
+      } else {
+        std::fprintf(stderr,
+                     "unknown argument '%s' "
+                     "(supported: --runs= --connectivity= --seed=)\n",
+                     a);
+        std::exit(2);
+      }
+    }
+    return args;
+  }
+};
+
+inline Oo7Params SmallPrimeWithConnectivity(uint32_t connectivity) {
+  Oo7Params p = Oo7Params::SmallPrime();
+  p.num_conn_per_atomic = connectivity;
+  return p;
+}
+
+// The paper's simulation setup (Section 3.1): 96 KB partitions of
+// 8 KB pages, buffer = one partition, UpdatedPointer selection,
+// 10-collection preamble.
+inline SimConfig PaperConfig() { return SimConfig{}; }
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace odbgc::bench
+
+#endif  // ODBGC_BENCH_BENCH_UTIL_H_

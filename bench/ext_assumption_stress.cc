@@ -1,0 +1,154 @@
+// Extension study (paper Section 5, first future-work item): do other
+// applications violate the policies' assumptions, and what does that do
+// to the policies?
+//
+//  * SAIO assumes successive collections cost similar I/O
+//    (Delta_GCIO ~= CurrGCIO). The bursty-delete workload alternates
+//    empty and garbage-rich collections; the c_hist history window is
+//    the paper's proposed remedy (Section 4.1.1).
+//  * SAGA assumes the database size barely changes between collections
+//    and that the garbage slope is smooth. The growing-database workload
+//    violates the former; bursty deletes violate the latter.
+//  * Uniform churn satisfies everything — the control baseline.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sim/simulation.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+#include "workloads/synthetic.h"
+
+namespace {
+
+odbgc::SimConfig SmallStoreConfig() {
+  odbgc::SimConfig cfg;
+  cfg.store.partition_bytes = 32 * 1024;
+  cfg.store.page_bytes = 4 * 1024;
+  cfg.store.buffer_pages = 8;
+  return cfg;
+}
+
+constexpr const char* kWorkloadLabels[] = {"uniform-churn", "bursty-deletes",
+                                           "growing-db", "message-queue"};
+
+std::vector<odbgc::Trace> MakeWorkloads(uint64_t seed) {
+  using namespace odbgc;
+  UniformChurnOptions uni;
+  uni.seed = seed;
+  uni.cycles = 20000;
+  BurstyDeleteOptions bursty;
+  bursty.seed = seed;
+  bursty.bursts = 40;
+  GrowingDatabaseOptions grow;
+  grow.seed = seed;
+  grow.cycles = 30000;
+  MessageQueueOptions queue;
+  queue.seed = seed;
+  queue.cycles = 20000;
+  std::vector<Trace> w;
+  w.push_back(MakeUniformChurn(uni));
+  w.push_back(MakeBurstyDeletes(bursty));
+  w.push_back(MakeGrowingDatabase(grow));
+  w.push_back(MakeMessageQueue(queue));
+  return w;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace odbgc;
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader("Policy assumptions under non-OO7 workloads",
+                     "Section 5 future work, first item (beyond the paper)");
+
+  constexpr size_t kNumWorkloads = 4;
+  const size_t kSaioHists[] = {0, 8, 64};
+  struct SagaCell {
+    EstimatorKind kind;
+    double h;
+    SelectorKind selector;
+  };
+  const SagaCell kSagaCells[] = {
+      {EstimatorKind::kOracle, 0.8, SelectorKind::kUpdatedPointer},
+      {EstimatorKind::kFgsHb, 0.8, SelectorKind::kUpdatedPointer},
+      {EstimatorKind::kFgsHb, 0.5, SelectorKind::kUpdatedPointer},
+      // Control: garbage-aware selection restores FGS/HB, proving the
+      // miss flows through UpdatedPointer's benign-overwrite chasing.
+      {EstimatorKind::kFgsHb, 0.8, SelectorKind::kMostGarbageOracle},
+  };
+
+  RunningStats saio_stats[kNumWorkloads][3];
+  RunningStats saga_stats[kNumWorkloads][4];
+
+  for (int s = 0; s < args.runs; ++s) {
+    std::vector<Trace> workloads = MakeWorkloads(args.base_seed + s);
+    for (size_t wi = 0; wi < kNumWorkloads; ++wi) {
+      for (size_t hi = 0; hi < 3; ++hi) {
+        SimConfig cfg = SmallStoreConfig();
+        cfg.policy = PolicyKind::kSaio;
+        cfg.saio_frac = 0.10;
+        cfg.saio_history = kSaioHists[hi];
+        cfg.saio_bootstrap_app_io = 1000;
+        SimResult r = RunSimulation(cfg, workloads[wi]);
+        saio_stats[wi][hi].Add(r.achieved_gc_io_pct);
+      }
+      for (size_t ci = 0; ci < 4; ++ci) {
+        SimConfig cfg = SmallStoreConfig();
+        cfg.policy = PolicyKind::kSaga;
+        cfg.estimator = kSagaCells[ci].kind;
+        cfg.fgs_history_factor = kSagaCells[ci].h;
+        cfg.selector = kSagaCells[ci].selector;
+        cfg.saga.garbage_frac = 0.10;
+        cfg.saga.bootstrap_overwrites = 300;
+        SimResult r = RunSimulation(cfg, workloads[wi]);
+        saga_stats[wi][ci].Add(r.garbage_pct.mean());
+      }
+    }
+  }
+
+  std::cout << "\nSAIO at a 10% I/O budget (achieved %, mean over seeds):\n";
+  TablePrinter saio({"workload", "c_hist=0", "c_hist=8", "c_hist=64"});
+  for (size_t wi = 0; wi < kNumWorkloads; ++wi) {
+    saio.AddRow({kWorkloadLabels[wi],
+                 TablePrinter::Fmt(saio_stats[wi][0].mean(), 2),
+                 TablePrinter::Fmt(saio_stats[wi][1].mean(), 2),
+                 TablePrinter::Fmt(saio_stats[wi][2].mean(), 2)});
+  }
+  saio.Print(std::cout);
+
+  std::cout << "\nSAGA at a 10% garbage target (achieved %, mean over "
+               "seeds):\n";
+  TablePrinter saga({"workload", "oracle", "fgs_hb(0.8)", "fgs_hb(0.5)",
+                     "fgs_hb+oracle_sel"});
+  for (size_t wi = 0; wi < kNumWorkloads; ++wi) {
+    saga.AddRow({kWorkloadLabels[wi],
+                 TablePrinter::Fmt(saga_stats[wi][0].mean(), 2),
+                 TablePrinter::Fmt(saga_stats[wi][1].mean(), 2),
+                 TablePrinter::Fmt(saga_stats[wi][2].mean(), 2),
+                 TablePrinter::Fmt(saga_stats[wi][3].mean(), 2)});
+  }
+  saga.Print(std::cout);
+
+  std::cout
+      << "\nFindings: SAIO is robust on every workload — its input (I/O "
+         "counts) is\nexact, so only extreme collection-cost variance can "
+         "move it, and the\nc_hist window absorbs that. SAGA with the "
+         "oracle holds its target except\nwhere garbage arrives faster "
+         "than one-partition-per-collection can drain\n(queue batches). "
+         "SAGA with FGS/HB degrades for two distinct reasons:\n"
+         "(1) On steady churn the estimator is fine but the *selection "
+         "interaction*\nfails — benign head-update overwrites concentrate "
+         "on the newest\npartitions, UpdatedPointer chases them, and the "
+         "low-yield collections\npoison the garbage-per-overwrite history. "
+         "Garbage-aware selection (last\ncolumn) restores the target, "
+         "isolating that cause.\n"
+         "(2) On bursty/batched deletion the *correlation premise itself* "
+         "breaks:\ngarbage-per-overwrite pulses between ~0 and huge, so "
+         "no smoothed rate\ntracks it and no selection policy repairs the "
+         "estimate. Both are\nconcrete answers to Section 5's question "
+         "about applications that violate\nthe paper's assumptions.\n";
+  return 0;
+}

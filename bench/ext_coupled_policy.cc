@@ -1,0 +1,77 @@
+// Extension study (paper Section 5): coupling SAIO to SAGA's garbage
+// estimate. Plain SAIO spends its full I/O budget even when there is
+// nothing worth collecting (GenDB, read-only Traverse); the coupled
+// policy throttles its effective budget by estimated cost-effectiveness.
+
+#include <iostream>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "sim/runner.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace odbgc;
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader("Coupled SAIO+SAGA policy vs plain SAIO",
+                     "Section 5 extension (implemented beyond the paper)");
+
+  Oo7Params params = bench::SmallPrimeWithConnectivity(args.connectivity);
+
+  TablePrinter t({"policy", "budget_pct", "gc_io_pct", "gc_io_ops",
+                  "mean_garbage_pct", "collections",
+                  "colls_GenDB/R1/Trav/R2"});
+  struct Variant {
+    bool coupled;
+    double ref_frac;  // garbage level that justifies the full budget
+    const char* label;
+  };
+  for (double budget : {0.10, 0.25}) {
+    for (Variant v : {Variant{false, 0.0, "SAIO"},
+                      Variant{true, 0.10, "CoupledIO(ref=10%)"},
+                      Variant{true, 0.40, "CoupledIO(ref=40%)"}}) {
+      SimConfig cfg = bench::PaperConfig();
+      if (v.coupled) {
+        cfg.policy = PolicyKind::kCoupled;
+        cfg.estimator = EstimatorKind::kFgsHb;
+        cfg.coupled.io_frac = budget;
+        cfg.coupled.garbage_ref_frac = v.ref_frac;
+      } else {
+        cfg.policy = PolicyKind::kSaio;
+        cfg.saio_frac = budget;
+      }
+      RunningStats io_pct;
+      RunningStats io_ops;
+      RunningStats garb;
+      RunningStats colls;
+      std::map<Phase, int> per_phase;
+      for (int i = 0; i < args.runs; ++i) {
+        SimResult r = RunOo7Once(cfg, params, args.base_seed + i);
+        io_pct.Add(r.achieved_gc_io_pct);
+        io_ops.Add(static_cast<double>(r.clock.gc_io));
+        garb.Add(r.garbage_pct.mean());
+        colls.Add(static_cast<double>(r.collections));
+        for (const CollectionRecord& rec : r.log) ++per_phase[rec.phase];
+      }
+      char phases[64];
+      std::snprintf(phases, sizeof(phases), "%d/%d/%d/%d",
+                    per_phase[Phase::kGenDb] / args.runs,
+                    per_phase[Phase::kReorg1] / args.runs,
+                    per_phase[Phase::kTraverse] / args.runs,
+                    per_phase[Phase::kReorg2] / args.runs);
+      t.AddRow({v.label, TablePrinter::Fmt(100.0 * budget, 0),
+                TablePrinter::Fmt(io_pct.mean(), 2),
+                TablePrinter::Fmt(io_ops.mean(), 0),
+                TablePrinter::Fmt(garb.mean(), 2),
+                TablePrinter::Fmt(colls.mean(), 1), phases});
+    }
+  }
+  t.Print(std::cout);
+  std::cout << "\nExpected shape: the coupled policy reallocates I/O by "
+               "cost-effectiveness.\nWith garbage above the reference "
+               "level it exceeds the stated budget and\nholds less "
+               "garbage (ref=10%); with a high reference it backs off "
+               "and spends\nless I/O than plain SAIO at the same stated "
+               "budget (ref=40%).\n";
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Extension study: the multi-application motivation of Section 1. A
+// fixed collection rate tuned carefully against ONE application's
+// profile ("the data would reflect just that single application") meets
+// a shared database where other clients run too — and mis-controls the
+// mix. The semi-automatic policies need no per-application tuning.
+//
+// Client A: the paper's OO7 reorganization application.
+// Client B: a queue-like churn application with a very different
+//           garbage-per-overwrite profile.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "oo7/generator.h"
+#include "sim/multi_client.h"
+#include "sim/simulation.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+#include "workloads/synthetic.h"
+
+namespace {
+
+odbgc::Trace MakeClientA(uint64_t seed, const odbgc::Oo7Params& params) {
+  odbgc::Oo7Generator gen(params, seed);
+  return gen.GenerateFullApplication();
+}
+
+odbgc::Trace MakeClientB(uint64_t seed) {
+  odbgc::MessageQueueOptions o;
+  o.seed = seed;
+  o.cycles = 60000;
+  o.batch = 40;
+  o.message_bytes = 500;
+  return odbgc::MakeMessageQueue(o);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace odbgc;
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader(
+      "Shared database, multiple applications",
+      "Section 1's motivation: per-application tuning conflicts");
+
+  Oo7Params params = bench::SmallPrimeWithConnectivity(args.connectivity);
+
+  // Tune a fixed rate from client A alone, the way a careful DBA would:
+  // measure its garbage-per-overwrite and size the interval to one
+  // partition's worth of garbage.
+  double tuned_interval;
+  {
+    Trace a = MakeClientA(args.base_seed, params);
+    SimConfig cfg = bench::PaperConfig();
+    cfg.policy = PolicyKind::kFixedRate;
+    cfg.fixed_rate_overwrites = 1ull << 62;
+    Simulation sim(cfg);
+    sim.Run(a);
+    double gpo =
+        static_cast<double>(sim.store().total_garbage_created()) /
+        static_cast<double>(sim.store().pointer_overwrites());
+    tuned_interval = 96.0 * 1024.0 / gpo;
+    std::cout << "\nClient A profile: "
+              << TablePrinter::Fmt(gpo, 1)
+              << " B garbage/overwrite -> tuned fixed rate = collect every "
+              << TablePrinter::Fmt(tuned_interval, 0) << " overwrites\n";
+  }
+
+  struct Scenario {
+    const char* label;
+    bool mixed;
+  };
+  for (Scenario sc : {Scenario{"client A alone", false},
+                      Scenario{"A + queue client sharing the DB", true}}) {
+    std::cout << "\n" << sc.label << ":\n";
+    TablePrinter t({"policy", "mean_garbage_pct", "gc_io_pct",
+                    "collections"});
+    struct Contender {
+      PolicyKind policy;
+      const char* label;
+    };
+    for (Contender c :
+         {Contender{PolicyKind::kFixedRate, "FixedRate (tuned on A)"},
+          Contender{PolicyKind::kSaio, "SAIO(10%)"},
+          Contender{PolicyKind::kSaga, "SAGA(10%,FGS/HB)"}}) {
+      RunningStats garb;
+      RunningStats io_pct;
+      RunningStats colls;
+      for (int i = 0; i < args.runs; ++i) {
+        uint64_t seed = args.base_seed + i;
+        Trace trace = sc.mixed
+                          ? InterleaveClients({MakeClientA(seed, params),
+                                               MakeClientB(seed + 1000)},
+                                              /*chunk=*/200)
+                          : MakeClientA(seed, params);
+        SimConfig cfg = bench::PaperConfig();
+        cfg.policy = c.policy;
+        cfg.fixed_rate_overwrites =
+            static_cast<uint64_t>(tuned_interval);
+        cfg.saio_frac = 0.10;
+        cfg.saga.garbage_frac = 0.10;
+        cfg.estimator = EstimatorKind::kFgsHb;
+        SimResult r = RunSimulation(cfg, trace);
+        garb.Add(r.garbage_pct.mean());
+        io_pct.Add(r.achieved_gc_io_pct);
+        colls.Add(static_cast<double>(r.collections));
+      }
+      t.AddRow({c.label, TablePrinter::Fmt(garb.mean(), 2),
+                TablePrinter::Fmt(io_pct.mean(), 2),
+                TablePrinter::Fmt(colls.mean(), 1)});
+    }
+    t.Print(std::cout);
+  }
+  std::cout << "\nExpected shape: each adaptive policy holds exactly the "
+               "target it promises\nin both scenarios without retuning — "
+               "SAIO its I/O share, SAGA its garbage\nlevel (spending "
+               "whatever I/O the garbage-hungry queue client makes that\n"
+               "cost). The fixed rate tuned on client A's profile holds "
+               "neither: its\ngarbage level triples once the mix changes. "
+               "That asymmetry is the paper's\nargument for semi-automatic "
+               "control (Section 1).\n";
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Extension study: structural churn. OO7's structural delete detaches a
+// whole composite part — its atomic-part graph, connections, and the
+// 2000-byte document — with a handful of pointer overwrites. This is the
+// extreme version of Section 2.1's observation that "a single overwrite
+// may disconnect very large objects from the database, such as OO7
+// document nodes", and it pushes the garbage-per-overwrite rate far
+// beyond what any static derivation predicts.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "oo7/generator.h"
+#include "sim/simulation.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace odbgc;
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader(
+      "Structural churn: whole-composite deletion and insertion",
+      "Section 2.1's large-cluster remark, taken to the composite level");
+
+  Oo7Params params = bench::SmallPrimeWithConnectivity(args.connectivity);
+
+  // Build the workload: GenDB, then rounds of delete/insert/traverse.
+  auto make_trace = [&](uint64_t seed) {
+    Oo7Generator gen(params, seed);
+    Trace trace;
+    trace.Append(PhaseMarkEvent(Phase::kGenDb));
+    gen.GenDb(&trace);
+    for (int round = 0; round < 6; ++round) {
+      trace.Append(PhaseMarkEvent(Phase::kReorg1));  // churn segment
+      gen.StructuralDelete(&trace, 10);
+      gen.StructuralInsert(&trace, 10);
+      trace.Append(PhaseMarkEvent(Phase::kTraverse));
+      gen.TraverseT6(&trace);
+    }
+    return trace;
+  };
+
+  // Measure the garbage-per-overwrite rate of structural churn.
+  {
+    Trace trace = make_trace(args.base_seed);
+    SimConfig cfg = bench::PaperConfig();
+    cfg.policy = PolicyKind::kFixedRate;
+    cfg.fixed_rate_overwrites = 1ull << 62;  // measure only
+    Simulation sim(cfg);
+    SimResult r = sim.Run(trace);
+    uint64_t churn_overwrites = 0;
+    for (const PhaseStats& p : r.phase_stats) {
+      if (p.phase == Phase::kReorg1) {
+        churn_overwrites += p.pointer_overwrites;
+      }
+    }
+    double gpo = static_cast<double>(sim.store().total_garbage_created()) /
+                 static_cast<double>(churn_overwrites);
+    std::cout << "\nStructural churn creates "
+              << TablePrinter::Fmt(gpo, 0)
+              << " B of garbage per pointer overwrite\n(vs ~33 B predicted "
+                 "by Section 2.1's static derivation and ~150 B for\nthe "
+                 "atomic-part reorganizations) — each deletion detaches a "
+                 "~24 KB cluster\nincluding the document.\n";
+  }
+
+  // How do the policies cope with cluster-sized garbage quanta?
+  std::cout << "\nSAGA at a 10% garbage target on structural churn:\n";
+  TablePrinter t({"estimator", "achieved_pct(mean)", "collections(mean)",
+                  "dt_min_clamps", "dt_max_clamps"});
+  struct Cell {
+    EstimatorKind kind;
+    const char* label;
+  };
+  for (Cell cell : {Cell{EstimatorKind::kOracle, "Oracle"},
+                    Cell{EstimatorKind::kFgsHb, "FGS/HB(0.8)"},
+                    Cell{EstimatorKind::kCgsCb, "CGS/CB"}}) {
+    RunningStats achieved;
+    RunningStats colls;
+    uint64_t dt_min = 0;
+    uint64_t dt_max = 0;
+    for (int s = 0; s < args.runs; ++s) {
+      Trace trace = make_trace(args.base_seed + s);
+      SimConfig cfg = bench::PaperConfig();
+      cfg.policy = PolicyKind::kSaga;
+      cfg.estimator = cell.kind;
+      cfg.fgs_history_factor = 0.8;
+      cfg.saga.garbage_frac = 0.10;
+      SimResult r = RunSimulation(cfg, trace);
+      achieved.Add(r.garbage_pct.mean());
+      colls.Add(static_cast<double>(r.collections));
+      dt_min += r.dt_min_clamps;
+      dt_max += r.dt_max_clamps;
+    }
+    t.AddRow({cell.label, TablePrinter::Fmt(achieved.mean(), 2),
+              TablePrinter::Fmt(colls.mean(), 1),
+              TablePrinter::Fmt(dt_min / args.runs),
+              TablePrinter::Fmt(dt_max / args.runs)});
+  }
+  t.Print(std::cout);
+  std::cout << "\nExpected shape: garbage arrives in cluster-sized quanta "
+               "comparable to the\ntarget itself, so SAGA oscillates more "
+               "than on the atomic-part workload\n(more clamp hits), while "
+               "still bracketing the requested level with the\nbetter "
+               "estimators.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 6: time-varying behavior of garbage estimation under the SAGA
+// policy at a requested garbage percentage of 10%, for (a) CGS/CB and
+// (b) FGS/HB. Prints the target / actual / estimated garbage percentage
+// at each collection, with phase annotations.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "sim/runner.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace odbgc;
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader(
+      "Time-varying garbage estimation at SAGA_Frac = 10%",
+      "Figure 6a (CGS/CB) and Figure 6b (FGS/HB), connectivity 3");
+
+  Oo7Params params = bench::SmallPrimeWithConnectivity(args.connectivity);
+
+  struct Variant {
+    EstimatorKind kind;
+    const char* label;
+  };
+  for (Variant v : {Variant{EstimatorKind::kCgsCb, "CGS/CB (Figure 6a)"},
+                    Variant{EstimatorKind::kFgsHb,
+                            "FGS/HB h=0.8 (Figure 6b)"}}) {
+    SimConfig cfg = bench::PaperConfig();
+    cfg.policy = PolicyKind::kSaga;
+    cfg.estimator = v.kind;
+    cfg.fgs_history_factor = 0.8;
+    cfg.saga.garbage_frac = 0.10;
+    SimResult r = RunOo7Once(cfg, params, args.base_seed);
+
+    std::cout << "\n" << v.label << "  (" << r.collections
+              << " collections)\n";
+    TablePrinter t({"collection", "phase", "target_pct", "actual_pct",
+                    "estimated_pct"});
+    for (const CollectionRecord& rec : r.log) {
+      t.AddRow({TablePrinter::Fmt(rec.index),
+                PhaseName(rec.phase),
+                TablePrinter::Fmt(rec.target_garbage_pct, 1),
+                TablePrinter::Fmt(rec.actual_garbage_pct, 2),
+                TablePrinter::Fmt(rec.estimated_garbage_pct, 2)});
+    }
+    t.Print(std::cout);
+  }
+  std::cout << "\nExpected shape: CGS/CB's estimate swings widely and "
+               "overestimates (its\nrepresentativeness assumption breaks "
+               "under UpdatedPointer selection);\nFGS/HB stays consistently "
+               "near the actual percentage (Figure 6).\n";
+  return 0;
+}

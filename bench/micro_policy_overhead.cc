@@ -1,0 +1,133 @@
+// Micro-benchmarks supporting the paper's claim that "our collection
+// rate policies add only little time and space overhead" (Section 1):
+// the per-event and per-collection decision costs of SAIO, SAGA and the
+// estimators are a handful of nanoseconds, vanishing against a single
+// simulated I/O operation.
+
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "core/estimator.h"
+#include "core/fixed_rate.h"
+#include "core/saga.h"
+#include "core/saio.h"
+#include "gc/partition_selector.h"
+#include "storage/object_store.h"
+
+namespace odbgc {
+namespace {
+
+SimClock MakeClock() {
+  SimClock c;
+  c.app_io = 123456;
+  c.gc_io = 7890;
+  c.pointer_overwrites = 45678;
+  c.db_used_bytes = 4 * 1000 * 1000;
+  return c;
+}
+
+void BM_FixedRateShouldCollect(benchmark::State& state) {
+  FixedRatePolicy policy(200);
+  SimClock clock = MakeClock();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.ShouldCollect(clock));
+    ++clock.pointer_overwrites;
+  }
+}
+BENCHMARK(BM_FixedRateShouldCollect);
+
+void BM_SaioShouldCollect(benchmark::State& state) {
+  SaioPolicy policy(0.10, /*history_size=*/0);
+  SimClock clock = MakeClock();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.ShouldCollect(clock));
+    ++clock.app_io;
+  }
+}
+BENCHMARK(BM_SaioShouldCollect);
+
+void BM_SaioOnCollection(benchmark::State& state) {
+  size_t hist = static_cast<size_t>(state.range(0));
+  SaioPolicy policy(0.10, hist);
+  SimClock clock = MakeClock();
+  CollectionOutcome outcome{250, 30000};
+  for (auto _ : state) {
+    clock.app_io += 1000;
+    clock.gc_io += 250;
+    policy.OnCollection(outcome, clock);
+  }
+}
+BENCHMARK(BM_SaioOnCollection)->Arg(0)->Arg(8)->Arg(64);
+
+void BM_SagaOnCollectionOracle(benchmark::State& state) {
+  SagaPolicy::Options opts;
+  auto est = std::make_unique<OracleEstimator>();
+  est->SetGroundTruth(300000.0);
+  SagaPolicy policy(opts, std::move(est));
+  SimClock clock = MakeClock();
+  CollectionOutcome outcome{250, 30000};
+  for (auto _ : state) {
+    clock.pointer_overwrites += 200;
+    policy.OnCollection(outcome, clock);
+  }
+}
+BENCHMARK(BM_SagaOnCollectionOracle);
+
+void BM_FgsHbPointerOverwrite(benchmark::State& state) {
+  FgsHbEstimator est(0.8);
+  uint32_t partition = 0;
+  for (auto _ : state) {
+    est.OnPointerOverwrite(partition);
+    partition = (partition + 1) % 64;
+  }
+}
+BENCHMARK(BM_FgsHbPointerOverwrite);
+
+void BM_FgsHbEstimate(benchmark::State& state) {
+  FgsHbEstimator est(0.8);
+  for (uint32_t p = 0; p < 64; ++p) {
+    for (int i = 0; i < 100; ++i) est.OnPointerOverwrite(p);
+  }
+  EstimatorCollectionInfo info;
+  info.partition = 3;
+  info.bytes_reclaimed = 30000;
+  info.partition_overwrites = 100;
+  info.partition_count = 64;
+  est.OnCollection(info);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.Estimate());
+  }
+}
+BENCHMARK(BM_FgsHbEstimate);
+
+void BM_UpdatedPointerSelect(benchmark::State& state) {
+  // Selection scans the partition table; cost grows with the database.
+  int64_t partitions = state.range(0);
+  StoreConfig cfg;
+  cfg.partition_bytes = 4096;
+  cfg.page_bytes = 512;
+  cfg.buffer_pages = 12;
+  ObjectStore store(cfg);
+  for (int64_t i = 0; i < partitions; ++i) {
+    ObjectId id = static_cast<ObjectId>(i + 1);
+    store.CreateObject(id, 4096, 1);
+    store.AddRoot(id);
+  }
+  // Give partitions distinct overwrite counts.
+  for (int64_t i = 0; i + 1 < partitions; ++i) {
+    ObjectId src = static_cast<ObjectId>(i + 1);
+    store.WriteRef(src, 0, static_cast<ObjectId>(i + 2));
+    store.WriteRef(src, 0, kNullObject);
+  }
+  UpdatedPointerSelector sel;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sel.Select(store));
+  }
+}
+BENCHMARK(BM_UpdatedPointerSelect)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace odbgc
+
+BENCHMARK_MAIN();

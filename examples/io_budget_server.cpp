@@ -1,0 +1,53 @@
+// Scenario: a database server whose operators give garbage collection a
+// strict share of the I/O budget ("GC may use at most X% of our disk
+// operations"). The SAIO policy turns that service-level objective into
+// a self-adjusting collection schedule: as the application's I/O mix
+// changes across phases, the collection interval re-solves itself.
+//
+// This example sweeps three budgets and shows, per application phase,
+// how the schedule adapted (collections per phase) and what it cost in
+// residual garbage — the flip side of a tight I/O budget.
+
+#include <cstdio>
+
+#include "oo7/generator.h"
+#include "sim/runner.h"
+
+int main() {
+  using namespace odbgc;
+  Oo7Params params = Oo7Params::SmallPrime();
+
+  std::printf("SAIO as an operator-facing I/O budget (OO7 Small'):\n\n");
+  std::printf("%-8s %-14s %-12s %-30s %-12s\n", "budget", "achieved_io%",
+              "collections", "collections per phase", "mean_garb%");
+
+  for (double budget_pct : {5.0, 10.0, 25.0}) {
+    SimConfig config;
+    config.policy = PolicyKind::kSaio;
+    config.saio_frac = budget_pct / 100.0;
+
+    SimResult r = RunOo7Once(config, params, /*seed=*/7);
+
+    // Collections per application phase, from the built-in breakdown.
+    char phases[128] = "";
+    size_t off = 0;
+    for (const PhaseStats& p : r.phase_stats) {
+      off += std::snprintf(phases + off, sizeof(phases) - off, "%s=%llu ",
+                           PhaseName(p.phase).c_str(),
+                           static_cast<unsigned long long>(p.collections));
+    }
+
+    std::printf("%-8.1f %-14.2f %-12llu %-30s %-12.2f\n", budget_pct,
+                r.achieved_gc_io_pct,
+                static_cast<unsigned long long>(r.collections), phases,
+                r.garbage_pct.mean());
+  }
+
+  std::printf(
+      "\nReading the table: the achieved GC-I/O share tracks each "
+      "requested budget;\na tighter budget means fewer collections and "
+      "more residual garbage. During\nthe read-only Traverse phase SAIO "
+      "keeps collecting (I/O keeps flowing), while\nSAGA-style policies "
+      "would pause — choose the policy that matches the SLO.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Scenario: a database with a nightly maintenance window. During the day
+// the SAGA policy holds garbage at a relaxed 20% (cheap); when the
+// workload pauses, the application announces the window with an idle
+// mark and the collector opportunistically drives garbage down to 2%,
+// so the next day starts lean — the Section 5 extension end to end.
+
+#include <cstdio>
+
+#include "oo7/generator.h"
+#include "sim/simulation.h"
+
+int main() {
+  using namespace odbgc;
+
+  // Two "days" of reorganization work with a maintenance window between
+  // them, and a read-heavy morning after each window.
+  Oo7Generator gen(Oo7Params::SmallPrime(), /*seed=*/13);
+  Trace trace;
+  trace.Append(PhaseMarkEvent(Phase::kGenDb));
+  gen.GenDb(&trace);
+  for (int day = 0; day < 2; ++day) {
+    trace.Append(PhaseMarkEvent(Phase::kReorg1));
+    gen.Reorg1(&trace);
+    trace.Append(IdleMarkEvent(/*max_collections=*/150));  // the window
+    trace.Append(PhaseMarkEvent(Phase::kTraverse));
+    gen.Traverse(&trace);  // next morning: read-heavy
+  }
+
+  for (bool with_window : {false, true}) {
+    SimConfig config;
+    config.policy = PolicyKind::kSaga;
+    config.estimator = EstimatorKind::kFgsHb;
+    config.saga.garbage_frac = 0.20;  // relaxed daytime budget
+    config.saga.opportunism = with_window;
+    config.saga.idle_floor_frac = 0.02;  // the window's deep-clean goal
+
+    Simulation sim(config);
+    SimResult r = sim.Run(trace);
+
+    std::printf("%s maintenance windows:\n",
+                with_window ? "WITH" : "WITHOUT");
+    std::printf("  idle collections  %llu (%llu I/O ops, all during the "
+                "window)\n",
+                static_cast<unsigned long long>(r.idle_collections),
+                static_cast<unsigned long long>(r.idle_gc_io));
+    for (const PhaseStats& p : r.phase_stats) {
+      if (p.phase != Phase::kTraverse) continue;
+      std::printf("  morning reads ran at %.2f%% garbage, %llu app I/O "
+                  "ops\n",
+                  p.garbage_pct.mean(),
+                  static_cast<unsigned long long>(p.app_io));
+    }
+    std::printf("  final garbage     %.2f MB\n\n",
+                r.final_actual_garbage_bytes / 1.0e6);
+  }
+  std::printf(
+      "Reading the output: the window drains the relaxed daytime backlog "
+      "for free —\nthe mornings run against a nearly clean, smaller "
+      "database. Note the I/O\ncolumn: aggressive compaction also "
+      "*relocates* objects, and the collector's\nbreadth-first copy order "
+      "is not the traversal's order, so read locality can\nsuffer — the "
+      "same copying-vs-clustering tension the paper discusses in its\n"
+      "related-work comparison with on-line reclustering.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Compares every collection-rate policy on the same OO7 application:
+// the fixed rates (including Section 2.1's failed static heuristic),
+// SAIO, and SAGA with each estimator. One table, one workload — the
+// time/space tradeoff and who navigates it.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "oo7/generator.h"
+#include "sim/runner.h"
+
+namespace {
+
+struct Contender {
+  std::string label;
+  odbgc::SimConfig config;
+};
+
+}  // namespace
+
+int main() {
+  using namespace odbgc;
+  Oo7Params params = Oo7Params::SmallPrime();
+
+  std::vector<Contender> contenders;
+  for (uint64_t rate : {50u, 200u, 800u}) {
+    Contender c;
+    c.label = "FixedRate(" + std::to_string(rate) + ")";
+    c.config.policy = PolicyKind::kFixedRate;
+    c.config.fixed_rate_overwrites = rate;
+    contenders.push_back(c);
+  }
+  {
+    Contender c;
+    c.label = "ConnHeuristic(2956)";
+    c.config.policy = PolicyKind::kConnectivityHeuristic;
+    contenders.push_back(c);
+  }
+  {
+    Contender c;
+    c.label = "SAIO(10%)";
+    c.config.policy = PolicyKind::kSaio;
+    c.config.saio_frac = 0.10;
+    contenders.push_back(c);
+  }
+  for (EstimatorKind kind : {EstimatorKind::kOracle, EstimatorKind::kCgsCb,
+                             EstimatorKind::kFgsHb}) {
+    Contender c;
+    c.label = std::string("SAGA(10%,") +
+              (kind == EstimatorKind::kOracle   ? "Oracle"
+               : kind == EstimatorKind::kCgsCb  ? "CGS/CB"
+                                                : "FGS/HB") +
+              ")";
+    c.config.policy = PolicyKind::kSaga;
+    c.config.estimator = kind;
+    c.config.fgs_history_factor = 0.8;
+    c.config.saga.garbage_frac = 0.10;
+    contenders.push_back(c);
+  }
+
+  std::printf("%-22s %-8s %-10s %-12s %-12s %-12s\n", "policy", "colls",
+              "gc_io%", "mean_garb%", "final_garbMB", "total_io");
+  for (const Contender& c : contenders) {
+    SimResult r = RunOo7Once(c.config, params, /*seed=*/5);
+    std::printf("%-22s %-8llu %-10.2f %-12.2f %-12.3f %-12llu\n",
+                c.label.c_str(),
+                static_cast<unsigned long long>(r.collections),
+                r.achieved_gc_io_pct, r.garbage_pct.mean(),
+                r.final_actual_garbage_bytes / 1.0e6,
+                static_cast<unsigned long long>(r.clock.total_io()));
+  }
+  std::printf(
+      "\nReading the table: frequent fixed rates burn I/O, rare ones and "
+      "the static\nheuristic drown in garbage; SAIO pins the I/O share, "
+      "SAGA pins the garbage\nshare — each holding its own target as the "
+      "application's phases change.\n");
+  return 0;
+}

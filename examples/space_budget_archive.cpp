@@ -1,0 +1,63 @@
+// Scenario: a storage-constrained archive ("the database may carry at
+// most X% dead data"). The SAGA policy turns the space budget into a
+// collection schedule, but it has to *estimate* how much garbage exists
+// — scanning the archive is off the table. This example contrasts the
+// practical estimators against the impractical oracle at two budgets.
+
+#include <cstdio>
+
+#include "oo7/generator.h"
+#include "sim/runner.h"
+
+namespace {
+
+const char* EstimatorLabel(odbgc::EstimatorKind k) {
+  switch (k) {
+    case odbgc::EstimatorKind::kOracle:
+      return "Oracle (impractical)";
+    case odbgc::EstimatorKind::kCgsCb:
+      return "CGS/CB (coarse)";
+    case odbgc::EstimatorKind::kCgsHb:
+      return "CGS/HB (coarse+hist)";
+    case odbgc::EstimatorKind::kFgsCb:
+      return "FGS/CB (fine)";
+    case odbgc::EstimatorKind::kFgsHb:
+      return "FGS/HB (practical)";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  using namespace odbgc;
+  Oo7Params params = Oo7Params::SmallPrime();
+
+  std::printf("SAGA as a space budget for an archive (OO7 Small'):\n");
+  for (double budget_pct : {5.0, 15.0}) {
+    std::printf("\nGarbage budget %.0f%%:\n", budget_pct);
+    std::printf("  %-22s %-18s %-12s %-10s\n", "estimator",
+                "mean_garbage_pct", "collections", "gc_io%");
+    for (EstimatorKind kind : {EstimatorKind::kOracle,
+                               EstimatorKind::kCgsCb,
+                               EstimatorKind::kFgsHb}) {
+      SimConfig config;
+      config.policy = PolicyKind::kSaga;
+      config.estimator = kind;
+      config.fgs_history_factor = 0.8;
+      config.saga.garbage_frac = budget_pct / 100.0;
+      SimResult r = RunOo7Once(config, params, /*seed=*/11);
+      std::printf("  %-22s %-18.2f %-12llu %-10.2f\n", EstimatorLabel(kind),
+                  r.garbage_pct.mean(),
+                  static_cast<unsigned long long>(r.collections),
+                  r.achieved_gc_io_pct);
+    }
+  }
+  std::printf(
+      "\nReading the table: FGS/HB lands near the budget at the cost of a "
+      "single\nsmoothed counter per partition; CGS/CB misses it because "
+      "the UpdatedPointer\nselection feeds it unrepresentative samples "
+      "(run bench/ablation_selection_policy\nto see that explanation "
+      "quantified).\n");
+  return 0;
+}

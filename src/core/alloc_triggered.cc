@@ -1,0 +1,35 @@
+#include "core/alloc_triggered.h"
+
+#include "util/check.h"
+
+namespace odbgc {
+
+AllocationRatePolicy::AllocationRatePolicy(uint64_t bytes_per_collection)
+    : interval_(bytes_per_collection),
+      next_threshold_(bytes_per_collection) {
+  ODBGC_CHECK(bytes_per_collection > 0);
+}
+
+bool AllocationRatePolicy::ShouldCollect(const SimClock& clock) {
+  return clock.bytes_allocated >= next_threshold_;
+}
+
+void AllocationRatePolicy::OnCollection(const CollectionOutcome& /*outcome*/,
+                                        const SimClock& clock) {
+  next_threshold_ = clock.bytes_allocated + interval_;
+}
+
+std::string AllocationRatePolicy::name() const {
+  return "AllocationRate(" + std::to_string(interval_) + "B)";
+}
+
+bool AllocationTriggeredPolicy::ShouldCollect(const SimClock& clock) {
+  return clock.partitions > partitions_seen_;
+}
+
+void AllocationTriggeredPolicy::OnCollection(
+    const CollectionOutcome& /*outcome*/, const SimClock& clock) {
+  partitions_seen_ = clock.partitions;
+}
+
+}  // namespace odbgc

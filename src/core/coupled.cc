@@ -1,0 +1,78 @@
+#include "core/coupled.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace odbgc {
+
+CoupledIoPolicy::CoupledIoPolicy(const Options& options,
+                                 std::unique_ptr<GarbageEstimator> estimator)
+    : options_(options),
+      estimator_(std::move(estimator)),
+      next_app_io_threshold_(options.bootstrap_app_io),
+      last_effective_frac_(options.io_frac) {
+  ODBGC_CHECK_MSG(options.io_frac > 0.0 && options.io_frac < 1.0,
+                  "io_frac must be in (0, 1)");
+  ODBGC_CHECK(options.garbage_ref_frac > 0.0);
+  ODBGC_CHECK(options.min_scale > 0.0 &&
+              options.min_scale <= options.max_scale);
+  ODBGC_CHECK(estimator_ != nullptr);
+}
+
+bool CoupledIoPolicy::ShouldCollect(const SimClock& clock) {
+  return clock.app_io >= next_app_io_threshold_;
+}
+
+void CoupledIoPolicy::OnCollection(const CollectionOutcome& outcome,
+                                   const SimClock& clock) {
+  const uint64_t period_app_io = clock.app_io - app_io_at_last_collection_;
+  app_io_at_last_collection_ = clock.app_io;
+  const uint64_t curr_gc_io = outcome.gc_io_ops;
+
+  if (options_.history_size > 0) {
+    history_.push_back(PeriodRecord{period_app_io, curr_gc_io});
+    hist_app_io_sum_ += period_app_io;
+    hist_gc_io_sum_ += curr_gc_io;
+    while (history_.size() > options_.history_size) {
+      hist_app_io_sum_ -= history_.front().app_io;
+      hist_gc_io_sum_ -= history_.front().gc_io;
+      history_.pop_front();
+    }
+  }
+
+  // Cost-effectiveness: how much garbage does the estimator believe is
+  // out there, relative to the reference level that justifies the full
+  // budget?
+  double scale = 1.0;
+  if (clock.db_used_bytes > 0) {
+    double reference = static_cast<double>(clock.db_used_bytes) *
+                       options_.garbage_ref_frac;
+    scale = estimator_->Estimate() / reference;
+  }
+  scale = std::clamp(scale, options_.min_scale, options_.max_scale);
+  double f = options_.io_frac * scale;
+  // Keep the effective fraction a valid fraction.
+  f = std::min(f, 0.95);
+  last_effective_frac_ = f;
+
+  const double gc_term =
+      static_cast<double>(hist_gc_io_sum_) + static_cast<double>(curr_gc_io);
+  double delta_app_io =
+      gc_term * (1.0 - f) / f - static_cast<double>(hist_app_io_sum_);
+  if (delta_app_io < 1.0) delta_app_io = 1.0;
+  next_app_io_threshold_ =
+      clock.app_io + static_cast<uint64_t>(std::llround(delta_app_io));
+}
+
+std::string CoupledIoPolicy::name() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "CoupledIO(frac=%.3f,ref=%.3f,%s)",
+                options_.io_frac, options_.garbage_ref_frac,
+                estimator_->name().c_str());
+  return buf;
+}
+
+}  // namespace odbgc

@@ -1,0 +1,73 @@
+#ifndef ODBGC_CORE_COUPLED_H_
+#define ODBGC_CORE_COUPLED_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "core/estimator.h"
+#include "core/rate_policy.h"
+
+namespace odbgc {
+
+// The coupled policy sketched in the paper's Section 5: "the SAIO policy
+// could use information provided by the SAGA heuristics to determine the
+// cost-effectiveness of the I/O operations being performed, and adjust
+// itself accordingly."
+//
+// CoupledIoPolicy is SAIO with a garbage-aware throttle. The user states
+// an I/O budget (io_frac) and a reference garbage level
+// (garbage_ref_frac) at which spending the full budget is justified.
+// After each collection the policy scales its effective I/O fraction by
+// how much garbage the estimator believes exists:
+//
+//   effective_frac = io_frac * clamp(ActGarbEst / (DBSize * ref_frac),
+//                                    min_scale, max_scale)
+//
+// so collections back off when there is little to reclaim (e.g. GenDB,
+// read-mostly phases) and may modestly exceed the budget when garbage
+// piles up. With min_scale = max_scale = 1 it degenerates to plain SAIO.
+class CoupledIoPolicy : public RatePolicy {
+ public:
+  struct Options {
+    double io_frac = 0.10;          // the I/O budget (SAIO_Frac)
+    double garbage_ref_frac = 0.10; // garbage level justifying the budget
+    double min_scale = 0.25;        // never drop below 1/4 of the budget
+    double max_scale = 1.5;         // may exceed the budget by up to 50%
+    size_t history_size = 0;        // SAIO's c_hist
+    uint64_t bootstrap_app_io = 2000;
+  };
+
+  CoupledIoPolicy(const Options& options,
+                  std::unique_ptr<GarbageEstimator> estimator);
+
+  bool ShouldCollect(const SimClock& clock) override;
+  void OnCollection(const CollectionOutcome& outcome,
+                    const SimClock& clock) override;
+  std::string name() const override;
+
+  GarbageEstimator& estimator() { return *estimator_; }
+  const Options& options() const { return options_; }
+  double last_effective_frac() const { return last_effective_frac_; }
+  uint64_t next_app_io_threshold() const { return next_app_io_threshold_; }
+
+ private:
+  Options options_;
+  std::unique_ptr<GarbageEstimator> estimator_;
+
+  // SAIO-style history window over (period app I/O, collection GC I/O).
+  struct PeriodRecord {
+    uint64_t app_io;
+    uint64_t gc_io;
+  };
+  std::deque<PeriodRecord> history_;
+  uint64_t hist_app_io_sum_ = 0;
+  uint64_t hist_gc_io_sum_ = 0;
+  uint64_t app_io_at_last_collection_ = 0;
+  uint64_t next_app_io_threshold_;
+  double last_effective_frac_;
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_CORE_COUPLED_H_

@@ -1,0 +1,50 @@
+#ifndef ODBGC_CORE_FIXED_RATE_H_
+#define ODBGC_CORE_FIXED_RATE_H_
+
+#include <cstdint>
+
+#include "core/rate_policy.h"
+
+namespace odbgc {
+
+// The baseline policy of Section 2.1: collect every N pointer overwrites,
+// for a fixed N chosen up front. The paper shows any fixed N is wrong for
+// some application (or some phase of one application).
+class FixedRatePolicy : public RatePolicy {
+ public:
+  explicit FixedRatePolicy(uint64_t overwrites_per_collection);
+
+  bool ShouldCollect(const SimClock& clock) override;
+  void OnCollection(const CollectionOutcome& outcome,
+                    const SimClock& clock) override;
+  std::string name() const override;
+
+  uint64_t overwrites_per_collection() const { return interval_; }
+
+ private:
+  uint64_t interval_;
+  uint64_t next_threshold_;
+};
+
+// The "more clever" fixed-rate heuristic of Section 2.1: derive N from
+// static database characteristics — collect once a partition's worth of
+// garbage *should* have accumulated, assuming every `connectivity`
+// pointer overwrites free one object of `avg_object_bytes`. The paper
+// shows this underestimates garbage creation by ~5x ("fails miserably"),
+// because single overwrites can detach whole clusters.
+class ConnectivityHeuristicPolicy : public FixedRatePolicy {
+ public:
+  ConnectivityHeuristicPolicy(double avg_connectivity,
+                              double avg_object_bytes,
+                              uint64_t partition_bytes);
+
+  std::string name() const override { return "ConnectivityHeuristic"; }
+
+  static uint64_t DeriveInterval(double avg_connectivity,
+                                 double avg_object_bytes,
+                                 uint64_t partition_bytes);
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_CORE_FIXED_RATE_H_

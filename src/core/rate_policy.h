@@ -1,0 +1,51 @@
+#ifndef ODBGC_CORE_RATE_POLICY_H_
+#define ODBGC_CORE_RATE_POLICY_H_
+
+#include <string>
+
+#include "core/clock.h"
+
+namespace odbgc {
+
+// A collection-rate policy decides *when* the next garbage collection
+// should run (the policy area this paper introduces). The host system
+// calls ShouldCollect() as its counters advance and OnCollection() after
+// each collection completes.
+class RatePolicy {
+ public:
+  virtual ~RatePolicy() = default;
+
+  // True if a collection should be started now.
+  virtual bool ShouldCollect(const SimClock& clock) = 0;
+
+  // Reports a finished collection so the policy can schedule the next.
+  virtual void OnCollection(const CollectionOutcome& outcome,
+                            const SimClock& clock) = 0;
+
+  // --- Opportunistic quiescence extension (paper Section 5) ---
+  //
+  // When the host observes a quiescent workload it may offer the policy
+  // free collections beyond its user-stated limits. The default policy
+  // declines (the base paper's behavior).
+
+  // True if an opportunistic collection is worthwhile right now.
+  virtual bool ShouldCollectWhenIdle(const SimClock& clock) {
+    (void)clock;
+    return false;
+  }
+
+  // Reports a collection run during quiescence. Deliberately separate
+  // from OnCollection: idle collections must not perturb the policy's
+  // active-workload scheduling assumptions.
+  virtual void OnIdleCollection(const CollectionOutcome& outcome,
+                                const SimClock& clock) {
+    (void)outcome;
+    (void)clock;
+  }
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_CORE_RATE_POLICY_H_

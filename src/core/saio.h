@@ -1,0 +1,83 @@
+#ifndef ODBGC_CORE_SAIO_H_
+#define ODBGC_CORE_SAIO_H_
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+
+#include "core/rate_policy.h"
+
+namespace odbgc {
+
+// SAIO — the Semi-Automatic I/O policy (Section 2.2).
+//
+// The user asks that garbage collection consume a fraction SAIO_Frac of
+// all I/O operations. After each collection the policy schedules the next
+// one Delta_AppIO application I/O operations away, chosen so that over the
+// history window (the last c_hist inter-collection periods plus the
+// predicted next one) the GC share of I/O equals SAIO_Frac:
+//
+//   (HistGCIO + CurrGCIO) /
+//   (HistAppIO + Delta_AppIO + HistGCIO + CurrGCIO)  =  SAIO_Frac
+//
+// under the assumption Delta_GCIO ~= CurrGCIO (successive collections
+// cost about the same I/O). With c_hist = 0 this reduces to
+// Delta_AppIO = CurrGCIO * (1 - f) / f.
+class SaioPolicy : public RatePolicy {
+ public:
+  static constexpr size_t kInfiniteHistory =
+      std::numeric_limits<size_t>::max();
+
+  // io_frac in (0, 1): requested collector share of total I/O.
+  // history_size is the paper's c_hist (number of past collections used).
+  // bootstrap_app_io schedules the very first collection (the paper uses
+  // an oracle-driven preamble; any sane bootstrap is excluded from
+  // measurement by the preamble convention).
+  SaioPolicy(double io_frac, size_t history_size = 0,
+             uint64_t bootstrap_app_io = 2000);
+
+  bool ShouldCollect(const SimClock& clock) override;
+  void OnCollection(const CollectionOutcome& outcome,
+                    const SimClock& clock) override;
+  std::string name() const override;
+
+  // Quiescence extension: idle I/O is free, so keep collecting while
+  // collections still find a worthwhile amount of garbage. Idle
+  // collections are excluded from the c_hist window — they must not
+  // stretch the active-workload schedule.
+  bool ShouldCollectWhenIdle(const SimClock& clock) override;
+  void OnIdleCollection(const CollectionOutcome& outcome,
+                        const SimClock& clock) override;
+
+  // Enables/configures opportunism (disabled yields base-paper behavior).
+  void set_opportunism(bool enabled, uint64_t min_idle_yield_bytes = 4096);
+
+  double io_frac() const { return io_frac_; }
+  size_t history_size() const { return history_size_; }
+  uint64_t next_app_io_threshold() const { return next_app_io_threshold_; }
+  uint64_t last_delta_app_io() const { return last_delta_app_io_; }
+
+ private:
+  struct PeriodRecord {
+    uint64_t app_io;  // application I/O during the period before a GC
+    uint64_t gc_io;   // that GC's I/O
+  };
+
+  double io_frac_;
+  size_t history_size_;
+  std::deque<PeriodRecord> history_;
+  uint64_t hist_app_io_sum_ = 0;
+  uint64_t hist_gc_io_sum_ = 0;
+  uint64_t app_io_at_last_collection_ = 0;
+  uint64_t next_app_io_threshold_;
+  uint64_t last_delta_app_io_ = 0;
+
+  bool opportunism_enabled_ = false;
+  uint64_t min_idle_yield_bytes_ = 4096;
+  bool idle_yield_known_ = false;
+  uint64_t last_idle_yield_ = 0;
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_CORE_SAIO_H_

@@ -1,0 +1,134 @@
+#include "gc/collector.h"
+
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "util/check.h"
+
+namespace odbgc {
+
+CollectionReport Collector::Collect(ObjectStore& store,
+                                    PartitionId partition) {
+  Partition& part = store.mutable_partition(partition);
+  CollectionReport report;
+  report.partition = partition;
+  report.bytes_before = part.used();
+  report.overwrites_at_collection = part.overwrites();
+
+  const IoStats before_io = store.io_stats();
+
+  // Read the partition's from-space (sequential scan of its used pages).
+  if (part.used() > 0) {
+    store.TouchRange(partition, 0, part.used(), /*dirty=*/false,
+                     IoContext::kCollector);
+  }
+
+  // Partition roots: global roots in this partition, plus objects with at
+  // least one referencing slot held by an object outside this partition.
+  std::deque<ObjectId> queue;
+  std::unordered_set<ObjectId> marked;
+  auto mark = [&](ObjectId id) {
+    if (marked.insert(id).second) queue.push_back(id);
+  };
+  for (ObjectId root : store.roots()) {
+    if (store.object(root).partition == partition) mark(root);
+  }
+  // The newest allocation is pinned: the application still holds a
+  // transient reference to it even if it is not linked in yet.
+  ObjectId newest = store.newest_object();
+  if (newest != kNullObject && store.Exists(newest) &&
+      store.object(newest).partition == partition) {
+    mark(newest);
+  }
+  for (ObjectId id : part.objects()) {
+    if (!store.Exists(id)) continue;
+    const ObjectRecord& rec = store.object(id);
+    for (ObjectId src : rec.in_refs) {
+      if (store.object(src).partition != partition) {
+        mark(id);
+        break;
+      }
+    }
+  }
+
+  // Cheney breadth-first copy order; pointers leaving the partition are
+  // not traversed.
+  std::vector<ObjectId> copy_order;
+  while (!queue.empty()) {
+    ObjectId id = queue.front();
+    queue.pop_front();
+    copy_order.push_back(id);
+    const ObjectRecord& rec = store.object(id);
+    for (ObjectId target : rec.slots) {
+      if (target == kNullObject) continue;
+      if (store.object(target).partition != partition) continue;
+      mark(target);
+    }
+  }
+
+  // Reclaim everything unreached. Destroying a garbage object detaches
+  // its out-pointers, which may clear external references into other
+  // partitions (their floating garbage becomes collectable later).
+  uint64_t reclaimed_bytes = 0;
+  uint64_t reclaimed_objects = 0;
+  std::vector<ObjectId> old_objects = part.objects();
+  for (ObjectId id : old_objects) {
+    if (marked.count(id) != 0) continue;
+    ODBGC_CHECK_MSG(!store.IsRoot(id), "collector reclaiming a root");
+    reclaimed_bytes += store.object(id).size;
+    ++reclaimed_objects;
+    store.DestroyObject(id);
+  }
+
+  // Compact survivors in copy order (to-space starts at offset 0).
+  uint32_t new_used = 0;
+  uint64_t live_bytes = 0;
+  for (ObjectId id : copy_order) {
+    ObjectRecord& rec = store.mutable_object(id);
+    store.Relocate(id, new_used);
+    new_used += rec.size;
+    live_bytes += rec.size;
+  }
+  ODBGC_CHECK(report.bytes_before == live_bytes + reclaimed_bytes);
+
+  // Write the compacted to-space.
+  if (new_used > 0) {
+    store.TouchRange(partition, 0, new_used, /*dirty=*/true,
+                     IoContext::kCollector);
+  }
+  // Pages past the compacted tail no longer exist; drop without flushing.
+  uint32_t page_bytes = store.config().page_bytes;
+  uint32_t first_dead_page = (new_used + page_bytes - 1) / page_bytes;
+  store.buffer_pool().DropPartitionTail(partition, first_dead_page);
+
+  // Relocation invalidates external pointers into this partition: the
+  // collector must update the referencing slot of every external source,
+  // costing a read (and dirty write-back) of that source's page.
+  for (ObjectId id : copy_order) {
+    const ObjectRecord& rec = store.object(id);
+    for (ObjectId src : rec.in_refs) {
+      const ObjectRecord& s = store.object(src);
+      if (s.partition == partition) continue;  // rewritten by the copy
+      store.TouchRange(s.partition, s.offset, s.size, /*dirty=*/true,
+                       IoContext::kCollector);
+    }
+  }
+
+  uint32_t old_used = part.used();
+  report.objects_live = copy_order.size();
+  part.ResetAfterCollection(std::move(copy_order), new_used);
+  part.set_last_collected_stamp(++collections_);
+  store.AdjustUsedBytes(old_used, new_used);
+  store.RecordGarbageCollected(reclaimed_bytes, reclaimed_objects);
+
+  const IoStats after_io = store.io_stats();
+  report.bytes_live = live_bytes;
+  report.bytes_reclaimed = reclaimed_bytes;
+  report.objects_reclaimed = reclaimed_objects;
+  report.gc_reads = after_io.gc_reads - before_io.gc_reads;
+  report.gc_writes = after_io.gc_writes - before_io.gc_writes;
+  return report;
+}
+
+}  // namespace odbgc

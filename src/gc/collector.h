@@ -1,0 +1,58 @@
+#ifndef ODBGC_GC_COLLECTOR_H_
+#define ODBGC_GC_COLLECTOR_H_
+
+#include <cstdint>
+
+#include "storage/object_store.h"
+#include "storage/types.h"
+
+namespace odbgc {
+
+// Outcome of one partition collection.
+struct CollectionReport {
+  PartitionId partition = kInvalidPartition;
+  uint64_t bytes_before = 0;        // partition bytes in use before
+  uint64_t bytes_live = 0;          // surviving bytes after compaction
+  uint64_t bytes_reclaimed = 0;     // bytes_before - bytes_live
+  uint64_t objects_live = 0;
+  uint64_t objects_reclaimed = 0;
+  uint64_t gc_reads = 0;            // I/O operations attributed to this GC
+  uint64_t gc_writes = 0;
+  uint64_t gc_io() const { return gc_reads + gc_writes; }
+  // FGS value of the partition at selection time (pointer overwrites
+  // accumulated since its previous collection); consumed by FGS/HB.
+  uint64_t overwrites_at_collection = 0;
+};
+
+// Partitioned copying collector (Section 3.1, after [CWZ94]):
+//
+//  * The unit of collection is one partition.
+//  * Partition roots are the global roots residing in the partition plus
+//    every object referenced from outside the partition (pointers leaving
+//    the collected partition are not traversed; pointers entering it are
+//    treated as roots, which is what makes the collection safe without
+//    scanning other partitions).
+//  * Live objects are copied breadth first (Cheney) to offset-compacted
+//    positions, improving reference locality.
+//  * Everything not reached is reclaimed.
+//
+// I/O model: the collector scans the partition's used pages (reads),
+// writes the compacted survivors, and — because relocation changes object
+// positions — reads and rewrites the page of every external object that
+// holds a pointer into the partition. All transfers go through the store's
+// buffer pool tagged IoContext::kCollector.
+class Collector {
+ public:
+  Collector() = default;
+
+  CollectionReport Collect(ObjectStore& store, PartitionId partition);
+
+  uint64_t collections_performed() const { return collections_; }
+
+ private:
+  uint64_t collections_ = 0;
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_GC_COLLECTOR_H_

@@ -1,0 +1,113 @@
+#include "gc/partition_selector.h"
+
+#include "storage/reachability.h"
+#include "util/check.h"
+
+namespace odbgc {
+
+PartitionId UpdatedPointerSelector::Select(const ObjectStore& store) {
+  ODBGC_CHECK(store.partition_count() > 0);
+  PartitionId best = 0;
+  uint64_t best_overwrites = 0;
+  uint64_t best_stamp = ~0ull;
+  bool have = false;
+  for (const Partition& p : store.partitions()) {
+    uint64_t ow = p.overwrites();
+    uint64_t stamp = p.last_collected_stamp();
+    // Prefer more overwrites; break ties toward the least recently
+    // collected partition so quiescent databases still rotate.
+    if (!have || ow > best_overwrites ||
+        (ow == best_overwrites && stamp < best_stamp)) {
+      have = true;
+      best = p.id();
+      best_overwrites = ow;
+      best_stamp = stamp;
+    }
+  }
+  return best;
+}
+
+PartitionId RandomSelector::Select(const ObjectStore& store) {
+  ODBGC_CHECK(store.partition_count() > 0);
+  return static_cast<PartitionId>(rng_.NextBelow(store.partition_count()));
+}
+
+PartitionId RoundRobinSelector::Select(const ObjectStore& store) {
+  ODBGC_CHECK(store.partition_count() > 0);
+  PartitionId p = next_ % static_cast<PartitionId>(store.partition_count());
+  next_ = p + 1;
+  return p;
+}
+
+PartitionId MostGarbageOracleSelector::Select(const ObjectStore& store) {
+  ODBGC_CHECK(store.partition_count() > 0);
+  ReachabilityResult scan = ScanReachability(store);
+  PartitionId best = 0;
+  uint64_t best_garbage = 0;
+  for (const Partition& p : store.partitions()) {
+    uint64_t g = UnreachableBytesInPartition(store, scan, p.id());
+    if (g > best_garbage) {
+      best_garbage = g;
+      best = p.id();
+    }
+  }
+  return best;
+}
+
+PartitionId LeastRecentlyCollectedSelector::Select(
+    const ObjectStore& store) {
+  ODBGC_CHECK(store.partition_count() > 0);
+  PartitionId best = 0;
+  uint64_t best_stamp = ~0ull;
+  for (const Partition& p : store.partitions()) {
+    if (p.last_collected_stamp() < best_stamp) {
+      best_stamp = p.last_collected_stamp();
+      best = p.id();
+    }
+  }
+  return best;
+}
+
+PartitionId OverwriteDensitySelector::Select(const ObjectStore& store) {
+  ODBGC_CHECK(store.partition_count() > 0);
+  PartitionId best = 0;
+  double best_density = -1.0;
+  uint64_t best_stamp = ~0ull;
+  for (const Partition& p : store.partitions()) {
+    double density =
+        p.used() == 0
+            ? 0.0
+            : static_cast<double>(p.overwrites()) /
+                  static_cast<double>(p.used());
+    uint64_t stamp = p.last_collected_stamp();
+    if (density > best_density ||
+        (density == best_density && stamp < best_stamp)) {
+      best_density = density;
+      best = p.id();
+      best_stamp = stamp;
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<PartitionSelector> MakeSelector(SelectorKind kind,
+                                                uint64_t seed) {
+  switch (kind) {
+    case SelectorKind::kUpdatedPointer:
+      return std::make_unique<UpdatedPointerSelector>();
+    case SelectorKind::kRandom:
+      return std::make_unique<RandomSelector>(seed);
+    case SelectorKind::kRoundRobin:
+      return std::make_unique<RoundRobinSelector>();
+    case SelectorKind::kMostGarbageOracle:
+      return std::make_unique<MostGarbageOracleSelector>();
+    case SelectorKind::kLeastRecentlyCollected:
+      return std::make_unique<LeastRecentlyCollectedSelector>();
+    case SelectorKind::kOverwriteDensity:
+      return std::make_unique<OverwriteDensitySelector>();
+  }
+  ODBGC_CHECK_MSG(false, "unknown selector kind");
+  return nullptr;
+}
+
+}  // namespace odbgc

@@ -1,0 +1,148 @@
+#ifndef ODBGC_OO7_GENERATOR_H_
+#define ODBGC_OO7_GENERATOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "oo7/params.h"
+#include "storage/types.h"
+#include "trace/trace.h"
+#include "util/random.h"
+
+namespace odbgc {
+
+// Generates application traces against a shadow OO7 database. The
+// generator maintains its own logical copy of the object graph (it never
+// touches the simulated store) and emits the event stream a real OO7
+// application would produce: creations, list walks (reads), pointer
+// overwrites, and ground-truth garbage markers at the instant a cluster
+// becomes unreachable.
+//
+// The four phases reproduce Figure 2 (with the paper's modifications to
+// the Yong/Naughton/Yu application described in Section 3.4):
+//   GenDB    - build the database of Table 1 / Figure 3.
+//   Reorg1   - delete half the atomic parts of each composite and
+//              reinsert them clustered (composite by composite).
+//   Traverse - read-only depth-first traversal over all atomic parts.
+//   Reorg2   - delete half the atomic parts again, then reinsert them
+//              interleaved across composites so that the physical
+//              clustering of a composite's parts is destroyed.
+class Oo7Generator {
+ public:
+  Oo7Generator(const Oo7Params& params, uint64_t seed);
+
+  // Emits all four phases (GenDB, Reorg1, Traverse, Reorg2) into a fresh
+  // trace, with phase-mark annotations.
+  Trace GenerateFullApplication();
+
+  // Individual phases, for custom workload composition. GenDb must run
+  // first; the others may be repeated or reordered.
+  void GenDb(Trace* trace);
+  void Reorg1(Trace* trace);
+  void Traverse(Trace* trace);
+  void Reorg2(Trace* trace);
+
+  // Further OO7 operations [CDN93], usable after GenDb:
+  //
+  // T2: the T1 traversal with attribute updates on the atomic parts —
+  // `updates_per_part` kUpdate events per visited part (OO7's T2a/b/c
+  // are 1-per-composite, 1-per-part, 4-per-part). Updates dirty pages
+  // but never advance the overwrite clock.
+  void TraverseT2(Trace* trace, int updates_per_part);
+  // T6: a sparse traversal touching each composite and its first atomic
+  // part only.
+  void TraverseT6(Trace* trace);
+  // Structural insert: build `count` new composite parts (documents,
+  // atomic parts, connections) and link each into a base assembly with a
+  // free reference slot. Returns how many were actually inserted (base
+  // assemblies have bounded slot capacity).
+  int StructuralInsert(Trace* trace, int count);
+  // Structural delete: unlink `count` randomly chosen composite parts
+  // from every referencing assembly. The final unlink detaches the whole
+  // composite cluster — part hierarchy, connections, and the 2000-byte
+  // document — in one pointer overwrite: the paper's Section 2.1 remark
+  // about single overwrites disconnecting "very large objects, such as
+  // OO7 document nodes". Returns how many were deleted.
+  int StructuralDelete(Trace* trace, int count);
+
+  size_t live_composite_count() const;
+
+  const Oo7Params& params() const { return params_; }
+  ObjectId next_object_id() const { return next_id_; }
+  size_t live_atomic_count() const { return atomics_.size(); }
+  size_t live_connection_count() const { return conns_.size(); }
+
+ private:
+  struct AtomicInfo {
+    size_t composite = 0;          // index into composites_
+    std::vector<ObjectId> conns;   // outgoing connections, list order
+    std::vector<ObjectId> in_conns;
+  };
+
+  struct ConnInfo {
+    ObjectId owner = kNullObject;
+    ObjectId target = kNullObject;
+  };
+
+  struct CompositeInfo {
+    ObjectId id = kNullObject;
+    std::vector<ObjectId> parts;  // atomic list order, front = head
+    // Whether an assembly references the composite yet. Until then the
+    // application's workspace pins it (AddRoot/RemoveRoot in the trace).
+    bool linked = false;
+    bool alive = true;
+    // (assembly index, slot) pairs referencing this composite.
+    std::vector<std::pair<size_t, uint32_t>> refs;
+    // Document node ids (head first), for size accounting on delete.
+    std::vector<ObjectId> doc_nodes;
+  };
+
+  struct AssemblyInfo {
+    ObjectId id = kNullObject;
+    // Interior: child assemblies. Base: slot contents (kNullObject for
+    // a free reference slot).
+    std::vector<ObjectId> children;
+    bool base = false;
+  };
+
+  ObjectId NewId() { return next_id_++; }
+
+  void BuildComposite(Trace* t, size_t comp_index);
+  ObjectId BuildAssembly(Trace* t, uint32_t level,
+                         const std::vector<size_t>& comp_pool);
+  void CreateConnection(Trace* t, ObjectId source, ObjectId target,
+                        ObjectId near_hint = kNullObject);
+  void UnlinkConnectionFromOwner(Trace* t, ObjectId conn);
+  void DeleteAtomic(Trace* t, ObjectId atomic);
+  ObjectId ReinsertAtomic(Trace* t, size_t comp_index, bool clustered);
+  std::vector<ObjectId> ChooseDeletions(size_t comp_index);
+  ObjectId PickTarget(size_t comp_index, ObjectId exclude);
+  ObjectId PickTarget2(size_t comp_index, ObjectId exclude_a,
+                       ObjectId exclude_b);
+  void TraverseComposite(Trace* t, size_t comp_index, int updates_per_part);
+  // Records that base assembly `assm_index` slot `slot` references the
+  // composite, emitting the write and handling the construction unpin.
+  void LinkCompositeToAssembly(Trace* t, size_t assm_index, uint32_t slot,
+                               size_t comp_index);
+  uint64_t CompositeClusterBytes(const CompositeInfo& comp) const;
+  uint32_t CompositeClusterObjects(const CompositeInfo& comp) const;
+
+  Oo7Params params_;
+  Rng rng_;
+  ObjectId next_id_ = 1;
+  bool generated_ = false;
+  // Base-assembly composite slots filled so far in the current module;
+  // the first |composites| slots cover every composite deterministically.
+  size_t next_base_slot_ = 0;
+
+  std::vector<ObjectId> module_ids_;
+  std::vector<CompositeInfo> composites_;
+  std::vector<AssemblyInfo> assemblies_;
+  std::unordered_map<ObjectId, AtomicInfo> atomics_;
+  std::unordered_map<ObjectId, ConnInfo> conns_;
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_OO7_GENERATOR_H_

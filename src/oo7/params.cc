@@ -1,0 +1,78 @@
+#include "oo7/params.h"
+
+namespace odbgc {
+
+Oo7Params Oo7Params::SmallPrime() { return Oo7Params{}; }
+
+Oo7Params Oo7Params::Small() {
+  Oo7Params p;
+  p.num_comp_per_module = 500;
+  p.num_assm_levels = 7;
+  return p;
+}
+
+Oo7Params Oo7Params::Tiny() {
+  Oo7Params p;
+  p.num_atomic_per_comp = 6;
+  p.num_conn_per_atomic = 2;
+  p.document_bytes = 200;
+  p.manual_kbytes = 8;
+  p.num_comp_per_module = 9;
+  p.num_assm_levels = 3;
+  return p;
+}
+
+uint32_t Oo7Params::assemblies_per_module() const {
+  // Full num_assm_per_assm-ary tree with num_assm_levels levels.
+  uint32_t total = 0;
+  uint32_t level_count = 1;
+  for (uint32_t l = 0; l < num_assm_levels; ++l) {
+    total += level_count;
+    level_count *= num_assm_per_assm;
+  }
+  return total;
+}
+
+uint32_t Oo7Params::base_assemblies_per_module() const {
+  uint32_t level_count = 1;
+  for (uint32_t l = 1; l < num_assm_levels; ++l) {
+    level_count *= num_assm_per_assm;
+  }
+  return level_count;
+}
+
+uint32_t Oo7Params::doc_nodes_per_document() const {
+  return document_bytes / kDocNodeBytes;
+}
+
+uint32_t Oo7Params::manual_sections_per_module() const {
+  return manual_kbytes * 1024 / kManualSectionBytes;
+}
+
+uint64_t Oo7Params::expected_database_bytes() const {
+  uint64_t per_comp =
+      kCompositeBytes +
+      static_cast<uint64_t>(doc_nodes_per_document()) * kDocNodeBytes +
+      static_cast<uint64_t>(num_atomic_per_comp) *
+          (kAtomicBytes +
+           static_cast<uint64_t>(num_conn_per_atomic) * kConnectionBytes);
+  uint64_t per_module =
+      kModuleBytes +
+      static_cast<uint64_t>(manual_sections_per_module()) *
+          kManualSectionBytes +
+      static_cast<uint64_t>(assemblies_per_module()) * kAssemblyBytes +
+      static_cast<uint64_t>(num_comp_per_module) * per_comp;
+  return per_module * num_modules;
+}
+
+uint64_t Oo7Params::expected_object_count() const {
+  uint64_t per_comp = 1 + doc_nodes_per_document() +
+                      static_cast<uint64_t>(num_atomic_per_comp) *
+                          (1 + num_conn_per_atomic);
+  uint64_t per_module = 1 + manual_sections_per_module() +
+                        assemblies_per_module() +
+                        static_cast<uint64_t>(num_comp_per_module) * per_comp;
+  return per_module * num_modules;
+}
+
+}  // namespace odbgc

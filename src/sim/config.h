@@ -1,0 +1,79 @@
+#ifndef ODBGC_SIM_CONFIG_H_
+#define ODBGC_SIM_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/coupled.h"
+#include "core/estimator.h"
+#include "core/saga.h"
+#include "gc/partition_selector.h"
+#include "storage/object_store.h"
+
+namespace odbgc {
+
+enum class PolicyKind {
+  kFixedRate,
+  kConnectivityHeuristic,
+  kSaio,
+  kSaga,
+  // Section 5 extension: SAIO throttled by SAGA's garbage estimate.
+  kCoupled,
+  // YNY94-style allocation-clock baselines (Section 1's related work).
+  kAllocationRate,
+  kAllocationTriggered,
+};
+
+// Complete description of one simulation configuration. Mirrors the
+// paper's experimental setup: 96 KB partitions, 8 KB pages, a buffer the
+// size of one partition, UpdatedPointer selection, and a 10-collection
+// preamble excluded from all means (Section 3).
+struct SimConfig {
+  StoreConfig store;
+  // Cold-start exclusion (Section 3.2): the measurement window opens
+  // after `preamble_collections` collections — except that for SAGA runs
+  // still ramping toward a high garbage target, it stays closed until
+  // the target is approached or `preamble_max_collections` is reached
+  // ("preamble lengths range from 10 to 30 collections, depending on the
+  // simulation parameters").
+  uint32_t preamble_collections = 10;
+  uint32_t preamble_max_collections = 30;
+  bool record_collection_log = true;
+
+  PolicyKind policy = PolicyKind::kSaga;
+
+  // FixedRate.
+  uint64_t fixed_rate_overwrites = 200;
+
+  // AllocationRate baseline: collect every N allocated bytes.
+  uint64_t allocation_rate_bytes = 96 * 1024;
+
+  // ConnectivityHeuristic (Section 2.1's failed static derivation).
+  double heuristic_connectivity = 4.0;
+  double heuristic_object_bytes = 133.0;
+
+  // SAIO.
+  double saio_frac = 0.10;
+  size_t saio_history = 0;  // c_hist; SaioPolicy::kInfiniteHistory = inf
+  uint64_t saio_bootstrap_app_io = 2000;
+  // Quiescence extension for SAIO (kIdleMark events in the trace).
+  bool saio_opportunism = false;
+  uint64_t saio_min_idle_yield = 4096;
+
+  // SAGA (saga.opportunism enables its quiescence extension).
+  SagaPolicy::Options saga;
+  EstimatorKind estimator = EstimatorKind::kFgsHb;
+  double fgs_history_factor = 0.8;
+
+  // Coupled policy (Section 5 extension); uses `estimator` /
+  // `fgs_history_factor` for its garbage estimate.
+  CoupledIoPolicy::Options coupled;
+
+  // Partition selection.
+  SelectorKind selector = SelectorKind::kUpdatedPointer;
+  uint64_t selector_seed = 1;
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_SIM_CONFIG_H_

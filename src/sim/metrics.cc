@@ -1,0 +1,29 @@
+#include "sim/metrics.h"
+
+namespace odbgc {
+
+std::vector<double> CollectionRateSeries(const SimResult& result) {
+  // Collections per pointer overwrite, between consecutive collections
+  // (the top graph of Figure 7b). The first collection has no previous
+  // point; it reports the rate since time zero.
+  std::vector<double> rates;
+  rates.reserve(result.log.size());
+  uint64_t prev = 0;
+  for (const CollectionRecord& rec : result.log) {
+    uint64_t dt = rec.overwrite_time - prev;
+    rates.push_back(dt == 0 ? 0.0 : 1.0 / static_cast<double>(dt));
+    prev = rec.overwrite_time;
+  }
+  return rates;
+}
+
+std::vector<double> CollectionYieldSeries(const SimResult& result) {
+  std::vector<double> yields;
+  yields.reserve(result.log.size());
+  for (const CollectionRecord& rec : result.log) {
+    yields.push_back(static_cast<double>(rec.bytes_reclaimed));
+  }
+  return yields;
+}
+
+}  // namespace odbgc

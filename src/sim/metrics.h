@@ -1,0 +1,104 @@
+#ifndef ODBGC_SIM_METRICS_H_
+#define ODBGC_SIM_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/clock.h"
+#include "storage/types.h"
+#include "trace/event.h"
+#include "util/stats.h"
+
+namespace odbgc {
+
+// One row of the per-collection time series (the raw material of the
+// paper's Figures 6 and 7).
+struct CollectionRecord {
+  uint64_t index = 0;           // 1-based collection number
+  uint64_t overwrite_time = 0;  // pointer-overwrite clock at collection
+  uint64_t app_io = 0;          // cumulative application I/O
+  uint64_t gc_io_delta = 0;     // this collection's I/O cost
+  PartitionId partition = kInvalidPartition;
+  uint64_t bytes_reclaimed = 0;  // collection yield
+  uint64_t bytes_live = 0;
+  uint64_t db_used_bytes = 0;
+  double actual_garbage_pct = 0.0;     // ground truth, after collection
+  double estimated_garbage_pct = 0.0;  // estimator view (SAGA only)
+  double target_garbage_pct = 0.0;     // requested (SAGA only)
+  uint64_t next_dt = 0;                // scheduled interval (SAGA only)
+  Phase phase = Phase::kNone;
+};
+
+struct PhaseTransition {
+  Phase phase = Phase::kNone;
+  uint64_t at_collection = 0;  // collections completed when phase began
+  uint64_t at_event = 0;
+  uint64_t at_overwrite = 0;
+};
+
+// Per-application-phase breakdown of one run (whole run, no preamble
+// exclusion — phases are about the application's behavior over time).
+struct PhaseStats {
+  Phase phase = Phase::kNone;
+  uint64_t events = 0;
+  uint64_t app_io = 0;
+  uint64_t gc_io = 0;
+  uint64_t pointer_overwrites = 0;
+  uint64_t collections = 0;
+  uint64_t bytes_reclaimed = 0;
+  RunningStats garbage_pct;  // sampled at each event of the phase
+};
+
+// Everything one simulation run produces.
+struct SimResult {
+  SimClock clock;  // final counters
+  uint64_t collections = 0;
+
+  // Post-preamble measurement window (Section 3.2: means exclude the
+  // cold-start preamble). If the run finishes before the preamble's
+  // collection count is ever reached, the window falls back to the whole
+  // run (window_opened stays false to flag it).
+  bool window_opened = false;
+  uint64_t measured_app_io = 0;
+  uint64_t measured_gc_io = 0;
+  double achieved_gc_io_pct = 0.0;  // 100 * gc / (gc + app), in window
+  RunningStats garbage_pct;         // sampled at every event in window
+  uint64_t window_reclaimed_bytes = 0;
+
+  // Whole-run totals.
+  uint64_t total_reclaimed_bytes = 0;
+  uint64_t total_reclaimed_objects = 0;
+  uint64_t final_db_used_bytes = 0;
+  uint64_t final_actual_garbage_bytes = 0;
+  size_t final_partition_count = 0;
+  uint64_t buffer_hits = 0;
+  uint64_t buffer_misses = 0;
+
+  // Simulated elapsed disk time (0 unless StoreConfig::enable_disk_timing).
+  double disk_app_ms = 0.0;
+  double disk_gc_ms = 0.0;
+  uint64_t disk_sequential_transfers = 0;
+  uint64_t disk_random_transfers = 0;
+
+  // SAGA diagnostics.
+  uint64_t dt_min_clamps = 0;
+  uint64_t dt_max_clamps = 0;
+
+  // Quiescence extension: collections run during kIdleMark periods
+  // (beyond the user-stated limits) and their I/O cost.
+  uint64_t idle_collections = 0;
+  uint64_t idle_gc_io = 0;
+
+  std::vector<CollectionRecord> log;
+  std::vector<PhaseTransition> phases;
+  // One entry per kPhaseMark in trace order (phases may repeat).
+  std::vector<PhaseStats> phase_stats;
+};
+
+// Derived per-collection series (Figure 7b's graphs).
+std::vector<double> CollectionRateSeries(const SimResult& result);
+std::vector<double> CollectionYieldSeries(const SimResult& result);
+
+}  // namespace odbgc
+
+#endif  // ODBGC_SIM_METRICS_H_

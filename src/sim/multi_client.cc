@@ -1,0 +1,122 @@
+#include "sim/multi_client.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace odbgc {
+
+namespace {
+
+// Which fields of an event hold object ids (by kind).
+void RemapEvent(TraceEvent* e, uint32_t offset) {
+  auto shift = [offset](uint32_t id) {
+    return id == 0 ? 0u : id + offset;
+  };
+  switch (e->kind) {
+    case EventKind::kCreate:
+      e->a = shift(e->a);
+      e->d = shift(e->d);  // clustering hint
+      break;
+    case EventKind::kRead:
+    case EventKind::kUpdate:
+    case EventKind::kAddRoot:
+    case EventKind::kRemoveRoot:
+      e->a = shift(e->a);
+      break;
+    case EventKind::kWriteRef:
+      e->a = shift(e->a);
+      e->c = shift(e->c);  // target (0 stays null)
+      break;
+    case EventKind::kGarbageMark:
+    case EventKind::kPhaseMark:
+    case EventKind::kIdleMark:
+      break;
+  }
+}
+
+}  // namespace
+
+uint32_t MaxObjectId(const Trace& trace) {
+  uint32_t max_id = 0;
+  for (const TraceEvent& e : trace.events()) {
+    switch (e.kind) {
+      case EventKind::kCreate:
+        max_id = std::max({max_id, e.a, e.d});
+        break;
+      case EventKind::kRead:
+      case EventKind::kUpdate:
+      case EventKind::kAddRoot:
+      case EventKind::kRemoveRoot:
+        max_id = std::max(max_id, e.a);
+        break;
+      case EventKind::kWriteRef:
+        max_id = std::max({max_id, e.a, e.c});
+        break;
+      default:
+        break;
+    }
+  }
+  return max_id;
+}
+
+Trace RemapObjectIds(const Trace& trace, uint32_t offset) {
+  Trace out;
+  out.Reserve(trace.size());
+  for (TraceEvent e : trace.events()) {
+    RemapEvent(&e, offset);
+    out.Append(e);
+  }
+  return out;
+}
+
+Trace InterleaveClients(const std::vector<Trace>& clients, uint32_t chunk) {
+  ODBGC_CHECK(chunk > 0);
+  // Remap each client into a disjoint id range.
+  std::vector<Trace> remapped;
+  uint32_t offset = 0;
+  for (const Trace& client : clients) {
+    remapped.push_back(RemapObjectIds(client, offset));
+    offset += MaxObjectId(client) + 1;
+  }
+
+  Trace out;
+  size_t total = 0;
+  for (const Trace& t : remapped) total += t.size();
+  out.Reserve(total);
+
+  // A client may only be preempted at a safe point: not while its most
+  // recent allocation is still unlinked. The store's newest-allocation
+  // pin protects exactly one in-flight object, and a client switch
+  // would displace it; multi-event operations protect themselves with
+  // explicit workspace roots (AddRoot/RemoveRoot), so the create->link
+  // window is the only fragile one.
+  std::vector<size_t> cursor(remapped.size(), 0);
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (size_t c = 0; c < remapped.size(); ++c) {
+      size_t& pos = cursor[c];
+      const Trace& t = remapped[c];
+      uint32_t pending_unlinked = 0;
+      for (uint32_t k = 0; pos < t.size(); ++k, ++pos) {
+        if (k >= chunk && pending_unlinked == 0) break;
+        const TraceEvent& e = t[pos];
+        out.Append(e);
+        progressed = true;
+        if (e.kind == EventKind::kCreate) {
+          pending_unlinked = e.a;
+        } else if (pending_unlinked != 0 &&
+                   ((e.kind == EventKind::kWriteRef &&
+                     e.c == pending_unlinked) ||
+                    (e.kind == EventKind::kAddRoot &&
+                     e.a == pending_unlinked))) {
+          pending_unlinked = 0;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace odbgc

@@ -1,0 +1,37 @@
+#ifndef ODBGC_SIM_MULTI_CLIENT_H_
+#define ODBGC_SIM_MULTI_CLIENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace odbgc {
+
+// Multi-client composition: several applications manipulating the same
+// database. The paper's Section 1 motivates semi-automatic control
+// precisely because a rate hand-tuned from one application's profile
+// "may be in conflict with other applications manipulating the same
+// database"; these helpers build that situation from per-client traces.
+
+// Rewrites every object id in `trace` by adding `offset`, so traces
+// generated independently (each numbering its objects from 1) can share
+// one store without collisions. Clustering hints are remapped too;
+// annotation events are untouched.
+Trace RemapObjectIds(const Trace& trace, uint32_t offset);
+
+// The largest object id referenced by the trace (0 if none).
+uint32_t MaxObjectId(const Trace& trace);
+
+// Interleaves the clients' traces into one stream against a shared
+// database, remapping ids so the clients are disjoint. Events are drawn
+// client by client in chunks of `chunk` events, round-robin, preserving
+// each client's internal order (a simple model of time-sliced clients;
+// the paper's setup serializes access — the database is locked during
+// collection — so no finer concurrency model is needed). Exhausted
+// clients drop out; the result carries every event of every client.
+Trace InterleaveClients(const std::vector<Trace>& clients, uint32_t chunk);
+
+}  // namespace odbgc
+
+#endif  // ODBGC_SIM_MULTI_CLIENT_H_

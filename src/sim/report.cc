@@ -1,0 +1,166 @@
+#include "sim/report.h"
+
+#include <cstdio>
+
+#include "util/json.h"
+
+namespace odbgc {
+
+namespace {
+
+void WriteStats(JsonWriter& w, const RunningStats& s) {
+  w.BeginObject();
+  w.Key("count");
+  w.Value(static_cast<uint64_t>(s.count()));
+  w.Key("mean");
+  w.Value(s.mean());
+  w.Key("min");
+  w.Value(s.min());
+  w.Key("max");
+  w.Value(s.max());
+  w.Key("stddev");
+  w.Value(s.stddev());
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string SimResultToJson(const SimResult& result,
+                            bool include_collection_log) {
+  JsonWriter w;
+  w.BeginObject();
+
+  w.Key("events");
+  w.Value(result.clock.events);
+  w.Key("pointer_overwrites");
+  w.Value(result.clock.pointer_overwrites);
+  w.Key("app_io");
+  w.Value(result.clock.app_io);
+  w.Key("gc_io");
+  w.Value(result.clock.gc_io);
+  w.Key("collections");
+  w.Value(result.collections);
+  w.Key("idle_collections");
+  w.Value(result.idle_collections);
+  w.Key("idle_gc_io");
+  w.Value(result.idle_gc_io);
+
+  w.Key("window_opened");
+  w.Value(result.window_opened);
+  w.Key("measured_app_io");
+  w.Value(result.measured_app_io);
+  w.Key("measured_gc_io");
+  w.Value(result.measured_gc_io);
+  w.Key("achieved_gc_io_pct");
+  w.Value(result.achieved_gc_io_pct);
+  w.Key("garbage_pct");
+  WriteStats(w, result.garbage_pct);
+
+  w.Key("total_reclaimed_bytes");
+  w.Value(result.total_reclaimed_bytes);
+  w.Key("total_reclaimed_objects");
+  w.Value(result.total_reclaimed_objects);
+  w.Key("final_db_used_bytes");
+  w.Value(result.final_db_used_bytes);
+  w.Key("final_actual_garbage_bytes");
+  w.Value(result.final_actual_garbage_bytes);
+  w.Key("final_partition_count");
+  w.Value(static_cast<uint64_t>(result.final_partition_count));
+  w.Key("buffer_hits");
+  w.Value(result.buffer_hits);
+  w.Key("buffer_misses");
+  w.Value(result.buffer_misses);
+  w.Key("dt_min_clamps");
+  w.Value(result.dt_min_clamps);
+  w.Key("dt_max_clamps");
+  w.Value(result.dt_max_clamps);
+
+  if (result.disk_app_ms > 0.0 || result.disk_gc_ms > 0.0) {
+    w.Key("disk");
+    w.BeginObject();
+    w.Key("app_ms");
+    w.Value(result.disk_app_ms);
+    w.Key("gc_ms");
+    w.Value(result.disk_gc_ms);
+    w.Key("sequential_transfers");
+    w.Value(result.disk_sequential_transfers);
+    w.Key("random_transfers");
+    w.Value(result.disk_random_transfers);
+    w.EndObject();
+  }
+
+  w.Key("phases");
+  w.BeginArray();
+  for (const PhaseStats& p : result.phase_stats) {
+    w.BeginObject();
+    w.Key("phase");
+    w.Value(PhaseName(p.phase));
+    w.Key("events");
+    w.Value(p.events);
+    w.Key("app_io");
+    w.Value(p.app_io);
+    w.Key("gc_io");
+    w.Value(p.gc_io);
+    w.Key("pointer_overwrites");
+    w.Value(p.pointer_overwrites);
+    w.Key("collections");
+    w.Value(p.collections);
+    w.Key("bytes_reclaimed");
+    w.Value(p.bytes_reclaimed);
+    w.Key("garbage_pct");
+    WriteStats(w, p.garbage_pct);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  if (include_collection_log) {
+    w.Key("collection_log");
+    w.BeginArray();
+    for (const CollectionRecord& r : result.log) {
+      w.BeginObject();
+      w.Key("index");
+      w.Value(r.index);
+      w.Key("phase");
+      w.Value(PhaseName(r.phase));
+      w.Key("overwrite_time");
+      w.Value(r.overwrite_time);
+      w.Key("app_io");
+      w.Value(r.app_io);
+      w.Key("gc_io_delta");
+      w.Value(r.gc_io_delta);
+      w.Key("partition");
+      w.Value(static_cast<uint64_t>(r.partition));
+      w.Key("bytes_reclaimed");
+      w.Value(r.bytes_reclaimed);
+      w.Key("bytes_live");
+      w.Value(r.bytes_live);
+      w.Key("db_used_bytes");
+      w.Value(r.db_used_bytes);
+      w.Key("actual_garbage_pct");
+      w.Value(r.actual_garbage_pct);
+      w.Key("estimated_garbage_pct");
+      w.Value(r.estimated_garbage_pct);
+      w.Key("target_garbage_pct");
+      w.Value(r.target_garbage_pct);
+      w.Key("next_dt");
+      w.Value(r.next_dt);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+
+  w.EndObject();
+  return w.TakeString();
+}
+
+bool WriteResultJson(const SimResult& result, const std::string& path,
+                     bool include_collection_log) {
+  std::string json = SimResultToJson(result, include_collection_log);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
+}
+
+}  // namespace odbgc

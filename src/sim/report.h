@@ -1,0 +1,23 @@
+#ifndef ODBGC_SIM_REPORT_H_
+#define ODBGC_SIM_REPORT_H_
+
+#include <string>
+
+#include "sim/metrics.h"
+
+namespace odbgc {
+
+// Serializes a simulation result to JSON for downstream tooling
+// (plotting the paper's figures, regression dashboards, ...). Includes
+// the headline aggregates, per-phase stats, and — when
+// `include_collection_log` — the full per-collection time series.
+std::string SimResultToJson(const SimResult& result,
+                            bool include_collection_log = true);
+
+// Writes SimResultToJson(result) to `path`; false on I/O failure.
+bool WriteResultJson(const SimResult& result, const std::string& path,
+                     bool include_collection_log = true);
+
+}  // namespace odbgc
+
+#endif  // ODBGC_SIM_REPORT_H_

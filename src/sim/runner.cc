@@ -1,0 +1,39 @@
+#include "sim/runner.h"
+
+#include "oo7/generator.h"
+#include "sim/simulation.h"
+
+namespace odbgc {
+
+SimResult RunOo7Once(const SimConfig& config, const Oo7Params& params,
+                     uint64_t seed) {
+  Oo7Generator generator(params, seed);
+  Trace trace = generator.GenerateFullApplication();
+  SimConfig cfg = config;
+  cfg.selector_seed = seed * 7919 + 17;  // decorrelate from the generator
+  return RunSimulation(cfg, trace);
+}
+
+AggregateResult RunOo7Many(const SimConfig& config, const Oo7Params& params,
+                           uint64_t base_seed, int num_runs) {
+  AggregateResult agg;
+  std::vector<double> io_pct;
+  std::vector<double> garb_pct;
+  std::vector<double> colls;
+  std::vector<double> total_io;
+  for (int i = 0; i < num_runs; ++i) {
+    SimResult r = RunOo7Once(config, params, base_seed + i);
+    io_pct.push_back(r.achieved_gc_io_pct);
+    garb_pct.push_back(r.garbage_pct.mean());
+    colls.push_back(static_cast<double>(r.collections));
+    total_io.push_back(static_cast<double>(r.clock.total_io()));
+    agg.runs.push_back(std::move(r));
+  }
+  agg.achieved_io_pct = Summarize(io_pct);
+  agg.mean_garbage_pct = Summarize(garb_pct);
+  agg.collections = Summarize(colls);
+  agg.total_io = Summarize(total_io);
+  return agg;
+}
+
+}  // namespace odbgc

@@ -1,0 +1,37 @@
+#ifndef ODBGC_SIM_RUNNER_H_
+#define ODBGC_SIM_RUNNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "oo7/params.h"
+#include "sim/config.h"
+#include "sim/metrics.h"
+#include "util/stats.h"
+
+namespace odbgc {
+
+// Aggregate of several runs differing only in their random seed —
+// the paper's "mean of 10 runs" with min/max error bars.
+struct AggregateResult {
+  std::vector<SimResult> runs;
+  // Per-run achieved GC-I/O percentage (post-preamble).
+  MinMeanMax achieved_io_pct;
+  // Per-run mean garbage percentage (event-sampled, post-preamble).
+  MinMeanMax mean_garbage_pct;
+  MinMeanMax collections;
+  MinMeanMax total_io;
+};
+
+// Generates the full four-phase OO7 application trace for (params, seed)
+// and runs it under `config`.
+SimResult RunOo7Once(const SimConfig& config, const Oo7Params& params,
+                     uint64_t seed);
+
+// Runs `num_runs` seeds (base_seed, base_seed+1, ...) and aggregates.
+AggregateResult RunOo7Many(const SimConfig& config, const Oo7Params& params,
+                           uint64_t base_seed, int num_runs);
+
+}  // namespace odbgc
+
+#endif  // ODBGC_SIM_RUNNER_H_

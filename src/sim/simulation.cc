@@ -1,0 +1,354 @@
+#include "sim/simulation.h"
+
+#include "core/alloc_triggered.h"
+#include "core/coupled.h"
+#include "core/fixed_rate.h"
+#include "core/saio.h"
+#include "core/saga.h"
+#include "util/check.h"
+
+namespace odbgc {
+
+std::unique_ptr<RatePolicy> MakePolicy(const SimConfig& config,
+                                       GarbageEstimator** estimator_hook) {
+  *estimator_hook = nullptr;
+  switch (config.policy) {
+    case PolicyKind::kFixedRate:
+      return std::make_unique<FixedRatePolicy>(config.fixed_rate_overwrites);
+    case PolicyKind::kConnectivityHeuristic:
+      return std::make_unique<ConnectivityHeuristicPolicy>(
+          config.heuristic_connectivity, config.heuristic_object_bytes,
+          config.store.partition_bytes);
+    case PolicyKind::kSaio: {
+      auto policy = std::make_unique<SaioPolicy>(
+          config.saio_frac, config.saio_history,
+          config.saio_bootstrap_app_io);
+      policy->set_opportunism(config.saio_opportunism,
+                              config.saio_min_idle_yield);
+      return policy;
+    }
+    case PolicyKind::kSaga: {
+      auto estimator =
+          MakeEstimator(config.estimator, config.fgs_history_factor);
+      *estimator_hook = estimator.get();
+      return std::make_unique<SagaPolicy>(config.saga, std::move(estimator));
+    }
+    case PolicyKind::kCoupled: {
+      auto estimator =
+          MakeEstimator(config.estimator, config.fgs_history_factor);
+      *estimator_hook = estimator.get();
+      return std::make_unique<CoupledIoPolicy>(config.coupled,
+                                               std::move(estimator));
+    }
+    case PolicyKind::kAllocationRate:
+      return std::make_unique<AllocationRatePolicy>(
+          config.allocation_rate_bytes);
+    case PolicyKind::kAllocationTriggered:
+      return std::make_unique<AllocationTriggeredPolicy>();
+  }
+  ODBGC_CHECK_MSG(false, "unknown policy kind");
+  return nullptr;
+}
+
+Simulation::Simulation(const SimConfig& config,
+                       std::unique_ptr<RatePolicy> policy,
+                       std::unique_ptr<PartitionSelector> selector,
+                       GarbageEstimator* estimator)
+    : config_(config),
+      store_(std::make_unique<ObjectStore>(config.store)),
+      policy_(std::move(policy)),
+      selector_(std::move(selector)),
+      estimator_(estimator) {
+  ODBGC_CHECK(policy_ != nullptr && selector_ != nullptr);
+}
+
+namespace {
+
+std::unique_ptr<RatePolicy> BuildPolicy(const SimConfig& config,
+                                        GarbageEstimator** hook) {
+  return MakePolicy(config, hook);
+}
+
+}  // namespace
+
+Simulation::Simulation(const SimConfig& config)
+    : config_(config), store_(std::make_unique<ObjectStore>(config.store)) {
+  policy_ = BuildPolicy(config_, &estimator_);
+  selector_ = MakeSelector(config_.selector, config_.selector_seed);
+}
+
+void Simulation::UpdateClock() {
+  const IoStats& io = store_->io_stats();
+  clock_.app_io = io.app_total();
+  clock_.gc_io = io.gc_total();
+  clock_.pointer_overwrites = store_->pointer_overwrites();
+  clock_.db_used_bytes = store_->used_bytes();
+  clock_.bytes_allocated = store_->allocated_bytes_total();
+  clock_.partitions = store_->partition_count();
+}
+
+void Simulation::SampleGarbage() {
+  uint64_t used = store_->used_bytes();
+  if (used == 0) return;
+  double pct = 100.0 * static_cast<double>(store_->actual_garbage_bytes()) /
+               static_cast<double>(used);
+  whole_run_garbage_pct_.Add(pct);
+  if (result_.window_opened) result_.garbage_pct.Add(pct);
+  if (phase_open_) phase_accum_.garbage_pct.Add(pct);
+}
+
+void Simulation::OpenPhaseSegment(Phase phase) {
+  phase_open_ = true;
+  phase_accum_ = PhaseStats{};
+  phase_accum_.phase = phase;
+  phase_base_clock_ = clock_;
+  phase_base_collections_ = result_.collections;
+  phase_base_reclaimed_ = result_.total_reclaimed_bytes;
+}
+
+void Simulation::ClosePhaseSegment() {
+  if (!phase_open_) return;
+  phase_accum_.events = clock_.events - phase_base_clock_.events;
+  phase_accum_.app_io = clock_.app_io - phase_base_clock_.app_io;
+  phase_accum_.gc_io = clock_.gc_io - phase_base_clock_.gc_io;
+  phase_accum_.pointer_overwrites =
+      clock_.pointer_overwrites - phase_base_clock_.pointer_overwrites;
+  phase_accum_.collections = result_.collections - phase_base_collections_;
+  phase_accum_.bytes_reclaimed =
+      result_.total_reclaimed_bytes - phase_base_reclaimed_;
+  result_.phase_stats.push_back(phase_accum_);
+  phase_open_ = false;
+}
+
+void Simulation::OpenWindowIfReady() {
+  if (result_.window_opened) return;
+  if (result_.collections < config_.preamble_collections) return;
+  // A SAGA run aiming at a garbage level well above the cold-start state
+  // spends its first collections ramping up; keep that ramp in the
+  // preamble (up to the 30-collection bound the paper reports).
+  if (config_.policy == PolicyKind::kSaga &&
+      result_.collections < config_.preamble_max_collections) {
+    double target_pct = 100.0 * config_.saga.garbage_frac;
+    uint64_t used = store_->used_bytes();
+    double actual_pct =
+        used == 0 ? 0.0
+                  : 100.0 *
+                        static_cast<double>(store_->actual_garbage_bytes()) /
+                        static_cast<double>(used);
+    if (actual_pct < 0.9 * target_pct) return;
+  }
+  result_.window_opened = true;
+  window_app_io_base_ = clock_.app_io;
+  window_gc_io_base_ = clock_.gc_io;
+  window_reclaimed_base_ = result_.total_reclaimed_bytes;
+}
+
+void Simulation::MaybeCollect() {
+  if (store_->partition_count() == 0) return;
+  if (!policy_->ShouldCollect(clock_)) return;
+
+  PartitionId pid = selector_->Select(*store_);
+  uint64_t overwrites_at_selection = store_->partition(pid).overwrites();
+  CollectionReport report = collector_.Collect(*store_, pid);
+
+  EstimatorCollectionInfo info;
+  info.partition = pid;
+  info.bytes_reclaimed = report.bytes_reclaimed;
+  info.partition_overwrites = overwrites_at_selection;
+  info.partition_count = store_->partition_count();
+  info.ground_truth_garbage_bytes = store_->actual_garbage_bytes();
+  if (estimator_ != nullptr) estimator_->OnCollection(info);
+  for (GarbageEstimator* passive : passive_estimators_) {
+    passive->OnCollection(info);
+  }
+
+  UpdateClock();
+  ++clock_.collections;
+  ++result_.collections;
+  result_.total_reclaimed_bytes += report.bytes_reclaimed;
+  result_.total_reclaimed_objects += report.objects_reclaimed;
+
+  policy_->OnCollection(
+      CollectionOutcome{report.gc_io(), report.bytes_reclaimed}, clock_);
+
+  if (config_.record_collection_log) {
+    CollectionRecord rec;
+    rec.index = result_.collections;
+    rec.overwrite_time = clock_.pointer_overwrites;
+    rec.app_io = clock_.app_io;
+    rec.gc_io_delta = report.gc_io();
+    rec.partition = pid;
+    rec.bytes_reclaimed = report.bytes_reclaimed;
+    rec.bytes_live = report.bytes_live;
+    rec.db_used_bytes = store_->used_bytes();
+    uint64_t used = store_->used_bytes();
+    if (used > 0) {
+      rec.actual_garbage_pct =
+          100.0 * static_cast<double>(store_->actual_garbage_bytes()) /
+          static_cast<double>(used);
+      if (estimator_ != nullptr) {
+        rec.estimated_garbage_pct = 100.0 * estimator_->Estimate() /
+                                    static_cast<double>(used);
+      }
+    }
+    if (auto* saga = dynamic_cast<SagaPolicy*>(policy_.get())) {
+      rec.target_garbage_pct = 100.0 * saga->options().garbage_frac;
+      rec.next_dt = saga->last_dt();
+    }
+    rec.phase = current_phase_;
+    result_.log.push_back(rec);
+  }
+
+  OpenWindowIfReady();
+}
+
+void Simulation::Apply(const TraceEvent& event) {
+  switch (event.kind) {
+    case EventKind::kCreate:
+      store_->CreateObject(event.a, event.b, event.c, event.d);
+      break;
+    case EventKind::kRead:
+      store_->ReadObject(event.a);
+      break;
+    case EventKind::kWriteRef: {
+      PartitionId overwritten = store_->WriteRef(event.a, event.b, event.c);
+      if (overwritten != kInvalidPartition) {
+        if (estimator_ != nullptr) {
+          estimator_->OnPointerOverwrite(overwritten);
+        }
+        for (GarbageEstimator* passive : passive_estimators_) {
+          passive->OnPointerOverwrite(overwritten);
+        }
+      }
+      break;
+    }
+    case EventKind::kAddRoot:
+      store_->AddRoot(event.a);
+      break;
+    case EventKind::kRemoveRoot:
+      store_->RemoveRoot(event.a);
+      break;
+    case EventKind::kGarbageMark:
+      store_->RecordGarbageCreated(event.a, event.b);
+      break;
+    case EventKind::kPhaseMark:
+      UpdateClock();
+      ClosePhaseSegment();
+      current_phase_ = static_cast<Phase>(event.a);
+      result_.phases.push_back(PhaseTransition{current_phase_,
+                                               result_.collections,
+                                               clock_.events,
+                                               clock_.pointer_overwrites});
+      OpenPhaseSegment(current_phase_);
+      break;
+    case EventKind::kIdleMark:
+      RunIdlePeriod(event.a);
+      break;
+    case EventKind::kUpdate:
+      store_->UpdateObject(event.a);
+      break;
+  }
+  ++clock_.events;
+  UpdateClock();
+  // The paper samples the garbage percentage at every database event
+  // (Section 4.1); annotation events are not database events.
+  if (event.kind == EventKind::kCreate || event.kind == EventKind::kRead ||
+      event.kind == EventKind::kWriteRef ||
+      event.kind == EventKind::kUpdate) {
+    SampleGarbage();
+  }
+  MaybeCollect();
+}
+
+SimResult Simulation::Finish() {
+  UpdateClock();
+  ClosePhaseSegment();
+  result_.clock = clock_;
+  if (!result_.window_opened) {
+    // The run ended before the preamble's collection count was reached
+    // (e.g. a policy with a very coarse rate): fall back to whole-run
+    // measurements rather than reporting nothing.
+    window_app_io_base_ = 0;
+    window_gc_io_base_ = 0;
+    window_reclaimed_base_ = 0;
+    result_.garbage_pct = whole_run_garbage_pct_;
+  }
+  result_.measured_app_io = clock_.app_io - window_app_io_base_;
+  result_.measured_gc_io = clock_.gc_io - window_gc_io_base_;
+  uint64_t total = result_.measured_app_io + result_.measured_gc_io;
+  if (total > 0) {
+    result_.achieved_gc_io_pct =
+        100.0 * static_cast<double>(result_.measured_gc_io) /
+        static_cast<double>(total);
+  }
+  result_.window_reclaimed_bytes =
+      result_.total_reclaimed_bytes - window_reclaimed_base_;
+  result_.final_db_used_bytes = store_->used_bytes();
+  result_.final_actual_garbage_bytes = store_->actual_garbage_bytes();
+  result_.final_partition_count = store_->partition_count();
+  result_.buffer_hits = store_->buffer_pool().hits();
+  result_.buffer_misses = store_->buffer_pool().misses();
+  if (const DiskModel* disk = store_->disk_model()) {
+    result_.disk_app_ms = disk->app_ms();
+    result_.disk_gc_ms = disk->gc_ms();
+    result_.disk_sequential_transfers = disk->sequential_transfers();
+    result_.disk_random_transfers = disk->random_transfers();
+  }
+  if (auto* saga = dynamic_cast<SagaPolicy*>(policy_.get())) {
+    result_.dt_min_clamps = saga->dt_min_clamps();
+    result_.dt_max_clamps = saga->dt_max_clamps();
+  }
+  return result_;
+}
+
+void Simulation::RunIdlePeriod(uint32_t max_collections) {
+  // Quiescence (Section 5 extension): the workload has paused; offer the
+  // policy up to max_collections free collections. They are accounted
+  // separately and do not feed the policy's active-workload scheduling.
+  if (store_->partition_count() == 0) return;
+  for (uint32_t i = 0; i < max_collections; ++i) {
+    UpdateClock();
+    if (!policy_->ShouldCollectWhenIdle(clock_)) break;
+    PartitionId pid = selector_->Select(*store_);
+    uint64_t overwrites_at_selection = store_->partition(pid).overwrites();
+    CollectionReport report = collector_.Collect(*store_, pid);
+
+    EstimatorCollectionInfo info;
+    info.partition = pid;
+    info.bytes_reclaimed = report.bytes_reclaimed;
+    info.partition_overwrites = overwrites_at_selection;
+    info.partition_count = store_->partition_count();
+    info.ground_truth_garbage_bytes = store_->actual_garbage_bytes();
+    if (estimator_ != nullptr) estimator_->OnCollection(info);
+    for (GarbageEstimator* passive : passive_estimators_) {
+      passive->OnCollection(info);
+    }
+
+    UpdateClock();
+    ++result_.idle_collections;
+    result_.idle_gc_io += report.gc_io();
+    result_.total_reclaimed_bytes += report.bytes_reclaimed;
+    result_.total_reclaimed_objects += report.objects_reclaimed;
+    policy_->OnIdleCollection(
+        CollectionOutcome{report.gc_io(), report.bytes_reclaimed}, clock_);
+  }
+}
+
+void Simulation::AddPassiveEstimator(GarbageEstimator* estimator) {
+  ODBGC_CHECK(estimator != nullptr);
+  passive_estimators_.push_back(estimator);
+}
+
+SimResult Simulation::Run(const Trace& trace) {
+  for (const TraceEvent& e : trace.events()) {
+    Apply(e);
+  }
+  return Finish();
+}
+
+SimResult RunSimulation(const SimConfig& config, const Trace& trace) {
+  Simulation sim(config);
+  return sim.Run(trace);
+}
+
+}  // namespace odbgc

@@ -1,0 +1,102 @@
+#ifndef ODBGC_SIM_SIMULATION_H_
+#define ODBGC_SIM_SIMULATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/rate_policy.h"
+#include "gc/collector.h"
+#include "gc/partition_selector.h"
+#include "sim/config.h"
+#include "sim/metrics.h"
+#include "storage/object_store.h"
+#include "trace/trace.h"
+
+namespace odbgc {
+
+// Builds the rate policy described by `config`. If the policy is SAGA,
+// `estimator_hook` receives a non-owning pointer to its estimator (the
+// simulation feeds it overwrite and collection events); otherwise it is
+// set to nullptr.
+std::unique_ptr<RatePolicy> MakePolicy(const SimConfig& config,
+                                       GarbageEstimator** estimator_hook);
+
+// Wires a trace through the object store, the collector, a partition
+// selector and a collection-rate policy, gathering the measurements the
+// paper reports. One Simulation processes one trace.
+class Simulation {
+ public:
+  // Constructs with explicit components (the estimator, if any, must be
+  // the one owned by the policy).
+  Simulation(const SimConfig& config, std::unique_ptr<RatePolicy> policy,
+             std::unique_ptr<PartitionSelector> selector,
+             GarbageEstimator* estimator);
+
+  // Convenience: builds policy + selector from the config.
+  explicit Simulation(const SimConfig& config);
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  // Processes the whole trace and returns the measurements.
+  SimResult Run(const Trace& trace);
+
+  // Incremental interface (used by tests and custom drivers).
+  void Apply(const TraceEvent& event);
+  SimResult Finish();
+
+  // Registers a passive estimator: it receives exactly the overwrite and
+  // collection feeds the policy's estimator would, but is never consulted
+  // by the policy. Used by ablations to measure what a different
+  // estimator *would have* estimated under identical behavior. Not owned;
+  // must outlive the simulation.
+  void AddPassiveEstimator(GarbageEstimator* estimator);
+
+  ObjectStore& store() { return *store_; }
+  const ObjectStore& store() const { return *store_; }
+  RatePolicy& policy() { return *policy_; }
+  uint64_t collections() const { return result_.collections; }
+
+ private:
+  void UpdateClock();
+  void SampleGarbage();
+  void MaybeCollect();
+  void RunIdlePeriod(uint32_t max_collections);
+  void OpenWindowIfReady();
+  void ClosePhaseSegment();
+  void OpenPhaseSegment(Phase phase);
+
+  SimConfig config_;
+  std::unique_ptr<ObjectStore> store_;
+  std::unique_ptr<RatePolicy> policy_;
+  std::unique_ptr<PartitionSelector> selector_;
+
+  // Per-phase accounting (between consecutive kPhaseMark events).
+  bool phase_open_ = false;
+  PhaseStats phase_accum_;
+  SimClock phase_base_clock_;
+  uint64_t phase_base_collections_ = 0;
+  uint64_t phase_base_reclaimed_ = 0;
+  GarbageEstimator* estimator_;  // owned by policy_ (SAGA) or null
+  std::vector<GarbageEstimator*> passive_estimators_;  // not owned
+  Collector collector_;
+
+  SimClock clock_;
+  SimResult result_;
+  Phase current_phase_ = Phase::kNone;
+
+  // Post-preamble window baselines.
+  uint64_t window_app_io_base_ = 0;
+  uint64_t window_gc_io_base_ = 0;
+  uint64_t window_reclaimed_base_ = 0;
+  // Whole-run garbage sampling, used as the fallback when a run ends
+  // before the preamble completes.
+  RunningStats whole_run_garbage_pct_;
+};
+
+// One-call helper: run `trace` under `config`.
+SimResult RunSimulation(const SimConfig& config, const Trace& trace);
+
+}  // namespace odbgc
+
+#endif  // ODBGC_SIM_SIMULATION_H_

@@ -1,0 +1,109 @@
+#include "sim/trace_analysis.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "storage/object_store.h"
+#include "util/check.h"
+
+namespace odbgc {
+
+AssumptionReport AnalyzeAssumptions(const Trace& trace,
+                                    uint64_t window_overwrites) {
+  ODBGC_CHECK(window_overwrites > 0);
+  StoreConfig cfg;
+  cfg.partition_bytes = 1024 * 1024;  // geometry is irrelevant here
+  cfg.page_bytes = 8 * 1024;
+  cfg.buffer_pages = 4;
+  cfg.pin_newest_allocation = false;
+  ObjectStore store(cfg);
+
+  AssumptionReport report;
+  report.window_overwrites = window_overwrites;
+
+  std::vector<double> window_garbage;  // bytes per window
+  uint64_t window_start_ow = 0;
+  uint64_t window_garbage_bytes = 0;
+  uint64_t garbage_making_overwrites = 0;
+  uint64_t last_overwrites = 0;
+
+  auto maybe_close_windows = [&]() {
+    while (store.pointer_overwrites() >=
+           window_start_ow + window_overwrites) {
+      window_garbage.push_back(static_cast<double>(window_garbage_bytes));
+      report.window_gpo.Add(static_cast<double>(window_garbage_bytes) /
+                            static_cast<double>(window_overwrites));
+      window_garbage_bytes = 0;
+      window_start_ow += window_overwrites;
+    }
+  };
+
+  for (const TraceEvent& e : trace.events()) {
+    switch (e.kind) {
+      case EventKind::kCreate:
+        store.CreateObject(e.a, e.b, e.c, e.d);
+        break;
+      case EventKind::kRead:
+        store.ReadObject(e.a);
+        break;
+      case EventKind::kUpdate:
+        store.UpdateObject(e.a);
+        break;
+      case EventKind::kWriteRef:
+        store.WriteRef(e.a, e.b, e.c);
+        maybe_close_windows();
+        break;
+      case EventKind::kAddRoot:
+        store.AddRoot(e.a);
+        break;
+      case EventKind::kRemoveRoot:
+        store.RemoveRoot(e.a);
+        break;
+      case EventKind::kGarbageMark:
+        report.garbage_bytes += e.a;
+        report.garbage_objects += e.b;
+        window_garbage_bytes += e.a;
+        // Attribute this garbage to the overwrite(s) since the last
+        // marker: at least one of them was garbage-making.
+        if (store.pointer_overwrites() > last_overwrites) {
+          ++garbage_making_overwrites;
+          last_overwrites = store.pointer_overwrites();
+        }
+        break;
+      case EventKind::kPhaseMark:
+      case EventKind::kIdleMark:
+        break;
+    }
+    ++report.events;
+  }
+
+  report.pointer_overwrites = store.pointer_overwrites();
+  if (report.pointer_overwrites > 0) {
+    report.garbage_per_overwrite =
+        static_cast<double>(report.garbage_bytes) /
+        static_cast<double>(report.pointer_overwrites);
+    // Rough benign share: overwrites minus those adjacent to a marker.
+    // Each deletion performs several overwrites per marker, so this is
+    // an upper bound on the benign share; it still separates
+    // construction-heavy traces from deletion-heavy ones.
+    double garbage_making = static_cast<double>(garbage_making_overwrites);
+    report.benign_overwrite_fraction =
+        1.0 - garbage_making / static_cast<double>(
+                                   report.pointer_overwrites);
+  }
+
+  // Burstiness: garbage share of the top-decile windows.
+  if (!window_garbage.empty() && report.garbage_bytes > 0) {
+    std::vector<double> sorted = window_garbage;
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    size_t top = std::max<size_t>(1, sorted.size() / 10);
+    double top_sum = 0;
+    for (size_t i = 0; i < top; ++i) top_sum += sorted[i];
+    double total = 0;
+    for (double g : window_garbage) total += g;
+    if (total > 0) report.burstiness = top_sum / total;
+  }
+  return report;
+}
+
+}  // namespace odbgc

@@ -1,0 +1,50 @@
+#ifndef ODBGC_SIM_TRACE_ANALYSIS_H_
+#define ODBGC_SIM_TRACE_ANALYSIS_H_
+
+#include <cstdint>
+
+#include "trace/trace.h"
+#include "util/stats.h"
+
+namespace odbgc {
+
+// Static analysis of an application trace against the policies'
+// assumptions — the paper's first future-work item asks whether real
+// applications violate them (Section 5). The analyzer replays the trace
+// against a shadow store (no collector) and profiles how garbage
+// creation relates to the pointer-overwrite clock.
+struct AssumptionReport {
+  uint64_t events = 0;
+  uint64_t pointer_overwrites = 0;
+  uint64_t garbage_bytes = 0;
+  uint64_t garbage_objects = 0;
+
+  // Overall bytes of garbage per pointer overwrite — what FGS-style
+  // estimators must learn, and what Section 2.1's static derivation
+  // gets wrong.
+  double garbage_per_overwrite = 0.0;
+
+  // Garbage-creation rate over fixed windows of `window_overwrites`
+  // pointer overwrites. A small spread means SAGA's smoothed-slope
+  // assumption holds; a wide one predicts trouble.
+  uint64_t window_overwrites = 0;
+  RunningStats window_gpo;
+
+  // Share of all garbage that arrives within the busiest 10% of
+  // windows: ~0.1 for a steady application, ~1.0 for a fully bursty
+  // one. High burstiness predicts SAGA estimation failures (see
+  // bench/ext_assumption_stress).
+  double burstiness = 0.0;
+
+  // Fraction of overwrites that created no garbage at all (benign head
+  // shuffles). A high benign share weakens the overwrite~garbage
+  // correlation UpdatedPointer and FGS rely on.
+  double benign_overwrite_fraction = 0.0;
+};
+
+AssumptionReport AnalyzeAssumptions(const Trace& trace,
+                                    uint64_t window_overwrites = 200);
+
+}  // namespace odbgc
+
+#endif  // ODBGC_SIM_TRACE_ANALYSIS_H_

@@ -1,0 +1,72 @@
+#include "storage/buffer_pool.h"
+
+#include "util/check.h"
+
+namespace odbgc {
+
+BufferPool::BufferPool(uint32_t frame_count) : frame_count_(frame_count) {
+  ODBGC_CHECK(frame_count > 0);
+}
+
+void BufferPool::CountRead(PageId page, IoContext ctx) {
+  if (ctx == IoContext::kApplication) {
+    ++stats_.app_reads;
+  } else {
+    ++stats_.gc_reads;
+  }
+  if (disk_ != nullptr) disk_->OnTransfer(page, ctx);
+}
+
+void BufferPool::CountWrite(PageId page, IoContext ctx) {
+  if (ctx == IoContext::kApplication) {
+    ++stats_.app_writes;
+  } else {
+    ++stats_.gc_writes;
+  }
+  if (disk_ != nullptr) disk_->OnTransfer(page, ctx);
+}
+
+void BufferPool::Access(PageId page, bool dirty, IoContext ctx) {
+  auto it = map_.find(page);
+  if (it != map_.end()) {
+    ++hits_;
+    // Move to front of LRU; merge dirtiness.
+    it->second->dirty = it->second->dirty || dirty;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  ++misses_;
+  CountRead(page, ctx);
+  if (lru_.size() >= frame_count_) {
+    Frame& victim = lru_.back();
+    if (victim.dirty) CountWrite(victim.page, ctx);
+    map_.erase(victim.page);
+    lru_.pop_back();
+  }
+  lru_.push_front(Frame{page, dirty});
+  map_[page] = lru_.begin();
+}
+
+void BufferPool::DropPartitionTail(PartitionId partition,
+                                   uint32_t first_dropped) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->page.partition == partition &&
+        it->page.page_index >= first_dropped) {
+      map_.erase(it->page);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BufferPool::FlushAll(IoContext ctx) {
+  for (auto& frame : lru_) {
+    if (frame.dirty) {
+      CountWrite(frame.page, ctx);
+      frame.dirty = false;
+    }
+  }
+}
+
+}  // namespace odbgc

@@ -1,0 +1,75 @@
+#ifndef ODBGC_STORAGE_BUFFER_POOL_H_
+#define ODBGC_STORAGE_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "storage/disk_model.h"
+#include "storage/types.h"
+
+namespace odbgc {
+
+// LRU page buffer. The paper sets the buffer to the partition size
+// (12 x 8 KB pages, Section 3.1): small enough that a collection's
+// sequential scan does not retain the whole database, large enough that a
+// partition fits during collection.
+//
+// The pool does not hold data — the simulation tracks object contents
+// elsewhere — it only decides which page accesses hit the buffer and which
+// cost disk I/O operations, and attributes those operations to the
+// application or the collector.
+class BufferPool {
+ public:
+  explicit BufferPool(uint32_t frame_count);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Touches a page. A miss costs one read I/O (plus one write I/O if a
+  // dirty page must be evicted). `dirty` marks the page as modified.
+  void Access(PageId page, bool dirty, IoContext ctx);
+
+  // Drops any cached pages of `partition` with page_index >= first_dropped
+  // without writing them back. Used after a collection compacts a
+  // partition: the discarded from-space tail must not be flushed later.
+  void DropPartitionTail(PartitionId partition, uint32_t first_dropped);
+
+  // Writes back all dirty pages (end-of-run accounting), attributing the
+  // writes to `ctx`.
+  void FlushAll(IoContext ctx);
+
+  // Attaches an optional disk service-time model: every physical
+  // transfer (read on miss, write-back on eviction or flush) is reported
+  // to it. Not owned; may be null.
+  void AttachDiskModel(DiskModel* model) { disk_ = model; }
+
+  const IoStats& stats() const { return stats_; }
+  uint32_t frame_count() const { return frame_count_; }
+  size_t resident_pages() const { return lru_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Frame {
+    PageId page;
+    bool dirty;
+  };
+  using LruList = std::list<Frame>;
+
+  void CountRead(PageId page, IoContext ctx);
+  void CountWrite(PageId page, IoContext ctx);
+
+  uint32_t frame_count_;
+  DiskModel* disk_ = nullptr;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<PageId, LruList::iterator, PageIdHash> map_;
+  IoStats stats_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,209 @@
+#include "storage/object_store.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace odbgc {
+
+ObjectStore::ObjectStore(const StoreConfig& config) : config_(config) {
+  ODBGC_CHECK(config.page_bytes > 0);
+  ODBGC_CHECK(config.partition_bytes % config.page_bytes == 0);
+  pool_ = std::make_unique<BufferPool>(config.buffer_pages);
+  if (config.enable_disk_timing) {
+    disk_ = std::make_unique<DiskModel>(
+        config.disk, config.page_bytes,
+        config.partition_bytes / config.page_bytes);
+    pool_->AttachDiskModel(disk_.get());
+  }
+  objects_.resize(1);  // id 0 = null
+}
+
+Partition& ObjectStore::PartitionFor(uint32_t size, ObjectId near_hint) {
+  ODBGC_CHECK_MSG(size <= config_.partition_bytes,
+                  "object larger than a partition");
+  if (near_hint != kNullObject && Exists(near_hint)) {
+    Partition& near = partitions_[objects_[near_hint].partition];
+    if (near.Fits(size)) return near;
+  }
+  if (!partitions_.empty() && partitions_[alloc_cursor_].Fits(size)) {
+    return partitions_[alloc_cursor_];
+  }
+  // First fit over existing partitions (space freed by collections is
+  // reused before the database grows).
+  for (auto& p : partitions_) {
+    if (p.Fits(size)) {
+      alloc_cursor_ = p.id();
+      return p;
+    }
+  }
+  // Grow: allocation never triggers a collection (Section 3.1).
+  PartitionId id = static_cast<PartitionId>(partitions_.size());
+  partitions_.emplace_back(id, config_.partition_bytes);
+  alloc_cursor_ = id;
+  return partitions_.back();
+}
+
+void ObjectStore::CreateObject(ObjectId id, uint32_t size,
+                               uint32_t num_slots, ObjectId near_hint) {
+  ODBGC_CHECK(id != kNullObject);
+  ODBGC_CHECK(size > 0);
+  if (id >= objects_.size()) objects_.resize(id + 1);
+  Partition& part = PartitionFor(size, near_hint);
+  ObjectRecord& rec = objects_[id];
+  ODBGC_CHECK_MSG(!rec.exists, "duplicate object id");
+  rec.exists = true;
+  rec.size = size;
+  rec.partition = part.id();
+  rec.offset = part.Allocate(id, size);
+  rec.slots.assign(num_slots, kNullObject);
+  rec.in_refs.clear();
+  used_bytes_ += size;
+  allocated_bytes_total_ += size;
+  ++live_objects_;
+  newest_object_ = id;
+  TouchRange(rec.partition, rec.offset, rec.size, /*dirty=*/true,
+             IoContext::kApplication);
+}
+
+void ObjectStore::ReadObject(ObjectId id) {
+  const ObjectRecord& rec = object(id);
+  TouchRange(rec.partition, rec.offset, rec.size, /*dirty=*/false,
+             IoContext::kApplication);
+}
+
+void ObjectStore::UpdateObject(ObjectId id) {
+  const ObjectRecord& rec = object(id);
+  TouchRange(rec.partition, rec.offset, rec.size, /*dirty=*/true,
+             IoContext::kApplication);
+}
+
+PartitionId ObjectStore::WriteRef(ObjectId src, uint32_t slot,
+                                  ObjectId new_target) {
+  ObjectRecord& s = mutable_object(src);
+  ODBGC_CHECK(slot < s.slots.size());
+  ObjectId old_target = s.slots[slot];
+  if (old_target == new_target) {
+    // Writing the same value still dirties the source page but is not a
+    // pointer overwrite (connectivity unchanged).
+    TouchRange(s.partition, s.offset, s.size, /*dirty=*/true,
+               IoContext::kApplication);
+    return kInvalidPartition;
+  }
+  s.slots[slot] = new_target;
+  TouchRange(s.partition, s.offset, s.size, /*dirty=*/true,
+             IoContext::kApplication);
+
+  PartitionId overwritten_partition = kInvalidPartition;
+  if (old_target != kNullObject) {
+    ObjectRecord& ot = mutable_object(old_target);
+    auto it = std::find(ot.in_refs.begin(), ot.in_refs.end(), src);
+    ODBGC_CHECK_MSG(it != ot.in_refs.end(), "reverse index out of sync");
+    // Swap-erase: in_refs is an unordered multiset.
+    *it = ot.in_refs.back();
+    ot.in_refs.pop_back();
+    // The old target became less connected: charge the overwrite to the
+    // partition that holds it (feeds FGS and UpdatedPointer selection).
+    partitions_[ot.partition].RecordOverwrite();
+    ++pointer_overwrites_;
+    overwritten_partition = ot.partition;
+  }
+  if (new_target != kNullObject) {
+    mutable_object(new_target).in_refs.push_back(src);
+  }
+  return overwritten_partition;
+}
+
+void ObjectStore::AddRoot(ObjectId id) {
+  ODBGC_CHECK(Exists(id));
+  ODBGC_CHECK(!IsRoot(id));
+  roots_.push_back(id);
+}
+
+void ObjectStore::RemoveRoot(ObjectId id) {
+  auto it = std::find(roots_.begin(), roots_.end(), id);
+  ODBGC_CHECK(it != roots_.end());
+  roots_.erase(it);
+}
+
+bool ObjectStore::IsRoot(ObjectId id) const {
+  return std::find(roots_.begin(), roots_.end(), id) != roots_.end();
+}
+
+void ObjectStore::RecordGarbageCreated(uint64_t bytes, uint64_t objects) {
+  garbage_created_bytes_ += bytes;
+  garbage_created_objects_ += objects;
+}
+
+void ObjectStore::RecordGarbageCollected(uint64_t bytes, uint64_t objects) {
+  garbage_collected_bytes_ += bytes;
+  garbage_collected_objects_ += objects;
+}
+
+const ObjectRecord& ObjectStore::object(ObjectId id) const {
+  ODBGC_CHECK(id < objects_.size() && objects_[id].exists);
+  return objects_[id];
+}
+
+ObjectRecord& ObjectStore::mutable_object(ObjectId id) {
+  ODBGC_CHECK(id < objects_.size() && objects_[id].exists);
+  return objects_[id];
+}
+
+bool ObjectStore::Exists(ObjectId id) const {
+  return id < objects_.size() && objects_[id].exists;
+}
+
+const Partition& ObjectStore::partition(PartitionId p) const {
+  ODBGC_CHECK(p < partitions_.size());
+  return partitions_[p];
+}
+
+Partition& ObjectStore::mutable_partition(PartitionId p) {
+  ODBGC_CHECK(p < partitions_.size());
+  return partitions_[p];
+}
+
+void ObjectStore::TouchRange(PartitionId partition, uint32_t offset,
+                             uint32_t len, bool dirty, IoContext ctx) {
+  ODBGC_CHECK(partition < partitions_.size());
+  uint32_t first = offset / config_.page_bytes;
+  uint32_t last = (offset + len - 1) / config_.page_bytes;
+  for (uint32_t pg = first; pg <= last; ++pg) {
+    pool_->Access(PageId{partition, pg}, dirty, ctx);
+  }
+}
+
+void ObjectStore::DestroyObject(ObjectId id) {
+  ObjectRecord& rec = mutable_object(id);
+  for (ObjectId target : rec.slots) {
+    if (target == kNullObject) continue;
+    // The target may itself have been destroyed earlier in this sweep.
+    if (!Exists(target)) continue;
+    ObjectRecord& t = objects_[target];
+    auto it = std::find(t.in_refs.begin(), t.in_refs.end(), id);
+    ODBGC_CHECK_MSG(it != t.in_refs.end(), "reverse index out of sync");
+    *it = t.in_refs.back();
+    t.in_refs.pop_back();
+  }
+  // Note: used_bytes_ is not reduced here. The object's bytes still occupy
+  // from-space until the collector compacts the partition and calls
+  // AdjustUsedBytes().
+  --live_objects_;
+  rec.exists = false;
+  rec.slots.clear();
+  rec.slots.shrink_to_fit();
+  rec.in_refs.clear();
+  rec.in_refs.shrink_to_fit();
+}
+
+void ObjectStore::Relocate(ObjectId id, uint32_t new_offset) {
+  mutable_object(id).offset = new_offset;
+}
+
+void ObjectStore::AdjustUsedBytes(uint32_t old_used, uint32_t new_used) {
+  ODBGC_CHECK(used_bytes_ + new_used >= old_used);
+  used_bytes_ = used_bytes_ - old_used + new_used;
+}
+
+}  // namespace odbgc

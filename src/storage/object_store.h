@@ -1,0 +1,193 @@
+#ifndef ODBGC_STORAGE_OBJECT_STORE_H_
+#define ODBGC_STORAGE_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_model.h"
+#include "storage/partition.h"
+#include "storage/types.h"
+
+namespace odbgc {
+
+// Per-object record. Pointers are logical ObjectIds held in `slots`;
+// `in_refs` is the reverse index (one entry per referencing slot,
+// duplicates allowed) that the collector uses to find partition roots and
+// to account for cross-partition pointer updates after relocation.
+struct ObjectRecord {
+  bool exists = false;
+  uint32_t size = 0;
+  PartitionId partition = kInvalidPartition;
+  uint32_t offset = 0;
+  std::vector<ObjectId> slots;
+  std::vector<ObjectId> in_refs;
+};
+
+struct StoreConfig {
+  uint32_t partition_bytes = 96 * 1024;
+  uint32_t page_bytes = 8 * 1024;
+  uint32_t buffer_pages = 12;  // buffer size == partition size (Sec. 3.1)
+  // Treat the most recent allocation as a GC root (the application still
+  // holds a transient reference to an object it has not linked in yet).
+  // Trace-driven simulations need this; bare-store fixtures may not.
+  bool pin_newest_allocation = true;
+  // Optional physical-disk service-time model (off: the paper's
+  // operation-count methodology; on: elapsed-time estimates too).
+  bool enable_disk_timing = false;
+  DiskParams disk;
+};
+
+// The simulated object database: partitions, objects, pointer slots,
+// roots, a paged buffer pool, and the bookkeeping the collection-rate
+// policies consume (pointer-overwrite counters, I/O statistics, and
+// ground-truth garbage accounting).
+//
+// Database growth is decoupled from collection (Section 3.1): if no
+// existing partition can hold an allocation, a new partition is added;
+// allocation never triggers a collection.
+class ObjectStore {
+ public:
+  explicit ObjectStore(const StoreConfig& config);
+
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+
+  // --- Application operations (drive app-attributed I/O) ---
+
+  // Creates object `id` with `size` bytes and `num_slots` null pointer
+  // slots. Placement: the partition of `near_hint` if given and it fits
+  // (OO7-style clustering), else the current allocation partition, else
+  // the first partition with space, else a new partition.
+  void CreateObject(ObjectId id, uint32_t size, uint32_t num_slots,
+                    ObjectId near_hint = kNullObject);
+
+  // Reads an object: touches its pages through the buffer pool.
+  void ReadObject(ObjectId id);
+
+  // Modifies an object's non-pointer data (OO7 T2-style attribute
+  // update): dirties its pages; connectivity and the overwrite clock
+  // are untouched.
+  void UpdateObject(ObjectId id);
+
+  // Stores `new_target` into `slots[slot]` of `src`. If the previous value
+  // was non-null this is a *pointer overwrite*: the partition holding the
+  // old target gets its overwrite counter bumped (the old target is the
+  // object that became less connected), and the global overwrite clock
+  // advances. Returns the partition charged with the overwrite, or
+  // kInvalidPartition if the write was not an overwrite.
+  PartitionId WriteRef(ObjectId src, uint32_t slot, ObjectId new_target);
+
+  void AddRoot(ObjectId id);
+  void RemoveRoot(ObjectId id);
+
+  // --- Ground-truth garbage accounting (oracle instrumentation) ---
+
+  // The trace generator knows exactly when its unlink operations detach a
+  // cluster; it reports the detached bytes here. This mirrors the paper's
+  // "perfect garbage estimator" simulator facility; the practical
+  // estimators never read it.
+  void RecordGarbageCreated(uint64_t bytes, uint64_t objects);
+  // Called by the collector with the bytes it reclaimed.
+  void RecordGarbageCollected(uint64_t bytes, uint64_t objects);
+
+  uint64_t total_garbage_created() const { return garbage_created_bytes_; }
+  uint64_t total_garbage_collected() const {
+    return garbage_collected_bytes_;
+  }
+  // Exact unreachable bytes currently stored (created minus collected).
+  // Saturates at zero for hosts that collect without reporting markers
+  // (e.g. unit fixtures); in marker-driven runs collected never exceeds
+  // created, which the test suite verifies against a full scan.
+  uint64_t actual_garbage_bytes() const {
+    return garbage_created_bytes_ > garbage_collected_bytes_
+               ? garbage_created_bytes_ - garbage_collected_bytes_
+               : 0;
+  }
+
+  // --- Accessors ---
+
+  const ObjectRecord& object(ObjectId id) const;
+  ObjectRecord& mutable_object(ObjectId id);
+  bool Exists(ObjectId id) const;
+
+  size_t partition_count() const { return partitions_.size(); }
+  const Partition& partition(PartitionId p) const;
+  Partition& mutable_partition(PartitionId p);
+  const std::vector<Partition>& partitions() const { return partitions_; }
+
+  const std::vector<ObjectId>& roots() const { return roots_; }
+  bool IsRoot(ObjectId id) const;
+
+  // The most recently created object (kNullObject if none, or if the
+  // pin is disabled by config). A real application holds a transient
+  // reference to its newest allocation until it links the object into
+  // the database; the collector treats it as a root so that an in-flight
+  // allocation cannot be reclaimed.
+  ObjectId newest_object() const {
+    return config_.pin_newest_allocation ? newest_object_ : kNullObject;
+  }
+
+  uint64_t used_bytes() const { return used_bytes_; }
+  uint64_t live_object_count() const { return live_objects_; }
+  uint64_t pointer_overwrites() const { return pointer_overwrites_; }
+  // Cumulative bytes ever allocated (never decreases; feeds the
+  // allocation-clock baseline policies).
+  uint64_t allocated_bytes_total() const { return allocated_bytes_total_; }
+
+  BufferPool& buffer_pool() { return *pool_; }
+  const BufferPool& buffer_pool() const { return *pool_; }
+  const IoStats& io_stats() const { return pool_->stats(); }
+  const StoreConfig& config() const { return config_; }
+  // Null unless config.enable_disk_timing.
+  const DiskModel* disk_model() const { return disk_.get(); }
+
+  // --- Collector support ---
+
+  // Touches every page overlapping [offset, offset+len) of `partition`.
+  void TouchRange(PartitionId partition, uint32_t offset, uint32_t len,
+                  bool dirty, IoContext ctx);
+
+  // Removes a (garbage) object: detaches its out-pointers from the
+  // reverse index and frees its record. The caller (collector) is
+  // responsible for partition bookkeeping and I/O accounting.
+  void DestroyObject(ObjectId id);
+
+  // Moves `id` to a new offset within its partition (compaction).
+  void Relocate(ObjectId id, uint32_t new_offset);
+
+  // Adjusts the cached used-bytes total after a compaction changed a
+  // partition's used size from `old_used` to `new_used`.
+  void AdjustUsedBytes(uint32_t old_used, uint32_t new_used);
+
+  // Highest object id ever created (for iteration); ids are dense-ish.
+  ObjectId max_object_id() const {
+    return static_cast<ObjectId>(objects_.size() - 1);
+  }
+
+ private:
+  Partition& PartitionFor(uint32_t size, ObjectId near_hint);
+
+  StoreConfig config_;
+  std::vector<Partition> partitions_;
+  std::vector<ObjectRecord> objects_;  // index 0 unused (null)
+  std::vector<ObjectId> roots_;
+  ObjectId newest_object_ = kNullObject;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<DiskModel> disk_;
+  PartitionId alloc_cursor_ = 0;  // partition last allocated from
+
+  uint64_t used_bytes_ = 0;
+  uint64_t live_objects_ = 0;
+  uint64_t pointer_overwrites_ = 0;
+  uint64_t allocated_bytes_total_ = 0;
+  uint64_t garbage_created_bytes_ = 0;
+  uint64_t garbage_created_objects_ = 0;
+  uint64_t garbage_collected_bytes_ = 0;
+  uint64_t garbage_collected_objects_ = 0;
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_STORAGE_OBJECT_STORE_H_

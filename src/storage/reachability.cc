@@ -1,0 +1,51 @@
+#include "storage/reachability.h"
+
+#include <deque>
+
+namespace odbgc {
+
+ReachabilityResult ScanReachability(const ObjectStore& store) {
+  ReachabilityResult result;
+  result.reachable.assign(store.max_object_id() + 1, false);
+  std::deque<ObjectId> queue;
+  for (ObjectId root : store.roots()) {
+    if (!result.reachable[root]) {
+      result.reachable[root] = true;
+      queue.push_back(root);
+    }
+  }
+  while (!queue.empty()) {
+    ObjectId id = queue.front();
+    queue.pop_front();
+    const ObjectRecord& rec = store.object(id);
+    result.reachable_bytes += rec.size;
+    ++result.reachable_objects;
+    for (ObjectId target : rec.slots) {
+      if (target != kNullObject && !result.reachable[target]) {
+        result.reachable[target] = true;
+        queue.push_back(target);
+      }
+    }
+  }
+  for (ObjectId id = 1; id <= store.max_object_id(); ++id) {
+    if (store.Exists(id) && !result.reachable[id]) {
+      result.unreachable_bytes += store.object(id).size;
+      ++result.unreachable_objects;
+    }
+  }
+  return result;
+}
+
+uint64_t UnreachableBytesInPartition(const ObjectStore& store,
+                                     const ReachabilityResult& scan,
+                                     PartitionId p) {
+  uint64_t bytes = 0;
+  for (ObjectId id : store.partition(p).objects()) {
+    if (store.Exists(id) && !scan.reachable[id]) {
+      bytes += store.object(id).size;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace odbgc

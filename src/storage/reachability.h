@@ -1,0 +1,34 @@
+#ifndef ODBGC_STORAGE_REACHABILITY_H_
+#define ODBGC_STORAGE_REACHABILITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/object_store.h"
+
+namespace odbgc {
+
+// Result of a whole-database reachability scan.
+struct ReachabilityResult {
+  std::vector<bool> reachable;  // indexed by ObjectId
+  uint64_t reachable_bytes = 0;
+  uint64_t reachable_objects = 0;
+  uint64_t unreachable_bytes = 0;
+  uint64_t unreachable_objects = 0;
+};
+
+// Exhaustive breadth-first scan from the root set over all pointer slots.
+// This is the "scan the entire database" operation the paper calls
+// prohibitively expensive for a live system (Section 2.4); we provide it
+// as (a) the validator for the generator's ground-truth garbage markers,
+// and (b) the basis of the oracle partition selector used in ablations.
+ReachabilityResult ScanReachability(const ObjectStore& store);
+
+// Unreachable bytes currently stored in partition `p`.
+uint64_t UnreachableBytesInPartition(const ObjectStore& store,
+                                     const ReachabilityResult& scan,
+                                     PartitionId p);
+
+}  // namespace odbgc
+
+#endif  // ODBGC_STORAGE_REACHABILITY_H_

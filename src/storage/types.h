@@ -1,0 +1,51 @@
+#ifndef ODBGC_STORAGE_TYPES_H_
+#define ODBGC_STORAGE_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace odbgc {
+
+// Logical object identifier. Pointers between database objects are stored
+// as ObjectIds in slot arrays; kNullObject (0) is the null pointer.
+using ObjectId = uint32_t;
+inline constexpr ObjectId kNullObject = 0;
+
+using PartitionId = uint32_t;
+inline constexpr PartitionId kInvalidPartition = 0xffffffffu;
+
+// A page is identified by (partition, page index within partition).
+struct PageId {
+  PartitionId partition;
+  uint32_t page_index;
+
+  friend bool operator==(const PageId&, const PageId&) = default;
+};
+
+struct PageIdHash {
+  size_t operator()(const PageId& p) const {
+    return (static_cast<size_t>(p.partition) << 20) ^ p.page_index;
+  }
+};
+
+// Who is performing an I/O operation. The paper's policies depend on
+// splitting I/O between the application and the collector (SAIO controls
+// the collector's share).
+enum class IoContext : uint8_t { kApplication, kCollector };
+
+// Cumulative I/O operation counters. One "I/O operation" is one page
+// transfer between the buffer pool and the (simulated) disk.
+struct IoStats {
+  uint64_t app_reads = 0;
+  uint64_t app_writes = 0;
+  uint64_t gc_reads = 0;
+  uint64_t gc_writes = 0;
+
+  uint64_t app_total() const { return app_reads + app_writes; }
+  uint64_t gc_total() const { return gc_reads + gc_writes; }
+  uint64_t total() const { return app_total() + gc_total(); }
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_STORAGE_TYPES_H_

@@ -1,0 +1,95 @@
+#ifndef ODBGC_TRACE_EVENT_H_
+#define ODBGC_TRACE_EVENT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace odbgc {
+
+// Phases of the test application (Figure 2). kNone marks traces that do
+// not use phase annotations.
+enum class Phase : uint8_t {
+  kNone = 0,
+  kGenDb = 1,
+  kReorg1 = 2,
+  kTraverse = 3,
+  kReorg2 = 4,
+};
+
+std::string PhaseName(Phase p);
+
+// Database application events, in the spirit of the CU-Boulder trace
+// system [CWZ93]: object creations, accesses and pointer modifications,
+// plus two kinds of annotation the simulator consumes.
+enum class EventKind : uint8_t {
+  // a = object id, b = size in bytes, c = number of pointer slots,
+  // d = clustering hint (an existing object id the new object should be
+  // placed near, or 0 for no preference). OO7-style applications cluster
+  // a composite part's objects together; the hint models that placement.
+  kCreate = 0,
+  // a = object id.
+  kRead = 1,
+  // a = source object, b = slot index, c = new target (0 = null).
+  kWriteRef = 2,
+  // a = object id.
+  kAddRoot = 3,
+  // a = object id.
+  kRemoveRoot = 4,
+  // Ground-truth annotation: the preceding unlink detached a cluster of
+  // a bytes across b objects. Only the oracle paths may consume it.
+  kGarbageMark = 5,
+  // a = static_cast<uint32_t>(Phase).
+  kPhaseMark = 6,
+  // The application is quiescent: the collector may opportunistically
+  // run beyond its user-stated limits (the extension sketched in the
+  // paper's Section 5). a = maximum collections the idle period allows.
+  kIdleMark = 7,
+  // a = object id. A non-pointer modification (e.g. OO7's T2 attribute
+  // updates): dirties the object's pages without touching connectivity
+  // — I/O happens, the overwrite clock does not advance.
+  kUpdate = 8,
+};
+
+struct TraceEvent {
+  EventKind kind;
+  uint32_t a = 0;
+  uint32_t b = 0;
+  uint32_t c = 0;
+  uint32_t d = 0;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+inline TraceEvent CreateEvent(uint32_t id, uint32_t size, uint32_t slots,
+                              uint32_t near_hint = 0) {
+  return {EventKind::kCreate, id, size, slots, near_hint};
+}
+inline TraceEvent ReadEvent(uint32_t id) {
+  return {EventKind::kRead, id, 0, 0, 0};
+}
+inline TraceEvent WriteRefEvent(uint32_t src, uint32_t slot,
+                                uint32_t target) {
+  return {EventKind::kWriteRef, src, slot, target, 0};
+}
+inline TraceEvent AddRootEvent(uint32_t id) {
+  return {EventKind::kAddRoot, id, 0, 0, 0};
+}
+inline TraceEvent RemoveRootEvent(uint32_t id) {
+  return {EventKind::kRemoveRoot, id, 0, 0, 0};
+}
+inline TraceEvent GarbageMarkEvent(uint32_t bytes, uint32_t objects) {
+  return {EventKind::kGarbageMark, bytes, objects, 0, 0};
+}
+inline TraceEvent PhaseMarkEvent(Phase p) {
+  return {EventKind::kPhaseMark, static_cast<uint32_t>(p), 0, 0, 0};
+}
+inline TraceEvent IdleMarkEvent(uint32_t max_collections) {
+  return {EventKind::kIdleMark, max_collections, 0, 0, 0};
+}
+inline TraceEvent UpdateEvent(uint32_t id) {
+  return {EventKind::kUpdate, id, 0, 0, 0};
+}
+
+}  // namespace odbgc
+
+#endif  // ODBGC_TRACE_EVENT_H_

@@ -1,0 +1,105 @@
+#include "trace/trace.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace odbgc {
+
+std::string PhaseName(Phase p) {
+  switch (p) {
+    case Phase::kNone:
+      return "None";
+    case Phase::kGenDb:
+      return "GenDB";
+    case Phase::kReorg1:
+      return "Reorg1";
+    case Phase::kTraverse:
+      return "Traverse";
+    case Phase::kReorg2:
+      return "Reorg2";
+  }
+  return "Unknown";
+}
+
+Trace::Summary Trace::Summarize() const {
+  Summary s;
+  for (const TraceEvent& e : events_) {
+    switch (e.kind) {
+      case EventKind::kCreate:
+        ++s.creates;
+        s.created_bytes += e.b;
+        ++s.created_objects;
+        break;
+      case EventKind::kRead:
+        ++s.reads;
+        break;
+      case EventKind::kUpdate:
+        ++s.updates;
+        break;
+      case EventKind::kWriteRef:
+        ++s.write_refs;
+        break;
+      case EventKind::kGarbageMark:
+        ++s.garbage_marks;
+        s.ground_truth_garbage_bytes += e.a;
+        s.ground_truth_garbage_objects += e.b;
+        break;
+      default:
+        break;
+    }
+  }
+  return s;
+}
+
+namespace {
+
+constexpr uint32_t kMagic = 0x4f444254;  // "ODBT"
+constexpr uint32_t kVersion = 2;         // v2 added the clustering hint
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+bool Trace::SaveTo(const std::string& path) const {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+  uint64_t count = events_.size();
+  if (std::fwrite(&kMagic, sizeof(kMagic), 1, f.get()) != 1) return false;
+  if (std::fwrite(&kVersion, sizeof(kVersion), 1, f.get()) != 1) return false;
+  if (std::fwrite(&count, sizeof(count), 1, f.get()) != 1) return false;
+  for (const TraceEvent& e : events_) {
+    uint32_t rec[5] = {static_cast<uint32_t>(e.kind), e.a, e.b, e.c, e.d};
+    if (std::fwrite(rec, sizeof(rec), 1, f.get()) != 1) return false;
+  }
+  return true;
+}
+
+bool Trace::LoadFrom(const std::string& path, Trace* out) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return false;
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint64_t count = 0;
+  if (std::fread(&magic, sizeof(magic), 1, f.get()) != 1) return false;
+  if (magic != kMagic) return false;
+  if (std::fread(&version, sizeof(version), 1, f.get()) != 1) return false;
+  if (version != kVersion) return false;
+  if (std::fread(&count, sizeof(count), 1, f.get()) != 1) return false;
+  out->events_.clear();
+  out->events_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t rec[5];
+    if (std::fread(rec, sizeof(rec), 1, f.get()) != 1) return false;
+    if (rec[0] > static_cast<uint32_t>(EventKind::kUpdate)) return false;
+    out->events_.push_back(TraceEvent{static_cast<EventKind>(rec[0]), rec[1],
+                                      rec[2], rec[3], rec[4]});
+  }
+  return true;
+}
+
+}  // namespace odbgc

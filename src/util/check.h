@@ -1,0 +1,28 @@
+#ifndef ODBGC_UTIL_CHECK_H_
+#define ODBGC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Always-on invariant checks. The simulator is deterministic, so a failed
+// check indicates a logic bug; we abort with a source location rather than
+// continue with corrupted state.
+#define ODBGC_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "ODBGC_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define ODBGC_CHECK_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "ODBGC_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#endif  // ODBGC_UTIL_CHECK_H_

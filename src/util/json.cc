@@ -1,0 +1,140 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace odbgc {
+
+std::string JsonWriter::Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) return;
+  if (stack_.back() == Frame::kObject) {
+    ODBGC_CHECK_MSG(key_pending_, "object value requires a key");
+    key_pending_ = false;
+    return;
+  }
+  // Array element: comma-separate.
+  if (!first_in_frame_.back()) out_ += ',';
+  first_in_frame_.back() = false;
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  stack_.push_back(Frame::kObject);
+  first_in_frame_.push_back(true);
+}
+
+void JsonWriter::EndObject() {
+  ODBGC_CHECK(!stack_.empty() && stack_.back() == Frame::kObject);
+  ODBGC_CHECK_MSG(!key_pending_, "dangling key");
+  out_ += '}';
+  stack_.pop_back();
+  first_in_frame_.pop_back();
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  stack_.push_back(Frame::kArray);
+  first_in_frame_.push_back(true);
+}
+
+void JsonWriter::EndArray() {
+  ODBGC_CHECK(!stack_.empty() && stack_.back() == Frame::kArray);
+  out_ += ']';
+  stack_.pop_back();
+  first_in_frame_.pop_back();
+}
+
+void JsonWriter::Key(const std::string& name) {
+  ODBGC_CHECK(!stack_.empty() && stack_.back() == Frame::kObject);
+  ODBGC_CHECK_MSG(!key_pending_, "two keys in a row");
+  if (!first_in_frame_.back()) out_ += ',';
+  first_in_frame_.back() = false;
+  out_ += '"';
+  out_ += Escape(name);
+  out_ += "\":";
+  key_pending_ = true;
+}
+
+void JsonWriter::Value(const std::string& s) {
+  BeforeValue();
+  out_ += '"';
+  out_ += Escape(s);
+  out_ += '"';
+}
+
+void JsonWriter::Value(const char* s) { Value(std::string(s)); }
+
+void JsonWriter::Value(double d) {
+  BeforeValue();
+  if (!std::isfinite(d)) {
+    out_ += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", d);
+  out_ += buf;
+}
+
+void JsonWriter::Value(uint64_t v) {
+  BeforeValue();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::Value(int64_t v) {
+  BeforeValue();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::Value(bool b) {
+  BeforeValue();
+  out_ += b ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+}
+
+std::string JsonWriter::TakeString() {
+  ODBGC_CHECK_MSG(stack_.empty(), "unbalanced JSON document");
+  return std::move(out_);
+}
+
+}  // namespace odbgc

@@ -1,0 +1,59 @@
+#ifndef ODBGC_UTIL_JSON_H_
+#define ODBGC_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace odbgc {
+
+// Minimal streaming JSON writer (objects, arrays, scalars, escaping) —
+// enough for machine-readable simulation reports without a third-party
+// dependency. Usage is push-style:
+//
+//   JsonWriter w;
+//   w.BeginObject();
+//   w.Key("collections"); w.Value(uint64_t{42});
+//   w.Key("log"); w.BeginArray(); ... w.EndArray();
+//   w.EndObject();
+//   std::string json = w.TakeString();
+//
+// Structural misuse (e.g. a value without a key inside an object) trips
+// an ODBGC_CHECK.
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(const std::string& name);
+
+  void Value(const std::string& s);
+  void Value(const char* s);
+  void Value(double d);
+  void Value(uint64_t v);
+  void Value(int64_t v);
+  void Value(bool b);
+  void Null();
+
+  // Finalizes and returns the document; the writer must be balanced.
+  std::string TakeString();
+
+  static std::string Escape(const std::string& s);
+
+ private:
+  enum class Frame { kObject, kArray };
+
+  void BeforeValue();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> first_in_frame_;
+  bool key_pending_ = false;
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_UTIL_JSON_H_

@@ -1,0 +1,52 @@
+#ifndef ODBGC_UTIL_RANDOM_H_
+#define ODBGC_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace odbgc {
+
+// Deterministic, seedable PRNG (xoshiro256** seeded via SplitMix64).
+//
+// The simulation must be exactly reproducible from a seed across platforms,
+// so we do not use std::mt19937 distributions (whose results are not
+// guaranteed to match across standard library implementations for
+// std::uniform_int_distribution). All derived values are computed from raw
+// 64-bit draws with explicit algorithms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Raw 64-bit draw.
+  uint64_t Next();
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  // Fisher-Yates shuffle of a vector, deterministic given the stream state.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_UTIL_RANDOM_H_

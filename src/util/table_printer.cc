@@ -1,0 +1,48 @@
+#include "util/table_printer.h"
+
+#include <cstdio>
+#include <iomanip>
+
+#include "util/check.h"
+
+namespace odbgc {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  ODBGC_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::Fmt(uint64_t v) { return std::to_string(v); }
+std::string TablePrinter::Fmt(int64_t v) { return std::to_string(v); }
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << std::left << std::setw(static_cast<int>(widths[i]) + 2) << row[i];
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  std::string rule;
+  for (size_t w : widths) rule += std::string(w, '-') + "  ";
+  os << rule << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace odbgc

@@ -1,0 +1,31 @@
+#ifndef ODBGC_UTIL_TABLE_PRINTER_H_
+#define ODBGC_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace odbgc {
+
+// Fixed-width plain-text table writer used by the benchmark harnesses to
+// print the rows/series the paper's tables and figures report.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // Convenience: formats doubles with the given precision.
+  static std::string Fmt(double v, int precision = 3);
+  static std::string Fmt(uint64_t v);
+  static std::string Fmt(int64_t v);
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,198 @@
+#include "workloads/fuzz.h"
+
+#include <vector>
+
+#include "storage/object_store.h"
+#include "storage/reachability.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace odbgc {
+
+namespace {
+
+// Drives the random surgery against a private shadow store, mirroring
+// every event into the trace and emitting exact garbage markers.
+class RandomGraphBuilder {
+ public:
+  explicit RandomGraphBuilder(const RandomGraphOptions& options)
+      : options_(options), rng_(options.seed) {
+    StoreConfig cfg;
+    cfg.partition_bytes = 64 * 1024;
+    cfg.page_bytes = 8 * 1024;
+    cfg.buffer_pages = 4;
+    cfg.pin_newest_allocation = false;  // no collector runs here
+    shadow_ = std::make_unique<ObjectStore>(cfg);
+  }
+
+  Trace Build() {
+    // Seed the world with a root that has the maximum fan-out.
+    ObjectId root = Create(/*link_from=*/kNullObject);
+    AddRoot(root);
+
+    double total = options_.create_weight + options_.relink_weight +
+                   options_.unlink_weight + options_.read_weight +
+                   options_.root_weight;
+    for (int op = 0; op < options_.operations; ++op) {
+      double dice = rng_.NextDouble() * total;
+      if ((dice -= options_.create_weight) < 0) {
+        DoCreate();
+      } else if ((dice -= options_.relink_weight) < 0) {
+        DoRelink();
+      } else if ((dice -= options_.unlink_weight) < 0) {
+        DoUnlink();
+      } else if ((dice -= options_.read_weight) < 0) {
+        DoRead();
+      } else {
+        DoRootChange();
+      }
+    }
+    return std::move(trace_);
+  }
+
+ private:
+  // --- primitive operations, mirrored into shadow + trace ---
+
+  ObjectId Create(ObjectId link_from) {
+    uint32_t size = static_cast<uint32_t>(rng_.NextInRange(
+        options_.min_object_bytes, options_.max_object_bytes));
+    uint32_t slots =
+        static_cast<uint32_t>(rng_.NextInRange(1, options_.max_slots));
+    ObjectId id = next_id_++;
+    shadow_->CreateObject(id, size, slots);
+    trace_.Append(CreateEvent(id, size, slots));
+    if (link_from != kNullObject) {
+      // Link immediately so the node is reachable before the next event
+      // (the application publishes its allocation).
+      uint32_t slot = PickSlot(link_from);
+      WriteRef(link_from, slot, id);
+    }
+    return id;
+  }
+
+  void AddRoot(ObjectId id) {
+    shadow_->AddRoot(id);
+    trace_.Append(AddRootEvent(id));
+    RefreshReachable();
+  }
+
+  void WriteRef(ObjectId src, uint32_t slot, ObjectId target) {
+    ObjectId old = shadow_->object(src).slots[slot];
+    shadow_->WriteRef(src, slot, target);
+    trace_.Append(WriteRefEvent(src, slot, target));
+    if (old != kNullObject && old != target) {
+      // The overwrite may have detached something: emit the exact delta.
+      EmitGarbageDelta();
+    } else {
+      RefreshReachable();
+    }
+  }
+
+  void EmitGarbageDelta() {
+    ReachabilityResult scan = ScanReachability(*shadow_);
+    ODBGC_CHECK(scan.unreachable_bytes >= known_unreachable_bytes_);
+    uint64_t delta_bytes =
+        scan.unreachable_bytes - known_unreachable_bytes_;
+    uint64_t delta_objects =
+        scan.unreachable_objects - known_unreachable_objects_;
+    if (delta_bytes > 0) {
+      trace_.Append(
+          GarbageMarkEvent(static_cast<uint32_t>(delta_bytes),
+                           static_cast<uint32_t>(delta_objects)));
+      known_unreachable_bytes_ = scan.unreachable_bytes;
+      known_unreachable_objects_ = scan.unreachable_objects;
+    }
+    reachable_.clear();
+    for (ObjectId id = 1; id <= shadow_->max_object_id(); ++id) {
+      if (id < scan.reachable.size() && scan.reachable[id]) {
+        reachable_.push_back(id);
+      }
+    }
+  }
+
+  void RefreshReachable() {
+    ReachabilityResult scan = ScanReachability(*shadow_);
+    reachable_.clear();
+    for (ObjectId id = 1; id <= shadow_->max_object_id(); ++id) {
+      if (id < scan.reachable.size() && scan.reachable[id]) {
+        reachable_.push_back(id);
+      }
+    }
+  }
+
+  // --- op mix ---
+
+  ObjectId PickReachable() {
+    ODBGC_CHECK(!reachable_.empty());
+    return reachable_[rng_.NextBelow(reachable_.size())];
+  }
+
+  uint32_t PickSlot(ObjectId id) {
+    return static_cast<uint32_t>(
+        rng_.NextBelow(shadow_->object(id).slots.size()));
+  }
+
+  void DoCreate() { Create(PickReachable()); }
+
+  void DoRelink() {
+    ObjectId src = PickReachable();
+    ObjectId target = PickReachable();
+    WriteRef(src, PickSlot(src), target);
+  }
+
+  void DoUnlink() {
+    // Find a reachable node with a non-null slot (bounded search).
+    for (int tries = 0; tries < 16; ++tries) {
+      ObjectId src = PickReachable();
+      const ObjectRecord& rec = shadow_->object(src);
+      for (uint32_t s = 0; s < rec.slots.size(); ++s) {
+        if (rec.slots[s] != kNullObject) {
+          WriteRef(src, s, kNullObject);
+          return;
+        }
+      }
+    }
+  }
+
+  void DoRead() {
+    ObjectId id = PickReachable();
+    shadow_->ReadObject(id);
+    trace_.Append(ReadEvent(id));
+  }
+
+  void DoRootChange() {
+    if (shadow_->roots().size() > 1 && rng_.NextBool(0.5)) {
+      // Remove a non-primary root; its subgraph may become garbage.
+      const std::vector<ObjectId>& roots = shadow_->roots();
+      ObjectId victim = roots[1 + rng_.NextBelow(roots.size() - 1)];
+      shadow_->RemoveRoot(victim);
+      trace_.Append(RemoveRootEvent(victim));
+      EmitGarbageDelta();
+    } else {
+      ObjectId id = PickReachable();
+      if (!shadow_->IsRoot(id)) AddRoot(id);
+    }
+  }
+
+  RandomGraphOptions options_;
+  Rng rng_;
+  std::unique_ptr<ObjectStore> shadow_;
+  Trace trace_;
+  ObjectId next_id_ = 1;
+  std::vector<ObjectId> reachable_;
+  uint64_t known_unreachable_bytes_ = 0;
+  uint64_t known_unreachable_objects_ = 0;
+};
+
+}  // namespace
+
+Trace MakeRandomGraph(const RandomGraphOptions& options) {
+  ODBGC_CHECK(options.operations > 0);
+  ODBGC_CHECK(options.min_object_bytes > 0 &&
+              options.min_object_bytes <= options.max_object_bytes);
+  ODBGC_CHECK(options.max_slots >= 1);
+  RandomGraphBuilder builder(options);
+  return builder.Build();
+}
+
+}  // namespace odbgc

@@ -1,0 +1,40 @@
+#ifndef ODBGC_WORKLOADS_FUZZ_H_
+#define ODBGC_WORKLOADS_FUZZ_H_
+
+#include <cstdint>
+
+#include "trace/trace.h"
+
+namespace odbgc {
+
+// Randomized object-graph workload with exact ground truth. Unlike the
+// structured workloads, this one performs arbitrary graph surgery —
+// creates, relinks, unlinks, root changes, reads — over objects of
+// random sizes and fan-outs, building cycles and shared structure
+// freely. Ground-truth garbage markers are computed by replaying every
+// mutation into a private shadow store and scanning reachability after
+// each pointer overwrite, so the emitted markers are exact by
+// construction regardless of graph shape.
+//
+// Purpose: an adversarial safety harness for the collector and the
+// policies (fuzz tests sweep seeds and assert that markers, the
+// scanner, and the collector never disagree).
+struct RandomGraphOptions {
+  uint64_t seed = 1;
+  int operations = 3000;
+  uint32_t min_object_bytes = 32;
+  uint32_t max_object_bytes = 800;
+  uint32_t max_slots = 4;
+  // Relative weights of the operation mix.
+  double create_weight = 0.35;  // create a node and link it in
+  double relink_weight = 0.25;  // point an existing slot somewhere else
+  double unlink_weight = 0.20;  // null out a non-null slot
+  double read_weight = 0.15;    // read a reachable node
+  double root_weight = 0.05;    // add/remove a root
+};
+
+Trace MakeRandomGraph(const RandomGraphOptions& options);
+
+}  // namespace odbgc
+
+#endif  // ODBGC_WORKLOADS_FUZZ_H_

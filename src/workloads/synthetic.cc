@@ -1,0 +1,200 @@
+#include "workloads/synthetic.h"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "storage/types.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace odbgc {
+
+namespace {
+
+// Shared shadow state for list-shaped workloads: a root object whose
+// slots are list heads; nodes have one `next` slot.
+class ListWorld {
+ public:
+  ListWorld(Trace* trace, uint32_t root_slots, uint32_t node_bytes)
+      : trace_(trace), node_bytes_(node_bytes), lists_(root_slots) {
+    root_ = next_id_++;
+    trace_->Append(CreateEvent(root_, 64, root_slots));
+    trace_->Append(AddRootEvent(root_));
+  }
+
+  ObjectId root() const { return root_; }
+  size_t list_length(uint32_t li) const { return lists_[li].size(); }
+
+  // Head-inserts a fresh node into list `li`. The root-slot update is a
+  // benign overwrite once the list is non-empty.
+  ObjectId Append(uint32_t li) {
+    ObjectId node = next_id_++;
+    trace_->Append(CreateEvent(node, node_bytes_, 1));
+    ObjectId old_head = lists_[li].empty() ? kNullObject : lists_[li].front();
+    trace_->Append(WriteRefEvent(node, 0, old_head));
+    trace_->Append(WriteRefEvent(root_, li, node));
+    lists_[li].push_front(node);
+    return node;
+  }
+
+  // Walks list `li` (emitting reads) and drops its tail node: one
+  // pointer overwrite, one node of garbage.
+  void TrimTail(uint32_t li) {
+    std::deque<ObjectId>& list = lists_[li];
+    ODBGC_CHECK(!list.empty());
+    for (ObjectId node : list) trace_->Append(ReadEvent(node));
+    if (list.size() == 1) {
+      trace_->Append(WriteRefEvent(root_, li, kNullObject));
+    } else {
+      trace_->Append(WriteRefEvent(list[list.size() - 2], 0, kNullObject));
+    }
+    trace_->Append(GarbageMarkEvent(node_bytes_, 1));
+    list.pop_back();
+  }
+
+  // Drops a whole list in one batched delete: the application walks the
+  // list and dismantles it tail-first (clearing each next pointer
+  // detaches the successor), then clears the root slot. One overwrite
+  // per node — a burst of garbage without leaving stale chain pointers
+  // that would pin tails across partitions.
+  void DropList(uint32_t li) {
+    std::deque<ObjectId>& list = lists_[li];
+    if (list.empty()) return;
+    trace_->Append(ReadEvent(root_));
+    for (ObjectId node : list) trace_->Append(ReadEvent(node));
+    for (size_t i = list.size() - 1; i-- > 0;) {
+      trace_->Append(WriteRefEvent(list[i], 0, kNullObject));
+      trace_->Append(GarbageMarkEvent(node_bytes_, 1));  // successor died
+    }
+    trace_->Append(WriteRefEvent(root_, li, kNullObject));
+    trace_->Append(GarbageMarkEvent(node_bytes_, 1));  // head died
+    list.clear();
+  }
+
+  // Swaps two list heads: two pointer overwrites, zero garbage (both
+  // lists stay reachable through the other slot). The application's
+  // temporary variable pins list A across the instant where no root
+  // slot references it.
+  void SwapHeads(uint32_t a, uint32_t b) {
+    if (a == b || lists_[a].empty() || lists_[b].empty()) return;
+    ObjectId head_a = lists_[a].front();
+    ObjectId head_b = lists_[b].front();
+    trace_->Append(AddRootEvent(head_a));
+    trace_->Append(WriteRefEvent(root_, a, head_b));
+    trace_->Append(WriteRefEvent(root_, b, head_a));
+    trace_->Append(RemoveRootEvent(head_a));
+    std::swap(lists_[a], lists_[b]);
+  }
+
+  // Reads the first `depth` nodes of list `li`.
+  void WalkPrefix(uint32_t li, size_t depth) {
+    const std::deque<ObjectId>& list = lists_[li];
+    size_t n = std::min(depth, list.size());
+    for (size_t i = 0; i < n; ++i) trace_->Append(ReadEvent(list[i]));
+  }
+
+ private:
+  Trace* trace_;
+  uint32_t node_bytes_;
+  ObjectId root_ = kNullObject;
+  ObjectId next_id_ = 1;
+  std::vector<std::deque<ObjectId>> lists_;
+};
+
+}  // namespace
+
+Trace MakeUniformChurn(const UniformChurnOptions& options) {
+  ODBGC_CHECK(options.list_count > 0 && options.target_length > 0);
+  Trace trace;
+  Rng rng(options.seed);
+  uint32_t lists = static_cast<uint32_t>(options.list_count);
+  ListWorld world(&trace, lists, options.node_bytes);
+  for (int i = 0; i < options.cycles; ++i) {
+    uint32_t append_list = static_cast<uint32_t>(i) % lists;
+    world.Append(append_list);
+    uint32_t trim_list =
+        static_cast<uint32_t>(rng.NextBelow(lists));
+    if (world.list_length(trim_list) >
+        static_cast<size_t>(options.target_length)) {
+      world.TrimTail(trim_list);
+    }
+  }
+  return trace;
+}
+
+Trace MakeBurstyDeletes(const BurstyDeleteOptions& options) {
+  ODBGC_CHECK(options.lists_per_burst > 0 && options.list_length > 0);
+  Trace trace;
+  Rng rng(options.seed);
+  uint32_t lists = static_cast<uint32_t>(options.lists_per_burst);
+  ListWorld world(&trace, lists, options.node_bytes);
+  for (int burst = 0; burst < options.bursts; ++burst) {
+    // Quiet phase: rebuild the lists, then idle along with reads and
+    // benign head swaps (overwrites that create no garbage, so the
+    // garbage-per-overwrite rate collapses between bursts).
+    int rebuild = options.lists_per_burst * options.list_length;
+    for (int i = 0; i < options.quiet_cycles_per_burst; ++i) {
+      if (i < rebuild) {
+        world.Append(static_cast<uint32_t>(i) % lists);
+      } else if (i % 3 == 0 && lists > 1) {
+        world.SwapHeads(static_cast<uint32_t>(rng.NextBelow(lists)),
+                        static_cast<uint32_t>(rng.NextBelow(lists)));
+      } else {
+        world.WalkPrefix(static_cast<uint32_t>(rng.NextBelow(lists)), 12);
+      }
+    }
+    // Burst: drop everything at once.
+    for (uint32_t li = 0; li < lists; ++li) world.DropList(li);
+  }
+  return trace;
+}
+
+Trace MakeGrowingDatabase(const GrowingDatabaseOptions& options) {
+  ODBGC_CHECK(options.retain_every > 0 && options.churn_window > 0);
+  Trace trace;
+  Rng rng(options.seed);
+  // Slot 0: permanent list (never trimmed); slot 1: churn list.
+  ListWorld world(&trace, 2, options.node_bytes);
+  for (int i = 0; i < options.cycles; ++i) {
+    if (i % options.retain_every == 0) {
+      world.Append(0);  // permanent: the database keeps growing
+    } else {
+      world.Append(1);
+      if (world.list_length(1) >
+          static_cast<size_t>(options.churn_window)) {
+        world.TrimTail(1);
+      }
+    }
+    if (i % 7 == 0) {
+      world.WalkPrefix(static_cast<uint32_t>(rng.NextBelow(2)), 8);
+    }
+  }
+  return trace;
+}
+
+Trace MakeMessageQueue(const MessageQueueOptions& options) {
+  ODBGC_CHECK(options.batch > 0);
+  Trace trace;
+  ListWorld world(&trace, 1, options.message_bytes);
+  for (int i = 0; i < options.cycles; ++i) {
+    world.Append(0);
+    // Consume in batches: when the queue doubles, walk the live prefix
+    // and cut the tail half off in one overwrite.
+    if (world.list_length(0) >
+        static_cast<size_t>(2 * options.batch)) {
+      // Cut after `batch` messages: everything older dies as a cluster.
+      // ListWorld has no partial-cut primitive, so trim node by node
+      // would be O(n^2); instead drop and rebuild semantics are wrong —
+      // emulate the cut directly through TrimTail repetitions kept short
+      // by construction (queue length is bounded at 2*batch+1, so the
+      // batch trim walks at most that).
+      size_t drop = world.list_length(0) - options.batch;
+      for (size_t k = 0; k < drop; ++k) world.TrimTail(0);
+    }
+  }
+  return trace;
+}
+
+}  // namespace odbgc

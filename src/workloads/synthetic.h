@@ -1,0 +1,76 @@
+#ifndef ODBGC_WORKLOADS_SYNTHETIC_H_
+#define ODBGC_WORKLOADS_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "trace/trace.h"
+
+namespace odbgc {
+
+// Synthetic non-OO7 workloads, built to probe the assumptions the
+// paper's policies make (its Section 5 asks exactly this: do other
+// applications violate the assumptions, and what does that do to the
+// policies?). Every workload emits a self-contained trace — root setup,
+// events, and exact ground-truth garbage markers — deterministic in its
+// seed, and validated against the reachability scanner in tests.
+
+// Steady-state churn: `list_count` linked lists under one root; each
+// cycle appends a node to one list (round-robin) and trims another back
+// to `target_length`. Garbage is created at a near-constant rate and
+// spread across the database — the benign case where every policy
+// assumption holds.
+struct UniformChurnOptions {
+  uint64_t seed = 1;
+  int cycles = 20000;
+  int list_count = 16;
+  int target_length = 64;
+  uint32_t node_bytes = 400;
+};
+Trace MakeUniformChurn(const UniformChurnOptions& options);
+
+// Bursty deletion: long quiet stretches (reads plus benign pointer
+// shuffles that advance the overwrite clock without making garbage),
+// punctuated by bursts that drop entire lists at once. Garbage creation
+// per overwrite swings between ~0 and very large — stressing SAGA's
+// smoothed-slope assumption — and collections alternate between empty
+// and rich, stressing SAIO's Delta_GCIO ~= CurrGCIO assumption (which
+// its c_hist history window is designed to absorb).
+struct BurstyDeleteOptions {
+  uint64_t seed = 1;
+  int bursts = 40;
+  int quiet_cycles_per_burst = 400;
+  int lists_per_burst = 4;
+  int list_length = 48;
+  uint32_t node_bytes = 400;
+};
+Trace MakeBurstyDeletes(const BurstyDeleteOptions& options);
+
+// Monotonic growth: churn at a fixed rate while the database keeps
+// growing (a fraction of nodes is never trimmed). Violates SAGA's
+// "database size does not change appreciably between collections"
+// assumption and continuously dilutes any garbage percentage target.
+struct GrowingDatabaseOptions {
+  uint64_t seed = 1;
+  int cycles = 30000;
+  uint32_t node_bytes = 400;
+  // Every `retain_every`-th appended node becomes permanent.
+  int retain_every = 3;
+  int churn_window = 64;  // transient nodes beyond this get trimmed
+};
+Trace MakeGrowingDatabase(const GrowingDatabaseOptions& options);
+
+// Producer/consumer queue: head appends, periodic batched tail prunes.
+// Garbage arrives in medium-sized, regular bursts with strong spatial
+// locality (the dropped tail is contiguous) — a shape common in real
+// systems and unlike OO7's reorganizations.
+struct MessageQueueOptions {
+  uint64_t seed = 1;
+  int cycles = 20000;
+  int batch = 50;
+  uint32_t message_bytes = 600;
+};
+Trace MakeMessageQueue(const MessageQueueOptions& options);
+
+}  // namespace odbgc
+
+#endif  // ODBGC_WORKLOADS_SYNTHETIC_H_

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "storage/buffer_pool.h"
+
+namespace odbgc {
+namespace {
+
+PageId P(PartitionId part, uint32_t page) { return PageId{part, page}; }
+
+TEST(BufferPoolTest, FirstAccessIsAMissAndRead) {
+  BufferPool pool(4);
+  pool.Access(P(0, 0), /*dirty=*/false, IoContext::kApplication);
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_EQ(pool.stats().app_reads, 1u);
+  EXPECT_EQ(pool.stats().app_writes, 0u);
+}
+
+TEST(BufferPoolTest, RepeatedAccessHits) {
+  BufferPool pool(4);
+  pool.Access(P(0, 0), false, IoContext::kApplication);
+  pool.Access(P(0, 0), false, IoContext::kApplication);
+  pool.Access(P(0, 0), true, IoContext::kApplication);
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(pool.hits(), 2u);
+  EXPECT_EQ(pool.stats().app_reads, 1u);
+}
+
+TEST(BufferPoolTest, LruEvictionOrder) {
+  BufferPool pool(2);
+  pool.Access(P(0, 0), false, IoContext::kApplication);
+  pool.Access(P(0, 1), false, IoContext::kApplication);
+  // Touch page 0 so page 1 becomes LRU.
+  pool.Access(P(0, 0), false, IoContext::kApplication);
+  // Page 2 evicts page 1.
+  pool.Access(P(0, 2), false, IoContext::kApplication);
+  // Page 0 should still be resident (hit); page 1 should miss.
+  pool.Access(P(0, 0), false, IoContext::kApplication);
+  EXPECT_EQ(pool.hits(), 2u);
+  pool.Access(P(0, 1), false, IoContext::kApplication);
+  EXPECT_EQ(pool.misses(), 4u);
+}
+
+TEST(BufferPoolTest, DirtyEvictionCostsWrite) {
+  BufferPool pool(1);
+  pool.Access(P(0, 0), /*dirty=*/true, IoContext::kApplication);
+  EXPECT_EQ(pool.stats().app_writes, 0u);  // not written back yet
+  pool.Access(P(0, 1), false, IoContext::kApplication);
+  // Evicting dirty page 0 costs one write attributed to the evictor.
+  EXPECT_EQ(pool.stats().app_writes, 1u);
+  EXPECT_EQ(pool.stats().app_reads, 2u);
+}
+
+TEST(BufferPoolTest, CleanEvictionCostsNoWrite) {
+  BufferPool pool(1);
+  pool.Access(P(0, 0), false, IoContext::kApplication);
+  pool.Access(P(0, 1), false, IoContext::kApplication);
+  EXPECT_EQ(pool.stats().app_writes, 0u);
+}
+
+TEST(BufferPoolTest, DirtinessMergesAcrossAccesses) {
+  BufferPool pool(1);
+  pool.Access(P(0, 0), false, IoContext::kApplication);
+  pool.Access(P(0, 0), true, IoContext::kApplication);  // now dirty
+  pool.Access(P(0, 1), false, IoContext::kApplication);
+  EXPECT_EQ(pool.stats().app_writes, 1u);
+}
+
+TEST(BufferPoolTest, GcContextAttribution) {
+  BufferPool pool(1);
+  pool.Access(P(0, 0), true, IoContext::kCollector);
+  pool.Access(P(0, 1), false, IoContext::kCollector);
+  EXPECT_EQ(pool.stats().gc_reads, 2u);
+  EXPECT_EQ(pool.stats().gc_writes, 1u);
+  EXPECT_EQ(pool.stats().app_total(), 0u);
+}
+
+TEST(BufferPoolTest, EvictionAttributedToEvictorNotOwner) {
+  BufferPool pool(1);
+  // App dirties a page; the collector's access evicts it. The write-back
+  // is charged to the collector (it caused the transfer).
+  pool.Access(P(0, 0), true, IoContext::kApplication);
+  pool.Access(P(0, 1), false, IoContext::kCollector);
+  EXPECT_EQ(pool.stats().app_writes, 0u);
+  EXPECT_EQ(pool.stats().gc_writes, 1u);
+}
+
+TEST(BufferPoolTest, DropPartitionTailDiscardsWithoutWriteback) {
+  BufferPool pool(4);
+  pool.Access(P(3, 0), true, IoContext::kCollector);
+  pool.Access(P(3, 1), true, IoContext::kCollector);
+  pool.Access(P(4, 1), true, IoContext::kCollector);
+  pool.DropPartitionTail(3, 1);
+  EXPECT_EQ(pool.resident_pages(), 2u);  // (3,0) and (4,1) remain
+  pool.FlushAll(IoContext::kCollector);
+  // Only the two surviving dirty pages get written.
+  EXPECT_EQ(pool.stats().gc_writes, 2u);
+}
+
+TEST(BufferPoolTest, FlushAllWritesDirtyOnce) {
+  BufferPool pool(4);
+  pool.Access(P(0, 0), true, IoContext::kApplication);
+  pool.Access(P(0, 1), false, IoContext::kApplication);
+  pool.FlushAll(IoContext::kApplication);
+  EXPECT_EQ(pool.stats().app_writes, 1u);
+  pool.FlushAll(IoContext::kApplication);  // now clean: no-op
+  EXPECT_EQ(pool.stats().app_writes, 1u);
+}
+
+TEST(BufferPoolTest, NeverExceedsFrameCount) {
+  BufferPool pool(3);
+  for (uint32_t i = 0; i < 100; ++i) {
+    pool.Access(P(i % 7, i), i % 2 == 0, IoContext::kApplication);
+    EXPECT_LE(pool.resident_pages(), 3u);
+  }
+}
+
+TEST(BufferPoolTest, PagesDistinguishedByPartition) {
+  BufferPool pool(4);
+  pool.Access(P(0, 0), false, IoContext::kApplication);
+  pool.Access(P(1, 0), false, IoContext::kApplication);
+  EXPECT_EQ(pool.misses(), 2u);
+}
+
+}  // namespace
+}  // namespace odbgc

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "storage/disk_model.h"
+#include "storage/object_store.h"
+
+namespace odbgc {
+namespace {
+
+DiskParams TestDisk() {
+  DiskParams p;
+  p.seek_ms = 10.0;
+  p.rotational_ms = 5.0;
+  p.transfer_mb_per_s = 8.0;  // 1 KB page -> 0.125 ms transfer
+  return p;
+}
+
+TEST(DiskModelTest, FirstTransferIsRandom) {
+  DiskModel disk(TestDisk(), 1024, 16);
+  disk.OnTransfer(PageId{0, 0}, IoContext::kApplication);
+  EXPECT_EQ(disk.random_transfers(), 1u);
+  EXPECT_EQ(disk.sequential_transfers(), 0u);
+  EXPECT_NEAR(disk.app_ms(), 15.0 + 0.128, 0.01);
+}
+
+TEST(DiskModelTest, ConsecutivePagesAreSequential) {
+  DiskModel disk(TestDisk(), 1024, 16);
+  disk.OnTransfer(PageId{0, 0}, IoContext::kCollector);
+  disk.OnTransfer(PageId{0, 1}, IoContext::kCollector);
+  disk.OnTransfer(PageId{0, 2}, IoContext::kCollector);
+  EXPECT_EQ(disk.random_transfers(), 1u);
+  EXPECT_EQ(disk.sequential_transfers(), 2u);
+  // One positioned transfer + two pure transfers.
+  EXPECT_NEAR(disk.gc_ms(), 15.0 + 3 * 0.128, 0.01);
+}
+
+TEST(DiskModelTest, PartitionBoundaryIsSequentialInLba) {
+  // Partition-major layout: the last page of partition p is adjacent to
+  // the first page of partition p+1.
+  DiskModel disk(TestDisk(), 1024, 16);
+  disk.OnTransfer(PageId{0, 15}, IoContext::kApplication);
+  disk.OnTransfer(PageId{1, 0}, IoContext::kApplication);
+  EXPECT_EQ(disk.sequential_transfers(), 1u);
+}
+
+TEST(DiskModelTest, BackwardAccessIsRandom) {
+  DiskModel disk(TestDisk(), 1024, 16);
+  disk.OnTransfer(PageId{0, 5}, IoContext::kApplication);
+  disk.OnTransfer(PageId{0, 4}, IoContext::kApplication);  // backward: seek
+  // Re-reading page 5 right after page 4 is forward-adjacent again.
+  disk.OnTransfer(PageId{0, 5}, IoContext::kApplication);
+  EXPECT_EQ(disk.random_transfers(), 2u);
+  EXPECT_EQ(disk.sequential_transfers(), 1u);
+}
+
+TEST(DiskModelTest, ContextSplitsAccounting) {
+  DiskModel disk(TestDisk(), 1024, 16);
+  disk.OnTransfer(PageId{0, 0}, IoContext::kApplication);
+  disk.OnTransfer(PageId{7, 3}, IoContext::kCollector);
+  EXPECT_GT(disk.app_ms(), 0.0);
+  EXPECT_GT(disk.gc_ms(), 0.0);
+  EXPECT_NEAR(disk.total_ms(), disk.app_ms() + disk.gc_ms(), 1e-9);
+}
+
+TEST(DiskModelTest, StoreIntegrationSequentialScanIsCheap) {
+  StoreConfig cfg;
+  cfg.partition_bytes = 16 * 1024;
+  cfg.page_bytes = 1024;
+  // Large enough that no dirty evictions interleave with the scan
+  // (write-backs would move the head and break sequentiality).
+  cfg.buffer_pages = 16;
+  cfg.enable_disk_timing = true;
+  cfg.disk = TestDisk();
+  ObjectStore store(cfg);
+  ASSERT_NE(store.disk_model(), nullptr);
+
+  // Sequentially allocate 12 KB: pages touched in order -> mostly
+  // sequential transfers.
+  for (ObjectId id = 1; id <= 12; ++id) {
+    store.CreateObject(id, 1024, 0);
+  }
+  const DiskModel* disk = store.disk_model();
+  EXPECT_GT(disk->sequential_transfers(), disk->random_transfers());
+}
+
+TEST(DiskModelTest, DisabledByDefault) {
+  StoreConfig cfg;
+  ObjectStore store(cfg);
+  EXPECT_EQ(store.disk_model(), nullptr);
+}
+
+TEST(DiskModelTest, RandomReadsCostMoreThanSequential) {
+  StoreConfig cfg;
+  cfg.partition_bytes = 16 * 1024;
+  cfg.page_bytes = 1024;
+  cfg.buffer_pages = 2;  // tiny buffer: every access misses
+  cfg.enable_disk_timing = true;
+  cfg.disk = TestDisk();
+
+  // Sequential workload.
+  ObjectStore seq(cfg);
+  for (ObjectId id = 1; id <= 14; ++id) seq.CreateObject(id, 1024, 0);
+  double seq_ms = seq.disk_model()->total_ms();
+
+  // Same volume, alternating between two distant partitions.
+  ObjectStore rnd(cfg);
+  rnd.CreateObject(1, 16 * 1024, 0);  // fills partition 0
+  rnd.CreateObject(2, 16 * 1024, 0);  // fills partition 1
+  for (int i = 0; i < 6; ++i) {
+    rnd.ReadObject(1);
+    rnd.ReadObject(2);
+  }
+  double rnd_ms = rnd.disk_model()->total_ms();
+  EXPECT_GT(rnd_ms, seq_ms);
+}
+
+}  // namespace
+}  // namespace odbgc

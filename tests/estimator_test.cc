@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "core/estimator.h"
+
+namespace odbgc {
+namespace {
+
+EstimatorCollectionInfo Info(uint32_t partition, uint64_t reclaimed,
+                             uint64_t partition_overwrites,
+                             uint64_t partition_count,
+                             uint64_t ground_truth = 0) {
+  EstimatorCollectionInfo info;
+  info.partition = partition;
+  info.bytes_reclaimed = reclaimed;
+  info.partition_overwrites = partition_overwrites;
+  info.partition_count = partition_count;
+  info.ground_truth_garbage_bytes = ground_truth;
+  return info;
+}
+
+TEST(OracleEstimatorTest, ReturnsExactGroundTruth) {
+  OracleEstimator oracle;
+  EXPECT_DOUBLE_EQ(oracle.Estimate(), 0.0);
+  oracle.OnCollection(Info(0, 100, 10, 4, /*ground_truth=*/12345));
+  EXPECT_DOUBLE_EQ(oracle.Estimate(), 12345.0);
+  oracle.SetGroundTruth(99.0);
+  EXPECT_DOUBLE_EQ(oracle.Estimate(), 99.0);
+}
+
+TEST(CgsCbEstimatorTest, EstimateIsReclaimedTimesPartitionCount) {
+  CgsCbEstimator est;
+  EXPECT_DOUBLE_EQ(est.Estimate(), 0.0);
+  est.OnCollection(Info(2, /*reclaimed=*/1000, 50, /*partitions=*/8));
+  EXPECT_DOUBLE_EQ(est.Estimate(), 8000.0);
+}
+
+TEST(CgsCbEstimatorTest, UsesOnlyCurrentBehavior) {
+  CgsCbEstimator est;
+  est.OnCollection(Info(0, 1000, 10, 4));
+  est.OnCollection(Info(1, 10, 10, 4));
+  // No memory of the first collection: estimate swings to 10 * 4.
+  EXPECT_DOUBLE_EQ(est.Estimate(), 40.0);
+}
+
+TEST(CgsCbEstimatorTest, IgnoresPointerOverwrites) {
+  CgsCbEstimator est;
+  est.OnCollection(Info(0, 100, 10, 4));
+  double before = est.Estimate();
+  for (int i = 0; i < 100; ++i) est.OnPointerOverwrite(1);
+  EXPECT_DOUBLE_EQ(est.Estimate(), before);
+}
+
+TEST(FgsHbEstimatorTest, ZeroBeforeAnyCollection) {
+  FgsHbEstimator est(0.8);
+  est.OnPointerOverwrite(0);
+  est.OnPointerOverwrite(1);
+  // Overwrites recorded, but no behavior metric yet.
+  EXPECT_DOUBLE_EQ(est.Estimate(), 0.0);
+  EXPECT_EQ(est.outstanding_overwrites(), 2u);
+}
+
+TEST(FgsHbEstimatorTest, FirstCollectionInitializesGppo) {
+  FgsHbEstimator est(0.8);
+  for (int i = 0; i < 10; ++i) est.OnPointerOverwrite(0);
+  for (int i = 0; i < 6; ++i) est.OnPointerOverwrite(1);
+  // Collect partition 0: 10 overwrites there, 500 bytes reclaimed.
+  est.OnCollection(Info(0, 500, 10, 2));
+  // GPPO = 50 bytes/overwrite; partition 0's counter reset, 6 remain.
+  EXPECT_DOUBLE_EQ(est.gppo_history(), 50.0);
+  EXPECT_EQ(est.outstanding_overwrites(), 6u);
+  EXPECT_DOUBLE_EQ(est.Estimate(), 50.0 * 6.0);
+}
+
+TEST(FgsHbEstimatorTest, ExponentialHistoryBlending) {
+  FgsHbEstimator est(0.8);
+  for (int i = 0; i < 10; ++i) est.OnPointerOverwrite(0);
+  est.OnCollection(Info(0, 500, 10, 2));  // GPPO = 50
+  for (int i = 0; i < 10; ++i) est.OnPointerOverwrite(0);
+  est.OnCollection(Info(0, 1000, 10, 2));  // sample GPPO = 100
+  // 0.8 * 50 + 0.2 * 100 = 60.
+  EXPECT_DOUBLE_EQ(est.gppo_history(), 60.0);
+}
+
+TEST(FgsHbEstimatorTest, ZeroHistoryDegeneratesToCurrentBehavior) {
+  // h = 0 is the FGS/CB corner of the design space (Section 2.4.2).
+  FgsHbEstimator est(0.0);
+  for (int i = 0; i < 10; ++i) est.OnPointerOverwrite(0);
+  est.OnCollection(Info(0, 500, 10, 2));
+  for (int i = 0; i < 10; ++i) est.OnPointerOverwrite(0);
+  est.OnCollection(Info(0, 1000, 10, 2));
+  EXPECT_DOUBLE_EQ(est.gppo_history(), 100.0);
+}
+
+TEST(FgsHbEstimatorTest, CollectionWithNoOverwritesCarriesNoSignal) {
+  FgsHbEstimator est(0.8);
+  for (int i = 0; i < 10; ++i) est.OnPointerOverwrite(0);
+  est.OnCollection(Info(0, 500, 10, 2));
+  double gppo = est.gppo_history();
+  // Partition 1 never saw an overwrite; collecting it reclaims nothing
+  // and must not disturb the rate estimate.
+  est.OnCollection(Info(1, 0, 0, 2));
+  EXPECT_DOUBLE_EQ(est.gppo_history(), gppo);
+}
+
+TEST(FgsHbEstimatorTest, PerPartitionCountersResetOnlyForCollected) {
+  FgsHbEstimator est(0.5);
+  for (int i = 0; i < 4; ++i) est.OnPointerOverwrite(0);
+  for (int i = 0; i < 7; ++i) est.OnPointerOverwrite(1);
+  est.OnCollection(Info(1, 700, 7, 2));
+  EXPECT_EQ(est.outstanding_overwrites(), 4u);
+  for (int i = 0; i < 2; ++i) est.OnPointerOverwrite(1);
+  EXPECT_EQ(est.outstanding_overwrites(), 6u);
+}
+
+TEST(FgsHbEstimatorTest, ZeroYieldCollectionDragsEstimateDown) {
+  FgsHbEstimator est(0.5);
+  for (int i = 0; i < 10; ++i) est.OnPointerOverwrite(0);
+  est.OnCollection(Info(0, 1000, 10, 2));  // GPPO 100
+  for (int i = 0; i < 10; ++i) est.OnPointerOverwrite(0);
+  est.OnCollection(Info(0, 0, 10, 2));  // benign overwrites: GPPO 0
+  EXPECT_DOUBLE_EQ(est.gppo_history(), 50.0);
+}
+
+TEST(CgsHbEstimatorTest, FirstCollectionInitializes) {
+  CgsHbEstimator est(0.8);
+  EXPECT_DOUBLE_EQ(est.Estimate(), 0.0);
+  est.OnCollection(Info(0, /*reclaimed=*/1000, 10, /*partitions=*/4));
+  EXPECT_DOUBLE_EQ(est.smoothed_reclaimed(), 1000.0);
+  EXPECT_DOUBLE_EQ(est.Estimate(), 4000.0);
+}
+
+TEST(CgsHbEstimatorTest, SmoothsReclaimedBytes) {
+  CgsHbEstimator est(0.8);
+  est.OnCollection(Info(0, 1000, 10, 4));
+  est.OnCollection(Info(1, 2000, 10, 4));
+  // 0.8 * 1000 + 0.2 * 2000 = 1200.
+  EXPECT_DOUBLE_EQ(est.smoothed_reclaimed(), 1200.0);
+  EXPECT_DOUBLE_EQ(est.Estimate(), 1200.0 * 4.0);
+}
+
+TEST(CgsHbEstimatorTest, LessVolatileThanCgsCb) {
+  CgsHbEstimator hb(0.8);
+  CgsCbEstimator cb;
+  // Alternate rich and empty collections; CB swings, HB damps.
+  for (int i = 0; i < 10; ++i) {
+    uint64_t reclaimed = (i % 2 == 0) ? 10000 : 0;
+    hb.OnCollection(Info(0, reclaimed, 10, 4));
+    cb.OnCollection(Info(0, reclaimed, 10, 4));
+  }
+  // After an empty collection CB reads zero; HB retains history.
+  EXPECT_DOUBLE_EQ(cb.Estimate(), 0.0);
+  EXPECT_GT(hb.Estimate(), 0.0);
+}
+
+TEST(CgsHbEstimatorTest, ZeroHistoryDegeneratesToCgsCb) {
+  CgsHbEstimator hb(0.0);
+  CgsCbEstimator cb;
+  for (uint64_t reclaimed : {500u, 3000u, 100u}) {
+    hb.OnCollection(Info(0, reclaimed, 10, 7));
+    cb.OnCollection(Info(0, reclaimed, 10, 7));
+    EXPECT_DOUBLE_EQ(hb.Estimate(), cb.Estimate());
+  }
+}
+
+TEST(CgsHbEstimatorTest, TracksPartitionCount) {
+  CgsHbEstimator est(0.5);
+  est.OnCollection(Info(0, 1000, 10, 4));
+  est.OnCollection(Info(1, 1000, 10, 8));  // database grew
+  EXPECT_DOUBLE_EQ(est.Estimate(), 1000.0 * 8.0);
+}
+
+TEST(MakeEstimatorTest, FactoryProducesEveryKind) {
+  EXPECT_EQ(MakeEstimator(EstimatorKind::kOracle, 0.8)->name(), "Oracle");
+  EXPECT_EQ(MakeEstimator(EstimatorKind::kCgsCb, 0.8)->name(), "CGS/CB");
+  EXPECT_NE(MakeEstimator(EstimatorKind::kCgsHb, 0.8)->name().find("CGS/HB"),
+            std::string::npos);
+  EXPECT_NE(MakeEstimator(EstimatorKind::kFgsHb, 0.8)->name().find("FGS/HB"),
+            std::string::npos);
+  // The FGS/CB corner is FGS/HB with the history factor forced to zero.
+  auto fgscb = MakeEstimator(EstimatorKind::kFgsCb, 0.8);
+  EXPECT_NE(fgscb->name().find("h=0.00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace odbgc

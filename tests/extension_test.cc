@@ -1,0 +1,268 @@
+// Tests for the Section 5 extensions: opportunistic collection during
+// quiescence (kIdleMark) and the coupled SAIO/SAGA policy.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/coupled.h"
+#include "core/saga.h"
+#include "core/saio.h"
+#include "oo7/generator.h"
+#include "sim/runner.h"
+#include "sim/simulation.h"
+
+namespace odbgc {
+namespace {
+
+SimClock At(uint64_t app_io, uint64_t gc_io, uint64_t overwrites,
+            uint64_t db_bytes) {
+  SimClock c;
+  c.app_io = app_io;
+  c.gc_io = gc_io;
+  c.pointer_overwrites = overwrites;
+  c.db_used_bytes = db_bytes;
+  return c;
+}
+
+SimConfig TinyConfig() {
+  SimConfig cfg;
+  cfg.store.partition_bytes = 16 * 1024;
+  cfg.store.page_bytes = 2 * 1024;
+  cfg.store.buffer_pages = 8;
+  cfg.preamble_collections = 3;
+  return cfg;
+}
+
+// --- SAIO opportunism unit behavior ---
+
+TEST(SaioOpportunismTest, DisabledByDefault) {
+  SaioPolicy policy(0.10);
+  EXPECT_FALSE(policy.ShouldCollectWhenIdle(At(1000, 100, 50, 100000)));
+}
+
+TEST(SaioOpportunismTest, CollectsWhileYieldIsWorthwhile) {
+  SaioPolicy policy(0.10);
+  policy.set_opportunism(true, /*min_idle_yield_bytes=*/1000);
+  SimClock clock = At(1000, 100, 50, 100000);
+  // First probe always allowed.
+  EXPECT_TRUE(policy.ShouldCollectWhenIdle(clock));
+  policy.OnIdleCollection(CollectionOutcome{10, /*reclaimed=*/5000}, clock);
+  EXPECT_TRUE(policy.ShouldCollectWhenIdle(clock));
+  policy.OnIdleCollection(CollectionOutcome{10, /*reclaimed=*/500}, clock);
+  EXPECT_FALSE(policy.ShouldCollectWhenIdle(clock));
+}
+
+TEST(SaioOpportunismTest, ScheduledCollectionRearmsIdleProbe) {
+  SaioPolicy policy(0.10);
+  policy.set_opportunism(true, 1000);
+  SimClock clock = At(3000, 100, 50, 100000);
+  policy.OnIdleCollection(CollectionOutcome{10, 0}, clock);
+  EXPECT_FALSE(policy.ShouldCollectWhenIdle(clock));
+  policy.OnCollection(CollectionOutcome{100, 20000}, clock);
+  EXPECT_TRUE(policy.ShouldCollectWhenIdle(clock));
+}
+
+TEST(SaioOpportunismTest, IdleCollectionsDoNotPerturbSchedule) {
+  SaioPolicy policy(0.10, 0, /*bootstrap=*/500);
+  policy.set_opportunism(true, 1000);
+  SimClock clock = At(500, 100, 0, 100000);
+  policy.OnCollection(CollectionOutcome{100, 0}, clock);
+  uint64_t threshold = policy.next_app_io_threshold();
+  policy.OnIdleCollection(CollectionOutcome{5000, 50000}, clock);
+  EXPECT_EQ(policy.next_app_io_threshold(), threshold);
+}
+
+// --- SAGA opportunism unit behavior ---
+
+TEST(SagaOpportunismTest, CollectsDownToIdleFloor) {
+  SagaPolicy::Options opts;
+  opts.garbage_frac = 0.10;
+  opts.opportunism = true;
+  opts.idle_floor_frac = 0.05;
+  auto est = std::make_unique<OracleEstimator>();
+  OracleEstimator* oracle = est.get();
+  SagaPolicy policy(opts, std::move(est));
+
+  SimClock clock = At(0, 0, 500, 100000);
+  oracle->SetGroundTruth(8000.0);  // 8% > 5% floor
+  EXPECT_TRUE(policy.ShouldCollectWhenIdle(clock));
+  oracle->SetGroundTruth(4000.0);  // 4% < 5% floor
+  EXPECT_FALSE(policy.ShouldCollectWhenIdle(clock));
+}
+
+TEST(SagaOpportunismTest, StallsOnZeroYieldUntilLoadResumes) {
+  SagaPolicy::Options opts;
+  opts.opportunism = true;
+  opts.idle_floor_frac = 0.01;
+  auto est = std::make_unique<OracleEstimator>();
+  OracleEstimator* oracle = est.get();
+  SagaPolicy policy(opts, std::move(est));
+  oracle->SetGroundTruth(50000.0);
+
+  SimClock clock = At(0, 0, 500, 100000);
+  EXPECT_TRUE(policy.ShouldCollectWhenIdle(clock));
+  policy.OnIdleCollection(CollectionOutcome{10, /*reclaimed=*/0}, clock);
+  // Remaining garbage is out of reach: stop burning idle cycles.
+  EXPECT_FALSE(policy.ShouldCollectWhenIdle(clock));
+  policy.OnCollection(CollectionOutcome{10, 100}, clock);
+  EXPECT_TRUE(policy.ShouldCollectWhenIdle(clock));
+}
+
+TEST(SagaOpportunismTest, DisabledByDefault) {
+  SagaPolicy::Options opts;
+  auto est = std::make_unique<OracleEstimator>();
+  est->SetGroundTruth(1.0e9);
+  SagaPolicy policy(opts, std::move(est));
+  EXPECT_FALSE(policy.ShouldCollectWhenIdle(At(0, 0, 500, 100000)));
+}
+
+// --- Idle periods through the full simulation ---
+
+Trace TraceWithIdlePeriod(uint64_t seed, uint32_t idle_budget,
+                          const Oo7Params& params = Oo7Params::Tiny()) {
+  Oo7Generator gen(params, seed);
+  Trace base;
+  gen.GenDb(&base);
+  gen.Reorg1(&base);
+  base.Append(IdleMarkEvent(idle_budget));
+  gen.Traverse(&base);
+  return base;
+}
+
+TEST(IdleSimulationTest, OpportunismDrainsGarbageDuringIdle) {
+  // Full-size database: the estimator needs an ongoing collection stream
+  // for its view to be current when the idle period starts.
+  SimConfig with;  // paper-default store
+  with.policy = PolicyKind::kSaga;
+  with.estimator = EstimatorKind::kOracle;
+  with.saga.garbage_frac = 0.20;  // lazy under load
+  with.saga.opportunism = true;
+  with.saga.idle_floor_frac = 0.02;
+  with.saga.bootstrap_overwrites = 100;
+
+  SimConfig without = with;
+  without.saga.opportunism = false;
+
+  Trace trace =
+      TraceWithIdlePeriod(3, /*idle_budget=*/100, Oo7Params::SmallPrime());
+  SimResult r_with = RunSimulation(with, trace);
+  SimResult r_without = RunSimulation(without, trace);
+
+  EXPECT_GT(r_with.idle_collections, 0u);
+  EXPECT_EQ(r_without.idle_collections, 0u);
+  // Opportunism leaves less garbage at the end of the idle+readonly tail.
+  EXPECT_LT(r_with.final_actual_garbage_bytes,
+            r_without.final_actual_garbage_bytes);
+}
+
+TEST(IdleSimulationTest, IdleBudgetRespected) {
+  SimConfig cfg = TinyConfig();
+  cfg.policy = PolicyKind::kSaga;
+  cfg.estimator = EstimatorKind::kOracle;
+  cfg.saga.garbage_frac = 0.30;
+  cfg.saga.opportunism = true;
+  cfg.saga.idle_floor_frac = 0.001;  // wants to collect nearly forever
+  cfg.saga.bootstrap_overwrites = 100;
+  Trace trace = TraceWithIdlePeriod(4, /*idle_budget=*/3);
+  SimResult r = RunSimulation(cfg, trace);
+  EXPECT_LE(r.idle_collections, 3u);
+}
+
+TEST(IdleSimulationTest, IdleMarkIsNoOpForNonOpportunisticPolicies) {
+  SimConfig cfg = TinyConfig();
+  cfg.policy = PolicyKind::kFixedRate;
+  cfg.fixed_rate_overwrites = 50;
+  Trace trace = TraceWithIdlePeriod(5, 100);
+  SimResult r = RunSimulation(cfg, trace);
+  EXPECT_EQ(r.idle_collections, 0u);
+  EXPECT_EQ(r.idle_gc_io, 0u);
+}
+
+// --- Coupled policy ---
+
+TEST(CoupledPolicyTest, DegeneratesToSaioWhenScalesPinned) {
+  CoupledIoPolicy::Options opts;
+  opts.io_frac = 0.10;
+  opts.min_scale = 1.0;
+  opts.max_scale = 1.0;
+  opts.bootstrap_app_io = 500;
+  CoupledIoPolicy coupled(opts, std::make_unique<OracleEstimator>());
+  SaioPolicy saio(0.10, 0, 500);
+
+  SimClock clock = At(500, 100, 0, 100000);
+  coupled.OnCollection(CollectionOutcome{100, 0}, clock);
+  saio.OnCollection(CollectionOutcome{100, 0}, clock);
+  EXPECT_EQ(coupled.next_app_io_threshold(), saio.next_app_io_threshold());
+}
+
+TEST(CoupledPolicyTest, BacksOffWhenLittleGarbage) {
+  CoupledIoPolicy::Options opts;
+  opts.io_frac = 0.10;
+  opts.garbage_ref_frac = 0.10;
+  opts.min_scale = 0.25;
+  opts.max_scale = 1.5;
+  auto est = std::make_unique<OracleEstimator>();
+  OracleEstimator* oracle = est.get();
+  CoupledIoPolicy policy(opts, std::move(est));
+
+  SimClock clock = At(2000, 100, 0, 100000);
+  oracle->SetGroundTruth(1000.0);  // 1% garbage vs 10% reference
+  policy.OnCollection(CollectionOutcome{100, 0}, clock);
+  // scale = 0.1 -> clamped to 0.25 -> effective frac 2.5%.
+  EXPECT_DOUBLE_EQ(policy.last_effective_frac(), 0.025);
+
+  oracle->SetGroundTruth(20000.0);  // 20% garbage: boost, clamped at 1.5x
+  policy.OnCollection(CollectionOutcome{100, 0}, clock);
+  EXPECT_DOUBLE_EQ(policy.last_effective_frac(), 0.15);
+}
+
+TEST(CoupledPolicyTest, LowerEffectiveFracMeansLongerInterval) {
+  CoupledIoPolicy::Options opts;
+  opts.io_frac = 0.10;
+  auto est = std::make_unique<OracleEstimator>();
+  OracleEstimator* oracle = est.get();
+  CoupledIoPolicy policy(opts, std::move(est));
+  SimClock clock = At(2000, 100, 0, 100000);
+
+  oracle->SetGroundTruth(10000.0);  // exactly at reference: plain SAIO
+  policy.OnCollection(CollectionOutcome{100, 0}, clock);
+  uint64_t at_reference = policy.next_app_io_threshold() - clock.app_io;
+
+  CoupledIoPolicy policy2(opts, std::make_unique<OracleEstimator>());
+  // Estimator reads 0 garbage -> min_scale floor -> longer interval.
+  policy2.OnCollection(CollectionOutcome{100, 0}, clock);
+  uint64_t at_floor = policy2.next_app_io_threshold() - clock.app_io;
+  EXPECT_GT(at_floor, at_reference);
+}
+
+TEST(CoupledPolicyTest, EndToEndSpendsLessIoThanSaioAtSameBudget) {
+  Oo7Generator gen(Oo7Params::Tiny(), 9);
+  Trace trace = gen.GenerateFullApplication();
+
+  SimConfig saio_cfg = TinyConfig();
+  saio_cfg.policy = PolicyKind::kSaio;
+  saio_cfg.saio_frac = 0.15;
+
+  SimConfig coupled_cfg = TinyConfig();
+  coupled_cfg.policy = PolicyKind::kCoupled;
+  coupled_cfg.estimator = EstimatorKind::kFgsHb;
+  coupled_cfg.coupled.io_frac = 0.15;
+  coupled_cfg.coupled.garbage_ref_frac = 0.10;
+
+  SimResult saio = RunSimulation(saio_cfg, trace);
+  SimResult coupled = RunSimulation(coupled_cfg, trace);
+  // The coupled policy backs off during the low-garbage phases, so it
+  // must not spend more GC I/O overall.
+  EXPECT_LE(coupled.clock.gc_io, saio.clock.gc_io);
+}
+
+TEST(CoupledPolicyTest, NameDescribesConfiguration) {
+  CoupledIoPolicy::Options opts;
+  CoupledIoPolicy policy(opts, std::make_unique<OracleEstimator>());
+  EXPECT_NE(policy.name().find("CoupledIO"), std::string::npos);
+  EXPECT_NE(policy.name().find("Oracle"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace odbgc

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "core/alloc_triggered.h"
+#include "core/fixed_rate.h"
+
+namespace odbgc {
+namespace {
+
+TEST(FixedRatePolicyTest, TriggersEveryNOverwrites) {
+  FixedRatePolicy policy(100);
+  SimClock clock;
+  clock.pointer_overwrites = 99;
+  EXPECT_FALSE(policy.ShouldCollect(clock));
+  clock.pointer_overwrites = 100;
+  EXPECT_TRUE(policy.ShouldCollect(clock));
+}
+
+TEST(FixedRatePolicyTest, ReschedulesFromCollectionTime) {
+  FixedRatePolicy policy(100);
+  SimClock clock;
+  clock.pointer_overwrites = 130;  // collection happened late
+  policy.OnCollection(CollectionOutcome{}, clock);
+  clock.pointer_overwrites = 229;
+  EXPECT_FALSE(policy.ShouldCollect(clock));
+  clock.pointer_overwrites = 230;
+  EXPECT_TRUE(policy.ShouldCollect(clock));
+}
+
+TEST(FixedRatePolicyTest, IgnoresIoCounters) {
+  FixedRatePolicy policy(10);
+  SimClock clock;
+  clock.app_io = 1000000;
+  clock.gc_io = 1000000;
+  EXPECT_FALSE(policy.ShouldCollect(clock));
+}
+
+TEST(FixedRatePolicyTest, Name) {
+  FixedRatePolicy policy(200);
+  EXPECT_EQ(policy.name(), "FixedRate(200)");
+  EXPECT_EQ(policy.overwrites_per_collection(), 200u);
+}
+
+TEST(ConnectivityHeuristicTest, ReproducesPaperDerivation) {
+  // Section 2.1: connectivity 4, 133-byte objects, 96 KB partitions
+  // "an obvious choice ... collect every 2956 pointer overwrites".
+  EXPECT_EQ(ConnectivityHeuristicPolicy::DeriveInterval(4.0, 133.0,
+                                                        96 * 1024),
+            2956u);
+}
+
+TEST(ConnectivityHeuristicTest, BehavesAsFixedRateAtDerivedInterval) {
+  ConnectivityHeuristicPolicy policy(4.0, 133.0, 96 * 1024);
+  EXPECT_EQ(policy.overwrites_per_collection(), 2956u);
+  SimClock clock;
+  clock.pointer_overwrites = 2955;
+  EXPECT_FALSE(policy.ShouldCollect(clock));
+  clock.pointer_overwrites = 2956;
+  EXPECT_TRUE(policy.ShouldCollect(clock));
+  EXPECT_EQ(policy.name(), "ConnectivityHeuristic");
+}
+
+TEST(ConnectivityHeuristicTest, ScalesWithPartitionSize) {
+  uint64_t small = ConnectivityHeuristicPolicy::DeriveInterval(4.0, 133.0,
+                                                               48 * 1024);
+  uint64_t large = ConnectivityHeuristicPolicy::DeriveInterval(4.0, 133.0,
+                                                               96 * 1024);
+  EXPECT_NEAR(static_cast<double>(large) / static_cast<double>(small), 2.0,
+              0.01);
+}
+
+
+TEST(AllocationRatePolicyTest, TriggersOnAllocatedBytes) {
+  AllocationRatePolicy policy(1000);
+  SimClock c;
+  c.bytes_allocated = 999;
+  EXPECT_FALSE(policy.ShouldCollect(c));
+  c.bytes_allocated = 1000;
+  EXPECT_TRUE(policy.ShouldCollect(c));
+  policy.OnCollection(CollectionOutcome{}, c);
+  EXPECT_FALSE(policy.ShouldCollect(c));
+  c.bytes_allocated = 2000;
+  EXPECT_TRUE(policy.ShouldCollect(c));
+}
+
+TEST(AllocationRatePolicyTest, IgnoresOverwritesEntirely) {
+  AllocationRatePolicy policy(1000);
+  SimClock c;
+  c.pointer_overwrites = 1000000;  // heavy deletion, no allocation
+  EXPECT_FALSE(policy.ShouldCollect(c));
+}
+
+TEST(AllocationRatePolicyTest, Name) {
+  AllocationRatePolicy policy(4096);
+  EXPECT_EQ(policy.name(), "AllocationRate(4096B)");
+}
+
+TEST(AllocationTriggeredPolicyTest, FiresOnDatabaseGrowth) {
+  AllocationTriggeredPolicy policy;
+  SimClock c;
+  c.partitions = 1;
+  EXPECT_TRUE(policy.ShouldCollect(c));  // first partition = growth
+  policy.OnCollection(CollectionOutcome{}, c);
+  EXPECT_FALSE(policy.ShouldCollect(c));
+  c.partitions = 2;
+  EXPECT_TRUE(policy.ShouldCollect(c));
+}
+
+TEST(AllocationTriggeredPolicyTest, QuietWhileDatabaseStable) {
+  AllocationTriggeredPolicy policy;
+  SimClock c;
+  c.partitions = 3;
+  policy.OnCollection(CollectionOutcome{}, c);
+  c.bytes_allocated = 1 << 20;  // churn reusing freed space: no growth
+  c.pointer_overwrites = 50000;
+  EXPECT_FALSE(policy.ShouldCollect(c));
+}
+
+}  // namespace
+}  // namespace odbgc

@@ -1,0 +1,163 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/saio.h"
+#include "tools/tool_common.h"
+#include "util/flags.h"
+
+namespace odbgc {
+namespace {
+
+Flags ParseOk(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;  // keep c_str()s alive
+  storage = std::move(args);
+  argv.push_back(const_cast<char*>("tool"));
+  for (auto& a : storage) argv.push_back(const_cast<char*>(a.c_str()));
+  Flags flags;
+  std::string error;
+  EXPECT_TRUE(Flags::Parse(static_cast<int>(argv.size()), argv.data(),
+                           &flags, &error))
+      << error;
+  return flags;
+}
+
+TEST(FlagsTest, KeyEqualsValue) {
+  Flags f = ParseOk({"--policy=saga", "--saga-frac=0.15"});
+  EXPECT_EQ(f.GetString("policy", ""), "saga");
+  EXPECT_DOUBLE_EQ(f.GetDouble("saga-frac", 0.0), 0.15);
+}
+
+TEST(FlagsTest, BareKeyFollowedByPositionalStaysBoolean) {
+  // No `--key value` form: the token after a bare flag is positional.
+  Flags f = ParseOk({"--verbose", "400"});
+  EXPECT_TRUE(f.GetBool("verbose", false));
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "400");
+}
+
+TEST(FlagsTest, BareFlagIsBooleanTrue) {
+  Flags f = ParseOk({"--opportunism", "--policy=saio"});
+  EXPECT_TRUE(f.GetBool("opportunism", false));
+  EXPECT_EQ(f.GetString("policy", ""), "saio");
+}
+
+TEST(FlagsTest, BooleanSpellings) {
+  Flags f = ParseOk({"--a=true", "--b=1", "--c=yes", "--d=on", "--e=false",
+                     "--f=0"});
+  EXPECT_TRUE(f.GetBool("a", false));
+  EXPECT_TRUE(f.GetBool("b", false));
+  EXPECT_TRUE(f.GetBool("c", false));
+  EXPECT_TRUE(f.GetBool("d", false));
+  EXPECT_FALSE(f.GetBool("e", true));
+  EXPECT_FALSE(f.GetBool("f", true));
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  Flags f = ParseOk({"input.trace", "--verbose", "other.file"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.trace");
+  EXPECT_EQ(f.positional()[1], "other.file");
+}
+
+TEST(FlagsTest, DefaultsWhenMissing) {
+  Flags f = ParseOk({});
+  EXPECT_EQ(f.GetString("x", "dflt"), "dflt");
+  EXPECT_EQ(f.GetInt("y", 7), 7);
+  EXPECT_DOUBLE_EQ(f.GetDouble("z", 1.5), 1.5);
+  EXPECT_FALSE(f.Has("x"));
+}
+
+TEST(FlagsTest, UnusedKeysDetected) {
+  Flags f = ParseOk({"--used=1", "--typo=2"});
+  (void)f.GetInt("used", 0);
+  std::vector<std::string> unused = f.UnusedKeys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(ToolCommonTest, BuildOo7ParamsPresets) {
+  Oo7Params params;
+  std::string error;
+  Flags f = ParseOk({"--oo7=tiny", "--connectivity=9"});
+  ASSERT_TRUE(tools::BuildOo7Params(f, &params, &error)) << error;
+  EXPECT_EQ(params.num_comp_per_module, Oo7Params::Tiny().num_comp_per_module);
+  EXPECT_EQ(params.num_conn_per_atomic, 9u);
+
+  Flags bad = ParseOk({"--oo7=enormous"});
+  EXPECT_FALSE(tools::BuildOo7Params(bad, &params, &error));
+}
+
+TEST(ToolCommonTest, BuildSimConfigPolicies) {
+  std::string error;
+  {
+    SimConfig cfg;
+    Flags f = ParseOk({"--policy=saio", "--saio-frac=0.2", "--hist=inf"});
+    ASSERT_TRUE(tools::BuildSimConfig(f, &cfg, &error)) << error;
+    EXPECT_EQ(cfg.policy, PolicyKind::kSaio);
+    EXPECT_DOUBLE_EQ(cfg.saio_frac, 0.2);
+    EXPECT_EQ(cfg.saio_history, SaioPolicy::kInfiniteHistory);
+  }
+  {
+    SimConfig cfg;
+    Flags f = ParseOk({"--policy=fixed", "--rate=321"});
+    ASSERT_TRUE(tools::BuildSimConfig(f, &cfg, &error)) << error;
+    EXPECT_EQ(cfg.policy, PolicyKind::kFixedRate);
+    EXPECT_EQ(cfg.fixed_rate_overwrites, 321u);
+  }
+  {
+    SimConfig cfg;
+    Flags f = ParseOk({"--policy=coupled", "--ref-frac=0.3",
+                       "--estimator=cgshb", "--selector=roundrobin",
+                       "--partition-kb=32", "--page-kb=4"});
+    ASSERT_TRUE(tools::BuildSimConfig(f, &cfg, &error)) << error;
+    EXPECT_EQ(cfg.policy, PolicyKind::kCoupled);
+    EXPECT_DOUBLE_EQ(cfg.coupled.garbage_ref_frac, 0.3);
+    EXPECT_EQ(cfg.estimator, EstimatorKind::kCgsHb);
+    EXPECT_EQ(cfg.selector, SelectorKind::kRoundRobin);
+    EXPECT_EQ(cfg.store.partition_bytes, 32u * 1024u);
+  }
+  {
+    SimConfig cfg;
+    Flags f = ParseOk({"--policy=nonsense"});
+    EXPECT_FALSE(tools::BuildSimConfig(f, &cfg, &error));
+  }
+}
+
+TEST(ToolCommonTest, BuildWorkloadTraceKinds) {
+  std::string error;
+  for (const char* w : {"uniform-churn", "bursty-deletes", "growing-db",
+                        "message-queue"}) {
+    Trace trace;
+    Flags f = ParseOk({std::string("--workload=") + w, "--cycles=500",
+                       "--bursts=3"});
+    ASSERT_TRUE(tools::BuildWorkloadTrace(f, &trace, &error))
+        << w << ": " << error;
+    EXPECT_GT(trace.size(), 0u) << w;
+  }
+  Trace trace;
+  Flags f = ParseOk({"--workload=oo7", "--oo7=tiny", "--seed=3"});
+  ASSERT_TRUE(tools::BuildWorkloadTrace(f, &trace, &error)) << error;
+  EXPECT_GT(trace.size(), 1000u);
+
+  Flags idle = ParseOk({"--workload=oo7", "--oo7=tiny",
+                        "--idle-after-reorg1=50"});
+  Trace idle_trace;
+  ASSERT_TRUE(tools::BuildWorkloadTrace(idle, &idle_trace, &error)) << error;
+  bool has_idle = false;
+  for (const TraceEvent& e : idle_trace.events()) {
+    if (e.kind == EventKind::kIdleMark) {
+      has_idle = true;
+      EXPECT_EQ(e.a, 50u);
+    }
+  }
+  EXPECT_TRUE(has_idle);
+
+  Flags bad = ParseOk({"--workload=quantum"});
+  EXPECT_FALSE(tools::BuildWorkloadTrace(bad, &trace, &error));
+}
+
+}  // namespace
+}  // namespace odbgc

@@ -1,0 +1,162 @@
+// Randomized safety harness: arbitrary graph surgery (cycles, shared
+// structure, root changes) with exact ground truth, swept across seeds
+// and policy configurations. If the collector, the reverse index, the
+// markers, or the scanner ever disagree, these tests fail.
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+#include "storage/reachability.h"
+#include "tests/replay_test_util.h"
+#include "workloads/fuzz.h"
+
+namespace odbgc {
+namespace {
+
+StoreConfig FuzzStore() {
+  StoreConfig cfg;
+  cfg.partition_bytes = 8 * 1024;
+  cfg.page_bytes = 1024;
+  cfg.buffer_pages = 8;
+  return cfg;
+}
+
+RandomGraphOptions FuzzOptions(uint64_t seed) {
+  RandomGraphOptions o;
+  o.seed = seed;
+  o.operations = 1500;
+  o.max_object_bytes = 700;
+  return o;
+}
+
+class FuzzMarkers : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzMarkers, MarkersMatchScannerOnBareReplay) {
+  Trace trace = MakeRandomGraph(FuzzOptions(GetParam()));
+  ObjectStore store(FuzzStore());
+  ReplayIntoStore(trace, &store);
+  ReachabilityResult scan = ScanReachability(store);
+  EXPECT_EQ(scan.unreachable_bytes, store.actual_garbage_bytes());
+  EXPECT_EQ(scan.unreachable_objects,
+            store.total_garbage_created() > 0
+                ? scan.unreachable_objects  // tautology guard
+                : 0u);
+  EXPECT_GT(trace.size(), 1000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzMarkers,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+struct FuzzComboParam {
+  uint64_t seed;
+  PolicyKind policy;
+  SelectorKind selector;
+  const char* label;
+};
+
+class FuzzSimulation : public ::testing::TestWithParam<FuzzComboParam> {};
+
+TEST_P(FuzzSimulation, CollectorNeverEatsReachableObjects) {
+  const FuzzComboParam& p = GetParam();
+  Trace trace = MakeRandomGraph(FuzzOptions(p.seed));
+
+  // Ground truth: the reachable set after a collector-free replay.
+  ObjectStore bare(FuzzStore());
+  ReplayIntoStore(trace, &bare);
+  ReachabilityResult truth = ScanReachability(bare);
+
+  SimConfig cfg;
+  cfg.store = FuzzStore();
+  cfg.policy = p.policy;
+  cfg.selector = p.selector;
+  cfg.fixed_rate_overwrites = 25;
+  cfg.saio_frac = 0.20;
+  cfg.saio_bootstrap_app_io = 200;
+  cfg.saga.garbage_frac = 0.10;
+  cfg.saga.bootstrap_overwrites = 50;
+  cfg.coupled.io_frac = 0.20;
+  cfg.coupled.bootstrap_app_io = 200;
+  cfg.estimator = EstimatorKind::kFgsHb;
+  cfg.preamble_collections = 2;
+
+  Simulation sim(cfg);
+  SimResult r = sim.Run(trace);
+  EXPECT_GT(r.collections, 0u) << p.label;
+
+  const ObjectStore& store = sim.store();
+  // 1. Everything reachable in truth still exists and is reachable.
+  ReachabilityResult after = ScanReachability(store);
+  for (ObjectId id = 1; id <= bare.max_object_id(); ++id) {
+    if (id < truth.reachable.size() && truth.reachable[id]) {
+      ASSERT_TRUE(store.Exists(id)) << p.label << " lost object " << id;
+      EXPECT_TRUE(after.reachable[id]) << p.label << " unreached " << id;
+    }
+  }
+  // 2. Marker accounting consistent with the scanner.
+  EXPECT_EQ(after.unreachable_bytes, store.actual_garbage_bytes())
+      << p.label;
+  // 3. The reverse index survived all the churn.
+  for (ObjectId id = 1; id <= store.max_object_id(); ++id) {
+    if (!store.Exists(id)) continue;
+    for (ObjectId target : store.object(id).slots) {
+      if (target == kNullObject) continue;
+      ASSERT_TRUE(store.Exists(target)) << p.label;
+      const auto& in = store.object(target).in_refs;
+      EXPECT_NE(std::find(in.begin(), in.end(), id), in.end()) << p.label;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndPolicies, FuzzSimulation,
+    ::testing::Values(
+        FuzzComboParam{11, PolicyKind::kFixedRate,
+                       SelectorKind::kUpdatedPointer, "fixed_up_11"},
+        FuzzComboParam{12, PolicyKind::kFixedRate, SelectorKind::kRandom,
+                       "fixed_rand_12"},
+        FuzzComboParam{13, PolicyKind::kFixedRate,
+                       SelectorKind::kRoundRobin, "fixed_rr_13"},
+        FuzzComboParam{14, PolicyKind::kSaio,
+                       SelectorKind::kUpdatedPointer, "saio_up_14"},
+        FuzzComboParam{15, PolicyKind::kSaga,
+                       SelectorKind::kUpdatedPointer, "saga_up_15"},
+        FuzzComboParam{16, PolicyKind::kSaga, SelectorKind::kRandom,
+                       "saga_rand_16"},
+        FuzzComboParam{17, PolicyKind::kCoupled,
+                       SelectorKind::kUpdatedPointer, "coupled_up_17"},
+        FuzzComboParam{18, PolicyKind::kSaga,
+                       SelectorKind::kMostGarbageOracle,
+                       "saga_oracle_sel_18"}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+TEST(FuzzWorkloadTest, DeterministicBySeed) {
+  Trace a = MakeRandomGraph(FuzzOptions(42));
+  Trace b = MakeRandomGraph(FuzzOptions(42));
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST(FuzzWorkloadTest, DifferentSeedsDiffer) {
+  Trace a = MakeRandomGraph(FuzzOptions(1));
+  Trace b = MakeRandomGraph(FuzzOptions(2));
+  bool differ = a.size() != b.size();
+  for (size_t i = 0; !differ && i < a.size(); ++i) {
+    differ = !(a[i] == b[i]);
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(FuzzWorkloadTest, ProducesGarbageAndCycles) {
+  Trace t = MakeRandomGraph(FuzzOptions(3));
+  Trace::Summary s = t.Summarize();
+  EXPECT_GT(s.ground_truth_garbage_bytes, 0u);
+  EXPECT_GT(s.creates, 100u);
+  EXPECT_GT(s.write_refs, s.creates);  // relinks beyond initial links
+}
+
+}  // namespace
+}  // namespace odbgc

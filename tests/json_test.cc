@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "oo7/generator.h"
+#include "sim/report.h"
+#include "sim/simulation.h"
+#include "util/json.h"
+
+namespace odbgc {
+namespace {
+
+TEST(JsonWriterTest, EmptyObject) {
+  JsonWriter w;
+  w.BeginObject();
+  w.EndObject();
+  EXPECT_EQ(w.TakeString(), "{}");
+}
+
+TEST(JsonWriterTest, ScalarsAndCommas) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("i");
+  w.Value(uint64_t{42});
+  w.Key("n");
+  w.Value(int64_t{-7});
+  w.Key("d");
+  w.Value(1.5);
+  w.Key("b");
+  w.Value(true);
+  w.Key("s");
+  w.Value("hi");
+  w.Key("z");
+  w.Null();
+  w.EndObject();
+  EXPECT_EQ(w.TakeString(),
+            "{\"i\":42,\"n\":-7,\"d\":1.5,\"b\":true,\"s\":\"hi\","
+            "\"z\":null}");
+}
+
+TEST(JsonWriterTest, NestedArraysAndObjects) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a");
+  w.BeginArray();
+  w.Value(uint64_t{1});
+  w.BeginObject();
+  w.Key("x");
+  w.Value(uint64_t{2});
+  w.EndObject();
+  w.BeginArray();
+  w.Value(uint64_t{3});
+  w.Value(uint64_t{4});
+  w.EndArray();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.TakeString(), "{\"a\":[1,{\"x\":2},[3,4]]}");
+}
+
+TEST(JsonWriterTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonWriter::Escape("a\"b\\c\nd\te"),
+            "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(JsonWriter::Escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Value(0.0 / 0.0);
+  w.EndArray();
+  EXPECT_EQ(w.TakeString(), "[null]");
+}
+
+TEST(JsonWriterDeathTest, ValueWithoutKeyAborts) {
+  EXPECT_DEATH(
+      {
+        JsonWriter w;
+        w.BeginObject();
+        w.Value(uint64_t{1});
+      },
+      "");
+}
+
+TEST(JsonWriterDeathTest, UnbalancedDocumentAborts) {
+  EXPECT_DEATH(
+      {
+        JsonWriter w;
+        w.BeginObject();
+        (void)w.TakeString();
+      },
+      "");
+}
+
+TEST(SimResultJsonTest, RoundTripsThroughRealParserShape) {
+  Oo7Generator gen(Oo7Params::Tiny(), 5);
+  Trace trace = gen.GenerateFullApplication();
+  SimConfig cfg;
+  cfg.store.partition_bytes = 16 * 1024;
+  cfg.store.page_bytes = 2 * 1024;
+  cfg.store.buffer_pages = 8;
+  cfg.policy = PolicyKind::kSaga;
+  cfg.saga.bootstrap_overwrites = 100;
+  SimResult r = RunSimulation(cfg, trace);
+
+  std::string json = SimResultToJson(r);
+  // Structural sanity: balanced braces/brackets, key presence.
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (c == '\\') {
+      escaped = true;
+      continue;
+    }
+    if (c == '"') in_string = !in_string;
+    if (in_string) continue;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+  EXPECT_NE(json.find("\"collections\":"), std::string::npos);
+  EXPECT_NE(json.find("\"garbage_pct\":"), std::string::npos);
+  EXPECT_NE(json.find("\"phases\":"), std::string::npos);
+  EXPECT_NE(json.find("\"collection_log\":"), std::string::npos);
+  EXPECT_NE(json.find("\"GenDB\""), std::string::npos);
+
+  // Excluding the log shrinks the document.
+  std::string summary = SimResultToJson(r, /*include_collection_log=*/false);
+  EXPECT_LT(summary.size(), json.size());
+  EXPECT_EQ(summary.find("\"collection_log\""), std::string::npos);
+}
+
+TEST(SimResultJsonTest, WriteToFile) {
+  SimResult r;
+  std::string path = testing::TempDir() + "/report.json";
+  ASSERT_TRUE(WriteResultJson(r, path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[4];
+  ASSERT_EQ(std::fread(buf, 1, 1, f), 1u);
+  EXPECT_EQ(buf[0], '{');
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace odbgc

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "storage/partition.h"
+
+namespace odbgc {
+namespace {
+
+TEST(PartitionTest, BumpAllocationTracksUsage) {
+  Partition p(3, 4096);
+  EXPECT_EQ(p.id(), 3u);
+  EXPECT_EQ(p.capacity(), 4096u);
+  EXPECT_EQ(p.used(), 0u);
+  EXPECT_EQ(p.free_bytes(), 4096u);
+
+  EXPECT_EQ(p.Allocate(10, 100), 0u);
+  EXPECT_EQ(p.Allocate(11, 200), 100u);
+  EXPECT_EQ(p.used(), 300u);
+  EXPECT_EQ(p.free_bytes(), 3796u);
+  ASSERT_EQ(p.objects().size(), 2u);
+  EXPECT_EQ(p.objects()[0], 10u);
+  EXPECT_EQ(p.objects()[1], 11u);
+}
+
+TEST(PartitionTest, FitsBoundary) {
+  Partition p(0, 1000);
+  p.Allocate(1, 999);
+  EXPECT_TRUE(p.Fits(1));
+  EXPECT_FALSE(p.Fits(2));
+  p.Allocate(2, 1);
+  EXPECT_FALSE(p.Fits(1));
+  EXPECT_EQ(p.used(), 1000u);
+}
+
+TEST(PartitionTest, OverflowAborts) {
+  Partition p(0, 100);
+  EXPECT_DEATH(p.Allocate(1, 101), "");
+}
+
+TEST(PartitionTest, OverwriteCounterLifecycle) {
+  Partition p(0, 4096);
+  EXPECT_EQ(p.overwrites(), 0u);
+  p.RecordOverwrite();
+  p.RecordOverwrite();
+  EXPECT_EQ(p.overwrites(), 2u);
+  p.ResetOverwrites();
+  EXPECT_EQ(p.overwrites(), 0u);
+}
+
+TEST(PartitionTest, ResetAfterCollectionReplacesState) {
+  Partition p(0, 4096);
+  p.Allocate(1, 100);
+  p.Allocate(2, 200);
+  p.Allocate(3, 300);
+  p.RecordOverwrite();
+
+  p.ResetAfterCollection({1, 3}, 400);
+  EXPECT_EQ(p.used(), 400u);
+  ASSERT_EQ(p.objects().size(), 2u);
+  EXPECT_EQ(p.objects()[0], 1u);
+  EXPECT_EQ(p.objects()[1], 3u);
+  // Collection resets the FGS counter and counts itself.
+  EXPECT_EQ(p.overwrites(), 0u);
+  EXPECT_EQ(p.collections(), 1u);
+}
+
+TEST(PartitionTest, CollectionStamp) {
+  Partition p(0, 4096);
+  EXPECT_EQ(p.last_collected_stamp(), 0u);
+  p.set_last_collected_stamp(17);
+  EXPECT_EQ(p.last_collected_stamp(), 17u);
+}
+
+TEST(PartitionTest, AllocationAfterCompactionReusesSpace) {
+  Partition p(0, 1000);
+  p.Allocate(1, 600);
+  p.Allocate(2, 400);
+  EXPECT_FALSE(p.Fits(1));
+  p.ResetAfterCollection({2}, 400);  // object 1 died; 2 compacted
+  EXPECT_TRUE(p.Fits(600));
+  EXPECT_EQ(p.Allocate(3, 600), 400u);
+}
+
+}  // namespace
+}  // namespace odbgc

@@ -1,0 +1,294 @@
+// Parameterized property sweeps: invariants that must hold across seeds,
+// connectivities, policies and estimators.
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "oo7/generator.h"
+#include "sim/runner.h"
+#include "sim/simulation.h"
+#include "storage/reachability.h"
+#include "tests/replay_test_util.h"
+
+namespace odbgc {
+namespace {
+
+SimConfig TinyConfig() {
+  SimConfig cfg;
+  cfg.store.partition_bytes = 16 * 1024;
+  cfg.store.page_bytes = 2 * 1024;
+  cfg.store.buffer_pages = 8;
+  cfg.preamble_collections = 3;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------
+// Ground-truth markers equal scanner output for any seed x connectivity.
+// ---------------------------------------------------------------------
+
+class MarkerConsistency
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint32_t>> {};
+
+TEST_P(MarkerConsistency, MarkersMatchReachability) {
+  auto [seed, connectivity] = GetParam();
+  Oo7Params params = Oo7Params::Tiny();
+  params.num_conn_per_atomic = connectivity;
+  Oo7Generator gen(params, seed);
+  Trace trace = gen.GenerateFullApplication();
+
+  StoreConfig store_cfg;
+  store_cfg.partition_bytes = 16 * 1024;
+  store_cfg.page_bytes = 2 * 1024;
+  store_cfg.buffer_pages = 8;
+  ObjectStore store(store_cfg);
+  ReplayIntoStore(trace, &store);
+  ReachabilityResult scan = ScanReachability(store);
+  EXPECT_EQ(scan.unreachable_bytes, store.actual_garbage_bytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndConnectivity, MarkerConsistency,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_conn" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Full-simulation safety: under every policy/estimator/selector combo,
+// no reachable object is ever reclaimed and accounting stays coherent.
+// ---------------------------------------------------------------------
+
+struct ComboParam {
+  PolicyKind policy;
+  EstimatorKind estimator;
+  SelectorKind selector;
+  const char* label;
+};
+
+class PolicyCombo : public ::testing::TestWithParam<ComboParam> {};
+
+TEST_P(PolicyCombo, SafetyInvariants) {
+  const ComboParam& p = GetParam();
+  SimConfig cfg = TinyConfig();
+  cfg.policy = p.policy;
+  cfg.estimator = p.estimator;
+  cfg.selector = p.selector;
+  cfg.fixed_rate_overwrites = 40;
+  cfg.saio_frac = 0.15;
+  cfg.saio_bootstrap_app_io = 500;
+  cfg.saga.bootstrap_overwrites = 100;
+
+  Oo7Generator gen(Oo7Params::Tiny(), 42);
+  Trace trace = gen.GenerateFullApplication();
+  Simulation sim(cfg);
+  SimResult r = sim.Run(trace);
+
+  EXPECT_GT(r.collections, 0u) << p.label;
+  EXPECT_LE(sim.store().total_garbage_collected(),
+            sim.store().total_garbage_created())
+      << p.label;
+  ReachabilityResult scan = ScanReachability(sim.store());
+  EXPECT_EQ(scan.unreachable_bytes, sim.store().actual_garbage_bytes())
+      << p.label;
+  // All of the shadow graph's live objects survived.
+  EXPECT_EQ(scan.reachable_objects,
+            sim.store().live_object_count() - scan.unreachable_objects)
+      << p.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, PolicyCombo,
+    ::testing::Values(
+        ComboParam{PolicyKind::kFixedRate, EstimatorKind::kOracle,
+                   SelectorKind::kUpdatedPointer, "fixed_up"},
+        ComboParam{PolicyKind::kFixedRate, EstimatorKind::kOracle,
+                   SelectorKind::kRoundRobin, "fixed_rr"},
+        ComboParam{PolicyKind::kSaio, EstimatorKind::kOracle,
+                   SelectorKind::kUpdatedPointer, "saio_up"},
+        ComboParam{PolicyKind::kSaio, EstimatorKind::kOracle,
+                   SelectorKind::kRandom, "saio_rand"},
+        ComboParam{PolicyKind::kSaga, EstimatorKind::kOracle,
+                   SelectorKind::kUpdatedPointer, "saga_oracle"},
+        ComboParam{PolicyKind::kSaga, EstimatorKind::kCgsCb,
+                   SelectorKind::kUpdatedPointer, "saga_cgscb"},
+        ComboParam{PolicyKind::kSaga, EstimatorKind::kFgsHb,
+                   SelectorKind::kUpdatedPointer, "saga_fgshb"},
+        ComboParam{PolicyKind::kSaga, EstimatorKind::kFgsHb,
+                   SelectorKind::kRandom, "saga_fgshb_rand"}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+// ---------------------------------------------------------------------
+// SAIO monotonicity: a higher requested I/O share must not produce
+// fewer collections.
+// ---------------------------------------------------------------------
+
+class SaioMonotonic : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SaioMonotonic, MoreBudgetMeansMoreCollections) {
+  uint64_t seed = GetParam();
+  Oo7Generator gen(Oo7Params::Tiny(), seed);
+  Trace trace = gen.GenerateFullApplication();
+
+  uint64_t prev_collections = 0;
+  for (double frac : {0.02, 0.10, 0.30}) {
+    SimConfig cfg = TinyConfig();
+    cfg.policy = PolicyKind::kSaio;
+    cfg.saio_frac = frac;
+    cfg.saio_bootstrap_app_io = 500;
+    SimResult r = RunSimulation(cfg, trace);
+    EXPECT_GE(r.collections + 1, prev_collections)
+        << "frac=" << frac;  // +1 slack for discretization
+    prev_collections = r.collections;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SaioMonotonic,
+                         ::testing::Values(11u, 12u, 13u));
+
+// ---------------------------------------------------------------------
+// FixedRate: halving the interval cannot reduce the collection count.
+// ---------------------------------------------------------------------
+
+class FixedRateMonotonic : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FixedRateMonotonic, ShorterIntervalMoreCollections) {
+  Oo7Generator gen(Oo7Params::Tiny(), GetParam());
+  Trace trace = gen.GenerateFullApplication();
+  uint64_t prev = 0;
+  for (uint64_t interval : {400u, 100u, 25u}) {
+    SimConfig cfg = TinyConfig();
+    cfg.policy = PolicyKind::kFixedRate;
+    cfg.fixed_rate_overwrites = interval;
+    SimResult r = RunSimulation(cfg, trace);
+    EXPECT_GE(r.collections, prev) << "interval=" << interval;
+    prev = r.collections;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FixedRateMonotonic,
+                         ::testing::Values(21u, 22u));
+
+// ---------------------------------------------------------------------
+// SAGA garbage budget: a larger requested garbage fraction leaves at
+// least as much garbage on average (with the oracle estimator).
+// ---------------------------------------------------------------------
+
+class SagaMonotonic : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SagaMonotonic, LargerBudgetMoreGarbage) {
+  Oo7Generator gen(Oo7Params::Tiny(), GetParam());
+  Trace trace = gen.GenerateFullApplication();
+  double prev = -1.0;
+  for (double frac : {0.05, 0.20, 0.40}) {
+    SimConfig cfg = TinyConfig();
+    cfg.policy = PolicyKind::kSaga;
+    cfg.estimator = EstimatorKind::kOracle;
+    cfg.saga.garbage_frac = frac;
+    cfg.saga.bootstrap_overwrites = 100;
+    SimResult r = RunSimulation(cfg, trace);
+    if (!r.window_opened) continue;
+    double mean = r.garbage_pct.mean();
+    EXPECT_GE(mean + 1.5, prev) << "frac=" << frac;  // small slack
+    prev = mean;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SagaMonotonic, ::testing::Values(31u, 32u));
+
+// ---------------------------------------------------------------------
+// Store geometry: the invariants hold for any partition/page/buffer
+// shape, not just the paper's 96KB/8KB/12 configuration.
+// ---------------------------------------------------------------------
+
+struct GeometryParam {
+  uint32_t partition_kb;
+  uint32_t page_kb;
+  uint32_t buffer_pages;
+  const char* label;
+};
+
+class GeometrySweep : public ::testing::TestWithParam<GeometryParam> {};
+
+TEST_P(GeometrySweep, InvariantsHoldAcrossGeometries) {
+  const GeometryParam& g = GetParam();
+  SimConfig cfg;
+  cfg.store.partition_bytes = g.partition_kb * 1024;
+  cfg.store.page_bytes = g.page_kb * 1024;
+  cfg.store.buffer_pages = g.buffer_pages;
+  cfg.preamble_collections = 3;
+  cfg.policy = PolicyKind::kSaga;
+  cfg.estimator = EstimatorKind::kFgsHb;
+  cfg.saga.bootstrap_overwrites = 100;
+
+  Oo7Generator gen(Oo7Params::Tiny(), 57);
+  Trace trace = gen.GenerateFullApplication();
+  Simulation sim(cfg);
+  SimResult r = sim.Run(trace);
+  EXPECT_GT(r.collections, 0u) << g.label;
+
+  const ObjectStore& store = sim.store();
+  // Objects never straddle a partition boundary and partitions never
+  // overflow.
+  for (const Partition& p : store.partitions()) {
+    EXPECT_LE(p.used(), p.capacity()) << g.label;
+    uint64_t resident = 0;
+    for (ObjectId id : p.objects()) {
+      if (!store.Exists(id)) continue;
+      const ObjectRecord& rec = store.object(id);
+      EXPECT_LE(rec.offset + rec.size, p.capacity()) << g.label;
+      EXPECT_EQ(rec.partition, p.id()) << g.label;
+      resident += rec.size;
+    }
+    EXPECT_LE(resident, p.used()) << g.label;
+  }
+  // Marker accounting consistent with the scanner.
+  ReachabilityResult scan = ScanReachability(store);
+  EXPECT_EQ(scan.unreachable_bytes, store.actual_garbage_bytes())
+      << g.label;
+  // The buffer never exceeded its frame budget.
+  EXPECT_LE(store.buffer_pool().resident_pages(), g.buffer_pages)
+      << g.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GeometrySweep,
+    ::testing::Values(GeometryParam{8, 1, 4, "small_parts_tiny_buffer"},
+                      GeometryParam{16, 2, 8, "default_test_shape"},
+                      GeometryParam{16, 2, 1, "single_frame"},
+                      GeometryParam{32, 4, 8, "mid"},
+                      GeometryParam{96, 8, 12, "paper_shape"},
+                      GeometryParam{96, 2, 48, "paper_small_pages"},
+                      GeometryParam{64, 16, 4, "big_pages"}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+// ---------------------------------------------------------------------
+// Buffer pool: frame budget respected through entire applications.
+// ---------------------------------------------------------------------
+
+class BufferBudget : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BufferBudget, ResidencyNeverExceedsFrames) {
+  uint32_t frames = GetParam();
+  SimConfig cfg = TinyConfig();
+  cfg.store.buffer_pages = frames;
+  cfg.policy = PolicyKind::kFixedRate;
+  cfg.fixed_rate_overwrites = 60;
+  Oo7Generator gen(Oo7Params::Tiny(), 5);
+  Trace trace = gen.GenerateFullApplication();
+  Simulation sim(cfg);
+  for (const TraceEvent& e : trace.events()) {
+    sim.Apply(e);
+    ASSERT_LE(sim.store().buffer_pool().resident_pages(), frames);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FrameCounts, BufferBudget,
+                         ::testing::Values(1u, 4u, 12u));
+
+}  // namespace
+}  // namespace odbgc

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "core/saio.h"
+
+namespace odbgc {
+namespace {
+
+SimClock At(uint64_t app_io, uint64_t gc_io = 0) {
+  SimClock c;
+  c.app_io = app_io;
+  c.gc_io = gc_io;
+  return c;
+}
+
+TEST(SaioPolicyTest, BootstrapTriggersFirstCollection) {
+  SaioPolicy policy(0.10, /*history_size=*/0, /*bootstrap_app_io=*/500);
+  EXPECT_FALSE(policy.ShouldCollect(At(499)));
+  EXPECT_TRUE(policy.ShouldCollect(At(500)));
+}
+
+TEST(SaioPolicyTest, NoHistoryFormula) {
+  // With c_hist = 0: Delta_AppIO = CurrGCIO * (1 - f) / f.
+  SaioPolicy policy(0.10, 0, 500);
+  SimClock clock = At(500, 100);
+  policy.OnCollection(CollectionOutcome{/*gc_io_ops=*/100, 0}, clock);
+  // 100 * 0.9 / 0.1 = 900 -> next collection at app_io 1400.
+  EXPECT_EQ(policy.last_delta_app_io(), 900u);
+  EXPECT_EQ(policy.next_app_io_threshold(), 1400u);
+  EXPECT_FALSE(policy.ShouldCollect(At(1399, 100)));
+  EXPECT_TRUE(policy.ShouldCollect(At(1400, 100)));
+}
+
+TEST(SaioPolicyTest, FiftyPercentMeansEqualShares) {
+  SaioPolicy policy(0.50, 0, 100);
+  SimClock clock = At(100, 40);
+  policy.OnCollection(CollectionOutcome{40, 0}, clock);
+  EXPECT_EQ(policy.last_delta_app_io(), 40u);
+}
+
+TEST(SaioPolicyTest, LowerFractionMeansLongerIntervals) {
+  SaioPolicy five(0.05, 0, 100);
+  SaioPolicy twenty(0.20, 0, 100);
+  SimClock clock = At(100, 50);
+  five.OnCollection(CollectionOutcome{50, 0}, clock);
+  twenty.OnCollection(CollectionOutcome{50, 0}, clock);
+  EXPECT_GT(five.last_delta_app_io(), twenty.last_delta_app_io());
+  // 50 * 0.95/0.05 = 950; 50 * 0.8/0.2 = 200.
+  EXPECT_EQ(five.last_delta_app_io(), 950u);
+  EXPECT_EQ(twenty.last_delta_app_io(), 200u);
+}
+
+TEST(SaioPolicyTest, HistoryWindowCorrectsPastError) {
+  // With history, a period that over-consumed GC I/O stretches the next
+  // interval beyond the no-history answer.
+  SaioPolicy with_hist(0.10, /*history_size=*/4, 100);
+  SaioPolicy no_hist(0.10, 0, 100);
+
+  // First collection: period app I/O 100, GC I/O 50 (way over 10%).
+  SimClock c1 = At(100, 50);
+  with_hist.OnCollection(CollectionOutcome{50, 0}, c1);
+  no_hist.OnCollection(CollectionOutcome{50, 0}, c1);
+  // no-history: 50*9 = 450.
+  EXPECT_EQ(no_hist.last_delta_app_io(), 450u);
+  // history: (50 + 50)*9 - 100 = 800: it must amortize the past excess.
+  EXPECT_EQ(with_hist.last_delta_app_io(), 800u);
+}
+
+TEST(SaioPolicyTest, HistoryWindowSlides) {
+  SaioPolicy policy(0.50, /*history_size=*/1, 10);
+  // Collection 1: period 10 app, 10 gc.
+  policy.OnCollection(CollectionOutcome{10, 0}, At(10, 10));
+  // window = {(10,10)}; delta = (10+10)*1 - 10 = 10.
+  EXPECT_EQ(policy.last_delta_app_io(), 10u);
+  // Collection 2 at app 20: period 10 app, gc 30.
+  policy.OnCollection(CollectionOutcome{30, 0}, At(20, 40));
+  // window = {(10,30)} (size-1 window dropped the first record);
+  // delta = (30+30)*1 - 10 = 50.
+  EXPECT_EQ(policy.last_delta_app_io(), 50u);
+}
+
+TEST(SaioPolicyTest, InfiniteHistoryAccumulates) {
+  SaioPolicy policy(0.50, SaioPolicy::kInfiniteHistory, 10);
+  policy.OnCollection(CollectionOutcome{10, 0}, At(10, 10));
+  policy.OnCollection(CollectionOutcome{10, 0}, At(30, 20));
+  // window = {(10,10),(20,10)}; delta = (20+10)*1 - 30 = 0 -> clamped 1.
+  EXPECT_EQ(policy.last_delta_app_io(), 1u);
+}
+
+TEST(SaioPolicyTest, IntervalClampedToAtLeastOne) {
+  SaioPolicy policy(0.90, 0, 10);
+  SimClock clock = At(1000, 1);
+  policy.OnCollection(CollectionOutcome{1, 0}, clock);
+  // 1 * (0.1/0.9) = 0.11 -> clamped to 1.
+  EXPECT_EQ(policy.last_delta_app_io(), 1u);
+}
+
+TEST(SaioPolicyTest, ZeroCostCollectionSchedulesImmediately) {
+  SaioPolicy policy(0.10, 0, 10);
+  policy.OnCollection(CollectionOutcome{0, 0}, At(100, 0));
+  EXPECT_EQ(policy.last_delta_app_io(), 1u);
+}
+
+TEST(SaioPolicyTest, NameEncodesParameters) {
+  SaioPolicy policy(0.10, 0, 10);
+  EXPECT_NE(policy.name().find("SAIO"), std::string::npos);
+  SaioPolicy inf(0.10, SaioPolicy::kInfiniteHistory, 10);
+  EXPECT_NE(inf.name().find("inf"), std::string::npos);
+}
+
+
+TEST(SaioPolicyTest, ThresholdUnchangedByQueries) {
+  SaioPolicy policy(0.10, 0, 500);
+  SimClock c = At(100);
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(policy.ShouldCollect(c));
+  EXPECT_EQ(policy.next_app_io_threshold(), 500u);
+}
+
+TEST(SaioPolicyTest, GcIoDoesNotAdvanceTheTrigger) {
+  // The trigger counts *application* I/O only; collector I/O flowing in
+  // the background must not cause premature collections.
+  SaioPolicy policy(0.10, 0, 500);
+  SimClock c = At(499, 1000000);
+  EXPECT_FALSE(policy.ShouldCollect(c));
+}
+
+TEST(SaioPolicyTest, WindowSumsSurviveManyCollections) {
+  // Long-run exercise of the sliding window bookkeeping.
+  SaioPolicy policy(0.25, /*history_size=*/4, 10);
+  uint64_t app = 0;
+  uint64_t gc = 0;
+  for (int i = 0; i < 1000; ++i) {
+    app += 100;
+    gc += 30;
+    policy.OnCollection(CollectionOutcome{30, 0}, At(app, gc));
+  }
+  // Steady state: window holds 4x(100,30); delta = (120+30)*3 - 400 = 50.
+  EXPECT_EQ(policy.last_delta_app_io(), 50u);
+}
+
+TEST(SaioPolicyTest, RejectsDegenerateFractions) {
+  EXPECT_DEATH({ SaioPolicy p(0.0); }, "");
+  EXPECT_DEATH({ SaioPolicy p(1.0); }, "");
+}
+
+}  // namespace
+}  // namespace odbgc

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "gc/collector.h"
+#include "gc/partition_selector.h"
+#include "storage/object_store.h"
+
+namespace odbgc {
+namespace {
+
+StoreConfig SmallStore() {
+  StoreConfig cfg;
+  cfg.partition_bytes = 4096;
+  cfg.page_bytes = 512;
+  cfg.buffer_pages = 8;
+  return cfg;
+}
+
+TEST(UpdatedPointerSelectorTest, PicksPartitionWithMostOverwrites) {
+  ObjectStore store(SmallStore());
+  for (ObjectId id = 1; id <= 3; ++id) {
+    store.CreateObject(id, 4000, 4);
+    store.AddRoot(id);
+  }
+  ASSERT_EQ(store.partition_count(), 3u);
+  // Charge two overwrites to partition 1 (object 2's home), one to 0.
+  store.WriteRef(1, 0, 2);
+  store.WriteRef(1, 0, kNullObject);
+  store.WriteRef(3, 0, 2);
+  store.WriteRef(3, 0, kNullObject);
+  store.WriteRef(2, 0, 1);
+  store.WriteRef(2, 0, kNullObject);
+  ASSERT_EQ(store.partition(1).overwrites(), 2u);
+  ASSERT_EQ(store.partition(0).overwrites(), 1u);
+  UpdatedPointerSelector sel;
+  EXPECT_EQ(sel.Select(store), 1u);
+}
+
+TEST(UpdatedPointerSelectorTest, TieBreaksTowardLeastRecentlyCollected) {
+  ObjectStore store(SmallStore());
+  for (ObjectId id = 1; id <= 3; ++id) {
+    store.CreateObject(id, 4000, 4);
+    store.AddRoot(id);
+  }
+  // No overwrites anywhere: all tie at 0. Partition 0 was collected most
+  // recently; 1 and 2 never (stamp 0), so the lowest id among them wins.
+  Collector gc;
+  gc.Collect(store, 0);
+  UpdatedPointerSelector sel;
+  EXPECT_EQ(sel.Select(store), 1u);
+}
+
+TEST(RoundRobinSelectorTest, CyclesThroughPartitions) {
+  ObjectStore store(SmallStore());
+  for (ObjectId id = 1; id <= 3; ++id) {
+    store.CreateObject(id, 4000, 0);
+    store.AddRoot(id);
+  }
+  RoundRobinSelector sel;
+  EXPECT_EQ(sel.Select(store), 0u);
+  EXPECT_EQ(sel.Select(store), 1u);
+  EXPECT_EQ(sel.Select(store), 2u);
+  EXPECT_EQ(sel.Select(store), 0u);
+}
+
+TEST(RandomSelectorTest, StaysInRangeAndIsSeedDeterministic) {
+  ObjectStore store(SmallStore());
+  for (ObjectId id = 1; id <= 3; ++id) {
+    store.CreateObject(id, 4000, 0);
+    store.AddRoot(id);
+  }
+  RandomSelector a(77);
+  RandomSelector b(77);
+  for (int i = 0; i < 50; ++i) {
+    PartitionId pa = a.Select(store);
+    EXPECT_LT(pa, 3u);
+    EXPECT_EQ(pa, b.Select(store));
+  }
+}
+
+TEST(MostGarbageOracleSelectorTest, PicksPartitionWithMostGarbage) {
+  ObjectStore store(SmallStore());
+  store.CreateObject(1, 4000, 0);  // partition 0, root (live)
+  store.AddRoot(1);
+  store.CreateObject(2, 3000, 0);  // partition 1, garbage
+  store.CreateObject(3, 1000, 0);  // partition 1 (total 4000)
+  store.CreateObject(4, 500, 0);   // partition 2, garbage
+  MostGarbageOracleSelector sel;
+  EXPECT_EQ(sel.Select(store), 1u);
+}
+
+TEST(LeastRecentlyCollectedSelectorTest, RotatesByStamp) {
+  ObjectStore store(SmallStore());
+  for (ObjectId id = 1; id <= 3; ++id) {
+    store.CreateObject(id, 4000, 0);
+    store.AddRoot(id);
+  }
+  Collector gc;
+  LeastRecentlyCollectedSelector sel;
+  // Never-collected partitions come first, lowest id breaking the tie.
+  EXPECT_EQ(sel.Select(store), 0u);
+  gc.Collect(store, 0);
+  EXPECT_EQ(sel.Select(store), 1u);
+  gc.Collect(store, 1);
+  EXPECT_EQ(sel.Select(store), 2u);
+  gc.Collect(store, 2);
+  // Everyone collected once: oldest stamp is partition 0 again.
+  EXPECT_EQ(sel.Select(store), 0u);
+}
+
+TEST(LeastRecentlyCollectedSelectorTest, NewPartitionJumpsTheQueue) {
+  ObjectStore store(SmallStore());
+  store.CreateObject(1, 4000, 0);
+  store.AddRoot(1);
+  Collector gc;
+  gc.Collect(store, 0);
+  // Growth: partition 1 appears with stamp 0 -> immediately oldest.
+  store.CreateObject(2, 4000, 0);
+  store.AddRoot(2);
+  LeastRecentlyCollectedSelector sel;
+  EXPECT_EQ(sel.Select(store), 1u);
+}
+
+TEST(OverwriteDensitySelectorTest, NormalizesByFill) {
+  ObjectStore store(SmallStore());
+  // Partition 0: nearly full; partition 1: nearly empty.
+  store.CreateObject(1, 4000, 4);
+  store.AddRoot(1);
+  store.CreateObject(2, 200, 4);
+  store.AddRoot(2);
+  ASSERT_EQ(store.object(2).partition, 1u);
+
+  // Two overwrites charged to partition 0, one to partition 1.
+  store.WriteRef(1, 0, 1);
+  store.WriteRef(1, 0, kNullObject);
+  store.WriteRef(1, 1, 1);
+  store.WriteRef(1, 1, kNullObject);
+  store.WriteRef(2, 0, 2);
+  store.WriteRef(2, 0, kNullObject);
+  ASSERT_EQ(store.partition(0).overwrites(), 2u);
+  ASSERT_EQ(store.partition(1).overwrites(), 1u);
+
+  // Raw counts favor partition 0; density favors the small partition 1
+  // (1/200 > 2/4000).
+  UpdatedPointerSelector raw;
+  OverwriteDensitySelector density;
+  EXPECT_EQ(raw.Select(store), 0u);
+  EXPECT_EQ(density.Select(store), 1u);
+}
+
+TEST(MakeSelectorTest, FactoryProducesEveryKind) {
+  EXPECT_EQ(MakeSelector(SelectorKind::kUpdatedPointer, 1)->name(),
+            "UpdatedPointer");
+  EXPECT_EQ(MakeSelector(SelectorKind::kRandom, 1)->name(), "Random");
+  EXPECT_EQ(MakeSelector(SelectorKind::kRoundRobin, 1)->name(),
+            "RoundRobin");
+  EXPECT_EQ(MakeSelector(SelectorKind::kMostGarbageOracle, 1)->name(),
+            "MostGarbageOracle");
+  EXPECT_EQ(MakeSelector(SelectorKind::kLeastRecentlyCollected, 1)->name(),
+            "LeastRecentlyCollected");
+  EXPECT_EQ(MakeSelector(SelectorKind::kOverwriteDensity, 1)->name(),
+            "OverwriteDensity");
+}
+
+}  // namespace
+}  // namespace odbgc

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "oo7/generator.h"
+#include "sim/runner.h"
+#include "sim/simulation.h"
+
+namespace odbgc {
+namespace {
+
+SimConfig TinyConfig() {
+  SimConfig cfg;
+  cfg.store.partition_bytes = 16 * 1024;
+  cfg.store.page_bytes = 2 * 1024;
+  cfg.store.buffer_pages = 8;
+  cfg.preamble_collections = 2;
+  return cfg;
+}
+
+// A hand-rolled trace: a root holding one slot that is repeatedly
+// repointed at fresh objects, turning the old target into garbage.
+Trace ChurnTrace(int cycles, uint32_t object_bytes = 500) {
+  Trace t;
+  t.Append(CreateEvent(1, 100, 1));
+  t.Append(AddRootEvent(1));
+  uint32_t next_id = 2;
+  uint32_t current = 0;
+  for (int i = 0; i < cycles; ++i) {
+    uint32_t fresh = next_id++;
+    t.Append(CreateEvent(fresh, object_bytes, 0));
+    t.Append(WriteRefEvent(1, 0, fresh));
+    if (current != 0) {
+      t.Append(GarbageMarkEvent(object_bytes, 1));
+    }
+    t.Append(ReadEvent(fresh));
+    current = fresh;
+  }
+  return t;
+}
+
+TEST(SimulationTest, FixedRateCollectsAtConfiguredRate) {
+  SimConfig cfg = TinyConfig();
+  cfg.policy = PolicyKind::kFixedRate;
+  cfg.fixed_rate_overwrites = 10;
+  Trace t = ChurnTrace(200);
+  SimResult r = RunSimulation(cfg, t);
+  // 199 overwrites at one per cycle -> about 19 collections.
+  EXPECT_GE(r.collections, 15u);
+  EXPECT_LE(r.collections, 21u);
+}
+
+TEST(SimulationTest, CollectionsReclaimChurnGarbage) {
+  SimConfig cfg = TinyConfig();
+  cfg.policy = PolicyKind::kFixedRate;
+  cfg.fixed_rate_overwrites = 20;
+  Trace t = ChurnTrace(300);
+  SimResult r = RunSimulation(cfg, t);
+  EXPECT_GT(r.total_reclaimed_bytes, 0u);
+  // Outstanding garbage stays bounded by roughly one interval's churn
+  // plus one partition's worth of stragglers.
+  EXPECT_LT(r.final_actual_garbage_bytes, 40u * 500u);
+}
+
+TEST(SimulationTest, PreambleWindowExcludesColdStart) {
+  SimConfig cfg = TinyConfig();
+  cfg.policy = PolicyKind::kFixedRate;
+  cfg.fixed_rate_overwrites = 10;
+  cfg.preamble_collections = 5;
+  Trace t = ChurnTrace(200);
+  SimResult r = RunSimulation(cfg, t);
+  ASSERT_TRUE(r.window_opened);
+  EXPECT_LT(r.measured_app_io, r.clock.app_io);
+  EXPECT_GT(r.garbage_pct.count(), 0u);
+}
+
+TEST(SimulationTest, WindowFallsBackToWholeRunWithoutEnoughCollections) {
+  SimConfig cfg = TinyConfig();
+  cfg.policy = PolicyKind::kFixedRate;
+  cfg.fixed_rate_overwrites = 1000000;  // never collects
+  Trace t = ChurnTrace(50);
+  SimResult r = RunSimulation(cfg, t);
+  EXPECT_EQ(r.collections, 0u);
+  EXPECT_FALSE(r.window_opened);
+  // The preamble never completed, so measurements cover the whole run.
+  EXPECT_GT(r.garbage_pct.count(), 0u);
+  EXPECT_EQ(r.measured_app_io, r.clock.app_io);
+  EXPECT_EQ(r.achieved_gc_io_pct, 0.0);
+}
+
+TEST(SimulationTest, CollectionLogRecordsEachCollection) {
+  SimConfig cfg = TinyConfig();
+  cfg.policy = PolicyKind::kFixedRate;
+  cfg.fixed_rate_overwrites = 25;
+  Trace t = ChurnTrace(200);
+  SimResult r = RunSimulation(cfg, t);
+  ASSERT_EQ(r.log.size(), r.collections);
+  uint64_t prev_time = 0;
+  for (size_t i = 0; i < r.log.size(); ++i) {
+    EXPECT_EQ(r.log[i].index, i + 1);
+    EXPECT_GE(r.log[i].overwrite_time, prev_time);
+    prev_time = r.log[i].overwrite_time;
+  }
+}
+
+TEST(SimulationTest, SagaOracleSeesExactGarbage) {
+  SimConfig cfg = TinyConfig();
+  cfg.policy = PolicyKind::kSaga;
+  cfg.estimator = EstimatorKind::kOracle;
+  cfg.saga.garbage_frac = 0.10;
+  cfg.saga.bootstrap_overwrites = 20;
+  Trace t = ChurnTrace(3000);
+  SimResult r = RunSimulation(cfg, t);
+  ASSERT_GT(r.collections, 2u);
+  // Oracle estimate equals ground truth at every logged collection.
+  for (const CollectionRecord& rec : r.log) {
+    EXPECT_NEAR(rec.estimated_garbage_pct, rec.actual_garbage_pct, 1e-9);
+  }
+}
+
+TEST(SimulationTest, SaioControlsIoShareOnChurn) {
+  SimConfig cfg = TinyConfig();
+  cfg.policy = PolicyKind::kSaio;
+  cfg.saio_frac = 0.20;
+  cfg.saio_bootstrap_app_io = 200;
+  cfg.preamble_collections = 3;
+  Trace t = ChurnTrace(3000);
+  SimResult r = RunSimulation(cfg, t);
+  ASSERT_TRUE(r.window_opened);
+  EXPECT_NEAR(r.achieved_gc_io_pct, 20.0, 6.0);
+}
+
+TEST(SimulationTest, PhaseMarksRecorded) {
+  SimConfig cfg = TinyConfig();
+  cfg.policy = PolicyKind::kFixedRate;
+  cfg.fixed_rate_overwrites = 50;
+  Trace t;
+  t.Append(PhaseMarkEvent(Phase::kGenDb));
+  Trace churn = ChurnTrace(100);
+  for (const auto& e : churn.events()) t.Append(e);
+  t.Append(PhaseMarkEvent(Phase::kReorg1));
+  SimResult r = RunSimulation(cfg, t);
+  ASSERT_EQ(r.phases.size(), 2u);
+  EXPECT_EQ(r.phases[0].phase, Phase::kGenDb);
+  EXPECT_EQ(r.phases[1].phase, Phase::kReorg1);
+}
+
+TEST(SimulationTest, PhaseStatsPartitionTheRun) {
+  SimConfig cfg = TinyConfig();
+  cfg.policy = PolicyKind::kFixedRate;
+  cfg.fixed_rate_overwrites = 50;
+  Oo7Generator gen(Oo7Params::Tiny(), 77);
+  Trace trace = gen.GenerateFullApplication();
+  SimResult r = RunSimulation(cfg, trace);
+
+  ASSERT_EQ(r.phase_stats.size(), 4u);
+  EXPECT_EQ(r.phase_stats[0].phase, Phase::kGenDb);
+  EXPECT_EQ(r.phase_stats[1].phase, Phase::kReorg1);
+  EXPECT_EQ(r.phase_stats[2].phase, Phase::kTraverse);
+  EXPECT_EQ(r.phase_stats[3].phase, Phase::kReorg2);
+
+  // Segments partition the whole run.
+  uint64_t events = 0;
+  uint64_t app_io = 0;
+  uint64_t gc_io = 0;
+  uint64_t overwrites = 0;
+  uint64_t collections = 0;
+  for (const PhaseStats& p : r.phase_stats) {
+    events += p.events;
+    app_io += p.app_io;
+    gc_io += p.gc_io;
+    overwrites += p.pointer_overwrites;
+    collections += p.collections;
+  }
+  EXPECT_EQ(app_io, r.clock.app_io);
+  EXPECT_EQ(gc_io, r.clock.gc_io);
+  EXPECT_EQ(overwrites, r.clock.pointer_overwrites);
+  EXPECT_EQ(collections, r.collections);
+  // Every event after the first phase mark is inside some segment.
+  EXPECT_GE(events + 4, r.clock.events);
+
+  // Traverse is read-only: no overwrites, no garbage reclaimed.
+  EXPECT_EQ(r.phase_stats[2].pointer_overwrites, 0u);
+  EXPECT_GT(r.phase_stats[2].app_io, 0u);
+  // Reorgs do the churn.
+  EXPECT_GT(r.phase_stats[1].pointer_overwrites, 0u);
+  EXPECT_GT(r.phase_stats[3].pointer_overwrites, 0u);
+}
+
+TEST(SimulationTest, DeterministicAcrossRuns) {
+  SimConfig cfg = TinyConfig();
+  cfg.policy = PolicyKind::kSaga;
+  cfg.estimator = EstimatorKind::kFgsHb;
+  Oo7Generator gen(Oo7Params::Tiny(), 33);
+  Trace t = gen.GenerateFullApplication();
+  SimResult a = RunSimulation(cfg, t);
+  SimResult b = RunSimulation(cfg, t);
+  EXPECT_EQ(a.collections, b.collections);
+  EXPECT_EQ(a.clock.total_io(), b.clock.total_io());
+  EXPECT_EQ(a.total_reclaimed_bytes, b.total_reclaimed_bytes);
+  EXPECT_DOUBLE_EQ(a.garbage_pct.mean(), b.garbage_pct.mean());
+}
+
+TEST(SimulationTest, EstimatorHookWiredForSaga) {
+  SimConfig cfg = TinyConfig();
+  cfg.policy = PolicyKind::kSaga;
+  GarbageEstimator* hook = nullptr;
+  auto policy = MakePolicy(cfg, &hook);
+  EXPECT_NE(hook, nullptr);
+  cfg.policy = PolicyKind::kSaio;
+  auto policy2 = MakePolicy(cfg, &hook);
+  EXPECT_EQ(hook, nullptr);
+}
+
+TEST(RunnerTest, RunOo7ManyAggregatesAcrossSeeds) {
+  SimConfig cfg = TinyConfig();
+  cfg.policy = PolicyKind::kFixedRate;
+  cfg.fixed_rate_overwrites = 100;
+  cfg.preamble_collections = 2;
+  AggregateResult agg = RunOo7Many(cfg, Oo7Params::Tiny(), 1, 3);
+  ASSERT_EQ(agg.runs.size(), 3u);
+  EXPECT_LE(agg.achieved_io_pct.min, agg.achieved_io_pct.mean);
+  EXPECT_LE(agg.achieved_io_pct.mean, agg.achieved_io_pct.max);
+  EXPECT_GT(agg.collections.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace odbgc

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "oo7/generator.h"
+#include "sim/trace_analysis.h"
+#include "workloads/synthetic.h"
+
+namespace odbgc {
+namespace {
+
+TEST(TraceAnalysisTest, CountsMatchSummary) {
+  Oo7Generator gen(Oo7Params::Tiny(), 1);
+  Trace trace = gen.GenerateFullApplication();
+  Trace::Summary s = trace.Summarize();
+  AssumptionReport a = AnalyzeAssumptions(trace, 50);
+  EXPECT_EQ(a.garbage_bytes, s.ground_truth_garbage_bytes);
+  EXPECT_EQ(a.garbage_objects, s.ground_truth_garbage_objects);
+  EXPECT_EQ(a.events, trace.size());
+  EXPECT_GT(a.pointer_overwrites, 0u);
+  EXPECT_NEAR(a.garbage_per_overwrite,
+              static_cast<double>(a.garbage_bytes) /
+                  static_cast<double>(a.pointer_overwrites),
+              1e-9);
+}
+
+TEST(TraceAnalysisTest, SteadyChurnHasLowSpread) {
+  UniformChurnOptions o;
+  o.cycles = 10000;
+  o.list_count = 8;
+  o.target_length = 16;
+  AssumptionReport a = AnalyzeAssumptions(MakeUniformChurn(o), 100);
+  EXPECT_GT(a.window_gpo.count(), 10u);
+  // Steady rate: spread well under the mean.
+  EXPECT_LT(a.window_gpo.stddev(), a.window_gpo.mean());
+  EXPECT_LT(a.burstiness, 0.35);
+}
+
+TEST(TraceAnalysisTest, BurstyDeletesHaveHigherSpreadThanChurn) {
+  UniformChurnOptions u;
+  u.cycles = 10000;
+  AssumptionReport steady = AnalyzeAssumptions(MakeUniformChurn(u), 100);
+
+  BurstyDeleteOptions b;
+  b.bursts = 30;
+  AssumptionReport bursty = AnalyzeAssumptions(MakeBurstyDeletes(b), 100);
+
+  double steady_cv = steady.window_gpo.stddev() / steady.window_gpo.mean();
+  double bursty_cv = bursty.window_gpo.stddev() / bursty.window_gpo.mean();
+  EXPECT_GT(bursty_cv, steady_cv);
+  EXPECT_GT(bursty.burstiness, steady.burstiness);
+}
+
+TEST(TraceAnalysisTest, GenDbOnlyIsAllBenign) {
+  Oo7Generator gen(Oo7Params::Tiny(), 2);
+  Trace trace;
+  gen.GenDb(&trace);
+  AssumptionReport a = AnalyzeAssumptions(trace, 100);
+  EXPECT_EQ(a.garbage_bytes, 0u);
+  EXPECT_DOUBLE_EQ(a.garbage_per_overwrite, 0.0);
+  EXPECT_DOUBLE_EQ(a.benign_overwrite_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(a.burstiness, 0.0);
+}
+
+TEST(TraceAnalysisTest, EmptyTraceIsHarmless) {
+  AssumptionReport a = AnalyzeAssumptions(Trace{}, 100);
+  EXPECT_EQ(a.events, 0u);
+  EXPECT_EQ(a.pointer_overwrites, 0u);
+  EXPECT_DOUBLE_EQ(a.garbage_per_overwrite, 0.0);
+}
+
+TEST(TraceAnalysisTest, WindowSizeControlsGranularity) {
+  UniformChurnOptions o;
+  o.cycles = 8000;
+  Trace t = MakeUniformChurn(o);
+  AssumptionReport fine = AnalyzeAssumptions(t, 50);
+  AssumptionReport coarse = AnalyzeAssumptions(t, 500);
+  EXPECT_GT(fine.window_gpo.count(), coarse.window_gpo.count());
+  // Same overall rate either way.
+  EXPECT_NEAR(fine.garbage_per_overwrite, coarse.garbage_per_overwrite,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace odbgc

@@ -1,0 +1,168 @@
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "trace/trace.h"
+
+namespace odbgc {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(TraceEventTest, Constructors) {
+  TraceEvent e = CreateEvent(7, 100, 3);
+  EXPECT_EQ(e.kind, EventKind::kCreate);
+  EXPECT_EQ(e.a, 7u);
+  EXPECT_EQ(e.b, 100u);
+  EXPECT_EQ(e.c, 3u);
+
+  EXPECT_EQ(ReadEvent(9).kind, EventKind::kRead);
+  EXPECT_EQ(WriteRefEvent(1, 2, 3).b, 2u);
+  EXPECT_EQ(GarbageMarkEvent(500, 2).a, 500u);
+  EXPECT_EQ(PhaseMarkEvent(Phase::kReorg1).a,
+            static_cast<uint32_t>(Phase::kReorg1));
+}
+
+TEST(TraceTest, SummarizeCountsKinds) {
+  Trace t;
+  t.Append(CreateEvent(1, 100, 1));
+  t.Append(CreateEvent(2, 50, 0));
+  t.Append(ReadEvent(1));
+  t.Append(WriteRefEvent(1, 0, 2));
+  t.Append(GarbageMarkEvent(75, 3));
+  t.Append(PhaseMarkEvent(Phase::kGenDb));
+  Trace::Summary s = t.Summarize();
+  EXPECT_EQ(s.creates, 2u);
+  EXPECT_EQ(s.reads, 1u);
+  EXPECT_EQ(s.write_refs, 1u);
+  EXPECT_EQ(s.garbage_marks, 1u);
+  EXPECT_EQ(s.created_bytes, 150u);
+  EXPECT_EQ(s.ground_truth_garbage_bytes, 75u);
+  EXPECT_EQ(s.ground_truth_garbage_objects, 3u);
+}
+
+TEST(TraceTest, SaveLoadRoundTrip) {
+  Trace t;
+  t.Append(CreateEvent(1, 100, 2));
+  t.Append(AddRootEvent(1));
+  t.Append(WriteRefEvent(1, 1, 0));
+  t.Append(RemoveRootEvent(1));
+  t.Append(PhaseMarkEvent(Phase::kTraverse));
+  std::string path = TempPath("roundtrip.trace");
+  ASSERT_TRUE(t.SaveTo(path));
+
+  Trace loaded;
+  ASSERT_TRUE(Trace::LoadFrom(path, &loaded));
+  ASSERT_EQ(loaded.size(), t.size());
+  for (size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(loaded[i], t[i]) << "event " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, EmptyTraceRoundTrip) {
+  Trace t;
+  std::string path = TempPath("empty.trace");
+  ASSERT_TRUE(t.SaveTo(path));
+  Trace loaded;
+  ASSERT_TRUE(Trace::LoadFrom(path, &loaded));
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, LoadRejectsMissingFile) {
+  Trace t;
+  EXPECT_FALSE(Trace::LoadFrom(TempPath("does_not_exist.trace"), &t));
+}
+
+TEST(TraceTest, LoadRejectsBadMagic) {
+  std::string path = TempPath("garbage.trace");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[] = "this is not a trace file at all";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  Trace t;
+  EXPECT_FALSE(Trace::LoadFrom(path, &t));
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, LoadRejectsTruncatedFile) {
+  Trace t;
+  t.Append(CreateEvent(1, 100, 2));
+  t.Append(CreateEvent(2, 100, 2));
+  std::string path = TempPath("truncated.trace");
+  ASSERT_TRUE(t.SaveTo(path));
+  // Truncate the file in the middle of the second event.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size - 8), 0);
+  Trace loaded;
+  EXPECT_FALSE(Trace::LoadFrom(path, &loaded));
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, PhaseNames) {
+  EXPECT_EQ(PhaseName(Phase::kGenDb), "GenDB");
+  EXPECT_EQ(PhaseName(Phase::kReorg1), "Reorg1");
+  EXPECT_EQ(PhaseName(Phase::kTraverse), "Traverse");
+  EXPECT_EQ(PhaseName(Phase::kReorg2), "Reorg2");
+  EXPECT_EQ(PhaseName(Phase::kNone), "None");
+}
+
+
+TEST(TraceTest, ClusteringHintSurvivesRoundTrip) {
+  Trace t;
+  t.Append(CreateEvent(1, 100, 2));
+  t.Append(CreateEvent(2, 50, 1, /*near_hint=*/1));
+  t.Append(IdleMarkEvent(25));
+  t.Append(UpdateEvent(1));
+  std::string path = TempPath("hints.trace");
+  ASSERT_TRUE(t.SaveTo(path));
+  Trace loaded;
+  ASSERT_TRUE(Trace::LoadFrom(path, &loaded));
+  ASSERT_EQ(loaded.size(), 4u);
+  EXPECT_EQ(loaded[1].d, 1u);            // the hint
+  EXPECT_EQ(loaded[2].kind, EventKind::kIdleMark);
+  EXPECT_EQ(loaded[2].a, 25u);
+  EXPECT_EQ(loaded[3].kind, EventKind::kUpdate);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, LoadRejectsUnknownEventKind) {
+  Trace t;
+  t.Append(CreateEvent(1, 100, 0));
+  std::string path = TempPath("badkind.trace");
+  ASSERT_TRUE(t.SaveTo(path));
+  // Corrupt the event kind field (first u32 of the first record, after
+  // the 16-byte header).
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 16, SEEK_SET);
+  uint32_t bogus = 250;
+  ASSERT_EQ(std::fwrite(&bogus, sizeof(bogus), 1, f), 1u);
+  std::fclose(f);
+  Trace loaded;
+  EXPECT_FALSE(Trace::LoadFrom(path, &loaded));
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, SummarizeCountsUpdates) {
+  Trace t;
+  t.Append(UpdateEvent(3));
+  t.Append(UpdateEvent(3));
+  Trace::Summary s = t.Summarize();
+  EXPECT_EQ(s.updates, 2u);
+  EXPECT_EQ(s.reads, 0u);
+}
+
+}  // namespace
+}  // namespace odbgc

@@ -1,0 +1,155 @@
+// odbgc_run — run a garbage-collection simulation and report.
+//
+//   odbgc_run --workload=oo7 --policy=saga --saga-frac=0.1
+//   odbgc_run --trace=app.trace --policy=saio --saio-frac=0.05
+//             --log-csv=collections.csv
+
+#include <cstdio>
+#include <string>
+
+#include "sim/report.h"
+#include "sim/simulation.h"
+#include "tools/tool_common.h"
+#include "trace/trace.h"
+#include "util/flags.h"
+
+namespace {
+
+bool DumpCollectionLogCsv(const odbgc::SimResult& result,
+                          const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f,
+               "collection,phase,overwrite_time,app_io,gc_io_delta,"
+               "partition,bytes_reclaimed,bytes_live,db_used_bytes,"
+               "actual_garbage_pct,estimated_garbage_pct,"
+               "target_garbage_pct,next_dt\n");
+  for (const odbgc::CollectionRecord& r : result.log) {
+    std::fprintf(f,
+                 "%llu,%s,%llu,%llu,%llu,%u,%llu,%llu,%llu,%.4f,%.4f,"
+                 "%.4f,%llu\n",
+                 static_cast<unsigned long long>(r.index),
+                 odbgc::PhaseName(r.phase).c_str(),
+                 static_cast<unsigned long long>(r.overwrite_time),
+                 static_cast<unsigned long long>(r.app_io),
+                 static_cast<unsigned long long>(r.gc_io_delta),
+                 r.partition,
+                 static_cast<unsigned long long>(r.bytes_reclaimed),
+                 static_cast<unsigned long long>(r.bytes_live),
+                 static_cast<unsigned long long>(r.db_used_bytes),
+                 r.actual_garbage_pct, r.estimated_garbage_pct,
+                 r.target_garbage_pct,
+                 static_cast<unsigned long long>(r.next_dt));
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace odbgc;
+  Flags flags;
+  std::string error;
+  if (!Flags::Parse(argc, argv, &flags, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  if (flags.GetBool("help", false)) {
+    std::fprintf(stderr,
+                 "usage: odbgc_run [--trace=FILE | workload flags] "
+                 "[simulation flags] [--log-csv=FILE] [--json=FILE]\n");
+    tools::PrintCommonUsage();
+    return 0;
+  }
+
+  Trace trace;
+  std::string trace_path = flags.GetString("trace", "");
+  if (!trace_path.empty()) {
+    if (!Trace::LoadFrom(trace_path, &trace)) {
+      std::fprintf(stderr, "error: cannot read trace '%s'\n",
+                   trace_path.c_str());
+      return 1;
+    }
+  } else if (!tools::BuildWorkloadTrace(flags, &trace, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+
+  SimConfig config;
+  if (!tools::BuildSimConfig(flags, &config, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  std::string csv_path = flags.GetString("log-csv", "");
+  std::string json_path = flags.GetString("json", "");
+  if (!tools::CheckNoUnusedFlags(flags, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+
+  Simulation sim(config);
+  SimResult r = sim.Run(trace);
+
+  std::printf("policy            %s\n", sim.policy().name().c_str());
+  std::printf("events            %llu (%llu pointer overwrites)\n",
+              static_cast<unsigned long long>(r.clock.events),
+              static_cast<unsigned long long>(
+                  r.clock.pointer_overwrites));
+  std::printf("collections       %llu (+%llu idle)\n",
+              static_cast<unsigned long long>(r.collections),
+              static_cast<unsigned long long>(r.idle_collections));
+  std::printf("I/O operations    %llu app, %llu gc (%.2f%% gc%s)\n",
+              static_cast<unsigned long long>(r.clock.app_io),
+              static_cast<unsigned long long>(r.clock.gc_io),
+              r.achieved_gc_io_pct,
+              r.window_opened ? ", post-preamble" : ", whole run");
+  std::printf("garbage           mean %.2f%% of database "
+              "(%.2f MB reclaimed, %.2f MB left)\n",
+              r.garbage_pct.mean(), r.total_reclaimed_bytes / 1.0e6,
+              r.final_actual_garbage_bytes / 1.0e6);
+  std::printf("database          %.2f MB in %zu partitions\n",
+              r.final_db_used_bytes / 1.0e6, r.final_partition_count);
+  std::printf("buffer pool       %llu hits, %llu misses (%.1f%% hit rate)\n",
+              static_cast<unsigned long long>(r.buffer_hits),
+              static_cast<unsigned long long>(r.buffer_misses),
+              100.0 * static_cast<double>(r.buffer_hits) /
+                  static_cast<double>(r.buffer_hits + r.buffer_misses));
+  if (r.disk_app_ms > 0.0 || r.disk_gc_ms > 0.0) {
+    std::printf("disk time         %.1f s app + %.1f s gc "
+                "(%llu sequential, %llu random transfers)\n",
+                r.disk_app_ms / 1000.0, r.disk_gc_ms / 1000.0,
+                static_cast<unsigned long long>(
+                    r.disk_sequential_transfers),
+                static_cast<unsigned long long>(r.disk_random_transfers));
+  }
+  if (!r.phase_stats.empty()) {
+    std::printf("phases:\n");
+    for (const PhaseStats& p : r.phase_stats) {
+      std::printf("  %-9s %8llu colls, app io %8llu, gc io %8llu, "
+                  "garbage %6.2f%%\n",
+                  PhaseName(p.phase).c_str(),
+                  static_cast<unsigned long long>(p.collections),
+                  static_cast<unsigned long long>(p.app_io),
+                  static_cast<unsigned long long>(p.gc_io),
+                  p.garbage_pct.mean());
+    }
+  }
+
+  if (!csv_path.empty()) {
+    if (!DumpCollectionLogCsv(r, csv_path)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", csv_path.c_str());
+      return 1;
+    }
+    std::printf("collection log    %s (%zu rows)\n", csv_path.c_str(),
+                r.log.size());
+  }
+  if (!json_path.empty()) {
+    if (!WriteResultJson(r, json_path)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("json report       %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+#ifndef ODBGC_TOOLS_TOOL_COMMON_H_
+#define ODBGC_TOOLS_TOOL_COMMON_H_
+
+#include <string>
+
+#include "oo7/params.h"
+#include "sim/config.h"
+#include "trace/trace.h"
+#include "util/flags.h"
+
+namespace odbgc::tools {
+
+// Flag vocabulary shared by the CLI tools. All functions return false
+// and fill *error on unknown values.
+
+// --oo7=smallprime|small|tiny  --connectivity=N  --modules=N
+bool BuildOo7Params(const Flags& flags, Oo7Params* params,
+                    std::string* error);
+
+// --workload=oo7|uniform-churn|bursty-deletes|growing-db|message-queue
+// --seed=N plus per-workload knobs (--cycles, --lists, --bursts, ...).
+// For oo7: the Oo7Params flags above and --idle-after-reorg1=N to insert
+// a quiescent window.
+bool BuildWorkloadTrace(const Flags& flags, Trace* trace,
+                        std::string* error);
+
+// --policy=fixed|heuristic|saio|saga|coupled
+// --rate=N (fixed) --saio-frac=F --hist=N|inf --saga-frac=F
+// --estimator=oracle|cgscb|cgshb|fgscb|fgshb --history-factor=H
+// --selector=updated|random|roundrobin|oracle
+// --partition-kb=N --page-kb=N --buffer-pages=N --preamble=N
+// --opportunism (enables the quiescence extension)
+bool BuildSimConfig(const Flags& flags, SimConfig* config,
+                    std::string* error);
+
+// Prints the flag vocabulary (used by every tool's --help).
+void PrintCommonUsage();
+
+// Reports flags that were never consumed; returns false if any.
+bool CheckNoUnusedFlags(const Flags& flags, std::string* error);
+
+}  // namespace odbgc::tools
+
+#endif  // ODBGC_TOOLS_TOOL_COMMON_H_
