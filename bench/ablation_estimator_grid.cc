@@ -6,14 +6,40 @@
 
 #include <cmath>
 #include <iostream>
+#include <memory>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/estimator.h"
-#include "oo7/generator.h"
+#include "sim/parallel.h"
 #include "sim/runner.h"
 #include "sim/simulation.h"
 #include "util/stats.h"
 #include "util/table_printer.h"
+
+namespace {
+
+constexpr int kCells = 4;
+
+struct Cell {
+  odbgc::EstimatorKind kind;
+  const char* label;
+};
+
+constexpr Cell kGrid[kCells] = {
+    {odbgc::EstimatorKind::kCgsCb, "CGS/CB"},
+    {odbgc::EstimatorKind::kCgsHb, "CGS/HB(0.8)"},
+    {odbgc::EstimatorKind::kFgsCb, "FGS/CB"},
+    {odbgc::EstimatorKind::kFgsHb, "FGS/HB(0.8)"},
+};
+
+// Per-seed passive measurements: the (estimate - actual) error samples
+// taken at each post-preamble collection, one stream per estimator.
+struct PassiveSamples {
+  std::vector<double> error[kCells];
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace odbgc;
@@ -22,54 +48,63 @@ int main(int argc, char** argv) {
                      "Section 2.4's design space, all four corners");
 
   Oo7Params params = bench::SmallPrimeWithConnectivity(args.connectivity);
+  SweepRunner runner(args.threads);
 
   // --- Passive estimation accuracy under a fixed-rate schedule ---
+  // The estimators are passive observers: they never influence the run,
+  // so all four corners ride ONE simulation per seed (identical samples
+  // to four separate runs at a quarter of the replay cost), and seeds
+  // fan out across the pool.
   std::cout << "\nPassive estimation error (fixed rate 200, UpdatedPointer "
                "selection):\n";
-  struct Cell {
-    EstimatorKind kind;
-    const char* label;
-  };
-  const Cell kGrid[] = {
-      {EstimatorKind::kCgsCb, "CGS/CB"},
-      {EstimatorKind::kCgsHb, "CGS/HB(0.8)"},
-      {EstimatorKind::kFgsCb, "FGS/CB"},
-      {EstimatorKind::kFgsHb, "FGS/HB(0.8)"},
-  };
+  std::vector<PassiveSamples> per_seed(args.runs);
+  runner.pool().ParallelFor(
+      static_cast<size_t>(args.runs), [&](size_t run) {
+        uint64_t seed = args.base_seed + run;
+        std::shared_ptr<const Trace> trace =
+            runner.cache().GetOo7(params, seed);
+        SimConfig cfg = bench::PaperConfig();
+        cfg.policy = PolicyKind::kFixedRate;
+        cfg.fixed_rate_overwrites = 200;
+        std::unique_ptr<GarbageEstimator> ests[kCells];
+        Simulation sim(cfg);
+        for (int c = 0; c < kCells; ++c) {
+          ests[c] = MakeEstimator(kGrid[c].kind, 0.8);
+          sim.AddPassiveEstimator(ests[c].get());
+        }
+        uint64_t seen = 0;
+        for (const TraceEvent& e : trace->events()) {
+          sim.Apply(e);
+          if (sim.collections() != seen) {
+            seen = sim.collections();
+            if (seen <= 10) continue;  // cold start
+            const ObjectStore& store = sim.store();
+            double used = static_cast<double>(store.used_bytes());
+            if (used == 0) continue;
+            double actual =
+                100.0 * static_cast<double>(store.actual_garbage_bytes()) /
+                used;
+            for (int c = 0; c < kCells; ++c) {
+              double estimated = 100.0 * ests[c]->Estimate() / used;
+              per_seed[run].error[c].push_back(estimated - actual);
+            }
+          }
+        }
+      });
   TablePrinter passive({"estimator", "abs_err_pct(mean)", "bias_pct(mean)",
                         "err_pct(max)"});
-  for (const Cell& cell : kGrid) {
+  for (int c = 0; c < kCells; ++c) {
     RunningStats err;
     RunningStats bias;
+    // Merge in (estimator, seed, collection) order — the exact sample
+    // order of the serial four-runs-per-seed loop.
     for (int run = 0; run < args.runs; ++run) {
-      uint64_t seed = args.base_seed + run;
-      Oo7Generator gen(params, seed);
-      Trace trace = gen.GenerateFullApplication();
-      SimConfig cfg = bench::PaperConfig();
-      cfg.policy = PolicyKind::kFixedRate;
-      cfg.fixed_rate_overwrites = 200;
-      auto est = MakeEstimator(cell.kind, 0.8);
-      Simulation sim(cfg);
-      sim.AddPassiveEstimator(est.get());
-      uint64_t seen = 0;
-      for (const TraceEvent& e : trace.events()) {
-        sim.Apply(e);
-        if (sim.collections() != seen) {
-          seen = sim.collections();
-          if (seen <= 10) continue;  // cold start
-          const ObjectStore& store = sim.store();
-          double used = static_cast<double>(store.used_bytes());
-          if (used == 0) continue;
-          double actual =
-              100.0 * static_cast<double>(store.actual_garbage_bytes()) /
-              used;
-          double estimated = 100.0 * est->Estimate() / used;
-          err.Add(std::abs(estimated - actual));
-          bias.Add(estimated - actual);
-        }
+      for (double e : per_seed[run].error[c]) {
+        err.Add(std::abs(e));
+        bias.Add(e);
       }
     }
-    passive.AddRow({cell.label, TablePrinter::Fmt(err.mean(), 2),
+    passive.AddRow({kGrid[c].label, TablePrinter::Fmt(err.mean(), 2),
                     TablePrinter::Fmt(bias.mean(), 2),
                     TablePrinter::Fmt(err.max(), 2)});
   }
@@ -85,7 +120,8 @@ int main(int argc, char** argv) {
     cfg.estimator = cell.kind;
     cfg.fgs_history_factor = 0.8;
     cfg.saga.garbage_frac = 0.10;
-    AggregateResult agg = RunOo7Many(cfg, params, args.base_seed, args.runs);
+    AggregateResult agg =
+        runner.RunMany(cfg, params, args.base_seed, args.runs);
     loop.AddRow({cell.label,
                  TablePrinter::Fmt(agg.mean_garbage_pct.mean, 2),
                  TablePrinter::Fmt(agg.mean_garbage_pct.min, 2),

@@ -12,13 +12,27 @@
 #include <cmath>
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/estimator.h"
-#include "oo7/generator.h"
+#include "sim/parallel.h"
 #include "sim/simulation.h"
 #include "util/stats.h"
 #include "util/table_printer.h"
+
+namespace {
+
+// Per-(selector, seed) replay measurements, merged deterministically
+// after the parallel sweep.
+struct ReplayStats {
+  std::vector<double> cgs_delta;  // cgs_pct - actual_pct, per collection
+  std::vector<double> fgs_delta;
+  std::vector<double> yield_kb;
+  uint64_t collections = 0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace odbgc;
@@ -28,68 +42,85 @@ int main(int argc, char** argv) {
       "Section 4.1.2 (why Figure 6a's CGS/CB estimate overshoots)");
 
   Oo7Params params = bench::SmallPrimeWithConnectivity(args.connectivity);
+  SweepRunner runner(args.threads);
 
   struct Row {
     SelectorKind kind;
     const char* label;
   };
+  const Row kRows[] = {
+      Row{SelectorKind::kUpdatedPointer, "UpdatedPointer"},
+      Row{SelectorKind::kOverwriteDensity, "OverwriteDensity"},
+      Row{SelectorKind::kRandom, "Random"},
+      Row{SelectorKind::kRoundRobin, "RoundRobin"},
+      Row{SelectorKind::kLeastRecentlyCollected, "LeastRecentlyColl"}};
+  const size_t kNumRows = sizeof(kRows) / sizeof(kRows[0]);
+
+  // Every (selector, seed) replay is independent and they all share the
+  // per-seed trace, so the whole grid fans out across the pool at once.
+  const size_t runs = static_cast<size_t>(args.runs);
+  std::vector<ReplayStats> cells(kNumRows * runs);
+  runner.pool().ParallelFor(cells.size(), [&](size_t i) {
+    const Row& sel = kRows[i / runs];
+    uint64_t seed = args.base_seed + (i % runs);
+    std::shared_ptr<const Trace> trace = runner.cache().GetOo7(params, seed);
+
+    SimConfig cfg = bench::PaperConfig();
+    cfg.policy = PolicyKind::kFixedRate;
+    cfg.fixed_rate_overwrites = 200;  // the paper's settled SAGA rate
+    cfg.selector = sel.kind;
+    cfg.selector_seed = seed * 7919 + 17;
+
+    CgsCbEstimator cgs;
+    FgsHbEstimator fgs(0.8);
+    Simulation sim(cfg);
+    sim.AddPassiveEstimator(&cgs);
+    sim.AddPassiveEstimator(&fgs);
+
+    ReplayStats& out = cells[i];
+    uint64_t reclaimed_before = 0;
+    for (const TraceEvent& e : trace->events()) {
+      sim.Apply(e);
+      if (sim.collections() != out.collections) {
+        out.collections = sim.collections();
+        const ObjectStore& store = sim.store();
+        double used = static_cast<double>(store.used_bytes());
+        if (used > 0 && out.collections > 10) {  // skip cold start
+          double actual_pct =
+              100.0 * static_cast<double>(store.actual_garbage_bytes()) /
+              used;
+          out.cgs_delta.push_back(100.0 * cgs.Estimate() / used -
+                                  actual_pct);
+          out.fgs_delta.push_back(100.0 * fgs.Estimate() / used -
+                                  actual_pct);
+        }
+        uint64_t reclaimed =
+            store.total_garbage_collected() - reclaimed_before;
+        reclaimed_before = store.total_garbage_collected();
+        out.yield_kb.push_back(static_cast<double>(reclaimed) / 1024.0);
+      }
+    }
+  });
+
   TablePrinter t({"selection", "cgs_cb_err_pct", "cgs_cb_bias_pct",
                   "fgs_hb_err_pct", "yield_per_coll_KB", "collections"});
-  for (Row sel :
-       {Row{SelectorKind::kUpdatedPointer, "UpdatedPointer"},
-        Row{SelectorKind::kOverwriteDensity, "OverwriteDensity"},
-        Row{SelectorKind::kRandom, "Random"},
-        Row{SelectorKind::kRoundRobin, "RoundRobin"},
-        Row{SelectorKind::kLeastRecentlyCollected, "LeastRecentlyColl"}}) {
+  for (size_t row = 0; row < kNumRows; ++row) {
     RunningStats cgs_err;
     RunningStats cgs_bias;
     RunningStats fgs_err;
     RunningStats yield;
     RunningStats colls;
-    for (int run = 0; run < args.runs; ++run) {
-      uint64_t seed = args.base_seed + run;
-      Oo7Generator gen(params, seed);
-      Trace trace = gen.GenerateFullApplication();
-
-      SimConfig cfg = bench::PaperConfig();
-      cfg.policy = PolicyKind::kFixedRate;
-      cfg.fixed_rate_overwrites = 200;  // the paper's settled SAGA rate
-      cfg.selector = sel.kind;
-      cfg.selector_seed = seed * 7919 + 17;
-
-      CgsCbEstimator cgs;
-      FgsHbEstimator fgs(0.8);
-      Simulation sim(cfg);
-      sim.AddPassiveEstimator(&cgs);
-      sim.AddPassiveEstimator(&fgs);
-
-      uint64_t seen_collections = 0;
-      uint64_t reclaimed_before = 0;
-      for (const TraceEvent& e : trace.events()) {
-        sim.Apply(e);
-        if (sim.collections() != seen_collections) {
-          seen_collections = sim.collections();
-          const ObjectStore& store = sim.store();
-          double used = static_cast<double>(store.used_bytes());
-          if (used > 0 && seen_collections > 10) {  // skip cold start
-            double actual_pct =
-                100.0 * static_cast<double>(store.actual_garbage_bytes()) /
-                used;
-            double cgs_pct = 100.0 * cgs.Estimate() / used;
-            double fgs_pct = 100.0 * fgs.Estimate() / used;
-            cgs_err.Add(std::abs(cgs_pct - actual_pct));
-            cgs_bias.Add(cgs_pct - actual_pct);
-            fgs_err.Add(std::abs(fgs_pct - actual_pct));
-          }
-          uint64_t reclaimed =
-              store.total_garbage_collected() - reclaimed_before;
-          reclaimed_before = store.total_garbage_collected();
-          yield.Add(static_cast<double>(reclaimed) / 1024.0);
-        }
+    for (size_t run = 0; run < runs; ++run) {
+      const ReplayStats& cell = cells[row * runs + run];
+      for (double d : cell.cgs_delta) {
+        cgs_err.Add(std::abs(d));
+        cgs_bias.Add(d);
       }
-      colls.Add(static_cast<double>(seen_collections));
+      for (double d : cell.fgs_delta) fgs_err.Add(std::abs(d));
+      for (double y : cell.yield_kb) yield.Add(y);
+      colls.Add(static_cast<double>(cell.collections));
     }
-    t.AddRow({sel.label, TablePrinter::Fmt(cgs_err.mean(), 2),
+    t.AddRow({kRows[row].label, TablePrinter::Fmt(cgs_err.mean(), 2),
               TablePrinter::Fmt(cgs_bias.mean(), 2),
               TablePrinter::Fmt(fgs_err.mean(), 2),
               TablePrinter::Fmt(yield.mean(), 1),

@@ -7,8 +7,10 @@
 // each trigger spend its collections, and what does each leave behind?
 
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "sim/parallel.h"
 #include "sim/runner.h"
 #include "util/stats.h"
 #include "util/table_printer.h"
@@ -26,28 +28,45 @@ int main(int argc, char** argv) {
     PolicyKind policy;
     const char* label;
   };
+  const std::vector<Contender> kContenders = {
+      Contender{PolicyKind::kAllocationTriggered,
+                "space exhausted (YNY94)"},
+      Contender{PolicyKind::kAllocationRate,
+                "every 96KB allocated (YNY94)"},
+      Contender{PolicyKind::kFixedRate, "every 200 overwrites"},
+      Contender{PolicyKind::kSaga, "SAGA(10%,FGS/HB)"}};
+
+  // All four triggers replay the same per-seed traces, so the full
+  // contender x seed grid runs as one parallel sweep off the cache.
+  SweepRunner runner(args.threads);
+  std::vector<SweepPoint> points;
+  for (const Contender& c : kContenders) {
+    for (int i = 0; i < args.runs; ++i) {
+      SweepPoint p;
+      p.config = bench::PaperConfig();
+      p.config.policy = c.policy;
+      p.config.allocation_rate_bytes = 96 * 1024;
+      p.config.fixed_rate_overwrites = 200;
+      p.config.estimator = EstimatorKind::kFgsHb;
+      p.config.saga.garbage_frac = 0.10;
+      p.params = params;
+      p.seed = args.base_seed + i;
+      points.push_back(p);
+    }
+  }
+  std::vector<SimResult> results = runner.Run(points);
+
   TablePrinter t({"trigger", "collections", "colls_GenDB", "colls_Reorg1",
                   "colls_Trav", "colls_Reorg2", "reclaimed_MB",
                   "mean_garbage_pct"});
-  for (Contender c :
-       {Contender{PolicyKind::kAllocationTriggered,
-                  "space exhausted (YNY94)"},
-        Contender{PolicyKind::kAllocationRate,
-                  "every 96KB allocated (YNY94)"},
-        Contender{PolicyKind::kFixedRate, "every 200 overwrites"},
-        Contender{PolicyKind::kSaga, "SAGA(10%,FGS/HB)"}}) {
+  for (size_t ci = 0; ci < kContenders.size(); ++ci) {
+    const Contender& c = kContenders[ci];
     RunningStats colls;
     RunningStats reclaimed;
     RunningStats garb;
     double phase_colls[5] = {0, 0, 0, 0, 0};
     for (int i = 0; i < args.runs; ++i) {
-      SimConfig cfg = bench::PaperConfig();
-      cfg.policy = c.policy;
-      cfg.allocation_rate_bytes = 96 * 1024;
-      cfg.fixed_rate_overwrites = 200;
-      cfg.estimator = EstimatorKind::kFgsHb;
-      cfg.saga.garbage_frac = 0.10;
-      SimResult r = RunOo7Once(cfg, params, args.base_seed + i);
+      const SimResult& r = results[ci * args.runs + i];
       colls.Add(static_cast<double>(r.collections));
       reclaimed.Add(static_cast<double>(r.total_reclaimed_bytes) / 1.0e6);
       garb.Add(r.garbage_pct.mean());

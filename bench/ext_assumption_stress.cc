@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "sim/parallel.h"
 #include "sim/simulation.h"
 #include "util/stats.h"
 #include "util/table_printer.h"
@@ -80,10 +81,16 @@ int main(int argc, char** argv) {
       {EstimatorKind::kFgsHb, 0.8, SelectorKind::kMostGarbageOracle},
   };
 
-  RunningStats saio_stats[kNumWorkloads][3];
-  RunningStats saga_stats[kNumWorkloads][4];
-
-  for (int s = 0; s < args.runs; ++s) {
+  // Each seed builds its four synthetic traces once and replays all 28
+  // policy cells against them; seeds fan out across the pool and the
+  // per-seed samples merge serially in seed order afterwards.
+  struct SeedSamples {
+    double saio[kNumWorkloads][3];
+    double saga[kNumWorkloads][4];
+  };
+  std::vector<SeedSamples> per_seed(args.runs);
+  ThreadPool pool(args.threads);
+  pool.ParallelFor(static_cast<size_t>(args.runs), [&](size_t s) {
     std::vector<Trace> workloads = MakeWorkloads(args.base_seed + s);
     for (size_t wi = 0; wi < kNumWorkloads; ++wi) {
       for (size_t hi = 0; hi < 3; ++hi) {
@@ -93,7 +100,7 @@ int main(int argc, char** argv) {
         cfg.saio_history = kSaioHists[hi];
         cfg.saio_bootstrap_app_io = 1000;
         SimResult r = RunSimulation(cfg, workloads[wi]);
-        saio_stats[wi][hi].Add(r.achieved_gc_io_pct);
+        per_seed[s].saio[wi][hi] = r.achieved_gc_io_pct;
       }
       for (size_t ci = 0; ci < 4; ++ci) {
         SimConfig cfg = SmallStoreConfig();
@@ -104,7 +111,20 @@ int main(int argc, char** argv) {
         cfg.saga.garbage_frac = 0.10;
         cfg.saga.bootstrap_overwrites = 300;
         SimResult r = RunSimulation(cfg, workloads[wi]);
-        saga_stats[wi][ci].Add(r.garbage_pct.mean());
+        per_seed[s].saga[wi][ci] = r.garbage_pct.mean();
+      }
+    }
+  });
+
+  RunningStats saio_stats[kNumWorkloads][3];
+  RunningStats saga_stats[kNumWorkloads][4];
+  for (int s = 0; s < args.runs; ++s) {
+    for (size_t wi = 0; wi < kNumWorkloads; ++wi) {
+      for (size_t hi = 0; hi < 3; ++hi) {
+        saio_stats[wi][hi].Add(per_seed[s].saio[wi][hi]);
+      }
+      for (size_t ci = 0; ci < 4; ++ci) {
+        saga_stats[wi][ci].Add(per_seed[s].saga[wi][ci]);
       }
     }
   }

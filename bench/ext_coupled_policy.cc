@@ -5,8 +5,10 @@
 
 #include <iostream>
 #include <map>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "sim/parallel.h"
 #include "sim/runner.h"
 #include "util/table_printer.h"
 
@@ -18,35 +20,55 @@ int main(int argc, char** argv) {
 
   Oo7Params params = bench::SmallPrimeWithConnectivity(args.connectivity);
 
-  TablePrinter t({"policy", "budget_pct", "gc_io_pct", "gc_io_ops",
-                  "mean_garbage_pct", "collections",
-                  "colls_GenDB/R1/Trav/R2"});
   struct Variant {
     bool coupled;
     double ref_frac;  // garbage level that justifies the full budget
     const char* label;
   };
-  for (double budget : {0.10, 0.25}) {
-    for (Variant v : {Variant{false, 0.0, "SAIO"},
-                      Variant{true, 0.10, "CoupledIO(ref=10%)"},
-                      Variant{true, 0.40, "CoupledIO(ref=40%)"}}) {
-      SimConfig cfg = bench::PaperConfig();
-      if (v.coupled) {
-        cfg.policy = PolicyKind::kCoupled;
-        cfg.estimator = EstimatorKind::kFgsHb;
-        cfg.coupled.io_frac = budget;
-        cfg.coupled.garbage_ref_frac = v.ref_frac;
-      } else {
-        cfg.policy = PolicyKind::kSaio;
-        cfg.saio_frac = budget;
+  const double kBudgets[] = {0.10, 0.25};
+  const Variant kVariants[] = {Variant{false, 0.0, "SAIO"},
+                               Variant{true, 0.10, "CoupledIO(ref=10%)"},
+                               Variant{true, 0.40, "CoupledIO(ref=40%)"}};
+
+  // Flatten budget x variant x seed into one parallel sweep; every cell
+  // replays the same per-seed traces out of the cache.
+  SweepRunner runner(args.threads);
+  std::vector<SweepPoint> points;
+  for (double budget : kBudgets) {
+    for (const Variant& v : kVariants) {
+      for (int i = 0; i < args.runs; ++i) {
+        SweepPoint p;
+        p.config = bench::PaperConfig();
+        if (v.coupled) {
+          p.config.policy = PolicyKind::kCoupled;
+          p.config.estimator = EstimatorKind::kFgsHb;
+          p.config.coupled.io_frac = budget;
+          p.config.coupled.garbage_ref_frac = v.ref_frac;
+        } else {
+          p.config.policy = PolicyKind::kSaio;
+          p.config.saio_frac = budget;
+        }
+        p.params = params;
+        p.seed = args.base_seed + i;
+        points.push_back(p);
       }
+    }
+  }
+  std::vector<SimResult> results = runner.Run(points);
+
+  TablePrinter t({"policy", "budget_pct", "gc_io_pct", "gc_io_ops",
+                  "mean_garbage_pct", "collections",
+                  "colls_GenDB/R1/Trav/R2"});
+  size_t at = 0;
+  for (double budget : kBudgets) {
+    for (const Variant& v : kVariants) {
       RunningStats io_pct;
       RunningStats io_ops;
       RunningStats garb;
       RunningStats colls;
       std::map<Phase, int> per_phase;
       for (int i = 0; i < args.runs; ++i) {
-        SimResult r = RunOo7Once(cfg, params, args.base_seed + i);
+        const SimResult& r = results[at++];
         io_pct.Add(r.achieved_gc_io_pct);
         io_ops.Add(static_cast<double>(r.clock.gc_io));
         garb.Add(r.garbage_pct.mean());

@@ -6,8 +6,10 @@
 // back relative to the application's random accesses.
 
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "sim/parallel.h"
 #include "sim/runner.h"
 #include "util/table_printer.h"
 
@@ -19,19 +21,47 @@ int main(int argc, char** argv) {
 
   Oo7Params params = bench::SmallPrimeWithConnectivity(args.connectivity);
 
+  // Both sections (fixed-rate sweep and adaptive policies) go into one
+  // parallel sweep; all five cells replay the same per-seed traces.
+  const uint64_t kRates[] = {50, 200, 800};
+  const PolicyKind kAdaptive[] = {PolicyKind::kSaio, PolicyKind::kSaga};
+  SweepRunner runner(args.threads);
+  std::vector<SweepPoint> points;
+  for (uint64_t rate : kRates) {
+    for (int i = 0; i < args.runs; ++i) {
+      SweepPoint p;
+      p.config = bench::PaperConfig();
+      p.config.policy = PolicyKind::kFixedRate;
+      p.config.fixed_rate_overwrites = rate;
+      p.config.store.enable_disk_timing = true;
+      p.params = params;
+      p.seed = args.base_seed + i;
+      points.push_back(p);
+    }
+  }
+  for (PolicyKind kind : kAdaptive) {
+    for (int i = 0; i < args.runs; ++i) {
+      SweepPoint p;
+      p.config = bench::PaperConfig();
+      p.config.policy = kind;
+      p.config.store.enable_disk_timing = true;
+      p.params = params;
+      p.seed = args.base_seed + i;
+      points.push_back(p);
+    }
+  }
+  std::vector<SimResult> results = runner.Run(points);
+  size_t at = 0;
+
   TablePrinter t({"rate(ow/coll)", "app_time_s", "gc_time_s", "total_s",
                   "seq_transfers", "random_transfers", "seq_share_pct"});
-  for (uint64_t rate : {50u, 200u, 800u}) {
-    SimConfig cfg = bench::PaperConfig();
-    cfg.policy = PolicyKind::kFixedRate;
-    cfg.fixed_rate_overwrites = rate;
-    cfg.store.enable_disk_timing = true;
+  for (uint64_t rate : kRates) {
     RunningStats app_s;
     RunningStats gc_s;
     RunningStats seq;
     RunningStats rnd;
     for (int i = 0; i < args.runs; ++i) {
-      SimResult r = RunOo7Once(cfg, params, args.base_seed + i);
+      const SimResult& r = results[at++];
       app_s.Add(r.disk_app_ms / 1000.0);
       gc_s.Add(r.disk_gc_ms / 1000.0);
       seq.Add(static_cast<double>(r.disk_sequential_transfers));
@@ -51,14 +81,11 @@ int main(int argc, char** argv) {
   std::cout << "\nAdaptive policies at their default 10% targets:\n";
   TablePrinter p({"policy", "app_time_s", "gc_time_s",
                   "gc_share_of_time_pct"});
-  for (PolicyKind kind : {PolicyKind::kSaio, PolicyKind::kSaga}) {
-    SimConfig cfg = bench::PaperConfig();
-    cfg.policy = kind;
-    cfg.store.enable_disk_timing = true;
+  for (PolicyKind kind : kAdaptive) {
     RunningStats app_s;
     RunningStats gc_s;
     for (int i = 0; i < args.runs; ++i) {
-      SimResult r = RunOo7Once(cfg, params, args.base_seed + i);
+      const SimResult& r = results[at++];
       app_s.Add(r.disk_app_ms / 1000.0);
       gc_s.Add(r.disk_gc_ms / 1000.0);
     }

@@ -5,9 +5,11 @@
 // so the read-only phase runs against a leaner database.
 
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "oo7/generator.h"
+#include "sim/parallel.h"
 #include "sim/simulation.h"
 #include "util/table_printer.h"
 
@@ -19,19 +21,23 @@ int main(int argc, char** argv) {
 
   Oo7Params params = bench::SmallPrimeWithConnectivity(args.connectivity);
 
-  TablePrinter t({"policy", "opportunism", "idle_colls", "idle_gc_io",
-                  "garbage_pct_at_traverse", "mean_garbage_pct"});
   struct Variant {
     PolicyKind policy;
     bool opportunistic;
     const char* label;
   };
-  for (Variant v : {Variant{PolicyKind::kSaga, false, "SAGA(10%,FGS/HB)"},
-                    Variant{PolicyKind::kSaga, true, "SAGA(10%,FGS/HB)"},
-                    Variant{PolicyKind::kSaio, false, "SAIO(10%)"},
-                    Variant{PolicyKind::kSaio, true, "SAIO(10%)"}}) {
+  const Variant kVariants[] = {
+      Variant{PolicyKind::kSaga, false, "SAGA(10%,FGS/HB)"},
+      Variant{PolicyKind::kSaga, true, "SAGA(10%,FGS/HB)"},
+      Variant{PolicyKind::kSaio, false, "SAIO(10%)"},
+      Variant{PolicyKind::kSaio, true, "SAIO(10%)"}};
+  constexpr size_t kNumVariants = sizeof(kVariants) / sizeof(kVariants[0]);
+
+  // The quiescence trace is identical for all four variants: build it
+  // once and replay it from four pool tasks.
+  Trace trace;
+  {
     Oo7Generator gen(params, args.base_seed);
-    Trace trace;
     trace.Append(PhaseMarkEvent(Phase::kGenDb));
     gen.GenDb(&trace);
     trace.Append(PhaseMarkEvent(Phase::kReorg1));
@@ -39,7 +45,16 @@ int main(int argc, char** argv) {
     trace.Append(IdleMarkEvent(/*max_collections=*/200));
     trace.Append(PhaseMarkEvent(Phase::kTraverse));
     gen.Traverse(&trace);
+  }
 
+  struct VariantResult {
+    SimResult result;
+    double garbage_at_traverse = -1.0;
+  };
+  std::vector<VariantResult> out(kNumVariants);
+  ThreadPool pool(args.threads);
+  pool.ParallelFor(kNumVariants, [&](size_t vi) {
+    const Variant& v = kVariants[vi];
     SimConfig cfg = bench::PaperConfig();
     cfg.policy = v.policy;
     if (v.policy == PolicyKind::kSaga) {
@@ -54,22 +69,27 @@ int main(int argc, char** argv) {
 
     // Track the garbage level right when Traverse begins.
     Simulation sim(cfg);
-    double garbage_at_traverse = -1.0;
     for (const TraceEvent& e : trace.events()) {
       sim.Apply(e);
       if (e.kind == EventKind::kPhaseMark &&
           static_cast<Phase>(e.a) == Phase::kTraverse) {
         const ObjectStore& store = sim.store();
-        garbage_at_traverse =
+        out[vi].garbage_at_traverse =
             100.0 * static_cast<double>(store.actual_garbage_bytes()) /
             static_cast<double>(store.used_bytes());
       }
     }
-    SimResult r = sim.Finish();
-    t.AddRow({v.label, v.opportunistic ? "on" : "off",
+    out[vi].result = sim.Finish();
+  });
+
+  TablePrinter t({"policy", "opportunism", "idle_colls", "idle_gc_io",
+                  "garbage_pct_at_traverse", "mean_garbage_pct"});
+  for (size_t vi = 0; vi < kNumVariants; ++vi) {
+    const SimResult& r = out[vi].result;
+    t.AddRow({kVariants[vi].label, kVariants[vi].opportunistic ? "on" : "off",
               TablePrinter::Fmt(r.idle_collections),
               TablePrinter::Fmt(r.idle_gc_io),
-              TablePrinter::Fmt(garbage_at_traverse, 2),
+              TablePrinter::Fmt(out[vi].garbage_at_traverse, 2),
               TablePrinter::Fmt(r.garbage_pct.mean(), 2)});
   }
   t.Print(std::cout);

@@ -7,8 +7,10 @@
 // carry over from Small'.
 
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "sim/parallel.h"
 #include "sim/runner.h"
 #include "util/table_printer.h"
 
@@ -18,32 +20,57 @@ int main(int argc, char** argv) {
   bench::PrintHeader("Scale check on OO7 Small (500 composites)",
                      "Section 3.3's up-to-17MB consistency claim");
 
+  // Six points, but only two distinct (params, seed) traces — the three
+  // policies per connectivity replay one cached generation.
+  const uint32_t kConns[] = {3, 9};
+  const EstimatorKind kSagaEsts[] = {EstimatorKind::kOracle,
+                                     EstimatorKind::kFgsHb};
+  SweepRunner runner(args.threads);
+  std::vector<SweepPoint> points;
+  for (uint32_t conn : kConns) {
+    Oo7Params params = Oo7Params::Small();
+    params.num_conn_per_atomic = conn;
+
+    SweepPoint saio;
+    saio.config = bench::PaperConfig();
+    saio.config.policy = PolicyKind::kSaio;
+    saio.config.saio_frac = 0.10;
+    saio.params = params;
+    saio.seed = args.base_seed;
+    points.push_back(saio);
+
+    for (EstimatorKind est : kSagaEsts) {
+      SweepPoint p;
+      p.config = bench::PaperConfig();
+      p.config.policy = PolicyKind::kSaga;
+      p.config.estimator = est;
+      p.config.fgs_history_factor = 0.8;
+      p.config.saga.garbage_frac = 0.10;
+      p.params = params;
+      p.seed = args.base_seed;
+      points.push_back(p);
+    }
+  }
+  std::vector<SimResult> results = runner.Run(points);
+
   TablePrinter t({"connectivity", "db_MB", "policy", "requested",
                   "achieved", "collections"});
-  for (uint32_t conn : {3u, 9u}) {
+  size_t at = 0;
+  for (uint32_t conn : kConns) {
     Oo7Params params = Oo7Params::Small();
     params.num_conn_per_atomic = conn;
     double db_mb =
         static_cast<double>(params.expected_database_bytes()) / 1.0e6;
 
     {
-      SimConfig cfg = bench::PaperConfig();
-      cfg.policy = PolicyKind::kSaio;
-      cfg.saio_frac = 0.10;
-      SimResult r = RunOo7Once(cfg, params, args.base_seed);
+      const SimResult& r = results[at++];
       t.AddRow({TablePrinter::Fmt(uint64_t{conn}),
                 TablePrinter::Fmt(db_mb, 1), "SAIO", "10.0% of I/O",
                 TablePrinter::Fmt(r.achieved_gc_io_pct, 2) + "%",
                 TablePrinter::Fmt(r.collections)});
     }
-    for (EstimatorKind est :
-         {EstimatorKind::kOracle, EstimatorKind::kFgsHb}) {
-      SimConfig cfg = bench::PaperConfig();
-      cfg.policy = PolicyKind::kSaga;
-      cfg.estimator = est;
-      cfg.fgs_history_factor = 0.8;
-      cfg.saga.garbage_frac = 0.10;
-      SimResult r = RunOo7Once(cfg, params, args.base_seed);
+    for (EstimatorKind est : kSagaEsts) {
+      const SimResult& r = results[at++];
       t.AddRow({TablePrinter::Fmt(uint64_t{conn}),
                 TablePrinter::Fmt(db_mb, 1),
                 est == EstimatorKind::kOracle ? "SAGA/Oracle"

@@ -7,9 +7,12 @@
 // beyond what any static derivation predicts.
 
 #include <iostream>
+#include <memory>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "oo7/generator.h"
+#include "sim/parallel.h"
 #include "sim/simulation.h"
 #include "util/stats.h"
 #include "util/table_printer.h"
@@ -39,9 +42,17 @@ int main(int argc, char** argv) {
     return trace;
   };
 
+  // Each seed's churn trace is shared by the measuring pass and all
+  // three estimator cells below: build them once, in parallel.
+  ThreadPool pool(args.threads);
+  std::vector<std::shared_ptr<const Trace>> traces(args.runs);
+  pool.ParallelFor(static_cast<size_t>(args.runs), [&](size_t s) {
+    traces[s] = std::make_shared<const Trace>(make_trace(args.base_seed + s));
+  });
+
   // Measure the garbage-per-overwrite rate of structural churn.
   {
-    Trace trace = make_trace(args.base_seed);
+    const Trace& trace = *traces[0];
     SimConfig cfg = bench::PaperConfig();
     cfg.policy = PolicyKind::kFixedRate;
     cfg.fixed_rate_overwrites = 1ull << 62;  // measure only
@@ -71,27 +82,36 @@ int main(int argc, char** argv) {
     EstimatorKind kind;
     const char* label;
   };
-  for (Cell cell : {Cell{EstimatorKind::kOracle, "Oracle"},
-                    Cell{EstimatorKind::kFgsHb, "FGS/HB(0.8)"},
-                    Cell{EstimatorKind::kCgsCb, "CGS/CB"}}) {
+  const Cell kCells[] = {Cell{EstimatorKind::kOracle, "Oracle"},
+                         Cell{EstimatorKind::kFgsHb, "FGS/HB(0.8)"},
+                         Cell{EstimatorKind::kCgsCb, "CGS/CB"}};
+  constexpr size_t kNumCells = sizeof(kCells) / sizeof(kCells[0]);
+
+  const size_t runs = static_cast<size_t>(args.runs);
+  std::vector<SimResult> results(kNumCells * runs);
+  pool.ParallelFor(results.size(), [&](size_t i) {
+    const Cell& cell = kCells[i / runs];
+    SimConfig cfg = bench::PaperConfig();
+    cfg.policy = PolicyKind::kSaga;
+    cfg.estimator = cell.kind;
+    cfg.fgs_history_factor = 0.8;
+    cfg.saga.garbage_frac = 0.10;
+    results[i] = RunSimulation(cfg, *traces[i % runs]);
+  });
+
+  for (size_t ci = 0; ci < kNumCells; ++ci) {
     RunningStats achieved;
     RunningStats colls;
     uint64_t dt_min = 0;
     uint64_t dt_max = 0;
-    for (int s = 0; s < args.runs; ++s) {
-      Trace trace = make_trace(args.base_seed + s);
-      SimConfig cfg = bench::PaperConfig();
-      cfg.policy = PolicyKind::kSaga;
-      cfg.estimator = cell.kind;
-      cfg.fgs_history_factor = 0.8;
-      cfg.saga.garbage_frac = 0.10;
-      SimResult r = RunSimulation(cfg, trace);
+    for (size_t s = 0; s < runs; ++s) {
+      const SimResult& r = results[ci * runs + s];
       achieved.Add(r.garbage_pct.mean());
       colls.Add(static_cast<double>(r.collections));
       dt_min += r.dt_min_clamps;
       dt_max += r.dt_max_clamps;
     }
-    t.AddRow({cell.label, TablePrinter::Fmt(achieved.mean(), 2),
+    t.AddRow({kCells[ci].label, TablePrinter::Fmt(achieved.mean(), 2),
               TablePrinter::Fmt(colls.mean(), 1),
               TablePrinter::Fmt(dt_min / args.runs),
               TablePrinter::Fmt(dt_max / args.runs)});

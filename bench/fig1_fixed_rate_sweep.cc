@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "sim/parallel.h"
 #include "sim/runner.h"
 #include "util/table_printer.h"
 
@@ -19,6 +20,7 @@ int main(int argc, char** argv) {
       "Figure 1a (I/O operations) and Figure 1b (total garbage collected)");
 
   Oo7Params params = bench::SmallPrimeWithConnectivity(args.connectivity);
+  SweepRunner runner(args.threads);  // traces shared across all rates
 
   TablePrinter table({"rate(ow/coll)", "collections", "total_io(mean)",
                       "total_io(min)", "total_io(max)", "gc_io(mean)",
@@ -28,7 +30,7 @@ int main(int argc, char** argv) {
     cfg.policy = PolicyKind::kFixedRate;
     cfg.fixed_rate_overwrites = rate;
     AggregateResult agg =
-        RunOo7Many(cfg, params, args.base_seed, args.runs);
+        runner.RunMany(cfg, params, args.base_seed, args.runs);
 
     RunningStats gc_io;
     RunningStats collected_mb;

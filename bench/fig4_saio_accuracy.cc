@@ -8,6 +8,7 @@
 
 #include "bench/bench_util.h"
 #include "core/saio.h"
+#include "sim/parallel.h"
 #include "sim/runner.h"
 #include "util/table_printer.h"
 
@@ -18,6 +19,7 @@ int main(int argc, char** argv) {
                      "Figure 4 (connectivity 3, mean of N seeds, min/max)");
 
   Oo7Params params = bench::SmallPrimeWithConnectivity(args.connectivity);
+  SweepRunner runner(args.threads);  // traces shared across all 18 points
 
   for (size_t hist : {size_t{0}, SaioPolicy::kInfiniteHistory}) {
     std::cout << "\nc_hist = "
@@ -31,7 +33,7 @@ int main(int argc, char** argv) {
       cfg.saio_frac = pct / 100.0;
       cfg.saio_history = hist;
       AggregateResult agg =
-          RunOo7Many(cfg, params, args.base_seed, args.runs);
+          runner.RunMany(cfg, params, args.base_seed, args.runs);
       t.AddRow({TablePrinter::Fmt(pct, 1),
                 TablePrinter::Fmt(agg.achieved_io_pct.mean, 2),
                 TablePrinter::Fmt(agg.achieved_io_pct.min, 2),

@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "bench/bench_util.h"
+#include "sim/parallel.h"
 #include "sim/runner.h"
 #include "util/table_printer.h"
 
@@ -18,6 +19,7 @@ int main(int argc, char** argv) {
       "Figure 5 (connectivity 3, mean of N seeds, min/max)");
 
   Oo7Params params = bench::SmallPrimeWithConnectivity(args.connectivity);
+  SweepRunner runner(args.threads);  // traces shared across all 27 points
 
   struct EstimatorRow {
     EstimatorKind kind;
@@ -37,7 +39,7 @@ int main(int argc, char** argv) {
       cfg.fgs_history_factor = 0.8;
       cfg.saga.garbage_frac = pct / 100.0;
       AggregateResult agg =
-          RunOo7Many(cfg, params, args.base_seed, args.runs);
+          runner.RunMany(cfg, params, args.base_seed, args.runs);
       t.AddRow({TablePrinter::Fmt(pct, 1),
                 TablePrinter::Fmt(agg.mean_garbage_pct.mean, 2),
                 TablePrinter::Fmt(agg.mean_garbage_pct.min, 2),

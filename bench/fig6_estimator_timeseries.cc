@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "bench/bench_util.h"
+#include "sim/parallel.h"
 #include "sim/runner.h"
 #include "util/table_printer.h"
 
@@ -17,6 +18,7 @@ int main(int argc, char** argv) {
       "Figure 6a (CGS/CB) and Figure 6b (FGS/HB), connectivity 3");
 
   Oo7Params params = bench::SmallPrimeWithConnectivity(args.connectivity);
+  SweepRunner runner(args.threads);  // one trace shared by both variants
 
   struct Variant {
     EstimatorKind kind;
@@ -30,7 +32,7 @@ int main(int argc, char** argv) {
     cfg.estimator = v.kind;
     cfg.fgs_history_factor = 0.8;
     cfg.saga.garbage_frac = 0.10;
-    SimResult r = RunOo7Once(cfg, params, args.base_seed);
+    SimResult r = runner.RunOne(cfg, params, args.base_seed);
 
     std::cout << "\n" << v.label << "  (" << r.collections
               << " collections)\n";

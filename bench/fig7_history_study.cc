@@ -10,6 +10,7 @@
 
 #include "bench/bench_util.h"
 #include "sim/metrics.h"
+#include "sim/parallel.h"
 #include "sim/runner.h"
 #include "util/table_printer.h"
 
@@ -21,18 +22,27 @@ int main(int argc, char** argv) {
 
   Oo7Params params = bench::SmallPrimeWithConnectivity(args.connectivity);
 
-  auto run_with_h = [&](double h) {
-    SimConfig cfg = bench::PaperConfig();
-    cfg.policy = PolicyKind::kSaga;
-    cfg.estimator = EstimatorKind::kFgsHb;
-    cfg.fgs_history_factor = h;
-    cfg.saga.garbage_frac = 0.10;
-    return RunOo7Once(cfg, params, args.base_seed);
-  };
+  // One trace, three h values — swept in parallel off one generation.
+  SweepRunner runner(args.threads);
+  const double kHs[] = {0.95, 0.80, 0.50};
+  std::vector<SweepPoint> points;
+  for (double h : kHs) {
+    SweepPoint p;
+    p.config = bench::PaperConfig();
+    p.config.policy = PolicyKind::kSaga;
+    p.config.estimator = EstimatorKind::kFgsHb;
+    p.config.fgs_history_factor = h;
+    p.config.saga.garbage_frac = 0.10;
+    p.params = params;
+    p.seed = args.base_seed;
+    points.push_back(p);
+  }
+  std::vector<SimResult> results = runner.Run(points);
 
   // --- Figure 7a ---
-  for (double h : {0.95, 0.80, 0.50}) {
-    SimResult r = run_with_h(h);
+  for (size_t hi = 0; hi < points.size(); ++hi) {
+    double h = kHs[hi];
+    const SimResult& r = results[hi];
     RunningStats err;
     for (const CollectionRecord& rec : r.log) {
       err.Add(rec.estimated_garbage_pct - rec.actual_garbage_pct);
@@ -51,8 +61,8 @@ int main(int argc, char** argv) {
     t.Print(std::cout);
   }
 
-  // --- Figure 7b ---
-  SimResult r = run_with_h(0.80);
+  // --- Figure 7b --- (the h = 0.8 run from the sweep above)
+  const SimResult& r = results[1];
   std::vector<double> rates = CollectionRateSeries(r);
   std::vector<double> yields = CollectionYieldSeries(r);
   std::cout << "\nFigure 7b detail at h = 0.8 (dt_min clamps: "

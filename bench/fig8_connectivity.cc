@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "bench/bench_util.h"
+#include "sim/parallel.h"
 #include "sim/runner.h"
 #include "util/table_printer.h"
 
@@ -14,35 +15,57 @@ int main(int argc, char** argv) {
   bench::PrintHeader("Policy accuracy vs database connectivity",
                      "Figure 8 (connectivity 6 and 9, one run per point)");
 
+  // One trace per connectivity, 30 grid points each, swept in parallel.
+  SweepRunner runner(args.threads);
+  const double kSaioPcts[] = {2.0,  5.0,  10.0, 15.0, 20.0,
+                              25.0, 30.0, 40.0, 50.0};
+  const double kSagaPcts[] = {2.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0};
+  const EstimatorKind kEstimators[] = {
+      EstimatorKind::kOracle, EstimatorKind::kCgsCb, EstimatorKind::kFgsHb};
+
   for (uint32_t conn : {6u, 9u}) {
     Oo7Params params = bench::SmallPrimeWithConnectivity(conn);
 
+    std::vector<SweepPoint> points;
+    for (double pct : kSaioPcts) {
+      SweepPoint p;
+      p.config = bench::PaperConfig();
+      p.config.policy = PolicyKind::kSaio;
+      p.config.saio_frac = pct / 100.0;
+      p.params = params;
+      p.seed = args.base_seed;
+      points.push_back(p);
+    }
+    for (double pct : kSagaPcts) {
+      for (EstimatorKind kind : kEstimators) {
+        SweepPoint p;
+        p.config = bench::PaperConfig();
+        p.config.policy = PolicyKind::kSaga;
+        p.config.estimator = kind;
+        p.config.fgs_history_factor = 0.8;
+        p.config.saga.garbage_frac = pct / 100.0;
+        p.params = params;
+        p.seed = args.base_seed;
+        points.push_back(p);
+      }
+    }
+    std::vector<SimResult> results = runner.Run(points);
+
     std::cout << "\nSAIO, connectivity " << conn << "\n";
     TablePrinter saio({"requested_pct", "achieved_pct"});
-    for (double pct : {2.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 40.0, 50.0}) {
-      SimConfig cfg = bench::PaperConfig();
-      cfg.policy = PolicyKind::kSaio;
-      cfg.saio_frac = pct / 100.0;
-      SimResult r = RunOo7Once(cfg, params, args.base_seed);
+    size_t at = 0;
+    for (double pct : kSaioPcts) {
       saio.AddRow({TablePrinter::Fmt(pct, 1),
-                   TablePrinter::Fmt(r.achieved_gc_io_pct, 2)});
+                   TablePrinter::Fmt(results[at++].achieved_gc_io_pct, 2)});
     }
     saio.Print(std::cout);
 
     std::cout << "\nSAGA, connectivity " << conn << "\n";
     TablePrinter saga({"requested_pct", "oracle", "cgs_cb", "fgs_hb"});
-    for (double pct : {2.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0}) {
+    for (double pct : kSagaPcts) {
       std::vector<std::string> row{TablePrinter::Fmt(pct, 1)};
-      for (EstimatorKind kind : {EstimatorKind::kOracle,
-                                 EstimatorKind::kCgsCb,
-                                 EstimatorKind::kFgsHb}) {
-        SimConfig cfg = bench::PaperConfig();
-        cfg.policy = PolicyKind::kSaga;
-        cfg.estimator = kind;
-        cfg.fgs_history_factor = 0.8;
-        cfg.saga.garbage_frac = pct / 100.0;
-        SimResult r = RunOo7Once(cfg, params, args.base_seed);
-        row.push_back(TablePrinter::Fmt(r.garbage_pct.mean(), 2));
+      for (size_t e = 0; e < 3; ++e) {
+        row.push_back(TablePrinter::Fmt(results[at++].garbage_pct.mean(), 2));
       }
       saga.AddRow(row);
     }

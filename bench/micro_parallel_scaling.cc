@@ -1,0 +1,280 @@
+// Micro-benchmark for the parallel experiment engine: wall-clock time of
+// the old serial experiment loops vs the thread-pooled SweepRunner with
+// its shared trace cache, on the workloads the real harnesses run.
+//
+//  * estimator_grid — the ablation_estimator_grid passive section. The
+//    serial baseline is the pre-engine loop: 4 estimator cells x runs,
+//    each generating its own trace and replaying one simulation per
+//    cell. The engine generates each trace once (cache) and rides all
+//    four passive estimators on ONE simulation per seed, so it wins on
+//    a single core and scales with threads on top.
+//  * closed_loop_sweep — RunOo7Many's SAGA aggregate (the fig4/fig5
+//    shape). Every seed is distinct work, so the speedup here is pure
+//    threading and approaches 1x on a single-core machine.
+//
+// Emits BENCH_parallel.json (in the current directory) and a table, and
+// verifies that the engine's numbers equal the serial baseline's.
+
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/estimator.h"
+#include "oo7/generator.h"
+#include "sim/parallel.h"
+#include "sim/runner.h"
+#include "sim/simulation.h"
+#include "util/json.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedMs(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+constexpr int kCells = 4;
+constexpr odbgc::EstimatorKind kGrid[kCells] = {
+    odbgc::EstimatorKind::kCgsCb, odbgc::EstimatorKind::kCgsHb,
+    odbgc::EstimatorKind::kFgsCb, odbgc::EstimatorKind::kFgsHb};
+
+struct GridSummary {
+  double err_mean[kCells];
+  double bias_mean[kCells];
+};
+
+bool Same(const GridSummary& a, const GridSummary& b) {
+  for (int c = 0; c < kCells; ++c) {
+    if (a.err_mean[c] != b.err_mean[c]) return false;
+    if (a.bias_mean[c] != b.bias_mean[c]) return false;
+  }
+  return true;
+}
+
+odbgc::SimConfig GridConfig() {
+  odbgc::SimConfig cfg = odbgc::bench::PaperConfig();
+  cfg.policy = odbgc::PolicyKind::kFixedRate;
+  cfg.fixed_rate_overwrites = 200;
+  return cfg;
+}
+
+// The pre-engine loop of ablation_estimator_grid: one trace generation
+// and one single-estimator replay per (cell, seed).
+GridSummary SerialEstimatorGrid(const odbgc::Oo7Params& params,
+                                uint64_t base_seed, int runs) {
+  using namespace odbgc;
+  GridSummary out;
+  for (int c = 0; c < kCells; ++c) {
+    RunningStats err;
+    RunningStats bias;
+    for (int run = 0; run < runs; ++run) {
+      Oo7Generator gen(params, base_seed + run);
+      Trace trace = gen.GenerateFullApplication();
+      SimConfig cfg = GridConfig();
+      auto est = MakeEstimator(kGrid[c], 0.8);
+      Simulation sim(cfg);
+      sim.AddPassiveEstimator(est.get());
+      uint64_t seen = 0;
+      for (const TraceEvent& e : trace.events()) {
+        sim.Apply(e);
+        if (sim.collections() != seen) {
+          seen = sim.collections();
+          if (seen <= 10) continue;
+          const ObjectStore& store = sim.store();
+          double used = static_cast<double>(store.used_bytes());
+          if (used == 0) continue;
+          double actual =
+              100.0 * static_cast<double>(store.actual_garbage_bytes()) /
+              used;
+          double estimated = 100.0 * est->Estimate() / used;
+          err.Add(std::abs(estimated - actual));
+          bias.Add(estimated - actual);
+        }
+      }
+    }
+    out.err_mean[c] = err.mean();
+    out.bias_mean[c] = bias.mean();
+  }
+  return out;
+}
+
+// The engine path: cached traces, all four estimators fused onto one
+// simulation per seed, seeds fanned out across the pool.
+GridSummary EngineEstimatorGrid(odbgc::SweepRunner& runner,
+                                const odbgc::Oo7Params& params,
+                                uint64_t base_seed, int runs) {
+  using namespace odbgc;
+  struct Samples {
+    std::vector<double> error[kCells];
+  };
+  std::vector<Samples> per_seed(runs);
+  runner.pool().ParallelFor(static_cast<size_t>(runs), [&](size_t run) {
+    std::shared_ptr<const Trace> trace =
+        runner.cache().GetOo7(params, base_seed + run);
+    SimConfig cfg = GridConfig();
+    std::unique_ptr<GarbageEstimator> ests[kCells];
+    Simulation sim(cfg);
+    for (int c = 0; c < kCells; ++c) {
+      ests[c] = MakeEstimator(kGrid[c], 0.8);
+      sim.AddPassiveEstimator(ests[c].get());
+    }
+    uint64_t seen = 0;
+    for (const TraceEvent& e : trace->events()) {
+      sim.Apply(e);
+      if (sim.collections() != seen) {
+        seen = sim.collections();
+        if (seen <= 10) continue;
+        const ObjectStore& store = sim.store();
+        double used = static_cast<double>(store.used_bytes());
+        if (used == 0) continue;
+        double actual =
+            100.0 * static_cast<double>(store.actual_garbage_bytes()) /
+            used;
+        for (int c = 0; c < kCells; ++c) {
+          per_seed[run].error[c].push_back(100.0 * ests[c]->Estimate() / used -
+                                           actual);
+        }
+      }
+    }
+  });
+  GridSummary out;
+  for (int c = 0; c < kCells; ++c) {
+    RunningStats err;
+    RunningStats bias;
+    for (int run = 0; run < runs; ++run) {
+      for (double e : per_seed[run].error[c]) {
+        err.Add(std::abs(e));
+        bias.Add(e);
+      }
+    }
+    out.err_mean[c] = err.mean();
+    out.bias_mean[c] = bias.mean();
+  }
+  return out;
+}
+
+odbgc::SimConfig SweepConfig() {
+  odbgc::SimConfig cfg = odbgc::bench::PaperConfig();
+  cfg.policy = odbgc::PolicyKind::kSaga;
+  cfg.estimator = odbgc::EstimatorKind::kFgsHb;
+  cfg.fgs_history_factor = 0.8;
+  cfg.saga.garbage_frac = 0.10;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace odbgc;
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader("Parallel engine scaling vs the serial loops",
+                     "SweepRunner + TraceCache wall-clock study");
+
+  Oo7Params params = bench::SmallPrimeWithConnectivity(args.connectivity);
+  SweepRunner runner(args.threads);
+  std::cout << "\nthreads: " << runner.threads()
+            << " (hardware_concurrency: "
+            << std::thread::hardware_concurrency() << "), runs: "
+            << args.runs << "\n";
+
+  // --- Section 1: the estimator-grid workload ---
+  Clock::time_point t0 = Clock::now();
+  GridSummary serial_grid =
+      SerialEstimatorGrid(params, args.base_seed, args.runs);
+  double grid_serial_ms = ElapsedMs(t0);
+
+  t0 = Clock::now();
+  GridSummary engine_grid =
+      EngineEstimatorGrid(runner, params, args.base_seed, args.runs);
+  double grid_engine_ms = ElapsedMs(t0);
+  bool grid_match = Same(serial_grid, engine_grid);
+
+  // --- Section 2: the closed-loop SAGA aggregate ---
+  SimConfig sweep_cfg = SweepConfig();
+  t0 = Clock::now();
+  AggregateResult serial_agg =
+      RunOo7Many(sweep_cfg, params, args.base_seed, args.runs, /*threads=*/1);
+  double sweep_serial_ms = ElapsedMs(t0);
+
+  SweepRunner sweep_runner(args.threads);  // fresh cache: no carried hits
+  t0 = Clock::now();
+  AggregateResult engine_agg =
+      sweep_runner.RunMany(sweep_cfg, params, args.base_seed, args.runs);
+  double sweep_engine_ms = ElapsedMs(t0);
+  bool sweep_match =
+      serial_agg.mean_garbage_pct.mean == engine_agg.mean_garbage_pct.mean &&
+      serial_agg.total_io.mean == engine_agg.total_io.mean;
+
+  double grid_speedup = grid_serial_ms / grid_engine_ms;
+  double sweep_speedup = sweep_serial_ms / sweep_engine_ms;
+
+  TablePrinter t({"section", "serial_ms", "engine_ms", "speedup",
+                  "outputs_match"});
+  t.AddRow({"estimator_grid", TablePrinter::Fmt(grid_serial_ms, 1),
+            TablePrinter::Fmt(grid_engine_ms, 1),
+            TablePrinter::Fmt(grid_speedup, 2), grid_match ? "yes" : "NO"});
+  t.AddRow({"closed_loop_sweep", TablePrinter::Fmt(sweep_serial_ms, 1),
+            TablePrinter::Fmt(sweep_engine_ms, 1),
+            TablePrinter::Fmt(sweep_speedup, 2), sweep_match ? "yes" : "NO"});
+  t.Print(std::cout);
+  std::cout << "\ntrace cache: " << runner.cache().hits() << " hits, "
+            << runner.cache().misses() << " misses\n";
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench");
+  w.Value("parallel_scaling");
+  w.Key("threads");
+  w.Value(static_cast<int64_t>(runner.threads()));
+  w.Key("hardware_concurrency");
+  w.Value(static_cast<int64_t>(std::thread::hardware_concurrency()));
+  w.Key("runs");
+  w.Value(static_cast<int64_t>(args.runs));
+  w.Key("sections");
+  w.BeginArray();
+  w.BeginObject();
+  w.Key("name");
+  w.Value("estimator_grid");
+  w.Key("serial_ms");
+  w.Value(grid_serial_ms);
+  w.Key("engine_ms");
+  w.Value(grid_engine_ms);
+  w.Key("speedup");
+  w.Value(grid_speedup);
+  w.Key("outputs_match");
+  w.Value(grid_match);
+  w.EndObject();
+  w.BeginObject();
+  w.Key("name");
+  w.Value("closed_loop_sweep");
+  w.Key("serial_ms");
+  w.Value(sweep_serial_ms);
+  w.Key("engine_ms");
+  w.Value(sweep_engine_ms);
+  w.Key("speedup");
+  w.Value(sweep_speedup);
+  w.Key("outputs_match");
+  w.Value(sweep_match);
+  w.EndObject();
+  w.EndArray();
+  w.Key("cache_hits");
+  w.Value(runner.cache().hits());
+  w.Key("cache_misses");
+  w.Value(runner.cache().misses());
+  w.EndObject();
+
+  std::ofstream out("BENCH_parallel.json");
+  out << w.TakeString() << "\n";
+  out.close();
+  std::cout << "wrote BENCH_parallel.json\n";
+  return (grid_match && sweep_match) ? 0 : 1;
+}

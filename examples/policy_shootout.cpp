@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "oo7/generator.h"
+#include "sim/parallel.h"
 #include "sim/runner.h"
 
 namespace {
@@ -60,12 +61,24 @@ int main() {
     contenders.push_back(c);
   }
 
+  // All nine contenders replay one cached trace, swept across the pool.
+  SweepRunner runner;
+  std::vector<SweepPoint> points;
+  for (const Contender& c : contenders) {
+    SweepPoint p;
+    p.config = c.config;
+    p.params = params;
+    p.seed = 5;
+    points.push_back(p);
+  }
+  std::vector<SimResult> results = runner.Run(points);
+
   std::printf("%-22s %-8s %-10s %-12s %-12s %-12s\n", "policy", "colls",
               "gc_io%", "mean_garb%", "final_garbMB", "total_io");
-  for (const Contender& c : contenders) {
-    SimResult r = RunOo7Once(c.config, params, /*seed=*/5);
+  for (size_t i = 0; i < contenders.size(); ++i) {
+    const SimResult& r = results[i];
     std::printf("%-22s %-8llu %-10.2f %-12.2f %-12.3f %-12llu\n",
-                c.label.c_str(),
+                contenders[i].label.c_str(),
                 static_cast<unsigned long long>(r.collections),
                 r.achieved_gc_io_pct, r.garbage_pct.mean(),
                 r.final_actual_garbage_bytes / 1.0e6,

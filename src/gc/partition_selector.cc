@@ -41,11 +41,11 @@ PartitionId RoundRobinSelector::Select(const ObjectStore& store) {
 
 PartitionId MostGarbageOracleSelector::Select(const ObjectStore& store) {
   ODBGC_CHECK(store.partition_count() > 0);
-  ReachabilityResult scan = ScanReachability(store);
+  ScanReachabilityInto(store, &scan_, &scratch_);
   PartitionId best = 0;
   uint64_t best_garbage = 0;
   for (const Partition& p : store.partitions()) {
-    uint64_t g = UnreachableBytesInPartition(store, scan, p.id());
+    uint64_t g = UnreachableBytesInPartition(store, scan_, p.id());
     if (g > best_garbage) {
       best_garbage = g;
       best = p.id();

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "storage/object_store.h"
+#include "storage/reachability.h"
 #include "storage/types.h"
 #include "util/random.h"
 
@@ -54,11 +55,15 @@ class RoundRobinSelector : public PartitionSelector {
 
 // Oracle: full reachability scan, collect the partition holding the most
 // unreachable bytes. Impractical in a real system; used as the upper
-// bound in ablations.
+// bound in ablations. The scan workspace persists across Select calls.
 class MostGarbageOracleSelector : public PartitionSelector {
  public:
   PartitionId Select(const ObjectStore& store) override;
   std::string name() const override { return "MostGarbageOracle"; }
+
+ private:
+  ReachabilityResult scan_;
+  ReachabilityScratch scratch_;
 };
 
 // Pure rotation by collection recency: always collect the partition

@@ -1,0 +1,191 @@
+#include "sim/parallel.h"
+
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "oo7/generator.h"
+#include "sim/simulation.h"
+#include "util/check.h"
+
+namespace odbgc {
+
+int ResolveThreadCount(int threads) {
+  if (threads >= 1) return threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  int n = ResolveThreadCount(threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  ODBGC_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ODBGC_CHECK_MSG(!stop_, "Submit on a stopped ThreadPool");
+    queue_.push_back(std::move(task));
+    ++unfinished_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(
+          lock, [this] { return stop_ || queue_head_ < queue_.size(); });
+      if (queue_head_ >= queue_.size()) return;  // stop_ and drained
+      task = std::move(queue_[queue_head_]);
+      ++queue_head_;
+      if (queue_head_ == queue_.size()) {
+        queue_.clear();
+        queue_head_ = 0;
+      }
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --unfinished_;
+      if (unfinished_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  // One exception slot per index: written by at most one task, read only
+  // after Wait(), so no synchronization beyond the pool's is needed.
+  std::vector<std::exception_ptr> errors(n);
+  for (size_t i = 0; i < n; ++i) {
+    Submit([&fn, &errors, i] {
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  Wait();
+  for (size_t i = 0; i < n; ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  }
+}
+
+TraceCache::Key TraceCache::MakeKey(const Oo7Params& params, uint64_t seed) {
+  return Key{params.num_atomic_per_comp, params.num_conn_per_atomic,
+             params.document_bytes,      params.manual_kbytes,
+             params.num_comp_per_module, params.num_assm_per_assm,
+             params.num_assm_levels,     params.num_comp_per_assm,
+             params.num_modules,         seed};
+}
+
+std::shared_ptr<const Trace> TraceCache::GetOo7(const Oo7Params& params,
+                                                uint64_t seed) {
+  Key key = MakeKey(params, seed);
+  std::shared_ptr<Slot> slot;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = slots_.find(key);
+    if (it != slots_.end()) {
+      ++hits_;
+      slot = it->second;
+      slot_ready_.wait(lock, [&slot] { return slot->ready; });
+      if (slot->failed) {
+        throw std::runtime_error("TraceCache: generation failed for key");
+      }
+      return slot->trace;
+    }
+    ++misses_;
+    slot = std::make_shared<Slot>();
+    slots_.emplace(key, slot);
+  }
+  // Generate outside the lock so distinct keys generate concurrently.
+  std::shared_ptr<const Trace> trace;
+  try {
+    trace = GenerateOo7Trace(params, seed);
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      slot->ready = true;
+      slot->failed = true;
+      slots_.erase(key);  // a later request may retry
+    }
+    slot_ready_.notify_all();
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slot->trace = trace;
+    slot->ready = true;
+  }
+  slot_ready_.notify_all();
+  return trace;
+}
+
+uint64_t TraceCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t TraceCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+SweepRunner::SweepRunner(int threads) : pool_(threads) {}
+
+std::vector<SimResult> SweepRunner::Run(const std::vector<SweepPoint>& points) {
+  std::vector<SimResult> results(points.size());
+  pool_.ParallelFor(points.size(), [this, &points, &results](size_t i) {
+    const SweepPoint& p = points[i];
+    std::shared_ptr<const Trace> trace = cache_.GetOo7(p.params, p.seed);
+    SimConfig cfg = p.config;
+    cfg.selector_seed = p.seed * 7919 + 17;  // as RunOo7Once
+    results[i] = RunSimulation(cfg, *trace);
+  });
+  return results;
+}
+
+SimResult SweepRunner::RunOne(const SimConfig& config, const Oo7Params& params,
+                              uint64_t seed) {
+  std::shared_ptr<const Trace> trace = cache_.GetOo7(params, seed);
+  SimConfig cfg = config;
+  cfg.selector_seed = seed * 7919 + 17;
+  return RunSimulation(cfg, *trace);
+}
+
+AggregateResult SweepRunner::RunMany(const SimConfig& config,
+                                     const Oo7Params& params,
+                                     uint64_t base_seed, int num_runs) {
+  ODBGC_CHECK(num_runs >= 0);
+  std::vector<SweepPoint> points;
+  points.reserve(static_cast<size_t>(num_runs));
+  for (int i = 0; i < num_runs; ++i) {
+    points.push_back(SweepPoint{config, params, base_seed + i});
+  }
+  return AggregateRuns(Run(points));
+}
+
+}  // namespace odbgc

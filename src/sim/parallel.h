@@ -1,0 +1,162 @@
+#ifndef ODBGC_SIM_PARALLEL_H_
+#define ODBGC_SIM_PARALLEL_H_
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "oo7/params.h"
+#include "sim/config.h"
+#include "sim/runner.h"
+#include "trace/trace.h"
+
+namespace odbgc {
+
+// The parallel experiment engine. Every figure/ablation harness sweeps a
+// grid of simulation configurations over a handful of trace seeds; the
+// runs are independent, and most grid points replay the *same* OO7
+// application trace. The pieces here exploit both facts:
+//
+//   ThreadPool   - fixed-size worker pool (std::thread + mutex/condvar
+//                  task queue) with an indexed ParallelFor whose results
+//                  land in submission order.
+//   TraceCache   - immutable, shared traces keyed by (Oo7Params, seed):
+//                  each trace is generated exactly once and handed out
+//                  as shared_ptr<const Trace> with zero copies.
+//   SweepRunner  - grid-of-(SimConfig x seed) driver over both, a
+//                  drop-in replacement for serial RunOo7Once/RunOo7Many.
+//
+// Determinism guarantee: per-run RNGs are derived from the run's seed
+// and runs never share mutable state, so a sweep's results — and any
+// table printed from them in submission order — are byte-for-byte
+// identical for every thread count, including 1.
+
+// Resolves a thread-count knob: values >= 1 pass through; anything else
+// means "one thread per hardware core" (hardware_concurrency, floored
+// at 1 when unknown).
+int ResolveThreadCount(int threads);
+
+// Fixed-size worker pool over a FIFO task queue.
+class ThreadPool {
+ public:
+  // threads <= 0 selects ResolveThreadCount's hardware default.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues one task; workers claim tasks in submission order. Tasks
+  // must not throw (use ParallelFor for work that may).
+  void Submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has finished.
+  void Wait();
+
+  // Runs fn(0) .. fn(n-1) across the pool and blocks until all have
+  // finished. Indices are claimed in order, so with 1 thread this is
+  // exactly the serial loop. If invocations throw, the exception from
+  // the lowest index is rethrown after the whole batch has drained.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::vector<std::function<void()>> queue_;  // FIFO via head cursor
+  size_t queue_head_ = 0;
+  size_t unfinished_ = 0;  // queued + running
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Thread-safe cache of generated OO7 application traces. The first
+// requester of a (params, seed) key generates the trace; concurrent
+// requesters of the same key block until it is ready. Entries are
+// immutable and shared — callers must not mutate the returned trace.
+class TraceCache {
+ public:
+  TraceCache() = default;
+  TraceCache(const TraceCache&) = delete;
+  TraceCache& operator=(const TraceCache&) = delete;
+
+  // The full four-phase application for (params, seed), generated at
+  // most once per key for the cache's lifetime.
+  std::shared_ptr<const Trace> GetOo7(const Oo7Params& params,
+                                      uint64_t seed);
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+ private:
+  // Every Oo7Params field plus the seed; params are plain counts, so
+  // field-wise equality is exactly trace-identity.
+  using Key = std::array<uint64_t, 10>;
+  struct Slot {
+    std::shared_ptr<const Trace> trace;
+    bool ready = false;
+    bool failed = false;
+  };
+
+  static Key MakeKey(const Oo7Params& params, uint64_t seed);
+
+  mutable std::mutex mu_;
+  std::condition_variable slot_ready_;
+  std::map<Key, std::shared_ptr<Slot>> slots_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+// One grid point of a sweep: a simulation configuration applied to the
+// OO7 application generated from (params, seed). Semantics mirror
+// RunOo7Once exactly: the selector seed is derived from the trace seed
+// (seed * 7919 + 17), decorrelated from the generator.
+struct SweepPoint {
+  SimConfig config;
+  Oo7Params params;
+  uint64_t seed = 1;
+};
+
+// Fans a grid of sweep points out across a thread pool, generating each
+// distinct (params, seed) trace once. Results come back in submission
+// order and are byte-identical to running RunOo7Once serially over the
+// same points, for any thread count.
+class SweepRunner {
+ public:
+  // threads <= 0 selects one thread per hardware core.
+  explicit SweepRunner(int threads = 0);
+
+  int threads() const { return pool_.size(); }
+  ThreadPool& pool() { return pool_; }
+  TraceCache& cache() { return cache_; }
+
+  // Runs every point; results[i] corresponds to points[i].
+  std::vector<SimResult> Run(const std::vector<SweepPoint>& points);
+
+  // Cached-trace equivalent of RunOo7Once (identical result).
+  SimResult RunOne(const SimConfig& config, const Oo7Params& params,
+                   uint64_t seed);
+
+  // Parallel equivalent of RunOo7Many (identical result): seeds
+  // base_seed .. base_seed + num_runs - 1, aggregated in seed order.
+  AggregateResult RunMany(const SimConfig& config, const Oo7Params& params,
+                          uint64_t base_seed, int num_runs);
+
+ private:
+  ThreadPool pool_;
+  TraceCache cache_;
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_SIM_PARALLEL_H_

@@ -1,28 +1,20 @@
 #include "sim/runner.h"
 
+#include <utility>
+
 #include "oo7/generator.h"
+#include "sim/parallel.h"
 #include "sim/simulation.h"
 
 namespace odbgc {
 
-SimResult RunOo7Once(const SimConfig& config, const Oo7Params& params,
-                     uint64_t seed) {
-  Oo7Generator generator(params, seed);
-  Trace trace = generator.GenerateFullApplication();
-  SimConfig cfg = config;
-  cfg.selector_seed = seed * 7919 + 17;  // decorrelate from the generator
-  return RunSimulation(cfg, trace);
-}
-
-AggregateResult RunOo7Many(const SimConfig& config, const Oo7Params& params,
-                           uint64_t base_seed, int num_runs) {
+AggregateResult AggregateRuns(std::vector<SimResult> runs) {
   AggregateResult agg;
   std::vector<double> io_pct;
   std::vector<double> garb_pct;
   std::vector<double> colls;
   std::vector<double> total_io;
-  for (int i = 0; i < num_runs; ++i) {
-    SimResult r = RunOo7Once(config, params, base_seed + i);
+  for (SimResult& r : runs) {
     io_pct.push_back(r.achieved_gc_io_pct);
     garb_pct.push_back(r.garbage_pct.mean());
     colls.push_back(static_cast<double>(r.collections));
@@ -34,6 +26,40 @@ AggregateResult RunOo7Many(const SimConfig& config, const Oo7Params& params,
   agg.collections = Summarize(colls);
   agg.total_io = Summarize(total_io);
   return agg;
+}
+
+std::shared_ptr<const Trace> GenerateOo7Trace(const Oo7Params& params,
+                                              uint64_t seed) {
+  Oo7Generator generator(params, seed);
+  auto trace = std::make_shared<Trace>(generator.GenerateFullApplication());
+  return trace;
+}
+
+SimResult RunOo7WithTrace(const SimConfig& config, const Trace& trace,
+                          uint64_t seed) {
+  SimConfig cfg = config;
+  cfg.selector_seed = seed * 7919 + 17;  // decorrelate from the generator
+  return RunSimulation(cfg, trace);
+}
+
+SimResult RunOo7Once(const SimConfig& config, const Oo7Params& params,
+                     uint64_t seed) {
+  std::shared_ptr<const Trace> trace = GenerateOo7Trace(params, seed);
+  return RunOo7WithTrace(config, *trace, seed);
+}
+
+AggregateResult RunOo7Many(const SimConfig& config, const Oo7Params& params,
+                           uint64_t base_seed, int num_runs, int threads) {
+  if (threads == 1) {
+    std::vector<SimResult> runs;
+    runs.reserve(static_cast<size_t>(num_runs > 0 ? num_runs : 0));
+    for (int i = 0; i < num_runs; ++i) {
+      runs.push_back(RunOo7Once(config, params, base_seed + i));
+    }
+    return AggregateRuns(std::move(runs));
+  }
+  SweepRunner runner(threads);
+  return runner.RunMany(config, params, base_seed, num_runs);
 }
 
 }  // namespace odbgc

@@ -2,11 +2,13 @@
 #define ODBGC_SIM_RUNNER_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "oo7/params.h"
 #include "sim/config.h"
 #include "sim/metrics.h"
+#include "trace/trace.h"
 #include "util/stats.h"
 
 namespace odbgc {
@@ -23,14 +25,32 @@ struct AggregateResult {
   MinMeanMax total_io;
 };
 
-// Generates the full four-phase OO7 application trace for (params, seed)
-// and runs it under `config`.
+// Summarizes per-run results (in the given order) into the aggregate.
+AggregateResult AggregateRuns(std::vector<SimResult> runs);
+
+// Generates the full four-phase OO7 application trace for (params, seed).
+// Returned immutable and shared so sweeps can replay one generation many
+// times with zero copies (see sim/parallel.h's TraceCache).
+std::shared_ptr<const Trace> GenerateOo7Trace(const Oo7Params& params,
+                                              uint64_t seed);
+
+// Generates the trace for (params, seed) and runs it under `config`.
 SimResult RunOo7Once(const SimConfig& config, const Oo7Params& params,
                      uint64_t seed);
 
+// Replays a pre-generated (typically cached) OO7 trace under `config`.
+// `seed` must be the trace's generation seed: the selector seed is
+// derived from it exactly as RunOo7Once does.
+SimResult RunOo7WithTrace(const SimConfig& config, const Trace& trace,
+                          uint64_t seed);
+
 // Runs `num_runs` seeds (base_seed, base_seed+1, ...) and aggregates.
+// With threads != 1 the runs fan out across a thread pool (one trace
+// generation per seed); results are byte-identical to the serial path
+// for any thread count. threads <= 0 means one thread per hardware core.
 AggregateResult RunOo7Many(const SimConfig& config, const Oo7Params& params,
-                           uint64_t base_seed, int num_runs);
+                           uint64_t base_seed, int num_runs,
+                           int threads = 1);
 
 }  // namespace odbgc
 

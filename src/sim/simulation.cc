@@ -351,4 +351,10 @@ SimResult RunSimulation(const SimConfig& config, const Trace& trace) {
   return sim.Run(trace);
 }
 
+SimResult RunSimulation(const SimConfig& config,
+                        const std::shared_ptr<const Trace>& trace) {
+  ODBGC_CHECK(trace != nullptr);
+  return RunSimulation(config, *trace);
+}
+
 }  // namespace odbgc

@@ -94,8 +94,11 @@ class Simulation {
   RunningStats whole_run_garbage_pct_;
 };
 
-// One-call helper: run `trace` under `config`.
+// One-call helper: run `trace` under `config`. The trace is only read;
+// a cached/shared trace may be replayed by many simulations at once.
 SimResult RunSimulation(const SimConfig& config, const Trace& trace);
+SimResult RunSimulation(const SimConfig& config,
+                        const std::shared_ptr<const Trace>& trace);
 
 }  // namespace odbgc
 

@@ -1,38 +1,52 @@
 #include "storage/reachability.h"
 
-#include <deque>
-
 namespace odbgc {
 
-ReachabilityResult ScanReachability(const ObjectStore& store) {
-  ReachabilityResult result;
-  result.reachable.assign(store.max_object_id() + 1, false);
-  std::deque<ObjectId> queue;
+void ScanReachabilityInto(const ObjectStore& store, ReachabilityResult* result,
+                          ReachabilityScratch* scratch) {
+  ReachabilityScratch local;
+  if (scratch == nullptr) scratch = &local;
+  std::vector<ObjectId>& worklist = scratch->worklist;
+  worklist.clear();
+
+  result->reachable_bytes = 0;
+  result->reachable_objects = 0;
+  result->unreachable_bytes = 0;
+  result->unreachable_objects = 0;
+  result->reachable.assign(store.max_object_id() + 1, false);
+
   for (ObjectId root : store.roots()) {
-    if (!result.reachable[root]) {
-      result.reachable[root] = true;
-      queue.push_back(root);
+    if (!result->reachable[root]) {
+      result->reachable[root] = true;
+      worklist.push_back(root);
     }
   }
-  while (!queue.empty()) {
-    ObjectId id = queue.front();
-    queue.pop_front();
+  // Breadth-first via a head cursor — one growable buffer, no per-node
+  // deque block traffic.
+  for (size_t head = 0; head < worklist.size(); ++head) {
+    ObjectId id = worklist[head];
     const ObjectRecord& rec = store.object(id);
-    result.reachable_bytes += rec.size;
-    ++result.reachable_objects;
+    result->reachable_bytes += rec.size;
+    ++result->reachable_objects;
     for (ObjectId target : rec.slots) {
-      if (target != kNullObject && !result.reachable[target]) {
-        result.reachable[target] = true;
-        queue.push_back(target);
+      if (target != kNullObject && !result->reachable[target]) {
+        result->reachable[target] = true;
+        worklist.push_back(target);
       }
     }
   }
   for (ObjectId id = 1; id <= store.max_object_id(); ++id) {
-    if (store.Exists(id) && !result.reachable[id]) {
-      result.unreachable_bytes += store.object(id).size;
-      ++result.unreachable_objects;
+    if (store.Exists(id) && !result->reachable[id]) {
+      result->unreachable_bytes += store.object(id).size;
+      ++result->unreachable_objects;
     }
   }
+}
+
+ReachabilityResult ScanReachability(const ObjectStore& store,
+                                    ReachabilityScratch* scratch) {
+  ReachabilityResult result;
+  ScanReachabilityInto(store, &result, scratch);
   return result;
 }
 

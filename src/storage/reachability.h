@@ -17,12 +17,27 @@ struct ReachabilityResult {
   uint64_t unreachable_objects = 0;
 };
 
+// Reusable scan workspace. Hot callers (the oracle selector, the fuzz
+// workload's shadow scans) scan once per collection or per mutation;
+// keeping the worklist — and, via ScanReachabilityInto, the result's
+// bitmap — alive across scans stops every scan from churning the
+// allocator.
+struct ReachabilityScratch {
+  std::vector<ObjectId> worklist;
+};
+
 // Exhaustive breadth-first scan from the root set over all pointer slots.
 // This is the "scan the entire database" operation the paper calls
 // prohibitively expensive for a live system (Section 2.4); we provide it
 // as (a) the validator for the generator's ground-truth garbage markers,
 // and (b) the basis of the oracle partition selector used in ablations.
-ReachabilityResult ScanReachability(const ObjectStore& store);
+// `scratch`, if given, lends its worklist buffer to the scan.
+ReachabilityResult ScanReachability(const ObjectStore& store,
+                                    ReachabilityScratch* scratch = nullptr);
+
+// In-place variant: overwrites `*result`, reusing its bitmap capacity.
+void ScanReachabilityInto(const ObjectStore& store, ReachabilityResult* result,
+                          ReachabilityScratch* scratch = nullptr);
 
 // Unreachable bytes currently stored in partition `p`.
 uint64_t UnreachableBytesInPartition(const ObjectStore& store,

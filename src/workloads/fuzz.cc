@@ -89,32 +89,31 @@ class RandomGraphBuilder {
   }
 
   void EmitGarbageDelta() {
-    ReachabilityResult scan = ScanReachability(*shadow_);
-    ODBGC_CHECK(scan.unreachable_bytes >= known_unreachable_bytes_);
+    ScanReachabilityInto(*shadow_, &scan_, &scratch_);
+    ODBGC_CHECK(scan_.unreachable_bytes >= known_unreachable_bytes_);
     uint64_t delta_bytes =
-        scan.unreachable_bytes - known_unreachable_bytes_;
+        scan_.unreachable_bytes - known_unreachable_bytes_;
     uint64_t delta_objects =
-        scan.unreachable_objects - known_unreachable_objects_;
+        scan_.unreachable_objects - known_unreachable_objects_;
     if (delta_bytes > 0) {
       trace_.Append(
           GarbageMarkEvent(static_cast<uint32_t>(delta_bytes),
                            static_cast<uint32_t>(delta_objects)));
-      known_unreachable_bytes_ = scan.unreachable_bytes;
-      known_unreachable_objects_ = scan.unreachable_objects;
+      known_unreachable_bytes_ = scan_.unreachable_bytes;
+      known_unreachable_objects_ = scan_.unreachable_objects;
     }
-    reachable_.clear();
-    for (ObjectId id = 1; id <= shadow_->max_object_id(); ++id) {
-      if (id < scan.reachable.size() && scan.reachable[id]) {
-        reachable_.push_back(id);
-      }
-    }
+    RebuildReachableList();
   }
 
   void RefreshReachable() {
-    ReachabilityResult scan = ScanReachability(*shadow_);
+    ScanReachabilityInto(*shadow_, &scan_, &scratch_);
+    RebuildReachableList();
+  }
+
+  void RebuildReachableList() {
     reachable_.clear();
     for (ObjectId id = 1; id <= shadow_->max_object_id(); ++id) {
-      if (id < scan.reachable.size() && scan.reachable[id]) {
+      if (id < scan_.reachable.size() && scan_.reachable[id]) {
         reachable_.push_back(id);
       }
     }
@@ -180,6 +179,9 @@ class RandomGraphBuilder {
   Trace trace_;
   ObjectId next_id_ = 1;
   std::vector<ObjectId> reachable_;
+  // Scan workspace reused across the per-mutation shadow scans.
+  ReachabilityResult scan_;
+  ReachabilityScratch scratch_;
   uint64_t known_unreachable_bytes_ = 0;
   uint64_t known_unreachable_objects_ = 0;
 };

@@ -1,0 +1,225 @@
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/parallel.h"
+#include "sim/runner.h"
+
+namespace odbgc {
+namespace {
+
+SimConfig TinySagaConfig(EstimatorKind est) {
+  SimConfig cfg;
+  cfg.store.partition_bytes = 16 * 1024;
+  cfg.store.page_bytes = 2 * 1024;
+  cfg.store.buffer_pages = 8;
+  cfg.preamble_collections = 3;
+  cfg.policy = PolicyKind::kSaga;
+  cfg.estimator = est;
+  cfg.fgs_history_factor = 0.8;
+  cfg.saga.garbage_frac = 0.10;
+  return cfg;
+}
+
+SimConfig TinySaioConfig() {
+  SimConfig cfg;
+  cfg.store.partition_bytes = 16 * 1024;
+  cfg.store.page_bytes = 2 * 1024;
+  cfg.store.buffer_pages = 8;
+  cfg.preamble_collections = 3;
+  cfg.policy = PolicyKind::kSaio;
+  cfg.saio_frac = 0.10;
+  return cfg;
+}
+
+// Every observable a table would print, compared field by field.
+void ExpectSameResult(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.collections, b.collections);
+  EXPECT_EQ(a.clock.app_io, b.clock.app_io);
+  EXPECT_EQ(a.clock.gc_io, b.clock.gc_io);
+  EXPECT_EQ(a.clock.pointer_overwrites, b.clock.pointer_overwrites);
+  EXPECT_EQ(a.achieved_gc_io_pct, b.achieved_gc_io_pct);
+  EXPECT_EQ(a.garbage_pct.mean(), b.garbage_pct.mean());
+  EXPECT_EQ(a.garbage_pct.min(), b.garbage_pct.min());
+  EXPECT_EQ(a.garbage_pct.max(), b.garbage_pct.max());
+  EXPECT_EQ(a.total_reclaimed_bytes, b.total_reclaimed_bytes);
+  EXPECT_EQ(a.final_actual_garbage_bytes, b.final_actual_garbage_bytes);
+  EXPECT_EQ(a.log.size(), b.log.size());
+  for (size_t i = 0; i < a.log.size() && i < b.log.size(); ++i) {
+    EXPECT_EQ(a.log[i].index, b.log[i].index);
+    EXPECT_EQ(a.log[i].actual_garbage_pct, b.log[i].actual_garbage_pct);
+    EXPECT_EQ(a.log[i].estimated_garbage_pct, b.log[i].estimated_garbage_pct);
+  }
+}
+
+TEST(ResolveThreadCountTest, PositivePassesThroughElseHardware) {
+  EXPECT_EQ(ResolveThreadCount(1), 1);
+  EXPECT_EQ(ResolveThreadCount(7), 7);
+  EXPECT_GE(ResolveThreadCount(0), 1);
+  EXPECT_GE(ResolveThreadCount(-3), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexInOrderSlots) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<size_t> out(100, 0);
+  pool.ParallelFor(out.size(), [&](size_t i) { out[i] = i * i; });
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsLowestIndexAndStaysUsable) {
+  ThreadPool pool(3);
+  std::atomic<int> completed{0};
+  try {
+    pool.ParallelFor(10, [&](size_t i) {
+      if (i == 2 || i == 7) {
+        throw std::runtime_error("boom " + std::to_string(i));
+      }
+      ++completed;
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 2");  // lowest failing index wins
+  }
+  EXPECT_EQ(completed.load(), 8);  // the batch drained despite the throws
+
+  // The pool survives a throwing batch.
+  std::atomic<int> again{0};
+  pool.ParallelFor(5, [&](size_t) { ++again; });
+  EXPECT_EQ(again.load(), 5);
+}
+
+TEST(ThreadPoolTest, SubmitAndWaitRunsEverything) {
+  ThreadPool pool(2);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 10; ++i) {
+    pool.Submit([&sum, i] { sum += i; });
+  }
+  pool.Wait();
+  EXPECT_EQ(sum.load(), 55);
+}
+
+TEST(TraceCacheTest, GeneratesOncePerKeyAndCountsHits) {
+  TraceCache cache;
+  Oo7Params params = Oo7Params::Tiny();
+  std::shared_ptr<const Trace> a = cache.GetOo7(params, 1);
+  std::shared_ptr<const Trace> b = cache.GetOo7(params, 1);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a.get(), b.get());  // same immutable trace, not a copy
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // A different seed or different params is a different trace.
+  std::shared_ptr<const Trace> c = cache.GetOo7(params, 2);
+  EXPECT_NE(a.get(), c.get());
+  Oo7Params denser = params;
+  denser.num_conn_per_atomic += 1;
+  std::shared_ptr<const Trace> d = cache.GetOo7(denser, 1);
+  EXPECT_NE(a.get(), d.get());
+  EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST(TraceCacheTest, ConcurrentRequestsShareOneGeneration) {
+  TraceCache cache;
+  Oo7Params params = Oo7Params::Tiny();
+  ThreadPool pool(8);
+  std::vector<std::shared_ptr<const Trace>> got(32);
+  pool.ParallelFor(got.size(), [&](size_t i) {
+    got[i] = cache.GetOo7(params, 42);
+  });
+  for (const auto& t : got) {
+    EXPECT_EQ(t.get(), got[0].get());
+  }
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), got.size() - 1);
+}
+
+TEST(SweepRunnerTest, EmptyGridYieldsEmptyResults) {
+  SweepRunner runner(2);
+  std::vector<SimResult> results = runner.Run({});
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(SweepRunnerTest, RunOneMatchesRunOo7Once) {
+  Oo7Params params = Oo7Params::Tiny();
+  SimConfig cfg = TinySagaConfig(EstimatorKind::kFgsHb);
+  SimResult serial = RunOo7Once(cfg, params, 5);
+  SweepRunner runner(3);
+  SimResult pooled = runner.RunOne(cfg, params, 5);
+  ExpectSameResult(serial, pooled);
+}
+
+TEST(SweepRunnerTest, GridResultsLandInSubmissionOrder) {
+  Oo7Params params = Oo7Params::Tiny();
+  std::vector<SweepPoint> points;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    SweepPoint p;
+    p.config = TinySagaConfig(EstimatorKind::kOracle);
+    p.params = params;
+    p.seed = seed;
+    points.push_back(p);
+  }
+  SweepRunner runner(4);
+  std::vector<SimResult> results = runner.Run(points);
+  ASSERT_EQ(results.size(), points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    SimResult serial = RunOo7Once(points[i].config, params, points[i].seed);
+    ExpectSameResult(serial, results[i]);
+  }
+}
+
+void ExpectSameAggregate(const AggregateResult& a, const AggregateResult& b) {
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (size_t i = 0; i < a.runs.size(); ++i) {
+    ExpectSameResult(a.runs[i], b.runs[i]);
+  }
+  EXPECT_EQ(a.achieved_io_pct.mean, b.achieved_io_pct.mean);
+  EXPECT_EQ(a.mean_garbage_pct.mean, b.mean_garbage_pct.mean);
+  EXPECT_EQ(a.mean_garbage_pct.min, b.mean_garbage_pct.min);
+  EXPECT_EQ(a.mean_garbage_pct.max, b.mean_garbage_pct.max);
+  EXPECT_EQ(a.collections.mean, b.collections.mean);
+  EXPECT_EQ(a.total_io.mean, b.total_io.mean);
+}
+
+// The tentpole guarantee: RunOo7Many is byte-identical for any thread
+// count. Exercised for both adaptive policies.
+TEST(DeterminismTest, SagaAggregateIdenticalAcrossThreadCounts) {
+  Oo7Params params = Oo7Params::Tiny();
+  SimConfig cfg = TinySagaConfig(EstimatorKind::kFgsHb);
+  AggregateResult serial = RunOo7Many(cfg, params, 1, 4, /*threads=*/1);
+  AggregateResult pooled = RunOo7Many(cfg, params, 1, 4, /*threads=*/4);
+  ExpectSameAggregate(serial, pooled);
+}
+
+TEST(DeterminismTest, SaioAggregateIdenticalAcrossThreadCounts) {
+  Oo7Params params = Oo7Params::Tiny();
+  SimConfig cfg = TinySaioConfig();
+  AggregateResult serial = RunOo7Many(cfg, params, 10, 4, /*threads=*/1);
+  AggregateResult pooled = RunOo7Many(cfg, params, 10, 4, /*threads=*/3);
+  ExpectSameAggregate(serial, pooled);
+}
+
+TEST(DeterminismTest, RepeatedPooledRunsAgree) {
+  Oo7Params params = Oo7Params::Tiny();
+  SimConfig cfg = TinySagaConfig(EstimatorKind::kCgsCb);
+  SweepRunner runner(4);
+  AggregateResult first = runner.RunMany(cfg, params, 1, 3);
+  AggregateResult second = runner.RunMany(cfg, params, 1, 3);  // cache hits
+  ExpectSameAggregate(first, second);
+  EXPECT_GT(runner.cache().hits(), 0u);
+}
+
+}  // namespace
+}  // namespace odbgc

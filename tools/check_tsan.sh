@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Builds the parallel engine under ThreadSanitizer and runs the tests
+# that exercise it. Usage: tools/check_tsan.sh [build-dir]
+# Pass ODBGC_SANITIZE=address in the environment to run under ASan
+# instead (same build flow, different -fsanitize flavor).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+SANITIZER="${ODBGC_SANITIZE:-thread}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DODBGC_SANITIZE="$SANITIZER"
+cmake --build "$BUILD_DIR" --target parallel_test simulation_test -j "$(nproc)"
+
+echo "== parallel_test under ${SANITIZER} sanitizer =="
+"$BUILD_DIR/tests/parallel_test"
+echo "== simulation_test under ${SANITIZER} sanitizer =="
+"$BUILD_DIR/tests/simulation_test"
+echo "OK: no ${SANITIZER} sanitizer reports"
