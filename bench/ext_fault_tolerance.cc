@@ -1,0 +1,146 @@
+// Extension study: policy robustness under injected I/O faults and
+// collector crashes. The paper's simulations assume a perfect disk; this
+// harness attaches the deterministic fault injector (transient read/write
+// failures with retry, torn pages) plus the collector's durable commit
+// protocol, and measures how the SAIO / SAGA control loops degrade as the
+// fault rate rises. A second section crashes the collector at each named
+// crash point and reports the recovery outcome. Identical --seed and
+// fault plan reproduce the exact same fault sequence at any --threads.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sim/parallel.h"
+#include "sim/runner.h"
+#include "storage/fault_injector.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace odbgc;
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader("Fault-injected I/O and crash recovery",
+                     "robustness extension (no paper counterpart)");
+
+  Oo7Params params = bench::SmallPrimeWithConnectivity(args.connectivity);
+
+  // Per-attempt transient-failure probabilities swept per policy. Torn
+  // writes ride along at a fifth of the write-fault rate.
+  const double kFaultRates[] = {0.0, 0.001, 0.005, 0.02};
+  const PolicyKind kPolicies[] = {PolicyKind::kSaio, PolicyKind::kSaga};
+
+  SweepRunner runner(args.threads);
+  std::vector<SweepPoint> points;
+  for (PolicyKind kind : kPolicies) {
+    for (double rate : kFaultRates) {
+      for (int i = 0; i < args.runs; ++i) {
+        SweepPoint p;
+        p.config = bench::PaperConfig();
+        p.config.policy = kind;
+        if (rate > 0.0) {
+          p.config.store.fault.read_fault_prob = rate;
+          p.config.store.fault.write_fault_prob = rate / 2.0;
+          p.config.store.fault.torn_write_prob = rate / 5.0;
+          p.config.store.fault.commit_protocol = true;
+        }
+        p.params = params;
+        p.seed = args.base_seed + i;
+        points.push_back(p);
+      }
+    }
+  }
+  // Crash-recovery cells: SAGA runs crashed once at each named point,
+  // mid-run (collection 12 lands after the 10-collection preamble), with
+  // the heap verifier armed after every collection and recovery.
+  const CrashPoint kCrashes[] = {CrashPoint::kAfterCopy,
+                                 CrashPoint::kBeforeFlip,
+                                 CrashPoint::kMidRememberedSet};
+  for (CrashPoint cp : kCrashes) {
+    for (int i = 0; i < args.runs; ++i) {
+      SweepPoint p;
+      p.config = bench::PaperConfig();
+      p.config.policy = PolicyKind::kSaga;
+      p.config.store.fault.crash_point = cp;
+      p.config.store.fault.crash_at_collection = 12;
+      p.config.verify_after_collection = true;
+      p.params = params;
+      p.seed = args.base_seed + i;
+      points.push_back(p);
+    }
+  }
+  std::vector<SimResult> results = runner.Run(points);
+  size_t at = 0;
+
+  TablePrinter t({"policy", "fault_prob", "gc_io_pct", "garbage_pct",
+                  "retries", "perm_fail", "torn(rep)", "collections"});
+  for (PolicyKind kind : kPolicies) {
+    for (double rate : kFaultRates) {
+      RunningStats gcio;
+      RunningStats garbage;
+      RunningStats retries;
+      RunningStats perm;
+      RunningStats torn;
+      RunningStats repairs;
+      RunningStats colls;
+      for (int i = 0; i < args.runs; ++i) {
+        const SimResult& r = results[at++];
+        gcio.Add(r.achieved_gc_io_pct);
+        garbage.Add(r.garbage_pct.mean());
+        retries.Add(static_cast<double>(r.io_retries));
+        perm.Add(static_cast<double>(r.io_read_failures +
+                                     r.io_write_failures));
+        torn.Add(static_cast<double>(r.torn_writes));
+        repairs.Add(static_cast<double>(r.torn_repairs));
+        colls.Add(static_cast<double>(r.collections));
+      }
+      std::string torn_cell = TablePrinter::Fmt(torn.mean(), 1) + "(" +
+                              TablePrinter::Fmt(repairs.mean(), 1) + ")";
+      t.AddRow({kind == PolicyKind::kSaio ? "SAIO(10%)" : "SAGA(10%)",
+                TablePrinter::Fmt(rate, 3), TablePrinter::Fmt(gcio.mean(), 2),
+                TablePrinter::Fmt(garbage.mean(), 2),
+                TablePrinter::Fmt(retries.mean(), 1),
+                TablePrinter::Fmt(perm.mean(), 1), torn_cell,
+                TablePrinter::Fmt(colls.mean(), 1)});
+    }
+  }
+  t.Print(std::cout);
+
+  std::cout << "\nCollector crashed once at each protocol point "
+               "(SAGA, collection 12,\nverifier after every collection "
+               "and recovery):\n";
+  TablePrinter c({"crash_point", "crashes", "rollbacks", "rollforwards",
+                  "redo_updates", "verifier_runs", "gc_io_pct"});
+  for (CrashPoint cp : kCrashes) {
+    RunningStats crashes;
+    RunningStats backs;
+    RunningStats fwds;
+    RunningStats redo;
+    RunningStats verif;
+    RunningStats gcio;
+    for (int i = 0; i < args.runs; ++i) {
+      const SimResult& r = results[at++];
+      crashes.Add(static_cast<double>(r.crashes));
+      backs.Add(static_cast<double>(r.recovery_rollbacks));
+      fwds.Add(static_cast<double>(r.recovery_rollforwards));
+      redo.Add(static_cast<double>(r.recovery_redo_updates));
+      verif.Add(static_cast<double>(r.verifier_runs));
+      gcio.Add(r.achieved_gc_io_pct);
+    }
+    c.AddRow({CrashPointName(cp), TablePrinter::Fmt(crashes.mean(), 1),
+              TablePrinter::Fmt(backs.mean(), 1),
+              TablePrinter::Fmt(fwds.mean(), 1),
+              TablePrinter::Fmt(redo.mean(), 1),
+              TablePrinter::Fmt(verif.mean(), 1),
+              TablePrinter::Fmt(gcio.mean(), 2)});
+  }
+  c.Print(std::cout);
+
+  std::cout << "\nExpected shape: retries track the fault probability and "
+               "inflate both\nI/O clocks roughly in proportion, so each "
+               "policy still holds its own\ntarget (SAIO keeps gc_io_pct "
+               "near 10%, SAGA keeps garbage_pct near 10%)\nwhile absolute "
+               "cost rises; every crash is followed by one recovery\n"
+               "(rollback before the commit record, roll-forward after) "
+               "and a clean\nverifier pass.\n";
+  return 0;
+}

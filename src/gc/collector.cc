@@ -1,15 +1,35 @@
 #include "gc/collector.h"
 
+#include <cstdint>
 #include <deque>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "util/check.h"
 
 namespace odbgc {
 
+void Collector::ScheduleCrash(CrashPoint point, uint64_t attempt) {
+  ODBGC_CHECK(point != CrashPoint::kNone);
+  crash_point_ = point;
+  // 1-based; 0 means "the next Collect call".
+  crash_attempt_ = attempt == 0 ? attempts_ + 1 : attempt;
+}
+
 CollectionReport Collector::Collect(ObjectStore& store,
                                     PartitionId partition) {
+  ODBGC_CHECK_MSG(!journal_.pending,
+                  "Collect while crash recovery is pending");
+  ++attempts_;
+  const bool crash_now =
+      crash_point_ != CrashPoint::kNone && attempts_ == crash_attempt_;
+  const CrashPoint crash_point =
+      crash_now ? crash_point_ : CrashPoint::kNone;
+  // A scheduled crash forces the durable protocol for this collection so
+  // that the commit record it relies on actually exists.
+  const bool protocol = commit_protocol_ || crash_now;
+
   Partition& part = store.mutable_partition(partition);
   CollectionReport report;
   report.partition = partition;
@@ -18,7 +38,7 @@ CollectionReport Collector::Collect(ObjectStore& store,
 
   const IoStats before_io = store.io_stats();
 
-  // Read the partition's from-space (sequential scan of its used pages).
+  // 1. Read the partition's from-space (sequential scan of its used pages).
   if (part.used() > 0) {
     store.TouchRange(partition, 0, part.used(), /*dirty=*/false,
                      IoContext::kCollector);
@@ -67,68 +87,203 @@ CollectionReport Collector::Collect(ObjectStore& store,
     }
   }
 
-  // Reclaim everything unreached. Destroying a garbage object detaches
-  // its out-pointers, which may clear external references into other
-  // partitions (their floating garbage becomes collectable later).
+  // Plan the reclaim set and the compacted layout WITHOUT mutating the
+  // store: nothing is destroyed or relocated until the flip (step 4), so a
+  // crash before the commit point leaves from-space fully authoritative.
+  std::vector<ObjectId> reclaim;
   uint64_t reclaimed_bytes = 0;
-  uint64_t reclaimed_objects = 0;
-  std::vector<ObjectId> old_objects = part.objects();
-  for (ObjectId id : old_objects) {
+  for (ObjectId id : part.objects()) {
     if (marked.count(id) != 0) continue;
     ODBGC_CHECK_MSG(!store.IsRoot(id), "collector reclaiming a root");
     reclaimed_bytes += store.object(id).size;
-    ++reclaimed_objects;
-    store.DestroyObject(id);
+    reclaim.push_back(id);
   }
-
-  // Compact survivors in copy order (to-space starts at offset 0).
   uint32_t new_used = 0;
-  uint64_t live_bytes = 0;
-  for (ObjectId id : copy_order) {
-    ObjectRecord& rec = store.mutable_object(id);
-    store.Relocate(id, new_used);
-    new_used += rec.size;
-    live_bytes += rec.size;
-  }
+  for (ObjectId id : copy_order) new_used += store.object(id).size;
+  const uint64_t live_bytes = new_used;
   ODBGC_CHECK(report.bytes_before == live_bytes + reclaimed_bytes);
 
-  // Write the compacted to-space.
+  report.bytes_live = live_bytes;
+  report.bytes_reclaimed = reclaimed_bytes;
+  report.objects_live = copy_order.size();
+  report.objects_reclaimed = reclaim.size();
+
+  // Simulated power cut: capture the durable journal, drop the volatile
+  // buffer contents, and hand the partial report back to the caller.
+  auto crash = [&](bool committed) -> CollectionReport {
+    journal_.pending = true;
+    journal_.committed = committed;
+    journal_.point = crash_point;
+    journal_.partition = partition;
+    journal_.copy_order = copy_order;
+    journal_.reclaim = reclaim;
+    journal_.new_used = new_used;
+    journal_.live_bytes = live_bytes;
+    journal_.reclaimed_bytes = reclaimed_bytes;
+    journal_.reclaimed_objects = reclaim.size();
+    journal_.dirty_pages_lost = store.buffer_pool().DiscardAll();
+    ++crashes_;
+    crash_point_ = CrashPoint::kNone;  // single shot
+    crash_attempt_ = 0;
+    const IoStats at_crash = store.io_stats();
+    report.gc_reads = at_crash.gc_reads - before_io.gc_reads;
+    report.gc_writes = at_crash.gc_writes - before_io.gc_writes;
+    report.crashed = true;
+    report.crash_point = journal_.point;
+    journal_.report = report;
+    return report;
+  };
+
+  // 2. Write the compacted to-space.
   if (new_used > 0) {
     store.TouchRange(partition, 0, new_used, /*dirty=*/true,
                      IoContext::kCollector);
   }
-  // Pages past the compacted tail no longer exist; drop without flushing.
-  uint32_t page_bytes = store.config().page_bytes;
-  uint32_t first_dead_page = (new_used + page_bytes - 1) / page_bytes;
-  store.buffer_pool().DropPartitionTail(partition, first_dead_page);
-
-  // Relocation invalidates external pointers into this partition: the
-  // collector must update the referencing slot of every external source,
-  // costing a read (and dirty write-back) of that source's page.
-  for (ObjectId id : copy_order) {
-    const ObjectRecord& rec = store.object(id);
-    for (ObjectId src : rec.in_refs) {
-      const ObjectRecord& s = store.object(src);
-      if (s.partition == partition) continue;  // rewritten by the copy
-      store.TouchRange(s.partition, s.offset, s.size, /*dirty=*/true,
-                       IoContext::kCollector);
-    }
+  if (crash_point == CrashPoint::kAfterCopy) {
+    return crash(/*committed=*/false);
   }
 
-  uint32_t old_used = part.used();
-  report.objects_live = copy_order.size();
+  // 3. Commit point: force the to-space copy to disk, then make the
+  // commit record durable (write-through, never cached).
+  if (protocol) {
+    store.buffer_pool().FlushPartition(partition, IoContext::kCollector);
+    store.CommitRecordWrite(partition, IoContext::kCollector);
+  }
+  if (crash_point == CrashPoint::kBeforeFlip) {
+    return crash(/*committed=*/true);
+  }
+
+  // 4. Flip: destroy garbage, relocate survivors, drop the stale tail.
+  ApplyFlip(store, partition, copy_order, reclaim, new_used);
+
+  // 5. Remembered-set update: relocation invalidates external pointers
+  // into this partition, so the referencing slot of every external source
+  // is rewritten, costing a read (and dirty write-back) of its page.
+  if (crash_point == CrashPoint::kMidRememberedSet) {
+    const uint64_t total =
+        UpdateRememberedSets(store, partition, copy_order, 0, 0);
+    UpdateRememberedSets(store, partition, copy_order, 0, total / 2);
+    return crash(/*committed=*/true);
+  }
+  UpdateRememberedSets(store, partition, copy_order, 0, UINT64_MAX);
+
+  // 6. Clear the commit record and finish partition bookkeeping.
+  if (protocol) {
+    store.CommitRecordWrite(partition, IoContext::kCollector);
+  }
+  FinishCollection(store, partition, std::move(copy_order), new_used,
+                   reclaimed_bytes, reclaim.size());
+
+  const IoStats after_io = store.io_stats();
+  report.gc_reads = after_io.gc_reads - before_io.gc_reads;
+  report.gc_writes = after_io.gc_writes - before_io.gc_writes;
+  return report;
+}
+
+RecoveryReport Collector::Recover(ObjectStore& store) {
+  ODBGC_CHECK_MSG(journal_.pending, "Recover without a pending crash");
+  RecoveryReport rec;
+  rec.crash_point = journal_.point;
+  rec.dirty_pages_lost = journal_.dirty_pages_lost;
+  const PartitionId partition = journal_.partition;
+  const IoStats before_io = store.io_stats();
+
+  // Restart probe: read the commit record to learn whether the crashed
+  // collection reached its commit point.
+  store.CommitRecordRead(partition, IoContext::kCollector);
+
+  if (!journal_.committed) {
+    // Roll back. The flip never became durable, so from-space remains
+    // authoritative: no object was destroyed or moved, and the partial
+    // to-space copy died with the buffer pool. Dropping the journal is
+    // the whole undo.
+    rec.rolled_forward = false;
+  } else {
+    // Roll forward: the commit record is durable, so the collection must
+    // complete. kBeforeFlip crashed with the flip still unapplied;
+    // kMidRememberedSet crashed after it.
+    rec.rolled_forward = true;
+    if (journal_.point == CrashPoint::kBeforeFlip) {
+      ApplyFlip(store, partition, journal_.copy_order, journal_.reclaim,
+                journal_.new_used);
+    }
+    // Redo every remembered-set update. The update set is recomputed from
+    // the survivors' reverse index (external object positions are
+    // unchanged by the crash) and replayed in full: the crash dropped the
+    // volatile buffer, so recovery cannot know which rewrites reached
+    // disk, and page rewrites are idempotent.
+    rec.redo_external_updates = UpdateRememberedSets(
+        store, partition, journal_.copy_order, 0, UINT64_MAX);
+    store.CommitRecordWrite(partition, IoContext::kCollector);  // clear
+    FinishCollection(store, partition, std::move(journal_.copy_order),
+                     journal_.new_used, journal_.reclaimed_bytes,
+                     journal_.reclaimed_objects);
+  }
+
+  const IoStats after_io = store.io_stats();
+  rec.gc_reads = after_io.gc_reads - before_io.gc_reads;
+  rec.gc_writes = after_io.gc_writes - before_io.gc_writes;
+  if (rec.rolled_forward) {
+    rec.completed = journal_.report;
+    rec.completed.gc_reads += rec.gc_reads;
+    rec.completed.gc_writes += rec.gc_writes;
+  }
+  journal_ = Journal{};
+  return rec;
+}
+
+void Collector::ApplyFlip(ObjectStore& store, PartitionId partition,
+                          const std::vector<ObjectId>& copy_order,
+                          const std::vector<ObjectId>& reclaim,
+                          uint32_t new_used) {
+  // Destroying a garbage object detaches its out-pointers, which may
+  // clear external references into other partitions (their floating
+  // garbage becomes collectable later).
+  for (ObjectId id : reclaim) store.DestroyObject(id);
+  // Compact survivors in copy order (to-space starts at offset 0).
+  uint32_t offset = 0;
+  for (ObjectId id : copy_order) {
+    store.Relocate(id, offset);
+    offset += store.object(id).size;
+  }
+  ODBGC_CHECK(offset == new_used);
+  // Pages past the compacted tail no longer exist; drop without flushing.
+  const uint32_t page_bytes = store.config().page_bytes;
+  const uint32_t first_dead_page = (new_used + page_bytes - 1) / page_bytes;
+  store.buffer_pool().DropPartitionTail(partition, first_dead_page);
+}
+
+uint64_t Collector::UpdateRememberedSets(ObjectStore& store,
+                                         PartitionId partition,
+                                         const std::vector<ObjectId>& copy_order,
+                                         uint64_t first, uint64_t count) {
+  uint64_t ordinal = 0;
+  uint64_t touched = 0;
+  for (ObjectId id : copy_order) {
+    for (ObjectId src : store.object(id).in_refs) {
+      const ObjectRecord& s = store.object(src);
+      if (s.partition == partition) continue;  // rewritten by the copy
+      if (ordinal >= first && touched < count) {
+        store.TouchRange(s.partition, s.offset, s.size, /*dirty=*/true,
+                         IoContext::kCollector);
+        ++touched;
+      }
+      ++ordinal;
+    }
+  }
+  return ordinal;
+}
+
+void Collector::FinishCollection(ObjectStore& store, PartitionId partition,
+                                 std::vector<ObjectId> copy_order,
+                                 uint32_t new_used, uint64_t reclaimed_bytes,
+                                 uint64_t reclaimed_objects) {
+  Partition& part = store.mutable_partition(partition);
+  const uint32_t old_used = part.used();
   part.ResetAfterCollection(std::move(copy_order), new_used);
   part.set_last_collected_stamp(++collections_);
   store.AdjustUsedBytes(old_used, new_used);
   store.RecordGarbageCollected(reclaimed_bytes, reclaimed_objects);
-
-  const IoStats after_io = store.io_stats();
-  report.bytes_live = live_bytes;
-  report.bytes_reclaimed = reclaimed_bytes;
-  report.objects_reclaimed = reclaimed_objects;
-  report.gc_reads = after_io.gc_reads - before_io.gc_reads;
-  report.gc_writes = after_io.gc_writes - before_io.gc_writes;
-  return report;
 }
 
 }  // namespace odbgc

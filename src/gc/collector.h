@@ -2,7 +2,9 @@
 #define ODBGC_GC_COLLECTOR_H_
 
 #include <cstdint>
+#include <vector>
 
+#include "storage/fault_injector.h"
 #include "storage/object_store.h"
 #include "storage/types.h"
 
@@ -22,6 +24,31 @@ struct CollectionReport {
   // FGS value of the partition at selection time (pointer overwrites
   // accumulated since its previous collection); consumed by FGS/HB.
   uint64_t overwrites_at_collection = 0;
+  // An injected crash interrupted this collection at `crash_point`; the
+  // store is mid-protocol and the caller must run Recover() before doing
+  // anything else with it. The reclaim/live figures above are the values
+  // the collection *would* have produced; whether they materialize is
+  // decided by recovery (roll forward) or not (roll back).
+  bool crashed = false;
+  CrashPoint crash_point = CrashPoint::kNone;
+};
+
+// Outcome of recovering from an injected crash.
+struct RecoveryReport {
+  CrashPoint crash_point = CrashPoint::kNone;
+  // True: the commit record was durable, so recovery completed the
+  // collection (redo). False: the crash preceded the commit point, so
+  // recovery discarded the partial collection (undo) and the partition's
+  // from-space stayed authoritative.
+  bool rolled_forward = false;
+  uint64_t redo_external_updates = 0;  // remembered-set entries redone
+  size_t dirty_pages_lost = 0;   // volatile buffer contents lost at crash
+  uint64_t gc_reads = 0;         // recovery's own I/O
+  uint64_t gc_writes = 0;
+  // The completed collection (valid only when rolled_forward): the
+  // crashed attempt's report finished by recovery, with recovery I/O
+  // folded into gc_reads/gc_writes.
+  CollectionReport completed;
 };
 
 // Partitioned copying collector (Section 3.1, after [CWZ94]):
@@ -41,16 +68,101 @@ struct CollectionReport {
 // positions — reads and rewrites the page of every external object that
 // holds a pointer into the partition. All transfers go through the store's
 // buffer pool tagged IoContext::kCollector.
+//
+// Crash consistency (atomic partition-flip commit protocol): with the
+// commit protocol enabled, a collection orders its effects as
+//
+//   1. read from-space, mark, compute the compacted layout
+//   2. write to-space                       <- CrashPoint::kAfterCopy
+//   3. flush to-space + write commit record (durable, write-through)
+//                                           <- CrashPoint::kBeforeFlip
+//   4. flip: destroy garbage, relocate survivors, drop the stale tail
+//   5. remembered-set update: rewrite every external referencing page
+//                                           <- CrashPoint::kMidRememberedSet
+//   6. clear commit record, finish partition bookkeeping
+//
+// The commit record (step 3) is the atomicity point: a crash before it
+// rolls back (from-space untouched, nothing logically changed), a crash
+// after it rolls forward (recovery replays the flip and/or redoes the
+// remembered-set updates from the durable record). Either way no
+// reachable object is ever lost. A crash also drops the buffer pool's
+// volatile contents, so recovery pays realistic re-read costs.
 class Collector {
  public:
   Collector() = default;
 
   CollectionReport Collect(ObjectStore& store, PartitionId partition);
 
+  // Runs the durable commit protocol on every collection (two
+  // write-through metadata transfers plus a to-space flush per
+  // collection). Off by default: zero-fault runs stay byte-identical to
+  // the protocol-free collector. A scheduled crash forces the protocol
+  // for the crashed collection regardless.
+  void set_commit_protocol(bool on) { commit_protocol_ = on; }
+  bool commit_protocol() const { return commit_protocol_; }
+
+  // Schedules a single injected crash: the `attempt`-th Collect call
+  // (1-based, counting every call including rolled-back ones) stops at
+  // `point`. The schedule clears once it fires.
+  void ScheduleCrash(CrashPoint point, uint64_t attempt);
+
+  // True after a crashed Collect until Recover is called. Collect CHECKs
+  // that no recovery is pending.
+  bool needs_recovery() const { return journal_.pending; }
+
+  // Rolls the interrupted collection back (crash before the commit
+  // point) or forward (crash after it). Leaves the heap verifier-clean.
+  RecoveryReport Recover(ObjectStore& store);
+
   uint64_t collections_performed() const { return collections_; }
+  uint64_t crashes_injected() const { return crashes_; }
 
  private:
+  // Durable commit-record contents, captured at the crash point. In a
+  // real system this is the journal page the commit protocol writes; the
+  // simulation keeps it in memory and charges the I/O explicitly.
+  struct Journal {
+    bool pending = false;
+    bool committed = false;  // commit record durable at crash time
+    CrashPoint point = CrashPoint::kNone;
+    PartitionId partition = kInvalidPartition;
+    std::vector<ObjectId> copy_order;  // survivors in to-space order
+    std::vector<ObjectId> reclaim;     // garbage not yet destroyed
+    uint32_t new_used = 0;
+    uint64_t live_bytes = 0;
+    uint64_t reclaimed_bytes = 0;
+    uint64_t reclaimed_objects = 0;
+    size_t dirty_pages_lost = 0;
+    CollectionReport report;  // partial report at crash time
+  };
+
+  // Applies the logical flip: destroys the reclaim set, relocates the
+  // survivors to the compacted layout, and drops the stale buffer tail.
+  void ApplyFlip(ObjectStore& store, PartitionId partition,
+                 const std::vector<ObjectId>& copy_order,
+                 const std::vector<ObjectId>& reclaim, uint32_t new_used);
+
+  // Rewrites the page of external objects referencing a survivor:
+  // entries with ordinal in [first, first + count) are touched (count = 0
+  // just counts). Returns the total number of external referencing
+  // entries, regardless of how many were touched.
+  uint64_t UpdateRememberedSets(ObjectStore& store, PartitionId partition,
+                                const std::vector<ObjectId>& copy_order,
+                                uint64_t first, uint64_t count);
+
+  // Finishes partition bookkeeping and store-level accounting shared by
+  // the normal path and roll-forward recovery.
+  void FinishCollection(ObjectStore& store, PartitionId partition,
+                        std::vector<ObjectId> copy_order, uint32_t new_used,
+                        uint64_t reclaimed_bytes, uint64_t reclaimed_objects);
+
   uint64_t collections_ = 0;
+  uint64_t attempts_ = 0;
+  uint64_t crashes_ = 0;
+  bool commit_protocol_ = false;
+  CrashPoint crash_point_ = CrashPoint::kNone;
+  uint64_t crash_attempt_ = 0;
+  Journal journal_;
 };
 
 }  // namespace odbgc

@@ -72,6 +72,20 @@ struct SimConfig {
   // Partition selection.
   SelectorKind selector = SelectorKind::kUpdatedPointer;
   uint64_t selector_seed = 1;
+
+  // Heap invariant verification (storage/verifier.h). The verifier runs
+  // after every crash recovery by default (a recovery that corrupts the
+  // heap should abort the run, not skew its measurements) and can be
+  // turned on after every collection for debugging; a violation aborts
+  // via ODBGC_CHECK. `verify_reachability` additionally compares the
+  // ground-truth garbage markers against a full reachability scan; it is
+  // off by default because kGarbageMark annotations trail the mutation
+  // that created the garbage by one trace event, so the comparison is
+  // only exact at quiescent points (end of run, bare fixtures), not at
+  // arbitrary mid-run collections.
+  bool verify_after_collection = false;
+  bool verify_after_recovery = true;
+  bool verify_reachability = false;
 };
 
 }  // namespace odbgc

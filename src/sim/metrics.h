@@ -89,6 +89,19 @@ struct SimResult {
   uint64_t idle_collections = 0;
   uint64_t idle_gc_io = 0;
 
+  // Fault injection / crash recovery (zero unless a FaultPlan is set).
+  uint64_t crashes = 0;
+  uint64_t recoveries = 0;
+  uint64_t recovery_rollbacks = 0;
+  uint64_t recovery_rollforwards = 0;
+  uint64_t recovery_redo_updates = 0;
+  uint64_t verifier_runs = 0;
+  uint64_t io_retries = 0;
+  uint64_t io_read_failures = 0;
+  uint64_t io_write_failures = 0;
+  uint64_t torn_writes = 0;
+  uint64_t torn_repairs = 0;
+
   std::vector<CollectionRecord> log;
   std::vector<PhaseTransition> phases;
   // One entry per kPhaseMark in trace order (phases may repeat).

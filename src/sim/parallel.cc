@@ -162,7 +162,7 @@ std::vector<SimResult> SweepRunner::Run(const std::vector<SweepPoint>& points) {
     const SweepPoint& p = points[i];
     std::shared_ptr<const Trace> trace = cache_.GetOo7(p.params, p.seed);
     SimConfig cfg = p.config;
-    cfg.selector_seed = p.seed * 7919 + 17;  // as RunOo7Once
+    ApplyRunSeeds(&cfg, p.seed);  // as RunOo7Once
     results[i] = RunSimulation(cfg, *trace);
   });
   return results;
@@ -172,7 +172,7 @@ SimResult SweepRunner::RunOne(const SimConfig& config, const Oo7Params& params,
                               uint64_t seed) {
   std::shared_ptr<const Trace> trace = cache_.GetOo7(params, seed);
   SimConfig cfg = config;
-  cfg.selector_seed = seed * 7919 + 17;
+  ApplyRunSeeds(&cfg, seed);
   return RunSimulation(cfg, *trace);
 }
 

@@ -35,10 +35,23 @@ std::shared_ptr<const Trace> GenerateOo7Trace(const Oo7Params& params,
   return trace;
 }
 
+void ApplyRunSeeds(SimConfig* config, uint64_t seed) {
+  config->selector_seed = seed * 7919 + 17;  // decorrelate from the generator
+  if (config->store.fault.io_faults_enabled()) {
+    // SplitMix64 finalizer over (plan seed, run seed): well-mixed, cheap,
+    // and independent of the selector stream.
+    uint64_t z = config->store.fault.seed +
+                 0x9e3779b97f4a7c15ull * (seed + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    config->store.fault.seed = z ^ (z >> 31);
+  }
+}
+
 SimResult RunOo7WithTrace(const SimConfig& config, const Trace& trace,
                           uint64_t seed) {
   SimConfig cfg = config;
-  cfg.selector_seed = seed * 7919 + 17;  // decorrelate from the generator
+  ApplyRunSeeds(&cfg, seed);
   return RunSimulation(cfg, trace);
 }
 

@@ -28,6 +28,15 @@ struct AggregateResult {
 // Summarizes per-run results (in the given order) into the aggregate.
 AggregateResult AggregateRuns(std::vector<SimResult> runs);
 
+// Derives every per-run RNG stream in `config` from the run's seed, in
+// one place so the serial, cached, and thread-pooled paths stay
+// byte-identical:
+//   * selector_seed decorrelates from the trace generator (seed*7919+17);
+//   * if the config enables I/O faults, FaultPlan::seed is mixed with the
+//     run seed (SplitMix64 finalizer) so each run of a sweep draws an
+//     independent fault stream while staying reproducible.
+void ApplyRunSeeds(SimConfig* config, uint64_t seed);
+
 // Generates the full four-phase OO7 application trace for (params, seed).
 // Returned immutable and shared so sweeps can replay one generation many
 // times with zero copies (see sim/parallel.h's TraceCache).

@@ -5,6 +5,7 @@
 #include "core/fixed_rate.h"
 #include "core/saio.h"
 #include "core/saga.h"
+#include "storage/verifier.h"
 #include "util/check.h"
 
 namespace odbgc {
@@ -60,6 +61,7 @@ Simulation::Simulation(const SimConfig& config,
       selector_(std::move(selector)),
       estimator_(estimator) {
   ODBGC_CHECK(policy_ != nullptr && selector_ != nullptr);
+  ConfigureCollector();
 }
 
 namespace {
@@ -75,6 +77,39 @@ Simulation::Simulation(const SimConfig& config)
     : config_(config), store_(std::make_unique<ObjectStore>(config.store)) {
   policy_ = BuildPolicy(config_, &estimator_);
   selector_ = MakeSelector(config_.selector, config_.selector_seed);
+  ConfigureCollector();
+}
+
+void Simulation::ConfigureCollector() {
+  const FaultPlan& plan = config_.store.fault;
+  collector_.set_commit_protocol(plan.commit_protocol);
+  if (plan.crash_point != CrashPoint::kNone) {
+    collector_.ScheduleCrash(plan.crash_point, plan.crash_at_collection);
+  }
+}
+
+bool Simulation::HandleCrash(CollectionReport* report) {
+  ++result_.crashes;
+  RecoveryReport rec = collector_.Recover(*store_);
+  ++result_.recoveries;
+  result_.recovery_redo_updates += rec.redo_external_updates;
+  if (rec.rolled_forward) {
+    ++result_.recovery_rollforwards;
+    *report = rec.completed;
+  } else {
+    ++result_.recovery_rollbacks;
+  }
+  if (config_.verify_after_recovery) RunVerifier("recovery");
+  return rec.rolled_forward;
+}
+
+void Simulation::RunVerifier(const char* when) {
+  VerifierOptions opts;
+  opts.check_reachability_agreement = config_.verify_reachability;
+  VerifierReport vr = VerifyHeap(*store_, opts);
+  ++result_.verifier_runs;
+  ODBGC_CHECK_FMT(vr.ok(), "heap verifier after %s: %s", when,
+                  vr.Summary().c_str());
 }
 
 void Simulation::UpdateClock() {
@@ -150,6 +185,13 @@ void Simulation::MaybeCollect() {
   PartitionId pid = selector_->Select(*store_);
   uint64_t overwrites_at_selection = store_->partition(pid).overwrites();
   CollectionReport report = collector_.Collect(*store_, pid);
+  if (report.crashed && !HandleCrash(&report)) {
+    // Rolled back: no collection happened (its wasted I/O is still in the
+    // store's counters); the policy gets another chance at the next event.
+    UpdateClock();
+    return;
+  }
+  if (config_.verify_after_collection) RunVerifier("collection");
 
   EstimatorCollectionInfo info;
   info.partition = pid;
@@ -298,6 +340,12 @@ SimResult Simulation::Finish() {
     result_.dt_min_clamps = saga->dt_min_clamps();
     result_.dt_max_clamps = saga->dt_max_clamps();
   }
+  const IoStats& io = store_->io_stats();
+  result_.io_retries = io.retries_total();
+  result_.io_read_failures = io.read_failures;
+  result_.io_write_failures = io.write_failures;
+  result_.torn_writes = io.torn_writes;
+  result_.torn_repairs = io.torn_repairs;
   return result_;
 }
 
@@ -312,6 +360,8 @@ void Simulation::RunIdlePeriod(uint32_t max_collections) {
     PartitionId pid = selector_->Select(*store_);
     uint64_t overwrites_at_selection = store_->partition(pid).overwrites();
     CollectionReport report = collector_.Collect(*store_, pid);
+    if (report.crashed && !HandleCrash(&report)) continue;
+    if (config_.verify_after_collection) RunVerifier("collection");
 
     EstimatorCollectionInfo info;
     info.partition = pid;

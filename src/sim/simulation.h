@@ -60,6 +60,15 @@ class Simulation {
  private:
   void UpdateClock();
   void SampleGarbage();
+  // Applies the config's FaultPlan to the collector (commit protocol,
+  // scheduled crash).
+  void ConfigureCollector();
+  // Recovers from an injected crash; returns true when recovery rolled
+  // the collection forward, replacing *report with the completed one.
+  bool HandleCrash(CollectionReport* report);
+  // Runs the heap verifier; aborts with `when` in the message on any
+  // violation.
+  void RunVerifier(const char* when);
   void MaybeCollect();
   void RunIdlePeriod(uint32_t max_collections);
   void OpenWindowIfReady();

@@ -8,22 +8,50 @@ BufferPool::BufferPool(uint32_t frame_count) : frame_count_(frame_count) {
   ODBGC_CHECK(frame_count > 0);
 }
 
-void BufferPool::CountRead(PageId page, IoContext ctx) {
-  if (ctx == IoContext::kApplication) {
-    ++stats_.app_reads;
-  } else {
-    ++stats_.gc_reads;
-  }
+void BufferPool::RecordTransfer(PageId page, IoContext ctx, bool is_write) {
+  const bool app = ctx == IoContext::kApplication;
+  uint64_t& counter = is_write ? (app ? stats_.app_writes : stats_.gc_writes)
+                               : (app ? stats_.app_reads : stats_.gc_reads);
+  ++counter;
   if (disk_ != nullptr) disk_->OnTransfer(page, ctx);
+  if (fault_ == nullptr) return;
+
+  FaultOutcome outcome =
+      is_write ? fault_->OnWrite(page) : fault_->OnRead(page);
+  if (outcome.retries > 0) {
+    // Each retry is a real transfer: charge the issuing context's main
+    // counter (the policies' I/O clocks must see the cost) and the retry
+    // breakout, plus exponential backoff in the disk-time model.
+    counter += outcome.retries;
+    (app ? stats_.app_retries : stats_.gc_retries) += outcome.retries;
+    if (disk_ != nullptr) {
+      double backoff = fault_->plan().retry_backoff_ms;
+      for (uint32_t i = 0; i < outcome.retries; ++i) {
+        disk_->OnTransfer(page, ctx);
+        disk_->AddDelay(ctx, backoff);
+        backoff *= 2.0;
+      }
+    }
+  }
+  if (outcome.permanent) {
+    ++(is_write ? stats_.write_failures : stats_.read_failures);
+  }
+  if (outcome.torn) ++stats_.torn_writes;
+  if (outcome.repaired_tear) {
+    // The read detected a torn page: rewrite it from redundancy. The
+    // repair write is charged to the reader but not re-faulted.
+    ++stats_.torn_repairs;
+    ++(app ? stats_.app_writes : stats_.gc_writes);
+    if (disk_ != nullptr) disk_->OnTransfer(page, ctx);
+  }
+}
+
+void BufferPool::CountRead(PageId page, IoContext ctx) {
+  RecordTransfer(page, ctx, /*is_write=*/false);
 }
 
 void BufferPool::CountWrite(PageId page, IoContext ctx) {
-  if (ctx == IoContext::kApplication) {
-    ++stats_.app_writes;
-  } else {
-    ++stats_.gc_writes;
-  }
-  if (disk_ != nullptr) disk_->OnTransfer(page, ctx);
+  RecordTransfer(page, ctx, /*is_write=*/true);
 }
 
 void BufferPool::Access(PageId page, bool dirty, IoContext ctx) {
@@ -38,13 +66,35 @@ void BufferPool::Access(PageId page, bool dirty, IoContext ctx) {
   ++misses_;
   CountRead(page, ctx);
   if (lru_.size() >= frame_count_) {
-    Frame& victim = lru_.back();
-    if (victim.dirty) CountWrite(victim.page, ctx);
-    map_.erase(victim.page);
-    lru_.pop_back();
+    // Evict the least recently used unpinned frame.
+    auto victim = lru_.end();
+    for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
+      if (rit->pins == 0) {
+        victim = std::prev(rit.base());
+        break;
+      }
+    }
+    ODBGC_CHECK_MSG(victim != lru_.end(),
+                    "every buffer frame is pinned; cannot evict");
+    if (victim->dirty) CountWrite(victim->page, ctx);
+    map_.erase(victim->page);
+    lru_.erase(victim);
   }
-  lru_.push_front(Frame{page, dirty});
+  lru_.push_front(Frame{page, dirty, 0});
   map_[page] = lru_.begin();
+}
+
+void BufferPool::Pin(PageId page) {
+  auto it = map_.find(page);
+  ODBGC_CHECK_MSG(it != map_.end(), "Pin of a non-resident page");
+  if (it->second->pins++ == 0) ++pinned_pages_;
+}
+
+void BufferPool::Unpin(PageId page) {
+  auto it = map_.find(page);
+  ODBGC_CHECK_MSG(it != map_.end(), "Unpin of a non-resident page");
+  ODBGC_CHECK_MSG(it->second->pins > 0, "Unpin without a matching Pin");
+  if (--it->second->pins == 0) --pinned_pages_;
 }
 
 void BufferPool::DropPartitionTail(PartitionId partition,
@@ -52,6 +102,7 @@ void BufferPool::DropPartitionTail(PartitionId partition,
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->page.partition == partition &&
         it->page.page_index >= first_dropped) {
+      ODBGC_CHECK_MSG(it->pins == 0, "dropping a pinned page");
       map_.erase(it->page);
       it = lru_.erase(it);
     } else {
@@ -67,6 +118,26 @@ void BufferPool::FlushAll(IoContext ctx) {
       frame.dirty = false;
     }
   }
+}
+
+void BufferPool::FlushPartition(PartitionId partition, IoContext ctx) {
+  for (auto& frame : lru_) {
+    if (frame.dirty && frame.page.partition == partition) {
+      CountWrite(frame.page, ctx);
+      frame.dirty = false;
+    }
+  }
+}
+
+size_t BufferPool::DiscardAll() {
+  size_t dirty = 0;
+  for (const auto& frame : lru_) {
+    if (frame.dirty) ++dirty;
+  }
+  lru_.clear();
+  map_.clear();
+  pinned_pages_ = 0;
+  return dirty;
 }
 
 }  // namespace odbgc

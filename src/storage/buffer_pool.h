@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "storage/disk_model.h"
+#include "storage/fault_injector.h"
 #include "storage/types.h"
 
 namespace odbgc {
@@ -19,7 +20,10 @@ namespace odbgc {
 // The pool does not hold data — the simulation tracks object contents
 // elsewhere — it only decides which page accesses hit the buffer and which
 // cost disk I/O operations, and attributes those operations to the
-// application or the collector.
+// application or the collector. With a fault injector attached, each
+// physical transfer may additionally fail transiently (retried with
+// backoff, retries charged to the issuing context), fail permanently, or
+// leave / detect a torn page; all outcomes surface in IoStats.
 class BufferPool {
  public:
   explicit BufferPool(uint32_t frame_count);
@@ -29,7 +33,17 @@ class BufferPool {
 
   // Touches a page. A miss costs one read I/O (plus one write I/O if a
   // dirty page must be evicted). `dirty` marks the page as modified.
+  // Pinned pages are never chosen as eviction victims.
   void Access(PageId page, bool dirty, IoContext ctx);
+
+  // Pin / unpin a resident page. Pins nest; a pinned frame survives
+  // eviction pressure (it is skipped when hunting for a victim) and may
+  // not be dropped by DropPartitionTail. The page must be resident (pin
+  // it in the same breath as the Access that faulted it in) and pin
+  // counts must balance — both are CHECKed.
+  void Pin(PageId page);
+  void Unpin(PageId page);
+  size_t pinned_pages() const { return pinned_pages_; }
 
   // Drops any cached pages of `partition` with page_index >= first_dropped
   // without writing them back. Used after a collection compacts a
@@ -40,10 +54,29 @@ class BufferPool {
   // writes to `ctx`.
   void FlushAll(IoContext ctx);
 
+  // Writes back the dirty pages of one partition (they stay resident and
+  // become clean). The collector's commit protocol uses this to make
+  // to-space durable before the commit record is written.
+  void FlushPartition(PartitionId partition, IoContext ctx);
+
+  // Simulates losing all volatile state at a crash: every frame (pinned
+  // or not) is dropped with no write-back. Returns the number of dirty
+  // pages whose contents were lost.
+  size_t DiscardAll();
+
+  // One uncached, durable page write / read (the collector's commit
+  // record). Costs one transfer, never occupies a frame.
+  void WriteThrough(PageId page, IoContext ctx) { CountWrite(page, ctx); }
+  void ReadThrough(PageId page, IoContext ctx) { CountRead(page, ctx); }
+
   // Attaches an optional disk service-time model: every physical
   // transfer (read on miss, write-back on eviction or flush) is reported
   // to it. Not owned; may be null.
   void AttachDiskModel(DiskModel* model) { disk_ = model; }
+
+  // Attaches an optional deterministic fault injector consulted on every
+  // physical transfer. Not owned; may be null.
+  void AttachFaultInjector(FaultInjector* injector) { fault_ = injector; }
 
   const IoStats& stats() const { return stats_; }
   uint32_t frame_count() const { return frame_count_; }
@@ -55,19 +88,25 @@ class BufferPool {
   struct Frame {
     PageId page;
     bool dirty;
+    uint32_t pins = 0;
   };
   using LruList = std::list<Frame>;
 
   void CountRead(PageId page, IoContext ctx);
   void CountWrite(PageId page, IoContext ctx);
+  // Shared transfer accounting: counts the base transfer, then consults
+  // the fault injector for retries / permanent errors / tears.
+  void RecordTransfer(PageId page, IoContext ctx, bool is_write);
 
   uint32_t frame_count_;
   DiskModel* disk_ = nullptr;
+  FaultInjector* fault_ = nullptr;
   LruList lru_;  // front = most recently used
   std::unordered_map<PageId, LruList::iterator, PageIdHash> map_;
   IoStats stats_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  size_t pinned_pages_ = 0;
 };
 
 }  // namespace odbgc

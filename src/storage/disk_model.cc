@@ -35,4 +35,12 @@ void DiskModel::OnTransfer(PageId page, IoContext ctx) {
   }
 }
 
+void DiskModel::AddDelay(IoContext ctx, double ms) {
+  if (ctx == IoContext::kApplication) {
+    app_ms_ += ms;
+  } else {
+    gc_ms_ += ms;
+  }
+}
+
 }  // namespace odbgc

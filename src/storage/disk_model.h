@@ -33,6 +33,10 @@ class DiskModel {
   // Records one page transfer and accumulates its service time.
   void OnTransfer(PageId page, IoContext ctx);
 
+  // Adds a non-transfer delay (retry backoff under fault injection) to
+  // the given context's elapsed time.
+  void AddDelay(IoContext ctx, double ms);
+
   double app_ms() const { return app_ms_; }
   double gc_ms() const { return gc_ms_; }
   double total_ms() const { return app_ms_ + gc_ms_; }

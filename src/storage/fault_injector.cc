@@ -1,0 +1,63 @@
+#include "storage/fault_injector.h"
+
+namespace odbgc {
+
+const char* CrashPointName(CrashPoint p) {
+  switch (p) {
+    case CrashPoint::kNone:
+      return "none";
+    case CrashPoint::kAfterCopy:
+      return "after-copy";
+    case CrashPoint::kBeforeFlip:
+      return "before-flip";
+    case CrashPoint::kMidRememberedSet:
+      return "mid-remembered-set";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, uint64_t seed)
+    : plan_(plan), rng_(seed) {}
+
+FaultOutcome FaultInjector::Attempt(double prob) {
+  FaultOutcome o;
+  if (prob <= 0.0) return o;
+  for (uint32_t attempt = 0; attempt <= plan_.max_retries; ++attempt) {
+    if (!rng_.NextBool(prob)) return o;  // this attempt succeeded
+    if (attempt == plan_.max_retries) {
+      o.permanent = true;  // retries exhausted
+    } else {
+      ++o.retries;
+    }
+  }
+  return o;
+}
+
+FaultOutcome FaultInjector::OnRead(PageId page) {
+  FaultOutcome o = Attempt(plan_.read_fault_prob);
+  if (!o.permanent) {
+    auto it = torn_.find(page);
+    if (it != torn_.end()) {
+      // The read detects the tear (checksum mismatch); the caller must
+      // rewrite the page from redundancy.
+      o.repaired_tear = true;
+      torn_.erase(it);
+    }
+  }
+  return o;
+}
+
+FaultOutcome FaultInjector::OnWrite(PageId page) {
+  FaultOutcome o = Attempt(plan_.write_fault_prob);
+  if (o.permanent) return o;  // nothing reached the platter
+  if (plan_.torn_write_prob > 0.0 && rng_.NextBool(plan_.torn_write_prob)) {
+    o.torn = true;
+    torn_.insert(page);
+  } else {
+    // A clean rewrite replaces any earlier torn image of the page.
+    torn_.erase(page);
+  }
+  return o;
+}
+
+}  // namespace odbgc

@@ -1,0 +1,114 @@
+#ifndef ODBGC_STORAGE_FAULT_INJECTOR_H_
+#define ODBGC_STORAGE_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "storage/types.h"
+#include "util/random.h"
+
+namespace odbgc {
+
+// Named points inside one partition collection at which an injected
+// crash can interrupt the collector (see gc/collector.h for the commit
+// protocol these bracket).
+enum class CrashPoint : uint8_t {
+  kNone = 0,
+  // To-space copy written, commit record NOT yet durable. Recovery must
+  // roll the collection back; from-space stays authoritative.
+  kAfterCopy = 1,
+  // Commit record durable, forwarding flip not yet applied. Recovery must
+  // roll forward past the commit point.
+  kBeforeFlip = 2,
+  // Flip applied, remembered-set (external pointer) updates interrupted
+  // midway. Recovery must redo the updates from the commit record.
+  kMidRememberedSet = 3,
+};
+
+const char* CrashPointName(CrashPoint p);
+
+// Deterministic fault schedule for one run. Part of the run's
+// configuration, so identical seed + identical plan reproduces the exact
+// same fault sequence (at any --threads; runner.h's ApplyRunSeeds mixes
+// the per-run seed in). All knobs default to "no faults": a default plan
+// leaves behavior and output byte-identical to a build without it.
+struct FaultPlan {
+  // Mixed with the run seed by ApplyRunSeeds; used raw when a store is
+  // constructed directly (unit fixtures).
+  uint64_t seed = 0;
+
+  // Per-attempt probability that a page read / write transfer fails
+  // transiently. A failed attempt is retried (with backoff) up to
+  // max_retries times; if every attempt fails the error is permanent.
+  double read_fault_prob = 0.0;
+  double write_fault_prob = 0.0;
+  // Probability that a completed write leaves the page torn. A torn page
+  // is detected on its next read and repaired by a rewrite.
+  double torn_write_prob = 0.0;
+  uint32_t max_retries = 3;
+  // Base backoff charged to the disk-time model before the first retry;
+  // doubles per subsequent retry. Ignored unless disk timing is enabled.
+  double retry_backoff_ms = 0.5;
+
+  // Single-shot crash schedule: the crash_at_collection-th call of
+  // Collector::Collect (1-based) stops at crash_point; the simulation
+  // then runs recovery. kNone disables.
+  CrashPoint crash_point = CrashPoint::kNone;
+  uint64_t crash_at_collection = 0;
+  // Run the durable commit protocol (to-space flush + commit-record
+  // write-through) on every collection, not only the crashed one. Costs
+  // extra GC writes; required for crash consistency in faulted runs.
+  bool commit_protocol = false;
+
+  bool io_faults_enabled() const {
+    return read_fault_prob > 0.0 || write_fault_prob > 0.0 ||
+           torn_write_prob > 0.0;
+  }
+  bool enabled() const {
+    return io_faults_enabled() || crash_point != CrashPoint::kNone ||
+           commit_protocol;
+  }
+};
+
+// Outcome of injecting faults into one physical page transfer.
+struct FaultOutcome {
+  uint32_t retries = 0;      // failed attempts that were retried
+  bool permanent = false;    // every attempt failed
+  bool torn = false;         // write completed but left the page torn
+  bool repaired_tear = false;  // read detected a torn page (rewrite due)
+};
+
+// Deterministic fault source for the buffer pool's physical transfers.
+// One injector per ObjectStore: its RNG stream is consumed in transfer
+// order, which is itself deterministic per run, so a (plan, seed) pair
+// fully determines every fault. Tracks the set of currently-torn pages:
+// a tear persists until the page is rewritten or its read repairs it.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, uint64_t seed);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Decides the fate of one read / write transfer of `page`. Each call
+  // advances the RNG by the number of attempts (plus one draw per
+  // completed write for the tear decision).
+  FaultOutcome OnRead(PageId page);
+  FaultOutcome OnWrite(PageId page);
+
+  const FaultPlan& plan() const { return plan_; }
+  size_t torn_page_count() const { return torn_.size(); }
+
+ private:
+  // Runs the retry loop for one transfer with per-attempt failure
+  // probability `prob`.
+  FaultOutcome Attempt(double prob);
+
+  FaultPlan plan_;
+  Rng rng_;
+  std::unordered_set<PageId, PageIdHash> torn_;
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_STORAGE_FAULT_INJECTOR_H_

@@ -16,6 +16,10 @@ ObjectStore::ObjectStore(const StoreConfig& config) : config_(config) {
         config.partition_bytes / config.page_bytes);
     pool_->AttachDiskModel(disk_.get());
   }
+  if (config.fault.io_faults_enabled()) {
+    fault_ = std::make_unique<FaultInjector>(config.fault, config.fault.seed);
+    pool_->AttachFaultInjector(fault_.get());
+  }
   objects_.resize(1);  // id 0 = null
 }
 
@@ -172,6 +176,16 @@ void ObjectStore::TouchRange(PartitionId partition, uint32_t offset,
   for (uint32_t pg = first; pg <= last; ++pg) {
     pool_->Access(PageId{partition, pg}, dirty, ctx);
   }
+}
+
+void ObjectStore::CommitRecordWrite(PartitionId partition, IoContext ctx) {
+  ODBGC_CHECK(partition < partitions_.size());
+  pool_->WriteThrough(PageId{partition, kMetaPageIndex}, ctx);
+}
+
+void ObjectStore::CommitRecordRead(PartitionId partition, IoContext ctx) {
+  ODBGC_CHECK(partition < partitions_.size());
+  pool_->ReadThrough(PageId{partition, kMetaPageIndex}, ctx);
 }
 
 void ObjectStore::DestroyObject(ObjectId id) {

@@ -7,6 +7,7 @@
 
 #include "storage/buffer_pool.h"
 #include "storage/disk_model.h"
+#include "storage/fault_injector.h"
 #include "storage/partition.h"
 #include "storage/types.h"
 
@@ -37,6 +38,10 @@ struct StoreConfig {
   // operation-count methodology; on: elapsed-time estimates too).
   bool enable_disk_timing = false;
   DiskParams disk;
+  // Deterministic fault schedule (I/O faults, torn pages, crash points).
+  // Defaults to all-off, which leaves behavior byte-identical to a store
+  // without fault support.
+  FaultPlan fault;
 };
 
 // The simulated object database: partitions, objects, pointer slots,
@@ -142,12 +147,21 @@ class ObjectStore {
   const StoreConfig& config() const { return config_; }
   // Null unless config.enable_disk_timing.
   const DiskModel* disk_model() const { return disk_.get(); }
+  // Null unless config.fault has I/O faults enabled.
+  const FaultInjector* fault_injector() const { return fault_.get(); }
 
   // --- Collector support ---
 
   // Touches every page overlapping [offset, offset+len) of `partition`.
   void TouchRange(PartitionId partition, uint32_t offset, uint32_t len,
                   bool dirty, IoContext ctx);
+
+  // Durable (write-through) update of `partition`'s commit-record
+  // metadata page, and the matching read used by recovery. Both cost one
+  // uncached transfer; the collector's atomic-flip protocol brackets a
+  // collection's logical flip with them.
+  void CommitRecordWrite(PartitionId partition, IoContext ctx);
+  void CommitRecordRead(PartitionId partition, IoContext ctx);
 
   // Removes a (garbage) object: detaches its out-pointers from the
   // reverse index and frees its record. The caller (collector) is
@@ -176,6 +190,7 @@ class ObjectStore {
   ObjectId newest_object_ = kNullObject;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<DiskModel> disk_;
+  std::unique_ptr<FaultInjector> fault_;
   PartitionId alloc_cursor_ = 0;  // partition last allocated from
 
   uint64_t used_bytes_ = 0;

@@ -22,6 +22,12 @@ struct PageId {
   friend bool operator==(const PageId&, const PageId&) = default;
 };
 
+// Reserved page index for a partition's metadata page: holds the
+// collector's durable commit record (gc/collector.h's atomic-flip
+// protocol). Never part of the object data range, always accessed
+// write-through / read-through, never cached.
+inline constexpr uint32_t kMetaPageIndex = 0xffffffffu;
+
 struct PageIdHash {
   size_t operator()(const PageId& p) const {
     return (static_cast<size_t>(p.partition) << 20) ^ p.page_index;
@@ -34,16 +40,29 @@ struct PageIdHash {
 enum class IoContext : uint8_t { kApplication, kCollector };
 
 // Cumulative I/O operation counters. One "I/O operation" is one page
-// transfer between the buffer pool and the (simulated) disk.
+// transfer between the buffer pool and the (simulated) disk. Under fault
+// injection every retry is itself a transfer: retries bump the read/write
+// counters of the context that issued the original transfer (so the
+// policies' I/O clocks see the real cost) and are additionally broken out
+// in the retry counters.
 struct IoStats {
   uint64_t app_reads = 0;
   uint64_t app_writes = 0;
   uint64_t gc_reads = 0;
   uint64_t gc_writes = 0;
 
+  // Fault-injection accounting (zero when no injector is attached).
+  uint64_t app_retries = 0;     // retried transfer attempts, app context
+  uint64_t gc_retries = 0;      // retried transfer attempts, GC context
+  uint64_t read_failures = 0;   // permanent read errors (retries exhausted)
+  uint64_t write_failures = 0;  // permanent write errors
+  uint64_t torn_writes = 0;     // writes that left the page torn
+  uint64_t torn_repairs = 0;    // tears detected on read and rewritten
+
   uint64_t app_total() const { return app_reads + app_writes; }
   uint64_t gc_total() const { return gc_reads + gc_writes; }
   uint64_t total() const { return app_total() + gc_total(); }
+  uint64_t retries_total() const { return app_retries + gc_retries; }
 };
 
 }  // namespace odbgc

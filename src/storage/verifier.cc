@@ -1,0 +1,163 @@
+#include "storage/verifier.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <unordered_map>
+
+#include "storage/reachability.h"
+
+namespace odbgc {
+namespace {
+
+// Collects violations with a cap on the rendered strings.
+class ViolationSink {
+ public:
+  ViolationSink(VerifierReport* report, size_t max) : report_(report),
+                                                      max_(max) {}
+
+  __attribute__((format(printf, 2, 3)))
+  void Add(const char* fmt, ...) {
+    ++report_->violation_count;
+    if (report_->violations.size() >= max_) return;
+    char buf[256];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    report_->violations.emplace_back(buf);
+  }
+
+ private:
+  VerifierReport* report_;
+  size_t max_;
+};
+
+}  // namespace
+
+std::string VerifierReport::Summary() const {
+  if (ok()) return "clean";
+  std::string s = std::to_string(violation_count) + " violation(s):";
+  for (const std::string& v : violations) {
+    s += " [" + v + "]";
+  }
+  if (violation_count > violations.size()) s += " ...";
+  return s;
+}
+
+VerifierReport VerifyHeap(const ObjectStore& store,
+                          const VerifierOptions& options) {
+  VerifierReport report;
+  ViolationSink sink(&report, options.max_violations);
+
+  // 1 & 2. Partition layout + object/partition agreement. Membership
+  // counts double as the "appears exactly once" check below.
+  std::unordered_map<ObjectId, uint32_t> listed;
+  for (const Partition& part : store.partitions()) {
+    ++report.partitions_checked;
+    if (part.used() > part.capacity()) {
+      sink.Add("partition %u used %u > capacity %u", part.id(), part.used(),
+               part.capacity());
+    }
+    uint64_t packed = 0;  // running offset of contiguous packing
+    for (ObjectId id : part.objects()) {
+      ++listed[id];
+      if (!store.Exists(id)) {
+        sink.Add("partition %u lists destroyed object %u", part.id(), id);
+        continue;
+      }
+      const ObjectRecord& rec = store.object(id);
+      if (rec.partition != part.id()) {
+        sink.Add("object %u listed in partition %u but records %u", id,
+                 part.id(), rec.partition);
+        continue;
+      }
+      if (rec.offset != packed) {
+        sink.Add("object %u at offset %u, expected %" PRIu64
+                 " (stale from-space position)",
+                 id, rec.offset, packed);
+      }
+      packed += rec.size;
+    }
+    if (packed != part.used()) {
+      sink.Add("partition %u used %u != resident bytes %" PRIu64, part.id(),
+               part.used(), packed);
+    }
+  }
+
+  // 2..4. Per-object checks and the forward half of the remembered-set
+  // comparison: count (src -> target) reference edges from the slots.
+  std::unordered_map<uint64_t, int64_t> edges;  // (src<<32|target) -> count
+  auto edge_key = [](ObjectId src, ObjectId target) {
+    return (static_cast<uint64_t>(src) << 32) | target;
+  };
+  for (ObjectId id = 1; id <= store.max_object_id(); ++id) {
+    if (!store.Exists(id)) continue;
+    ++report.objects_checked;
+    const ObjectRecord& rec = store.object(id);
+    if (rec.size == 0) sink.Add("object %u has zero size", id);
+    if (rec.partition >= store.partition_count()) {
+      sink.Add("object %u in invalid partition %u", id, rec.partition);
+    } else {
+      uint32_t times = 0;
+      auto it = listed.find(id);
+      if (it != listed.end()) times = it->second;
+      if (times != 1) {
+        sink.Add("object %u listed %u times by its partition", id, times);
+      }
+      if (rec.offset + static_cast<uint64_t>(rec.size) >
+          store.partition(rec.partition).capacity()) {
+        sink.Add("object %u overruns partition %u", id, rec.partition);
+      }
+    }
+    for (ObjectId target : rec.slots) {
+      ++report.slots_checked;
+      if (target == kNullObject) continue;
+      if (!store.Exists(target)) {
+        sink.Add("object %u slot points at destroyed object %u", id, target);
+        continue;
+      }
+      ++edges[edge_key(id, target)];
+    }
+  }
+  // Reverse half: every in_refs entry must consume exactly one forward
+  // edge; leftovers in either direction are remembered-set corruption.
+  for (ObjectId id = 1; id <= store.max_object_id(); ++id) {
+    if (!store.Exists(id)) continue;
+    for (ObjectId src : store.object(id).in_refs) {
+      if (!store.Exists(src)) {
+        sink.Add("object %u in_refs names destroyed object %u", id, src);
+        continue;
+      }
+      if (--edges[edge_key(src, id)] < 0) {
+        sink.Add("stale in_refs entry %u -> %u (no matching slot)", src, id);
+      }
+    }
+  }
+  for (const auto& [key, count] : edges) {
+    if (count > 0) {
+      sink.Add("missing in_refs entry %u -> %u (x%" PRId64 ")",
+               static_cast<ObjectId>(key >> 32),
+               static_cast<ObjectId>(key & 0xffffffffu), count);
+    }
+  }
+
+  // 5. Roots.
+  for (ObjectId root : store.roots()) {
+    if (!store.Exists(root)) sink.Add("root %u does not exist", root);
+  }
+
+  // 6. Ground-truth reachability agreement.
+  if (options.check_reachability_agreement) {
+    ReachabilityResult scan = ScanReachability(store);
+    if (scan.unreachable_bytes != store.actual_garbage_bytes()) {
+      sink.Add("scanner finds %" PRIu64
+               " unreachable bytes, markers claim %" PRIu64,
+               scan.unreachable_bytes, store.actual_garbage_bytes());
+    }
+  }
+
+  return report;
+}
+
+}  // namespace odbgc

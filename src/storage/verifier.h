@@ -1,0 +1,59 @@
+#ifndef ODBGC_STORAGE_VERIFIER_H_
+#define ODBGC_STORAGE_VERIFIER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/object_store.h"
+
+namespace odbgc {
+
+// What the heap verifier checks (see VerifyHeap). The reachability
+// agreement check compares the ground-truth garbage markers against a
+// full scan; it is only meaningful for marker-driven stores (trace
+// replays), so bare fixtures can switch it off.
+struct VerifierOptions {
+  bool check_reachability_agreement = true;
+  // At most this many violations are rendered as strings; the total
+  // count is always exact.
+  size_t max_violations = 16;
+};
+
+// Outcome of one verification pass.
+struct VerifierReport {
+  uint64_t objects_checked = 0;
+  uint64_t slots_checked = 0;
+  uint64_t partitions_checked = 0;
+  uint64_t violation_count = 0;
+  std::vector<std::string> violations;  // first max_violations, rendered
+
+  bool ok() const { return violation_count == 0; }
+  // One-line human summary ("clean" or the first violations).
+  std::string Summary() const;
+};
+
+// Exhaustive heap invariant check, runnable after any recovery and
+// (optionally, via SimConfig) after every collection:
+//
+//  1. Partition layout — every partition's resident list names existing
+//     objects of that partition, packed contiguously from offset 0 with
+//     used() == sum of sizes. A violation here is the moral equivalent of
+//     a leftover forwarding pointer: an object stranded at a stale
+//     from-space position after an interrupted relocation.
+//  2. Object/partition agreement — every existing object appears in
+//     exactly its own partition's list, exactly once.
+//  3. Pointer-slot validity — every non-null slot targets an existing
+//     object.
+//  4. Remembered-set completeness — the reverse index (in_refs) is
+//     multiset-exact against the forward slots: no missing entry (a lost
+//     external root for a future collection) and no stale entry.
+//  5. Root validity — every root exists.
+//  6. Reachability agreement (optional) — a full ground-truth scan finds
+//     exactly the garbage the marker accounting claims.
+VerifierReport VerifyHeap(const ObjectStore& store,
+                          const VerifierOptions& options = {});
+
+}  // namespace odbgc
+
+#endif  // ODBGC_STORAGE_VERIFIER_H_

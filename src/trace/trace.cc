@@ -79,27 +79,87 @@ bool Trace::SaveTo(const std::string& path) const {
   return true;
 }
 
-bool Trace::LoadFrom(const std::string& path, Trace* out) {
+const char* TraceLoadErrorName(TraceLoadError e) {
+  switch (e) {
+    case TraceLoadError::kNone:
+      return "none";
+    case TraceLoadError::kOpenFailed:
+      return "open-failed";
+    case TraceLoadError::kTruncatedHeader:
+      return "truncated-header";
+    case TraceLoadError::kBadMagic:
+      return "bad-magic";
+    case TraceLoadError::kBadVersion:
+      return "bad-version";
+    case TraceLoadError::kBadEventCount:
+      return "bad-event-count";
+    case TraceLoadError::kTruncatedEvents:
+      return "truncated-events";
+    case TraceLoadError::kBadEventKind:
+      return "bad-event-kind";
+    case TraceLoadError::kTrailingBytes:
+      return "trailing-bytes";
+  }
+  return "unknown";
+}
+
+TraceLoadError Trace::Load(const std::string& path, Trace* out) {
+  constexpr uint64_t kHeaderBytes = sizeof(kMagic) + sizeof(kVersion) +
+                                    sizeof(uint64_t);
+  constexpr uint64_t kRecordBytes = 5 * sizeof(uint32_t);
+  out->events_.clear();
   FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (!f) return false;
+  if (!f) return TraceLoadError::kOpenFailed;
   uint32_t magic = 0;
   uint32_t version = 0;
   uint64_t count = 0;
-  if (std::fread(&magic, sizeof(magic), 1, f.get()) != 1) return false;
-  if (magic != kMagic) return false;
-  if (std::fread(&version, sizeof(version), 1, f.get()) != 1) return false;
-  if (version != kVersion) return false;
-  if (std::fread(&count, sizeof(count), 1, f.get()) != 1) return false;
-  out->events_.clear();
+  if (std::fread(&magic, sizeof(magic), 1, f.get()) != 1) {
+    return TraceLoadError::kTruncatedHeader;
+  }
+  if (magic != kMagic) return TraceLoadError::kBadMagic;
+  if (std::fread(&version, sizeof(version), 1, f.get()) != 1) {
+    return TraceLoadError::kTruncatedHeader;
+  }
+  if (version != kVersion) return TraceLoadError::kBadVersion;
+  if (std::fread(&count, sizeof(count), 1, f.get()) != 1) {
+    return TraceLoadError::kTruncatedHeader;
+  }
+  // Validate the count against the file's real size before sizing any
+  // allocation from it.
+  if (count > (UINT64_MAX - kHeaderBytes) / kRecordBytes) {
+    return TraceLoadError::kBadEventCount;
+  }
+  if (std::fseek(f.get(), 0, SEEK_END) != 0) {
+    return TraceLoadError::kOpenFailed;
+  }
+  long end = std::ftell(f.get());
+  if (end < 0) return TraceLoadError::kOpenFailed;
+  const uint64_t file_bytes = static_cast<uint64_t>(end);
+  const uint64_t expected = kHeaderBytes + count * kRecordBytes;
+  if (file_bytes < expected) return TraceLoadError::kTruncatedEvents;
+  if (file_bytes > expected) return TraceLoadError::kTrailingBytes;
+  if (std::fseek(f.get(), static_cast<long>(kHeaderBytes), SEEK_SET) != 0) {
+    return TraceLoadError::kOpenFailed;
+  }
   out->events_.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     uint32_t rec[5];
-    if (std::fread(rec, sizeof(rec), 1, f.get()) != 1) return false;
-    if (rec[0] > static_cast<uint32_t>(EventKind::kUpdate)) return false;
+    if (std::fread(rec, sizeof(rec), 1, f.get()) != 1) {
+      out->events_.clear();
+      return TraceLoadError::kTruncatedEvents;
+    }
+    if (rec[0] > static_cast<uint32_t>(EventKind::kUpdate)) {
+      out->events_.clear();
+      return TraceLoadError::kBadEventKind;
+    }
     out->events_.push_back(TraceEvent{static_cast<EventKind>(rec[0]), rec[1],
                                       rec[2], rec[3], rec[4]});
   }
-  return true;
+  return TraceLoadError::kNone;
+}
+
+bool Trace::LoadFrom(const std::string& path, Trace* out) {
+  return Load(path, out) == TraceLoadError::kNone;
 }
 
 }  // namespace odbgc

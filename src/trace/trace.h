@@ -9,6 +9,24 @@
 
 namespace odbgc {
 
+// Why loading a binary trace failed. Malformed files are data, not logic
+// errors: the loader reports them as values and never asserts or reads
+// past what the file actually holds.
+enum class TraceLoadError {
+  kNone = 0,         // success
+  kOpenFailed,       // file could not be opened
+  kTruncatedHeader,  // shorter than magic + version + count
+  kBadMagic,
+  kBadVersion,
+  kBadEventCount,    // count field overflows the record-size math
+  kTruncatedEvents,  // count promises more events than the file holds
+  kBadEventKind,     // record with an out-of-range event kind
+  kTrailingBytes,    // bytes past the last promised event
+};
+
+// Stable name for error messages ("bad-magic", ...).
+const char* TraceLoadErrorName(TraceLoadError e);
+
 // An application trace: a flat event sequence plus summary statistics.
 class Trace {
  public:
@@ -39,6 +57,13 @@ class Trace {
   // Binary round-trip. Format: magic, version, count, then packed events.
   // Returns false on I/O or format errors.
   bool SaveTo(const std::string& path) const;
+
+  // Typed loader: every field is bounds-checked against the file's real
+  // size before any allocation sized from it (a corrupt count field must
+  // not drive a multi-gigabyte reserve), and a malformed file leaves
+  // *out empty. Returns kNone on success.
+  static TraceLoadError Load(const std::string& path, Trace* out);
+  // Legacy boolean wrapper around Load().
   static bool LoadFrom(const std::string& path, Trace* out);
 
  private:

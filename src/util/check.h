@@ -6,7 +6,9 @@
 
 // Always-on invariant checks. The simulator is deterministic, so a failed
 // check indicates a logic bug; we abort with a source location rather than
-// continue with corrupted state.
+// continue with corrupted state. Every flavor prints file:line plus the
+// failed condition; the _MSG and _FMT flavors append context (_FMT takes a
+// printf-style format plus arguments, for values computed at failure time).
 #define ODBGC_CHECK(cond)                                                  \
   do {                                                                     \
     if (!(cond)) {                                                         \
@@ -21,6 +23,17 @@
     if (!(cond)) {                                                         \
       std::fprintf(stderr, "ODBGC_CHECK failed at %s:%d: %s (%s)\n",       \
                    __FILE__, __LINE__, #cond, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define ODBGC_CHECK_FMT(cond, ...)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "ODBGC_CHECK failed at %s:%d: %s (", __FILE__,  \
+                   __LINE__, #cond);                                       \
+      std::fprintf(stderr, __VA_ARGS__);                                   \
+      std::fprintf(stderr, ")\n");                                         \
       std::abort();                                                        \
     }                                                                      \
   } while (0)

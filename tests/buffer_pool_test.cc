@@ -122,5 +122,100 @@ TEST(BufferPoolTest, PagesDistinguishedByPartition) {
   EXPECT_EQ(pool.misses(), 2u);
 }
 
+TEST(BufferPoolTest, DirtyEvictionWritesBackExactlyOnce) {
+  // Regression: a dirty page must be written back when evicted, and the
+  // write-back must not leave a phantom dirty frame behind — re-faulting
+  // the page and evicting it clean must cost no second write.
+  BufferPool pool(1);
+  pool.Access(P(0, 0), /*dirty=*/true, IoContext::kApplication);
+  pool.Access(P(0, 1), false, IoContext::kApplication);  // evicts 0 dirty
+  EXPECT_EQ(pool.stats().app_writes, 1u);
+  pool.Access(P(0, 0), false, IoContext::kApplication);  // back in, clean
+  pool.Access(P(0, 1), false, IoContext::kApplication);  // evicts 0 clean
+  EXPECT_EQ(pool.stats().app_writes, 1u);
+  EXPECT_EQ(pool.stats().app_reads, 4u);
+}
+
+TEST(BufferPoolTest, PinAccountingNestsAndBalances) {
+  BufferPool pool(4);
+  pool.Access(P(0, 0), false, IoContext::kApplication);
+  EXPECT_EQ(pool.pinned_pages(), 0u);
+  pool.Pin(P(0, 0));
+  pool.Pin(P(0, 0));  // pins nest
+  EXPECT_EQ(pool.pinned_pages(), 1u);
+  pool.Unpin(P(0, 0));
+  EXPECT_EQ(pool.pinned_pages(), 1u);  // still held once
+  pool.Unpin(P(0, 0));
+  EXPECT_EQ(pool.pinned_pages(), 0u);
+}
+
+TEST(BufferPoolTest, PinnedPageSurvivesEvictionPressure) {
+  BufferPool pool(2);
+  pool.Access(P(0, 0), /*dirty=*/true, IoContext::kApplication);
+  pool.Pin(P(0, 0));
+  pool.Access(P(0, 1), false, IoContext::kApplication);
+  // Page 0 is LRU but pinned: page 1 must be the victim instead.
+  pool.Access(P(0, 2), false, IoContext::kApplication);
+  pool.Access(P(0, 0), false, IoContext::kApplication);
+  EXPECT_EQ(pool.hits(), 1u);  // pinned page stayed resident
+  EXPECT_EQ(pool.stats().app_writes, 0u);  // and was never written back
+  pool.Unpin(P(0, 0));
+}
+
+TEST(BufferPoolTest, AllFramesPinnedAbortsEviction) {
+  BufferPool pool(1);
+  pool.Access(P(0, 0), false, IoContext::kApplication);
+  pool.Pin(P(0, 0));
+  EXPECT_DEATH(pool.Access(P(0, 1), false, IoContext::kApplication),
+               "every buffer frame is pinned");
+}
+
+TEST(BufferPoolTest, UnbalancedUnpinAborts) {
+  BufferPool pool(2);
+  pool.Access(P(0, 0), false, IoContext::kApplication);
+  EXPECT_DEATH(pool.Unpin(P(0, 0)), "without a matching Pin");
+  EXPECT_DEATH(pool.Pin(P(0, 1)), "non-resident");
+}
+
+TEST(BufferPoolTest, FlushPartitionWritesOnlyThatPartition) {
+  BufferPool pool(4);
+  pool.Access(P(0, 0), /*dirty=*/true, IoContext::kCollector);
+  pool.Access(P(0, 1), /*dirty=*/false, IoContext::kCollector);
+  pool.Access(P(1, 0), /*dirty=*/true, IoContext::kCollector);
+  pool.FlushPartition(0, IoContext::kCollector);
+  EXPECT_EQ(pool.stats().gc_writes, 1u);  // only (0,0)
+  EXPECT_EQ(pool.resident_pages(), 3u);   // flushed page stays resident
+  pool.FlushPartition(0, IoContext::kCollector);  // now clean: no-op
+  EXPECT_EQ(pool.stats().gc_writes, 1u);
+  pool.FlushAll(IoContext::kCollector);  // partition 1 still dirty
+  EXPECT_EQ(pool.stats().gc_writes, 2u);
+}
+
+TEST(BufferPoolTest, DiscardAllDropsEverythingWithoutWriteback) {
+  BufferPool pool(4);
+  pool.Access(P(0, 0), /*dirty=*/true, IoContext::kApplication);
+  pool.Access(P(0, 1), /*dirty=*/true, IoContext::kApplication);
+  pool.Access(P(0, 2), /*dirty=*/false, IoContext::kApplication);
+  pool.Pin(P(0, 0));  // even pinned frames die in a crash
+  size_t lost = pool.DiscardAll();
+  EXPECT_EQ(lost, 2u);  // the two dirty pages
+  EXPECT_EQ(pool.resident_pages(), 0u);
+  EXPECT_EQ(pool.pinned_pages(), 0u);
+  EXPECT_EQ(pool.stats().app_writes, 0u);  // nothing was flushed
+  // The pool is fully usable afterwards.
+  pool.Access(P(0, 0), false, IoContext::kApplication);
+  EXPECT_EQ(pool.resident_pages(), 1u);
+}
+
+TEST(BufferPoolTest, WriteThroughBypassesFrames) {
+  BufferPool pool(2);
+  pool.WriteThrough(P(0, kMetaPageIndex), IoContext::kCollector);
+  pool.ReadThrough(P(0, kMetaPageIndex), IoContext::kCollector);
+  EXPECT_EQ(pool.stats().gc_writes, 1u);
+  EXPECT_EQ(pool.stats().gc_reads, 1u);
+  EXPECT_EQ(pool.resident_pages(), 0u);  // never occupies a frame
+  EXPECT_EQ(pool.hits() + pool.misses(), 0u);
+}
+
 }  // namespace
 }  // namespace odbgc

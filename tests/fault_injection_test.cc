@@ -1,0 +1,287 @@
+// Fault injector determinism and the buffer pool's retry / torn-page
+// accounting, plus end-to-end determinism of faulted runs (same seed +
+// same FaultPlan => identical results at any thread count) and the
+// zero-fault guarantee (a default FaultPlan changes nothing).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/parallel.h"
+#include "sim/runner.h"
+#include "storage/buffer_pool.h"
+#include "storage/fault_injector.h"
+#include "storage/object_store.h"
+
+namespace odbgc {
+namespace {
+
+PageId P(PartitionId part, uint32_t page) { return PageId{part, page}; }
+
+FaultPlan FlakyPlan() {
+  FaultPlan plan;
+  plan.read_fault_prob = 0.3;
+  plan.write_fault_prob = 0.2;
+  plan.torn_write_prob = 0.1;
+  plan.max_retries = 3;
+  return plan;
+}
+
+TEST(FaultInjectorTest, DeterministicBySeed) {
+  FaultInjector a(FlakyPlan(), 42);
+  FaultInjector b(FlakyPlan(), 42);
+  for (uint32_t i = 0; i < 500; ++i) {
+    PageId page = P(i % 5, i % 11);
+    FaultOutcome oa = i % 2 ? a.OnWrite(page) : a.OnRead(page);
+    FaultOutcome ob = i % 2 ? b.OnWrite(page) : b.OnRead(page);
+    ASSERT_EQ(oa.retries, ob.retries) << i;
+    ASSERT_EQ(oa.permanent, ob.permanent) << i;
+    ASSERT_EQ(oa.torn, ob.torn) << i;
+    ASSERT_EQ(oa.repaired_tear, ob.repaired_tear) << i;
+  }
+  EXPECT_EQ(a.torn_page_count(), b.torn_page_count());
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiverge) {
+  FaultInjector a(FlakyPlan(), 1);
+  FaultInjector b(FlakyPlan(), 2);
+  bool differ = false;
+  for (uint32_t i = 0; i < 500 && !differ; ++i) {
+    FaultOutcome oa = a.OnRead(P(0, i));
+    FaultOutcome ob = b.OnRead(P(0, i));
+    differ = oa.retries != ob.retries || oa.permanent != ob.permanent;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(FaultInjectorTest, CertainFailureExhaustsRetriesThenPermanent) {
+  FaultPlan plan;
+  plan.read_fault_prob = 1.0;
+  plan.max_retries = 3;
+  FaultInjector inj(plan, 7);
+  FaultOutcome o = inj.OnRead(P(0, 0));
+  EXPECT_EQ(o.retries, 3u);
+  EXPECT_TRUE(o.permanent);
+  // Writes draw from the (disabled) write stream: clean.
+  o = inj.OnWrite(P(0, 0));
+  EXPECT_EQ(o.retries, 0u);
+  EXPECT_FALSE(o.permanent);
+}
+
+TEST(FaultInjectorTest, ZeroProbabilityDrawsNothing) {
+  FaultPlan plan;  // all probabilities zero
+  FaultInjector inj(plan, 7);
+  for (uint32_t i = 0; i < 100; ++i) {
+    FaultOutcome r = inj.OnRead(P(0, i));
+    FaultOutcome w = inj.OnWrite(P(0, i));
+    ASSERT_EQ(r.retries, 0u);
+    ASSERT_FALSE(r.permanent || r.torn || r.repaired_tear);
+    ASSERT_EQ(w.retries, 0u);
+    ASSERT_FALSE(w.permanent || w.torn || w.repaired_tear);
+  }
+}
+
+TEST(FaultInjectorTest, TornWriteDetectedAndRepairedOnNextRead) {
+  FaultPlan plan;
+  plan.torn_write_prob = 1.0;  // every write tears
+  FaultInjector inj(plan, 7);
+  FaultOutcome w = inj.OnWrite(P(0, 3));
+  EXPECT_TRUE(w.torn);
+  EXPECT_EQ(inj.torn_page_count(), 1u);
+  FaultOutcome r1 = inj.OnRead(P(0, 3));
+  EXPECT_TRUE(r1.repaired_tear);
+  EXPECT_EQ(inj.torn_page_count(), 0u);
+  FaultOutcome r2 = inj.OnRead(P(0, 3));  // repaired: clean now
+  EXPECT_FALSE(r2.repaired_tear);
+}
+
+TEST(FaultInjectorTest, CleanRewriteClearsEarlierTear) {
+  FaultPlan plan;
+  plan.torn_write_prob = 0.5;
+  FaultInjector inj(plan, 9);
+  // Drive writes until one tears, then until a clean rewrite of the same
+  // page clears it.
+  PageId page = P(1, 1);
+  bool torn = false;
+  for (int i = 0; i < 64 && !torn; ++i) torn = inj.OnWrite(page).torn;
+  ASSERT_TRUE(torn);
+  ASSERT_EQ(inj.torn_page_count(), 1u);
+  bool cleaned = false;
+  for (int i = 0; i < 64 && !cleaned; ++i) {
+    cleaned = !inj.OnWrite(page).torn;
+  }
+  ASSERT_TRUE(cleaned);
+  EXPECT_EQ(inj.torn_page_count(), 0u);
+  EXPECT_FALSE(inj.OnRead(page).repaired_tear);
+}
+
+TEST(BufferPoolFaultTest, RetriesChargedToIssuingContext) {
+  FaultPlan plan;
+  plan.read_fault_prob = 1.0;  // permanent failure after max_retries
+  plan.max_retries = 2;
+  FaultInjector inj(plan, 1);
+  BufferPool pool(4);
+  pool.AttachFaultInjector(&inj);
+  pool.Access(P(0, 0), /*dirty=*/false, IoContext::kApplication);
+  // 1 base transfer + 2 retries, all on the app read counter.
+  EXPECT_EQ(pool.stats().app_reads, 3u);
+  EXPECT_EQ(pool.stats().app_retries, 2u);
+  EXPECT_EQ(pool.stats().read_failures, 1u);
+  EXPECT_EQ(pool.stats().gc_retries, 0u);
+
+  pool.Access(P(0, 1), /*dirty=*/false, IoContext::kCollector);
+  EXPECT_EQ(pool.stats().gc_reads, 3u);
+  EXPECT_EQ(pool.stats().gc_retries, 2u);
+  EXPECT_EQ(pool.stats().read_failures, 2u);
+  EXPECT_EQ(pool.stats().retries_total(), 4u);
+}
+
+TEST(BufferPoolFaultTest, TornWritebackThenRepairOnReread) {
+  FaultPlan plan;
+  plan.torn_write_prob = 1.0;
+  FaultInjector inj(plan, 1);
+  BufferPool pool(1);
+  pool.AttachFaultInjector(&inj);
+  // Dirty page 0; evicting it performs the (torn) write-back.
+  pool.Access(P(0, 0), /*dirty=*/true, IoContext::kApplication);
+  pool.Access(P(0, 1), /*dirty=*/false, IoContext::kApplication);
+  EXPECT_EQ(pool.stats().torn_writes, 1u);
+  EXPECT_EQ(pool.stats().torn_repairs, 0u);
+  // Re-reading page 0 detects the tear and pays a repair write.
+  uint64_t writes_before = pool.stats().app_writes;
+  pool.Access(P(0, 0), /*dirty=*/false, IoContext::kApplication);
+  EXPECT_EQ(pool.stats().torn_repairs, 1u);
+  EXPECT_EQ(pool.stats().app_writes, writes_before + 1);
+}
+
+TEST(BufferPoolFaultTest, RetryBackoffChargedToDiskClock) {
+  DiskParams dparams;
+  FaultPlan plan;
+  plan.read_fault_prob = 1.0;
+  plan.max_retries = 2;
+  plan.retry_backoff_ms = 0.5;
+  FaultInjector inj(plan, 1);
+
+  DiskModel clean_disk(dparams, 1024, 8);
+  BufferPool clean(4);
+  clean.AttachDiskModel(&clean_disk);
+  clean.Access(P(0, 0), false, IoContext::kApplication);
+
+  DiskModel faulted_disk(dparams, 1024, 8);
+  BufferPool faulted(4);
+  faulted.AttachDiskModel(&faulted_disk);
+  faulted.AttachFaultInjector(&inj);
+  faulted.Access(P(0, 0), false, IoContext::kApplication);
+
+  // The faulted access pays 2 extra transfers plus 0.5 + 1.0 ms backoff.
+  EXPECT_GE(faulted_disk.app_ms(), clean_disk.app_ms() + 1.5);
+  EXPECT_EQ(faulted_disk.gc_ms(), 0.0);
+}
+
+TEST(FaultPlanTest, EnabledFlags) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.io_faults_enabled());
+  EXPECT_FALSE(plan.enabled());
+  plan.commit_protocol = true;
+  EXPECT_FALSE(plan.io_faults_enabled());
+  EXPECT_TRUE(plan.enabled());
+  plan.commit_protocol = false;
+  plan.torn_write_prob = 0.01;
+  EXPECT_TRUE(plan.io_faults_enabled());
+  EXPECT_TRUE(plan.enabled());
+}
+
+TEST(ApplyRunSeedsTest, MixesFaultSeedOnlyWhenFaultsEnabled) {
+  SimConfig off;
+  ApplyRunSeeds(&off, 5);
+  EXPECT_EQ(off.selector_seed, 5u * 7919 + 17);
+  EXPECT_EQ(off.store.fault.seed, 0u);  // untouched: no fault stream
+
+  SimConfig on;
+  on.store.fault.read_fault_prob = 0.01;
+  SimConfig on2 = on;
+  ApplyRunSeeds(&on, 5);
+  ApplyRunSeeds(&on2, 6);
+  EXPECT_NE(on.store.fault.seed, 0u);
+  EXPECT_NE(on.store.fault.seed, on2.store.fault.seed);
+
+  // Same run seed => same derived seeds (reproducibility).
+  SimConfig on3;
+  on3.store.fault.read_fault_prob = 0.01;
+  ApplyRunSeeds(&on3, 5);
+  EXPECT_EQ(on.store.fault.seed, on3.store.fault.seed);
+}
+
+SimConfig FaultedSweepConfig() {
+  SimConfig cfg;
+  cfg.store.partition_bytes = 16 * 1024;
+  cfg.store.page_bytes = 2 * 1024;
+  cfg.store.buffer_pages = 8;
+  cfg.preamble_collections = 3;
+  cfg.policy = PolicyKind::kSaio;
+  cfg.saio_frac = 0.10;
+  cfg.store.fault.read_fault_prob = 0.01;
+  cfg.store.fault.write_fault_prob = 0.005;
+  cfg.store.fault.torn_write_prob = 0.002;
+  cfg.store.fault.commit_protocol = true;
+  return cfg;
+}
+
+void ExpectSameFaultedResult(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.collections, b.collections);
+  EXPECT_EQ(a.clock.app_io, b.clock.app_io);
+  EXPECT_EQ(a.clock.gc_io, b.clock.gc_io);
+  EXPECT_EQ(a.achieved_gc_io_pct, b.achieved_gc_io_pct);
+  EXPECT_EQ(a.io_retries, b.io_retries);
+  EXPECT_EQ(a.io_read_failures, b.io_read_failures);
+  EXPECT_EQ(a.io_write_failures, b.io_write_failures);
+  EXPECT_EQ(a.torn_writes, b.torn_writes);
+  EXPECT_EQ(a.torn_repairs, b.torn_repairs);
+  EXPECT_EQ(a.total_reclaimed_bytes, b.total_reclaimed_bytes);
+  EXPECT_EQ(a.final_actual_garbage_bytes, b.final_actual_garbage_bytes);
+}
+
+TEST(FaultedRunDeterminismTest, SerialAndParallelSweepsMatch) {
+  SimConfig cfg = FaultedSweepConfig();
+  Oo7Params params = Oo7Params::Tiny();
+  AggregateResult serial = RunOo7Many(cfg, params, 100, 4, /*threads=*/1);
+  AggregateResult parallel = RunOo7Many(cfg, params, 100, 4, /*threads=*/4);
+  ASSERT_EQ(serial.runs.size(), parallel.runs.size());
+  uint64_t total_retries = 0;
+  for (size_t i = 0; i < serial.runs.size(); ++i) {
+    ExpectSameFaultedResult(serial.runs[i], parallel.runs[i]);
+    total_retries += serial.runs[i].io_retries;
+  }
+  // The plan's fault rates are high enough that the sweep actually
+  // exercised the retry path.
+  EXPECT_GT(total_retries, 0u);
+}
+
+TEST(FaultedRunDeterminismTest, ZeroFaultPlanChangesNothing) {
+  SimConfig cfg;
+  cfg.store.partition_bytes = 16 * 1024;
+  cfg.store.page_bytes = 2 * 1024;
+  cfg.store.buffer_pages = 8;
+  cfg.preamble_collections = 3;
+  cfg.policy = PolicyKind::kSaga;
+  cfg.saga.garbage_frac = 0.10;
+  Oo7Params params = Oo7Params::Tiny();
+
+  SimResult plain = RunOo7Once(cfg, params, 3);
+  // Constructing the plan explicitly (all defaults) must not perturb the
+  // run in any observable way.
+  SimConfig with_plan = cfg;
+  with_plan.store.fault = FaultPlan{};
+  SimResult with = RunOo7Once(with_plan, params, 3);
+  EXPECT_EQ(plain.collections, with.collections);
+  EXPECT_EQ(plain.clock.app_io, with.clock.app_io);
+  EXPECT_EQ(plain.clock.gc_io, with.clock.gc_io);
+  EXPECT_EQ(plain.achieved_gc_io_pct, with.achieved_gc_io_pct);
+  EXPECT_EQ(plain.total_reclaimed_bytes, with.total_reclaimed_bytes);
+  EXPECT_EQ(with.io_retries, 0u);
+  EXPECT_EQ(with.crashes, 0u);
+  EXPECT_EQ(with.verifier_runs, 0u);
+}
+
+}  // namespace
+}  // namespace odbgc

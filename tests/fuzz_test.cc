@@ -4,8 +4,11 @@
 // markers, or the scanner ever disagree, these tests fail.
 
 #include <algorithm>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -156,6 +159,151 @@ TEST(FuzzWorkloadTest, ProducesGarbageAndCycles) {
   EXPECT_GT(s.ground_truth_garbage_bytes, 0u);
   EXPECT_GT(s.creates, 100u);
   EXPECT_GT(s.write_refs, s.creates);  // relinks beyond initial links
+}
+
+// ---------------------------------------------------------------------
+// Corrupt-trace corpora: the binary loader must reject every malformed
+// variant with a typed error — never crash, assert, or over-allocate.
+
+std::vector<unsigned char> ReadAllBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<unsigned char>(std::istreambuf_iterator<char>(in),
+                                    std::istreambuf_iterator<char>());
+}
+
+void WriteAllBytes(const std::string& path,
+                   const std::vector<unsigned char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string CorpusPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+// A small valid trace (8 events = 16-byte header + 160 record bytes).
+std::vector<unsigned char> ValidTraceBytes(const std::string& path) {
+  Trace t;
+  t.Append(CreateEvent(1, 100, 2));
+  t.Append(CreateEvent(2, 60, 1));
+  t.Append(AddRootEvent(1));
+  t.Append(WriteRefEvent(1, 0, 2));
+  t.Append(ReadEvent(2));
+  t.Append(UpdateEvent(1));
+  t.Append(GarbageMarkEvent(60, 1));
+  t.Append(RemoveRootEvent(1));
+  EXPECT_TRUE(t.SaveTo(path));
+  return ReadAllBytes(path);
+}
+
+TEST(CorruptTraceTest, EveryTruncationIsATypedError) {
+  std::string path = CorpusPath("truncated.trace");
+  std::vector<unsigned char> good = ValidTraceBytes(path);
+  ASSERT_EQ(good.size(), 16u + 8u * 20u);
+  for (size_t len = 0; len < good.size(); ++len) {
+    WriteAllBytes(path, std::vector<unsigned char>(good.begin(),
+                                                   good.begin() + len));
+    Trace out;
+    TraceLoadError err = Trace::Load(path, &out);
+    ASSERT_NE(err, TraceLoadError::kNone) << "length " << len;
+    ASSERT_TRUE(out.empty()) << "length " << len;
+    if (len < 16) {
+      EXPECT_EQ(err, TraceLoadError::kTruncatedHeader) << "length " << len;
+    } else {
+      EXPECT_EQ(err, TraceLoadError::kTruncatedEvents) << "length " << len;
+    }
+  }
+}
+
+TEST(CorruptTraceTest, BadMagicAndVersion) {
+  std::string path = CorpusPath("badmagic.trace");
+  std::vector<unsigned char> good = ValidTraceBytes(path);
+
+  std::vector<unsigned char> bad = good;
+  bad[0] ^= 0xff;
+  WriteAllBytes(path, bad);
+  Trace out;
+  EXPECT_EQ(Trace::Load(path, &out), TraceLoadError::kBadMagic);
+
+  bad = good;
+  bad[4] ^= 0xff;
+  WriteAllBytes(path, bad);
+  EXPECT_EQ(Trace::Load(path, &out), TraceLoadError::kBadVersion);
+}
+
+TEST(CorruptTraceTest, CountFieldLiesAreCaughtBeforeAllocation) {
+  std::string path = CorpusPath("badcount.trace");
+  std::vector<unsigned char> good = ValidTraceBytes(path);
+
+  // Count inflated to the maximum: must be rejected by the overflow
+  // guard, not attempted as a reserve of ~2^64 events.
+  std::vector<unsigned char> bad = good;
+  for (size_t i = 8; i < 16; ++i) bad[i] = 0xff;
+  WriteAllBytes(path, bad);
+  Trace out;
+  EXPECT_EQ(Trace::Load(path, &out), TraceLoadError::kBadEventCount);
+
+  // Count promises one event more than the file holds.
+  bad = good;
+  bad[8] = 9;
+  WriteAllBytes(path, bad);
+  EXPECT_EQ(Trace::Load(path, &out), TraceLoadError::kTruncatedEvents);
+
+  // Count admits one event fewer: the leftover record bytes are trailing
+  // garbage, not silently ignored data.
+  bad = good;
+  bad[8] = 7;
+  WriteAllBytes(path, bad);
+  EXPECT_EQ(Trace::Load(path, &out), TraceLoadError::kTrailingBytes);
+}
+
+TEST(CorruptTraceTest, BadEventKindAndTrailingBytes) {
+  std::string path = CorpusPath("badkind.trace");
+  std::vector<unsigned char> good = ValidTraceBytes(path);
+
+  std::vector<unsigned char> bad = good;
+  bad[16] = 0xfe;  // first record's kind
+  WriteAllBytes(path, bad);
+  Trace out;
+  EXPECT_EQ(Trace::Load(path, &out), TraceLoadError::kBadEventKind);
+  EXPECT_TRUE(out.empty());
+
+  bad = good;
+  bad.push_back(0x00);
+  WriteAllBytes(path, bad);
+  EXPECT_EQ(Trace::Load(path, &out), TraceLoadError::kTrailingBytes);
+
+  EXPECT_EQ(Trace::Load(CorpusPath("no-such-file.trace"), &out),
+            TraceLoadError::kOpenFailed);
+}
+
+TEST(CorruptTraceTest, SingleByteFlipSweepNeverCrashesLoader) {
+  std::string path = CorpusPath("byteflip.trace");
+  std::vector<unsigned char> good = ValidTraceBytes(path);
+  for (size_t pos = 0; pos < good.size(); ++pos) {
+    std::vector<unsigned char> bad = good;
+    bad[pos] ^= 0xff;
+    WriteAllBytes(path, bad);
+    Trace out;
+    TraceLoadError err = Trace::Load(path, &out);
+    if (err == TraceLoadError::kNone) {
+      // A flip inside an event payload is indistinguishable from valid
+      // data; the structure must still be intact.
+      EXPECT_EQ(out.size(), 8u) << "pos " << pos;
+    } else {
+      EXPECT_TRUE(out.empty()) << "pos " << pos;
+    }
+  }
+}
+
+TEST(CorruptTraceTest, ErrorNamesAreStable) {
+  EXPECT_STREQ(TraceLoadErrorName(TraceLoadError::kNone), "none");
+  EXPECT_STREQ(TraceLoadErrorName(TraceLoadError::kBadMagic), "bad-magic");
+  EXPECT_STREQ(TraceLoadErrorName(TraceLoadError::kTruncatedEvents),
+               "truncated-events");
+  EXPECT_STREQ(TraceLoadErrorName(TraceLoadError::kTrailingBytes),
+               "trailing-bytes");
 }
 
 }  // namespace

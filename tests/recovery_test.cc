@@ -1,0 +1,311 @@
+// Crash-recovery soundness: a collection interrupted at every named
+// crash point must, after recovery, leave a verifier-clean heap with no
+// reachable object lost — on hand-built graphs (exact post-conditions)
+// and on randomized fuzz workloads (ground-truth reachability).
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "gc/collector.h"
+#include "sim/simulation.h"
+#include "storage/object_store.h"
+#include "storage/reachability.h"
+#include "storage/verifier.h"
+#include "tests/replay_test_util.h"
+#include "workloads/fuzz.h"
+
+namespace odbgc {
+namespace {
+
+StoreConfig SmallStore() {
+  StoreConfig cfg;
+  cfg.partition_bytes = 4096;
+  cfg.page_bytes = 512;
+  cfg.buffer_pages = 8;
+  cfg.pin_newest_allocation = false;
+  return cfg;
+}
+
+// Partition 0: root 1 -> 2, garbage 3 and 4. Partition 1: root 5 -> 2
+// (the external reference whose slot the remembered-set update must
+// rewrite after 2 relocates). Garbage markers are exact, so the
+// verifier's reachability agreement check stays on throughout.
+void BuildTwoPartitionHeap(ObjectStore* store) {
+  store->CreateObject(1, 1000, 1);
+  store->CreateObject(2, 1000, 0);
+  store->CreateObject(3, 1000, 0);
+  store->CreateObject(4, 1000, 0);
+  store->CreateObject(5, 1000, 1);  // does not fit partition 0
+  store->AddRoot(1);
+  store->AddRoot(5);
+  store->WriteRef(1, 0, 2);
+  store->WriteRef(5, 0, 2);
+  store->RecordGarbageCreated(2000, 2);  // 3 and 4
+  ASSERT_EQ(store->object(5).partition, 1u);
+  ASSERT_EQ(store->partition_count(), 2u);
+}
+
+class CrashRecoveryTest : public ::testing::Test {
+ protected:
+  CrashRecoveryTest() : store_(SmallStore()) {
+    BuildTwoPartitionHeap(&store_);
+  }
+
+  void ExpectHeapClean() {
+    VerifierReport vr = VerifyHeap(store_);
+    EXPECT_TRUE(vr.ok()) << vr.Summary();
+  }
+
+  void ExpectCollectionMaterialized() {
+    EXPECT_FALSE(store_.Exists(3));
+    EXPECT_FALSE(store_.Exists(4));
+    EXPECT_TRUE(store_.Exists(1));
+    EXPECT_TRUE(store_.Exists(2));
+    EXPECT_TRUE(store_.Exists(5));
+    EXPECT_EQ(store_.partition(0).used(), 2000u);
+    EXPECT_EQ(store_.used_bytes(), 3000u);
+    EXPECT_EQ(store_.actual_garbage_bytes(), 0u);
+  }
+
+  ObjectStore store_;
+  Collector gc_;
+};
+
+TEST_F(CrashRecoveryTest, AfterCopyCrashRollsBack) {
+  gc_.ScheduleCrash(CrashPoint::kAfterCopy, 1);
+  CollectionReport report = gc_.Collect(store_, 0);
+  ASSERT_TRUE(report.crashed);
+  EXPECT_EQ(report.crash_point, CrashPoint::kAfterCopy);
+  ASSERT_TRUE(gc_.needs_recovery());
+  EXPECT_EQ(gc_.crashes_injected(), 1u);
+
+  // The crash preceded the commit point: nothing logically changed.
+  EXPECT_TRUE(store_.Exists(3));
+  EXPECT_TRUE(store_.Exists(4));
+
+  RecoveryReport rec = gc_.Recover(store_);
+  EXPECT_FALSE(rec.rolled_forward);
+  EXPECT_EQ(rec.crash_point, CrashPoint::kAfterCopy);
+  EXPECT_EQ(rec.redo_external_updates, 0u);
+  EXPECT_FALSE(gc_.needs_recovery());
+  EXPECT_EQ(gc_.collections_performed(), 0u);
+
+  // From-space stayed authoritative; the heap is exactly as before.
+  EXPECT_TRUE(store_.Exists(3));
+  EXPECT_EQ(store_.used_bytes(), 5000u);
+  EXPECT_EQ(store_.actual_garbage_bytes(), 2000u);
+  ExpectHeapClean();
+
+  // A later collection reclaims normally.
+  CollectionReport again = gc_.Collect(store_, 0);
+  EXPECT_FALSE(again.crashed);
+  EXPECT_EQ(again.bytes_reclaimed, 2000u);
+  EXPECT_EQ(gc_.collections_performed(), 1u);
+  ExpectCollectionMaterialized();
+  ExpectHeapClean();
+}
+
+TEST_F(CrashRecoveryTest, BeforeFlipCrashRollsForward) {
+  gc_.ScheduleCrash(CrashPoint::kBeforeFlip, 1);
+  CollectionReport report = gc_.Collect(store_, 0);
+  ASSERT_TRUE(report.crashed);
+  // Commit record durable, flip not yet applied at crash time.
+  EXPECT_TRUE(store_.Exists(3));
+  EXPECT_TRUE(store_.Exists(4));
+
+  RecoveryReport rec = gc_.Recover(store_);
+  EXPECT_TRUE(rec.rolled_forward);
+  EXPECT_EQ(rec.crash_point, CrashPoint::kBeforeFlip);
+  // Exactly one external referencing slot (5 -> 2) to redo.
+  EXPECT_EQ(rec.redo_external_updates, 1u);
+  EXPECT_GT(rec.gc_reads + rec.gc_writes, 0u);
+  EXPECT_EQ(rec.completed.bytes_reclaimed, 2000u);
+  EXPECT_EQ(rec.completed.objects_reclaimed, 2u);
+  EXPECT_EQ(gc_.collections_performed(), 1u);
+  ExpectCollectionMaterialized();
+  ExpectHeapClean();
+}
+
+TEST_F(CrashRecoveryTest, MidRememberedSetCrashRollsForward) {
+  gc_.ScheduleCrash(CrashPoint::kMidRememberedSet, 1);
+  CollectionReport report = gc_.Collect(store_, 0);
+  ASSERT_TRUE(report.crashed);
+  // The flip already happened; only the external updates were cut short.
+  EXPECT_FALSE(store_.Exists(3));
+  EXPECT_FALSE(store_.Exists(4));
+
+  RecoveryReport rec = gc_.Recover(store_);
+  EXPECT_TRUE(rec.rolled_forward);
+  EXPECT_EQ(rec.redo_external_updates, 1u);
+  EXPECT_EQ(gc_.collections_performed(), 1u);
+  ExpectCollectionMaterialized();
+  ExpectHeapClean();
+}
+
+TEST_F(CrashRecoveryTest, CrashSchedulesAreSingleShotAndAttemptCounted) {
+  gc_.ScheduleCrash(CrashPoint::kBeforeFlip, 2);
+  CollectionReport first = gc_.Collect(store_, 0);
+  EXPECT_FALSE(first.crashed);  // attempt 1: runs to completion
+  CollectionReport second = gc_.Collect(store_, 0);
+  ASSERT_TRUE(second.crashed);  // attempt 2: crashes
+  RecoveryReport rec = gc_.Recover(store_);
+  EXPECT_TRUE(rec.rolled_forward);
+  CollectionReport third = gc_.Collect(store_, 0);
+  EXPECT_FALSE(third.crashed);  // schedule cleared
+  EXPECT_EQ(gc_.crashes_injected(), 1u);
+  ExpectHeapClean();
+}
+
+TEST_F(CrashRecoveryTest, CollectWhileRecoveryPendingAborts) {
+  gc_.ScheduleCrash(CrashPoint::kAfterCopy, 1);
+  (void)gc_.Collect(store_, 0);
+  ASSERT_TRUE(gc_.needs_recovery());
+  EXPECT_DEATH((void)gc_.Collect(store_, 0), "recovery is pending");
+}
+
+TEST_F(CrashRecoveryTest, CommitProtocolAddsDurableWritesWithoutCrash) {
+  Collector plain;
+  CollectionReport base = plain.Collect(store_, 0);
+  ASSERT_FALSE(base.crashed);
+
+  // Rebuild the same heap in a fresh store and collect with the
+  // protocol: same reclamation, strictly more GC writes (to-space flush
+  // + two commit-record transfers).
+  ObjectStore twin(SmallStore());
+  BuildTwoPartitionHeap(&twin);
+  Collector durable;
+  durable.set_commit_protocol(true);
+  CollectionReport with = durable.Collect(twin, 0);
+  ASSERT_FALSE(with.crashed);
+  EXPECT_EQ(with.bytes_reclaimed, base.bytes_reclaimed);
+  EXPECT_EQ(with.objects_live, base.objects_live);
+  EXPECT_GT(with.gc_writes, base.gc_writes);
+  VerifierReport vr = VerifyHeap(twin);
+  EXPECT_TRUE(vr.ok()) << vr.Summary();
+}
+
+TEST_F(CrashRecoveryTest, VerifierFlagsInjectedCorruption) {
+  // Clean heap first.
+  ExpectHeapClean();
+
+  // A stale reverse-index entry (no matching slot).
+  store_.mutable_object(2).in_refs.push_back(1);
+  VerifierReport stale = VerifyHeap(store_);
+  EXPECT_FALSE(stale.ok());
+  EXPECT_NE(stale.Summary().find("stale in_refs"), std::string::npos)
+      << stale.Summary();
+  store_.mutable_object(2).in_refs.pop_back();
+  ExpectHeapClean();
+
+  // A missing reverse-index entry (lost external root).
+  auto& in = store_.mutable_object(2).in_refs;
+  in.erase(std::find(in.begin(), in.end(), 5u));
+  VerifierReport missing = VerifyHeap(store_);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_NE(missing.Summary().find("missing in_refs"), std::string::npos)
+      << missing.Summary();
+  in.push_back(5);
+  ExpectHeapClean();
+
+  // An object stranded at a stale from-space position.
+  uint32_t good_offset = store_.object(2).offset;
+  store_.Relocate(2, good_offset + 24);
+  VerifierReport stranded = VerifyHeap(store_);
+  EXPECT_FALSE(stranded.ok());
+  EXPECT_NE(stranded.Summary().find("stale from-space"), std::string::npos)
+      << stranded.Summary();
+  store_.Relocate(2, good_offset);
+  ExpectHeapClean();
+}
+
+// ---------------------------------------------------------------------
+// Full-simulation crash tests on randomized workloads.
+
+StoreConfig FuzzStore() {
+  StoreConfig cfg;
+  cfg.partition_bytes = 8 * 1024;
+  cfg.page_bytes = 1024;
+  cfg.buffer_pages = 8;
+  return cfg;
+}
+
+RandomGraphOptions FuzzOptions(uint64_t seed) {
+  RandomGraphOptions o;
+  o.seed = seed;
+  o.operations = 1500;
+  o.max_object_bytes = 700;
+  return o;
+}
+
+struct CrashSimParam {
+  uint64_t seed;
+  CrashPoint point;
+  uint64_t at_collection;
+  const char* label;
+};
+
+class CrashSimulation : public ::testing::TestWithParam<CrashSimParam> {};
+
+TEST_P(CrashSimulation, NoReachableObjectLostAcrossCrashAndRecovery) {
+  const CrashSimParam& p = GetParam();
+  Trace trace = MakeRandomGraph(FuzzOptions(p.seed));
+
+  // Ground truth: the reachable set after a collector-free replay.
+  ObjectStore bare(FuzzStore());
+  ReplayIntoStore(trace, &bare);
+  ReachabilityResult truth = ScanReachability(bare);
+
+  SimConfig cfg;
+  cfg.store = FuzzStore();
+  cfg.policy = PolicyKind::kFixedRate;
+  cfg.fixed_rate_overwrites = 25;
+  cfg.preamble_collections = 2;
+  cfg.store.fault.crash_point = p.point;
+  cfg.store.fault.crash_at_collection = p.at_collection;
+  // verify_after_recovery defaults on: any invariant violation aborts.
+  cfg.verify_after_collection = true;
+
+  Simulation sim(cfg);
+  SimResult r = sim.Run(trace);
+  EXPECT_EQ(r.crashes, 1u) << p.label;
+  EXPECT_EQ(r.recoveries, 1u) << p.label;
+  if (p.point == CrashPoint::kAfterCopy) {
+    EXPECT_EQ(r.recovery_rollbacks, 1u) << p.label;
+    EXPECT_EQ(r.recovery_rollforwards, 0u) << p.label;
+  } else {
+    EXPECT_EQ(r.recovery_rollbacks, 0u) << p.label;
+    EXPECT_EQ(r.recovery_rollforwards, 1u) << p.label;
+  }
+  EXPECT_GE(r.verifier_runs, 1u) << p.label;
+  EXPECT_GT(r.collections, 0u) << p.label;
+
+  const ObjectStore& store = sim.store();
+  ReachabilityResult after = ScanReachability(store);
+  for (ObjectId id = 1; id <= bare.max_object_id(); ++id) {
+    if (id < truth.reachable.size() && truth.reachable[id]) {
+      ASSERT_TRUE(store.Exists(id)) << p.label << " lost object " << id;
+      EXPECT_TRUE(after.reachable[id]) << p.label << " unreached " << id;
+    }
+  }
+  EXPECT_EQ(after.unreachable_bytes, store.actual_garbage_bytes())
+      << p.label;
+  VerifierReport vr = VerifyHeap(store);
+  EXPECT_TRUE(vr.ok()) << p.label << ": " << vr.Summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PointsAndSeeds, CrashSimulation,
+    ::testing::Values(
+        CrashSimParam{21, CrashPoint::kAfterCopy, 1, "after_copy_first"},
+        CrashSimParam{22, CrashPoint::kAfterCopy, 3, "after_copy_third"},
+        CrashSimParam{23, CrashPoint::kBeforeFlip, 1, "before_flip_first"},
+        CrashSimParam{24, CrashPoint::kBeforeFlip, 3, "before_flip_third"},
+        CrashSimParam{25, CrashPoint::kMidRememberedSet, 1,
+                      "mid_remset_first"},
+        CrashSimParam{26, CrashPoint::kMidRememberedSet, 3,
+                      "mid_remset_third"}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+}  // namespace
+}  // namespace odbgc

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "util/check.h"
 #include "util/random.h"
 #include "util/stats.h"
 #include "util/table_printer.h"
@@ -215,6 +216,35 @@ TEST(TablePrinterTest, FormatsNumbers) {
   EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
   EXPECT_EQ(TablePrinter::Fmt(uint64_t{42}), "42");
   EXPECT_EQ(TablePrinter::Fmt(int64_t{-7}), "-7");
+}
+
+TEST(CheckTest, PassingChecksAreSilentAndEvaluateOnce) {
+  int evals = 0;
+  ODBGC_CHECK(++evals == 1);
+  ODBGC_CHECK_MSG(++evals == 2, "never printed");
+  ODBGC_CHECK_FMT(++evals == 3, "never printed %d", evals);
+  EXPECT_EQ(evals, 3);
+}
+
+TEST(CheckDeathTest, CheckPrintsFileLineAndCondition) {
+  EXPECT_DEATH(ODBGC_CHECK(1 + 1 == 3),
+               "ODBGC_CHECK failed at .*util_test\\.cc:[0-9]+: 1 \\+ 1 == 3");
+}
+
+TEST(CheckDeathTest, CheckMsgAppendsContext) {
+  EXPECT_DEATH(
+      ODBGC_CHECK_MSG(false, "the heap is on fire"),
+      "ODBGC_CHECK failed at .*util_test\\.cc:[0-9]+: false "
+      "\\(the heap is on fire\\)");
+}
+
+TEST(CheckDeathTest, CheckFmtFormatsValuesComputedAtFailureTime) {
+  int used = 96;
+  int cap = 64;
+  EXPECT_DEATH(
+      ODBGC_CHECK_FMT(used <= cap, "used=%d exceeds cap=%d", used, cap),
+      "ODBGC_CHECK failed at .*util_test\\.cc:[0-9]+: used <= cap "
+      "\\(used=96 exceeds cap=64\\)");
 }
 
 }  // namespace

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full local gate: plain build + complete test suite, then both
+# sanitizer passes (tools/check_asan.sh, tools/check_tsan.sh). Each
+# flavor builds into its own directory so the gates do not disturb an
+# existing working build. Usage: tools/check_all.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build-check -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-check -j "$(nproc)"
+ctest --test-dir build-check --output-on-failure
+
+tools/check_asan.sh build-asan
+tools/check_tsan.sh build-tsan
+
+echo "OK: plain suite + asan + tsan all green"

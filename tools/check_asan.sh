@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds the storage / collector stack under AddressSanitizer and runs
+# the tests that exercise the fault injector, crash recovery, and the
+# heap verifier (plus the corrupt-trace loader corpora, which is where a
+# reader bug would touch memory it should not).
+# Usage: tools/check_asan.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DODBGC_SANITIZE=address
+cmake --build "$BUILD_DIR" --target \
+  fault_injection_test recovery_test buffer_pool_test fuzz_test \
+  storage_test collector_test -j "$(nproc)"
+
+for t in fault_injection_test recovery_test buffer_pool_test fuzz_test \
+         storage_test collector_test; do
+  echo "== ${t} under address sanitizer =="
+  "$BUILD_DIR/tests/$t"
+done
+echo "OK: no address sanitizer reports"
