@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_estimator_grid.dir/ablation_estimator_grid.cc.o"
+  "CMakeFiles/ablation_estimator_grid.dir/ablation_estimator_grid.cc.o.d"
+  "ablation_estimator_grid"
+  "ablation_estimator_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_estimator_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_selection_policy.dir/ablation_selection_policy.cc.o"
+  "CMakeFiles/ablation_selection_policy.dir/ablation_selection_policy.cc.o.d"
+  "ablation_selection_policy"
+  "ablation_selection_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_selection_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_triggers.dir/ablation_triggers.cc.o"
+  "CMakeFiles/ablation_triggers.dir/ablation_triggers.cc.o.d"
+  "ablation_triggers"
+  "ablation_triggers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_triggers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_assumption_stress.dir/ext_assumption_stress.cc.o"
+  "CMakeFiles/ext_assumption_stress.dir/ext_assumption_stress.cc.o.d"
+  "ext_assumption_stress"
+  "ext_assumption_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_assumption_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

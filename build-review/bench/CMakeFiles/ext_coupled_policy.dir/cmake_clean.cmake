@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_coupled_policy.dir/ext_coupled_policy.cc.o"
+  "CMakeFiles/ext_coupled_policy.dir/ext_coupled_policy.cc.o.d"
+  "ext_coupled_policy"
+  "ext_coupled_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_coupled_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_disk_time.dir/ext_disk_time.cc.o"
+  "CMakeFiles/ext_disk_time.dir/ext_disk_time.cc.o.d"
+  "ext_disk_time"
+  "ext_disk_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_disk_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multi_client.dir/ext_multi_client.cc.o"
+  "CMakeFiles/ext_multi_client.dir/ext_multi_client.cc.o.d"
+  "ext_multi_client"
+  "ext_multi_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multi_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_opportunism.dir/ext_opportunism.cc.o"
+  "CMakeFiles/ext_opportunism.dir/ext_opportunism.cc.o.d"
+  "ext_opportunism"
+  "ext_opportunism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_opportunism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

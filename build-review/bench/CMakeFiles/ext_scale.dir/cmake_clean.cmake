@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_scale.dir/ext_scale.cc.o"
+  "CMakeFiles/ext_scale.dir/ext_scale.cc.o.d"
+  "ext_scale"
+  "ext_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_structural_churn.dir/ext_structural_churn.cc.o"
+  "CMakeFiles/ext_structural_churn.dir/ext_structural_churn.cc.o.d"
+  "ext_structural_churn"
+  "ext_structural_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_structural_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_structural_churn.
+# This may be replaced when dependencies are built.

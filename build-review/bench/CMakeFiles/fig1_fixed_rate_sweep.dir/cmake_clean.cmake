@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_fixed_rate_sweep.dir/fig1_fixed_rate_sweep.cc.o"
+  "CMakeFiles/fig1_fixed_rate_sweep.dir/fig1_fixed_rate_sweep.cc.o.d"
+  "fig1_fixed_rate_sweep"
+  "fig1_fixed_rate_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_fixed_rate_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_saga_accuracy.dir/fig5_saga_accuracy.cc.o"
+  "CMakeFiles/fig5_saga_accuracy.dir/fig5_saga_accuracy.cc.o.d"
+  "fig5_saga_accuracy"
+  "fig5_saga_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_saga_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_estimator_timeseries.dir/fig6_estimator_timeseries.cc.o"
+  "CMakeFiles/fig6_estimator_timeseries.dir/fig6_estimator_timeseries.cc.o.d"
+  "fig6_estimator_timeseries"
+  "fig6_estimator_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_estimator_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_history_study.dir/fig7_history_study.cc.o"
+  "CMakeFiles/fig7_history_study.dir/fig7_history_study.cc.o.d"
+  "fig7_history_study"
+  "fig7_history_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_history_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_connectivity.dir/fig8_connectivity.cc.o"
+  "CMakeFiles/fig8_connectivity.dir/fig8_connectivity.cc.o.d"
+  "fig8_connectivity"
+  "fig8_connectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

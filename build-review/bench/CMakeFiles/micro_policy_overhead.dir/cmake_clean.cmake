@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_policy_overhead.dir/micro_policy_overhead.cc.o"
+  "CMakeFiles/micro_policy_overhead.dir/micro_policy_overhead.cc.o.d"
+  "micro_policy_overhead"
+  "micro_policy_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_policy_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

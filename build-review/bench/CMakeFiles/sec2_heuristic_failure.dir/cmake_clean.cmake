@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec2_heuristic_failure.dir/sec2_heuristic_failure.cc.o"
+  "CMakeFiles/sec2_heuristic_failure.dir/sec2_heuristic_failure.cc.o.d"
+  "sec2_heuristic_failure"
+  "sec2_heuristic_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec2_heuristic_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

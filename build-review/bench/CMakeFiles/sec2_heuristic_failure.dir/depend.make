@@ -1,0 +1,2 @@
+# Empty dependencies file for sec2_heuristic_failure.
+# This may be replaced when dependencies are built.

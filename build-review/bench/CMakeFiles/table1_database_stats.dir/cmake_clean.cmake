@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_database_stats.dir/table1_database_stats.cc.o"
+  "CMakeFiles/table1_database_stats.dir/table1_database_stats.cc.o.d"
+  "table1_database_stats"
+  "table1_database_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_database_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

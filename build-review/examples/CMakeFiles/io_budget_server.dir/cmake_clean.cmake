@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_budget_server.dir/io_budget_server.cpp.o"
+  "CMakeFiles/io_budget_server.dir/io_budget_server.cpp.o.d"
+  "io_budget_server"
+  "io_budget_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_budget_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

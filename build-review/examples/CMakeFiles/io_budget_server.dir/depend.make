@@ -1,0 +1,2 @@
+# Empty dependencies file for io_budget_server.
+# This may be replaced when dependencies are built.

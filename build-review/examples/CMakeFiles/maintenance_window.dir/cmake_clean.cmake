@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maintenance_window.dir/maintenance_window.cpp.o"
+  "CMakeFiles/maintenance_window.dir/maintenance_window.cpp.o.d"
+  "maintenance_window"
+  "maintenance_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maintenance_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

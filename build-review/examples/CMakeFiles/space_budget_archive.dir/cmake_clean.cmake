@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/space_budget_archive.dir/space_budget_archive.cpp.o"
+  "CMakeFiles/space_budget_archive.dir/space_budget_archive.cpp.o.d"
+  "space_budget_archive"
+  "space_budget_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/space_budget_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alloc_triggered.cc" "src/CMakeFiles/odbgc_core.dir/core/alloc_triggered.cc.o" "gcc" "src/CMakeFiles/odbgc_core.dir/core/alloc_triggered.cc.o.d"
+  "/root/repo/src/core/coupled.cc" "src/CMakeFiles/odbgc_core.dir/core/coupled.cc.o" "gcc" "src/CMakeFiles/odbgc_core.dir/core/coupled.cc.o.d"
+  "/root/repo/src/core/estimators.cc" "src/CMakeFiles/odbgc_core.dir/core/estimators.cc.o" "gcc" "src/CMakeFiles/odbgc_core.dir/core/estimators.cc.o.d"
+  "/root/repo/src/core/fixed_rate.cc" "src/CMakeFiles/odbgc_core.dir/core/fixed_rate.cc.o" "gcc" "src/CMakeFiles/odbgc_core.dir/core/fixed_rate.cc.o.d"
+  "/root/repo/src/core/saga.cc" "src/CMakeFiles/odbgc_core.dir/core/saga.cc.o" "gcc" "src/CMakeFiles/odbgc_core.dir/core/saga.cc.o.d"
+  "/root/repo/src/core/saio.cc" "src/CMakeFiles/odbgc_core.dir/core/saio.cc.o" "gcc" "src/CMakeFiles/odbgc_core.dir/core/saio.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/odbgc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odbgc_core.dir/core/alloc_triggered.cc.o"
+  "CMakeFiles/odbgc_core.dir/core/alloc_triggered.cc.o.d"
+  "CMakeFiles/odbgc_core.dir/core/coupled.cc.o"
+  "CMakeFiles/odbgc_core.dir/core/coupled.cc.o.d"
+  "CMakeFiles/odbgc_core.dir/core/estimators.cc.o"
+  "CMakeFiles/odbgc_core.dir/core/estimators.cc.o.d"
+  "CMakeFiles/odbgc_core.dir/core/fixed_rate.cc.o"
+  "CMakeFiles/odbgc_core.dir/core/fixed_rate.cc.o.d"
+  "CMakeFiles/odbgc_core.dir/core/saga.cc.o"
+  "CMakeFiles/odbgc_core.dir/core/saga.cc.o.d"
+  "CMakeFiles/odbgc_core.dir/core/saio.cc.o"
+  "CMakeFiles/odbgc_core.dir/core/saio.cc.o.d"
+  "libodbgc_core.a"
+  "libodbgc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odbgc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odbgc_gc.dir/gc/collector.cc.o"
+  "CMakeFiles/odbgc_gc.dir/gc/collector.cc.o.d"
+  "CMakeFiles/odbgc_gc.dir/gc/partition_selector.cc.o"
+  "CMakeFiles/odbgc_gc.dir/gc/partition_selector.cc.o.d"
+  "libodbgc_gc.a"
+  "libodbgc_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odbgc_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oo7/generator.cc" "src/CMakeFiles/odbgc_oo7.dir/oo7/generator.cc.o" "gcc" "src/CMakeFiles/odbgc_oo7.dir/oo7/generator.cc.o.d"
+  "/root/repo/src/oo7/params.cc" "src/CMakeFiles/odbgc_oo7.dir/oo7/params.cc.o" "gcc" "src/CMakeFiles/odbgc_oo7.dir/oo7/params.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/odbgc_trace.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/odbgc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

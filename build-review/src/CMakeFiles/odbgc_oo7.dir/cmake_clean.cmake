@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odbgc_oo7.dir/oo7/generator.cc.o"
+  "CMakeFiles/odbgc_oo7.dir/oo7/generator.cc.o.d"
+  "CMakeFiles/odbgc_oo7.dir/oo7/params.cc.o"
+  "CMakeFiles/odbgc_oo7.dir/oo7/params.cc.o.d"
+  "libodbgc_oo7.a"
+  "libodbgc_oo7.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odbgc_oo7.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odbgc_sim.dir/sim/metrics.cc.o"
+  "CMakeFiles/odbgc_sim.dir/sim/metrics.cc.o.d"
+  "CMakeFiles/odbgc_sim.dir/sim/multi_client.cc.o"
+  "CMakeFiles/odbgc_sim.dir/sim/multi_client.cc.o.d"
+  "CMakeFiles/odbgc_sim.dir/sim/parallel.cc.o"
+  "CMakeFiles/odbgc_sim.dir/sim/parallel.cc.o.d"
+  "CMakeFiles/odbgc_sim.dir/sim/report.cc.o"
+  "CMakeFiles/odbgc_sim.dir/sim/report.cc.o.d"
+  "CMakeFiles/odbgc_sim.dir/sim/runner.cc.o"
+  "CMakeFiles/odbgc_sim.dir/sim/runner.cc.o.d"
+  "CMakeFiles/odbgc_sim.dir/sim/simulation.cc.o"
+  "CMakeFiles/odbgc_sim.dir/sim/simulation.cc.o.d"
+  "CMakeFiles/odbgc_sim.dir/sim/trace_analysis.cc.o"
+  "CMakeFiles/odbgc_sim.dir/sim/trace_analysis.cc.o.d"
+  "libodbgc_sim.a"
+  "libodbgc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odbgc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/odbgc_storage.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/odbgc_storage.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/disk_model.cc" "src/CMakeFiles/odbgc_storage.dir/storage/disk_model.cc.o" "gcc" "src/CMakeFiles/odbgc_storage.dir/storage/disk_model.cc.o.d"
+  "/root/repo/src/storage/fault_injector.cc" "src/CMakeFiles/odbgc_storage.dir/storage/fault_injector.cc.o" "gcc" "src/CMakeFiles/odbgc_storage.dir/storage/fault_injector.cc.o.d"
+  "/root/repo/src/storage/object_store.cc" "src/CMakeFiles/odbgc_storage.dir/storage/object_store.cc.o" "gcc" "src/CMakeFiles/odbgc_storage.dir/storage/object_store.cc.o.d"
+  "/root/repo/src/storage/partition.cc" "src/CMakeFiles/odbgc_storage.dir/storage/partition.cc.o" "gcc" "src/CMakeFiles/odbgc_storage.dir/storage/partition.cc.o.d"
+  "/root/repo/src/storage/reachability.cc" "src/CMakeFiles/odbgc_storage.dir/storage/reachability.cc.o" "gcc" "src/CMakeFiles/odbgc_storage.dir/storage/reachability.cc.o.d"
+  "/root/repo/src/storage/verifier.cc" "src/CMakeFiles/odbgc_storage.dir/storage/verifier.cc.o" "gcc" "src/CMakeFiles/odbgc_storage.dir/storage/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/odbgc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

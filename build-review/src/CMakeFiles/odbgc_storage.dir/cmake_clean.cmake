@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odbgc_storage.dir/storage/buffer_pool.cc.o"
+  "CMakeFiles/odbgc_storage.dir/storage/buffer_pool.cc.o.d"
+  "CMakeFiles/odbgc_storage.dir/storage/disk_model.cc.o"
+  "CMakeFiles/odbgc_storage.dir/storage/disk_model.cc.o.d"
+  "CMakeFiles/odbgc_storage.dir/storage/fault_injector.cc.o"
+  "CMakeFiles/odbgc_storage.dir/storage/fault_injector.cc.o.d"
+  "CMakeFiles/odbgc_storage.dir/storage/object_store.cc.o"
+  "CMakeFiles/odbgc_storage.dir/storage/object_store.cc.o.d"
+  "CMakeFiles/odbgc_storage.dir/storage/partition.cc.o"
+  "CMakeFiles/odbgc_storage.dir/storage/partition.cc.o.d"
+  "CMakeFiles/odbgc_storage.dir/storage/reachability.cc.o"
+  "CMakeFiles/odbgc_storage.dir/storage/reachability.cc.o.d"
+  "CMakeFiles/odbgc_storage.dir/storage/verifier.cc.o"
+  "CMakeFiles/odbgc_storage.dir/storage/verifier.cc.o.d"
+  "libodbgc_storage.a"
+  "libodbgc_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odbgc_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

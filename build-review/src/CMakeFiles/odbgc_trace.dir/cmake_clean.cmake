@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odbgc_trace.dir/trace/trace.cc.o"
+  "CMakeFiles/odbgc_trace.dir/trace/trace.cc.o.d"
+  "libodbgc_trace.a"
+  "libodbgc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odbgc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odbgc_util.dir/util/flags.cc.o"
+  "CMakeFiles/odbgc_util.dir/util/flags.cc.o.d"
+  "CMakeFiles/odbgc_util.dir/util/json.cc.o"
+  "CMakeFiles/odbgc_util.dir/util/json.cc.o.d"
+  "CMakeFiles/odbgc_util.dir/util/random.cc.o"
+  "CMakeFiles/odbgc_util.dir/util/random.cc.o.d"
+  "CMakeFiles/odbgc_util.dir/util/stats.cc.o"
+  "CMakeFiles/odbgc_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/odbgc_util.dir/util/table_printer.cc.o"
+  "CMakeFiles/odbgc_util.dir/util/table_printer.cc.o.d"
+  "libodbgc_util.a"
+  "libodbgc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odbgc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

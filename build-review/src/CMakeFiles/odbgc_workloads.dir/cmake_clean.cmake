@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odbgc_workloads.dir/workloads/fuzz.cc.o"
+  "CMakeFiles/odbgc_workloads.dir/workloads/fuzz.cc.o.d"
+  "CMakeFiles/odbgc_workloads.dir/workloads/synthetic.cc.o"
+  "CMakeFiles/odbgc_workloads.dir/workloads/synthetic.cc.o.d"
+  "libodbgc_workloads.a"
+  "libodbgc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odbgc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixed_rate_test.dir/fixed_rate_test.cc.o"
+  "CMakeFiles/fixed_rate_test.dir/fixed_rate_test.cc.o.d"
+  "fixed_rate_test"
+  "fixed_rate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixed_rate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_client_test.dir/multi_client_test.cc.o"
+  "CMakeFiles/multi_client_test.dir/multi_client_test.cc.o.d"
+  "multi_client_test"
+  "multi_client_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

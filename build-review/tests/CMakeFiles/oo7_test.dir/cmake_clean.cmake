@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oo7_test.dir/oo7_test.cc.o"
+  "CMakeFiles/oo7_test.dir/oo7_test.cc.o.d"
+  "oo7_test"
+  "oo7_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oo7_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saga_test.dir/saga_test.cc.o"
+  "CMakeFiles/saga_test.dir/saga_test.cc.o.d"
+  "saga_test"
+  "saga_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saga_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

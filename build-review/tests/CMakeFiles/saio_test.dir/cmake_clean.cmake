@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saio_test.dir/saio_test.cc.o"
+  "CMakeFiles/saio_test.dir/saio_test.cc.o.d"
+  "saio_test"
+  "saio_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

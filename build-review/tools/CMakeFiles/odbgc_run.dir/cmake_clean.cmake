@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odbgc_run.dir/odbgc_run.cc.o"
+  "CMakeFiles/odbgc_run.dir/odbgc_run.cc.o.d"
+  "odbgc_run"
+  "odbgc_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odbgc_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

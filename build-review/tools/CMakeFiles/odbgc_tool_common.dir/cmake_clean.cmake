@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odbgc_tool_common.dir/tool_common.cc.o"
+  "CMakeFiles/odbgc_tool_common.dir/tool_common.cc.o.d"
+  "libodbgc_tool_common.a"
+  "libodbgc_tool_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odbgc_tool_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

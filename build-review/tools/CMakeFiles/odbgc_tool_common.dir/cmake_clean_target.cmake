@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libodbgc_tool_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odbgc_tracegen.dir/odbgc_tracegen.cc.o"
+  "CMakeFiles/odbgc_tracegen.dir/odbgc_tracegen.cc.o.d"
+  "odbgc_tracegen"
+  "odbgc_tracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odbgc_tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odbgc_traceinfo.dir/odbgc_traceinfo.cc.o"
+  "CMakeFiles/odbgc_traceinfo.dir/odbgc_traceinfo.cc.o.d"
+  "odbgc_traceinfo"
+  "odbgc_traceinfo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odbgc_traceinfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
