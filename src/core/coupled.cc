@@ -65,6 +65,19 @@ void CoupledIoPolicy::OnCollection(const CollectionOutcome& outcome,
   if (delta_app_io < 1.0) delta_app_io = 1.0;
   next_app_io_threshold_ =
       clock.app_io + static_cast<uint64_t>(std::llround(delta_app_io));
+
+  ODBGC_IF_TEL(tel_) { RecordDecision(scale, delta_app_io); }
+}
+
+void CoupledIoPolicy::RecordDecision(double scale, double delta_app_io) {
+  tel_->Instant("policy_decision",
+                {{"policy", "coupled"},
+                 {"effective_frac", last_effective_frac_},
+                 {"scale", scale},
+                 {"delta_app_io", delta_app_io},
+                 {"next_threshold", next_app_io_threshold_}});
+  tel_->metrics().GetGauge("policy.coupled.effective_frac")
+      ->Set(last_effective_frac_);
 }
 
 std::string CoupledIoPolicy::name() const {

@@ -52,6 +52,10 @@ class CoupledIoPolicy : public RatePolicy {
   uint64_t next_app_io_threshold() const { return next_app_io_threshold_; }
 
  private:
+  // Out of line so OnCollection's hot path pays only a predicted-not-
+  // taken branch, not the trace-argument stack frame.
+  void RecordDecision(double scale, double delta_app_io);
+
   Options options_;
   std::unique_ptr<GarbageEstimator> estimator_;
 

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/clock.h"
+#include "obs/telemetry.h"
 
 namespace odbgc {
 
@@ -44,6 +45,14 @@ class RatePolicy {
   }
 
   virtual std::string name() const = 0;
+
+  // Attaches per-run telemetry (not owned; may be null). Policies record a
+  // `policy_decision` instant from OnCollection — the cold path only;
+  // ShouldCollect stays untouched.
+  void AttachTelemetry(obs::Telemetry* telemetry) { tel_ = telemetry; }
+
+ protected:
+  obs::Telemetry* tel_ = nullptr;
 };
 
 }  // namespace odbgc

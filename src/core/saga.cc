@@ -87,6 +87,21 @@ void SagaPolicy::OnCollection(const CollectionOutcome& outcome,
   last_dt_ = dt_int;
   next_overwrite_threshold_ = t + dt_int;
   idle_stalled_ = false;  // load resumed; re-arm opportunism
+
+  ODBGC_IF_TEL(tel_) { RecordDecision(dt_int, act_garb, target_garb); }
+}
+
+void SagaPolicy::RecordDecision(uint64_t dt, double act_garb,
+                                double target_garb) {
+  tel_->Instant("policy_decision",
+                {{"policy", "saga"},
+                 {"dt", dt},
+                 {"slope", has_slope_ ? slope_ : 0.0},
+                 {"act_garb", act_garb},
+                 {"target_garb", target_garb},
+                 {"next_threshold", next_overwrite_threshold_}});
+  tel_->metrics().GetGauge("policy.saga.dt")->Set(static_cast<double>(dt));
+  tel_->metrics().GetGauge("policy.saga.act_garb")->Set(act_garb);
 }
 
 bool SagaPolicy::ShouldCollectWhenIdle(const SimClock& clock) {

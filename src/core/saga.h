@@ -67,6 +67,10 @@ class SagaPolicy : public RatePolicy {
   uint64_t dt_max_clamps() const { return dt_max_clamps_; }
 
  private:
+  // Out of line so OnCollection's hot path pays only a predicted-not-
+  // taken branch, not the trace-argument stack frame.
+  void RecordDecision(uint64_t dt, double act_garb, double target_garb);
+
   Options options_;
   std::unique_ptr<GarbageEstimator> estimator_;
 

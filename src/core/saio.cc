@@ -54,6 +54,20 @@ void SaioPolicy::OnCollection(const CollectionOutcome& outcome,
   // A scheduled collection under load means garbage is flowing again;
   // re-arm the idle probe.
   idle_yield_known_ = false;
+
+  ODBGC_IF_TEL(tel_) { RecordDecision(period_app_io, curr_gc_io); }
+}
+
+void SaioPolicy::RecordDecision(uint64_t period_app_io,
+                                uint64_t curr_gc_io) {
+  tel_->Instant("policy_decision",
+                {{"policy", "saio"},
+                 {"delta_app_io", last_delta_app_io_},
+                 {"period_app_io", period_app_io},
+                 {"gc_io", curr_gc_io},
+                 {"next_threshold", next_app_io_threshold_}});
+  tel_->metrics().GetGauge("policy.saio.delta_app_io")->Set(
+      static_cast<double>(last_delta_app_io_));
 }
 
 void SaioPolicy::set_opportunism(bool enabled,

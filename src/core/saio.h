@@ -63,6 +63,10 @@ class SaioPolicy : public RatePolicy {
     uint64_t gc_io;   // that GC's I/O
   };
 
+  // Out of line so OnCollection's hot path pays only a predicted-not-
+  // taken branch, not the trace-argument stack frame.
+  void RecordDecision(uint64_t period_app_io, uint64_t curr_gc_io);
+
   double io_frac_;
   size_t history_size_;
   std::deque<PeriodRecord> history_;

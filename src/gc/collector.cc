@@ -10,6 +10,19 @@
 
 namespace odbgc {
 
+void Collector::AttachTelemetry(obs::Telemetry* telemetry) {
+  tel_ = telemetry;
+  if (tel_ == nullptr) return;
+  obs::MetricsRegistry& m = tel_->metrics();
+  ti_.collections = m.GetCounter("gc.collections");
+  ti_.crashes = m.GetCounter("gc.crashes");
+  ti_.recoveries = m.GetCounter("gc.recoveries");
+  ti_.bytes_reclaimed = m.GetCounter("gc.bytes_reclaimed");
+  ti_.gc_io = m.GetHistogram("gc.collection_io_ops");
+  ti_.reclaimed = m.GetHistogram("gc.collection_reclaimed_bytes");
+  ti_.live = m.GetHistogram("gc.collection_live_bytes");
+}
+
 void Collector::ScheduleCrash(CrashPoint point, uint64_t attempt) {
   ODBGC_CHECK(point != CrashPoint::kNone);
   crash_point_ = point;
@@ -37,6 +50,11 @@ CollectionReport Collector::Collect(ObjectStore& store,
   report.overwrites_at_collection = part.overwrites();
 
   const IoStats before_io = store.io_stats();
+
+  ODBGC_TEL_SPAN(collection_span, tel_, "collection",
+                 {{"partition", partition},
+                  {"bytes_before", report.bytes_before}});
+  ODBGC_IF_TEL(tel_) { tel_->Begin("scan"); }
 
   // 1. Read the partition's from-space (sequential scan of its used pages).
   if (part.used() > 0) {
@@ -108,6 +126,11 @@ CollectionReport Collector::Collect(ObjectStore& store,
   report.objects_live = copy_order.size();
   report.objects_reclaimed = reclaim.size();
 
+  ODBGC_IF_TEL(tel_) {
+    tel_->End("scan", {{"objects_live", report.objects_live},
+                       {"objects_reclaimed", report.objects_reclaimed}});
+  }
+
   // Simulated power cut: capture the durable journal, drop the volatile
   // buffer contents, and hand the partial report back to the caller.
   auto crash = [&](bool committed) -> CollectionReport {
@@ -131,15 +154,23 @@ CollectionReport Collector::Collect(ObjectStore& store,
     report.crashed = true;
     report.crash_point = journal_.point;
     journal_.report = report;
+    ODBGC_IF_TEL(tel_) {
+      ti_.crashes->Increment();
+      tel_->Instant("crash", {{"partition", partition},
+                              {"crash_point", CrashPointName(journal_.point)},
+                              {"committed", committed ? 1 : 0}});
+    }
     return report;
   };
 
   // 2. Write the compacted to-space.
+  ODBGC_IF_TEL(tel_) { tel_->Begin("copy", {{"bytes_live", live_bytes}}); }
   if (new_used > 0) {
     store.TouchRange(partition, 0, new_used, /*dirty=*/true,
                      IoContext::kCollector);
   }
   if (crash_point == CrashPoint::kAfterCopy) {
+    ODBGC_IF_TEL(tel_) { tel_->End("copy"); }
     return crash(/*committed=*/false);
   }
 
@@ -149,6 +180,7 @@ CollectionReport Collector::Collect(ObjectStore& store,
     store.buffer_pool().FlushPartition(partition, IoContext::kCollector);
     store.CommitRecordWrite(partition, IoContext::kCollector);
   }
+  ODBGC_IF_TEL(tel_) { tel_->End("copy"); }
   if (crash_point == CrashPoint::kBeforeFlip) {
     return crash(/*committed=*/true);
   }
@@ -159,13 +191,19 @@ CollectionReport Collector::Collect(ObjectStore& store,
   // 5. Remembered-set update: relocation invalidates external pointers
   // into this partition, so the referencing slot of every external source
   // is rewritten, costing a read (and dirty write-back) of its page.
+  ODBGC_IF_TEL(tel_) { tel_->Begin("remembered_set"); }
   if (crash_point == CrashPoint::kMidRememberedSet) {
     const uint64_t total =
         UpdateRememberedSets(store, partition, copy_order, 0, 0);
     UpdateRememberedSets(store, partition, copy_order, 0, total / 2);
+    ODBGC_IF_TEL(tel_) { tel_->End("remembered_set"); }
     return crash(/*committed=*/true);
   }
-  UpdateRememberedSets(store, partition, copy_order, 0, UINT64_MAX);
+  const uint64_t external_updates =
+      UpdateRememberedSets(store, partition, copy_order, 0, UINT64_MAX);
+  ODBGC_IF_TEL(tel_) {
+    tel_->End("remembered_set", {{"external_updates", external_updates}});
+  }
 
   // 6. Clear the commit record and finish partition bookkeeping.
   if (protocol) {
@@ -177,6 +215,13 @@ CollectionReport Collector::Collect(ObjectStore& store,
   const IoStats after_io = store.io_stats();
   report.gc_reads = after_io.gc_reads - before_io.gc_reads;
   report.gc_writes = after_io.gc_writes - before_io.gc_writes;
+  ODBGC_IF_TEL(tel_) {
+    ti_.collections->Increment();
+    ti_.bytes_reclaimed->Add(report.bytes_reclaimed);
+    ti_.gc_io->Record(report.gc_io());
+    ti_.reclaimed->Record(report.bytes_reclaimed);
+    ti_.live->Record(report.bytes_live);
+  }
   return report;
 }
 
@@ -187,6 +232,10 @@ RecoveryReport Collector::Recover(ObjectStore& store) {
   rec.dirty_pages_lost = journal_.dirty_pages_lost;
   const PartitionId partition = journal_.partition;
   const IoStats before_io = store.io_stats();
+
+  ODBGC_TEL_SPAN(recovery_span, tel_, "recovery",
+                 {{"partition", partition},
+                  {"crash_point", CrashPointName(journal_.point)}});
 
   // Restart probe: read the commit record to learn whether the crashed
   // collection reached its commit point.
@@ -227,6 +276,18 @@ RecoveryReport Collector::Recover(ObjectStore& store) {
     rec.completed = journal_.report;
     rec.completed.gc_reads += rec.gc_reads;
     rec.completed.gc_writes += rec.gc_writes;
+  }
+  ODBGC_IF_TEL(tel_) {
+    ti_.recoveries->Increment();
+    if (rec.rolled_forward) {
+      // The crashed collection completed via redo; account for it the same
+      // way a normal completion would have been.
+      ti_.collections->Increment();
+      ti_.bytes_reclaimed->Add(rec.completed.bytes_reclaimed);
+      ti_.gc_io->Record(rec.completed.gc_io());
+      ti_.reclaimed->Record(rec.completed.bytes_reclaimed);
+      ti_.live->Record(rec.completed.bytes_live);
+    }
   }
   journal_ = Journal{};
   return rec;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/telemetry.h"
 #include "storage/fault_injector.h"
 #include "storage/object_store.h"
 #include "storage/types.h"
@@ -117,6 +118,13 @@ class Collector {
   uint64_t collections_performed() const { return collections_; }
   uint64_t crashes_injected() const { return crashes_; }
 
+  // Attaches per-run telemetry (not owned; may be null). A collection
+  // records a `collection` span with `scan` / `copy` / `remembered_set`
+  // child spans; crashes record an instant and Recover() a `recovery`
+  // span. Collection-shape histograms (gc I/O, reclaimed, live) are kept
+  // as metrics.
+  void AttachTelemetry(obs::Telemetry* telemetry);
+
  private:
   // Durable commit-record contents, captured at the crash point. In a
   // real system this is the journal page the commit protocol writes; the
@@ -155,6 +163,17 @@ class Collector {
   void FinishCollection(ObjectStore& store, PartitionId partition,
                         std::vector<ObjectId> copy_order, uint32_t new_used,
                         uint64_t reclaimed_bytes, uint64_t reclaimed_objects);
+
+  obs::Telemetry* tel_ = nullptr;
+  struct TelInstruments {
+    obs::Counter* collections = nullptr;
+    obs::Counter* crashes = nullptr;
+    obs::Counter* recoveries = nullptr;
+    obs::Counter* bytes_reclaimed = nullptr;
+    obs::Histogram* gc_io = nullptr;
+    obs::Histogram* reclaimed = nullptr;
+    obs::Histogram* live = nullptr;
+  } ti_;
 
   uint64_t collections_ = 0;
   uint64_t attempts_ = 0;

@@ -1,0 +1,22 @@
+#ifndef ODBGC_OBS_BUILD_INFO_H_
+#define ODBGC_OBS_BUILD_INFO_H_
+
+namespace odbgc::obs {
+
+// Build provenance stamped at CMake configure time (see
+// src/obs/build_info.cc.in) and echoed into every exported JSON so runs
+// stay attributable to the binary that produced them. The git sha is
+// captured when CMake configures, so it can trail the working tree by
+// uncommitted changes; `git_dirty` flags a tree that had local edits.
+struct BuildInfo {
+  const char* git_sha;     // short sha, "unknown" outside a git checkout
+  bool git_dirty;          // working tree had uncommitted changes
+  const char* build_type;  // CMAKE_BUILD_TYPE
+  bool telemetry;          // compiled with ODBGC_TELEMETRY
+};
+
+const BuildInfo& GetBuildInfo();
+
+}  // namespace odbgc::obs
+
+#endif  // ODBGC_OBS_BUILD_INFO_H_

@@ -1,0 +1,107 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace odbgc::obs {
+
+namespace {
+
+// Lower bound of bucket b: 0, 1, 2, 4, 8, ...
+double BucketLow(size_t b) {
+  if (b == 0) return 0.0;
+  return static_cast<double>(uint64_t{1} << (b - 1));
+}
+
+// Exclusive upper bound of bucket b: 1, 2, 4, 8, ... (bucket 64 would
+// overflow a shift; its bound is 2^64).
+double BucketHigh(size_t b) {
+  if (b == 0) return 1.0;
+  if (b >= 64) return 18446744073709551616.0;  // 2^64
+  return static_cast<double>(uint64_t{1} << b);
+}
+
+}  // namespace
+
+void Histogram::Record(uint64_t value) {
+  size_t bucket = value == 0 ? 0 : static_cast<size_t>(std::bit_width(value));
+  ++buckets_[bucket];
+  ++count_;
+  sum_ += value;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p <= 0.0) return static_cast<double>(min());
+  if (p >= 100.0) return static_cast<double>(max_);
+  // Rank of the requested percentile (1-based, nearest-rank with
+  // interpolation inside the bucket).
+  const double rank = p / 100.0 * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += buckets_[b];
+    if (static_cast<double>(seen) < rank) continue;
+    // Linear interpolation across the bucket's value range.
+    const double frac =
+        (rank - before) / static_cast<double>(buckets_[b]);
+    double v = BucketLow(b) + frac * (BucketHigh(b) - BucketLow(b));
+    // Clamp to the observed extremes so degenerate distributions
+    // (single value, narrow range) report exact results.
+    v = std::max(v, static_cast<double>(min()));
+    v = std::min(v, static_cast<double>(max_));
+    return v;
+  }
+  return static_cast<double>(max_);
+}
+
+template <typename T>
+T* MetricsRegistry::FindOrCreate(std::vector<Entry<T>>* entries,
+                                 const char* id) {
+  for (Entry<T>& e : *entries) {
+    if (e.id == id) return e.instrument.get();
+  }
+  entries->push_back(Entry<T>{id, std::make_unique<T>()});
+  return entries->back().instrument.get();
+}
+
+Counter* MetricsRegistry::GetCounter(const char* id) {
+  return FindOrCreate(&counters_, id);
+}
+
+Gauge* MetricsRegistry::GetGauge(const char* id) {
+  return FindOrCreate(&gauges_, id);
+}
+
+Histogram* MetricsRegistry::GetHistogram(const char* id) {
+  return FindOrCreate(&histograms_, id);
+}
+
+TelemetrySnapshot MetricsRegistry::Snapshot() const {
+  TelemetrySnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const Entry<Counter>& e : counters_) {
+    snap.counters.push_back(CounterSnapshot{e.id, e.instrument->value});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const Entry<Gauge>& e : gauges_) {
+    snap.gauges.push_back(GaugeSnapshot{e.id, e.instrument->value});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const Entry<Histogram>& e : histograms_) {
+    const Histogram& h = *e.instrument;
+    snap.histograms.push_back(HistogramSnapshot{
+        e.id, h.count(), h.min(), h.max(), h.mean(), h.Percentile(50.0),
+        h.Percentile(95.0), h.Percentile(99.0)});
+  }
+  auto by_id = [](const auto& a, const auto& b) { return a.id < b.id; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_id);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_id);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_id);
+  return snap;
+}
+
+}  // namespace odbgc::obs

@@ -1,0 +1,132 @@
+#ifndef ODBGC_OBS_METRICS_H_
+#define ODBGC_OBS_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace odbgc::obs {
+
+// A monotonic counter. Instrumented code holds the Counter* obtained
+// from the registry at attach time and bumps `value` directly: the hot
+// path is a plain 64-bit increment — no lookup, no lock, no atomic
+// (telemetry is per-Simulation, and a Simulation is single-threaded
+// even inside a parallel sweep).
+struct Counter {
+  uint64_t value = 0;
+
+  void Add(uint64_t n) { value += n; }
+  void Increment() { ++value; }
+};
+
+// A last-value gauge (e.g. resident buffer pages, partition count).
+struct Gauge {
+  double value = 0.0;
+
+  void Set(double v) { value = v; }
+};
+
+// Log-scaled histogram: one bucket per power of two (bucket 0 holds the
+// value 0, bucket b >= 1 holds [2^(b-1), 2^b)). Percentiles interpolate
+// linearly inside the winning bucket and are clamped to the observed
+// [min, max], so exact-value distributions (all samples equal) report
+// exact percentiles.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 65;
+
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+  }
+  // p in [0, 100]. Returns 0 when empty.
+  double Percentile(double p) const;
+
+  const uint64_t* buckets() const { return buckets_; }
+
+ private:
+  uint64_t buckets_[kBuckets] = {};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+// Point-in-time copies of the registry, embedded into SimResult so that
+// reports stay plain copyable data. Entries are sorted by id, making the
+// snapshot — and any JSON printed from it — deterministic.
+struct CounterSnapshot {
+  std::string id;
+  uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string id;
+  double value = 0.0;
+};
+
+struct HistogramSnapshot {
+  std::string id;
+  uint64_t count = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+struct TelemetrySnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+// Registry of named metrics. Ids are expected to be static string
+// literals ("storage.page_reads.app"); registration happens once at
+// attach time and returns a stable pointer, so steady-state updates
+// never touch the registry again. Re-registering an id returns the
+// existing instrument.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const char* id);
+  Gauge* GetGauge(const char* id);
+  Histogram* GetHistogram(const char* id);
+
+  // Sorted-by-id copy of every registered instrument.
+  TelemetrySnapshot Snapshot() const;
+
+ private:
+  template <typename T>
+  struct Entry {
+    std::string id;
+    std::unique_ptr<T> instrument;
+  };
+
+  template <typename T>
+  static T* FindOrCreate(std::vector<Entry<T>>* entries, const char* id);
+
+  std::vector<Entry<Counter>> counters_;
+  std::vector<Entry<Gauge>> gauges_;
+  std::vector<Entry<Histogram>> histograms_;
+};
+
+}  // namespace odbgc::obs
+
+#endif  // ODBGC_OBS_METRICS_H_

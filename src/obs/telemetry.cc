@@ -1,0 +1,12 @@
+#include "obs/telemetry.h"
+
+namespace odbgc::obs {
+
+Telemetry::Telemetry(const TelemetryOptions& options) : options_(options) {
+  if (options_.capture_trace) {
+    recorder_ = std::make_unique<TraceRecorder>(options_.max_trace_events);
+    page_events_ = options_.page_events;
+  }
+}
+
+}  // namespace odbgc::obs

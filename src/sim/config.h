@@ -8,6 +8,7 @@
 #include "core/estimator.h"
 #include "core/saga.h"
 #include "gc/partition_selector.h"
+#include "obs/telemetry.h"
 #include "storage/object_store.h"
 
 namespace odbgc {
@@ -86,6 +87,11 @@ struct SimConfig {
   bool verify_after_collection = false;
   bool verify_after_recovery = true;
   bool verify_reachability = false;
+
+  // In-run telemetry (src/obs/): metrics registry and structured trace.
+  // Default-disabled; an enabled run stays semantically identical (the
+  // telemetry never feeds back into simulation decisions).
+  obs::TelemetryOptions telemetry;
 };
 
 }  // namespace odbgc

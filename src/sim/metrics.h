@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/clock.h"
+#include "obs/metrics.h"
 #include "storage/types.h"
 #include "trace/event.h"
 #include "util/stats.h"
@@ -106,6 +107,9 @@ struct SimResult {
   std::vector<PhaseTransition> phases;
   // One entry per kPhaseMark in trace order (phases may repeat).
   std::vector<PhaseStats> phase_stats;
+
+  // Telemetry snapshot (empty unless SimConfig::telemetry.enabled).
+  obs::TelemetrySnapshot telemetry;
 };
 
 // Derived per-collection series (Figure 7b's graphs).

@@ -4,11 +4,20 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/perfetto_export.h"
+#include "obs/progress.h"
 #include "oo7/generator.h"
 #include "sim/simulation.h"
 #include "util/check.h"
 
 namespace odbgc {
+
+namespace {
+// -1 on every thread that is not a pool worker.
+thread_local int tls_worker_index = -1;
+}  // namespace
+
+int ThreadPool::current_worker_index() { return tls_worker_index; }
 
 int ResolveThreadCount(int threads) {
   if (threads >= 1) return threads;
@@ -20,7 +29,7 @@ ThreadPool::ThreadPool(int threads) {
   int n = ResolveThreadCount(threads);
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -49,7 +58,8 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return unfinished_ == 0; });
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int worker_index) {
+  tls_worker_index = worker_index;
   for (;;) {
     std::function<void()> task;
     {
@@ -156,14 +166,74 @@ uint64_t TraceCache::misses() const {
 
 SweepRunner::SweepRunner(int threads) : pool_(threads) {}
 
+uint64_t SweepRunner::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+}
+
+void SweepRunner::EnableTracing(size_t max_events_per_worker) {
+  if (!recorders_.empty()) return;
+  const size_t slots = static_cast<size_t>(pool_.size()) + 1;
+  recorders_.reserve(slots);
+  for (size_t i = 0; i < slots; ++i) {
+    recorders_.push_back(
+        std::make_unique<obs::TraceRecorder>(max_events_per_worker));
+  }
+}
+
+obs::TraceRecorder* SweepRunner::recorder_for_current_worker() {
+  if (recorders_.empty()) return nullptr;
+  int idx = ThreadPool::current_worker_index();
+  // Non-worker threads (the submitter running RunOne directly) share the
+  // extra last slot.
+  if (idx < 0 || idx >= pool_.size()) idx = pool_.size();
+  return recorders_[static_cast<size_t>(idx)].get();
+}
+
+bool SweepRunner::ExportTrace(const std::string& path) const {
+  if (recorders_.empty()) return false;
+  std::vector<obs::TraceThread> threads;
+  threads.reserve(recorders_.size());
+  for (size_t i = 0; i < recorders_.size(); ++i) {
+    std::string name = i < recorders_.size() - 1
+                           ? "worker-" + std::to_string(i)
+                           : "submitter";
+    threads.push_back(obs::TraceThread{recorders_[i].get(),
+                                       static_cast<int>(i + 1), name});
+  }
+  return obs::WriteChromeTrace(threads, path, "odbgc-sweep");
+}
+
 std::vector<SimResult> SweepRunner::Run(const std::vector<SweepPoint>& points) {
   std::vector<SimResult> results(points.size());
-  pool_.ParallelFor(points.size(), [this, &points, &results](size_t i) {
+  std::unique_ptr<obs::SweepProgress> progress;
+  if (progress_out_ != nullptr && !points.empty()) {
+    progress = std::make_unique<obs::SweepProgress>(progress_out_,
+                                                    points.size());
+  }
+  pool_.ParallelFor(points.size(),
+                    [this, &points, &results, &progress](size_t i) {
     const SweepPoint& p = points[i];
+    obs::TraceRecorder* rec = recorder_for_current_worker();
+    if (rec != nullptr) {
+      rec->Begin("get_trace", NowMicros(), {{"seed", p.seed}});
+    }
     std::shared_ptr<const Trace> trace = cache_.GetOo7(p.params, p.seed);
+    if (rec != nullptr) rec->End("get_trace", NowMicros());
     SimConfig cfg = p.config;
     ApplyRunSeeds(&cfg, p.seed);  // as RunOo7Once
+    if (rec != nullptr) {
+      rec->Begin("run_simulation", NowMicros(),
+                 {{"point", i}, {"seed", p.seed}});
+    }
     results[i] = RunSimulation(cfg, *trace);
+    if (rec != nullptr) {
+      rec->End("run_simulation", NowMicros(),
+               {{"collections", results[i].collections}});
+    }
+    if (progress != nullptr) progress->OnRunDone();
   });
   return results;
 }

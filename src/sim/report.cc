@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "obs/build_info.h"
 #include "util/json.h"
 
 namespace odbgc {
@@ -47,6 +48,22 @@ std::string SimResultToJson(const SimResult& result,
 
   w.Key("window_opened");
   w.Value(result.window_opened);
+  // Measurement-window context: a run that never reached the preamble's
+  // collection count falls back to whole-run measurements; say so
+  // explicitly instead of leaving window_opened=false to be guessed at.
+  w.Key("measurement_window");
+  w.BeginObject();
+  w.Key("opened");
+  w.Value(result.window_opened);
+  w.Key("fallback_whole_run");
+  w.Value(!result.window_opened);
+  w.Key("app_io");
+  w.Value(result.measured_app_io);
+  w.Key("gc_io");
+  w.Value(result.measured_gc_io);
+  w.Key("reclaimed_bytes");
+  w.Value(result.window_reclaimed_bytes);
+  w.EndObject();
   w.Key("measured_app_io");
   w.Value(result.measured_app_io);
   w.Key("measured_gc_io");
@@ -74,6 +91,40 @@ std::string SimResultToJson(const SimResult& result,
   w.Value(result.dt_min_clamps);
   w.Key("dt_max_clamps");
   w.Value(result.dt_max_clamps);
+
+  // Fault-injection / crash-recovery outcomes. Emitted whenever any of
+  // them fired so fault-plan runs are self-describing; omitted for clean
+  // runs to keep their reports lean.
+  if (result.crashes > 0 || result.recoveries > 0 ||
+      result.verifier_runs > 0 || result.io_retries > 0 ||
+      result.io_read_failures > 0 || result.io_write_failures > 0 ||
+      result.torn_writes > 0) {
+    w.Key("faults");
+    w.BeginObject();
+    w.Key("crashes");
+    w.Value(result.crashes);
+    w.Key("recoveries");
+    w.Value(result.recoveries);
+    w.Key("recovery_rollbacks");
+    w.Value(result.recovery_rollbacks);
+    w.Key("recovery_rollforwards");
+    w.Value(result.recovery_rollforwards);
+    w.Key("recovery_redo_updates");
+    w.Value(result.recovery_redo_updates);
+    w.Key("verifier_runs");
+    w.Value(result.verifier_runs);
+    w.Key("io_retries");
+    w.Value(result.io_retries);
+    w.Key("io_read_failures");
+    w.Value(result.io_read_failures);
+    w.Key("io_write_failures");
+    w.Value(result.io_write_failures);
+    w.Key("torn_writes");
+    w.Value(result.torn_writes);
+    w.Key("torn_repairs");
+    w.Value(result.torn_repairs);
+    w.EndObject();
+  }
 
   if (result.disk_app_ms > 0.0 || result.disk_gc_ms > 0.0) {
     w.Key("disk");
@@ -148,6 +199,61 @@ std::string SimResultToJson(const SimResult& result,
     }
     w.EndArray();
   }
+
+  if (!result.telemetry.empty()) {
+    w.Key("telemetry");
+    w.BeginObject();
+    w.Key("counters");
+    w.BeginObject();
+    for (const obs::CounterSnapshot& c : result.telemetry.counters) {
+      w.Key(c.id);
+      w.Value(c.value);
+    }
+    w.EndObject();
+    w.Key("gauges");
+    w.BeginObject();
+    for (const obs::GaugeSnapshot& g : result.telemetry.gauges) {
+      w.Key(g.id);
+      w.Value(g.value);
+    }
+    w.EndObject();
+    w.Key("histograms");
+    w.BeginObject();
+    for (const obs::HistogramSnapshot& h : result.telemetry.histograms) {
+      w.Key(h.id);
+      w.BeginObject();
+      w.Key("count");
+      w.Value(h.count);
+      w.Key("min");
+      w.Value(h.min);
+      w.Key("max");
+      w.Value(h.max);
+      w.Key("mean");
+      w.Value(h.mean);
+      w.Key("p50");
+      w.Value(h.p50);
+      w.Key("p95");
+      w.Value(h.p95);
+      w.Key("p99");
+      w.Value(h.p99);
+      w.EndObject();
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+
+  const obs::BuildInfo& build = obs::GetBuildInfo();
+  w.Key("build_info");
+  w.BeginObject();
+  w.Key("git_sha");
+  w.Value(build.git_sha);
+  w.Key("git_dirty");
+  w.Value(build.git_dirty);
+  w.Key("build_type");
+  w.Value(build.build_type);
+  w.Key("telemetry");
+  w.Value(build.telemetry);
+  w.EndObject();
 
   w.EndObject();
   return w.TakeString();

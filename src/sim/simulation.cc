@@ -1,5 +1,8 @@
 #include "sim/simulation.h"
 
+#include <cmath>
+#include <cstdlib>
+
 #include "core/alloc_triggered.h"
 #include "core/coupled.h"
 #include "core/fixed_rate.h"
@@ -62,6 +65,7 @@ Simulation::Simulation(const SimConfig& config,
       estimator_(estimator) {
   ODBGC_CHECK(policy_ != nullptr && selector_ != nullptr);
   ConfigureCollector();
+  InitTelemetry();
 }
 
 namespace {
@@ -78,6 +82,19 @@ Simulation::Simulation(const SimConfig& config)
   policy_ = BuildPolicy(config_, &estimator_);
   selector_ = MakeSelector(config_.selector, config_.selector_seed);
   ConfigureCollector();
+  InitTelemetry();
+}
+
+void Simulation::InitTelemetry() {
+#if ODBGC_TELEMETRY
+  if (!config_.telemetry.any()) return;
+  tel_ = std::make_unique<obs::Telemetry>(config_.telemetry);
+  tel_garbage_pct_ = tel_->metrics().GetGauge("sim.garbage_pct");
+  tel_est_err_ = tel_->metrics().GetHistogram("sim.estimator_error_pp_x100");
+  store_->buffer_pool().AttachTelemetry(tel_.get());
+  collector_.AttachTelemetry(tel_.get());
+  policy_->AttachTelemetry(tel_.get());
+#endif
 }
 
 void Simulation::ConfigureCollector() {
@@ -104,6 +121,7 @@ bool Simulation::HandleCrash(CollectionReport* report) {
 }
 
 void Simulation::RunVerifier(const char* when) {
+  ODBGC_TEL_SPAN(span, tel_.get(), "verifier", {{"after", when}});
   VerifierOptions opts;
   opts.check_reachability_agreement = config_.verify_reachability;
   VerifierReport vr = VerifyHeap(*store_, opts);
@@ -127,6 +145,7 @@ void Simulation::SampleGarbage() {
   if (used == 0) return;
   double pct = 100.0 * static_cast<double>(store_->actual_garbage_bytes()) /
                static_cast<double>(used);
+  ODBGC_IF_TEL(tel_.get()) { tel_garbage_pct_->Set(pct); }
   whole_run_garbage_pct_.Add(pct);
   if (result_.window_opened) result_.garbage_pct.Add(pct);
   if (phase_open_) phase_accum_.garbage_pct.Add(pct);
@@ -213,6 +232,20 @@ void Simulation::MaybeCollect() {
   policy_->OnCollection(
       CollectionOutcome{report.gc_io(), report.bytes_reclaimed}, clock_);
 
+  if (estimator_ != nullptr && store_->used_bytes() > 0) {
+    const double used = static_cast<double>(store_->used_bytes());
+    const double actual_pct =
+        100.0 * static_cast<double>(store_->actual_garbage_bytes()) / used;
+    const double est_pct = 100.0 * estimator_->Estimate() / used;
+    last_estimate_valid_ = true;
+    last_estimate_error_pp_ = est_pct - actual_pct;
+    ODBGC_IF_TEL(tel_.get()) {
+      // Histograms hold integers; store hundredths of a percentage point.
+      tel_est_err_->Record(static_cast<uint64_t>(
+          std::llround(std::abs(last_estimate_error_pp_) * 100.0)));
+    }
+  }
+
   if (config_.record_collection_log) {
     CollectionRecord rec;
     rec.index = result_.collections;
@@ -245,6 +278,9 @@ void Simulation::MaybeCollect() {
 }
 
 void Simulation::Apply(const TraceEvent& event) {
+  // One logical-timebase tick per applied trace event (physical page
+  // transfers add their own ticks inside the buffer pool).
+  ODBGC_IF_TEL(tel_.get()) { tel_->Advance(); }
   switch (event.kind) {
     case EventKind::kCreate:
       store_->CreateObject(event.a, event.b, event.c, event.d);
@@ -282,10 +318,19 @@ void Simulation::Apply(const TraceEvent& event) {
                                                clock_.events,
                                                clock_.pointer_overwrites});
       OpenPhaseSegment(current_phase_);
+      ODBGC_IF_TEL(tel_.get()) {
+        if (tel_phase_span_open_) tel_->End("phase");
+        tel_->Begin("phase",
+                    {{"name", PhaseName(current_phase_).c_str()}});
+        tel_phase_span_open_ = true;
+      }
       break;
-    case EventKind::kIdleMark:
+    case EventKind::kIdleMark: {
+      ODBGC_TEL_SPAN(idle_span, tel_.get(), "idle_period",
+                     {{"max_collections", event.a}});
       RunIdlePeriod(event.a);
       break;
+    }
     case EventKind::kUpdate:
       store_->UpdateObject(event.a);
       break;
@@ -300,6 +345,23 @@ void Simulation::Apply(const TraceEvent& event) {
     SampleGarbage();
   }
   MaybeCollect();
+  // Offer the reporter a sample every 1024 events; it throttles on wall
+  // time itself, so this only bounds how often we assemble a sample.
+  if (progress_ != nullptr && (clock_.events & 1023u) == 0) {
+    progress_->MaybeReport(MakeProgressSample());
+  }
+}
+
+obs::ProgressSample Simulation::MakeProgressSample() const {
+  obs::ProgressSample s;
+  s.events = clock_.events;
+  s.total_events = progress_total_events_;
+  s.collections = result_.collections;
+  s.app_io = clock_.app_io;
+  s.gc_io = clock_.gc_io;
+  s.has_estimate = last_estimate_valid_;
+  s.estimate_error_pp = last_estimate_error_pp_;
+  return s;
 }
 
 SimResult Simulation::Finish() {
@@ -346,6 +408,14 @@ SimResult Simulation::Finish() {
   result_.io_write_failures = io.write_failures;
   result_.torn_writes = io.torn_writes;
   result_.torn_repairs = io.torn_repairs;
+  ODBGC_IF_TEL(tel_.get()) {
+    if (tel_phase_span_open_) {
+      tel_->End("phase");
+      tel_phase_span_open_ = false;
+    }
+    result_.telemetry = tel_->Snapshot();
+  }
+  if (progress_ != nullptr) progress_->Finish(MakeProgressSample());
   return result_;
 }
 
@@ -390,6 +460,7 @@ void Simulation::AddPassiveEstimator(GarbageEstimator* estimator) {
 }
 
 SimResult Simulation::Run(const Trace& trace) {
+  progress_total_events_ = trace.events().size();
   for (const TraceEvent& e : trace.events()) {
     Apply(e);
   }

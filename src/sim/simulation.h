@@ -7,6 +7,8 @@
 #include "core/rate_policy.h"
 #include "gc/collector.h"
 #include "gc/partition_selector.h"
+#include "obs/progress.h"
+#include "obs/telemetry.h"
 #include "sim/config.h"
 #include "sim/metrics.h"
 #include "storage/object_store.h"
@@ -52,6 +54,17 @@ class Simulation {
   // must outlive the simulation.
   void AddPassiveEstimator(GarbageEstimator* estimator);
 
+  // The run's telemetry context; null unless config.telemetry.any() (or
+  // when telemetry is compiled out). Valid for the simulation's lifetime,
+  // so callers may export its trace after Finish().
+  obs::Telemetry* telemetry() { return tel_.get(); }
+
+  // Attaches a live progress reporter (not owned; may be null). Fed a
+  // sample every few thousand events; never touches simulation state.
+  void set_progress(obs::ProgressReporter* reporter) {
+    progress_ = reporter;
+  }
+
   ObjectStore& store() { return *store_; }
   const ObjectStore& store() const { return *store_; }
   RatePolicy& policy() { return *policy_; }
@@ -74,11 +87,27 @@ class Simulation {
   void OpenWindowIfReady();
   void ClosePhaseSegment();
   void OpenPhaseSegment(Phase phase);
+  // Creates the telemetry context when the config enables it and attaches
+  // it to the store's buffer pool, the collector and the policy.
+  void InitTelemetry();
+  obs::ProgressSample MakeProgressSample() const;
 
   SimConfig config_;
   std::unique_ptr<ObjectStore> store_;
   std::unique_ptr<RatePolicy> policy_;
   std::unique_ptr<PartitionSelector> selector_;
+
+  // Telemetry (null unless enabled) and cached instrument handles.
+  std::unique_ptr<obs::Telemetry> tel_;
+  obs::Gauge* tel_garbage_pct_ = nullptr;
+  obs::Histogram* tel_est_err_ = nullptr;
+  bool tel_phase_span_open_ = false;
+
+  // Live progress (not owned; null unless --progress).
+  obs::ProgressReporter* progress_ = nullptr;
+  uint64_t progress_total_events_ = 0;
+  bool last_estimate_valid_ = false;
+  double last_estimate_error_pp_ = 0.0;
 
   // Per-phase accounting (between consecutive kPhaseMark events).
   bool phase_open_ = false;

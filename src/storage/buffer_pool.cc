@@ -8,12 +8,41 @@ BufferPool::BufferPool(uint32_t frame_count) : frame_count_(frame_count) {
   ODBGC_CHECK(frame_count > 0);
 }
 
+void BufferPool::AttachTelemetry(obs::Telemetry* telemetry) {
+  tel_ = telemetry;
+  if (tel_ == nullptr) return;
+  obs::MetricsRegistry& m = tel_->metrics();
+  tc_.reads_app = m.GetCounter("storage.page_reads.app");
+  tc_.reads_gc = m.GetCounter("storage.page_reads.gc");
+  tc_.writes_app = m.GetCounter("storage.page_writes.app");
+  tc_.writes_gc = m.GetCounter("storage.page_writes.gc");
+  tc_.hits = m.GetCounter("storage.buffer.hits");
+  tc_.misses = m.GetCounter("storage.buffer.misses");
+  tc_.evictions = m.GetCounter("storage.buffer.evictions");
+  tc_.fault_retries = m.GetCounter("storage.fault.retries");
+  tc_.fault_permanent = m.GetCounter("storage.fault.permanent_failures");
+  tc_.torn_writes = m.GetCounter("storage.fault.torn_writes");
+  tc_.torn_repairs = m.GetCounter("storage.fault.torn_repairs");
+}
+
 void BufferPool::RecordTransfer(PageId page, IoContext ctx, bool is_write) {
   const bool app = ctx == IoContext::kApplication;
   uint64_t& counter = is_write ? (app ? stats_.app_writes : stats_.gc_writes)
                                : (app ? stats_.app_reads : stats_.gc_reads);
   ++counter;
   if (disk_ != nullptr) disk_->OnTransfer(page, ctx);
+  ODBGC_IF_TEL(tel_) {
+    tel_->Advance();  // one logical microsecond per physical transfer
+    (is_write ? (app ? tc_.writes_app : tc_.writes_gc)
+              : (app ? tc_.reads_app : tc_.reads_gc))
+        ->Increment();
+    if (tel_->page_events()) {
+      tel_->Instant(is_write ? "page_write" : "page_read",
+                    {{"partition", page.partition},
+                     {"page", page.page_index},
+                     {"ctx", app ? "app" : "gc"}});
+    }
+  }
   if (fault_ == nullptr) return;
 
   FaultOutcome outcome =
@@ -44,6 +73,23 @@ void BufferPool::RecordTransfer(PageId page, IoContext ctx, bool is_write) {
     ++(app ? stats_.app_writes : stats_.gc_writes);
     if (disk_ != nullptr) disk_->OnTransfer(page, ctx);
   }
+  ODBGC_IF_TEL(tel_) {
+    if (outcome.retries > 0) {
+      tel_->Advance(outcome.retries);  // retries are real transfers
+      tc_.fault_retries->Add(outcome.retries);
+      tel_->Instant("fault_retry", {{"partition", page.partition},
+                                    {"page", page.page_index},
+                                    {"retries", outcome.retries},
+                                    {"permanent", outcome.permanent ? 1 : 0}});
+    }
+    if (outcome.permanent) tc_.fault_permanent->Increment();
+    if (outcome.torn) tc_.torn_writes->Increment();
+    if (outcome.repaired_tear) {
+      tel_->Advance();  // the repair write
+      tc_.torn_repairs->Increment();
+      (app ? tc_.writes_app : tc_.writes_gc)->Increment();
+    }
+  }
 }
 
 void BufferPool::CountRead(PageId page, IoContext ctx) {
@@ -58,12 +104,14 @@ void BufferPool::Access(PageId page, bool dirty, IoContext ctx) {
   auto it = map_.find(page);
   if (it != map_.end()) {
     ++hits_;
+    ODBGC_IF_TEL(tel_) { tc_.hits->Increment(); }
     // Move to front of LRU; merge dirtiness.
     it->second->dirty = it->second->dirty || dirty;
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
   ++misses_;
+  ODBGC_IF_TEL(tel_) { tc_.misses->Increment(); }
   CountRead(page, ctx);
   if (lru_.size() >= frame_count_) {
     // Evict the least recently used unpinned frame.
@@ -77,6 +125,7 @@ void BufferPool::Access(PageId page, bool dirty, IoContext ctx) {
     ODBGC_CHECK_MSG(victim != lru_.end(),
                     "every buffer frame is pinned; cannot evict");
     if (victim->dirty) CountWrite(victim->page, ctx);
+    ODBGC_IF_TEL(tel_) { tc_.evictions->Increment(); }
     map_.erase(victim->page);
     lru_.erase(victim);
   }

@@ -6,6 +6,7 @@
 #include <list>
 #include <unordered_map>
 
+#include "obs/telemetry.h"
 #include "storage/disk_model.h"
 #include "storage/fault_injector.h"
 #include "storage/types.h"
@@ -78,6 +79,13 @@ class BufferPool {
   // physical transfer. Not owned; may be null.
   void AttachFaultInjector(FaultInjector* injector) { fault_ = injector; }
 
+  // Attaches per-run telemetry (not owned; may be null). Every physical
+  // transfer advances the telemetry timebase by one tick, bumps the
+  // storage counters, and — when page events are enabled — records a
+  // page_read/page_write instant. Counter handles are resolved here,
+  // once, so the hot path is a null check plus plain increments.
+  void AttachTelemetry(obs::Telemetry* telemetry);
+
   const IoStats& stats() const { return stats_; }
   uint32_t frame_count() const { return frame_count_; }
   size_t resident_pages() const { return lru_.size(); }
@@ -101,6 +109,21 @@ class BufferPool {
   uint32_t frame_count_;
   DiskModel* disk_ = nullptr;
   FaultInjector* fault_ = nullptr;
+  obs::Telemetry* tel_ = nullptr;
+  // Counter handles cached at AttachTelemetry (valid iff tel_ != null).
+  struct TelCounters {
+    obs::Counter* reads_app = nullptr;
+    obs::Counter* reads_gc = nullptr;
+    obs::Counter* writes_app = nullptr;
+    obs::Counter* writes_gc = nullptr;
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Counter* fault_retries = nullptr;
+    obs::Counter* fault_permanent = nullptr;
+    obs::Counter* torn_writes = nullptr;
+    obs::Counter* torn_repairs = nullptr;
+  } tc_;
   LruList lru_;  // front = most recently used
   std::unordered_map<PageId, LruList::iterator, PageIdHash> map_;
   IoStats stats_;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace odbgc {
@@ -52,6 +53,53 @@ class JsonWriter {
   std::vector<Frame> stack_;
   std::vector<bool> first_in_frame_;
   bool key_pending_ = false;
+};
+
+// Parsed JSON document node. A small recursive-descent companion to
+// JsonWriter — enough to round-trip this repo's own exports (reports,
+// Chrome traces) in tests and validators without a third-party
+// dependency. Numbers are held as double (the exports never need more
+// than 53 bits of integer precision to validate).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array_items() const { return items_; }
+  // Object members in document order (duplicate keys preserved).
+  const std::vector<std::pair<std::string, JsonValue>>& object_members()
+      const {
+    return members_;
+  }
+
+  // First member named `key`, or nullptr.
+  const JsonValue* Find(const std::string& key) const;
+  bool Has(const std::string& key) const { return Find(key) != nullptr; }
+
+  // Parses `text` into *out. On failure returns false and describes the
+  // problem (with a byte offset) in *error.
+  static bool Parse(const std::string& text, JsonValue* out,
+                    std::string* error);
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
 };
 
 }  // namespace odbgc

@@ -134,6 +134,89 @@ TEST(SimResultJsonTest, RoundTripsThroughRealParserShape) {
   EXPECT_EQ(summary.find("\"collection_log\""), std::string::npos);
 }
 
+TEST(JsonParserTest, ParsesScalarsArraysAndObjects) {
+  JsonValue v;
+  std::string error;
+
+  ASSERT_TRUE(JsonValue::Parse("null", &v, &error));
+  EXPECT_TRUE(v.is_null());
+  ASSERT_TRUE(JsonValue::Parse("true", &v, &error));
+  EXPECT_TRUE(v.bool_value());
+  ASSERT_TRUE(JsonValue::Parse("-12.5e2", &v, &error));
+  EXPECT_EQ(v.number_value(), -1250.0);
+  ASSERT_TRUE(JsonValue::Parse("\"a\\n\\\"b\\\"\\u0041\"", &v, &error));
+  EXPECT_EQ(v.string_value(), "a\n\"b\"A");
+
+  ASSERT_TRUE(JsonValue::Parse("[1, [2, 3], {\"k\": 4}]", &v, &error));
+  ASSERT_TRUE(v.is_array());
+  ASSERT_EQ(v.array_items().size(), 3u);
+  EXPECT_EQ(v.array_items()[0].number_value(), 1.0);
+  EXPECT_EQ(v.array_items()[1].array_items()[1].number_value(), 3.0);
+  EXPECT_EQ(v.array_items()[2].Find("k")->number_value(), 4.0);
+
+  ASSERT_TRUE(JsonValue::Parse(
+      " { \"a\" : 1 , \"b\" : [ ] , \"c\" : { } } ", &v, &error));
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.object_members().size(), 3u);
+  EXPECT_TRUE(v.Has("a"));
+  EXPECT_FALSE(v.Has("z"));
+  EXPECT_TRUE(v.Find("b")->is_array());
+}
+
+TEST(JsonParserTest, RejectsMalformedInputWithOffset) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(JsonValue::Parse("", &v, &error));
+  EXPECT_FALSE(JsonValue::Parse("{", &v, &error));
+  EXPECT_FALSE(JsonValue::Parse("[1,]", &v, &error));
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1,}", &v, &error));
+  EXPECT_FALSE(JsonValue::Parse("{\"a\" 1}", &v, &error));
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated", &v, &error));
+  EXPECT_FALSE(JsonValue::Parse("tru", &v, &error));
+  EXPECT_FALSE(JsonValue::Parse("1 2", &v, &error));  // trailing junk
+  EXPECT_FALSE(error.empty());
+  EXPECT_NE(error.find("offset"), std::string::npos);
+}
+
+TEST(JsonParserTest, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("s");
+  w.Value(std::string("tricky \"\\\n\t chars"));
+  w.Key("n");
+  w.Value(uint64_t{1234567});
+  w.Key("d");
+  w.Value(0.125);
+  w.Key("flag");
+  w.Value(true);
+  w.Key("nothing");
+  w.Null();
+  w.Key("arr");
+  w.BeginArray();
+  w.Value(int64_t{-5});
+  w.EndArray();
+  w.EndObject();
+
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(w.TakeString(), &v, &error)) << error;
+  EXPECT_EQ(v.Find("s")->string_value(), "tricky \"\\\n\t chars");
+  EXPECT_EQ(v.Find("n")->number_value(), 1234567.0);
+  EXPECT_EQ(v.Find("d")->number_value(), 0.125);
+  EXPECT_TRUE(v.Find("flag")->bool_value());
+  EXPECT_TRUE(v.Find("nothing")->is_null());
+  EXPECT_EQ(v.Find("arr")->array_items()[0].number_value(), -5.0);
+}
+
+TEST(JsonParserTest, DepthLimitStopsRunawayNesting) {
+  std::string deep(300, '[');
+  deep += std::string(300, ']');
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(JsonValue::Parse(deep, &v, &error));
+  EXPECT_NE(error.find("deep"), std::string::npos);
+}
+
 TEST(SimResultJsonTest, WriteToFile) {
   SimResult r;
   std::string path = testing::TempDir() + "/report.json";

@@ -1,0 +1,227 @@
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace_recorder.h"
+
+namespace odbgc::obs {
+namespace {
+
+TEST(HistogramTest, EmptyHistogramReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50.0), 0.0);
+  EXPECT_EQ(h.Percentile(99.0), 0.0);
+}
+
+TEST(HistogramTest, SingleValueIsEveryPercentile) {
+  Histogram h;
+  h.Record(37);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 37u);
+  EXPECT_EQ(h.max(), 37u);
+  EXPECT_EQ(h.mean(), 37.0);
+  // Clamped to observed [min, max], so an exact-value distribution
+  // reports exact percentiles despite the log-scale buckets.
+  EXPECT_EQ(h.Percentile(0.0), 37.0);
+  EXPECT_EQ(h.Percentile(50.0), 37.0);
+  EXPECT_EQ(h.Percentile(100.0), 37.0);
+}
+
+TEST(HistogramTest, ZeroGetsItsOwnExactBucket) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.Record(0);
+  EXPECT_EQ(h.Percentile(50.0), 0.0);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, UniformDistributionPercentilesWithinBucketError) {
+  // 1..1000 uniformly: the log-2 buckets bound relative error by the
+  // bucket width, so p50 must land within [256, 512) interpolation
+  // range of the true 500 and p99 within the top bucket of 1000.
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_NEAR(h.mean(), 500.5, 1e-9);
+
+  const double p50 = h.Percentile(50.0);
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 512.0);
+  const double p99 = h.Percentile(99.0);
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p99, 1000.0);
+  // Percentiles are monotone.
+  EXPECT_LE(h.Percentile(50.0), h.Percentile(95.0));
+  EXPECT_LE(h.Percentile(95.0), h.Percentile(99.0));
+  EXPECT_LE(h.Percentile(99.0), h.Percentile(100.0));
+  EXPECT_EQ(h.Percentile(100.0), 1000.0);
+}
+
+TEST(HistogramTest, TwoPointDistribution) {
+  // 90 samples of 10, 10 samples of 1000: p50 is in 10's bucket,
+  // p95 and p99 in 1000's.
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.Record(10);
+  for (int i = 0; i < 10; ++i) h.Record(1000);
+  EXPECT_LE(h.Percentile(50.0), 16.0);  // 10 lives in [8, 16)
+  EXPECT_GE(h.Percentile(50.0), 8.0);
+  EXPECT_GE(h.Percentile(95.0), 512.0);  // 1000 lives in [512, 1024)
+  EXPECT_LE(h.Percentile(95.0), 1000.0);
+  EXPECT_LE(h.Percentile(99.0), 1000.0);
+}
+
+TEST(HistogramTest, LargeValuesDoNotOverflowBuckets) {
+  Histogram h;
+  h.Record(UINT64_MAX);
+  h.Record(UINT64_MAX);
+  EXPECT_EQ(h.max(), UINT64_MAX);
+  EXPECT_GT(h.Percentile(50.0), 0.0);
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAndSharedById) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("x.count");
+  Counter* b = reg.GetCounter("x.count");
+  EXPECT_EQ(a, b);
+  a->Increment();
+  b->Add(4);
+  EXPECT_EQ(a->value, 5u);
+
+  Gauge* g = reg.GetGauge("x.level");
+  g->Set(2.5);
+  Histogram* h = reg.GetHistogram("x.dist");
+  h->Record(8);
+
+  // Force a reallocation of the registry's backing storage; previously
+  // returned pointers must stay valid.
+  for (int i = 0; i < 100; ++i) {
+    std::string id = "filler." + std::to_string(i);
+    reg.GetCounter(id.c_str())->Increment();
+  }
+  EXPECT_EQ(a->value, 5u);
+  a->Increment();
+  EXPECT_EQ(reg.GetCounter("x.count")->value, 6u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedById) {
+  MetricsRegistry reg;
+  reg.GetCounter("zebra")->Add(1);
+  reg.GetCounter("alpha")->Add(2);
+  reg.GetCounter("mid")->Add(3);
+  reg.GetGauge("g2")->Set(2.0);
+  reg.GetGauge("g1")->Set(1.0);
+  reg.GetHistogram("h")->Record(5);
+
+  TelemetrySnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].id, "alpha");
+  EXPECT_EQ(snap.counters[1].id, "mid");
+  EXPECT_EQ(snap.counters[2].id, "zebra");
+  EXPECT_EQ(snap.counters[0].value, 2u);
+  ASSERT_EQ(snap.gauges.size(), 2u);
+  EXPECT_EQ(snap.gauges[0].id, "g1");
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  EXPECT_EQ(snap.histograms[0].p50, 5.0);
+  EXPECT_FALSE(snap.empty());
+  EXPECT_TRUE(TelemetrySnapshot{}.empty());
+}
+
+TEST(TraceRecorderTest, RecordsNestedSpansInOrder) {
+  TraceRecorder rec;
+  rec.Begin("outer", 10);
+  rec.Begin("inner", 11, {{"k", uint64_t{7}}});
+  rec.Instant("ping", 12);
+  rec.End("inner", 13);
+  rec.End("outer", 14);
+
+  ASSERT_EQ(rec.size(), 5u);
+  EXPECT_EQ(rec.events()[0].ph, 'B');
+  EXPECT_STREQ(rec.events()[0].name, "outer");
+  EXPECT_EQ(rec.events()[1].ph, 'B');
+  ASSERT_EQ(rec.events()[1].args.size(), 1u);
+  EXPECT_EQ(rec.events()[1].args[0].u64, 7u);
+  EXPECT_EQ(rec.events()[2].ph, 'i');
+  EXPECT_EQ(rec.events()[3].ph, 'E');
+  EXPECT_EQ(rec.events()[4].ph, 'E');
+  EXPECT_EQ(rec.events()[4].ts, 14u);
+  EXPECT_EQ(rec.open_spans(), 0u);
+  EXPECT_EQ(rec.dropped_events(), 0u);
+}
+
+TEST(TraceRecorderTest, CapDropsBalancedSpans) {
+  TraceRecorder rec(/*max_events=*/4);
+  rec.Begin("a", 1);     // admitted
+  rec.Instant("x", 2);   // admitted
+  rec.Instant("y", 3);   // admitted
+  rec.Instant("z", 4);   // admitted: buffer now full
+  rec.Begin("b", 5);     // dropped (cap)
+  rec.Instant("w", 6);   // dropped
+  rec.End("b", 7);       // dropped: matches the dropped Begin
+  rec.End("a", 8);       // admitted past the cap: balances admitted Begin
+
+  EXPECT_EQ(rec.size(), 5u);
+  EXPECT_EQ(rec.events().back().ph, 'E');
+  EXPECT_STREQ(rec.events().back().name, "a");
+  EXPECT_EQ(rec.dropped_events(), 3u);
+  EXPECT_EQ(rec.open_spans(), 0u);
+
+  // The retained stream is balanced: depth never goes negative and ends
+  // at zero.
+  long depth = 0;
+  for (const TraceEventRec& e : rec.events()) {
+    if (e.ph == 'B') ++depth;
+    if (e.ph == 'E') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(TelemetryTest, OptionsGateTheRecorder) {
+  TelemetryOptions metrics_only;
+  metrics_only.enabled = true;
+  Telemetry t1(metrics_only);
+  EXPECT_EQ(t1.recorder(), nullptr);
+  t1.Instant("ignored");  // must be a safe no-op
+  EXPECT_TRUE(metrics_only.any());
+
+  TelemetryOptions with_trace;
+  with_trace.enabled = true;
+  with_trace.capture_trace = true;
+  Telemetry t2(with_trace);
+  ASSERT_NE(t2.recorder(), nullptr);
+  t2.Advance(5);
+  t2.Instant("e");
+  EXPECT_EQ(t2.recorder()->events()[0].ts, 5u);
+
+  EXPECT_FALSE(TelemetryOptions{}.any());
+}
+
+TEST(TelemetryTest, ScopedSpanBalancesAndNullIsNoop) {
+  TelemetryOptions opts;
+  opts.enabled = true;
+  opts.capture_trace = true;
+  Telemetry tel(opts);
+  {
+    ScopedSpan outer(&tel, "outer");
+    tel.Advance();
+    ScopedSpan inner(&tel, "inner", {{"n", uint64_t{1}}});
+  }
+  ASSERT_EQ(tel.recorder()->size(), 4u);
+  EXPECT_EQ(tel.recorder()->open_spans(), 0u);
+
+  // Null telemetry: every ScopedSpan operation is a no-op.
+  { ScopedSpan nothing(nullptr, "x"); }
+}
+
+}  // namespace
+}  // namespace odbgc::obs

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Full local gate: plain build + complete test suite, then both
+# Full local gate: plain build + complete test suite + a telemetry
+# smoke (export a trace, validate it with odbgc_tracecheck), then both
 # sanitizer passes (tools/check_asan.sh, tools/check_tsan.sh). Each
 # flavor builds into its own directory so the gates do not disturb an
 # existing working build. Usage: tools/check_all.sh
@@ -11,7 +12,18 @@ cmake -B build-check -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-check -j "$(nproc)"
 ctest --test-dir build-check --output-on-failure
 
+# Telemetry smoke: a real OO7 run must export a valid Chrome trace
+# containing the core span taxonomy, and --version must answer.
+trace_tmp="$(mktemp /tmp/odbgc_trace.XXXXXX.json)"
+trap 'rm -f "$trace_tmp"' EXIT
+./build-check/tools/odbgc_run --version
+./build-check/tools/odbgc_run --workload=oo7 --policy=saga \
+    --saga-frac=0.10 --trace-out="$trace_tmp" > /dev/null
+./build-check/tools/odbgc_tracecheck \
+    --require-span=collection,scan,copy,page_read,page_write,policy_decision \
+    "$trace_tmp"
+
 tools/check_asan.sh build-asan
 tools/check_tsan.sh build-tsan
 
-echo "OK: plain suite + asan + tsan all green"
+echo "OK: plain suite + telemetry smoke + asan + tsan all green"

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Telemetry-overhead gate: the policy hot paths must not pay for the
+# telemetry layer when it is compiled in but idle (no Telemetry object
+# attached). Builds bench/micro_policy_overhead twice — with
+# -DODBGC_TELEMETRY=OFF and with the default ON — runs both, and fails
+# if the *geometric mean* of the per-benchmark median regressions
+# exceeds the budget (2% by default; override: TOLERANCE_PCT=N).
+#
+# Why the geomean and not per-benchmark gates: these functions run in
+# 1.5–20 ns, where code placement alone (function alignment, BTB
+# aliasing) moves any single benchmark by ±10% between otherwise
+# identical binaries — we normalize with -falign-functions=64 and
+# average across the suite so placement luck cancels out while a real
+# across-the-board regression still trips the gate. Per-benchmark
+# deltas are printed for inspection either way.
+#
+# Usage: tools/check_overhead.sh [build-dir-prefix]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+prefix="${1:-build-overhead}"
+tolerance="${TOLERANCE_PCT:-2}"
+repetitions="${REPETITIONS:-7}"
+
+build_and_run() {
+  local dir="$1" telemetry="$2" out="$3"
+  cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release \
+      -DODBGC_TELEMETRY="$telemetry" \
+      -DCMAKE_CXX_FLAGS="-falign-functions=64" > /dev/null
+  cmake --build "$dir" -j "$(nproc)" --target micro_policy_overhead \
+      > /dev/null
+  "./$dir/bench/micro_policy_overhead" \
+      --benchmark_repetitions="$repetitions" \
+      --benchmark_report_aggregates_only=true \
+      --benchmark_format=json > "$out"
+}
+
+off_json="$(mktemp /tmp/overhead_off.XXXXXX.json)"
+on_json="$(mktemp /tmp/overhead_on.XXXXXX.json)"
+trap 'rm -f "$off_json" "$on_json"' EXIT
+
+echo "== building + running micro_policy_overhead (ODBGC_TELEMETRY=OFF)"
+build_and_run "$prefix-off" OFF "$off_json"
+echo "== building + running micro_policy_overhead (ODBGC_TELEMETRY=ON, idle)"
+build_and_run "$prefix-on" ON "$on_json"
+
+python3 - "$off_json" "$on_json" "$tolerance" <<'PY'
+import json
+import math
+import sys
+
+off_path, on_path, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+def medians(path):
+    with open(path) as f:
+        doc = json.load(f)
+    # With aggregate reporting each benchmark yields *_mean/_median/
+    # _stddev entries; keep the median real time.
+    return {b["run_name"]: b["real_time"] for b in doc["benchmarks"]
+            if b.get("aggregate_name") == "median"}
+
+off = medians(off_path)
+on = medians(on_path)
+common = sorted(set(off) & set(on))
+if not common:
+    sys.exit("no common benchmarks between the two runs")
+
+log_ratios = []
+print(f"{'benchmark':<44} {'off (ns)':>10} {'on (ns)':>10} {'delta':>8}")
+for name in common:
+    ratio = on[name] / off[name]
+    log_ratios.append(math.log(ratio))
+    print(f"{name:<44} {off[name]:>10.2f} {on[name]:>10.2f} "
+          f"{(ratio - 1) * 100:>+7.2f}%")
+
+geomean_pct = (math.exp(sum(log_ratios) / len(log_ratios)) - 1) * 100
+print(f"\ngeomean idle-telemetry overhead over {len(common)} benchmarks: "
+      f"{geomean_pct:+.2f}% (budget {tolerance}%)")
+if geomean_pct > tolerance:
+    sys.exit("FAIL: idle-telemetry overhead exceeds the budget")
+print("OK")
+PY

@@ -6,7 +6,11 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "obs/build_info.h"
+#include "obs/perfetto_export.h"
+#include "obs/progress.h"
 #include "sim/report.h"
 #include "sim/simulation.h"
 #include "tools/tool_common.h"
@@ -58,8 +62,18 @@ int main(int argc, char** argv) {
   if (flags.GetBool("help", false)) {
     std::fprintf(stderr,
                  "usage: odbgc_run [--trace=FILE | workload flags] "
-                 "[simulation flags] [--log-csv=FILE] [--json=FILE]\n");
+                 "[simulation flags] [--log-csv=FILE] [--json=FILE]\n"
+                 "  observability: --version  --telemetry  "
+                 "--trace-out=FILE [--no-page-events] "
+                 "[--trace-events-cap=N]  --progress\n");
     tools::PrintCommonUsage();
+    return 0;
+  }
+  if (flags.GetBool("version", false)) {
+    const obs::BuildInfo& b = obs::GetBuildInfo();
+    std::printf("odbgc_run %s%s (%s, telemetry %s)\n", b.git_sha,
+                b.git_dirty ? "-dirty" : "", b.build_type,
+                b.telemetry ? "on" : "off");
     return 0;
   }
 
@@ -83,12 +97,33 @@ int main(int argc, char** argv) {
   }
   std::string csv_path = flags.GetString("log-csv", "");
   std::string json_path = flags.GetString("json", "");
+
+  // Observability flags. --trace-out implies trace capture; --telemetry
+  // alone collects metrics only (cheapest useful configuration).
+  std::string trace_out = flags.GetString("trace-out", "");
+  config.telemetry.enabled =
+      flags.GetBool("telemetry", false) || !trace_out.empty();
+  config.telemetry.capture_trace = !trace_out.empty();
+  config.telemetry.page_events = !flags.GetBool("no-page-events", false);
+  config.telemetry.max_trace_events = static_cast<size_t>(flags.GetInt(
+      "trace-events-cap",
+      static_cast<int64_t>(config.telemetry.max_trace_events)));
+  const bool progress = flags.GetBool("progress", false);
+
   if (!tools::CheckNoUnusedFlags(flags, &error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 2;
   }
+  if (!trace_out.empty() && !obs::GetBuildInfo().telemetry) {
+    std::fprintf(stderr,
+                 "error: --trace-out requires a build with "
+                 "ODBGC_TELEMETRY=ON\n");
+    return 2;
+  }
 
   Simulation sim(config);
+  obs::ProgressReporter reporter(stderr);
+  if (progress) sim.set_progress(&reporter);
   SimResult r = sim.Run(trace);
 
   std::printf("policy            %s\n", sim.policy().name().c_str());
@@ -150,6 +185,27 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("json report       %s\n", json_path.c_str());
+  }
+  if (!trace_out.empty()) {
+    obs::Telemetry* tel = sim.telemetry();
+    if (tel == nullptr || tel->recorder() == nullptr) {
+      std::fprintf(stderr, "error: no trace was recorded\n");
+      return 1;
+    }
+    std::vector<obs::TraceThread> threads{
+        obs::TraceThread{tel->recorder(), 1, "simulation"}};
+    if (!obs::WriteChromeTrace(threads, trace_out)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("chrome trace      %s (%zu events", trace_out.c_str(),
+                tel->recorder()->size());
+    if (tel->recorder()->dropped_events() > 0) {
+      std::printf(", %llu dropped at cap",
+                  static_cast<unsigned long long>(
+                      tel->recorder()->dropped_events()));
+    }
+    std::printf(")\n");
   }
   return 0;
 }

@@ -1,0 +1,175 @@
+// odbgc_tracecheck — validate a Chrome/Perfetto trace_event JSON file
+// produced by odbgc_run --trace-out (or SweepRunner::ExportTrace).
+//
+//   odbgc_tracecheck run.json
+//   odbgc_tracecheck --require-span=collection --require-span=scan t.json
+//
+// Exit 0: the file parses with util/json, is a trace_event object with a
+// traceEvents array, every event carries the required ph/ts/pid/tid
+// fields (plus name for non-metadata events and "s" for instants), and
+// B/E spans balance per tid. Exit 1: any violation (each is printed).
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/flags.h"
+#include "util/json.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using odbgc::Flags;
+  using odbgc::JsonValue;
+
+  Flags flags;
+  std::string error;
+  if (!Flags::Parse(argc, argv, &flags, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  // Repeated --require-span flags collapse to the last value in the
+  // parser; accept a comma-separated list instead.
+  std::string require = flags.GetString("require-span", "");
+  if (flags.GetBool("help", false) || flags.positional().size() != 1) {
+    std::fprintf(stderr,
+                 "usage: odbgc_tracecheck [--require-span=a,b,...] FILE\n");
+    return flags.GetBool("help", false) ? 0 : 2;
+  }
+  const std::string& path = flags.positional()[0];
+
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", path.c_str());
+    return 1;
+  }
+  JsonValue doc;
+  if (!JsonValue::Parse(text, &doc, &error)) {
+    std::fprintf(stderr, "invalid JSON: %s\n", error.c_str());
+    return 1;
+  }
+  if (!doc.is_object()) {
+    std::fprintf(stderr, "top level is not an object\n");
+    return 1;
+  }
+  const JsonValue* events = doc.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "missing traceEvents array\n");
+    return 1;
+  }
+
+  int violations = 0;
+  auto complain = [&](size_t i, const char* what) {
+    if (violations < 20) {
+      std::fprintf(stderr, "event %zu: %s\n", i, what);
+    }
+    ++violations;
+  };
+
+  // Per-tid span stack depth (B/E balance) and the set of span/instant
+  // names seen, for --require-span.
+  std::map<double, long> depth;
+  std::map<std::string, uint64_t> names_seen;
+  const std::vector<JsonValue>& items = events->array_items();
+  for (size_t i = 0; i < items.size(); ++i) {
+    const JsonValue& e = items[i];
+    if (!e.is_object()) {
+      complain(i, "not an object");
+      continue;
+    }
+    const JsonValue* ph = e.Find("ph");
+    const JsonValue* ts = e.Find("ts");
+    const JsonValue* pid = e.Find("pid");
+    const JsonValue* tid = e.Find("tid");
+    if (ph == nullptr || !ph->is_string() ||
+        ph->string_value().size() != 1) {
+      complain(i, "missing or malformed ph");
+      continue;
+    }
+    if (ts == nullptr || !ts->is_number()) complain(i, "missing ts");
+    if (pid == nullptr || !pid->is_number()) complain(i, "missing pid");
+    if (tid == nullptr || !tid->is_number()) complain(i, "missing tid");
+    const char phc = ph->string_value()[0];
+    const JsonValue* name = e.Find("name");
+    if (name == nullptr || !name->is_string()) {
+      complain(i, "missing name");
+      continue;
+    }
+    if (tid == nullptr || !tid->is_number()) continue;
+    switch (phc) {
+      case 'B':
+        ++depth[tid->number_value()];
+        ++names_seen[name->string_value()];
+        break;
+      case 'E':
+        if (--depth[tid->number_value()] < 0) {
+          complain(i, "E without matching B");
+        }
+        break;
+      case 'i': {
+        const JsonValue* s = e.Find("s");
+        if (s == nullptr || !s->is_string()) {
+          complain(i, "instant missing scope \"s\"");
+        }
+        ++names_seen[name->string_value()];
+        break;
+      }
+      case 'C':
+      case 'M':
+        break;
+      default:
+        complain(i, "unknown ph");
+        break;
+    }
+  }
+  for (const auto& [tid, d] : depth) {
+    if (d != 0) {
+      std::fprintf(stderr, "tid %.0f: %ld unclosed span(s)\n", tid, d);
+      ++violations;
+    }
+  }
+
+  // Required span/instant names (comma-separated).
+  size_t pos = 0;
+  while (pos < require.size()) {
+    size_t comma = require.find(',', pos);
+    if (comma == std::string::npos) comma = require.size();
+    std::string want = require.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (want.empty()) continue;
+    if (names_seen.find(want) == names_seen.end()) {
+      std::fprintf(stderr, "required span '%s' never appears\n",
+                   want.c_str());
+      ++violations;
+    }
+  }
+
+  for (const std::string& key : flags.UnusedKeys()) {
+    std::fprintf(stderr, "error: unknown flag --%s\n", key.c_str());
+    return 2;
+  }
+  if (violations > 0) {
+    std::fprintf(stderr, "%d violation(s) in %zu events\n", violations,
+                 items.size());
+    return 1;
+  }
+  std::printf("ok: %zu events, %zu distinct span/instant names\n",
+              items.size(), names_seen.size());
+  return 0;
+}
