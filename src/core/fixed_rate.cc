@@ -1,7 +1,5 @@
 #include "core/fixed_rate.h"
 
-#include <cmath>
-
 #include "util/check.h"
 
 namespace odbgc {

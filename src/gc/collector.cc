@@ -1,8 +1,6 @@
 #include "gc/collector.h"
 
 #include <cstdint>
-#include <deque>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -63,11 +61,23 @@ CollectionReport Collector::Collect(ObjectStore& store,
   }
 
   // Partition roots: global roots in this partition, plus objects with at
-  // least one referencing slot held by an object outside this partition.
-  std::deque<ObjectId> queue;
-  std::unordered_set<ObjectId> marked;
+  // least one referencing slot held by an object outside this partition
+  // (the store's cross-partition in-ref counters answer that in O(1) per
+  // object; the reverse-index lists are never scanned).
+  //
+  // Marking is epoch-stamped against the store's dense mark array: an
+  // object is marked iff its stamp equals this collection's epoch, so no
+  // per-collection set is allocated and clearing is free. copy_order
+  // doubles as the BFS worklist (head cursor), which makes it exactly
+  // the Cheney breadth-first copy order.
+  const uint32_t epoch = store.BeginMarkEpoch();
+  std::vector<uint32_t>& mark_epochs = store.mark_epochs();
+  std::vector<ObjectId> copy_order;
   auto mark = [&](ObjectId id) {
-    if (marked.insert(id).second) queue.push_back(id);
+    if (mark_epochs[id] != epoch) {
+      mark_epochs[id] = epoch;
+      copy_order.push_back(id);
+    }
   };
   for (ObjectId root : store.roots()) {
     if (store.object(root).partition == partition) mark(root);
@@ -81,23 +91,13 @@ CollectionReport Collector::Collect(ObjectStore& store,
   }
   for (ObjectId id : part.objects()) {
     if (!store.Exists(id)) continue;
-    const ObjectRecord& rec = store.object(id);
-    for (ObjectId src : rec.in_refs) {
-      if (store.object(src).partition != partition) {
-        mark(id);
-        break;
-      }
-    }
+    if (store.object(id).xpart_in_refs > 0) mark(id);
   }
 
-  // Cheney breadth-first copy order; pointers leaving the partition are
+  // Cheney breadth-first traversal; pointers leaving the partition are
   // not traversed.
-  std::vector<ObjectId> copy_order;
-  while (!queue.empty()) {
-    ObjectId id = queue.front();
-    queue.pop_front();
-    copy_order.push_back(id);
-    const ObjectRecord& rec = store.object(id);
+  for (size_t head = 0; head < copy_order.size(); ++head) {
+    const ObjectRecord& rec = store.object(copy_order[head]);
     for (ObjectId target : rec.slots) {
       if (target == kNullObject) continue;
       if (store.object(target).partition != partition) continue;
@@ -111,7 +111,7 @@ CollectionReport Collector::Collect(ObjectStore& store,
   std::vector<ObjectId> reclaim;
   uint64_t reclaimed_bytes = 0;
   for (ObjectId id : part.objects()) {
-    if (marked.count(id) != 0) continue;
+    if (mark_epochs[id] == epoch) continue;
     ODBGC_CHECK_MSG(!store.IsRoot(id), "collector reclaiming a root");
     reclaimed_bytes += store.object(id).size;
     reclaim.push_back(id);
@@ -343,7 +343,7 @@ void Collector::FinishCollection(ObjectStore& store, PartitionId partition,
   const uint32_t old_used = part.used();
   part.ResetAfterCollection(std::move(copy_order), new_used);
   part.set_last_collected_stamp(++collections_);
-  store.AdjustUsedBytes(old_used, new_used);
+  store.AdjustUsedBytes(partition, old_used, new_used);
   store.RecordGarbageCollected(reclaimed_bytes, reclaimed_objects);
 }
 

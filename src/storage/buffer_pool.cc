@@ -4,8 +4,24 @@
 
 namespace odbgc {
 
-BufferPool::BufferPool(uint32_t frame_count) : frame_count_(frame_count) {
+BufferPool::BufferPool(uint32_t frame_count,
+                       uint32_t pages_per_partition_hint)
+    : frame_count_(frame_count), pages_hint_(pages_per_partition_hint) {
   ODBGC_CHECK(frame_count > 0);
+  frames_.resize(frame_count);
+  ResetFreeList();
+}
+
+void BufferPool::ResetFreeList() {
+  for (uint32_t i = 0; i < frame_count_; ++i) {
+    frames_[i].next = i + 1 < frame_count_ ? static_cast<int32_t>(i + 1)
+                                           : kNoFrame;
+    frames_[i].prev = kNoFrame;
+  }
+  free_head_ = 0;
+  lru_head_ = kNoFrame;
+  lru_tail_ = kNoFrame;
+  resident_ = 0;
 }
 
 void BufferPool::AttachTelemetry(obs::Telemetry* telemetry) {
@@ -100,91 +116,152 @@ void BufferPool::CountWrite(PageId page, IoContext ctx) {
   RecordTransfer(page, ctx, /*is_write=*/true);
 }
 
+int32_t BufferPool::Lookup(PageId page) const {
+  if (page.partition >= table_.size()) return kNoFrame;
+  const std::vector<int32_t>& row = table_[page.partition];
+  if (page.page_index >= row.size()) return kNoFrame;
+  return row[page.page_index];
+}
+
+void BufferPool::SetSlot(PageId page, int32_t frame) {
+  if (page.partition >= table_.size()) table_.resize(page.partition + 1);
+  std::vector<int32_t>& row = table_[page.partition];
+  if (page.page_index >= row.size()) {
+    size_t grow = page.page_index + 1;
+    if (grow < pages_hint_) grow = pages_hint_;
+    row.resize(grow, kNoFrame);
+  }
+  row[page.page_index] = frame;
+}
+
+void BufferPool::ClearSlot(PageId page) {
+  table_[page.partition][page.page_index] = kNoFrame;
+}
+
+void BufferPool::Unlink(int32_t f) {
+  Frame& frame = frames_[f];
+  if (frame.prev != kNoFrame) {
+    frames_[frame.prev].next = frame.next;
+  } else {
+    lru_head_ = frame.next;
+  }
+  if (frame.next != kNoFrame) {
+    frames_[frame.next].prev = frame.prev;
+  } else {
+    lru_tail_ = frame.prev;
+  }
+}
+
+void BufferPool::PushFront(int32_t f) {
+  Frame& frame = frames_[f];
+  frame.prev = kNoFrame;
+  frame.next = lru_head_;
+  if (lru_head_ != kNoFrame) frames_[lru_head_].prev = f;
+  lru_head_ = f;
+  if (lru_tail_ == kNoFrame) lru_tail_ = f;
+}
+
+void BufferPool::ReleaseFrame(int32_t f) {
+  ClearSlot(frames_[f].page);
+  Unlink(f);
+  frames_[f].next = free_head_;
+  frames_[f].prev = kNoFrame;
+  free_head_ = f;
+  --resident_;
+}
+
 void BufferPool::Access(PageId page, bool dirty, IoContext ctx) {
-  auto it = map_.find(page);
-  if (it != map_.end()) {
+  const int32_t f = Lookup(page);
+  if (f != kNoFrame) {
     ++hits_;
     ODBGC_IF_TEL(tel_) { tc_.hits->Increment(); }
-    // Move to front of LRU; merge dirtiness.
-    it->second->dirty = it->second->dirty || dirty;
-    lru_.splice(lru_.begin(), lru_, it->second);
+    // Move to the MRU position; merge dirtiness.
+    frames_[f].dirty = frames_[f].dirty || dirty;
+    if (lru_head_ != f) {
+      Unlink(f);
+      PushFront(f);
+    }
     return;
   }
   ++misses_;
   ODBGC_IF_TEL(tel_) { tc_.misses->Increment(); }
   CountRead(page, ctx);
-  if (lru_.size() >= frame_count_) {
+  if (resident_ >= frame_count_) {
     // Evict the least recently used unpinned frame.
-    auto victim = lru_.end();
-    for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
-      if (rit->pins == 0) {
-        victim = std::prev(rit.base());
-        break;
-      }
+    int32_t victim = lru_tail_;
+    while (victim != kNoFrame && frames_[victim].pins != 0) {
+      victim = frames_[victim].prev;
     }
-    ODBGC_CHECK_MSG(victim != lru_.end(),
+    ODBGC_CHECK_MSG(victim != kNoFrame,
                     "every buffer frame is pinned; cannot evict");
-    if (victim->dirty) CountWrite(victim->page, ctx);
+    if (frames_[victim].dirty) CountWrite(frames_[victim].page, ctx);
     ODBGC_IF_TEL(tel_) { tc_.evictions->Increment(); }
-    map_.erase(victim->page);
-    lru_.erase(victim);
+    ReleaseFrame(victim);
   }
-  lru_.push_front(Frame{page, dirty, 0});
-  map_[page] = lru_.begin();
+  const int32_t fresh = free_head_;
+  free_head_ = frames_[fresh].next;
+  frames_[fresh].page = page;
+  frames_[fresh].dirty = dirty;
+  frames_[fresh].pins = 0;
+  PushFront(fresh);
+  SetSlot(page, fresh);
+  ++resident_;
 }
 
 void BufferPool::Pin(PageId page) {
-  auto it = map_.find(page);
-  ODBGC_CHECK_MSG(it != map_.end(), "Pin of a non-resident page");
-  if (it->second->pins++ == 0) ++pinned_pages_;
+  const int32_t f = Lookup(page);
+  ODBGC_CHECK_MSG(f != kNoFrame, "Pin of a non-resident page");
+  if (frames_[f].pins++ == 0) ++pinned_pages_;
 }
 
 void BufferPool::Unpin(PageId page) {
-  auto it = map_.find(page);
-  ODBGC_CHECK_MSG(it != map_.end(), "Unpin of a non-resident page");
-  ODBGC_CHECK_MSG(it->second->pins > 0, "Unpin without a matching Pin");
-  if (--it->second->pins == 0) --pinned_pages_;
+  const int32_t f = Lookup(page);
+  ODBGC_CHECK_MSG(f != kNoFrame, "Unpin of a non-resident page");
+  ODBGC_CHECK_MSG(frames_[f].pins > 0, "Unpin without a matching Pin");
+  if (--frames_[f].pins == 0) --pinned_pages_;
 }
 
 void BufferPool::DropPartitionTail(PartitionId partition,
                                    uint32_t first_dropped) {
-  for (auto it = lru_.begin(); it != lru_.end();) {
-    if (it->page.partition == partition &&
-        it->page.page_index >= first_dropped) {
-      ODBGC_CHECK_MSG(it->pins == 0, "dropping a pinned page");
-      map_.erase(it->page);
-      it = lru_.erase(it);
-    } else {
-      ++it;
+  for (int32_t f = lru_head_; f != kNoFrame;) {
+    const int32_t next = frames_[f].next;
+    if (frames_[f].page.partition == partition &&
+        frames_[f].page.page_index >= first_dropped) {
+      ODBGC_CHECK_MSG(frames_[f].pins == 0, "dropping a pinned page");
+      ReleaseFrame(f);
     }
+    f = next;
   }
 }
 
 void BufferPool::FlushAll(IoContext ctx) {
-  for (auto& frame : lru_) {
-    if (frame.dirty) {
-      CountWrite(frame.page, ctx);
-      frame.dirty = false;
+  // MRU -> LRU order (matters: the disk model's sequential/random
+  // classification depends on transfer order).
+  for (int32_t f = lru_head_; f != kNoFrame; f = frames_[f].next) {
+    if (frames_[f].dirty) {
+      CountWrite(frames_[f].page, ctx);
+      frames_[f].dirty = false;
     }
   }
 }
 
 void BufferPool::FlushPartition(PartitionId partition, IoContext ctx) {
-  for (auto& frame : lru_) {
-    if (frame.dirty && frame.page.partition == partition) {
-      CountWrite(frame.page, ctx);
-      frame.dirty = false;
+  for (int32_t f = lru_head_; f != kNoFrame; f = frames_[f].next) {
+    if (frames_[f].dirty && frames_[f].page.partition == partition) {
+      CountWrite(frames_[f].page, ctx);
+      frames_[f].dirty = false;
     }
   }
 }
 
 size_t BufferPool::DiscardAll() {
   size_t dirty = 0;
-  for (const auto& frame : lru_) {
-    if (frame.dirty) ++dirty;
+  for (int32_t f = lru_head_; f != kNoFrame; f = frames_[f].next) {
+    if (frames_[f].dirty) ++dirty;
+    ClearSlot(frames_[f].page);
+    frames_[f].pins = 0;
   }
-  lru_.clear();
-  map_.clear();
+  ResetFreeList();
   pinned_pages_ = 0;
   return dirty;
 }

@@ -3,8 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <vector>
 
 #include "obs/telemetry.h"
 #include "storage/disk_model.h"
@@ -25,9 +24,19 @@ namespace odbgc {
 // physical transfer may additionally fail transiently (retried with
 // backoff, retries charged to the issuing context), fail permanently, or
 // leave / detect a torn page; all outcomes surface in IoStats.
+//
+// Layout: a fixed array of frames linked into an intrusive doubly-linked
+// LRU list (head = most recently used), plus a direct-mapped page table
+// (per-partition rows of frame indices — page ids are dense within a
+// partition). An access is two array lookups and a few pointer swaps; no
+// node allocation, no hashing, no pointer chasing through list nodes.
 class BufferPool {
  public:
-  explicit BufferPool(uint32_t frame_count);
+  // `pages_per_partition_hint`, if non-zero, pre-sizes each page-table
+  // row so steady-state lookups never grow a row. Purely a capacity hint;
+  // pages beyond it still work.
+  explicit BufferPool(uint32_t frame_count,
+                      uint32_t pages_per_partition_hint = 0);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -88,17 +97,22 @@ class BufferPool {
 
   const IoStats& stats() const { return stats_; }
   uint32_t frame_count() const { return frame_count_; }
-  size_t resident_pages() const { return lru_.size(); }
+  size_t resident_pages() const { return resident_; }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
 
  private:
+  static constexpr int32_t kNoFrame = -1;
+
   struct Frame {
-    PageId page;
-    bool dirty;
+    PageId page{0, 0};
     uint32_t pins = 0;
+    bool dirty = false;
+    // Intrusive LRU links (frame indices). A free frame reuses `next` as
+    // its free-list link.
+    int32_t prev = kNoFrame;
+    int32_t next = kNoFrame;
   };
-  using LruList = std::list<Frame>;
 
   void CountRead(PageId page, IoContext ctx);
   void CountWrite(PageId page, IoContext ctx);
@@ -106,7 +120,19 @@ class BufferPool {
   // the fault injector for retries / permanent errors / tears.
   void RecordTransfer(PageId page, IoContext ctx, bool is_write);
 
+  // Frame index of a resident page, or kNoFrame.
+  int32_t Lookup(PageId page) const;
+  // Records `frame` as the residence of `page`, growing the table.
+  void SetSlot(PageId page, int32_t frame);
+  void ClearSlot(PageId page);
+  void Unlink(int32_t f);
+  void PushFront(int32_t f);
+  // Removes a resident frame entirely (table slot, LRU list, free list).
+  void ReleaseFrame(int32_t f);
+  void ResetFreeList();
+
   uint32_t frame_count_;
+  uint32_t pages_hint_;
   DiskModel* disk_ = nullptr;
   FaultInjector* fault_ = nullptr;
   obs::Telemetry* tel_ = nullptr;
@@ -124,8 +150,14 @@ class BufferPool {
     obs::Counter* torn_writes = nullptr;
     obs::Counter* torn_repairs = nullptr;
   } tc_;
-  LruList lru_;  // front = most recently used
-  std::unordered_map<PageId, LruList::iterator, PageIdHash> map_;
+  std::vector<Frame> frames_;
+  int32_t lru_head_ = kNoFrame;  // most recently used
+  int32_t lru_tail_ = kNoFrame;  // least recently used
+  int32_t free_head_ = kNoFrame;
+  uint32_t resident_ = 0;
+  // table_[partition][page_index] = frame index or kNoFrame. Rows grow on
+  // demand (partition page indices are dense and small).
+  std::vector<std::vector<int32_t>> table_;
   IoStats stats_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;

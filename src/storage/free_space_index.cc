@@ -1,0 +1,50 @@
+#include "storage/free_space_index.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace odbgc {
+
+void FreeSpaceIndex::PushPartition(uint32_t free_bytes) {
+  if (count_ == leaves_) {
+    // Double the leaf span and rebuild (amortized O(1) per push).
+    const size_t new_leaves = leaves_ == 0 ? 1 : leaves_ * 2;
+    std::vector<uint32_t> grown(2 * new_leaves, 0);
+    for (size_t p = 0; p < count_; ++p) {
+      grown[new_leaves + p] = tree_[leaves_ + p];
+    }
+    for (size_t i = new_leaves - 1; i >= 1; --i) {
+      grown[i] = std::max(grown[2 * i], grown[2 * i + 1]);
+    }
+    tree_ = std::move(grown);
+    leaves_ = new_leaves;
+  }
+  const size_t p = count_++;
+  Update(static_cast<uint32_t>(p), free_bytes);
+}
+
+void FreeSpaceIndex::Update(uint32_t p, uint32_t free_bytes) {
+  ODBGC_CHECK(p < count_);
+  size_t i = leaves_ + p;
+  tree_[i] = free_bytes;
+  for (i >>= 1; i >= 1; i >>= 1) {
+    const uint32_t top = std::max(tree_[2 * i], tree_[2 * i + 1]);
+    if (tree_[i] == top) break;  // ancestors already correct
+    tree_[i] = top;
+  }
+}
+
+uint32_t FreeSpaceIndex::FirstFit(uint32_t size) const {
+  if (count_ == 0 || tree_[1] < size) return kNotFound;
+  size_t node = 1;
+  while (node < leaves_) {
+    const size_t left = 2 * node;
+    node = tree_[left] >= size ? left : left + 1;
+  }
+  const size_t p = node - leaves_;
+  ODBGC_CHECK(p < count_);  // unused leaves are 0 and size > 0
+  return static_cast<uint32_t>(p);
+}
+
+}  // namespace odbgc

@@ -1,0 +1,51 @@
+#ifndef ODBGC_STORAGE_FREE_SPACE_INDEX_H_
+#define ODBGC_STORAGE_FREE_SPACE_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace odbgc {
+
+// Incrementally maintained first-fit index over partition free space.
+//
+// The store's allocation path needs "the lowest-id partition with at
+// least `size` free bytes" (space freed by collections is reused before
+// the database grows, and placement must stay byte-identical to the
+// historical linear scan). A flat max-segment-tree over the per-partition
+// free bytes answers that in O(log P) — descend left-first, so the
+// leftmost qualifying leaf is found — and costs O(log P) to maintain on
+// every allocation / compaction, instead of the O(P) first-fit scan per
+// allocation it replaces.
+class FreeSpaceIndex {
+ public:
+  static constexpr uint32_t kNotFound = 0xffffffffu;
+
+  // Appends a partition (ids are dense and append-only).
+  void PushPartition(uint32_t free_bytes);
+
+  // Updates partition `p`'s free bytes after an allocation or compaction.
+  void Update(uint32_t p, uint32_t free_bytes);
+
+  // Lowest partition id with free bytes >= size, or kNotFound. Matches
+  // first-fit exactly: the linear scan would return the same partition.
+  uint32_t FirstFit(uint32_t size) const;
+
+  // Indexed free bytes of `p` (the heap verifier cross-checks this
+  // against the partition's actual free_bytes()).
+  uint32_t FreeBytesAt(uint32_t p) const { return tree_[leaves_ + p]; }
+
+  size_t size() const { return count_; }
+
+ private:
+  // 1-based implicit binary tree; leaves occupy [leaves_, 2*leaves_).
+  // Internal nodes hold the max free bytes of their subtree; unused
+  // leaves hold 0 so they can never satisfy a fit (allocations are > 0).
+  std::vector<uint32_t> tree_;
+  size_t leaves_ = 0;
+  size_t count_ = 0;
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_STORAGE_FREE_SPACE_INDEX_H_

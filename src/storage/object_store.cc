@@ -9,7 +9,8 @@ namespace odbgc {
 ObjectStore::ObjectStore(const StoreConfig& config) : config_(config) {
   ODBGC_CHECK(config.page_bytes > 0);
   ODBGC_CHECK(config.partition_bytes % config.page_bytes == 0);
-  pool_ = std::make_unique<BufferPool>(config.buffer_pages);
+  pool_ = std::make_unique<BufferPool>(
+      config.buffer_pages, config.partition_bytes / config.page_bytes);
   if (config.enable_disk_timing) {
     disk_ = std::make_unique<DiskModel>(
         config.disk, config.page_bytes,
@@ -34,16 +35,18 @@ Partition& ObjectStore::PartitionFor(uint32_t size, ObjectId near_hint) {
     return partitions_[alloc_cursor_];
   }
   // First fit over existing partitions (space freed by collections is
-  // reused before the database grows).
-  for (auto& p : partitions_) {
-    if (p.Fits(size)) {
-      alloc_cursor_ = p.id();
-      return p;
-    }
+  // reused before the database grows). The free-space index returns the
+  // lowest-id partition that fits — the same answer the historical O(P)
+  // scan gave — in O(log P).
+  const uint32_t fit = free_index_.FirstFit(size);
+  if (fit != FreeSpaceIndex::kNotFound) {
+    alloc_cursor_ = fit;
+    return partitions_[fit];
   }
   // Grow: allocation never triggers a collection (Section 3.1).
   PartitionId id = static_cast<PartitionId>(partitions_.size());
   partitions_.emplace_back(id, config_.partition_bytes);
+  free_index_.PushPartition(config_.partition_bytes);
   alloc_cursor_ = id;
   return partitions_.back();
 }
@@ -60,8 +63,12 @@ void ObjectStore::CreateObject(ObjectId id, uint32_t size,
   rec.size = size;
   rec.partition = part.id();
   rec.offset = part.Allocate(id, size);
+  free_index_.Update(part.id(), part.free_bytes());
   rec.slots.assign(num_slots, kNullObject);
+  rec.slot_backrefs.assign(num_slots, 0);
   rec.in_refs.clear();
+  rec.in_ref_slots.clear();
+  rec.xpart_in_refs = 0;
   used_bytes_ += size;
   allocated_bytes_total_ += size;
   ++live_objects_;
@@ -80,6 +87,40 @@ void ObjectStore::UpdateObject(ObjectId id) {
   const ObjectRecord& rec = object(id);
   TouchRange(rec.partition, rec.offset, rec.size, /*dirty=*/true,
              IoContext::kApplication);
+}
+
+void ObjectStore::AttachInRef(ObjectId src, uint32_t slot, ObjectId target) {
+  ObjectRecord& s = objects_[src];
+  ObjectRecord& t = objects_[target];
+  s.slot_backrefs[slot] = static_cast<uint32_t>(t.in_refs.size());
+  t.in_refs.push_back(src);
+  t.in_ref_slots.push_back(slot);
+  if (s.partition != t.partition) ++t.xpart_in_refs;
+}
+
+void ObjectStore::DetachInRef(ObjectId src, uint32_t slot, ObjectId target) {
+  ObjectRecord& s = objects_[src];
+  ObjectRecord& t = objects_[target];
+  const uint32_t idx = s.slot_backrefs[slot];
+  ODBGC_CHECK_MSG(idx < t.in_refs.size() && t.in_refs[idx] == src &&
+                      t.in_ref_slots[idx] == slot,
+                  "reverse index out of sync");
+  if (s.partition != t.partition) {
+    ODBGC_CHECK_MSG(t.xpart_in_refs > 0, "reverse index out of sync");
+    --t.xpart_in_refs;
+  }
+  // Swap-erase (in_refs is an unordered multiset); the moved entry's
+  // owning slot is patched to its new position.
+  const uint32_t last = static_cast<uint32_t>(t.in_refs.size()) - 1;
+  if (idx != last) {
+    const ObjectId moved_src = t.in_refs[last];
+    const uint32_t moved_slot = t.in_ref_slots[last];
+    t.in_refs[idx] = moved_src;
+    t.in_ref_slots[idx] = moved_slot;
+    objects_[moved_src].slot_backrefs[moved_slot] = idx;
+  }
+  t.in_refs.pop_back();
+  t.in_ref_slots.pop_back();
 }
 
 PartitionId ObjectStore::WriteRef(ObjectId src, uint32_t slot,
@@ -101,11 +142,7 @@ PartitionId ObjectStore::WriteRef(ObjectId src, uint32_t slot,
   PartitionId overwritten_partition = kInvalidPartition;
   if (old_target != kNullObject) {
     ObjectRecord& ot = mutable_object(old_target);
-    auto it = std::find(ot.in_refs.begin(), ot.in_refs.end(), src);
-    ODBGC_CHECK_MSG(it != ot.in_refs.end(), "reverse index out of sync");
-    // Swap-erase: in_refs is an unordered multiset.
-    *it = ot.in_refs.back();
-    ot.in_refs.pop_back();
+    DetachInRef(src, slot, old_target);
     // The old target became less connected: charge the overwrite to the
     // partition that holds it (feeds FGS and UpdatedPointer selection).
     partitions_[ot.partition].RecordOverwrite();
@@ -113,7 +150,8 @@ PartitionId ObjectStore::WriteRef(ObjectId src, uint32_t slot,
     overwritten_partition = ot.partition;
   }
   if (new_target != kNullObject) {
-    mutable_object(new_target).in_refs.push_back(src);
+    mutable_object(new_target);  // existence check
+    AttachInRef(src, slot, new_target);
   }
   return overwritten_partition;
 }
@@ -190,15 +228,12 @@ void ObjectStore::CommitRecordRead(PartitionId partition, IoContext ctx) {
 
 void ObjectStore::DestroyObject(ObjectId id) {
   ObjectRecord& rec = mutable_object(id);
-  for (ObjectId target : rec.slots) {
+  for (uint32_t slot = 0; slot < rec.slots.size(); ++slot) {
+    const ObjectId target = rec.slots[slot];
     if (target == kNullObject) continue;
     // The target may itself have been destroyed earlier in this sweep.
     if (!Exists(target)) continue;
-    ObjectRecord& t = objects_[target];
-    auto it = std::find(t.in_refs.begin(), t.in_refs.end(), id);
-    ODBGC_CHECK_MSG(it != t.in_refs.end(), "reverse index out of sync");
-    *it = t.in_refs.back();
-    t.in_refs.pop_back();
+    DetachInRef(id, slot, target);
   }
   // Note: used_bytes_ is not reduced here. The object's bytes still occupy
   // from-space until the collector compacts the partition and calls
@@ -207,17 +242,36 @@ void ObjectStore::DestroyObject(ObjectId id) {
   rec.exists = false;
   rec.slots.clear();
   rec.slots.shrink_to_fit();
+  rec.slot_backrefs.clear();
+  rec.slot_backrefs.shrink_to_fit();
   rec.in_refs.clear();
   rec.in_refs.shrink_to_fit();
+  rec.in_ref_slots.clear();
+  rec.in_ref_slots.shrink_to_fit();
+  rec.xpart_in_refs = 0;
 }
 
 void ObjectStore::Relocate(ObjectId id, uint32_t new_offset) {
   mutable_object(id).offset = new_offset;
 }
 
-void ObjectStore::AdjustUsedBytes(uint32_t old_used, uint32_t new_used) {
+void ObjectStore::AdjustUsedBytes(PartitionId partition, uint32_t old_used,
+                                  uint32_t new_used) {
   ODBGC_CHECK(used_bytes_ + new_used >= old_used);
   used_bytes_ = used_bytes_ - old_used + new_used;
+  ODBGC_CHECK(partition < partitions_.size());
+  free_index_.Update(partition, partitions_[partition].free_bytes());
+}
+
+uint32_t ObjectStore::BeginMarkEpoch() {
+  if (++mark_epoch_ == 0) {
+    // Epoch counter wrapped (once per 2^32 collections): stale stamps
+    // from the previous era could alias, so clear the array.
+    std::fill(mark_epochs_.begin(), mark_epochs_.end(), 0u);
+    mark_epoch_ = 1;
+  }
+  mark_epochs_.resize(objects_.size(), 0u);
+  return mark_epoch_;
 }
 
 }  // namespace odbgc

@@ -8,6 +8,7 @@
 #include "storage/buffer_pool.h"
 #include "storage/disk_model.h"
 #include "storage/fault_injector.h"
+#include "storage/free_space_index.h"
 #include "storage/partition.h"
 #include "storage/types.h"
 
@@ -17,6 +18,14 @@ namespace odbgc {
 // `in_refs` is the reverse index (one entry per referencing slot,
 // duplicates allowed) that the collector uses to find partition roots and
 // to account for cross-partition pointer updates after relocation.
+//
+// The reverse index is maintained in O(1) per pointer write: every slot
+// remembers where its entry sits in the target's `in_refs`
+// (`slot_backrefs`), every `in_refs` entry remembers which slot of the
+// source it came from (`in_ref_slots`, needed to patch the moved entry's
+// back-pointer on a swap-erase), and `xpart_in_refs` counts the entries
+// whose source lives in another partition so partition-root discovery
+// never has to scan the lists.
 struct ObjectRecord {
   bool exists = false;
   uint32_t size = 0;
@@ -24,6 +33,13 @@ struct ObjectRecord {
   uint32_t offset = 0;
   std::vector<ObjectId> slots;
   std::vector<ObjectId> in_refs;
+  // Parallel to in_refs: the slot index in the referencing object.
+  std::vector<uint32_t> in_ref_slots;
+  // Parallel to slots: index of this slot's entry in the target's
+  // in_refs (meaningless for null slots).
+  std::vector<uint32_t> slot_backrefs;
+  // Number of in_refs entries whose source is in a different partition.
+  uint32_t xpart_in_refs = 0;
 };
 
 struct StoreConfig {
@@ -171,17 +187,41 @@ class ObjectStore {
   // Moves `id` to a new offset within its partition (compaction).
   void Relocate(ObjectId id, uint32_t new_offset);
 
-  // Adjusts the cached used-bytes total after a compaction changed a
-  // partition's used size from `old_used` to `new_used`.
-  void AdjustUsedBytes(uint32_t old_used, uint32_t new_used);
+  // Adjusts the cached used-bytes total (and the allocation free-space
+  // index) after a compaction changed `partition`'s used size from
+  // `old_used` to `new_used`. Call after the partition's own bookkeeping
+  // has been updated.
+  void AdjustUsedBytes(PartitionId partition, uint32_t old_used,
+                       uint32_t new_used);
 
   // Highest object id ever created (for iteration); ids are dense-ish.
   ObjectId max_object_id() const {
     return static_cast<ObjectId>(objects_.size() - 1);
   }
 
+  // --- Marking support (epoch-stamped mark array) ---
+
+  // Opens a marking epoch: bumps the epoch stamp (handling wraparound)
+  // and sizes the mark array to cover every object id. An object is
+  // marked iff mark_epochs()[id] == the returned epoch, so collections
+  // reuse one dense array instead of building a fresh set each time.
+  uint32_t BeginMarkEpoch();
+  std::vector<uint32_t>& mark_epochs() { return mark_epochs_; }
+
+  // Free bytes of `partition` according to the allocation index (the
+  // heap verifier cross-checks this against the partition itself).
+  uint32_t indexed_free_bytes(PartitionId p) const {
+    return free_index_.FreeBytesAt(p);
+  }
+
  private:
   Partition& PartitionFor(uint32_t size, ObjectId near_hint);
+
+  // O(1) reverse-index maintenance: links/unlinks the (src, slot) ->
+  // target edge, keeping back-pointers and the cross-partition counters
+  // in sync. DetachInRef patches the swap-erased entry's back-pointer.
+  void AttachInRef(ObjectId src, uint32_t slot, ObjectId target);
+  void DetachInRef(ObjectId src, uint32_t slot, ObjectId target);
 
   StoreConfig config_;
   std::vector<Partition> partitions_;
@@ -192,6 +232,10 @@ class ObjectStore {
   std::unique_ptr<DiskModel> disk_;
   std::unique_ptr<FaultInjector> fault_;
   PartitionId alloc_cursor_ = 0;  // partition last allocated from
+  FreeSpaceIndex free_index_;     // first-fit over partition free bytes
+
+  std::vector<uint32_t> mark_epochs_;  // dense mark array (collector)
+  uint32_t mark_epoch_ = 0;
 
   uint64_t used_bytes_ = 0;
   uint64_t live_objects_ = 0;

@@ -83,6 +83,10 @@ VerifierReport VerifyHeap(const ObjectStore& store,
       sink.Add("partition %u used %u != resident bytes %" PRIu64, part.id(),
                part.used(), packed);
     }
+    if (store.indexed_free_bytes(part.id()) != part.free_bytes()) {
+      sink.Add("partition %u free-space index %u != free bytes %u", part.id(),
+               store.indexed_free_bytes(part.id()), part.free_bytes());
+    }
   }
 
   // 2..4. Per-object checks and the forward half of the remembered-set
@@ -139,6 +143,48 @@ VerifierReport VerifyHeap(const ObjectStore& store,
       sink.Add("missing in_refs entry %u -> %u (x%" PRId64 ")",
                static_cast<ObjectId>(key >> 32),
                static_cast<ObjectId>(key & 0xffffffffu), count);
+    }
+  }
+
+  // 4b. O(1)-maintenance indices: parallel-array sizes, slot back-pointers
+  // (each non-null slot's backref must address its own entry in the
+  // target's in_refs), and the cross-partition in-ref counters the
+  // collector's root discovery depends on. All indexing is guarded so a
+  // desynced size is reported, not crashed on.
+  for (ObjectId id = 1; id <= store.max_object_id(); ++id) {
+    if (!store.Exists(id)) continue;
+    const ObjectRecord& rec = store.object(id);
+    if (rec.in_ref_slots.size() != rec.in_refs.size()) {
+      sink.Add("object %u in_ref_slots size %zu != in_refs size %zu", id,
+               rec.in_ref_slots.size(), rec.in_refs.size());
+    }
+    if (rec.slot_backrefs.size() != rec.slots.size()) {
+      sink.Add("object %u slot_backrefs size %zu != slots size %zu", id,
+               rec.slot_backrefs.size(), rec.slots.size());
+    }
+    const size_t slot_n = rec.slots.size() < rec.slot_backrefs.size()
+                              ? rec.slots.size()
+                              : rec.slot_backrefs.size();
+    for (size_t j = 0; j < slot_n; ++j) {
+      const ObjectId target = rec.slots[j];
+      if (target == kNullObject || !store.Exists(target)) continue;
+      const ObjectRecord& t = store.object(target);
+      const uint32_t b = rec.slot_backrefs[j];
+      if (b >= t.in_refs.size() || b >= t.in_ref_slots.size() ||
+          t.in_refs[b] != id || t.in_ref_slots[b] != j) {
+        sink.Add("object %u slot %zu backref %u does not index its entry in "
+                 "target %u",
+                 id, j, b, target);
+      }
+    }
+    uint32_t xpart = 0;
+    for (ObjectId src : rec.in_refs) {
+      if (!store.Exists(src)) continue;
+      if (store.object(src).partition != rec.partition) ++xpart;
+    }
+    if (xpart != rec.xpart_in_refs) {
+      sink.Add("object %u xpart_in_refs %u != recount %u", id,
+               rec.xpart_in_refs, xpart);
     }
   }
 

@@ -48,6 +48,11 @@ struct VerifierReport {
 //  4. Remembered-set completeness — the reverse index (in_refs) is
 //     multiset-exact against the forward slots: no missing entry (a lost
 //     external root for a future collection) and no stale entry.
+//  4b. O(1)-maintenance index consistency — in_ref_slots / slot_backrefs
+//     mirror in_refs / slots entry-for-entry (every non-null slot's
+//     back-pointer addresses its own in_refs entry), each object's
+//     xpart_in_refs matches a recount, and the allocation free-space
+//     index agrees with every partition's actual free bytes.
 //  5. Root validity — every root exists.
 //  6. Reachability agreement (optional) — a full ground-truth scan finds
 //     exactly the garbage the marker accounting claims.

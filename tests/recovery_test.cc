@@ -200,12 +200,15 @@ TEST_F(CrashRecoveryTest, VerifierFlagsInjectedCorruption) {
 
   // A missing reverse-index entry (lost external root).
   auto& in = store_.mutable_object(2).in_refs;
-  in.erase(std::find(in.begin(), in.end(), 5u));
+  const auto pos = std::find(in.begin(), in.end(), 5u) - in.begin();
+  in.erase(in.begin() + pos);
   VerifierReport missing = VerifyHeap(store_);
   EXPECT_FALSE(missing.ok());
   EXPECT_NE(missing.Summary().find("missing in_refs"), std::string::npos)
       << missing.Summary();
-  in.push_back(5);
+  // Positional reinsert: in_refs must stay aligned with in_ref_slots and
+  // the sources' slot_backrefs, which the verifier also cross-checks.
+  in.insert(in.begin() + pos, 5);
   ExpectHeapClean();
 
   // An object stranded at a stale from-space position.

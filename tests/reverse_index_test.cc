@@ -1,0 +1,156 @@
+// Randomized churn over the store's O(1) reverse-index machinery:
+// create / rewrite / unlink / collect, cross-validating in_refs, the
+// slot back-pointers, the cross-partition in-ref counters, and the
+// allocation free-space index with the heap verifier at every
+// collection. A desynced index must also die loudly on the hot path,
+// which the death tests pin down.
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "gc/collector.h"
+#include "storage/object_store.h"
+#include "storage/verifier.h"
+#include "util/random.h"
+
+namespace odbgc {
+namespace {
+
+StoreConfig SmallConfig() {
+  StoreConfig config;
+  config.partition_bytes = 8 * 1024;
+  config.page_bytes = 1024;
+  config.buffer_pages = 12;
+  return config;
+}
+
+VerifierOptions BareOptions() {
+  VerifierOptions options;
+  // The churn test does not maintain ground-truth garbage markers.
+  options.check_reachability_agreement = false;
+  return options;
+}
+
+TEST(ReverseIndexChurnTest, RandomChurnStaysConsistentAcrossCollections) {
+  ObjectStore store(SmallConfig());
+  Collector collector;
+  Rng rng(0xc0ffee);
+
+  std::vector<ObjectId> live;
+  ObjectId next_id = 1;
+  constexpr size_t kRoots = 8;
+  constexpr uint64_t kOps = 6000;
+  constexpr uint64_t kCollectEvery = 250;
+
+  // Seed a rooted core so collections have survivors.
+  for (size_t i = 0; i < kRoots; ++i) {
+    const ObjectId id = next_id++;
+    store.CreateObject(id, 64 + 8 * static_cast<uint32_t>(i), 4);
+    store.AddRoot(id);
+    live.push_back(id);
+  }
+
+  uint64_t collections = 0;
+  for (uint64_t op = 0; op < kOps; ++op) {
+    if (rng.NextBool(0.3)) {
+      // Create, sometimes clustered near an existing object.
+      const ObjectId id = next_id++;
+      const uint32_t size = 32 + static_cast<uint32_t>(rng.NextBelow(225));
+      const uint32_t slots = static_cast<uint32_t>(rng.NextBelow(5));
+      const ObjectId hint = rng.NextBool(0.5)
+                                ? live[rng.NextBelow(live.size())]
+                                : kNullObject;
+      store.CreateObject(id, size, slots, hint);
+      live.push_back(id);
+      // Usually link the newcomer in so part of the graph stays reachable.
+      if (rng.NextBool(0.8)) {
+        const ObjectId parent = live[rng.NextBelow(live.size())];
+        const uint32_t nslots =
+            static_cast<uint32_t>(store.object(parent).slots.size());
+        if (nslots > 0) {
+          store.WriteRef(parent, static_cast<uint32_t>(rng.NextBelow(nslots)),
+                         id);
+        }
+      }
+    } else {
+      // Rewrite a random slot: retarget (builds shared structure and
+      // cross-partition edges) or null out (creates garbage).
+      const ObjectId src = live[rng.NextBelow(live.size())];
+      const uint32_t nslots =
+          static_cast<uint32_t>(store.object(src).slots.size());
+      if (nslots == 0) continue;
+      const uint32_t slot = static_cast<uint32_t>(rng.NextBelow(nslots));
+      const ObjectId target =
+          rng.NextBool(0.15) ? kNullObject : live[rng.NextBelow(live.size())];
+      store.WriteRef(src, slot, target);
+    }
+
+    if ((op + 1) % kCollectEvery == 0) {
+      const PartitionId p =
+          static_cast<PartitionId>(rng.NextBelow(store.partition_count()));
+      collector.Collect(store, p);
+      ++collections;
+      VerifierReport vr = VerifyHeap(store, BareOptions());
+      ASSERT_TRUE(vr.ok()) << "after collection " << collections << ": "
+                           << vr.Summary();
+      // Drop collected ids from the candidate pool.
+      std::vector<ObjectId> survivors;
+      survivors.reserve(live.size());
+      for (ObjectId id : live) {
+        if (store.Exists(id)) survivors.push_back(id);
+      }
+      live.swap(survivors);
+    }
+  }
+
+  // Final sweep over every partition, verifying after each one.
+  for (PartitionId p = 0; p < store.partition_count(); ++p) {
+    collector.Collect(store, p);
+    VerifierReport vr = VerifyHeap(store, BareOptions());
+    ASSERT_TRUE(vr.ok()) << "final sweep partition " << p << ": "
+                         << vr.Summary();
+  }
+  EXPECT_GT(collections, 10u);
+  EXPECT_GT(store.partition_count(), 4u);
+  EXPECT_GT(store.pointer_overwrites(), 100u);
+}
+
+TEST(ReverseIndexChurnTest, VerifierFlagsDesyncedIndices) {
+  ObjectStore store(SmallConfig());
+  store.CreateObject(1, 64, 2);
+  store.CreateObject(2, 64, 0);
+  store.WriteRef(1, 0, 2);
+  ASSERT_TRUE(VerifyHeap(store, BareOptions()).ok());
+
+  // A miscounted cross-partition counter.
+  ++store.mutable_object(2).xpart_in_refs;
+  VerifierReport xpart = VerifyHeap(store, BareOptions());
+  EXPECT_FALSE(xpart.ok());
+  EXPECT_NE(xpart.Summary().find("xpart_in_refs"), std::string::npos)
+      << xpart.Summary();
+  --store.mutable_object(2).xpart_in_refs;
+  ASSERT_TRUE(VerifyHeap(store, BareOptions()).ok());
+
+  // A back-pointer that no longer addresses its own entry.
+  store.mutable_object(2).in_ref_slots[0] = 1;
+  VerifierReport backref = VerifyHeap(store, BareOptions());
+  EXPECT_FALSE(backref.ok());
+  EXPECT_NE(backref.Summary().find("backref"), std::string::npos)
+      << backref.Summary();
+  store.mutable_object(2).in_ref_slots[0] = 0;
+  ASSERT_TRUE(VerifyHeap(store, BareOptions()).ok());
+}
+
+TEST(ReverseIndexDeathTest, DesyncedBackrefDiesOnOverwrite) {
+  ObjectStore store(SmallConfig());
+  store.CreateObject(1, 64, 2);
+  store.CreateObject(2, 64, 0);
+  store.WriteRef(1, 0, 2);
+  // Corrupt the slot's back-pointer; the O(1) detach must refuse to
+  // swap-erase through it.
+  store.mutable_object(1).slot_backrefs[0] = 7;
+  EXPECT_DEATH(store.WriteRef(1, 0, kNullObject), "reverse index out of sync");
+}
+
+}  // namespace
+}  // namespace odbgc
