@@ -28,6 +28,9 @@ class AllocationRatePolicy : public RatePolicy {
 
   uint64_t bytes_per_collection() const { return interval_; }
 
+  void SaveState(SnapshotWriter& w) const override { w.U64(next_threshold_); }
+  void RestoreState(SnapshotReader& r) override { next_threshold_ = r.U64(); }
+
  private:
   uint64_t interval_;
   uint64_t next_threshold_;
@@ -46,6 +49,9 @@ class AllocationTriggeredPolicy : public RatePolicy {
   void OnCollection(const CollectionOutcome& outcome,
                     const SimClock& clock) override;
   std::string name() const override { return "AllocationTriggered"; }
+
+  void SaveState(SnapshotWriter& w) const override { w.U64(partitions_seen_); }
+  void RestoreState(SnapshotReader& r) override { partitions_seen_ = r.U64(); }
 
  private:
   uint64_t partitions_seen_ = 0;

@@ -80,6 +80,36 @@ void CoupledIoPolicy::RecordDecision(double scale, double delta_app_io) {
       ->Set(last_effective_frac_);
 }
 
+void CoupledIoPolicy::SaveState(SnapshotWriter& w) const {
+  w.U64(history_.size());
+  for (const PeriodRecord& p : history_) {
+    w.U64(p.app_io);
+    w.U64(p.gc_io);
+  }
+  w.U64(hist_app_io_sum_);
+  w.U64(hist_gc_io_sum_);
+  w.U64(app_io_at_last_collection_);
+  w.U64(next_app_io_threshold_);
+  w.F64(last_effective_frac_);
+  estimator_->SaveState(w);
+}
+
+void CoupledIoPolicy::RestoreState(SnapshotReader& r) {
+  const uint64_t n = r.U64();
+  history_.clear();
+  for (uint64_t i = 0; i < n && r.ok(); ++i) {
+    const uint64_t app_io = r.U64();
+    const uint64_t gc_io = r.U64();
+    history_.push_back(PeriodRecord{app_io, gc_io});
+  }
+  hist_app_io_sum_ = r.U64();
+  hist_gc_io_sum_ = r.U64();
+  app_io_at_last_collection_ = r.U64();
+  next_app_io_threshold_ = r.U64();
+  last_effective_frac_ = r.F64();
+  estimator_->RestoreState(r);
+}
+
 std::string CoupledIoPolicy::name() const {
   char buf[96];
   std::snprintf(buf, sizeof(buf), "CoupledIO(frac=%.3f,ref=%.3f,%s)",

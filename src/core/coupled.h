@@ -51,6 +51,10 @@ class CoupledIoPolicy : public RatePolicy {
   double last_effective_frac() const { return last_effective_frac_; }
   uint64_t next_app_io_threshold() const { return next_app_io_threshold_; }
 
+  // Serializes the control state and the owned estimator's state.
+  void SaveState(SnapshotWriter& w) const override;
+  void RestoreState(SnapshotReader& r) override;
+
  private:
   // Out of line so OnCollection's hot path pays only a predicted-not-
   // taken branch, not the trace-argument stack frame.

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "util/snapshot.h"
+
 namespace odbgc {
 
 // What an estimator learns from a finished collection (Section 2.4's
@@ -42,6 +44,11 @@ class GarbageEstimator {
   virtual void OnCollection(const EstimatorCollectionInfo& info) = 0;
 
   virtual std::string name() const = 0;
+
+  // Checkpoint hooks (sim/checkpoint.h): mutable estimation state only
+  // (history factors are constructor parameters and travel with config).
+  virtual void SaveState(SnapshotWriter& w) const = 0;
+  virtual void RestoreState(SnapshotReader& r) = 0;
 };
 
 // Perfect estimator: returns the exact garbage content. This is the
@@ -57,6 +64,9 @@ class OracleEstimator : public GarbageEstimator {
   // The oracle may also be fed continuously (e.g. per event) by a host
   // that tracks exact garbage.
   void SetGroundTruth(double bytes) { ground_truth_ = bytes; }
+
+  void SaveState(SnapshotWriter& w) const override { w.F64(ground_truth_); }
+  void RestoreState(SnapshotReader& r) override { ground_truth_ = r.F64(); }
 
  private:
   double ground_truth_ = 0.0;
@@ -83,6 +93,9 @@ class CgsHbEstimator : public GarbageEstimator {
   double history_factor() const { return history_factor_; }
   double smoothed_reclaimed() const { return smoothed_reclaimed_; }
 
+  void SaveState(SnapshotWriter& w) const override;
+  void RestoreState(SnapshotReader& r) override;
+
  private:
   double history_factor_;
   double smoothed_reclaimed_ = 0.0;
@@ -102,6 +115,9 @@ class CgsCbEstimator : public GarbageEstimator {
   void OnPointerOverwrite(uint32_t partition) override;
   void OnCollection(const EstimatorCollectionInfo& info) override;
   std::string name() const override { return "CGS/CB"; }
+
+  void SaveState(SnapshotWriter& w) const override;
+  void RestoreState(SnapshotReader& r) override;
 
  private:
   uint64_t last_reclaimed_ = 0;
@@ -126,6 +142,9 @@ class FgsHbEstimator : public GarbageEstimator {
   double history_factor() const { return history_factor_; }
   double gppo_history() const { return gppo_history_; }
   uint64_t outstanding_overwrites() const { return outstanding_overwrites_; }
+
+  void SaveState(SnapshotWriter& w) const override;
+  void RestoreState(SnapshotReader& r) override;
 
  private:
   double history_factor_;

@@ -21,6 +21,9 @@ class FixedRatePolicy : public RatePolicy {
 
   uint64_t overwrites_per_collection() const { return interval_; }
 
+  void SaveState(SnapshotWriter& w) const override { w.U64(next_threshold_); }
+  void RestoreState(SnapshotReader& r) override { next_threshold_ = r.U64(); }
+
  private:
   uint64_t interval_;
   uint64_t next_threshold_;

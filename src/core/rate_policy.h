@@ -5,6 +5,7 @@
 
 #include "core/clock.h"
 #include "obs/telemetry.h"
+#include "util/snapshot.h"
 
 namespace odbgc {
 
@@ -45,6 +46,13 @@ class RatePolicy {
   }
 
   virtual std::string name() const = 0;
+
+  // Checkpoint hooks (sim/checkpoint.h). Implementations serialize their
+  // mutable scheduling state — thresholds, histories, smoothed slopes —
+  // but not constructor parameters (those travel with SimConfig). The
+  // default is for stateless policies.
+  virtual void SaveState(SnapshotWriter& /*w*/) const {}
+  virtual void RestoreState(SnapshotReader& /*r*/) {}
 
   // Attaches per-run telemetry (not owned; may be null). Policies record a
   // `policy_decision` instant from OnCollection — the cold path only;

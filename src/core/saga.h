@@ -66,6 +66,10 @@ class SagaPolicy : public RatePolicy {
   uint64_t dt_min_clamps() const { return dt_min_clamps_; }
   uint64_t dt_max_clamps() const { return dt_max_clamps_; }
 
+  // Serializes the control state and the owned estimator's state.
+  void SaveState(SnapshotWriter& w) const override;
+  void RestoreState(SnapshotReader& r) override;
+
  private:
   // Out of line so OnCollection's hot path pays only a predicted-not-
   // taken branch, not the trace-argument stack frame.

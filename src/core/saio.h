@@ -57,6 +57,9 @@ class SaioPolicy : public RatePolicy {
   uint64_t next_app_io_threshold() const { return next_app_io_threshold_; }
   uint64_t last_delta_app_io() const { return last_delta_app_io_; }
 
+  void SaveState(SnapshotWriter& w) const override;
+  void RestoreState(SnapshotReader& r) override;
+
  private:
   struct PeriodRecord {
     uint64_t app_io;  // application I/O during the period before a GC

@@ -21,6 +21,34 @@ void Collector::AttachTelemetry(obs::Telemetry* telemetry) {
   ti_.live = m.GetHistogram("gc.collection_live_bytes");
 }
 
+void Collector::SaveState(SnapshotWriter& w) const {
+  ODBGC_CHECK_MSG(!journal_.pending,
+                  "checkpoint with a pending GC recovery");
+  w.Tag("COLL");
+  w.U64(collections_);
+  w.U64(attempts_);
+  w.U64(crashes_);
+  w.Bool(commit_protocol_);
+  w.U8(static_cast<uint8_t>(crash_point_));
+  w.U64(crash_attempt_);
+}
+
+void Collector::RestoreState(SnapshotReader& r) {
+  r.Tag("COLL");
+  collections_ = r.U64();
+  attempts_ = r.U64();
+  crashes_ = r.U64();
+  commit_protocol_ = r.Bool();
+  const uint8_t point = r.U8();
+  if (point > static_cast<uint8_t>(CrashPoint::kMidRememberedSet)) {
+    r.MarkMalformed("bad crash point in collector state");
+    return;
+  }
+  crash_point_ = static_cast<CrashPoint>(point);
+  crash_attempt_ = r.U64();
+  journal_ = Journal();
+}
+
 void Collector::ScheduleCrash(CrashPoint point, uint64_t attempt) {
   ODBGC_CHECK(point != CrashPoint::kNone);
   crash_point_ = point;

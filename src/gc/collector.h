@@ -8,6 +8,7 @@
 #include "storage/fault_injector.h"
 #include "storage/object_store.h"
 #include "storage/types.h"
+#include "util/snapshot.h"
 
 namespace odbgc {
 
@@ -117,6 +118,13 @@ class Collector {
 
   uint64_t collections_performed() const { return collections_; }
   uint64_t crashes_injected() const { return crashes_; }
+
+  // Checkpoint hooks. Checkpoints are taken between trace events, never
+  // inside a collection, so the journal must be quiescent (no pending
+  // recovery) — CHECKed on save. The crash schedule is part of the
+  // persisted state: a resumed run keeps an unfired schedule.
+  void SaveState(SnapshotWriter& w) const;
+  void RestoreState(SnapshotReader& r);
 
   // Attaches per-run telemetry (not owned; may be null). A collection
   // records a `collection` span with `scan` / `copy` / `remembered_set`

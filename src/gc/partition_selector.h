@@ -8,6 +8,7 @@
 #include "storage/reachability.h"
 #include "storage/types.h"
 #include "util/random.h"
+#include "util/snapshot.h"
 
 namespace odbgc {
 
@@ -20,6 +21,11 @@ class PartitionSelector {
   virtual ~PartitionSelector() = default;
   virtual PartitionId Select(const ObjectStore& store) = 0;
   virtual std::string name() const = 0;
+
+  // Checkpoint hooks. Stateless selectors (the default) save nothing;
+  // stateful ones (Random's RNG stream, RoundRobin's cursor) override.
+  virtual void SaveState(SnapshotWriter& /*w*/) const {}
+  virtual void RestoreState(SnapshotReader& /*r*/) {}
 };
 
 // UPDATEDPOINTER [CWZ94]: collect the partition with the most pointer
@@ -38,6 +44,14 @@ class RandomSelector : public PartitionSelector {
   explicit RandomSelector(uint64_t seed) : rng_(seed) {}
   PartitionId Select(const ObjectStore& store) override;
   std::string name() const override { return "Random"; }
+  void SaveState(SnapshotWriter& w) const override {
+    for (uint64_t s : rng_.state()) w.U64(s);
+  }
+  void RestoreState(SnapshotReader& r) override {
+    std::array<uint64_t, 4> s;
+    for (uint64_t& x : s) x = r.U64();
+    rng_.set_state(s);
+  }
 
  private:
   Rng rng_;
@@ -48,6 +62,8 @@ class RoundRobinSelector : public PartitionSelector {
  public:
   PartitionId Select(const ObjectStore& store) override;
   std::string name() const override { return "RoundRobin"; }
+  void SaveState(SnapshotWriter& w) const override { w.U32(next_); }
+  void RestoreState(SnapshotReader& r) override { next_ = r.U32(); }
 
  private:
   PartitionId next_ = 0;

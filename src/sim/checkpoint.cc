@@ -1,0 +1,517 @@
+#include "sim/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "sim/simulation.h"
+#include "util/snapshot.h"
+
+namespace odbgc {
+
+namespace {
+
+constexpr char kMagic[8] = {'O', 'D', 'B', 'G', 'C', 'K', 'P', 'T'};
+constexpr size_t kHeaderSize = 48;
+constexpr size_t kFooterSize = 8;
+
+// ---------------------------------------------------------------------
+// Simulation state serialization helpers.
+
+void SaveClock(SnapshotWriter& w, const SimClock& c) {
+  w.U64(c.app_io);
+  w.U64(c.gc_io);
+  w.U64(c.pointer_overwrites);
+  w.U64(c.events);
+  w.U64(c.collections);
+  w.U64(c.db_used_bytes);
+  w.U64(c.bytes_allocated);
+  w.U64(c.partitions);
+}
+
+SimClock LoadClock(SnapshotReader& r) {
+  SimClock c;
+  c.app_io = r.U64();
+  c.gc_io = r.U64();
+  c.pointer_overwrites = r.U64();
+  c.events = r.U64();
+  c.collections = r.U64();
+  c.db_used_bytes = r.U64();
+  c.bytes_allocated = r.U64();
+  c.partitions = r.U64();
+  return c;
+}
+
+void SaveStats(SnapshotWriter& w, const RunningStats& s) {
+  const RunningStats::Raw raw = s.raw();
+  w.U64(raw.count);
+  w.F64(raw.mean);
+  w.F64(raw.m2);
+  w.F64(raw.min);
+  w.F64(raw.max);
+}
+
+RunningStats LoadStats(SnapshotReader& r) {
+  RunningStats::Raw raw;
+  raw.count = static_cast<size_t>(r.U64());
+  raw.mean = r.F64();
+  raw.m2 = r.F64();
+  raw.min = r.F64();
+  raw.max = r.F64();
+  return RunningStats::FromRaw(raw);
+}
+
+Phase LoadPhase(SnapshotReader& r) {
+  const uint8_t v = r.U8();
+  if (v > static_cast<uint8_t>(Phase::kReorg2)) {
+    r.MarkMalformed("bad phase value in snapshot");
+    return Phase::kNone;
+  }
+  return static_cast<Phase>(v);
+}
+
+void SaveCollectionRecord(SnapshotWriter& w, const CollectionRecord& rec) {
+  w.U64(rec.index);
+  w.U64(rec.overwrite_time);
+  w.U64(rec.app_io);
+  w.U64(rec.gc_io_delta);
+  w.U32(rec.partition);
+  w.U64(rec.bytes_reclaimed);
+  w.U64(rec.bytes_live);
+  w.U64(rec.db_used_bytes);
+  w.F64(rec.actual_garbage_pct);
+  w.F64(rec.estimated_garbage_pct);
+  w.F64(rec.target_garbage_pct);
+  w.U64(rec.next_dt);
+  w.U8(static_cast<uint8_t>(rec.phase));
+}
+
+CollectionRecord LoadCollectionRecord(SnapshotReader& r) {
+  CollectionRecord rec;
+  rec.index = r.U64();
+  rec.overwrite_time = r.U64();
+  rec.app_io = r.U64();
+  rec.gc_io_delta = r.U64();
+  rec.partition = r.U32();
+  rec.bytes_reclaimed = r.U64();
+  rec.bytes_live = r.U64();
+  rec.db_used_bytes = r.U64();
+  rec.actual_garbage_pct = r.F64();
+  rec.estimated_garbage_pct = r.F64();
+  rec.target_garbage_pct = r.F64();
+  rec.next_dt = r.U64();
+  rec.phase = LoadPhase(r);
+  return rec;
+}
+
+void SavePhaseStats(SnapshotWriter& w, const PhaseStats& p) {
+  w.U8(static_cast<uint8_t>(p.phase));
+  w.U64(p.events);
+  w.U64(p.app_io);
+  w.U64(p.gc_io);
+  w.U64(p.pointer_overwrites);
+  w.U64(p.collections);
+  w.U64(p.bytes_reclaimed);
+  SaveStats(w, p.garbage_pct);
+}
+
+PhaseStats LoadPhaseStats(SnapshotReader& r) {
+  PhaseStats p;
+  p.phase = LoadPhase(r);
+  p.events = r.U64();
+  p.app_io = r.U64();
+  p.gc_io = r.U64();
+  p.pointer_overwrites = r.U64();
+  p.collections = r.U64();
+  p.bytes_reclaimed = r.U64();
+  p.garbage_pct = LoadStats(r);
+  return p;
+}
+
+// Everything in SimResult except the telemetry snapshot, which is not
+// checkpointed (see Simulation::SaveState's contract).
+void SaveResult(SnapshotWriter& w, const SimResult& res) {
+  w.Tag("RSLT");
+  SaveClock(w, res.clock);
+  w.U64(res.collections);
+  w.Bool(res.window_opened);
+  w.U64(res.measured_app_io);
+  w.U64(res.measured_gc_io);
+  w.F64(res.achieved_gc_io_pct);
+  SaveStats(w, res.garbage_pct);
+  w.U64(res.window_reclaimed_bytes);
+  w.U64(res.total_reclaimed_bytes);
+  w.U64(res.total_reclaimed_objects);
+  w.U64(res.final_db_used_bytes);
+  w.U64(res.final_actual_garbage_bytes);
+  w.U64(res.final_partition_count);
+  w.U64(res.buffer_hits);
+  w.U64(res.buffer_misses);
+  w.F64(res.disk_app_ms);
+  w.F64(res.disk_gc_ms);
+  w.U64(res.disk_sequential_transfers);
+  w.U64(res.disk_random_transfers);
+  w.U64(res.dt_min_clamps);
+  w.U64(res.dt_max_clamps);
+  w.U64(res.idle_collections);
+  w.U64(res.idle_gc_io);
+  w.U64(res.crashes);
+  w.U64(res.recoveries);
+  w.U64(res.recovery_rollbacks);
+  w.U64(res.recovery_rollforwards);
+  w.U64(res.recovery_redo_updates);
+  w.U64(res.verifier_runs);
+  w.U64(res.io_retries);
+  w.U64(res.io_read_failures);
+  w.U64(res.io_write_failures);
+  w.U64(res.torn_writes);
+  w.U64(res.torn_repairs);
+  w.U64(res.log.size());
+  for (const CollectionRecord& rec : res.log) SaveCollectionRecord(w, rec);
+  w.U64(res.phases.size());
+  for (const PhaseTransition& t : res.phases) {
+    w.U8(static_cast<uint8_t>(t.phase));
+    w.U64(t.at_collection);
+    w.U64(t.at_event);
+    w.U64(t.at_overwrite);
+  }
+  w.U64(res.phase_stats.size());
+  for (const PhaseStats& p : res.phase_stats) SavePhaseStats(w, p);
+}
+
+void LoadResult(SnapshotReader& r, SimResult* res) {
+  r.Tag("RSLT");
+  res->clock = LoadClock(r);
+  res->collections = r.U64();
+  res->window_opened = r.Bool();
+  res->measured_app_io = r.U64();
+  res->measured_gc_io = r.U64();
+  res->achieved_gc_io_pct = r.F64();
+  res->garbage_pct = LoadStats(r);
+  res->window_reclaimed_bytes = r.U64();
+  res->total_reclaimed_bytes = r.U64();
+  res->total_reclaimed_objects = r.U64();
+  res->final_db_used_bytes = r.U64();
+  res->final_actual_garbage_bytes = r.U64();
+  res->final_partition_count = static_cast<size_t>(r.U64());
+  res->buffer_hits = r.U64();
+  res->buffer_misses = r.U64();
+  res->disk_app_ms = r.F64();
+  res->disk_gc_ms = r.F64();
+  res->disk_sequential_transfers = r.U64();
+  res->disk_random_transfers = r.U64();
+  res->dt_min_clamps = r.U64();
+  res->dt_max_clamps = r.U64();
+  res->idle_collections = r.U64();
+  res->idle_gc_io = r.U64();
+  res->crashes = r.U64();
+  res->recoveries = r.U64();
+  res->recovery_rollbacks = r.U64();
+  res->recovery_rollforwards = r.U64();
+  res->recovery_redo_updates = r.U64();
+  res->verifier_runs = r.U64();
+  res->io_retries = r.U64();
+  res->io_read_failures = r.U64();
+  res->io_write_failures = r.U64();
+  res->torn_writes = r.U64();
+  res->torn_repairs = r.U64();
+  const uint64_t log_count = r.U64();
+  res->log.clear();
+  for (uint64_t i = 0; i < log_count && r.ok(); ++i) {
+    res->log.push_back(LoadCollectionRecord(r));
+  }
+  const uint64_t phase_count = r.U64();
+  res->phases.clear();
+  for (uint64_t i = 0; i < phase_count && r.ok(); ++i) {
+    PhaseTransition t;
+    t.phase = LoadPhase(r);
+    t.at_collection = r.U64();
+    t.at_event = r.U64();
+    t.at_overwrite = r.U64();
+    res->phases.push_back(t);
+  }
+  const uint64_t stats_count = r.U64();
+  res->phase_stats.clear();
+  for (uint64_t i = 0; i < stats_count && r.ok(); ++i) {
+    res->phase_stats.push_back(LoadPhaseStats(r));
+  }
+}
+
+// ---------------------------------------------------------------------
+// File-level helpers.
+
+bool ReadWholeFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out->clear();
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+CheckpointError WriteFileAtomic(const std::string& path,
+                                const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return CheckpointError::kOpenFailed;
+  bool ok = bytes.empty() ||
+            std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  if (std::fflush(f) != 0) ok = false;
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return CheckpointError::kWriteFailed;
+  }
+  // Keep the previous image as the fallback; on the first checkpoint
+  // there is nothing to roll, so a failed rename here is not an error.
+  std::rename(path.c_str(), (path + ".prev").c_str());
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return CheckpointError::kWriteFailed;
+  }
+  return CheckpointError::kNone;
+}
+
+// Parses and validates one checkpoint file; on success fills *out with a
+// restored simulation.
+CheckpointError LoadCheckpointFile(const SimConfig& config,
+                                   const std::string& path,
+                                   std::unique_ptr<Simulation>* out,
+                                   uint64_t* events_applied) {
+  std::string bytes;
+  if (!ReadWholeFile(path, &bytes)) return CheckpointError::kOpenFailed;
+  if (bytes.size() < kHeaderSize + kFooterSize) {
+    return CheckpointError::kTruncated;
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return CheckpointError::kBadMagic;
+  }
+  SnapshotReader hr(bytes.data() + sizeof(kMagic),
+                    kHeaderSize - sizeof(kMagic));
+  const uint32_t version = hr.U32();
+  hr.U32();  // flags, reserved
+  const uint64_t config_hash = hr.U64();
+  const uint64_t event_cursor = hr.U64();
+  const uint64_t payload_size = hr.U64();
+  const uint32_t payload_crc = hr.U32();
+  const uint32_t header_crc = hr.U32();
+  if (Crc32(bytes.data(), kHeaderSize - 4) != header_crc) {
+    return CheckpointError::kBadHeaderCrc;
+  }
+  if (version != kCheckpointVersion) return CheckpointError::kBadVersion;
+  if (bytes.size() != kHeaderSize + payload_size + kFooterSize) {
+    return CheckpointError::kTruncated;
+  }
+  SnapshotReader fr(bytes.data() + kHeaderSize + payload_size, kFooterSize);
+  if (fr.U32() != kCheckpointFooterMagic) return CheckpointError::kTruncated;
+  if (fr.U32() != payload_crc) return CheckpointError::kBadPayloadCrc;
+  if (Crc32(bytes.data() + kHeaderSize, payload_size) != payload_crc) {
+    return CheckpointError::kBadPayloadCrc;
+  }
+  if (config_hash != ConfigFingerprint(config)) {
+    return CheckpointError::kConfigMismatch;
+  }
+  auto sim = std::make_unique<Simulation>(config);
+  SnapshotReader pr(bytes.data() + kHeaderSize, payload_size);
+  sim->RestoreState(pr);
+  if (!pr.AtEnd()) return CheckpointError::kMalformed;
+  if (sim->events_applied() != event_cursor) {
+    return CheckpointError::kMalformed;
+  }
+  *out = std::move(sim);
+  *events_applied = event_cursor;
+  return CheckpointError::kNone;
+}
+
+}  // namespace
+
+const char* CheckpointErrorName(CheckpointError error) {
+  switch (error) {
+    case CheckpointError::kNone: return "none";
+    case CheckpointError::kOpenFailed: return "open_failed";
+    case CheckpointError::kWriteFailed: return "write_failed";
+    case CheckpointError::kTruncated: return "truncated";
+    case CheckpointError::kBadMagic: return "bad_magic";
+    case CheckpointError::kBadVersion: return "bad_version";
+    case CheckpointError::kBadHeaderCrc: return "bad_header_crc";
+    case CheckpointError::kBadPayloadCrc: return "bad_payload_crc";
+    case CheckpointError::kMalformed: return "malformed";
+    case CheckpointError::kConfigMismatch: return "config_mismatch";
+  }
+  return "unknown";
+}
+
+uint64_t ConfigFingerprint(const SimConfig& config) {
+  SnapshotWriter w;
+  const StoreConfig& st = config.store;
+  w.U32(st.partition_bytes);
+  w.U32(st.page_bytes);
+  w.U32(st.buffer_pages);
+  w.Bool(st.pin_newest_allocation);
+  w.Bool(st.enable_disk_timing);
+  w.F64(st.disk.seek_ms);
+  w.F64(st.disk.rotational_ms);
+  w.F64(st.disk.transfer_mb_per_s);
+  // Fault plan: the I/O fault mix shapes behavior, so it is hashed. The
+  // crash schedule and seed are not (see ConfigFingerprint's contract).
+  w.F64(st.fault.read_fault_prob);
+  w.F64(st.fault.write_fault_prob);
+  w.F64(st.fault.torn_write_prob);
+  w.U32(st.fault.max_retries);
+  w.F64(st.fault.retry_backoff_ms);
+  w.Bool(st.fault.commit_protocol);
+  w.U32(config.preamble_collections);
+  w.U32(config.preamble_max_collections);
+  w.Bool(config.record_collection_log);
+  w.U8(static_cast<uint8_t>(config.policy));
+  w.U64(config.fixed_rate_overwrites);
+  w.U64(config.allocation_rate_bytes);
+  w.F64(config.heuristic_connectivity);
+  w.F64(config.heuristic_object_bytes);
+  w.F64(config.saio_frac);
+  w.U64(config.saio_history);
+  w.U64(config.saio_bootstrap_app_io);
+  w.Bool(config.saio_opportunism);
+  w.U64(config.saio_min_idle_yield);
+  w.F64(config.saga.garbage_frac);
+  w.F64(config.saga.slope_weight);
+  w.U64(config.saga.dt_min);
+  w.U64(config.saga.dt_max);
+  w.U64(config.saga.bootstrap_overwrites);
+  w.Bool(config.saga.opportunism);
+  w.F64(config.saga.idle_floor_frac);
+  w.U8(static_cast<uint8_t>(config.estimator));
+  w.F64(config.fgs_history_factor);
+  w.F64(config.coupled.io_frac);
+  w.F64(config.coupled.garbage_ref_frac);
+  w.F64(config.coupled.min_scale);
+  w.F64(config.coupled.max_scale);
+  w.U64(config.coupled.history_size);
+  w.U64(config.coupled.bootstrap_app_io);
+  w.U8(static_cast<uint8_t>(config.selector));
+  w.Bool(config.verify_after_collection);
+  w.Bool(config.verify_after_recovery);
+  w.Bool(config.verify_reachability);
+  // FNV-1a 64 over the canonical field bytes.
+  uint64_t h = 14695981039346656037ull;
+  for (const unsigned char c : w.data()) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void Simulation::SaveState(SnapshotWriter& w) const {
+  w.Tag("SIM0");
+  SaveClock(w, clock_);
+  SaveResult(w, result_);
+  w.U8(static_cast<uint8_t>(current_phase_));
+  w.Bool(phase_open_);
+  SavePhaseStats(w, phase_accum_);
+  SaveClock(w, phase_base_clock_);
+  w.U64(phase_base_collections_);
+  w.U64(phase_base_reclaimed_);
+  w.U64(window_app_io_base_);
+  w.U64(window_gc_io_base_);
+  w.U64(window_reclaimed_base_);
+  SaveStats(w, whole_run_garbage_pct_);
+  w.Bool(last_estimate_valid_);
+  w.F64(last_estimate_error_pp_);
+  store_->SaveState(w);
+  collector_.SaveState(w);
+  policy_->SaveState(w);
+  selector_->SaveState(w);
+  w.U64(passive_estimators_.size());
+  for (const GarbageEstimator* passive : passive_estimators_) {
+    passive->SaveState(w);
+  }
+  w.Tag("ENDS");
+}
+
+void Simulation::RestoreState(SnapshotReader& r) {
+  r.Tag("SIM0");
+  clock_ = LoadClock(r);
+  LoadResult(r, &result_);
+  current_phase_ = LoadPhase(r);
+  phase_open_ = r.Bool();
+  phase_accum_ = LoadPhaseStats(r);
+  phase_base_clock_ = LoadClock(r);
+  phase_base_collections_ = r.U64();
+  phase_base_reclaimed_ = r.U64();
+  window_app_io_base_ = r.U64();
+  window_gc_io_base_ = r.U64();
+  window_reclaimed_base_ = r.U64();
+  whole_run_garbage_pct_ = LoadStats(r);
+  last_estimate_valid_ = r.Bool();
+  last_estimate_error_pp_ = r.F64();
+  store_->RestoreState(r);
+  collector_.RestoreState(r);
+  policy_->RestoreState(r);
+  selector_->RestoreState(r);
+  const uint64_t passive_count = r.U64();
+  if (passive_count != passive_estimators_.size()) {
+    r.MarkMalformed("passive estimator count mismatch");
+    return;
+  }
+  for (GarbageEstimator* passive : passive_estimators_) {
+    passive->RestoreState(r);
+  }
+  r.Tag("ENDS");
+}
+
+CheckpointError WriteCheckpoint(const Simulation& sim,
+                                const std::string& path) {
+  SnapshotWriter pw;
+  sim.SaveState(pw);
+  const std::string payload = pw.Take();
+  const uint32_t payload_crc = Crc32(payload.data(), payload.size());
+
+  SnapshotWriter hw;
+  for (const char c : kMagic) hw.U8(static_cast<uint8_t>(c));
+  hw.U32(kCheckpointVersion);
+  hw.U32(0);  // flags, reserved
+  hw.U64(ConfigFingerprint(sim.config()));
+  hw.U64(sim.events_applied());
+  hw.U64(payload.size());
+  hw.U32(payload_crc);
+  hw.U32(Crc32(hw.data().data(), hw.data().size()));  // header CRC
+
+  SnapshotWriter fw;
+  fw.U32(kCheckpointFooterMagic);
+  fw.U32(payload_crc);
+
+  std::string file = hw.Take();
+  file += payload;
+  file += fw.data();
+  return WriteFileAtomic(path, file);
+}
+
+ResumeResult ResumeFromCheckpoint(const SimConfig& config,
+                                  const std::string& path) {
+  ResumeResult res;
+  res.primary_error =
+      LoadCheckpointFile(config, path, &res.sim, &res.events_applied);
+  res.error = res.primary_error;
+  res.loaded_path = path;
+  if (res.error != CheckpointError::kNone) {
+    const std::string prev = path + ".prev";
+    std::unique_ptr<Simulation> sim;
+    uint64_t events = 0;
+    const CheckpointError fb =
+        LoadCheckpointFile(config, prev, &sim, &events);
+    if (fb == CheckpointError::kNone) {
+      res.error = fb;
+      res.used_fallback = true;
+      res.loaded_path = prev;
+      res.sim = std::move(sim);
+      res.events_applied = events;
+    }
+  }
+  return res;
+}
+
+}  // namespace odbgc

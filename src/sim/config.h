@@ -88,6 +88,13 @@ struct SimConfig {
   bool verify_after_recovery = true;
   bool verify_reachability = false;
 
+  // Per-run wall-clock budget in milliseconds (0 disables). Checked every
+  // 4096 events inside Simulation::RunFrom; an exceeded budget raises
+  // SimDeadlineExceeded (sim/errors.h), which sweep harnesses classify
+  // as transient. Excluded from the checkpoint config fingerprint, so a
+  // resumed run may use a different budget.
+  double deadline_ms = 0.0;
+
   // In-run telemetry (src/obs/): metrics registry and structured trace.
   // Default-disabled; an enabled run stays semantically identical (the
   // telemetry never feeds back into simulation decisions).

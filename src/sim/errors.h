@@ -1,0 +1,95 @@
+#ifndef ODBGC_SIM_ERRORS_H_
+#define ODBGC_SIM_ERRORS_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace odbgc {
+
+// Classifies the failures a single simulation run can raise, so that a
+// sweep harness (sim/parallel.h) can report them structurally and decide
+// whether retrying the run could possibly help.
+enum class SimErrorKind : uint8_t {
+  kGeneric = 0,
+  // The run exceeded SimConfig::deadline_ms of wall-clock time. A rerun
+  // on a less loaded machine may succeed, so this is transient.
+  kDeadlineExceeded = 1,
+  // FaultPlan::crash_at_event fired: the process "died" mid-trace. The
+  // run must be resumed from its last checkpoint, not retried from
+  // scratch with the same crash schedule (it would only crash again).
+  kCrashInjected = 2,
+  // A periodic checkpoint could not be written during the run.
+  kCheckpointWrite = 3,
+};
+
+const char* SimErrorKindName(SimErrorKind kind);
+
+// Base class for recoverable simulation failures. `transient()` answers
+// "could an identical retry plausibly succeed?" — true only for
+// environment-dependent failures (deadlines), never for deterministic
+// ones (an injected crash would fire again at the same event).
+class SimError : public std::runtime_error {
+ public:
+  SimError(SimErrorKind kind, bool transient, const std::string& what)
+      : std::runtime_error(what), kind_(kind), transient_(transient) {}
+
+  SimErrorKind kind() const { return kind_; }
+  bool transient() const { return transient_; }
+
+ private:
+  SimErrorKind kind_;
+  bool transient_;
+};
+
+class SimDeadlineExceeded : public SimError {
+ public:
+  SimDeadlineExceeded(double elapsed_ms, double deadline_ms)
+      : SimError(SimErrorKind::kDeadlineExceeded, /*transient=*/true,
+                 "simulation exceeded its deadline (" +
+                     std::to_string(elapsed_ms) + " ms elapsed, limit " +
+                     std::to_string(deadline_ms) + " ms)"),
+        elapsed_ms_(elapsed_ms),
+        deadline_ms_(deadline_ms) {}
+
+  double elapsed_ms() const { return elapsed_ms_; }
+  double deadline_ms() const { return deadline_ms_; }
+
+ private:
+  double elapsed_ms_;
+  double deadline_ms_;
+};
+
+class SimCrashInjected : public SimError {
+ public:
+  explicit SimCrashInjected(uint64_t at_event)
+      : SimError(SimErrorKind::kCrashInjected, /*transient=*/false,
+                 "injected crash after event " + std::to_string(at_event)),
+        at_event_(at_event) {}
+
+  uint64_t at_event() const { return at_event_; }
+
+ private:
+  uint64_t at_event_;
+};
+
+class SimCheckpointWriteError : public SimError {
+ public:
+  explicit SimCheckpointWriteError(const std::string& detail)
+      : SimError(SimErrorKind::kCheckpointWrite, /*transient=*/false,
+                 "checkpoint write failed: " + detail) {}
+};
+
+inline const char* SimErrorKindName(SimErrorKind kind) {
+  switch (kind) {
+    case SimErrorKind::kGeneric: return "generic";
+    case SimErrorKind::kDeadlineExceeded: return "deadline_exceeded";
+    case SimErrorKind::kCrashInjected: return "crash_injected";
+    case SimErrorKind::kCheckpointWrite: return "checkpoint_write";
+  }
+  return "unknown";
+}
+
+}  // namespace odbgc
+
+#endif  // ODBGC_SIM_ERRORS_H_

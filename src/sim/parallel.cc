@@ -7,6 +7,7 @@
 #include "obs/perfetto_export.h"
 #include "obs/progress.h"
 #include "oo7/generator.h"
+#include "sim/checkpoint.h"
 #include "sim/simulation.h"
 #include "util/check.h"
 
@@ -111,6 +112,11 @@ TraceCache::Key TraceCache::MakeKey(const Oo7Params& params, uint64_t seed) {
              params.num_modules,         seed};
 }
 
+void TraceCache::set_generator_for_test(Generator generator) {
+  std::lock_guard<std::mutex> lock(mu_);
+  generator_ = std::move(generator);
+}
+
 std::shared_ptr<const Trace> TraceCache::GetOo7(const Oo7Params& params,
                                                 uint64_t seed) {
   Key key = MakeKey(params, seed);
@@ -132,9 +138,18 @@ std::shared_ptr<const Trace> TraceCache::GetOo7(const Oo7Params& params,
     slots_.emplace(key, slot);
   }
   // Generate outside the lock so distinct keys generate concurrently.
+  Generator generator;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    generator = generator_;
+  }
   std::shared_ptr<const Trace> trace;
   try {
-    trace = GenerateOo7Trace(params, seed);
+    trace = generator ? generator(params, seed)
+                      : GenerateOo7Trace(params, seed);
+    if (trace == nullptr) {
+      throw std::runtime_error("TraceCache: generator returned null");
+    }
   } catch (...) {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -207,35 +222,96 @@ bool SweepRunner::ExportTrace(const std::string& path) const {
 }
 
 std::vector<SimResult> SweepRunner::Run(const std::vector<SweepPoint>& points) {
+  // Fail-fast wrapper: figure harnesses treat any run failure as fatal.
+  std::vector<RunOutcome> outcomes = RunWithStatus(points, SweepOptions{});
   std::vector<SimResult> results(points.size());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (outcomes[i].exception) std::rethrow_exception(outcomes[i].exception);
+    results[i] = std::move(outcomes[i].result);
+  }
+  return results;
+}
+
+std::vector<RunOutcome> SweepRunner::RunWithStatus(
+    const std::vector<SweepPoint>& points, const SweepOptions& options) {
+  ODBGC_CHECK(options.max_attempts >= 1);
+  std::vector<RunOutcome> outcomes(points.size());
   std::unique_ptr<obs::SweepProgress> progress;
   if (progress_out_ != nullptr && !points.empty()) {
     progress = std::make_unique<obs::SweepProgress>(progress_out_,
                                                     points.size());
   }
   pool_.ParallelFor(points.size(),
-                    [this, &points, &results, &progress](size_t i) {
+                    [this, &points, &outcomes, &options, &progress](size_t i) {
     const SweepPoint& p = points[i];
-    obs::TraceRecorder* rec = recorder_for_current_worker();
-    if (rec != nullptr) {
-      rec->Begin("get_trace", NowMicros(), {{"seed", p.seed}});
-    }
-    std::shared_ptr<const Trace> trace = cache_.GetOo7(p.params, p.seed);
-    if (rec != nullptr) rec->End("get_trace", NowMicros());
-    SimConfig cfg = p.config;
-    ApplyRunSeeds(&cfg, p.seed);  // as RunOo7Once
-    if (rec != nullptr) {
-      rec->Begin("run_simulation", NowMicros(),
-                 {{"point", i}, {"seed", p.seed}});
-    }
-    results[i] = RunSimulation(cfg, *trace);
-    if (rec != nullptr) {
-      rec->End("run_simulation", NowMicros(),
-               {{"collections", results[i].collections}});
+    RunOutcome& out = outcomes[i];
+    for (int attempt = 1; attempt <= options.max_attempts; ++attempt) {
+      out.status.attempts = attempt;
+      bool transient = false;
+      try {
+        obs::TraceRecorder* rec = recorder_for_current_worker();
+        if (rec != nullptr) {
+          rec->Begin("get_trace", NowMicros(), {{"seed", p.seed}});
+        }
+        std::shared_ptr<const Trace> trace = cache_.GetOo7(p.params, p.seed);
+        if (rec != nullptr) rec->End("get_trace", NowMicros());
+        SimConfig cfg = p.config;
+        ApplyRunSeeds(&cfg, p.seed);  // as RunOo7Once
+        if (options.run_deadline_ms > 0.0) {
+          cfg.deadline_ms = options.run_deadline_ms;
+        }
+        if (rec != nullptr) {
+          rec->Begin("run_simulation", NowMicros(),
+                     {{"point", i}, {"seed", p.seed}});
+        }
+        const bool checkpointing = !options.checkpoint_prefix.empty() &&
+                                   options.checkpoint_every > 0;
+        if (checkpointing) {
+          const std::string ckpt = options.checkpoint_prefix + ".run" +
+                                   std::to_string(i) + ".ckpt";
+          ResumeResult resumed = ResumeFromCheckpoint(cfg, ckpt);
+          std::unique_ptr<Simulation> sim =
+              resumed.ok() ? std::move(resumed.sim)
+                           : std::make_unique<Simulation>(cfg);
+          out.result = sim->RunFrom(*trace, ckpt, options.checkpoint_every);
+        } else {
+          out.result = RunSimulation(cfg, *trace);
+        }
+        if (rec != nullptr) {
+          rec->End("run_simulation", NowMicros(),
+                   {{"collections", out.result.collections}});
+        }
+        out.status.failed = false;
+        out.status.message.clear();
+        out.exception = nullptr;
+        break;
+      } catch (const SimError& e) {
+        out.status.failed = true;
+        out.status.error_kind = e.kind();
+        out.status.message = e.what();
+        out.exception = std::current_exception();
+        transient = e.transient();
+      } catch (const std::exception& e) {
+        out.status.failed = true;
+        out.status.error_kind = SimErrorKind::kGeneric;
+        out.status.message = e.what();
+        out.exception = std::current_exception();
+      } catch (...) {
+        out.status.failed = true;
+        out.status.error_kind = SimErrorKind::kGeneric;
+        out.status.message = "unknown exception";
+        out.exception = std::current_exception();
+      }
+      if (!transient || attempt == options.max_attempts) break;
+      if (options.retry_backoff_ms > 0.0) {
+        const double factor = static_cast<double>(1u << (attempt - 1));
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            options.retry_backoff_ms * factor));
+      }
     }
     if (progress != nullptr) progress->OnRunDone();
   });
-  return results;
+  return outcomes;
 }
 
 SimResult SweepRunner::RunOne(const SimConfig& config, const Oo7Params& params,

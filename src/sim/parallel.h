@@ -16,6 +16,7 @@
 #include "obs/trace_recorder.h"
 #include "oo7/params.h"
 #include "sim/config.h"
+#include "sim/errors.h"
 #include "sim/runner.h"
 #include "trace/trace.h"
 
@@ -106,6 +107,15 @@ class TraceCache {
   uint64_t hits() const;
   uint64_t misses() const;
 
+  // Test hook: replaces the trace generator (GenerateOo7Trace). Lets
+  // tests exercise the failed-generation retry path (a generator that
+  // throws leaves no poisoned slot behind) without a real generation
+  // failure. Not thread-safe against concurrent GetOo7 calls; install
+  // before fanning work out.
+  using Generator = std::function<std::shared_ptr<const Trace>(
+      const Oo7Params&, uint64_t)>;
+  void set_generator_for_test(Generator generator);
+
  private:
   // Every Oo7Params field plus the seed; params are plain counts, so
   // field-wise equality is exactly trace-identity.
@@ -123,6 +133,45 @@ class TraceCache {
   std::map<Key, std::shared_ptr<Slot>> slots_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  Generator generator_;  // test override; null = GenerateOo7Trace
+};
+
+// Failure-isolation knobs for SweepRunner::RunWithStatus.
+struct SweepOptions {
+  // Attempts per run (>= 1). Only *transient* failures (SimError with
+  // transient() == true, e.g. a missed deadline) are retried;
+  // deterministic failures would fail identically again.
+  int max_attempts = 1;
+  // Sleep before the first retry; doubles per subsequent retry.
+  double retry_backoff_ms = 0.0;
+  // Per-run wall-clock watchdog: overrides SimConfig::deadline_ms for
+  // every run when > 0 (0 keeps each config's own setting).
+  double run_deadline_ms = 0.0;
+  // Resumable sweeps: when checkpoint_prefix is non-empty and
+  // checkpoint_every > 0, run i checkpoints to
+  // "<prefix>.run<i>.ckpt" every checkpoint_every events, and an
+  // interrupted sweep rerun with the same prefix resumes each run from
+  // its last checkpoint instead of starting over (results stay
+  // byte-identical to an uninterrupted sweep).
+  std::string checkpoint_prefix;
+  uint64_t checkpoint_every = 0;
+};
+
+// What happened to one sweep run.
+struct RunStatus {
+  bool failed = false;
+  SimErrorKind error_kind = SimErrorKind::kGeneric;
+  std::string message;   // empty unless failed
+  int attempts = 1;      // attempts consumed (including the success)
+  bool ok() const { return !failed; }
+};
+
+struct RunOutcome {
+  SimResult result;  // meaningful only when status.ok()
+  RunStatus status;
+  // The failing attempt's exception (null when ok); lets callers that
+  // want fail-fast semantics rethrow the original.
+  std::exception_ptr exception;
 };
 
 // One grid point of a sweep: a simulation configuration applied to the
@@ -148,8 +197,19 @@ class SweepRunner {
   ThreadPool& pool() { return pool_; }
   TraceCache& cache() { return cache_; }
 
-  // Runs every point; results[i] corresponds to points[i].
+  // Runs every point; results[i] corresponds to points[i]. Fail-fast:
+  // if any run threw, the exception from the lowest-index failed run is
+  // rethrown after the whole batch has drained (no retries). Kept for
+  // harnesses where a failure should abort the figure.
   std::vector<SimResult> Run(const std::vector<SweepPoint>& points);
+
+  // Failure-isolating variant: every run completes (or exhausts its
+  // attempts) regardless of other runs' failures, and outcomes[i]
+  // reports per-run status instead of throwing. Successful runs are
+  // byte-identical to the same points under Run(), for any thread
+  // count.
+  std::vector<RunOutcome> RunWithStatus(const std::vector<SweepPoint>& points,
+                                        const SweepOptions& options = {});
 
   // Cached-trace equivalent of RunOo7Once (identical result).
   SimResult RunOne(const SimConfig& config, const Oo7Params& params,

@@ -269,4 +269,82 @@ bool WriteResultJson(const SimResult& result, const std::string& path,
   return written == json.size();
 }
 
+std::string SweepReportToJson(const std::vector<SweepPoint>& points,
+                              const std::vector<RunOutcome>& outcomes,
+                              bool include_collection_log) {
+  JsonWriter w;
+  w.BeginObject();
+
+  size_t ok_runs = 0;
+  size_t failed_runs = 0;
+  w.Key("runs");
+  w.BeginArray();
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const RunOutcome& out = outcomes[i];
+    w.BeginObject();
+    w.Key("index");
+    w.Value(static_cast<uint64_t>(i));
+    if (i < points.size()) {
+      w.Key("seed");
+      w.Value(points[i].seed);
+    }
+    w.Key("status");
+    w.Value(out.status.ok() ? "ok" : "failed");
+    w.Key("attempts");
+    w.Value(static_cast<uint64_t>(out.status.attempts));
+    if (out.status.ok()) {
+      ++ok_runs;
+      w.Key("report");
+      w.RawValue(SimResultToJson(out.result, include_collection_log));
+    } else {
+      ++failed_runs;
+      w.Key("error_kind");
+      w.Value(SimErrorKindName(out.status.error_kind));
+      w.Key("error");
+      w.Value(out.status.message);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("summary");
+  w.BeginObject();
+  w.Key("total");
+  w.Value(static_cast<uint64_t>(outcomes.size()));
+  w.Key("ok");
+  w.Value(static_cast<uint64_t>(ok_runs));
+  w.Key("failed");
+  w.Value(static_cast<uint64_t>(failed_runs));
+  w.EndObject();
+
+  const obs::BuildInfo& build = obs::GetBuildInfo();
+  w.Key("build_info");
+  w.BeginObject();
+  w.Key("git_sha");
+  w.Value(build.git_sha);
+  w.Key("git_dirty");
+  w.Value(build.git_dirty);
+  w.Key("build_type");
+  w.Value(build.build_type);
+  w.Key("telemetry");
+  w.Value(build.telemetry);
+  w.EndObject();
+
+  w.EndObject();
+  return w.TakeString();
+}
+
+bool WriteSweepReportJson(const std::vector<SweepPoint>& points,
+                          const std::vector<RunOutcome>& outcomes,
+                          const std::string& path,
+                          bool include_collection_log) {
+  std::string json =
+      SweepReportToJson(points, outcomes, include_collection_log);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
+}
+
 }  // namespace odbgc

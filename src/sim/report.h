@@ -2,8 +2,10 @@
 #define ODBGC_SIM_REPORT_H_
 
 #include <string>
+#include <vector>
 
 #include "sim/metrics.h"
+#include "sim/parallel.h"
 
 namespace odbgc {
 
@@ -17,6 +19,21 @@ std::string SimResultToJson(const SimResult& result,
 // Writes SimResultToJson(result) to `path`; false on I/O failure.
 bool WriteResultJson(const SimResult& result, const std::string& path,
                      bool include_collection_log = true);
+
+// Serializes a SweepRunner::RunWithStatus sweep: one entry per run (in
+// submission order) carrying its seed, status, attempt count, and — for
+// successful runs — the full per-run report; failed runs carry a typed
+// error kind and message instead. `points` and `outcomes` must be
+// parallel arrays.
+std::string SweepReportToJson(const std::vector<SweepPoint>& points,
+                              const std::vector<RunOutcome>& outcomes,
+                              bool include_collection_log = false);
+
+// Writes SweepReportToJson to `path`; false on I/O failure.
+bool WriteSweepReportJson(const std::vector<SweepPoint>& points,
+                          const std::vector<RunOutcome>& outcomes,
+                          const std::string& path,
+                          bool include_collection_log = false);
 
 }  // namespace odbgc
 

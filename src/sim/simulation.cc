@@ -1,5 +1,6 @@
 #include "sim/simulation.h"
 
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 
@@ -8,6 +9,8 @@
 #include "core/fixed_rate.h"
 #include "core/saio.h"
 #include "core/saga.h"
+#include "sim/checkpoint.h"
+#include "sim/errors.h"
 #include "storage/verifier.h"
 #include "util/check.h"
 
@@ -350,6 +353,14 @@ void Simulation::Apply(const TraceEvent& event) {
   if (progress_ != nullptr && (clock_.events & 1023u) == 0) {
     progress_->MaybeReport(MakeProgressSample());
   }
+  // Whole-process crash injection: the event (and any collection it
+  // triggered) is fully applied, then the "process dies". Raised after
+  // the event so a checkpoint-every boundary at this event is never
+  // written — resume replays from the previous checkpoint.
+  const uint64_t crash_at = config_.store.fault.crash_at_event;
+  if (crash_at != 0 && clock_.events == crash_at) {
+    throw SimCrashInjected(crash_at);
+  }
 }
 
 obs::ProgressSample Simulation::MakeProgressSample() const {
@@ -460,9 +471,38 @@ void Simulation::AddPassiveEstimator(GarbageEstimator* estimator) {
 }
 
 SimResult Simulation::Run(const Trace& trace) {
-  progress_total_events_ = trace.events().size();
-  for (const TraceEvent& e : trace.events()) {
-    Apply(e);
+  return RunFrom(trace, std::string(), 0);
+}
+
+SimResult Simulation::RunFrom(const Trace& trace,
+                              const std::string& checkpoint_path,
+                              uint64_t checkpoint_every) {
+  const std::vector<TraceEvent>& events = trace.events();
+  ODBGC_CHECK_MSG(clock_.events <= events.size(),
+                  "checkpoint lies beyond the end of this trace");
+  progress_total_events_ = events.size();
+  const bool take_checkpoints =
+      !checkpoint_path.empty() && checkpoint_every > 0;
+  const bool deadline_armed = config_.deadline_ms > 0.0;
+  const auto started = std::chrono::steady_clock::now();
+  for (size_t i = clock_.events; i < events.size(); ++i) {
+    Apply(events[i]);
+    if (take_checkpoints && clock_.events % checkpoint_every == 0) {
+      CheckpointError err = WriteCheckpoint(*this, checkpoint_path);
+      if (err != CheckpointError::kNone) {
+        throw SimCheckpointWriteError(std::string(CheckpointErrorName(err)) +
+                                      " (" + checkpoint_path + ")");
+      }
+    }
+    if (deadline_armed && (clock_.events & 4095u) == 0) {
+      const double elapsed_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - started)
+              .count();
+      if (elapsed_ms > config_.deadline_ms) {
+        throw SimDeadlineExceeded(elapsed_ms, config_.deadline_ms);
+      }
+    }
   }
   return Finish();
 }

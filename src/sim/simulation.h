@@ -2,6 +2,7 @@
 #define ODBGC_SIM_SIMULATION_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/rate_policy.h"
@@ -43,9 +44,38 @@ class Simulation {
   // Processes the whole trace and returns the measurements.
   SimResult Run(const Trace& trace);
 
+  // Processes the trace starting from the first event not yet applied
+  // (event index events_applied(); 0 on a fresh simulation, the resume
+  // point on one restored from a checkpoint). When `checkpoint_path` is
+  // non-empty and `checkpoint_every` > 0, writes a checkpoint after
+  // every `checkpoint_every` applied events; a failed write raises
+  // SimCheckpointWriteError. Honors config().deadline_ms (raises
+  // SimDeadlineExceeded) and the fault plan's crash_at_event (raises
+  // SimCrashInjected). Run(trace) is RunFrom(trace, "", 0).
+  SimResult RunFrom(const Trace& trace, const std::string& checkpoint_path,
+                    uint64_t checkpoint_every);
+
   // Incremental interface (used by tests and custom drivers).
   void Apply(const TraceEvent& event);
   SimResult Finish();
+
+  // Checkpoint hooks (sim/checkpoint.h wraps these in a checksummed,
+  // atomically written file). The snapshot covers everything RunFrom
+  // needs to continue deterministically: clock, accumulated results,
+  // phase/window accounting, the store (partitions, objects, buffer
+  // pool, fault injector, disk model), the collector, the policy with
+  // its owned estimator, the partition selector, and any passive
+  // estimators registered at save time. Telemetry is NOT checkpointed;
+  // byte-identical resume is guaranteed only for telemetry-off runs.
+  // RestoreState requires a simulation freshly built from the same
+  // config (same component types and passive-estimator count).
+  void SaveState(SnapshotWriter& w) const;
+  void RestoreState(SnapshotReader& r);
+
+  const SimConfig& config() const { return config_; }
+  // Number of trace events applied so far == the trace index RunFrom
+  // resumes at.
+  uint64_t events_applied() const { return clock_.events; }
 
   // Registers a passive estimator: it receives exactly the overwrite and
   // collection feeds the policy's estimator would, but is never consulted

@@ -254,6 +254,69 @@ void BufferPool::FlushPartition(PartitionId partition, IoContext ctx) {
   }
 }
 
+void BufferPool::SaveState(SnapshotWriter& w) const {
+  ODBGC_CHECK_MSG(pinned_pages_ == 0,
+                  "checkpoint with pinned buffer pages");
+  // Resident pages, MRU -> LRU.
+  w.U64(resident_);
+  for (int32_t f = lru_head_; f != kNoFrame; f = frames_[f].next) {
+    w.U32(frames_[f].page.partition);
+    w.U32(frames_[f].page.page_index);
+    w.Bool(frames_[f].dirty);
+  }
+  w.U64(stats_.app_reads);
+  w.U64(stats_.app_writes);
+  w.U64(stats_.gc_reads);
+  w.U64(stats_.gc_writes);
+  w.U64(stats_.app_retries);
+  w.U64(stats_.gc_retries);
+  w.U64(stats_.read_failures);
+  w.U64(stats_.write_failures);
+  w.U64(stats_.torn_writes);
+  w.U64(stats_.torn_repairs);
+  w.U64(hits_);
+  w.U64(misses_);
+}
+
+void BufferPool::RestoreState(SnapshotReader& r) {
+  // Drop whatever the fresh pool holds, then rebuild the LRU list by
+  // inserting the saved pages LRU-first: after the loop the head/tail
+  // order matches the checkpointed pool exactly.
+  ResetFreeList();
+  table_.clear();
+  pinned_pages_ = 0;
+  const uint64_t n = r.U64();
+  if (!r.ok() || n > frame_count_) return;
+  std::vector<Frame> saved(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    saved[i].page = PageId{r.U32(), r.U32()};
+    saved[i].dirty = r.Bool();
+  }
+  if (!r.ok()) return;
+  for (size_t i = saved.size(); i-- > 0;) {
+    const int32_t fresh = free_head_;
+    free_head_ = frames_[fresh].next;
+    frames_[fresh].page = saved[i].page;
+    frames_[fresh].dirty = saved[i].dirty;
+    frames_[fresh].pins = 0;
+    PushFront(fresh);
+    SetSlot(saved[i].page, fresh);
+    ++resident_;
+  }
+  stats_.app_reads = r.U64();
+  stats_.app_writes = r.U64();
+  stats_.gc_reads = r.U64();
+  stats_.gc_writes = r.U64();
+  stats_.app_retries = r.U64();
+  stats_.gc_retries = r.U64();
+  stats_.read_failures = r.U64();
+  stats_.write_failures = r.U64();
+  stats_.torn_writes = r.U64();
+  stats_.torn_repairs = r.U64();
+  hits_ = r.U64();
+  misses_ = r.U64();
+}
+
 size_t BufferPool::DiscardAll() {
   size_t dirty = 0;
   for (int32_t f = lru_head_; f != kNoFrame; f = frames_[f].next) {

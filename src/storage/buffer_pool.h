@@ -9,6 +9,7 @@
 #include "storage/disk_model.h"
 #include "storage/fault_injector.h"
 #include "storage/types.h"
+#include "util/snapshot.h"
 
 namespace odbgc {
 
@@ -100,6 +101,14 @@ class BufferPool {
   size_t resident_pages() const { return resident_; }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+
+  // Checkpoint hooks. Residency is serialized in LRU order (head first)
+  // and rebuilt exactly, so post-restore hit/miss/eviction sequences —
+  // and therefore all downstream I/O accounting — are byte-identical to
+  // a run that never checkpointed. Pin counts must be zero (checkpoints
+  // are taken between events, never inside a collection); CHECKed.
+  void SaveState(SnapshotWriter& w) const;
+  void RestoreState(SnapshotReader& r);
 
  private:
   static constexpr int32_t kNoFrame = -1;

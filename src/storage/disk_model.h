@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "storage/types.h"
+#include "util/snapshot.h"
 
 namespace odbgc {
 
@@ -47,6 +48,11 @@ class DiskModel {
   double positioning_ms() const {
     return params_.seek_ms + params_.rotational_ms;
   }
+
+  // Checkpoint hooks: head position and accumulated times (params are
+  // configuration).
+  void SaveState(SnapshotWriter& w) const;
+  void RestoreState(SnapshotReader& r);
 
  private:
   DiskParams params_;

@@ -1,5 +1,8 @@
 #include "storage/fault_injector.h"
 
+#include <algorithm>
+#include <vector>
+
 namespace odbgc {
 
 const char* CrashPointName(CrashPoint p) {
@@ -45,6 +48,34 @@ FaultOutcome FaultInjector::OnRead(PageId page) {
     }
   }
   return o;
+}
+
+void FaultInjector::SaveState(SnapshotWriter& w) const {
+  for (uint64_t s : rng_.state()) w.U64(s);
+  // The torn set is unordered in memory; serialize sorted so the bytes
+  // (and the payload CRC) are stable across runs.
+  std::vector<PageId> torn(torn_.begin(), torn_.end());
+  std::sort(torn.begin(), torn.end(), [](const PageId& a, const PageId& b) {
+    return a.partition != b.partition ? a.partition < b.partition
+                                      : a.page_index < b.page_index;
+  });
+  w.U64(torn.size());
+  for (const PageId& p : torn) {
+    w.U32(p.partition);
+    w.U32(p.page_index);
+  }
+}
+
+void FaultInjector::RestoreState(SnapshotReader& r) {
+  std::array<uint64_t, 4> s;
+  for (uint64_t& x : s) x = r.U64();
+  rng_.set_state(s);
+  torn_.clear();
+  uint64_t n = r.U64();
+  for (uint64_t i = 0; i < n && r.ok(); ++i) {
+    PageId p{r.U32(), r.U32()};
+    torn_.insert(p);
+  }
 }
 
 FaultOutcome FaultInjector::OnWrite(PageId page) {

@@ -6,6 +6,7 @@
 
 #include "storage/types.h"
 #include "util/random.h"
+#include "util/snapshot.h"
 
 namespace odbgc {
 
@@ -55,6 +56,12 @@ struct FaultPlan {
   // then runs recovery. kNone disables.
   CrashPoint crash_point = CrashPoint::kNone;
   uint64_t crash_at_collection = 0;
+  // Whole-process crash schedule: kill the simulation after the Nth
+  // applied trace event (1-based; 0 disables). Unlike crash_point this
+  // models losing the process anywhere, not just inside a collection;
+  // the run aborts with SimCrashInjected and is expected to be resumed
+  // from its last checkpoint (sim/checkpoint.h).
+  uint64_t crash_at_event = 0;
   // Run the durable commit protocol (to-space flush + commit-record
   // write-through) on every collection, not only the crashed one. Costs
   // extra GC writes; required for crash consistency in faulted runs.
@@ -66,7 +73,7 @@ struct FaultPlan {
   }
   bool enabled() const {
     return io_faults_enabled() || crash_point != CrashPoint::kNone ||
-           commit_protocol;
+           commit_protocol || crash_at_event != 0;
   }
 };
 
@@ -98,6 +105,11 @@ class FaultInjector {
 
   const FaultPlan& plan() const { return plan_; }
   size_t torn_page_count() const { return torn_.size(); }
+
+  // Checkpoint hooks: RNG stream position and the torn-page set (the
+  // plan itself is configuration and travels with SimConfig).
+  void SaveState(SnapshotWriter& w) const;
+  void RestoreState(SnapshotReader& r);
 
  private:
   // Runs the retry loop for one transfer with per-attempt failure

@@ -263,6 +263,116 @@ void ObjectStore::AdjustUsedBytes(PartitionId partition, uint32_t old_used,
   free_index_.Update(partition, partitions_[partition].free_bytes());
 }
 
+void ObjectStore::SaveState(SnapshotWriter& w) const {
+  w.Tag("STOR");
+  w.U64(partitions_.size());
+  for (const Partition& p : partitions_) p.SaveState(w);
+
+  w.U64(objects_.size());
+  for (const ObjectRecord& rec : objects_) {
+    w.Bool(rec.exists);
+    if (!rec.exists) continue;
+    w.U32(rec.size);
+    w.U32(rec.partition);
+    w.U32(rec.offset);
+    w.VecU32(rec.slots);
+    w.VecU32(rec.in_refs);
+    w.VecU32(rec.in_ref_slots);
+    w.VecU32(rec.slot_backrefs);
+    w.U32(rec.xpart_in_refs);
+  }
+
+  w.VecU32(roots_);
+  w.U32(newest_object_);
+  w.U32(alloc_cursor_);
+
+  w.Tag("POOL");
+  pool_->SaveState(w);
+  w.Bool(disk_ != nullptr);
+  if (disk_ != nullptr) disk_->SaveState(w);
+  w.Bool(fault_ != nullptr);
+  if (fault_ != nullptr) fault_->SaveState(w);
+
+  w.Tag("CNTR");
+  w.U64(used_bytes_);
+  w.U64(live_objects_);
+  w.U64(pointer_overwrites_);
+  w.U64(allocated_bytes_total_);
+  w.U64(garbage_created_bytes_);
+  w.U64(garbage_created_objects_);
+  w.U64(garbage_collected_bytes_);
+  w.U64(garbage_collected_objects_);
+}
+
+void ObjectStore::RestoreState(SnapshotReader& r) {
+  r.Tag("STOR");
+  const uint64_t part_count = r.U64();
+  if (!r.ok()) return;
+  partitions_.clear();
+  free_index_ = FreeSpaceIndex();
+  for (uint64_t i = 0; i < part_count && r.ok(); ++i) {
+    partitions_.emplace_back(static_cast<PartitionId>(i),
+                             config_.partition_bytes);
+    partitions_.back().RestoreState(r);
+    free_index_.PushPartition(partitions_.back().free_bytes());
+  }
+
+  const uint64_t obj_count = r.U64();
+  if (!r.ok()) return;
+  objects_.clear();
+  objects_.resize(static_cast<size_t>(obj_count));
+  for (uint64_t i = 0; i < obj_count && r.ok(); ++i) {
+    ObjectRecord& rec = objects_[i];
+    rec.exists = r.Bool();
+    if (!rec.exists) continue;
+    rec.size = r.U32();
+    rec.partition = r.U32();
+    rec.offset = r.U32();
+    rec.slots = r.VecU32();
+    rec.in_refs = r.VecU32();
+    rec.in_ref_slots = r.VecU32();
+    rec.slot_backrefs = r.VecU32();
+    rec.xpart_in_refs = r.U32();
+  }
+
+  roots_ = r.VecU32();
+  newest_object_ = r.U32();
+  alloc_cursor_ = r.U32();
+
+  r.Tag("POOL");
+  pool_->RestoreState(r);
+  if (r.Bool()) {
+    if (disk_ == nullptr) {
+      r.MarkMalformed("snapshot has disk-model state but timing is off");
+      return;
+    }
+    disk_->RestoreState(r);
+  }
+  if (r.Bool()) {
+    if (fault_ == nullptr) {
+      r.MarkMalformed("snapshot has fault-injector state but faults are off");
+      return;
+    }
+    fault_->RestoreState(r);
+  }
+
+  r.Tag("CNTR");
+  used_bytes_ = r.U64();
+  live_objects_ = r.U64();
+  pointer_overwrites_ = r.U64();
+  allocated_bytes_total_ = r.U64();
+  garbage_created_bytes_ = r.U64();
+  garbage_created_objects_ = r.U64();
+  garbage_collected_bytes_ = r.U64();
+  garbage_collected_objects_ = r.U64();
+
+  // Transient marking state: reset, not restored. Mark stamps only ever
+  // compare equal to the *current* epoch, so starting over at 0 cannot
+  // change any collection's outcome.
+  mark_epochs_.clear();
+  mark_epoch_ = 0;
+}
+
 uint32_t ObjectStore::BeginMarkEpoch() {
   if (++mark_epoch_ == 0) {
     // Epoch counter wrapped (once per 2^32 collections): stale stamps

@@ -214,6 +214,17 @@ class ObjectStore {
     return free_index_.FreeBytesAt(p);
   }
 
+  // --- Checkpoint hooks (sim/checkpoint.h) ---
+  //
+  // Saves / restores the complete mutable store: partitions, object
+  // records (slots + reverse index), roots, allocation cursor, buffer
+  // pool residency, disk-model and fault-injector state, and all
+  // counters. The free-space index and mark epochs are rebuilt/reset
+  // rather than serialized (both are derivable). Restore requires the
+  // store to have been constructed with the same StoreConfig.
+  void SaveState(SnapshotWriter& w) const;
+  void RestoreState(SnapshotReader& r);
+
  private:
   Partition& PartitionFor(uint32_t size, ObjectId near_hint);
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "storage/types.h"
+#include "util/snapshot.h"
 
 namespace odbgc {
 
@@ -46,6 +47,11 @@ class Partition {
   // break ties toward the least recently collected partition.
   uint64_t last_collected_stamp() const { return last_collected_stamp_; }
   void set_last_collected_stamp(uint64_t s) { last_collected_stamp_ = s; }
+
+  // Checkpoint hooks. id and capacity are structural (reconstructed by
+  // the store from config); only the mutable state travels.
+  void SaveState(SnapshotWriter& w) const;
+  void RestoreState(SnapshotReader& r);
 
  private:
   PartitionId id_;

@@ -104,6 +104,11 @@ void JsonWriter::Value(const std::string& s) {
 
 void JsonWriter::Value(const char* s) { Value(std::string(s)); }
 
+void JsonWriter::RawValue(const std::string& json) {
+  BeforeValue();
+  out_ += json;
+}
+
 void JsonWriter::Value(double d) {
   BeforeValue();
   if (!std::isfinite(d)) {

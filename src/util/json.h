@@ -39,6 +39,10 @@ class JsonWriter {
   void Value(bool b);
   void Null();
 
+  // Splices `json` — an already-serialized document — in value position.
+  // Used to embed one report inside another without re-parsing.
+  void RawValue(const std::string& json);
+
   // Finalizes and returns the document; the writer must be balanced.
   std::string TakeString();
 

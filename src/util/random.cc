@@ -62,4 +62,12 @@ bool Rng::NextBool(double p) {
   return NextDouble() < p;
 }
 
+std::array<uint64_t, 4> Rng::state() const {
+  return {s_[0], s_[1], s_[2], s_[3]};
+}
+
+void Rng::set_state(const std::array<uint64_t, 4>& s) {
+  for (int i = 0; i < 4; ++i) s_[i] = s[i];
+}
+
 }  // namespace odbgc

@@ -1,6 +1,7 @@
 #ifndef ODBGC_UTIL_RANDOM_H_
 #define ODBGC_UTIL_RANDOM_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -42,6 +43,11 @@ class Rng {
       std::swap(v[i - 1], v[j]);
     }
   }
+
+  // Raw generator state, for checkpoint/restore. Restoring the state
+  // resumes the stream at exactly the point it was captured.
+  std::array<uint64_t, 4> state() const;
+  void set_state(const std::array<uint64_t, 4>& s);
 
  private:
   uint64_t s_[4];

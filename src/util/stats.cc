@@ -41,6 +41,16 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
+RunningStats RunningStats::FromRaw(const Raw& r) {
+  RunningStats s;
+  s.count_ = r.count;
+  s.mean_ = r.mean;
+  s.m2_ = r.m2;
+  s.min_ = r.min;
+  s.max_ = r.max;
+  return s;
+}
+
 MinMeanMax Summarize(const std::vector<double>& per_run_values) {
   MinMeanMax out;
   if (per_run_values.empty()) return out;

@@ -24,6 +24,18 @@ class RunningStats {
   double variance() const;
   double stddev() const;
 
+  // Bit-exact internal state for checkpoint/restore. `min`/`max` are the
+  // raw accumulators (±infinity when empty), not the clamped accessors.
+  struct Raw {
+    size_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+  Raw raw() const { return {count_, mean_, m2_, min_, max_}; }
+  static RunningStats FromRaw(const Raw& r);
+
  private:
   size_t count_ = 0;
   double mean_ = 0.0;

@@ -1,12 +1,16 @@
 #include <atomic>
+#include <cstdio>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "sim/parallel.h"
+#include "sim/report.h"
 #include "sim/runner.h"
+#include "util/json.h"
 
 namespace odbgc {
 namespace {
@@ -209,6 +213,224 @@ TEST(DeterminismTest, SaioAggregateIdenticalAcrossThreadCounts) {
   AggregateResult serial = RunOo7Many(cfg, params, 10, 4, /*threads=*/1);
   AggregateResult pooled = RunOo7Many(cfg, params, 10, 4, /*threads=*/3);
   ExpectSameAggregate(serial, pooled);
+}
+
+// Regression for the failed-generation retry path: a generator that
+// throws must erase its slot so a later request regenerates instead of
+// reporting the stale failure forever.
+TEST(TraceCacheTest, FailedGenerationLeavesNoPoisonedSlot) {
+  TraceCache cache;
+  Oo7Params params = Oo7Params::Tiny();
+  std::atomic<int> calls{0};
+  cache.set_generator_for_test(
+      [&calls](const Oo7Params& p,
+               uint64_t seed) -> std::shared_ptr<const Trace> {
+        if (calls.fetch_add(1) == 0) {
+          throw std::runtime_error("simulated generation failure");
+        }
+        return GenerateOo7Trace(p, seed);
+      });
+  EXPECT_THROW(cache.GetOo7(params, 1), std::runtime_error);
+  std::shared_ptr<const Trace> t = cache.GetOo7(params, 1);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(calls.load(), 2);
+  EXPECT_EQ(cache.misses(), 2u);  // the poisoned slot did not count as a hit
+}
+
+TEST(TraceCacheTest, NullGeneratorResultIsAFailureNotACrash) {
+  TraceCache cache;
+  Oo7Params params = Oo7Params::Tiny();
+  bool first = true;
+  cache.set_generator_for_test(
+      [&first](const Oo7Params& p,
+               uint64_t seed) -> std::shared_ptr<const Trace> {
+        if (first) {
+          first = false;
+          return nullptr;
+        }
+        return GenerateOo7Trace(p, seed);
+      });
+  EXPECT_THROW(cache.GetOo7(params, 2), std::runtime_error);
+  EXPECT_NE(cache.GetOo7(params, 2), nullptr);  // slot was erased, retried
+}
+
+// --- sweep failure isolation ---------------------------------------------
+
+TEST(SweepRunnerTest, FailedRunIsIsolatedAndOthersMatchCleanSweep) {
+  Oo7Params params = Oo7Params::Tiny();
+  std::vector<SweepPoint> points;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    SweepPoint p;
+    p.config = TinySagaConfig(EstimatorKind::kFgsHb);
+    p.params = params;
+    p.seed = seed;
+    points.push_back(p);
+  }
+  for (int threads : {1, 4}) {
+    SweepRunner clean_runner(threads);
+    std::vector<RunOutcome> clean = clean_runner.RunWithStatus(points);
+    ASSERT_EQ(clean.size(), points.size());
+    for (const RunOutcome& out : clean) {
+      EXPECT_TRUE(out.status.ok());
+    }
+
+    std::vector<SweepPoint> broken = points;
+    broken[2].config.store.fault.crash_at_event = 500;
+    SweepRunner broken_runner(threads);
+    std::vector<RunOutcome> outcomes = broken_runner.RunWithStatus(broken);
+    ASSERT_EQ(outcomes.size(), points.size());
+    EXPECT_TRUE(outcomes[2].status.failed);
+    EXPECT_EQ(outcomes[2].status.error_kind, SimErrorKind::kCrashInjected);
+    EXPECT_NE(outcomes[2].exception, nullptr);
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      if (i == 2) continue;
+      EXPECT_TRUE(outcomes[i].status.ok()) << "run " << i;
+      ExpectSameResult(clean[i].result, outcomes[i].result);
+    }
+  }
+}
+
+TEST(SweepRunnerTest, RunFailFastRethrowsTheFailure) {
+  Oo7Params params = Oo7Params::Tiny();
+  SweepPoint p;
+  p.config = TinySaioConfig();
+  p.config.store.fault.crash_at_event = 200;
+  p.params = params;
+  p.seed = 1;
+  SweepRunner runner(2);
+  EXPECT_THROW(runner.Run({p}), SimCrashInjected);
+}
+
+TEST(SweepRunnerTest, TransientFailureIsRetriedToSuccess) {
+  Oo7Params params = Oo7Params::Tiny();
+  SweepPoint p;
+  p.config = TinySaioConfig();
+  p.params = params;
+  p.seed = 3;
+  SweepRunner runner(1);
+  std::atomic<int> calls{0};
+  runner.cache().set_generator_for_test(
+      [&calls](const Oo7Params& pp,
+               uint64_t s) -> std::shared_ptr<const Trace> {
+        if (calls.fetch_add(1) == 0) {
+          throw SimDeadlineExceeded(1.0, 1.0);  // transient by contract
+        }
+        return GenerateOo7Trace(pp, s);
+      });
+  SweepOptions opt;
+  opt.max_attempts = 3;
+  std::vector<RunOutcome> outcomes = runner.RunWithStatus({p}, opt);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].status.ok());
+  EXPECT_EQ(outcomes[0].status.attempts, 2);
+  ExpectSameResult(outcomes[0].result, RunOo7Once(p.config, params, 3));
+}
+
+TEST(SweepRunnerTest, DeterministicFailureIsNotRetried) {
+  Oo7Params params = Oo7Params::Tiny();
+  SweepPoint p;
+  p.config = TinySaioConfig();
+  p.config.store.fault.crash_at_event = 100;  // would crash identically again
+  p.params = params;
+  p.seed = 1;
+  SweepOptions opt;
+  opt.max_attempts = 3;
+  SweepRunner runner(2);
+  std::vector<RunOutcome> outcomes = runner.RunWithStatus({p}, opt);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].status.failed);
+  EXPECT_EQ(outcomes[0].status.error_kind, SimErrorKind::kCrashInjected);
+  EXPECT_EQ(outcomes[0].status.attempts, 1);
+}
+
+// Resumable sweeps: a sweep whose runs all "die" mid-trace, rerun with
+// the same checkpoint prefix, finishes byte-identical to a clean sweep.
+TEST(SweepRunnerTest, CrashedSweepResumesByteIdentical) {
+  Oo7Params params = Oo7Params::Tiny();
+  std::vector<SweepPoint> points;
+  for (uint64_t seed = 1; seed <= 2; ++seed) {
+    SweepPoint p;
+    p.config = TinySaioConfig();
+    p.params = params;
+    p.seed = seed;
+    points.push_back(p);
+  }
+  const std::string prefix = ::testing::TempDir() + "odbgc_sweep";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const std::string ckpt = prefix + ".run" + std::to_string(i) + ".ckpt";
+    std::remove(ckpt.c_str());
+    std::remove((ckpt + ".prev").c_str());
+  }
+  SweepOptions opt;
+  opt.checkpoint_prefix = prefix;
+  opt.checkpoint_every = 301;
+
+  SweepRunner clean_runner(2);
+  std::vector<RunOutcome> clean = clean_runner.RunWithStatus(points);
+
+  std::vector<SweepPoint> crashing = points;
+  for (SweepPoint& p : crashing) {
+    p.config.store.fault.crash_at_event = 1000;
+  }
+  SweepRunner crash_runner(2);
+  std::vector<RunOutcome> crashed = crash_runner.RunWithStatus(crashing, opt);
+  for (const RunOutcome& out : crashed) {
+    EXPECT_TRUE(out.status.failed);
+    EXPECT_EQ(out.status.error_kind, SimErrorKind::kCrashInjected);
+  }
+
+  SweepRunner resume_runner(2);
+  std::vector<RunOutcome> resumed = resume_runner.RunWithStatus(points, opt);
+  ASSERT_EQ(resumed.size(), clean.size());
+  for (size_t i = 0; i < resumed.size(); ++i) {
+    EXPECT_TRUE(resumed[i].status.ok()) << "run " << i;
+    ExpectSameResult(clean[i].result, resumed[i].result);
+  }
+  for (size_t i = 0; i < points.size(); ++i) {
+    const std::string ckpt = prefix + ".run" + std::to_string(i) + ".ckpt";
+    std::remove(ckpt.c_str());
+    std::remove((ckpt + ".prev").c_str());
+  }
+}
+
+// --- sweep report JSON -----------------------------------------------------
+
+TEST(SweepReportTest, CarriesPerRunStatusAndSummary) {
+  Oo7Params params = Oo7Params::Tiny();
+  std::vector<SweepPoint> points;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    SweepPoint p;
+    p.config = TinySaioConfig();
+    p.params = params;
+    p.seed = seed;
+    points.push_back(p);
+  }
+  points[1].config.store.fault.crash_at_event = 300;
+  SweepRunner runner(2);
+  std::vector<RunOutcome> outcomes = runner.RunWithStatus(points);
+
+  std::string json = SweepReportToJson(points, outcomes);
+  JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(JsonValue::Parse(json, &doc, &err)) << err;
+
+  const JsonValue* runs = doc.Find("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_TRUE(runs->is_array());
+  ASSERT_EQ(runs->array_items().size(), 3u);
+  const JsonValue& ok_run = runs->array_items()[0];
+  EXPECT_EQ(ok_run.Find("status")->string_value(), "ok");
+  EXPECT_TRUE(ok_run.Has("report"));
+  const JsonValue& bad_run = runs->array_items()[1];
+  EXPECT_EQ(bad_run.Find("status")->string_value(), "failed");
+  EXPECT_EQ(bad_run.Find("error_kind")->string_value(), "crash_injected");
+  EXPECT_FALSE(bad_run.Has("report"));
+
+  const JsonValue* summary = doc.Find("summary");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_EQ(summary->Find("total")->number_value(), 3.0);
+  EXPECT_EQ(summary->Find("ok")->number_value(), 2.0);
+  EXPECT_EQ(summary->Find("failed")->number_value(), 1.0);
 }
 
 TEST(DeterminismTest, RepeatedPooledRunsAgree) {

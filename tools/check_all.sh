@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Full local gate: plain build + complete test suite + a telemetry
-# smoke (export a trace, validate it with odbgc_tracecheck), then both
+# smoke (export a trace, validate it with odbgc_tracecheck), a
+# checkpoint/resume + recovery-fuzz smoke (docs/RECOVERY.md), then both
 # sanitizer passes (tools/check_asan.sh, tools/check_tsan.sh). Each
 # flavor builds into its own directory so the gates do not disturb an
 # existing working build. Usage: tools/check_all.sh
@@ -23,7 +24,63 @@ trap 'rm -f "$trace_tmp"' EXIT
     --require-span=collection,scan,copy,page_read,page_write,policy_decision \
     "$trace_tmp"
 
+# Checkpoint/resume smoke on OO7 Small': kill a SAIO run halfway via
+# --crash-at-event, resume from its checkpoint, and require the resumed
+# report to be byte-identical to the uninterrupted run (exit codes: 5
+# for the injected crash, 0 for the resume).
+ckpt_dir="$(mktemp -d /tmp/odbgc_ckpt.XXXXXX)"
+trap 'rm -f "$trace_tmp"; rm -rf "$ckpt_dir"' EXIT
+run="./build-check/tools/odbgc_run"
+"$run" --workload=oo7 --oo7=smallprime --policy=saio --seed=4 \
+    --json="$ckpt_dir/golden.json" > /dev/null
+events="$(python3 -c "
+import json
+print(json.load(open('$ckpt_dir/golden.json'))['events'])")"
+set +e
+"$run" --workload=oo7 --oo7=smallprime --policy=saio --seed=4 \
+    --checkpoint="$ckpt_dir/run.ckpt" --checkpoint-every=10000 \
+    --crash-at-event="$((events / 2))" > /dev/null 2>&1
+[ $? -eq 5 ] || { echo "FAIL: crash run should exit 5"; exit 1; }
+set -e
+"$run" --workload=oo7 --oo7=smallprime --policy=saio --seed=4 \
+    --checkpoint="$ckpt_dir/run.ckpt" --resume \
+    --json="$ckpt_dir/resumed.json" > /dev/null
+cmp "$ckpt_dir/golden.json" "$ckpt_dir/resumed.json"
+echo "checkpoint/resume smoke: byte-identical after halfway kill"
+
+# Sweep failure isolation: one deliberately crashed run must land as
+# structured failure data while the other runs stay byte-identical to a
+# clean sweep, across thread counts.
+"$run" --workload=oo7 --oo7=tiny --policy=saga --runs=4 --threads=1 \
+    --sweep-json="$ckpt_dir/sweep-clean.json" > /dev/null
+set +e
+"$run" --workload=oo7 --oo7=tiny --policy=saga --runs=4 --threads=4 \
+    --crash-at-event=2000 --crash-seed=2 \
+    --sweep-json="$ckpt_dir/sweep-fail.json" > /dev/null 2>&1
+sweep_exit=$?
+set -e
+[ "$sweep_exit" -eq 4 ] || {
+  echo "FAIL: sweep with a crashed run exited $sweep_exit, want 4"; exit 1; }
+python3 - "$ckpt_dir" <<'EOF'
+import json, sys
+d = sys.argv[1]
+clean = json.load(open(d + "/sweep-clean.json"))
+fail = json.load(open(d + "/sweep-fail.json"))
+assert fail["summary"] == {"total": 4, "ok": 3, "failed": 1}, fail["summary"]
+for c, f in zip(clean["runs"], fail["runs"]):
+    if f["status"] == "failed":
+        assert f["error_kind"] == "crash_injected", f
+    else:
+        assert c["report"] == f["report"], "run %d diverged" % f["index"]
+print("sweep isolation smoke: 1 structured failure, 3 runs unchanged")
+EOF
+
+# Crash-anywhere recovery fuzz (a short schedule here; CI runs the full
+# 50-kill-point pass — see .github/workflows/ci.yml).
+ODBGC_RECOVERY_KILLS="${ODBGC_RECOVERY_KILLS:-5}" \
+    tools/check_recovery.sh build-check
+
 tools/check_asan.sh build-asan
 tools/check_tsan.sh build-tsan
 
-echo "OK: plain suite + telemetry smoke + asan + tsan all green"
+echo "OK: plain suite + telemetry + checkpoint/recovery + asan + tsan green"

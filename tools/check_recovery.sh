@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Crash-anywhere recovery fuzzer over the odbgc_run CLI: runs a golden
+# OO7 simulation to completion, then repeatedly kills the same run at
+# randomized event indices (--crash-at-event), resumes each victim from
+# its last checkpoint, and requires the resumed report to be
+# byte-identical to the golden one.
+#
+# Usage: tools/check_recovery.sh [build-dir]
+#   ODBGC_RECOVERY_KILLS   kill points to try (default 50)
+#   ODBGC_RECOVERY_SEED    RNG seed for the kill schedule (default 1)
+#   ODBGC_RECOVERY_OO7     OO7 preset (default tiny; small' = smallprime)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+RUN="$BUILD_DIR/tools/odbgc_run"
+KILLS="${ODBGC_RECOVERY_KILLS:-50}"
+SEED="${ODBGC_RECOVERY_SEED:-1}"
+OO7="${ODBGC_RECOVERY_OO7:-tiny}"
+
+if [[ ! -x "$RUN" ]]; then
+  echo "error: $RUN not built (cmake --build $BUILD_DIR)" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d /tmp/odbgc_recovery.XXXXXX)"
+trap 'rm -rf "$WORK"' EXIT
+
+run_one() {  # policy
+  local policy="$1"
+  local golden="$WORK/golden-$policy.json"
+  local ckpt="$WORK/run-$policy.ckpt"
+
+  "$RUN" --workload=oo7 --oo7="$OO7" --policy="$policy" --seed=4 \
+      --json="$golden" > /dev/null
+  # Event count bounds the kill range; read it from the golden report.
+  local events
+  events="$(python3 -c "
+import json
+print(json.load(open('$golden'))['events'])")"
+
+  echo "== $policy: $KILLS random kill points over $events events =="
+  local resumed_count=0
+  for ((i = 0; i < KILLS; ++i)); do
+    # Deterministic kill schedule: a python LCG keyed by (seed, i).
+    local kill
+    kill="$(python3 -c "
+x = ($SEED * 2654435761 + $i) & 0xFFFFFFFFFFFFFFFF
+x = (x * 6364136223846793005 + 1442695040888963407) & 0xFFFFFFFFFFFFFFFF
+print(1 + (x >> 33) % ($events - 1))")"
+    rm -f "$ckpt" "$ckpt.prev" "$ckpt.tmp"
+
+    set +e
+    "$RUN" --workload=oo7 --oo7="$OO7" --policy="$policy" --seed=4 \
+        --checkpoint="$ckpt" --checkpoint-every=500 \
+        --crash-at-event="$kill" > /dev/null 2>&1
+    local crash_exit=$?
+    set -e
+    if [[ $crash_exit -ne 5 ]]; then
+      echo "FAIL: kill at event $kill exited $crash_exit, want 5" >&2
+      exit 1
+    fi
+    [[ -f "$ckpt" ]] && resumed_count=$((resumed_count + 1))
+
+    local resumed="$WORK/resumed-$policy.json"
+    "$RUN" --workload=oo7 --oo7="$OO7" --policy="$policy" --seed=4 \
+        --checkpoint="$ckpt" --resume --json="$resumed" > /dev/null 2>&1
+    if ! cmp -s "$golden" "$resumed"; then
+      echo "FAIL: resume after kill at event $kill diverged from golden" >&2
+      diff <(head -c 400 "$golden") <(head -c 400 "$resumed") >&2 || true
+      exit 1
+    fi
+  done
+  echo "   $KILLS/$KILLS byte-identical ($resumed_count resumed from a checkpoint)"
+}
+
+run_one saio
+run_one saga
+
+echo "OK: crash-anywhere recovery fuzz green ($((2 * KILLS)) kill points)"

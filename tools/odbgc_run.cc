@@ -3,14 +3,33 @@
 //   odbgc_run --workload=oo7 --policy=saga --saga-frac=0.1
 //   odbgc_run --trace=app.trace --policy=saio --saio-frac=0.05
 //             --log-csv=collections.csv
+//
+// Durability / sweeps:
+//   odbgc_run --workload=oo7 --checkpoint=run.ckpt --checkpoint-every=5000
+//   odbgc_run --workload=oo7 --checkpoint=run.ckpt --resume --json=out.json
+//   odbgc_run --runs=8 --base-seed=1 --threads=4 --sweep-json=sweep.json
+//
+// Exit codes:
+//   0  success
+//   2  configuration / usage error (bad flags, unknown values)
+//   3  I/O or checkpoint error (unreadable trace, unwritable report,
+//      corrupt checkpoint, failed checkpoint write)
+//   4  simulation failure (deadline exceeded, failed sweep runs)
+//   5  injected crash reached (--crash-at-event fired; resume with
+//      --resume to continue from the last checkpoint)
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "obs/build_info.h"
 #include "obs/perfetto_export.h"
 #include "obs/progress.h"
+#include "oo7/params.h"
+#include "sim/checkpoint.h"
+#include "sim/errors.h"
+#include "sim/parallel.h"
 #include "sim/report.h"
 #include "sim/simulation.h"
 #include "tools/tool_common.h"
@@ -18,6 +37,13 @@
 #include "util/flags.h"
 
 namespace {
+
+// Exit codes (see the header comment).
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 2;
+constexpr int kExitIo = 3;
+constexpr int kExitSimFailure = 4;
+constexpr int kExitCrashInjected = 5;
 
 bool DumpCollectionLogCsv(const odbgc::SimResult& result,
                           const std::string& path) {
@@ -49,6 +75,95 @@ bool DumpCollectionLogCsv(const odbgc::SimResult& result,
   return true;
 }
 
+// Sweep mode (--runs=N): fans N seeds of the OO7 workload across a
+// thread pool with per-run failure isolation. One failed run does not
+// abort the others; its status lands in the sweep report instead.
+int RunSweep(odbgc::Flags& flags, const odbgc::SimConfig& config,
+             int64_t runs) {
+  using namespace odbgc;
+  std::string error;
+  const std::string workload = flags.GetString("workload", "oo7");
+  if (workload != "oo7") {
+    std::fprintf(stderr, "error: --runs sweeps support --workload=oo7 only\n");
+    return kExitUsage;
+  }
+  Oo7Params params;
+  if (!tools::BuildOo7Params(flags, &params, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return kExitUsage;
+  }
+  const uint64_t base_seed =
+      static_cast<uint64_t>(flags.GetInt("base-seed", 1));
+  const std::string sweep_json = flags.GetString("sweep-json", "");
+  const int threads = static_cast<int>(flags.GetInt("threads", 0));
+  SweepOptions options;
+  options.max_attempts = 1 + static_cast<int>(flags.GetInt("retries", 0));
+  options.retry_backoff_ms = flags.GetDouble("retry-backoff-ms", 0.0);
+  options.run_deadline_ms = flags.GetDouble("run-deadline-ms", 0.0);
+  // Resumable sweeps: per-run checkpoints under the given prefix. A
+  // rerun of an interrupted sweep (--resume is implied by an existing
+  // checkpoint) continues each run from where it stopped.
+  options.checkpoint_prefix = flags.GetString("checkpoint", "");
+  options.checkpoint_every =
+      static_cast<uint64_t>(flags.GetInt("checkpoint-every", 0));
+  flags.GetBool("resume", false);  // implied in sweep mode; consume it
+  if (options.checkpoint_every > 0 && options.checkpoint_prefix.empty()) {
+    std::fprintf(stderr, "error: --checkpoint-every requires --checkpoint\n");
+    return kExitUsage;
+  }
+  // Deliberate failure injection: crash every run (or just the run with
+  // seed --crash-seed) after N applied events. Used by the recovery
+  // smoke to prove one failing run does not disturb the others.
+  const uint64_t crash_at_event =
+      static_cast<uint64_t>(flags.GetInt("crash-at-event", 0));
+  const uint64_t crash_seed =
+      static_cast<uint64_t>(flags.GetInt("crash-seed", 0));
+  const bool progress = flags.GetBool("progress", false);
+  if (options.max_attempts < 1) {
+    std::fprintf(stderr, "error: --retries must be >= 0\n");
+    return kExitUsage;
+  }
+  if (!tools::CheckNoUnusedFlags(flags, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return kExitUsage;
+  }
+
+  std::vector<SweepPoint> points;
+  points.reserve(static_cast<size_t>(runs));
+  for (int64_t i = 0; i < runs; ++i) {
+    SweepPoint p{config, params, base_seed + static_cast<uint64_t>(i)};
+    if (crash_at_event != 0 && (crash_seed == 0 || p.seed == crash_seed)) {
+      p.config.store.fault.crash_at_event = crash_at_event;
+    }
+    points.push_back(p);
+  }
+  SweepRunner runner(threads);
+  if (progress) runner.set_progress_stream(stderr);
+  std::vector<RunOutcome> outcomes = runner.RunWithStatus(points, options);
+
+  size_t failed = 0;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const RunStatus& st = outcomes[i].status;
+    if (st.ok()) continue;
+    ++failed;
+    std::fprintf(stderr, "run %zu (seed %llu) failed [%s, %d attempt%s]: %s\n",
+                 i, static_cast<unsigned long long>(points[i].seed),
+                 SimErrorKindName(st.error_kind), st.attempts,
+                 st.attempts == 1 ? "" : "s", st.message.c_str());
+  }
+  std::printf("sweep             %lld runs on %d threads: %zu ok, %zu failed\n",
+              static_cast<long long>(runs), runner.threads(),
+              outcomes.size() - failed, failed);
+  if (!sweep_json.empty()) {
+    if (!WriteSweepReportJson(points, outcomes, sweep_json)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", sweep_json.c_str());
+      return kExitIo;
+    }
+    std::printf("sweep report      %s\n", sweep_json.c_str());
+  }
+  return failed == 0 ? kExitOk : kExitSimFailure;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -65,7 +180,14 @@ int main(int argc, char** argv) {
                  "[simulation flags] [--log-csv=FILE] [--json=FILE]\n"
                  "  observability: --version  --telemetry  "
                  "--trace-out=FILE [--no-page-events] "
-                 "[--trace-events-cap=N]  --progress\n");
+                 "[--trace-events-cap=N]  --progress\n"
+                 "  durability:    --checkpoint=FILE --checkpoint-every=N  "
+                 "--resume  --crash-at-event=N  --deadline-ms=X\n"
+                 "  sweeps:        --runs=N [--base-seed=N --threads=N "
+                 "--retries=N --retry-backoff-ms=X --run-deadline-ms=X "
+                 "--sweep-json=FILE --crash-at-event=N --crash-seed=S]\n"
+                 "  exit codes:    0 ok, 2 usage, 3 I/O or checkpoint, "
+                 "4 simulation failure, 5 injected crash\n");
     tools::PrintCommonUsage();
     return 0;
   }
@@ -77,26 +199,52 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Sweep mode builds its own workload and never loads a trace file.
+  const int64_t runs = flags.GetInt("runs", 0);
+  if (runs > 0) {
+    SimConfig sweep_config;
+    if (!tools::BuildSimConfig(flags, &sweep_config, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return kExitUsage;
+    }
+    sweep_config.deadline_ms = flags.GetDouble("deadline-ms", 0.0);
+    return RunSweep(flags, sweep_config, runs);
+  }
+
   Trace trace;
   std::string trace_path = flags.GetString("trace", "");
   if (!trace_path.empty()) {
     if (!Trace::LoadFrom(trace_path, &trace)) {
       std::fprintf(stderr, "error: cannot read trace '%s'\n",
                    trace_path.c_str());
-      return 1;
+      return kExitIo;
     }
   } else if (!tools::BuildWorkloadTrace(flags, &trace, &error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
-    return 2;
+    return kExitUsage;
   }
 
   SimConfig config;
   if (!tools::BuildSimConfig(flags, &config, &error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
-    return 2;
+    return kExitUsage;
   }
   std::string csv_path = flags.GetString("log-csv", "");
   std::string json_path = flags.GetString("json", "");
+
+  // Durability flags (see the header comment for the recovery protocol).
+  const std::string checkpoint_path = flags.GetString("checkpoint", "");
+  const uint64_t checkpoint_every =
+      static_cast<uint64_t>(flags.GetInt("checkpoint-every", 0));
+  const bool resume = flags.GetBool("resume", false);
+  config.store.fault.crash_at_event =
+      static_cast<uint64_t>(flags.GetInt("crash-at-event", 0));
+  config.deadline_ms = flags.GetDouble("deadline-ms", 0.0);
+  if ((checkpoint_every > 0 || resume) && checkpoint_path.empty()) {
+    std::fprintf(stderr,
+                 "error: --checkpoint-every/--resume require --checkpoint\n");
+    return kExitUsage;
+  }
 
   // Observability flags. --trace-out implies trace capture; --telemetry
   // alone collects metrics only (cheapest useful configuration).
@@ -121,10 +269,51 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  Simulation sim(config);
+  std::unique_ptr<Simulation> sim_ptr;
+  if (resume) {
+    ResumeResult resumed = ResumeFromCheckpoint(config, checkpoint_path);
+    if (resumed.ok()) {
+      std::fprintf(stderr, "resumed from %s at event %llu%s\n",
+                   resumed.loaded_path.c_str(),
+                   static_cast<unsigned long long>(resumed.events_applied),
+                   resumed.used_fallback ? " (fallback .prev image)" : "");
+      sim_ptr = std::move(resumed.sim);
+    } else if (resumed.primary_error == CheckpointError::kOpenFailed) {
+      // No checkpoint was ever written (e.g. the crash preceded the
+      // first checkpoint interval): start from the beginning.
+      std::fprintf(stderr, "no checkpoint at %s; starting fresh\n",
+                   checkpoint_path.c_str());
+      sim_ptr = std::make_unique<Simulation>(config);
+    } else {
+      std::fprintf(stderr, "error: cannot resume from '%s': %s\n",
+                   checkpoint_path.c_str(),
+                   CheckpointErrorName(resumed.primary_error));
+      return kExitIo;
+    }
+  } else {
+    sim_ptr = std::make_unique<Simulation>(config);
+  }
+  Simulation& sim = *sim_ptr;
   obs::ProgressReporter reporter(stderr);
   if (progress) sim.set_progress(&reporter);
-  SimResult r = sim.Run(trace);
+  SimResult r;
+  try {
+    r = sim.RunFrom(trace, checkpoint_path, checkpoint_every);
+  } catch (const SimCrashInjected& e) {
+    std::fprintf(stderr,
+                 "crash injected after event %llu; resume with "
+                 "--checkpoint=%s --resume\n",
+                 static_cast<unsigned long long>(e.at_event()),
+                 checkpoint_path.empty() ? "FILE" : checkpoint_path.c_str());
+    return kExitCrashInjected;
+  } catch (const SimCheckpointWriteError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitIo;
+  } catch (const SimError& e) {
+    std::fprintf(stderr, "error: simulation failed (%s): %s\n",
+                 SimErrorKindName(e.kind()), e.what());
+    return kExitSimFailure;
+  }
 
   std::printf("policy            %s\n", sim.policy().name().c_str());
   std::printf("events            %llu (%llu pointer overwrites)\n",
@@ -174,7 +363,7 @@ int main(int argc, char** argv) {
   if (!csv_path.empty()) {
     if (!DumpCollectionLogCsv(r, csv_path)) {
       std::fprintf(stderr, "error: cannot write '%s'\n", csv_path.c_str());
-      return 1;
+      return kExitIo;
     }
     std::printf("collection log    %s (%zu rows)\n", csv_path.c_str(),
                 r.log.size());
@@ -182,7 +371,7 @@ int main(int argc, char** argv) {
   if (!json_path.empty()) {
     if (!WriteResultJson(r, json_path)) {
       std::fprintf(stderr, "error: cannot write '%s'\n", json_path.c_str());
-      return 1;
+      return kExitIo;
     }
     std::printf("json report       %s\n", json_path.c_str());
   }
@@ -190,13 +379,13 @@ int main(int argc, char** argv) {
     obs::Telemetry* tel = sim.telemetry();
     if (tel == nullptr || tel->recorder() == nullptr) {
       std::fprintf(stderr, "error: no trace was recorded\n");
-      return 1;
+      return kExitSimFailure;
     }
     std::vector<obs::TraceThread> threads{
         obs::TraceThread{tel->recorder(), 1, "simulation"}};
     if (!obs::WriteChromeTrace(threads, trace_out)) {
       std::fprintf(stderr, "error: cannot write '%s'\n", trace_out.c_str());
-      return 1;
+      return kExitIo;
     }
     std::printf("chrome trace      %s (%zu events", trace_out.c_str(),
                 tel->recorder()->size());
@@ -207,5 +396,5 @@ int main(int argc, char** argv) {
     }
     std::printf(")\n");
   }
-  return 0;
+  return kExitOk;
 }
