@@ -44,7 +44,7 @@ Measured MeasureGenDb(const odbgc::Oo7Params& params, uint64_t seed) {
   for (ObjectId id = 1; id <= store.max_object_id(); ++id) {
     if (!store.Exists(id)) continue;
     if (store.object(id).size == kAtomicBytes) {
-      atomic_in_refs += store.object(id).in_refs.size();
+      atomic_in_refs += store.in_refs(id).size();
       ++atomics;
     }
   }

@@ -1,7 +1,6 @@
 #include "gc/collector.h"
 
 #include <cstdint>
-#include <utility>
 #include <vector>
 
 #include "util/check.h"
@@ -19,6 +18,8 @@ void Collector::AttachTelemetry(obs::Telemetry* telemetry) {
   ti_.gc_io = m.GetHistogram("gc.collection_io_ops");
   ti_.reclaimed = m.GetHistogram("gc.collection_reclaimed_bytes");
   ti_.live = m.GetHistogram("gc.collection_live_bytes");
+  ti_.batch_partitions = m.GetHistogram("gc.batch_partitions");
+  ti_.batch_replans = m.GetCounter("gc.batch_replans");
 }
 
 void Collector::SaveState(SnapshotWriter& w) const {
@@ -56,8 +57,205 @@ void Collector::ScheduleCrash(CrashPoint point, uint64_t attempt) {
   crash_attempt_ = attempt == 0 ? attempts_ + 1 : attempt;
 }
 
+void Collector::PlanPartition(const ObjectStore& store, PartitionId partition,
+                              MarkBitmap& mark, CollectionPlan* plan) {
+  std::vector<ObjectId>& copy_order = plan->copy_order;
+  std::vector<ObjectId>& reclaim = plan->reclaim;
+  copy_order.clear();
+  reclaim.clear();
+  plan->new_used = 0;
+  plan->reclaimed_bytes = 0;
+
+  // Partition roots: global roots in this partition, plus objects with at
+  // least one referencing slot held by an object outside this partition
+  // (the store's cross-partition in-ref counters answer that in O(1) per
+  // object; the reverse-index lists are never scanned).
+  //
+  // Marking uses a word-packed bitmap over object ids: TestAndSet makes
+  // first-visit detection one masked or, and the whole mark state of a
+  // database-sized id space stays L1-resident. copy_order doubles as the
+  // BFS worklist (head cursor), which makes it exactly the Cheney
+  // breadth-first copy order.
+  mark.Reset(store.max_object_id() + 1);
+  const ObjectRecord* headers = store.header_arena();
+  uint32_t new_used = 0;
+  auto visit = [&](ObjectId id) {
+    if (mark.TestAndSet(id)) {
+      copy_order.push_back(id);
+      new_used += headers[id].size;
+    }
+  };
+  for (ObjectId root : store.roots()) {
+    if (headers[root].partition == partition) visit(root);
+  }
+  // The newest allocation is pinned: the application still holds a
+  // transient reference to it even if it is not linked in yet.
+  const ObjectId newest = store.newest_object();
+  if (newest != kNullObject && store.Exists(newest) &&
+      headers[newest].partition == partition) {
+    visit(newest);
+  }
+  const Partition& part = store.partition(partition);
+  const std::vector<ObjectId>& resident = part.objects();
+  const size_t resident_count = resident.size();
+  for (size_t i = 0; i < resident_count; ++i) {
+    // Resident ids are dense in the list but their headers are not;
+    // stream the header loads ahead of the xpart test.
+    if (i + 8 < resident_count) __builtin_prefetch(&headers[resident[i + 8]]);
+    const ObjectId id = resident[i];
+    if (!store.Exists(id)) continue;
+    if (headers[id].xpart_in_refs > 0) visit(id);
+  }
+
+  // Cheney breadth-first traversal; pointers leaving the partition are
+  // not traversed.
+  const Slot* slot_arena = store.slot_arena();
+  for (size_t head = 0; head < copy_order.size(); ++head) {
+    if (head + 1 < copy_order.size()) {
+      // Pull the next worklist entry's slot range in while this one scans.
+      __builtin_prefetch(slot_arena + headers[copy_order[head + 1]].slot_begin);
+    }
+    const ObjectRecord& rec = headers[copy_order[head]];
+    const Slot* slots = slot_arena + rec.slot_begin;
+    const uint32_t n = rec.slot_count;
+    for (uint32_t i = 0; i < n; ++i) {
+      const ObjectId target = slots[i].target;
+      // The next slots' target headers are data-dependent loads; start
+      // them early so the partition test below rarely stalls.
+      if (i + 4 < n && slots[i + 4].target != kNullObject) {
+        __builtin_prefetch(&headers[slots[i + 4].target]);
+      }
+      if (target == kNullObject) continue;
+      if (headers[target].partition != partition) continue;
+      visit(target);
+    }
+  }
+
+  // Plan the reclaim set and the compacted layout WITHOUT mutating the
+  // store: nothing is destroyed or relocated until the flip, so a crash
+  // before the commit point leaves from-space fully authoritative.
+  for (ObjectId id : part.objects()) {
+    if (mark.Test(id)) continue;
+    ODBGC_CHECK_MSG(!store.IsRoot(id), "collector reclaiming a root");
+    plan->reclaimed_bytes += store.object(id).size;
+    reclaim.push_back(id);
+  }
+  plan->new_used = new_used;
+}
+
+void Collector::EnsurePlanCache(const ObjectStore& store) {
+  if (cache_serial_ != store.store_serial()) {
+    cache_serial_ = store.store_serial();
+    plan_cache_.clear();
+    plan_cache_epoch_.clear();
+    plan_cache_valid_.clear();
+  }
+  const size_t n = store.partition_count();
+  if (plan_cache_.size() < n) {
+    plan_cache_.resize(n);
+    plan_cache_epoch_.resize(n, 0);
+    plan_cache_valid_.resize(n, 0);
+  }
+}
+
 CollectionReport Collector::Collect(ObjectStore& store,
                                     PartitionId partition) {
+  ODBGC_CHECK_MSG(!journal_.pending,
+                  "Collect while crash recovery is pending");
+  EnsurePlanCache(store);
+  const uint64_t epoch = store.plan_epoch(partition);
+  CollectionPlan& plan = plan_cache_[partition];
+  if (!plan_cache_valid_[partition] || plan_cache_epoch_[partition] != epoch) {
+    PlanPartition(store, partition, mark_scratch_, &plan);
+    plan_cache_epoch_[partition] = epoch;
+    plan_cache_valid_[partition] = 1;
+  }
+  return ApplyCollection(store, partition, plan);
+}
+
+std::vector<CollectionReport> Collector::CollectBatch(
+    ObjectStore& store, const std::vector<PartitionId>& partitions,
+    ThreadPool* pool) {
+  ODBGC_CHECK_MSG(!journal_.pending,
+                  "CollectBatch while crash recovery is pending");
+  std::vector<CollectionReport> reports;
+  const size_t n = partitions.size();
+  reports.reserve(n);
+  if (n == 0) return reports;
+
+  // Duplicate partitions would alias plans; reject them.
+  std::vector<char> in_batch(store.partition_count(), 0);
+  for (size_t i = 0; i < n; ++i) {
+    ODBGC_CHECK(partitions[i] < store.partition_count());
+    ODBGC_CHECK_MSG(!in_batch[partitions[i]],
+                    "CollectBatch: duplicate partition");
+    in_batch[partitions[i]] = 1;
+  }
+
+  ODBGC_TEL_SPAN(batch_span, tel_, "collection_batch",
+                 {{"partitions", static_cast<uint64_t>(n)}});
+  ODBGC_IF_TEL(tel_) { ti_.batch_partitions->Record(n); }
+
+  // Phase 1 — plan every partition concurrently. Planning is a pure read
+  // of the store; each task owns a private mark bitmap (indexed by worker,
+  // with one extra slot for the submitting thread), so there is no shared
+  // mutable state and no atomics. A partition whose cached plan is still
+  // epoch-valid reuses it (a copy; the shared cache is strictly read-only
+  // here, so workers never race on it).
+  EnsurePlanCache(store);
+  std::vector<uint64_t> epochs(n);
+  for (size_t i = 0; i < n; ++i) epochs[i] = store.plan_epoch(partitions[i]);
+  ODBGC_IF_TEL(tel_) { tel_->Begin("plan"); }
+  std::vector<CollectionPlan> plans(n);
+  auto plan_one = [&](size_t i, MarkBitmap& mark) {
+    const PartitionId p = partitions[i];
+    if (plan_cache_valid_[p] && plan_cache_epoch_[p] == epochs[i]) {
+      plans[i] = plan_cache_[p];
+    } else {
+      PlanPartition(store, p, mark, &plans[i]);
+    }
+  };
+  if (pool != nullptr && pool->size() > 1 && n > 1) {
+    std::vector<MarkBitmap> marks(static_cast<size_t>(pool->size()) + 1);
+    pool->ParallelFor(n, [&](size_t i) {
+      int w = ThreadPool::current_worker_index();
+      const size_t slot = (w < 0 || w >= pool->size())
+                              ? static_cast<size_t>(pool->size())
+                              : static_cast<size_t>(w);
+      plan_one(i, marks[slot]);
+    });
+  } else {
+    for (size_t i = 0; i < n; ++i) plan_one(i, mark_scratch_);
+  }
+  ODBGC_IF_TEL(tel_) { tel_->End("plan"); }
+
+  // Phase 2 — apply serially in the given order. A plan computed against
+  // the pre-batch snapshot can go stale: destroying partition A's garbage
+  // detaches its out-pointers, which may drop a cross-partition in-ref
+  // into a later partition B and shrink B's root set. Every such change
+  // bumps B's plan epoch (that is the plan-epoch contract), so staleness
+  // detection is one integer compare against the epoch the plan was made
+  // at; a dirtied partition is re-planned serially right before its
+  // apply, reproducing what the serial loop would have seen. Everything
+  // else a plan reads is untouched by other partitions' applies, and
+  // apply-time I/O re-reads source positions fresh — so the batch is
+  // byte-identical to the serial loop at any thread count.
+  for (size_t k = 0; k < n; ++k) {
+    const PartitionId p = partitions[k];
+    if (store.plan_epoch(p) != epochs[k]) {
+      ODBGC_IF_TEL(tel_) { ti_.batch_replans->Increment(); }
+      PlanPartition(store, p, mark_scratch_, &plans[k]);
+    }
+    reports.push_back(ApplyCollection(store, p, plans[k]));
+    // A scheduled crash stops the batch; the caller must Recover().
+    if (reports.back().crashed) break;
+  }
+  return reports;
+}
+
+CollectionReport Collector::ApplyCollection(ObjectStore& store,
+                                            PartitionId partition,
+                                            const CollectionPlan& plan) {
   ODBGC_CHECK_MSG(!journal_.pending,
                   "Collect while crash recovery is pending");
   ++attempts_;
@@ -83,69 +281,17 @@ CollectionReport Collector::Collect(ObjectStore& store,
   ODBGC_IF_TEL(tel_) { tel_->Begin("scan"); }
 
   // 1. Read the partition's from-space (sequential scan of its used pages).
+  // The marking itself already happened in PlanPartition — it is a pure
+  // in-memory computation, so planning ahead of this read changes no I/O.
   if (part.used() > 0) {
     store.TouchRange(partition, 0, part.used(), /*dirty=*/false,
                      IoContext::kCollector);
   }
 
-  // Partition roots: global roots in this partition, plus objects with at
-  // least one referencing slot held by an object outside this partition
-  // (the store's cross-partition in-ref counters answer that in O(1) per
-  // object; the reverse-index lists are never scanned).
-  //
-  // Marking is epoch-stamped against the store's dense mark array: an
-  // object is marked iff its stamp equals this collection's epoch, so no
-  // per-collection set is allocated and clearing is free. copy_order
-  // doubles as the BFS worklist (head cursor), which makes it exactly
-  // the Cheney breadth-first copy order.
-  const uint32_t epoch = store.BeginMarkEpoch();
-  std::vector<uint32_t>& mark_epochs = store.mark_epochs();
-  std::vector<ObjectId> copy_order;
-  auto mark = [&](ObjectId id) {
-    if (mark_epochs[id] != epoch) {
-      mark_epochs[id] = epoch;
-      copy_order.push_back(id);
-    }
-  };
-  for (ObjectId root : store.roots()) {
-    if (store.object(root).partition == partition) mark(root);
-  }
-  // The newest allocation is pinned: the application still holds a
-  // transient reference to it even if it is not linked in yet.
-  ObjectId newest = store.newest_object();
-  if (newest != kNullObject && store.Exists(newest) &&
-      store.object(newest).partition == partition) {
-    mark(newest);
-  }
-  for (ObjectId id : part.objects()) {
-    if (!store.Exists(id)) continue;
-    if (store.object(id).xpart_in_refs > 0) mark(id);
-  }
-
-  // Cheney breadth-first traversal; pointers leaving the partition are
-  // not traversed.
-  for (size_t head = 0; head < copy_order.size(); ++head) {
-    const ObjectRecord& rec = store.object(copy_order[head]);
-    for (ObjectId target : rec.slots) {
-      if (target == kNullObject) continue;
-      if (store.object(target).partition != partition) continue;
-      mark(target);
-    }
-  }
-
-  // Plan the reclaim set and the compacted layout WITHOUT mutating the
-  // store: nothing is destroyed or relocated until the flip (step 4), so a
-  // crash before the commit point leaves from-space fully authoritative.
-  std::vector<ObjectId> reclaim;
-  uint64_t reclaimed_bytes = 0;
-  for (ObjectId id : part.objects()) {
-    if (mark_epochs[id] == epoch) continue;
-    ODBGC_CHECK_MSG(!store.IsRoot(id), "collector reclaiming a root");
-    reclaimed_bytes += store.object(id).size;
-    reclaim.push_back(id);
-  }
-  uint32_t new_used = 0;
-  for (ObjectId id : copy_order) new_used += store.object(id).size;
+  const std::vector<ObjectId>& copy_order = plan.copy_order;
+  const std::vector<ObjectId>& reclaim = plan.reclaim;
+  const uint32_t new_used = plan.new_used;
+  const uint64_t reclaimed_bytes = plan.reclaimed_bytes;
   const uint64_t live_bytes = new_used;
   ODBGC_CHECK(report.bytes_before == live_bytes + reclaimed_bytes);
 
@@ -237,8 +383,8 @@ CollectionReport Collector::Collect(ObjectStore& store,
   if (protocol) {
     store.CommitRecordWrite(partition, IoContext::kCollector);
   }
-  FinishCollection(store, partition, std::move(copy_order), new_used,
-                   reclaimed_bytes, reclaim.size());
+  FinishCollection(store, partition, copy_order, new_used, reclaimed_bytes,
+                   reclaim.size());
 
   const IoStats after_io = store.io_stats();
   report.gc_reads = after_io.gc_reads - before_io.gc_reads;
@@ -292,7 +438,7 @@ RecoveryReport Collector::Recover(ObjectStore& store) {
     rec.redo_external_updates = UpdateRememberedSets(
         store, partition, journal_.copy_order, 0, UINT64_MAX);
     store.CommitRecordWrite(partition, IoContext::kCollector);  // clear
-    FinishCollection(store, partition, std::move(journal_.copy_order),
+    FinishCollection(store, partition, journal_.copy_order,
                      journal_.new_used, journal_.reclaimed_bytes,
                      journal_.reclaimed_objects);
   }
@@ -346,30 +492,51 @@ uint64_t Collector::UpdateRememberedSets(ObjectStore& store,
                                          PartitionId partition,
                                          const std::vector<ObjectId>& copy_order,
                                          uint64_t first, uint64_t count) {
-  uint64_t ordinal = 0;
-  uint64_t touched = 0;
+  // Gather pass: walk the survivors' in-ref lists and collect the page
+  // ranges of external sources. This is a pure memory walk; the
+  // buffer-pool touches are issued afterwards in gather order, which is
+  // exactly the order the historical interleaved walk used (touches never
+  // move objects, so gathering first cannot change what is gathered).
+  // The in-ref lists are short, so software prefetch overhead costs more
+  // here than the stalls it hides; the hardware prefetcher handles the
+  // sequential entry reads.
+  std::vector<RemsetTouch>& touches = remset_scratch_;
+  touches.clear();
+  const ObjectRecord* headers = store.header_arena();
+  const std::vector<InRef>* in_refs = store.in_ref_arena();
   for (ObjectId id : copy_order) {
-    for (ObjectId src : store.object(id).in_refs) {
-      const ObjectRecord& s = store.object(src);
+    // A survivor's cross-partition in-ref counter is exactly the number
+    // of entries this walk would keep; zero means the whole list is
+    // same-partition sources (rewritten by the copy), so skip the list
+    // walk — most OO7 objects are only referenced from their own cluster.
+    if (headers[id].xpart_in_refs == 0) continue;
+    for (const InRef& ir : in_refs[id]) {
+      const ObjectRecord& s = headers[ir.src];
       if (s.partition == partition) continue;  // rewritten by the copy
-      if (ordinal >= first && touched < count) {
-        store.TouchRange(s.partition, s.offset, s.size, /*dirty=*/true,
-                         IoContext::kCollector);
-        ++touched;
-      }
-      ++ordinal;
+      touches.push_back(RemsetTouch{s.partition, s.offset, s.size});
     }
   }
-  return ordinal;
+  const uint64_t total = touches.size();
+  // Touch entries with ordinal in [first, first + count), clamped.
+  uint64_t end = total;
+  if (first < total && count < total - first) end = first + count;
+  for (uint64_t i = first; i < end; ++i) {
+    const RemsetTouch& t = touches[i];
+    store.TouchRange(t.partition, t.offset, t.size, /*dirty=*/true,
+                     IoContext::kCollector);
+  }
+  return total;
 }
 
 void Collector::FinishCollection(ObjectStore& store, PartitionId partition,
-                                 std::vector<ObjectId> copy_order,
+                                 const std::vector<ObjectId>& copy_order,
                                  uint32_t new_used, uint64_t reclaimed_bytes,
                                  uint64_t reclaimed_objects) {
   Partition& part = store.mutable_partition(partition);
   const uint32_t old_used = part.used();
-  part.ResetAfterCollection(std::move(copy_order), new_used);
+  if (part.ResetAfterCollection(copy_order, new_used)) {
+    store.BumpPlanEpoch(partition);
+  }
   part.set_last_collected_stamp(++collections_);
   store.AdjustUsedBytes(partition, old_used, new_used);
   store.RecordGarbageCollected(reclaimed_bytes, reclaimed_objects);

@@ -6,9 +6,11 @@
 
 #include "obs/telemetry.h"
 #include "storage/fault_injector.h"
+#include "storage/mark_bitmap.h"
 #include "storage/object_store.h"
 #include "storage/types.h"
 #include "util/snapshot.h"
+#include "util/thread_pool.h"
 
 namespace odbgc {
 
@@ -65,6 +67,20 @@ struct RecoveryReport {
 //    positions, improving reference locality.
 //  * Everything not reached is reclaimed.
 //
+// Every collection is split into a read-only *plan* (mark into a bitmap,
+// derive the Cheney copy order, the reclaim set, and the compacted
+// layout — no store mutation, no I/O dependence) and an *apply* (the
+// I/O, the flip, the remembered-set rewrite, the bookkeeping). Collect()
+// runs plan+apply for one partition; CollectBatch() plans many
+// partitions concurrently on a thread pool and then applies them
+// serially in the given order, which keeps the result — reports, I/O
+// accounting, and final heap state — byte-identical to calling Collect()
+// in a loop at any thread count. Staleness repair: applying partition A
+// can unlink cross-partition references into a later partition B (A's
+// garbage held pointers into B), which shrinks B's root set; the batch
+// detects this and re-plans B serially before applying it, exactly as
+// the serial loop would have seen it.
+//
 // I/O model: the collector scans the partition's used pages (reads),
 // writes the compacted survivors, and — because relocation changes object
 // positions — reads and rewrites the page of every external object that
@@ -94,6 +110,17 @@ class Collector {
   Collector() = default;
 
   CollectionReport Collect(ObjectStore& store, PartitionId partition);
+
+  // Collects `partitions` (distinct ids) with the planning phase fanned
+  // out over `pool` (or planned inline when pool is null / single
+  // threaded) and the apply phase run serially in the given order.
+  // Returns one report per partition, in order. If a scheduled crash
+  // fires mid-batch the batch stops at the crashed collection (the
+  // returned vector is short; its last report has crashed == true) and
+  // the caller must Recover() before collecting again.
+  std::vector<CollectionReport> CollectBatch(
+      ObjectStore& store, const std::vector<PartitionId>& partitions,
+      ThreadPool* pool = nullptr);
 
   // Runs the durable commit protocol on every collection (two
   // write-through metadata transfers plus a to-space flush per
@@ -134,6 +161,15 @@ class Collector {
   void AttachTelemetry(obs::Telemetry* telemetry);
 
  private:
+  // Read-only result of marking one partition: everything a collection
+  // decides before it mutates anything.
+  struct CollectionPlan {
+    std::vector<ObjectId> copy_order;  // survivors, Cheney BFS order
+    std::vector<ObjectId> reclaim;     // garbage, partition-list order
+    uint32_t new_used = 0;             // compacted survivor bytes
+    uint64_t reclaimed_bytes = 0;
+  };
+
   // Durable commit-record contents, captured at the crash point. In a
   // real system this is the journal page the commit protocol writes; the
   // simulation keeps it in memory and charges the I/O explicitly.
@@ -152,6 +188,32 @@ class Collector {
     CollectionReport report;  // partial report at crash time
   };
 
+  // One pending remembered-set page rewrite (gathered, then applied in
+  // gather order).
+  struct RemsetTouch {
+    PartitionId partition;
+    uint32_t offset;
+    uint32_t size;
+  };
+
+  // Marks `partition` into `mark` (Reset here) and fills `*plan`. Pure
+  // read of the store — safe to run concurrently with other
+  // PlanPartition calls as long as each has its own bitmap and plan.
+  static void PlanPartition(const ObjectStore& store, PartitionId partition,
+                            MarkBitmap& mark, CollectionPlan* plan);
+
+  // Points the plan cache at `store` (keyed by its serial; a different or
+  // restored store starts cold) and spans it over the current partition
+  // count.
+  void EnsurePlanCache(const ObjectStore& store);
+
+  // Steps 2-6 (I/O, flip, remembered sets, bookkeeping, crash handling)
+  // for a partition whose plan is already computed. `plan` is scratch
+  // owned by the caller; its vectors are copied into the journal on a
+  // crash and into the partition's survivor list on completion.
+  CollectionReport ApplyCollection(ObjectStore& store, PartitionId partition,
+                                   const CollectionPlan& plan);
+
   // Applies the logical flip: destroys the reclaim set, relocates the
   // survivors to the compacted layout, and drops the stale buffer tail.
   void ApplyFlip(ObjectStore& store, PartitionId partition,
@@ -161,7 +223,10 @@ class Collector {
   // Rewrites the page of external objects referencing a survivor:
   // entries with ordinal in [first, first + count) are touched (count = 0
   // just counts). Returns the total number of external referencing
-  // entries, regardless of how many were touched.
+  // entries, regardless of how many were touched. The walk gathers the
+  // external (partition, offset, size) triples first (a pure prefetched
+  // memory pass over the survivors' in-ref lists), then issues the page
+  // touches in the same order the interleaved walk would have.
   uint64_t UpdateRememberedSets(ObjectStore& store, PartitionId partition,
                                 const std::vector<ObjectId>& copy_order,
                                 uint64_t first, uint64_t count);
@@ -169,8 +234,9 @@ class Collector {
   // Finishes partition bookkeeping and store-level accounting shared by
   // the normal path and roll-forward recovery.
   void FinishCollection(ObjectStore& store, PartitionId partition,
-                        std::vector<ObjectId> copy_order, uint32_t new_used,
-                        uint64_t reclaimed_bytes, uint64_t reclaimed_objects);
+                        const std::vector<ObjectId>& copy_order,
+                        uint32_t new_used, uint64_t reclaimed_bytes,
+                        uint64_t reclaimed_objects);
 
   obs::Telemetry* tel_ = nullptr;
   struct TelInstruments {
@@ -181,6 +247,8 @@ class Collector {
     obs::Histogram* gc_io = nullptr;
     obs::Histogram* reclaimed = nullptr;
     obs::Histogram* live = nullptr;
+    obs::Histogram* batch_partitions = nullptr;
+    obs::Counter* batch_replans = nullptr;
   } ti_;
 
   uint64_t collections_ = 0;
@@ -190,6 +258,21 @@ class Collector {
   CrashPoint crash_point_ = CrashPoint::kNone;
   uint64_t crash_attempt_ = 0;
   Journal journal_;
+
+  // Serial-path scratch, reused across collections (no alloc churn).
+  MarkBitmap mark_scratch_;
+  std::vector<RemsetTouch> remset_scratch_;
+
+  // Plan cache: one slot per partition, valid while the store's
+  // plan-input epoch for it is unchanged (ObjectStore::plan_epoch
+  // documents exactly what bumps it). Steady-state collections — collect,
+  // mutate elsewhere, collect again — skip the whole mark/plan phase.
+  // Collect() fills entries; CollectBatch() only reads them (its planning
+  // workers share the cache concurrently, so the batch never writes it).
+  uint64_t cache_serial_ = 0;
+  std::vector<CollectionPlan> plan_cache_;
+  std::vector<uint64_t> plan_cache_epoch_;
+  std::vector<char> plan_cache_valid_;
 };
 
 }  // namespace odbgc

@@ -21,6 +21,11 @@ enum class SimErrorKind : uint8_t {
   kCrashInjected = 2,
   // A periodic checkpoint could not be written during the run.
   kCheckpointWrite = 3,
+  // The caller handed the sweep harness an unusable configuration (e.g.
+  // zero attempts, a negative backoff, an absurd thread count). Raised
+  // at construction / call entry, before any run starts, so a bad knob
+  // cannot abort a half-finished sweep.
+  kInvalidConfig = 4,
 };
 
 const char* SimErrorKindName(SimErrorKind kind);
@@ -80,12 +85,22 @@ class SimCheckpointWriteError : public SimError {
                  "checkpoint write failed: " + detail) {}
 };
 
+// A rejected harness configuration. Never transient: retrying with the
+// same knobs would be rejected identically.
+class SimInvalidConfig : public SimError {
+ public:
+  explicit SimInvalidConfig(const std::string& detail)
+      : SimError(SimErrorKind::kInvalidConfig, /*transient=*/false,
+                 "invalid sweep configuration: " + detail) {}
+};
+
 inline const char* SimErrorKindName(SimErrorKind kind) {
   switch (kind) {
     case SimErrorKind::kGeneric: return "generic";
     case SimErrorKind::kDeadlineExceeded: return "deadline_exceeded";
     case SimErrorKind::kCrashInjected: return "crash_injected";
     case SimErrorKind::kCheckpointWrite: return "checkpoint_write";
+    case SimErrorKind::kInvalidConfig: return "invalid_config";
   }
   return "unknown";
 }

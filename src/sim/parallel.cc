@@ -13,97 +13,6 @@
 
 namespace odbgc {
 
-namespace {
-// -1 on every thread that is not a pool worker.
-thread_local int tls_worker_index = -1;
-}  // namespace
-
-int ThreadPool::current_worker_index() { return tls_worker_index; }
-
-int ResolveThreadCount(int threads) {
-  if (threads >= 1) return threads;
-  unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
-}
-
-ThreadPool::ThreadPool(int threads) {
-  int n = ResolveThreadCount(threads);
-  workers_.reserve(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this, i] { WorkerLoop(i); });
-  }
-}
-
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
-  }
-  task_ready_.notify_all();
-  for (std::thread& w : workers_) w.join();
-}
-
-void ThreadPool::Submit(std::function<void()> task) {
-  ODBGC_CHECK(task != nullptr);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ODBGC_CHECK_MSG(!stop_, "Submit on a stopped ThreadPool");
-    queue_.push_back(std::move(task));
-    ++unfinished_;
-  }
-  task_ready_.notify_one();
-}
-
-void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return unfinished_ == 0; });
-}
-
-void ThreadPool::WorkerLoop(int worker_index) {
-  tls_worker_index = worker_index;
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_ready_.wait(
-          lock, [this] { return stop_ || queue_head_ < queue_.size(); });
-      if (queue_head_ >= queue_.size()) return;  // stop_ and drained
-      task = std::move(queue_[queue_head_]);
-      ++queue_head_;
-      if (queue_head_ == queue_.size()) {
-        queue_.clear();
-        queue_head_ = 0;
-      }
-    }
-    task();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --unfinished_;
-      if (unfinished_ == 0) all_done_.notify_all();
-    }
-  }
-}
-
-void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
-  if (n == 0) return;
-  // One exception slot per index: written by at most one task, read only
-  // after Wait(), so no synchronization beyond the pool's is needed.
-  std::vector<std::exception_ptr> errors(n);
-  for (size_t i = 0; i < n; ++i) {
-    Submit([&fn, &errors, i] {
-      try {
-        fn(i);
-      } catch (...) {
-        errors[i] = std::current_exception();
-      }
-    });
-  }
-  Wait();
-  for (size_t i = 0; i < n; ++i) {
-    if (errors[i]) std::rethrow_exception(errors[i]);
-  }
-}
-
 TraceCache::Key TraceCache::MakeKey(const Oo7Params& params, uint64_t seed) {
   return Key{params.num_atomic_per_comp, params.num_conn_per_atomic,
              params.document_bytes,      params.manual_kbytes,
@@ -179,7 +88,23 @@ uint64_t TraceCache::misses() const {
   return misses_;
 }
 
-SweepRunner::SweepRunner(int threads) : pool_(threads) {}
+namespace {
+// Backstop against a mistyped thread knob (e.g. a seed pasted into
+// --threads) spawning thousands of OS threads before anything runs.
+constexpr int kMaxSweepThreads = 1024;
+
+int ValidatedThreadCount(int threads) {
+  if (threads > kMaxSweepThreads) {
+    throw SimInvalidConfig("thread count " + std::to_string(threads) +
+                           " exceeds the supported maximum " +
+                           std::to_string(kMaxSweepThreads));
+  }
+  return threads;  // <= 0 still means "one per hardware core"
+}
+}  // namespace
+
+SweepRunner::SweepRunner(int threads)
+    : pool_(ValidatedThreadCount(threads)) {}
 
 uint64_t SweepRunner::NowMicros() const {
   return static_cast<uint64_t>(
@@ -234,7 +159,23 @@ std::vector<SimResult> SweepRunner::Run(const std::vector<SweepPoint>& points) {
 
 std::vector<RunOutcome> SweepRunner::RunWithStatus(
     const std::vector<SweepPoint>& points, const SweepOptions& options) {
-  ODBGC_CHECK(options.max_attempts >= 1);
+  // Reject unusable options up front with a typed error instead of an
+  // abort: a sweep harness can report the bad knob and exit cleanly, and
+  // nothing has run yet, so there is no partial result to lose.
+  if (options.max_attempts < 1) {
+    throw SimInvalidConfig("max_attempts must be >= 1, got " +
+                           std::to_string(options.max_attempts));
+  }
+  if (options.retry_backoff_ms < 0.0) {
+    throw SimInvalidConfig("retry_backoff_ms must be >= 0");
+  }
+  if (options.run_deadline_ms < 0.0) {
+    throw SimInvalidConfig("run_deadline_ms must be >= 0");
+  }
+  if (options.checkpoint_every > 0 && options.checkpoint_prefix.empty()) {
+    throw SimInvalidConfig(
+        "checkpoint_every is set but checkpoint_prefix is empty");
+  }
   std::vector<RunOutcome> outcomes(points.size());
   std::unique_ptr<obs::SweepProgress> progress;
   if (progress_out_ != nullptr && !points.empty()) {

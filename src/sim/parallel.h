@@ -10,7 +10,6 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "obs/trace_recorder.h"
@@ -19,6 +18,7 @@
 #include "sim/errors.h"
 #include "sim/runner.h"
 #include "trace/trace.h"
+#include "util/thread_pool.h"
 
 namespace odbgc {
 
@@ -27,9 +27,10 @@ namespace odbgc {
 // runs are independent, and most grid points replay the *same* OO7
 // application trace. The pieces here exploit both facts:
 //
-//   ThreadPool   - fixed-size worker pool (std::thread + mutex/condvar
-//                  task queue) with an indexed ParallelFor whose results
-//                  land in submission order.
+//   ThreadPool   - fixed-size worker pool (util/thread_pool.h; moved
+//                  there so gc/'s intra-run parallel collector can share
+//                  it) with an indexed ParallelFor whose results land in
+//                  submission order.
 //   TraceCache   - immutable, shared traces keyed by (Oo7Params, seed):
 //                  each trace is generated exactly once and handed out
 //                  as shared_ptr<const Trace> with zero copies.
@@ -40,54 +41,6 @@ namespace odbgc {
 // and runs never share mutable state, so a sweep's results — and any
 // table printed from them in submission order — are byte-for-byte
 // identical for every thread count, including 1.
-
-// Resolves a thread-count knob: values >= 1 pass through; anything else
-// means "one thread per hardware core" (hardware_concurrency, floored
-// at 1 when unknown).
-int ResolveThreadCount(int threads);
-
-// Fixed-size worker pool over a FIFO task queue.
-class ThreadPool {
- public:
-  // threads <= 0 selects ResolveThreadCount's hardware default.
-  explicit ThreadPool(int threads = 0);
-  ~ThreadPool();
-
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  int size() const { return static_cast<int>(workers_.size()); }
-
-  // Enqueues one task; workers claim tasks in submission order. Tasks
-  // must not throw (use ParallelFor for work that may).
-  void Submit(std::function<void()> task);
-
-  // Blocks until every task submitted so far has finished.
-  void Wait();
-
-  // Runs fn(0) .. fn(n-1) across the pool and blocks until all have
-  // finished. Indices are claimed in order, so with 1 thread this is
-  // exactly the serial loop. If invocations throw, the exception from
-  // the lowest index is rethrown after the whole batch has drained.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
-
-  // Index of the pool worker running the current thread (0-based), or -1
-  // when called from a thread that is not a pool worker (e.g. the
-  // submitter). Used by profiling code to pick a per-worker buffer.
-  static int current_worker_index();
-
- private:
-  void WorkerLoop(int worker_index);
-
-  std::mutex mu_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  std::vector<std::function<void()>> queue_;  // FIFO via head cursor
-  size_t queue_head_ = 0;
-  size_t unfinished_ = 0;  // queued + running
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
-};
 
 // Thread-safe cache of generated OO7 application traces. The first
 // requester of a (params, seed) key generates the trace; concurrent
@@ -190,7 +143,11 @@ struct SweepPoint {
 // same points, for any thread count.
 class SweepRunner {
  public:
-  // threads <= 0 selects one thread per hardware core.
+  // threads <= 0 selects one thread per hardware core. Construction
+  // validates the knob and throws SimInvalidConfig for unusable values
+  // (absurdly large counts), so a bad flag fails before any threads
+  // spawn; RunWithStatus likewise rejects unusable SweepOptions with
+  // SimInvalidConfig before any run starts.
   explicit SweepRunner(int threads = 0);
 
   int threads() const { return pool_.size(); }

@@ -1,5 +1,7 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace odbgc {
@@ -108,57 +110,37 @@ void BufferPool::RecordTransfer(PageId page, IoContext ctx, bool is_write) {
   }
 }
 
-void BufferPool::CountRead(PageId page, IoContext ctx) {
-  RecordTransfer(page, ctx, /*is_write=*/false);
-}
-
-void BufferPool::CountWrite(PageId page, IoContext ctx) {
-  RecordTransfer(page, ctx, /*is_write=*/true);
-}
-
 int32_t BufferPool::Lookup(PageId page) const {
-  if (page.partition >= table_.size()) return kNoFrame;
-  const std::vector<int32_t>& row = table_[page.partition];
-  if (page.page_index >= row.size()) return kNoFrame;
-  return row[page.page_index];
-}
-
-void BufferPool::SetSlot(PageId page, int32_t frame) {
-  if (page.partition >= table_.size()) table_.resize(page.partition + 1);
-  std::vector<int32_t>& row = table_[page.partition];
-  if (page.page_index >= row.size()) {
-    size_t grow = page.page_index + 1;
-    if (grow < pages_hint_) grow = pages_hint_;
-    row.resize(grow, kNoFrame);
+  if (page.partition >= table_partitions_ || page.page_index >= row_stride_) {
+    return kNoFrame;
   }
-  row[page.page_index] = frame;
+  return table_[static_cast<size_t>(page.partition) * row_stride_ +
+                page.page_index];
 }
 
-void BufferPool::ClearSlot(PageId page) {
-  table_[page.partition][page.page_index] = kNoFrame;
-}
-
-void BufferPool::Unlink(int32_t f) {
-  Frame& frame = frames_[f];
-  if (frame.prev != kNoFrame) {
-    frames_[frame.prev].next = frame.next;
-  } else {
-    lru_head_ = frame.next;
+void BufferPool::GrowTable(PageId page) {
+  uint32_t new_stride = row_stride_;
+  if (page.page_index >= new_stride) {
+    new_stride = page.page_index + 1;
+    if (new_stride < pages_hint_) new_stride = pages_hint_;
+    if (new_stride < row_stride_ * 2) new_stride = row_stride_ * 2;
   }
-  if (frame.next != kNoFrame) {
-    frames_[frame.next].prev = frame.prev;
-  } else {
-    lru_tail_ = frame.prev;
+  uint32_t new_parts = table_partitions_;
+  if (page.partition >= new_parts) new_parts = page.partition + 1;
+  if (new_stride != row_stride_) {
+    std::vector<int32_t> grown(static_cast<size_t>(new_parts) * new_stride,
+                               kNoFrame);
+    for (uint32_t p = 0; p < table_partitions_; ++p) {
+      std::copy_n(table_.begin() + static_cast<size_t>(p) * row_stride_,
+                  row_stride_,
+                  grown.begin() + static_cast<size_t>(p) * new_stride);
+    }
+    table_ = std::move(grown);
+    row_stride_ = new_stride;
+  } else if (new_parts != table_partitions_) {
+    table_.resize(static_cast<size_t>(new_parts) * row_stride_, kNoFrame);
   }
-}
-
-void BufferPool::PushFront(int32_t f) {
-  Frame& frame = frames_[f];
-  frame.prev = kNoFrame;
-  frame.next = lru_head_;
-  if (lru_head_ != kNoFrame) frames_[lru_head_].prev = f;
-  lru_head_ = f;
-  if (lru_tail_ == kNoFrame) lru_tail_ = f;
+  table_partitions_ = new_parts;
 }
 
 void BufferPool::ReleaseFrame(int32_t f) {
@@ -168,44 +150,6 @@ void BufferPool::ReleaseFrame(int32_t f) {
   frames_[f].prev = kNoFrame;
   free_head_ = f;
   --resident_;
-}
-
-void BufferPool::Access(PageId page, bool dirty, IoContext ctx) {
-  const int32_t f = Lookup(page);
-  if (f != kNoFrame) {
-    ++hits_;
-    ODBGC_IF_TEL(tel_) { tc_.hits->Increment(); }
-    // Move to the MRU position; merge dirtiness.
-    frames_[f].dirty = frames_[f].dirty || dirty;
-    if (lru_head_ != f) {
-      Unlink(f);
-      PushFront(f);
-    }
-    return;
-  }
-  ++misses_;
-  ODBGC_IF_TEL(tel_) { tc_.misses->Increment(); }
-  CountRead(page, ctx);
-  if (resident_ >= frame_count_) {
-    // Evict the least recently used unpinned frame.
-    int32_t victim = lru_tail_;
-    while (victim != kNoFrame && frames_[victim].pins != 0) {
-      victim = frames_[victim].prev;
-    }
-    ODBGC_CHECK_MSG(victim != kNoFrame,
-                    "every buffer frame is pinned; cannot evict");
-    if (frames_[victim].dirty) CountWrite(frames_[victim].page, ctx);
-    ODBGC_IF_TEL(tel_) { tc_.evictions->Increment(); }
-    ReleaseFrame(victim);
-  }
-  const int32_t fresh = free_head_;
-  free_head_ = frames_[fresh].next;
-  frames_[fresh].page = page;
-  frames_[fresh].dirty = dirty;
-  frames_[fresh].pins = 0;
-  PushFront(fresh);
-  SetSlot(page, fresh);
-  ++resident_;
 }
 
 void BufferPool::Pin(PageId page) {
@@ -283,7 +227,7 @@ void BufferPool::RestoreState(SnapshotReader& r) {
   // inserting the saved pages LRU-first: after the loop the head/tail
   // order matches the checkpointed pool exactly.
   ResetFreeList();
-  table_.clear();
+  std::fill(table_.begin(), table_.end(), kNoFrame);
   pinned_pages_ = 0;
   const uint64_t n = r.U64();
   if (!r.ok() || n > frame_count_) return;

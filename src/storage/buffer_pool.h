@@ -27,10 +27,12 @@ namespace odbgc {
 // leave / detect a torn page; all outcomes surface in IoStats.
 //
 // Layout: a fixed array of frames linked into an intrusive doubly-linked
-// LRU list (head = most recently used), plus a direct-mapped page table
-// (per-partition rows of frame indices — page ids are dense within a
-// partition). An access is two array lookups and a few pointer swaps; no
-// node allocation, no hashing, no pointer chasing through list nodes.
+// LRU list (head = most recently used), plus a direct-mapped page table:
+// one flat row-major array of frame indices, indexed
+// partition * row_stride + page_index (page ids are dense within a
+// partition; the stride grows geometrically and rarely). A hit is a
+// single indexed load and a few pointer swaps; no node allocation, no
+// hashing, no per-partition row pointer to chase.
 class BufferPool {
  public:
   // `pages_per_partition_hint`, if non-zero, pre-sizes each page-table
@@ -45,7 +47,29 @@ class BufferPool {
   // Touches a page. A miss costs one read I/O (plus one write I/O if a
   // dirty page must be evicted). `dirty` marks the page as modified.
   // Pinned pages are never chosen as eviction victims.
-  void Access(PageId page, bool dirty, IoContext ctx);
+  //
+  // The hit path is inline — it is the single hottest operation in the
+  // simulator (every object touch and every remembered-set rewrite lands
+  // here) and amounts to two array lookups plus an LRU splice. Misses
+  // (I/O accounting, eviction) take the out-of-line slow path.
+  void Access(PageId page, bool dirty, IoContext ctx) {
+    if (page.partition < table_partitions_ && page.page_index < row_stride_) {
+      const int32_t f = table_[static_cast<size_t>(page.partition) *
+                                   row_stride_ +
+                               page.page_index];
+      if (f != kNoFrame) {
+        ++hits_;
+        ODBGC_IF_TEL(tel_) { tc_.hits->Increment(); }
+        frames_[f].dirty = frames_[f].dirty || dirty;
+        if (lru_head_ != f) {
+          Unlink(f);
+          PushFront(f);
+        }
+        return;
+      }
+    }
+    AccessMiss(page, dirty, ctx);
+  }
 
   // Pin / unpin a resident page. Pins nest; a pinned frame survives
   // eviction pressure (it is skipped when hunting for a victim) and may
@@ -123,19 +147,111 @@ class BufferPool {
     int32_t next = kNoFrame;
   };
 
-  void CountRead(PageId page, IoContext ctx);
-  void CountWrite(PageId page, IoContext ctx);
-  // Shared transfer accounting: counts the base transfer, then consults
-  // the fault injector for retries / permanent errors / tears.
+  // Slow path of Access: the page is not resident — count the read,
+  // evict if the pool is full, and install the page in a fresh frame.
+  // Also inline: miss-heavy hot loops (reorg churn, scan-through
+  // workloads) take this path every other touch.
+  void AccessMiss(PageId page, bool dirty, IoContext ctx) {
+    ++misses_;
+    ODBGC_IF_TEL(tel_) { tc_.misses->Increment(); }
+    CountRead(page, ctx);
+    int32_t fresh;
+    if (resident_ >= frame_count_) {
+      // Evict the least recently used unpinned frame and reuse it in
+      // place: clear its table slot and splice it straight to the LRU
+      // head — no free-list round trip through ReleaseFrame (a full pool
+      // stays full, and miss-heavy workloads evict on every miss).
+      int32_t victim = lru_tail_;
+      while (victim != kNoFrame && frames_[victim].pins != 0) {
+        victim = frames_[victim].prev;
+      }
+      ODBGC_CHECK_MSG(victim != kNoFrame,
+                      "every buffer frame is pinned; cannot evict");
+      if (frames_[victim].dirty) CountWrite(frames_[victim].page, ctx);
+      ODBGC_IF_TEL(tel_) { tc_.evictions->Increment(); }
+      ClearSlot(frames_[victim].page);
+      if (lru_head_ != victim) {
+        Unlink(victim);
+        PushFront(victim);
+      }
+      fresh = victim;
+    } else {
+      fresh = free_head_;
+      free_head_ = frames_[fresh].next;
+      PushFront(fresh);
+      ++resident_;
+    }
+    frames_[fresh].page = page;
+    frames_[fresh].dirty = dirty;
+    frames_[fresh].pins = 0;
+    SetSlot(page, fresh);
+  }
+
+  // Transfer accounting. With no disk model, fault injector, or
+  // telemetry attached (the common bench/test configuration) a transfer
+  // is a single counter increment, inlined here; any attached model
+  // takes the out-of-line path.
+  void CountRead(PageId page, IoContext ctx) {
+    if (disk_ == nullptr && fault_ == nullptr && tel_ == nullptr) {
+      ++(ctx == IoContext::kApplication ? stats_.app_reads
+                                        : stats_.gc_reads);
+      return;
+    }
+    RecordTransfer(page, ctx, /*is_write=*/false);
+  }
+  void CountWrite(PageId page, IoContext ctx) {
+    if (disk_ == nullptr && fault_ == nullptr && tel_ == nullptr) {
+      ++(ctx == IoContext::kApplication ? stats_.app_writes
+                                        : stats_.gc_writes);
+      return;
+    }
+    RecordTransfer(page, ctx, /*is_write=*/true);
+  }
+  // Shared transfer accounting: counts the base transfer, advances
+  // telemetry, then consults the fault injector for retries / permanent
+  // errors / tears.
   void RecordTransfer(PageId page, IoContext ctx, bool is_write);
 
   // Frame index of a resident page, or kNoFrame.
   int32_t Lookup(PageId page) const;
   // Records `frame` as the residence of `page`, growing the table.
-  void SetSlot(PageId page, int32_t frame);
-  void ClearSlot(PageId page);
-  void Unlink(int32_t f);
-  void PushFront(int32_t f);
+  void SetSlot(PageId page, int32_t frame) {
+    if (page.partition >= table_partitions_ || page.page_index >= row_stride_) {
+      GrowTable(page);
+    }
+    table_[static_cast<size_t>(page.partition) * row_stride_ +
+           page.page_index] = frame;
+  }
+  void ClearSlot(PageId page) {
+    table_[static_cast<size_t>(page.partition) * row_stride_ +
+           page.page_index] = kNoFrame;
+  }
+  // Grows the flat table so `page` indexes in bounds: appends rows for
+  // new partitions (cheap) and remaps to a wider stride when a page
+  // index exceeds the current one (rare, geometric).
+  void GrowTable(PageId page);
+  // LRU splices, inline for the Access hit path.
+  void Unlink(int32_t f) {
+    Frame& frame = frames_[f];
+    if (frame.prev != kNoFrame) {
+      frames_[frame.prev].next = frame.next;
+    } else {
+      lru_head_ = frame.next;
+    }
+    if (frame.next != kNoFrame) {
+      frames_[frame.next].prev = frame.prev;
+    } else {
+      lru_tail_ = frame.prev;
+    }
+  }
+  void PushFront(int32_t f) {
+    Frame& frame = frames_[f];
+    frame.prev = kNoFrame;
+    frame.next = lru_head_;
+    if (lru_head_ != kNoFrame) frames_[lru_head_].prev = f;
+    lru_head_ = f;
+    if (lru_tail_ == kNoFrame) lru_tail_ = f;
+  }
   // Removes a resident frame entirely (table slot, LRU list, free list).
   void ReleaseFrame(int32_t f);
   void ResetFreeList();
@@ -164,9 +280,13 @@ class BufferPool {
   int32_t lru_tail_ = kNoFrame;  // least recently used
   int32_t free_head_ = kNoFrame;
   uint32_t resident_ = 0;
-  // table_[partition][page_index] = frame index or kNoFrame. Rows grow on
-  // demand (partition page indices are dense and small).
-  std::vector<std::vector<int32_t>> table_;
+  // Flat page table: table_[partition * row_stride_ + page_index] = frame
+  // index or kNoFrame. Rows are appended as partitions appear; the stride
+  // widens (with a remap) only when a page index outgrows it, which the
+  // pages-per-partition hint makes a cold one-time event.
+  std::vector<int32_t> table_;
+  uint32_t table_partitions_ = 0;  // rows in table_
+  uint32_t row_stride_ = 0;        // columns per row
   IoStats stats_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;

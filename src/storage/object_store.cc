@@ -1,12 +1,23 @@
 #include "storage/object_store.h"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
 
 #include "util/check.h"
 
 namespace odbgc {
 
-ObjectStore::ObjectStore(const StoreConfig& config) : config_(config) {
+namespace {
+// Store identity for the collector's plan-cache keying. Process-global
+// and monotonic: also advanced on every RestoreState, so a restored
+// store never aliases its own pre-restore cache entries. Never observable
+// in simulation output.
+std::atomic<uint64_t> g_store_serial{0};
+}  // namespace
+
+ObjectStore::ObjectStore(const StoreConfig& config)
+    : config_(config), serial_(++g_store_serial) {
   ODBGC_CHECK(config.page_bytes > 0);
   ODBGC_CHECK(config.partition_bytes % config.page_bytes == 0);
   pool_ = std::make_unique<BufferPool>(
@@ -21,7 +32,11 @@ ObjectStore::ObjectStore(const StoreConfig& config) : config_(config) {
     fault_ = std::make_unique<FaultInjector>(config.fault, config.fault.seed);
     pool_->AttachFaultInjector(fault_.get());
   }
+  if (std::has_single_bit(config.page_bytes)) {
+    page_shift_ = std::countr_zero(config.page_bytes);
+  }
   objects_.resize(1);  // id 0 = null
+  in_refs_.resize(1);
 }
 
 Partition& ObjectStore::PartitionFor(uint32_t size, ObjectId near_hint) {
@@ -46,6 +61,7 @@ Partition& ObjectStore::PartitionFor(uint32_t size, ObjectId near_hint) {
   // Grow: allocation never triggers a collection (Section 3.1).
   PartitionId id = static_cast<PartitionId>(partitions_.size());
   partitions_.emplace_back(id, config_.partition_bytes);
+  plan_epochs_.push_back(0);
   free_index_.PushPartition(config_.partition_bytes);
   alloc_cursor_ = id;
   return partitions_.back();
@@ -55,7 +71,10 @@ void ObjectStore::CreateObject(ObjectId id, uint32_t size,
                                uint32_t num_slots, ObjectId near_hint) {
   ODBGC_CHECK(id != kNullObject);
   ODBGC_CHECK(size > 0);
-  if (id >= objects_.size()) objects_.resize(id + 1);
+  if (id >= objects_.size()) {
+    objects_.resize(id + 1);
+    in_refs_.resize(id + 1);
+  }
   Partition& part = PartitionFor(size, near_hint);
   ObjectRecord& rec = objects_[id];
   ODBGC_CHECK_MSG(!rec.exists, "duplicate object id");
@@ -64,14 +83,23 @@ void ObjectStore::CreateObject(ObjectId id, uint32_t size,
   rec.partition = part.id();
   rec.offset = part.Allocate(id, size);
   free_index_.Update(part.id(), part.free_bytes());
-  rec.slots.assign(num_slots, kNullObject);
-  rec.slot_backrefs.assign(num_slots, 0);
-  rec.in_refs.clear();
-  rec.in_ref_slots.clear();
+  // Bump-allocate this object's slot range at the arena tail. Ranges of
+  // destroyed (or re-created) objects are abandoned, not recycled.
+  rec.slot_begin = static_cast<uint32_t>(slot_arena_.size());
+  rec.slot_count = num_slots;
+  slot_arena_.resize(slot_arena_.size() + num_slots);
+  in_refs_[id].clear();
   rec.xpart_in_refs = 0;
   used_bytes_ += size;
   allocated_bytes_total_ += size;
   ++live_objects_;
+  ++plan_epochs_[rec.partition];
+  // The pin moves off the previous newest allocation, un-rooting it for
+  // its partition's planner.
+  if (config_.pin_newest_allocation && newest_object_ != kNullObject &&
+      newest_object_ != id && Exists(newest_object_)) {
+    ++plan_epochs_[objects_[newest_object_].partition];
+  }
   newest_object_ = id;
   TouchRange(rec.partition, rec.offset, rec.size, /*dirty=*/true,
              IoContext::kApplication);
@@ -92,80 +120,62 @@ void ObjectStore::UpdateObject(ObjectId id) {
 void ObjectStore::AttachInRef(ObjectId src, uint32_t slot, ObjectId target) {
   ObjectRecord& s = objects_[src];
   ObjectRecord& t = objects_[target];
-  s.slot_backrefs[slot] = static_cast<uint32_t>(t.in_refs.size());
-  t.in_refs.push_back(src);
-  t.in_ref_slots.push_back(slot);
-  if (s.partition != t.partition) ++t.xpart_in_refs;
+  std::vector<InRef>& tin = in_refs_[target];
+  const uint32_t pos = s.slot_begin + slot;
+  slot_arena_[pos].backref = static_cast<uint32_t>(tin.size());
+  tin.push_back(InRef{src, pos});
+  // Plan inputs: the source partition's out-edges changed; a
+  // cross-partition edge also changes the target's root-candidacy.
+  ++plan_epochs_[s.partition];
+  if (s.partition != t.partition) {
+    ++t.xpart_in_refs;
+    ++plan_epochs_[t.partition];
+  }
 }
 
 void ObjectStore::DetachInRef(ObjectId src, uint32_t slot, ObjectId target) {
   ObjectRecord& s = objects_[src];
   ObjectRecord& t = objects_[target];
-  const uint32_t idx = s.slot_backrefs[slot];
-  ODBGC_CHECK_MSG(idx < t.in_refs.size() && t.in_refs[idx] == src &&
-                      t.in_ref_slots[idx] == slot,
-                  "reverse index out of sync");
+  std::vector<InRef>& tin = in_refs_[target];
+  const uint32_t pos = s.slot_begin + slot;
+  const uint32_t idx = slot_arena_[pos].backref;
+  // Bounds are checked here (a desynced index must not swap-erase through
+  // a foreign list); the deeper entry-identity invariant — tin[idx] names
+  // exactly (src, pos) — is the verifier's job, keeping a random entry
+  // load out of every pointer overwrite.
+  ODBGC_CHECK_MSG(idx < tin.size(), "reverse index out of sync");
+  ++plan_epochs_[s.partition];
   if (s.partition != t.partition) {
     ODBGC_CHECK_MSG(t.xpart_in_refs > 0, "reverse index out of sync");
     --t.xpart_in_refs;
+    ++plan_epochs_[t.partition];
   }
-  // Swap-erase (in_refs is an unordered multiset); the moved entry's
-  // owning slot is patched to its new position.
-  const uint32_t last = static_cast<uint32_t>(t.in_refs.size()) - 1;
+  // Swap-erase (the in-ref list is an unordered multiset); the moved
+  // entry's owning slot is patched to its new position. The entry carries
+  // its arena position, so no source-header load is needed here.
+  const uint32_t last = static_cast<uint32_t>(tin.size()) - 1;
   if (idx != last) {
-    const ObjectId moved_src = t.in_refs[last];
-    const uint32_t moved_slot = t.in_ref_slots[last];
-    t.in_refs[idx] = moved_src;
-    t.in_ref_slots[idx] = moved_slot;
-    objects_[moved_src].slot_backrefs[moved_slot] = idx;
+    const InRef moved = tin[last];
+    tin[idx] = moved;
+    slot_arena_[moved.backref_pos].backref = idx;
   }
-  t.in_refs.pop_back();
-  t.in_ref_slots.pop_back();
-}
-
-PartitionId ObjectStore::WriteRef(ObjectId src, uint32_t slot,
-                                  ObjectId new_target) {
-  ObjectRecord& s = mutable_object(src);
-  ODBGC_CHECK(slot < s.slots.size());
-  ObjectId old_target = s.slots[slot];
-  if (old_target == new_target) {
-    // Writing the same value still dirties the source page but is not a
-    // pointer overwrite (connectivity unchanged).
-    TouchRange(s.partition, s.offset, s.size, /*dirty=*/true,
-               IoContext::kApplication);
-    return kInvalidPartition;
-  }
-  s.slots[slot] = new_target;
-  TouchRange(s.partition, s.offset, s.size, /*dirty=*/true,
-             IoContext::kApplication);
-
-  PartitionId overwritten_partition = kInvalidPartition;
-  if (old_target != kNullObject) {
-    ObjectRecord& ot = mutable_object(old_target);
-    DetachInRef(src, slot, old_target);
-    // The old target became less connected: charge the overwrite to the
-    // partition that holds it (feeds FGS and UpdatedPointer selection).
-    partitions_[ot.partition].RecordOverwrite();
-    ++pointer_overwrites_;
-    overwritten_partition = ot.partition;
-  }
-  if (new_target != kNullObject) {
-    mutable_object(new_target);  // existence check
-    AttachInRef(src, slot, new_target);
-  }
-  return overwritten_partition;
+  tin.pop_back();
 }
 
 void ObjectStore::AddRoot(ObjectId id) {
   ODBGC_CHECK(Exists(id));
   ODBGC_CHECK(!IsRoot(id));
   roots_.push_back(id);
+  ++plan_epochs_[objects_[id].partition];
 }
 
 void ObjectStore::RemoveRoot(ObjectId id) {
   auto it = std::find(roots_.begin(), roots_.end(), id);
   ODBGC_CHECK(it != roots_.end());
+  // erase() preserves the relative order of the remaining roots, so only
+  // the departing root's partition sees a plan-input change.
   roots_.erase(it);
+  if (Exists(id)) ++plan_epochs_[objects_[id].partition];
 }
 
 bool ObjectStore::IsRoot(ObjectId id) const {
@@ -182,20 +192,6 @@ void ObjectStore::RecordGarbageCollected(uint64_t bytes, uint64_t objects) {
   garbage_collected_objects_ += objects;
 }
 
-const ObjectRecord& ObjectStore::object(ObjectId id) const {
-  ODBGC_CHECK(id < objects_.size() && objects_[id].exists);
-  return objects_[id];
-}
-
-ObjectRecord& ObjectStore::mutable_object(ObjectId id) {
-  ODBGC_CHECK(id < objects_.size() && objects_[id].exists);
-  return objects_[id];
-}
-
-bool ObjectStore::Exists(ObjectId id) const {
-  return id < objects_.size() && objects_[id].exists;
-}
-
 const Partition& ObjectStore::partition(PartitionId p) const {
   ODBGC_CHECK(p < partitions_.size());
   return partitions_[p];
@@ -204,16 +200,6 @@ const Partition& ObjectStore::partition(PartitionId p) const {
 Partition& ObjectStore::mutable_partition(PartitionId p) {
   ODBGC_CHECK(p < partitions_.size());
   return partitions_[p];
-}
-
-void ObjectStore::TouchRange(PartitionId partition, uint32_t offset,
-                             uint32_t len, bool dirty, IoContext ctx) {
-  ODBGC_CHECK(partition < partitions_.size());
-  uint32_t first = offset / config_.page_bytes;
-  uint32_t last = (offset + len - 1) / config_.page_bytes;
-  for (uint32_t pg = first; pg <= last; ++pg) {
-    pool_->Access(PageId{partition, pg}, dirty, ctx);
-  }
 }
 
 void ObjectStore::CommitRecordWrite(PartitionId partition, IoContext ctx) {
@@ -228,8 +214,9 @@ void ObjectStore::CommitRecordRead(PartitionId partition, IoContext ctx) {
 
 void ObjectStore::DestroyObject(ObjectId id) {
   ObjectRecord& rec = mutable_object(id);
-  for (uint32_t slot = 0; slot < rec.slots.size(); ++slot) {
-    const ObjectId target = rec.slots[slot];
+  ++plan_epochs_[rec.partition];
+  for (uint32_t slot = 0; slot < rec.slot_count; ++slot) {
+    const ObjectId target = slot_arena_[rec.slot_begin + slot].target;
     if (target == kNullObject) continue;
     // The target may itself have been destroyed earlier in this sweep.
     if (!Exists(target)) continue;
@@ -240,19 +227,11 @@ void ObjectStore::DestroyObject(ObjectId id) {
   // AdjustUsedBytes().
   --live_objects_;
   rec.exists = false;
-  rec.slots.clear();
-  rec.slots.shrink_to_fit();
-  rec.slot_backrefs.clear();
-  rec.slot_backrefs.shrink_to_fit();
-  rec.in_refs.clear();
-  rec.in_refs.shrink_to_fit();
-  rec.in_ref_slots.clear();
-  rec.in_ref_slots.shrink_to_fit();
+  // The slot range is abandoned in the arenas (bump allocation).
+  rec.slot_count = 0;
+  in_refs_[id].clear();
+  in_refs_[id].shrink_to_fit();
   rec.xpart_in_refs = 0;
-}
-
-void ObjectStore::Relocate(ObjectId id, uint32_t new_offset) {
-  mutable_object(id).offset = new_offset;
 }
 
 void ObjectStore::AdjustUsedBytes(PartitionId partition, uint32_t old_used,
@@ -268,17 +247,39 @@ void ObjectStore::SaveState(SnapshotWriter& w) const {
   w.U64(partitions_.size());
   for (const Partition& p : partitions_) p.SaveState(w);
 
+  // Logical per-object content in the historical (AoS) field order —
+  // slots, in-ref sources, in-ref slots, slot back-references — so the
+  // byte format is independent of the arena layout.
   w.U64(objects_.size());
-  for (const ObjectRecord& rec : objects_) {
+  std::vector<uint32_t> tmp;
+  for (size_t i = 0; i < objects_.size(); ++i) {
+    const ObjectRecord& rec = objects_[i];
     w.Bool(rec.exists);
     if (!rec.exists) continue;
     w.U32(rec.size);
     w.U32(rec.partition);
     w.U32(rec.offset);
-    w.VecU32(rec.slots);
-    w.VecU32(rec.in_refs);
-    w.VecU32(rec.in_ref_slots);
-    w.VecU32(rec.slot_backrefs);
+    tmp.clear();
+    for (uint32_t j = 0; j < rec.slot_count; ++j) {
+      tmp.push_back(slot_arena_[rec.slot_begin + j].target);
+    }
+    w.VecU32(tmp);
+    const std::vector<InRef>& tin = in_refs_[i];
+    tmp.clear();
+    for (const InRef& ir : tin) tmp.push_back(ir.src);
+    w.VecU32(tmp);
+    tmp.clear();
+    // Serialized as relative slot indices (the historical byte format):
+    // arena positions are layout-dependent and rebuilt on restore.
+    for (const InRef& ir : tin) {
+      tmp.push_back(ir.backref_pos - objects_[ir.src].slot_begin);
+    }
+    w.VecU32(tmp);
+    tmp.clear();
+    for (uint32_t j = 0; j < rec.slot_count; ++j) {
+      tmp.push_back(slot_arena_[rec.slot_begin + j].backref);
+    }
+    w.VecU32(tmp);
     w.U32(rec.xpart_in_refs);
   }
 
@@ -316,11 +317,18 @@ void ObjectStore::RestoreState(SnapshotReader& r) {
     partitions_.back().RestoreState(r);
     free_index_.PushPartition(partitions_.back().free_bytes());
   }
+  // Fresh epochs under a fresh serial: any collector plan cache keyed on
+  // the pre-restore serial goes cold rather than matching epoch 0.
+  plan_epochs_.assign(partitions_.size(), 0);
+  serial_ = ++g_store_serial;
 
   const uint64_t obj_count = r.U64();
   if (!r.ok()) return;
   objects_.clear();
   objects_.resize(static_cast<size_t>(obj_count));
+  in_refs_.clear();
+  in_refs_.resize(static_cast<size_t>(obj_count));
+  slot_arena_.clear();
   for (uint64_t i = 0; i < obj_count && r.ok(); ++i) {
     ObjectRecord& rec = objects_[i];
     rec.exists = r.Bool();
@@ -328,11 +336,39 @@ void ObjectStore::RestoreState(SnapshotReader& r) {
     rec.size = r.U32();
     rec.partition = r.U32();
     rec.offset = r.U32();
-    rec.slots = r.VecU32();
-    rec.in_refs = r.VecU32();
-    rec.in_ref_slots = r.VecU32();
-    rec.slot_backrefs = r.VecU32();
+    const std::vector<uint32_t> slots = r.VecU32();
+    const std::vector<uint32_t> srcs = r.VecU32();
+    const std::vector<uint32_t> src_slots = r.VecU32();
+    const std::vector<uint32_t> backrefs = r.VecU32();
     rec.xpart_in_refs = r.U32();
+    if (!r.ok()) return;
+    if (srcs.size() != src_slots.size() || backrefs.size() != slots.size()) {
+      r.MarkMalformed("object reverse-index arrays disagree");
+      return;
+    }
+    rec.slot_begin = static_cast<uint32_t>(slot_arena_.size());
+    rec.slot_count = static_cast<uint32_t>(slots.size());
+    for (size_t k = 0; k < slots.size(); ++k) {
+      slot_arena_.push_back(Slot{slots[k], backrefs[k]});
+    }
+    std::vector<InRef>& tin = in_refs_[i];
+    tin.clear();
+    tin.reserve(srcs.size());
+    for (size_t k = 0; k < srcs.size(); ++k) {
+      // backref_pos temporarily holds the relative slot; the fixup pass
+      // below resolves it once every source's slot_begin is known.
+      tin.push_back(InRef{srcs[k], src_slots[k]});
+    }
+  }
+  // Fixup: resolve relative slot indices to arena positions. Sources with
+  // ids above the owner are not yet placed during the loop above, so this
+  // must run after every header's slot_begin is final.
+  for (uint64_t i = 0; i < obj_count && r.ok(); ++i) {
+    for (InRef& ir : in_refs_[i]) {
+      if (ir.src < objects_.size() && objects_[ir.src].exists) {
+        ir.backref_pos += objects_[ir.src].slot_begin;
+      }
+    }
   }
 
   roots_ = r.VecU32();
@@ -365,23 +401,6 @@ void ObjectStore::RestoreState(SnapshotReader& r) {
   garbage_created_objects_ = r.U64();
   garbage_collected_bytes_ = r.U64();
   garbage_collected_objects_ = r.U64();
-
-  // Transient marking state: reset, not restored. Mark stamps only ever
-  // compare equal to the *current* epoch, so starting over at 0 cannot
-  // change any collection's outcome.
-  mark_epochs_.clear();
-  mark_epoch_ = 0;
-}
-
-uint32_t ObjectStore::BeginMarkEpoch() {
-  if (++mark_epoch_ == 0) {
-    // Epoch counter wrapped (once per 2^32 collections): stale stamps
-    // from the previous era could alias, so clear the array.
-    std::fill(mark_epochs_.begin(), mark_epochs_.end(), 0u);
-    mark_epoch_ = 1;
-  }
-  mark_epochs_.resize(objects_.size(), 0u);
-  return mark_epoch_;
 }
 
 }  // namespace odbgc

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "storage/buffer_pool.h"
@@ -11,19 +12,48 @@
 #include "storage/free_space_index.h"
 #include "storage/partition.h"
 #include "storage/types.h"
+#include "util/check.h"
 
 namespace odbgc {
 
-// Per-object record. Pointers are logical ObjectIds held in `slots`;
-// `in_refs` is the reverse index (one entry per referencing slot,
-// duplicates allowed) that the collector uses to find partition roots and
-// to account for cross-partition pointer updates after relocation.
+// One reverse-index entry: a slot of object `src` references the owning
+// object. Kept as a single packed array per object (rather than the
+// historical parallel in_refs / in_ref_slots vectors) so the collector's
+// remembered-set walk reads one contiguous stream. `backref_pos` is the
+// source slot's absolute position in the slot arenas (the source's
+// slot_begin + slot): storing the resolved arena position instead of the
+// relative slot index lets DetachInRef patch a swap-erased entry's
+// back-pointer without loading the source's header (one random cache
+// miss per pointer overwrite on the WriteRef hot path).
+struct InRef {
+  ObjectId src = kNullObject;
+  uint32_t backref_pos = 0;  // index into the slot arena
+
+  friend bool operator==(const InRef&, const InRef&) = default;
+};
+
+// One pointer slot: the referenced object plus the slot's entry index in
+// that object's in-ref list (meaningless while `target` is null). Target
+// and back-reference are interleaved in one arena so the WriteRef hot
+// path reads and patches both with a single cache line per slot, instead
+// of one line in each of two parallel arrays.
+struct Slot {
+  ObjectId target = kNullObject;
+  uint32_t backref = 0;
+};
+
+// Per-object header. This is a compact POD (no embedded containers):
+// pointer slots and their back-references live in store-level arenas
+// (structure-of-arrays layout), addressed by [slot_begin, slot_begin +
+// slot_count). Shrinking the header from ~112 bytes (four embedded
+// vectors) to 28 packs 2+ headers per cache line, which is what the
+// mark/scan walks and WriteRef mostly read.
 //
 // The reverse index is maintained in O(1) per pointer write: every slot
-// remembers where its entry sits in the target's `in_refs`
-// (`slot_backrefs`), every `in_refs` entry remembers which slot of the
-// source it came from (`in_ref_slots`, needed to patch the moved entry's
-// back-pointer on a swap-erase), and `xpart_in_refs` counts the entries
+// remembers where its entry sits in the target's in-ref list (the
+// slot_backrefs arena), every in-ref entry remembers which arena slot of
+// the source it came from (InRef::backref_pos, needed to patch the moved
+// entry's back-pointer on a swap-erase), and `xpart_in_refs` counts the entries
 // whose source lives in another partition so partition-root discovery
 // never has to scan the lists.
 struct ObjectRecord {
@@ -31,14 +61,12 @@ struct ObjectRecord {
   uint32_t size = 0;
   PartitionId partition = kInvalidPartition;
   uint32_t offset = 0;
-  std::vector<ObjectId> slots;
-  std::vector<ObjectId> in_refs;
-  // Parallel to in_refs: the slot index in the referencing object.
-  std::vector<uint32_t> in_ref_slots;
-  // Parallel to slots: index of this slot's entry in the target's
-  // in_refs (meaningless for null slots).
-  std::vector<uint32_t> slot_backrefs;
-  // Number of in_refs entries whose source is in a different partition.
+  // Range of this object's pointer slots in the store's slot arenas.
+  // Slot counts are fixed at creation; a destroyed object's range is
+  // abandoned (bump arena — see ObjectStore).
+  uint32_t slot_begin = 0;
+  uint32_t slot_count = 0;
+  // Number of in-ref entries whose source is in a different partition.
   uint32_t xpart_in_refs = 0;
 };
 
@@ -64,6 +92,13 @@ struct StoreConfig {
 // roots, a paged buffer pool, and the bookkeeping the collection-rate
 // policies consume (pointer-overwrite counters, I/O statistics, and
 // ground-truth garbage accounting).
+//
+// Data layout (structure of arrays): object headers are one contiguous
+// vector of compact PODs; slot targets and slot back-references are two
+// parallel store-level arenas bump-allocated at object creation; in-ref
+// lists are per-object packed InRef vectors. Arena ranges of destroyed
+// objects are abandoned, not recycled — slot storage grows with bytes
+// ever allocated, which is bounded by the trace.
 //
 // Database growth is decoupled from collection (Section 3.1): if no
 // existing partition can hold an allocation, a new partition is added;
@@ -92,13 +127,95 @@ class ObjectStore {
   // are untouched.
   void UpdateObject(ObjectId id);
 
-  // Stores `new_target` into `slots[slot]` of `src`. If the previous value
+  // Stores `new_target` into slot `slot` of `src`. If the previous value
   // was non-null this is a *pointer overwrite*: the partition holding the
   // old target gets its overwrite counter bumped (the old target is the
   // object that became less connected), and the global overwrite clock
   // advances. Returns the partition charged with the overwrite, or
   // kInvalidPartition if the write was not an overwrite.
-  PartitionId WriteRef(ObjectId src, uint32_t slot, ObjectId new_target);
+  PartitionId WriteRef(ObjectId src, uint32_t slot, ObjectId new_target) {
+    ObjectRecord& s = mutable_object(src);
+    ODBGC_CHECK(slot < s.slot_count);
+    const uint32_t pos = s.slot_begin + slot;
+    ObjectId& slot_ref = slot_arena_[pos].target;
+    const ObjectId old_target = slot_ref;
+    if (old_target == new_target) {
+      // Writing the same value still dirties the source page but is not a
+      // pointer overwrite (connectivity unchanged).
+      TouchRange(s.partition, s.offset, s.size, /*dirty=*/true,
+                 IoContext::kApplication);
+      return kInvalidPartition;
+    }
+    // The detach/attach below need the targets' headers, the old entry's
+    // list position, the swap-source tail entry, and the attach
+    // destination — all data-dependent loads scattered across the arenas.
+    // Start them now so they resolve while the buffer-pool touch (often a
+    // miss plus an eviction) runs.
+    if (old_target != kNullObject) {
+      __builtin_prefetch(&objects_[old_target]);
+      const std::vector<InRef>& otin = in_refs_[old_target];
+      const uint32_t idx = slot_arena_[pos].backref;
+      if (!otin.empty()) {
+        __builtin_prefetch(otin.data() + otin.size() - 1);
+        // Write intent: the swap-erase stores to this entry.
+        if (idx < otin.size()) __builtin_prefetch(otin.data() + idx, 1);
+      }
+    }
+    if (new_target != kNullObject && new_target < objects_.size()) {
+      __builtin_prefetch(&objects_[new_target]);
+      const std::vector<InRef>& ntin = in_refs_[new_target];
+      // Write intent: the attach push_back stores here.
+      __builtin_prefetch(ntin.data() + ntin.size(), 1);
+    }
+    slot_ref = new_target;
+    TouchRange(s.partition, s.offset, s.size, /*dirty=*/true,
+               IoContext::kApplication);
+
+    // Fused detach + attach (the bodies of DetachInRef / AttachInRef with
+    // the source-side work shared): one load of the source header, one
+    // slot position, one plan-epoch bump for the source partition. The
+    // standalone helpers remain for the other callers.
+    PartitionId overwritten_partition = kInvalidPartition;
+    ++plan_epochs_[s.partition];  // the source's out-edge list changes
+    if (old_target != kNullObject) {
+      // Unchecked: a non-null slot target always exists (DestroyObject
+      // detaches every inbound slot), and the verifier audits the edge
+      // tables; re-validating here would tax every overwrite.
+      ObjectRecord& ot = objects_[old_target];
+      std::vector<InRef>& otin = in_refs_[old_target];
+      const uint32_t idx = slot_arena_[pos].backref;
+      // Bounds only; entry identity is the verifier's job (see DetachInRef).
+      ODBGC_CHECK_MSG(idx < otin.size(), "reverse index out of sync");
+      if (s.partition != ot.partition) {
+        ODBGC_CHECK_MSG(ot.xpart_in_refs > 0, "reverse index out of sync");
+        --ot.xpart_in_refs;
+        ++plan_epochs_[ot.partition];
+      }
+      const uint32_t last = static_cast<uint32_t>(otin.size()) - 1;
+      if (idx != last) {
+        const InRef moved = otin[last];
+        otin[idx] = moved;
+        slot_arena_[moved.backref_pos].backref = idx;
+      }
+      otin.pop_back();
+      // The old target became less connected: charge the overwrite to the
+      // partition that holds it (feeds FGS and UpdatedPointer selection).
+      partitions_[ot.partition].RecordOverwrite();
+      ++pointer_overwrites_;
+      overwritten_partition = ot.partition;
+    }
+    if (new_target != kNullObject) {
+      ObjectRecord& nt = mutable_object(new_target);
+      std::vector<InRef>& ntin = in_refs_[new_target];
+      slot_arena_[pos].backref = static_cast<uint32_t>(ntin.size());
+      ntin.push_back(InRef{src, pos});
+      if (s.partition != nt.partition) {
+        ++nt.xpart_in_refs;
+        ++plan_epochs_[nt.partition];
+      }
+    }
+    return overwritten_partition;
+  }
 
   void AddRoot(ObjectId id);
   void RemoveRoot(ObjectId id);
@@ -129,14 +246,76 @@ class ObjectStore {
 
   // --- Accessors ---
 
-  const ObjectRecord& object(ObjectId id) const;
-  ObjectRecord& mutable_object(ObjectId id);
-  bool Exists(ObjectId id) const;
+  // Inline: every slot view, reverse-index view, and mutation funnels
+  // through these, so they are the hottest accessors in the store.
+  const ObjectRecord& object(ObjectId id) const {
+    ODBGC_CHECK(id < objects_.size() && objects_[id].exists);
+    return objects_[id];
+  }
+  ObjectRecord& mutable_object(ObjectId id) {
+    ODBGC_CHECK(id < objects_.size() && objects_[id].exists);
+    return objects_[id];
+  }
+  bool Exists(ObjectId id) const {
+    return id < objects_.size() && objects_[id].exists;
+  }
+
+  // Pointer-slot views into the slot arena (valid until the next
+  // CreateObject, which may grow the arena). Each entry carries the
+  // target and its in-ref back-reference; the mutable view is exposed
+  // for corruption-injecting tests.
+  std::span<const Slot> slots(ObjectId id) const {
+    const ObjectRecord& rec = object(id);
+    return {slot_arena_.data() + rec.slot_begin, rec.slot_count};
+  }
+  std::span<Slot> mutable_slots(ObjectId id) {
+    ObjectRecord& rec = mutable_object(id);
+    return {slot_arena_.data() + rec.slot_begin, rec.slot_count};
+  }
+
+  // Reverse index: one entry per referencing slot, duplicates allowed,
+  // unordered (swap-erase on detach).
+  const std::vector<InRef>& in_refs(ObjectId id) const {
+    object(id);  // existence check
+    return in_refs_[id];
+  }
+  std::vector<InRef>& mutable_in_refs(ObjectId id) {
+    object(id);  // existence check
+    return in_refs_[id];
+  }
+
+  // Raw arena base (prefetch targets for the mark/scan walks). The
+  // in-ref arena base lets the collector's remembered-set walk skip the
+  // per-object existence check — its ids come from a copy order whose
+  // objects are live by construction.
+  const Slot* slot_arena() const { return slot_arena_.data(); }
+  const ObjectRecord* header_arena() const { return objects_.data(); }
+  const std::vector<InRef>* in_ref_arena() const { return in_refs_.data(); }
 
   size_t partition_count() const { return partitions_.size(); }
   const Partition& partition(PartitionId p) const;
   Partition& mutable_partition(PartitionId p);
   const std::vector<Partition>& partitions() const { return partitions_; }
+
+  // --- Plan-input versioning (the collector's plan cache) ---
+  //
+  // A partition's plan epoch changes whenever an input of the collector's
+  // read-only planning phase for that partition may have changed:
+  // membership and list order (create / destroy / a flip that moved or
+  // removed anything), reference topology touching the partition (an
+  // attached or detached edge whose source or target lives in it), the
+  // root set, the pinned newest allocation, or a checkpoint restore.
+  // Object offsets are deliberately NOT versioned: planning derives the
+  // compacted layout from sizes alone and the apply phase reads positions
+  // live. An unchanged epoch therefore guarantees PlanPartition would
+  // reproduce its previous result bit for bit.
+  uint64_t plan_epoch(PartitionId p) const { return plan_epochs_[p]; }
+  // Identity of this store instance and restore generation. Collectors
+  // key their plan caches on it, so a cache never survives a different
+  // store at the same address or a RestoreState that reset the epochs.
+  uint64_t store_serial() const { return serial_; }
+  // Collector hook: a completed flip changed the partition's object list.
+  void BumpPlanEpoch(PartitionId p) { ++plan_epochs_[p]; }
 
   const std::vector<ObjectId>& roots() const { return roots_; }
   bool IsRoot(ObjectId id) const;
@@ -169,8 +348,23 @@ class ObjectStore {
   // --- Collector support ---
 
   // Touches every page overlapping [offset, offset+len) of `partition`.
+  // Inline: remembered-set maintenance issues one of these per external
+  // in-ref, and nearly all of them resolve to a single Access hit.
   void TouchRange(PartitionId partition, uint32_t offset, uint32_t len,
-                  bool dirty, IoContext ctx);
+                  bool dirty, IoContext ctx) {
+    ODBGC_CHECK(partition < partitions_.size());
+    uint32_t first, last;
+    if (page_shift_ >= 0) {
+      first = offset >> page_shift_;
+      last = (offset + len - 1) >> page_shift_;
+    } else {
+      first = offset / config_.page_bytes;
+      last = (offset + len - 1) / config_.page_bytes;
+    }
+    for (uint32_t pg = first; pg <= last; ++pg) {
+      pool_->Access(PageId{partition, pg}, dirty, ctx);
+    }
+  }
 
   // Durable (write-through) update of `partition`'s commit-record
   // metadata page, and the matching read used by recovery. Both cost one
@@ -185,7 +379,10 @@ class ObjectStore {
   void DestroyObject(ObjectId id);
 
   // Moves `id` to a new offset within its partition (compaction).
-  void Relocate(ObjectId id, uint32_t new_offset);
+  // Inline: the collector calls this once per survivor per collection.
+  void Relocate(ObjectId id, uint32_t new_offset) {
+    mutable_object(id).offset = new_offset;
+  }
 
   // Adjusts the cached used-bytes total (and the allocation free-space
   // index) after a compaction changed `partition`'s used size from
@@ -199,15 +396,6 @@ class ObjectStore {
     return static_cast<ObjectId>(objects_.size() - 1);
   }
 
-  // --- Marking support (epoch-stamped mark array) ---
-
-  // Opens a marking epoch: bumps the epoch stamp (handling wraparound)
-  // and sizes the mark array to cover every object id. An object is
-  // marked iff mark_epochs()[id] == the returned epoch, so collections
-  // reuse one dense array instead of building a fresh set each time.
-  uint32_t BeginMarkEpoch();
-  std::vector<uint32_t>& mark_epochs() { return mark_epochs_; }
-
   // Free bytes of `partition` according to the allocation index (the
   // heap verifier cross-checks this against the partition itself).
   uint32_t indexed_free_bytes(PartitionId p) const {
@@ -219,9 +407,11 @@ class ObjectStore {
   // Saves / restores the complete mutable store: partitions, object
   // records (slots + reverse index), roots, allocation cursor, buffer
   // pool residency, disk-model and fault-injector state, and all
-  // counters. The free-space index and mark epochs are rebuilt/reset
-  // rather than serialized (both are derivable). Restore requires the
-  // store to have been constructed with the same StoreConfig.
+  // counters. The byte format is layout-independent (logical slot and
+  // in-ref contents, not arena offsets), so it is unchanged from the
+  // AoS store. The free-space index is rebuilt rather than serialized.
+  // Restore requires the store to have been constructed with the same
+  // StoreConfig.
   void SaveState(SnapshotWriter& w) const;
   void RestoreState(SnapshotReader& r);
 
@@ -236,7 +426,14 @@ class ObjectStore {
 
   StoreConfig config_;
   std::vector<Partition> partitions_;
+  // Parallel to partitions_; see plan_epoch().
+  std::vector<uint64_t> plan_epochs_;
+  uint64_t serial_;
   std::vector<ObjectRecord> objects_;  // index 0 unused (null)
+  // Slot arena; see ObjectRecord::slot_begin.
+  std::vector<Slot> slot_arena_;
+  // Reverse-index lists, indexed by ObjectId like objects_.
+  std::vector<std::vector<InRef>> in_refs_;
   std::vector<ObjectId> roots_;
   ObjectId newest_object_ = kNullObject;
   std::unique_ptr<BufferPool> pool_;
@@ -244,9 +441,9 @@ class ObjectStore {
   std::unique_ptr<FaultInjector> fault_;
   PartitionId alloc_cursor_ = 0;  // partition last allocated from
   FreeSpaceIndex free_index_;     // first-fit over partition free bytes
-
-  std::vector<uint32_t> mark_epochs_;  // dense mark array (collector)
-  uint32_t mark_epoch_ = 0;
+  // log2(page_bytes) when page_bytes is a power of two (the common
+  // case), else -1; TouchRange turns its per-page divisions into shifts.
+  int page_shift_ = -1;
 
   uint64_t used_bytes_ = 0;
   uint64_t live_objects_ = 0;

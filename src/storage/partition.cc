@@ -15,13 +15,15 @@ uint32_t Partition::Allocate(ObjectId obj, uint32_t size) {
   return offset;
 }
 
-void Partition::ResetAfterCollection(std::vector<ObjectId> survivors,
+bool Partition::ResetAfterCollection(const std::vector<ObjectId>& survivors,
                                      uint32_t new_used) {
   ODBGC_CHECK(new_used <= capacity_);
-  objects_ = std::move(survivors);
+  const bool changed = used_ != new_used || objects_ != survivors;
+  objects_ = survivors;
   used_ = new_used;
   ResetOverwrites();
   RecordCollection();
+  return changed;
 }
 
 void Partition::SaveState(SnapshotWriter& w) const {

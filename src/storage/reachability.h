@@ -4,13 +4,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "storage/mark_bitmap.h"
 #include "storage/object_store.h"
 
 namespace odbgc {
 
 // Result of a whole-database reachability scan.
 struct ReachabilityResult {
-  std::vector<bool> reachable;  // indexed by ObjectId
+  MarkBitmap reachable;  // indexed by ObjectId; operator[] as before
   uint64_t reachable_bytes = 0;
   uint64_t reachable_objects = 0;
   uint64_t unreachable_bytes = 0;

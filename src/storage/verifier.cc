@@ -114,7 +114,8 @@ VerifierReport VerifyHeap(const ObjectStore& store,
         sink.Add("object %u overruns partition %u", id, rec.partition);
       }
     }
-    for (ObjectId target : rec.slots) {
+    for (const Slot& sl : store.slots(id)) {
+      const ObjectId target = sl.target;
       ++report.slots_checked;
       if (target == kNullObject) continue;
       if (!store.Exists(target)) {
@@ -128,13 +129,14 @@ VerifierReport VerifyHeap(const ObjectStore& store,
   // edge; leftovers in either direction are remembered-set corruption.
   for (ObjectId id = 1; id <= store.max_object_id(); ++id) {
     if (!store.Exists(id)) continue;
-    for (ObjectId src : store.object(id).in_refs) {
-      if (!store.Exists(src)) {
-        sink.Add("object %u in_refs names destroyed object %u", id, src);
+    for (const InRef& ir : store.in_refs(id)) {
+      if (!store.Exists(ir.src)) {
+        sink.Add("object %u in_refs names destroyed object %u", id, ir.src);
         continue;
       }
-      if (--edges[edge_key(src, id)] < 0) {
-        sink.Add("stale in_refs entry %u -> %u (no matching slot)", src, id);
+      if (--edges[edge_key(ir.src, id)] < 0) {
+        sink.Add("stale in_refs entry %u -> %u (no matching slot)", ir.src,
+                 id);
       }
     }
   }
@@ -146,41 +148,33 @@ VerifierReport VerifyHeap(const ObjectStore& store,
     }
   }
 
-  // 4b. O(1)-maintenance indices: parallel-array sizes, slot back-pointers
-  // (each non-null slot's backref must address its own entry in the
-  // target's in_refs), and the cross-partition in-ref counters the
-  // collector's root discovery depends on. All indexing is guarded so a
-  // desynced size is reported, not crashed on.
+  // 4b. O(1)-maintenance indices: slot back-pointers (each non-null
+  // slot's backref must address its own entry in the target's in-ref
+  // list) and the cross-partition in-ref counters the collector's root
+  // discovery depends on. The historical parallel-array size checks are
+  // structural now: the slot arenas share one range per object, and each
+  // in-ref entry carries its own source slot. All indexing is guarded so
+  // a desynced index is reported, not crashed on.
   for (ObjectId id = 1; id <= store.max_object_id(); ++id) {
     if (!store.Exists(id)) continue;
     const ObjectRecord& rec = store.object(id);
-    if (rec.in_ref_slots.size() != rec.in_refs.size()) {
-      sink.Add("object %u in_ref_slots size %zu != in_refs size %zu", id,
-               rec.in_ref_slots.size(), rec.in_refs.size());
-    }
-    if (rec.slot_backrefs.size() != rec.slots.size()) {
-      sink.Add("object %u slot_backrefs size %zu != slots size %zu", id,
-               rec.slot_backrefs.size(), rec.slots.size());
-    }
-    const size_t slot_n = rec.slots.size() < rec.slot_backrefs.size()
-                              ? rec.slots.size()
-                              : rec.slot_backrefs.size();
-    for (size_t j = 0; j < slot_n; ++j) {
-      const ObjectId target = rec.slots[j];
+    const std::span<const Slot> slots = store.slots(id);
+    for (size_t j = 0; j < slots.size(); ++j) {
+      const ObjectId target = slots[j].target;
       if (target == kNullObject || !store.Exists(target)) continue;
-      const ObjectRecord& t = store.object(target);
-      const uint32_t b = rec.slot_backrefs[j];
-      if (b >= t.in_refs.size() || b >= t.in_ref_slots.size() ||
-          t.in_refs[b] != id || t.in_ref_slots[b] != j) {
+      const std::vector<InRef>& tin = store.in_refs(target);
+      const uint32_t b = slots[j].backref;
+      if (b >= tin.size() || tin[b].src != id ||
+          tin[b].backref_pos != rec.slot_begin + j) {
         sink.Add("object %u slot %zu backref %u does not index its entry in "
                  "target %u",
                  id, j, b, target);
       }
     }
     uint32_t xpart = 0;
-    for (ObjectId src : rec.in_refs) {
-      if (!store.Exists(src)) continue;
-      if (store.object(src).partition != rec.partition) ++xpart;
+    for (const InRef& ir : store.in_refs(id)) {
+      if (!store.Exists(ir.src)) continue;
+      if (store.object(ir.src).partition != rec.partition) ++xpart;
     }
     if (xpart != rec.xpart_in_refs) {
       sink.Add("object %u xpart_in_refs %u != recount %u", id,

@@ -14,35 +14,11 @@ uint64_t SplitMix64(uint64_t& state) {
   return z ^ (z >> 31);
 }
 
-uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
 }  // namespace
 
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& s : s_) s = SplitMix64(sm);
-}
-
-uint64_t Rng::Next() {
-  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
-  const uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = Rotl(s_[3], 45);
-  return result;
-}
-
-uint64_t Rng::NextBelow(uint64_t bound) {
-  ODBGC_CHECK(bound > 0);
-  // Rejection sampling to avoid modulo bias.
-  const uint64_t threshold = -bound % bound;
-  for (;;) {
-    uint64_t r = Next();
-    if (r >= threshold) return r % bound;
-  }
 }
 
 int64_t Rng::NextInRange(int64_t lo, int64_t hi) {

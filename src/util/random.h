@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/check.h"
+
 namespace odbgc {
 
 // Deterministic, seedable PRNG (xoshiro256** seeded via SplitMix64).
@@ -20,11 +22,33 @@ class Rng {
  public:
   explicit Rng(uint64_t seed);
 
-  // Raw 64-bit draw.
-  uint64_t Next();
+  // Raw 64-bit draw. Inline: trace generation and the bench loops draw
+  // tens of millions of times, and an out-of-line draw costs more than
+  // the dozen ALU ops of the draw itself.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
 
-  // Uniform integer in [0, bound). bound must be > 0.
-  uint64_t NextBelow(uint64_t bound);
+  // Uniform integer in [0, bound). bound must be > 0. Inline so that a
+  // compile-time-constant bound folds both divisions into
+  // multiply-shift sequences at the call site.
+  uint64_t NextBelow(uint64_t bound) {
+    ODBGC_CHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
 
   // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
   int64_t NextInRange(int64_t lo, int64_t hi);
@@ -50,6 +74,8 @@ class Rng {
   void set_state(const std::array<uint64_t, 4>& s);
 
  private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
   uint64_t s_[4];
 };
 

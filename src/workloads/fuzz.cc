@@ -77,7 +77,7 @@ class RandomGraphBuilder {
   }
 
   void WriteRef(ObjectId src, uint32_t slot, ObjectId target) {
-    ObjectId old = shadow_->object(src).slots[slot];
+    ObjectId old = shadow_->slots(src)[slot].target;
     shadow_->WriteRef(src, slot, target);
     trace_.Append(WriteRefEvent(src, slot, target));
     if (old != kNullObject && old != target) {
@@ -128,7 +128,7 @@ class RandomGraphBuilder {
 
   uint32_t PickSlot(ObjectId id) {
     return static_cast<uint32_t>(
-        rng_.NextBelow(shadow_->object(id).slots.size()));
+        rng_.NextBelow(shadow_->object(id).slot_count));
   }
 
   void DoCreate() { Create(PickReachable()); }
@@ -143,9 +143,9 @@ class RandomGraphBuilder {
     // Find a reachable node with a non-null slot (bounded search).
     for (int tries = 0; tries < 16; ++tries) {
       ObjectId src = PickReachable();
-      const ObjectRecord& rec = shadow_->object(src);
-      for (uint32_t s = 0; s < rec.slots.size(); ++s) {
-        if (rec.slots[s] != kNullObject) {
+      const std::span<const Slot> slots = shadow_->slots(src);
+      for (uint32_t s = 0; s < slots.size(); ++s) {
+        if (slots[s].target != kNullObject) {
           WriteRef(src, s, kNullObject);
           return;
         }

@@ -198,8 +198,8 @@ TEST(CollectorTest, ReverseIndexConsistentAfterCollection) {
   Collector gc;
   gc.Collect(store, 0);
   // 3 destroyed; its in_ref entry on 2 must be gone.
-  EXPECT_EQ(store.object(2).in_refs.size(), 1u);
-  EXPECT_EQ(store.object(2).in_refs[0], 1u);
+  EXPECT_EQ(store.in_refs(2).size(), 1u);
+  EXPECT_EQ(store.in_refs(2)[0].src, 1u);
   // Everything reachable must still be reachable.
   ReachabilityResult r = ScanReachability(store);
   EXPECT_TRUE(r.reachable[1]);
@@ -259,7 +259,7 @@ TEST(CollectorTest, MultipleExternalReferencesCountOnce) {
   store.WriteRef(1, 1, 3);
   store.WriteRef(2, 0, 3);
   ASSERT_EQ(store.object(3).partition, 1u);
-  ASSERT_EQ(store.object(3).in_refs.size(), 3u);
+  ASSERT_EQ(store.in_refs(3).size(), 3u);
   Collector gc;
   CollectionReport r = gc.Collect(store, 1);
   EXPECT_EQ(r.objects_live, 1u);

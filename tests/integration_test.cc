@@ -45,12 +45,14 @@ void CheckInvariants(const SimConfig& cfg, uint64_t seed) {
   const ObjectStore& store = sim.store();
   for (ObjectId id = 1; id <= store.max_object_id(); ++id) {
     if (!store.Exists(id)) continue;
-    for (ObjectId target : store.object(id).slots) {
+    for (const auto& [target, backref] : store.slots(id)) {
       if (target == kNullObject) continue;
       ASSERT_TRUE(store.Exists(target))
           << "live object " << id << " points at destroyed " << target;
-      const auto& in = store.object(target).in_refs;
-      EXPECT_NE(std::find(in.begin(), in.end(), id), in.end());
+      const auto& in = store.in_refs(target);
+      EXPECT_NE(std::find_if(in.begin(), in.end(),
+                             [&](const InRef& ir) { return ir.src == id; }),
+                in.end());
     }
   }
 

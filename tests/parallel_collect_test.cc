@@ -1,0 +1,232 @@
+// CollectBatch determinism: at any --gc-threads the batch must produce
+// byte-identical collection reports and final store state to the serial
+// per-partition Collect loop, including when applying one partition's
+// plan invalidates a later partition's (cross-partition garbage chains,
+// the "frontier repair" path).
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gc/collector.h"
+#include "oo7/generator.h"
+#include "storage/object_store.h"
+#include "storage/verifier.h"
+#include "trace/trace.h"
+#include "util/thread_pool.h"
+
+namespace odbgc {
+namespace {
+
+StoreConfig SmallStore() {
+  StoreConfig cfg;
+  cfg.partition_bytes = 4096;
+  cfg.page_bytes = 512;
+  cfg.buffer_pages = 8;
+  cfg.pin_newest_allocation = false;
+  return cfg;
+}
+
+// Field-wise report equality (the reports are plain counters, so this is
+// byte-identity in practice).
+void ExpectSameReport(const CollectionReport& a, const CollectionReport& b) {
+  EXPECT_EQ(a.partition, b.partition);
+  EXPECT_EQ(a.bytes_before, b.bytes_before);
+  EXPECT_EQ(a.bytes_live, b.bytes_live);
+  EXPECT_EQ(a.bytes_reclaimed, b.bytes_reclaimed);
+  EXPECT_EQ(a.objects_live, b.objects_live);
+  EXPECT_EQ(a.objects_reclaimed, b.objects_reclaimed);
+  EXPECT_EQ(a.gc_reads, b.gc_reads);
+  EXPECT_EQ(a.gc_writes, b.gc_writes);
+  EXPECT_EQ(a.overwrites_at_collection, b.overwrites_at_collection);
+  EXPECT_EQ(a.crashed, b.crashed);
+}
+
+// Digest of everything a collection can influence: object placement,
+// reverse-index state, partition bookkeeping, and total I/O.
+uint64_t StoreDigest(const ObjectStore& store) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (ObjectId id = 1; id <= store.max_object_id(); ++id) {
+    if (!store.Exists(id)) {
+      mix(0xdead);
+      continue;
+    }
+    const ObjectRecord& rec = store.object(id);
+    mix(rec.partition);
+    mix(rec.offset);
+    mix(rec.xpart_in_refs);
+    for (const odbgc::Slot& sl : store.slots(id)) mix(sl.target);
+  }
+  for (const Partition& p : store.partitions()) {
+    mix(p.used());
+    mix(p.overwrites());
+    for (ObjectId id : p.objects()) mix(id);
+  }
+  mix(store.io_stats().gc_reads);
+  mix(store.io_stats().gc_writes);
+  mix(store.io_stats().app_reads);
+  mix(store.io_stats().app_writes);
+  mix(store.used_bytes());
+  return h;
+}
+
+// root(1) in p0 also holds the only reference into p1; a garbage chain
+// 3 -> 4 crosses p0 -> p1. Collecting p0 first destroys 3, which is the
+// only external referencer of 4 — so a batch that planned p1 up front
+// must detect the stale plan and re-plan, or it would keep 4 alive where
+// the serial loop reclaims it.
+void BuildCrossPartitionChain(ObjectStore* store) {
+  store->CreateObject(1, 3000, 2);  // p0: root
+  store->CreateObject(3, 1000, 1);  // p0: garbage head
+  store->CreateObject(2, 100, 0);   // p1: live via 1
+  store->CreateObject(4, 100, 0);   // p1: garbage, held only by 3
+  store->AddRoot(1);
+  store->WriteRef(1, 0, 2);
+  store->WriteRef(3, 0, 4);
+  ASSERT_EQ(store->object(1).partition, 0u);
+  ASSERT_EQ(store->object(3).partition, 0u);
+  ASSERT_EQ(store->object(2).partition, 1u);
+  ASSERT_EQ(store->object(4).partition, 1u);
+}
+
+TEST(ParallelCollectTest, BatchMatchesSerialOnCrossPartitionChain) {
+  // Serial oracle.
+  ObjectStore serial(SmallStore());
+  BuildCrossPartitionChain(&serial);
+  Collector serial_gc;
+  std::vector<CollectionReport> serial_reports;
+  for (PartitionId p = 0; p < serial.partition_count(); ++p) {
+    serial_reports.push_back(serial_gc.Collect(serial, p));
+  }
+  EXPECT_FALSE(serial.Exists(3));
+  EXPECT_FALSE(serial.Exists(4));  // the chain died in one pass
+
+  for (int threads : {1, 2, 8}) {
+    ObjectStore store(SmallStore());
+    BuildCrossPartitionChain(&store);
+    Collector gc;
+    ThreadPool pool(threads);
+    std::vector<PartitionId> all;
+    for (PartitionId p = 0; p < store.partition_count(); ++p) {
+      all.push_back(p);
+    }
+    std::vector<CollectionReport> reports = gc.CollectBatch(store, all, &pool);
+    ASSERT_EQ(reports.size(), serial_reports.size()) << threads;
+    for (size_t i = 0; i < reports.size(); ++i) {
+      ExpectSameReport(reports[i], serial_reports[i]);
+    }
+    EXPECT_EQ(StoreDigest(store), StoreDigest(serial)) << threads;
+    EXPECT_TRUE(VerifyHeap(store, {}).ok());
+  }
+}
+
+TEST(ParallelCollectTest, BatchByteIdenticalAcrossThreadCountsOnOo7) {
+  // A real database: the full OO7 application replayed, then every
+  // partition collected twice (the second pass sees relocated objects and
+  // collects cross-partition floating garbage).
+  auto build = [] {
+    Oo7Generator gen(Oo7Params::Tiny(), 11);
+    Trace trace = gen.GenerateFullApplication();
+    StoreConfig cfg;
+    cfg.partition_bytes = 16 * 1024;
+    cfg.page_bytes = 2 * 1024;
+    cfg.buffer_pages = 8;
+    auto store = std::make_unique<ObjectStore>(cfg);
+    for (const TraceEvent& e : trace.events()) {
+      switch (e.kind) {
+        case EventKind::kCreate:
+          store->CreateObject(e.a, e.b, e.c, e.d);
+          break;
+        case EventKind::kRead:
+          store->ReadObject(e.a);
+          break;
+        case EventKind::kUpdate:
+          store->UpdateObject(e.a);
+          break;
+        case EventKind::kWriteRef:
+          store->WriteRef(e.a, e.b, e.c);
+          break;
+        case EventKind::kAddRoot:
+          store->AddRoot(e.a);
+          break;
+        case EventKind::kRemoveRoot:
+          store->RemoveRoot(e.a);
+          break;
+        case EventKind::kGarbageMark:
+          store->RecordGarbageCreated(e.a, e.b);
+          break;
+        default:
+          break;
+      }
+    }
+    return store;
+  };
+
+  // Serial oracle: plain Collect loop, two passes.
+  auto serial = build();
+  Collector serial_gc;
+  std::vector<CollectionReport> serial_reports;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (PartitionId p = 0; p < serial->partition_count(); ++p) {
+      serial_reports.push_back(serial_gc.Collect(*serial, p));
+    }
+  }
+  const uint64_t serial_digest = StoreDigest(*serial);
+
+  for (int threads : {1, 2, 8}) {
+    auto store = build();
+    Collector gc;
+    ThreadPool pool(threads);
+    std::vector<PartitionId> all;
+    for (PartitionId p = 0; p < store->partition_count(); ++p) {
+      all.push_back(p);
+    }
+    std::vector<CollectionReport> reports;
+    for (int pass = 0; pass < 2; ++pass) {
+      std::vector<CollectionReport> batch =
+          gc.CollectBatch(*store, all, &pool);
+      reports.insert(reports.end(), batch.begin(), batch.end());
+    }
+    ASSERT_EQ(reports.size(), serial_reports.size()) << threads;
+    for (size_t i = 0; i < reports.size(); ++i) {
+      ExpectSameReport(reports[i], serial_reports[i]);
+    }
+    EXPECT_EQ(StoreDigest(*store), serial_digest) << threads;
+    EXPECT_TRUE(VerifyHeap(*store, {}).ok()) << threads;
+  }
+}
+
+TEST(ParallelCollectTest, NullPoolAndSingleThreadPoolAgree) {
+  ObjectStore a(SmallStore());
+  BuildCrossPartitionChain(&a);
+  ObjectStore b(SmallStore());
+  BuildCrossPartitionChain(&b);
+
+  Collector gc_a;
+  Collector gc_b;
+  ThreadPool pool(1);
+  std::vector<PartitionId> all;
+  for (PartitionId p = 0; p < a.partition_count(); ++p) all.push_back(p);
+
+  std::vector<CollectionReport> ra = gc_a.CollectBatch(a, all, nullptr);
+  std::vector<CollectionReport> rb = gc_b.CollectBatch(b, all, &pool);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) ExpectSameReport(ra[i], rb[i]);
+  EXPECT_EQ(StoreDigest(a), StoreDigest(b));
+}
+
+TEST(ParallelCollectTest, DuplicatePartitionInBatchIsRejected) {
+  ObjectStore store(SmallStore());
+  store.CreateObject(1, 100, 0);
+  store.AddRoot(1);
+  Collector gc;
+  EXPECT_DEATH(gc.CollectBatch(store, {0, 0}, nullptr), "duplicate");
+}
+
+}  // namespace
+}  // namespace odbgc

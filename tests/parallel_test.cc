@@ -433,6 +433,49 @@ TEST(SweepReportTest, CarriesPerRunStatusAndSummary) {
   EXPECT_EQ(summary->Find("failed")->number_value(), 1.0);
 }
 
+TEST(SweepRunnerTest, InvalidOptionsAreRejectedWithTypedError) {
+  SweepRunner runner(1);
+  SweepPoint p;
+  p.config = TinySaioConfig();
+  p.params = Oo7Params::Tiny();
+  p.seed = 1;
+
+  SweepOptions bad_attempts;
+  bad_attempts.max_attempts = 0;
+  EXPECT_THROW(runner.RunWithStatus({p}, bad_attempts), SimInvalidConfig);
+
+  SweepOptions bad_backoff;
+  bad_backoff.retry_backoff_ms = -1.0;
+  EXPECT_THROW(runner.RunWithStatus({p}, bad_backoff), SimInvalidConfig);
+
+  SweepOptions bad_deadline;
+  bad_deadline.run_deadline_ms = -5.0;
+  EXPECT_THROW(runner.RunWithStatus({p}, bad_deadline), SimInvalidConfig);
+
+  SweepOptions bad_checkpoint;
+  bad_checkpoint.checkpoint_every = 100;  // but no prefix
+  EXPECT_THROW(runner.RunWithStatus({p}, bad_checkpoint), SimInvalidConfig);
+
+  // The rejection happens before any run: the runner stays usable and the
+  // error is classified + non-transient.
+  try {
+    runner.RunWithStatus({p}, bad_attempts);
+    FAIL() << "expected SimInvalidConfig";
+  } catch (const SimInvalidConfig& e) {
+    EXPECT_EQ(e.kind(), SimErrorKind::kInvalidConfig);
+    EXPECT_FALSE(e.transient());
+  }
+  std::vector<RunOutcome> ok = runner.RunWithStatus({p}, SweepOptions{});
+  ASSERT_EQ(ok.size(), 1u);
+  EXPECT_TRUE(ok[0].status.ok());
+}
+
+TEST(SweepRunnerTest, AbsurdThreadCountIsRejectedAtConstruction) {
+  EXPECT_THROW(SweepRunner(1 << 20), SimInvalidConfig);
+  EXPECT_EQ(std::string(SimErrorKindName(SimErrorKind::kInvalidConfig)),
+            "invalid_config");
+}
+
 TEST(DeterminismTest, RepeatedPooledRunsAgree) {
   Oo7Params params = Oo7Params::Tiny();
   SimConfig cfg = TinySagaConfig(EstimatorKind::kCgsCb);

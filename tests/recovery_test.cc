@@ -190,25 +190,29 @@ TEST_F(CrashRecoveryTest, VerifierFlagsInjectedCorruption) {
   ExpectHeapClean();
 
   // A stale reverse-index entry (no matching slot).
-  store_.mutable_object(2).in_refs.push_back(1);
+  store_.mutable_in_refs(2).push_back(InRef{1, store_.object(1).slot_begin});
   VerifierReport stale = VerifyHeap(store_);
   EXPECT_FALSE(stale.ok());
   EXPECT_NE(stale.Summary().find("stale in_refs"), std::string::npos)
       << stale.Summary();
-  store_.mutable_object(2).in_refs.pop_back();
+  store_.mutable_in_refs(2).pop_back();
   ExpectHeapClean();
 
   // A missing reverse-index entry (lost external root).
-  auto& in = store_.mutable_object(2).in_refs;
-  const auto pos = std::find(in.begin(), in.end(), 5u) - in.begin();
+  auto& in = store_.mutable_in_refs(2);
+  const auto pos = std::find_if(in.begin(), in.end(), [](const InRef& ir) {
+                     return ir.src == 5u;
+                   }) -
+                   in.begin();
+  const InRef removed = in[pos];
   in.erase(in.begin() + pos);
   VerifierReport missing = VerifyHeap(store_);
   EXPECT_FALSE(missing.ok());
   EXPECT_NE(missing.Summary().find("missing in_refs"), std::string::npos)
       << missing.Summary();
-  // Positional reinsert: in_refs must stay aligned with in_ref_slots and
-  // the sources' slot_backrefs, which the verifier also cross-checks.
-  in.insert(in.begin() + pos, 5);
+  // Positional reinsert: each entry must stay where the sources'
+  // slot_backrefs expect it, which the verifier also cross-checks.
+  in.insert(in.begin() + pos, removed);
   ExpectHeapClean();
 
   // An object stranded at a stale from-space position.

@@ -65,8 +65,7 @@ TEST(ReverseIndexChurnTest, RandomChurnStaysConsistentAcrossCollections) {
       // Usually link the newcomer in so part of the graph stays reachable.
       if (rng.NextBool(0.8)) {
         const ObjectId parent = live[rng.NextBelow(live.size())];
-        const uint32_t nslots =
-            static_cast<uint32_t>(store.object(parent).slots.size());
+        const uint32_t nslots = store.object(parent).slot_count;
         if (nslots > 0) {
           store.WriteRef(parent, static_cast<uint32_t>(rng.NextBelow(nslots)),
                          id);
@@ -76,8 +75,7 @@ TEST(ReverseIndexChurnTest, RandomChurnStaysConsistentAcrossCollections) {
       // Rewrite a random slot: retarget (builds shared structure and
       // cross-partition edges) or null out (creates garbage).
       const ObjectId src = live[rng.NextBelow(live.size())];
-      const uint32_t nslots =
-          static_cast<uint32_t>(store.object(src).slots.size());
+      const uint32_t nslots = store.object(src).slot_count;
       if (nslots == 0) continue;
       const uint32_t slot = static_cast<uint32_t>(rng.NextBelow(nslots));
       const ObjectId target =
@@ -132,12 +130,12 @@ TEST(ReverseIndexChurnTest, VerifierFlagsDesyncedIndices) {
   ASSERT_TRUE(VerifyHeap(store, BareOptions()).ok());
 
   // A back-pointer that no longer addresses its own entry.
-  store.mutable_object(2).in_ref_slots[0] = 1;
+  store.mutable_in_refs(2)[0].backref_pos += 1;
   VerifierReport backref = VerifyHeap(store, BareOptions());
   EXPECT_FALSE(backref.ok());
   EXPECT_NE(backref.Summary().find("backref"), std::string::npos)
       << backref.Summary();
-  store.mutable_object(2).in_ref_slots[0] = 0;
+  store.mutable_in_refs(2)[0].backref_pos -= 1;
   ASSERT_TRUE(VerifyHeap(store, BareOptions()).ok());
 }
 
@@ -148,7 +146,7 @@ TEST(ReverseIndexDeathTest, DesyncedBackrefDiesOnOverwrite) {
   store.WriteRef(1, 0, 2);
   // Corrupt the slot's back-pointer; the O(1) detach must refuse to
   // swap-erase through it.
-  store.mutable_object(1).slot_backrefs[0] = 7;
+  store.mutable_slots(1)[0].backref = 7;
   EXPECT_DEATH(store.WriteRef(1, 0, kNullObject), "reverse index out of sync");
 }
 

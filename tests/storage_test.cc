@@ -22,7 +22,7 @@ TEST(ObjectStoreTest, CreatePlacesAndCountsIo) {
   EXPECT_EQ(rec.size, 600u);
   EXPECT_EQ(rec.partition, 0u);
   EXPECT_EQ(rec.offset, 0u);
-  EXPECT_EQ(rec.slots.size(), 2u);
+  EXPECT_EQ(rec.slot_count, 2u);
   EXPECT_EQ(store.used_bytes(), 600u);
   EXPECT_EQ(store.live_object_count(), 1u);
   // 600 bytes at offset 0 span pages 0..1 -> two read I/Os on miss.
@@ -62,8 +62,8 @@ TEST(ObjectStoreTest, WriteRefToNullSlotIsNotAnOverwrite) {
   PartitionId p = store.WriteRef(1, 0, 2);
   EXPECT_EQ(p, kInvalidPartition);
   EXPECT_EQ(store.pointer_overwrites(), 0u);
-  EXPECT_EQ(store.object(2).in_refs.size(), 1u);
-  EXPECT_EQ(store.object(2).in_refs[0], 1u);
+  EXPECT_EQ(store.in_refs(2).size(), 1u);
+  EXPECT_EQ(store.in_refs(2)[0].src, 1u);
 }
 
 TEST(ObjectStoreTest, OverwriteChargedToOldTargetsPartition) {
@@ -83,8 +83,8 @@ TEST(ObjectStoreTest, OverwriteChargedToOldTargetsPartition) {
   EXPECT_EQ(store.partition(1).overwrites(), 1u);
   EXPECT_EQ(store.partition(0).overwrites(), 0u);
   // Reverse index followed the pointer.
-  EXPECT_TRUE(store.object(2).in_refs.empty());
-  EXPECT_EQ(store.object(3).in_refs.size(), 1u);
+  EXPECT_TRUE(store.in_refs(2).empty());
+  EXPECT_EQ(store.in_refs(3).size(), 1u);
 }
 
 TEST(ObjectStoreTest, RewritingSameValueIsNotAnOverwrite) {
@@ -95,7 +95,7 @@ TEST(ObjectStoreTest, RewritingSameValueIsNotAnOverwrite) {
   PartitionId p = store.WriteRef(1, 0, 2);
   EXPECT_EQ(p, kInvalidPartition);
   EXPECT_EQ(store.pointer_overwrites(), 0u);
-  EXPECT_EQ(store.object(2).in_refs.size(), 1u);  // no duplicate
+  EXPECT_EQ(store.in_refs(2).size(), 1u);  // no duplicate
 }
 
 TEST(ObjectStoreTest, OverwriteWithNullClearsReverseIndex) {
@@ -106,7 +106,7 @@ TEST(ObjectStoreTest, OverwriteWithNullClearsReverseIndex) {
   PartitionId charged = store.WriteRef(1, 0, kNullObject);
   EXPECT_EQ(charged, 0u);
   EXPECT_EQ(store.pointer_overwrites(), 1u);
-  EXPECT_TRUE(store.object(2).in_refs.empty());
+  EXPECT_TRUE(store.in_refs(2).empty());
 }
 
 TEST(ObjectStoreTest, DuplicateReferencesTrackedAsMultiset) {
@@ -115,9 +115,9 @@ TEST(ObjectStoreTest, DuplicateReferencesTrackedAsMultiset) {
   store.CreateObject(2, 100, 0);
   store.WriteRef(1, 0, 2);
   store.WriteRef(1, 1, 2);
-  EXPECT_EQ(store.object(2).in_refs.size(), 2u);
+  EXPECT_EQ(store.in_refs(2).size(), 2u);
   store.WriteRef(1, 0, kNullObject);
-  EXPECT_EQ(store.object(2).in_refs.size(), 1u);
+  EXPECT_EQ(store.in_refs(2).size(), 1u);
 }
 
 TEST(ObjectStoreTest, RootsAddRemove) {
@@ -136,7 +136,7 @@ TEST(ObjectStoreTest, DestroyObjectDetachesOutPointers) {
   store.WriteRef(1, 0, 2);
   store.DestroyObject(1);
   EXPECT_FALSE(store.Exists(1));
-  EXPECT_TRUE(store.object(2).in_refs.empty());
+  EXPECT_TRUE(store.in_refs(2).empty());
   EXPECT_EQ(store.live_object_count(), 1u);
   // used_bytes is unchanged until a collection compacts the partition.
   EXPECT_EQ(store.used_bytes(), 200u);

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Full local gate: plain build + complete test suite + a telemetry
 # smoke (export a trace, validate it with odbgc_tracecheck), a
-# checkpoint/resume + recovery-fuzz smoke (docs/RECOVERY.md), then both
-# sanitizer passes (tools/check_asan.sh, tools/check_tsan.sh). Each
+# checkpoint/resume + recovery-fuzz smoke (docs/RECOVERY.md), a
+# parallel-collection bench smoke (checksums must agree across
+# --gc-threads), then both sanitizer passes (tools/check_asan.sh,
+# tools/check_tsan.sh). Each
 # flavor builds into its own directory so the gates do not disturb an
 # existing working build. Usage: tools/check_all.sh
 set -euo pipefail
@@ -73,6 +75,29 @@ for c, f in zip(clean["runs"], fail["runs"]):
     else:
         assert c["report"] == f["report"], "run %d diverged" % f["index"]
 print("sweep isolation smoke: 1 structured failure, 3 runs unchanged")
+EOF
+
+# Parallel-collection bench smoke: the hot-path micro-bench asserts
+# internally that CollectBatch matches the serial sweep checksum; here we
+# additionally require every section checksum to be identical across
+# --gc-threads values (separate processes, separate pools).
+bench_dir="$(mktemp -d /tmp/odbgc_bench.XXXXXX)"
+trap 'rm -f "$trace_tmp"; rm -rf "$ckpt_dir" "$bench_dir"' EXIT
+bench="$PWD/build-check/bench/micro_core_hotpath"
+(cd "$bench_dir" && "$bench" --gc-threads=1 > /dev/null &&
+    mv BENCH_hotpath_run.json t1.json)
+(cd "$bench_dir" && "$bench" --gc-threads=4 > /dev/null &&
+    mv BENCH_hotpath_run.json t4.json)
+python3 - "$bench_dir" <<'EOF'
+import json, sys
+d = sys.argv[1]
+t1 = json.load(open(d + "/t1.json"))
+t4 = json.load(open(d + "/t4.json"))
+c1 = {s["name"]: s["checksum"] for s in t1["sections"]}
+c4 = {s["name"]: s["checksum"] for s in t4["sections"]}
+assert c1 == c4, "checksums diverged across --gc-threads: %r vs %r" % (c1, c4)
+print("bench smoke: %d section checksums identical at gc-threads 1 and 4"
+      % len(c1))
 EOF
 
 # Crash-anywhere recovery fuzz (a short schedule here; CI runs the full

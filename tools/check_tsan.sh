@@ -12,10 +12,14 @@ SANITIZER="${ODBGC_SANITIZE:-thread}"
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DODBGC_SANITIZE="$SANITIZER"
-cmake --build "$BUILD_DIR" --target parallel_test simulation_test -j "$(nproc)"
+cmake --build "$BUILD_DIR" \
+  --target parallel_test simulation_test parallel_collect_test \
+  -j "$(nproc)"
 
 echo "== parallel_test under ${SANITIZER} sanitizer =="
 "$BUILD_DIR/tests/parallel_test"
 echo "== simulation_test under ${SANITIZER} sanitizer =="
 "$BUILD_DIR/tests/simulation_test"
+echo "== parallel_collect_test (intra-run parallel collector) under ${SANITIZER} sanitizer =="
+"$BUILD_DIR/tests/parallel_collect_test"
 echo "OK: no ${SANITIZER} sanitizer reports"
