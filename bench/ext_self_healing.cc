@@ -1,0 +1,157 @@
+// Extension study: self-healing storage under silent corruption. The
+// paper's simulations assume pages read back exactly what was written;
+// this harness injects silent bit-flips, latent media decay and
+// permanent device faults, and measures the detect -> quarantine ->
+// repair pipeline (storage/scrubber.h, ObjectStore quarantine,
+// RepairHeap) with and without the background scrubber. A final section
+// re-runs the whole grid single-threaded and requires byte-identical
+// aggregate outcomes, proving the pipeline is deterministic at any
+// --threads.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sim/parallel.h"
+#include "sim/runner.h"
+#include "storage/fault_injector.h"
+#include "util/table_printer.h"
+
+namespace {
+
+// The aggregate self-healing outcome of one grid cell, used both for
+// the report and for the cross-thread determinism comparison.
+struct CellTotals {
+  uint64_t checksum_failures = 0;
+  uint64_t scrub_detections = 0;
+  uint64_t quarantined = 0;
+  uint64_t repaired = 0;
+  uint64_t aborted = 0;
+  uint64_t pages_scrubbed = 0;
+  uint64_t collections = 0;
+  bool operator==(const CellTotals& o) const {
+    return checksum_failures == o.checksum_failures &&
+           scrub_detections == o.scrub_detections &&
+           quarantined == o.quarantined && repaired == o.repaired &&
+           aborted == o.aborted && pages_scrubbed == o.pages_scrubbed &&
+           collections == o.collections;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace odbgc;
+  bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader("Self-healing storage under silent corruption",
+                     "robustness extension (no paper counterpart)");
+
+  Oo7Params params = bench::SmallPrimeWithConnectivity(args.connectivity);
+
+  // Corruption mix per cell: bit-flips at `rate`, decay at rate/2,
+  // permanent dead pages at rate/10 (a fifth of which take the whole
+  // partition device down).
+  const double kCorruptionRates[] = {0.0, 0.005, 0.02};
+  const uint32_t kScrubIntervals[] = {0, 64};  // off, every 64 events
+
+  auto make_points = [&]() {
+    std::vector<SweepPoint> points;
+    for (double rate : kCorruptionRates) {
+      for (uint32_t scrub : kScrubIntervals) {
+        for (int i = 0; i < args.runs; ++i) {
+          SweepPoint p;
+          p.config = bench::PaperConfig();
+          p.config.policy = PolicyKind::kSaga;
+          if (rate > 0.0) {
+            p.config.store.fault.bitflip_prob = rate;
+            p.config.store.fault.decay_prob = rate / 2.0;
+            p.config.store.fault.dead_page_prob = rate / 10.0;
+            p.config.store.fault.dead_partition_prob = 0.2;
+          }
+          p.config.scrub_interval_events = scrub;
+          p.config.scrub_pages_per_quantum = 8;
+          p.params = params;
+          p.seed = args.base_seed + i;
+          points.push_back(p);
+        }
+      }
+    }
+    return points;
+  };
+
+  auto cell_totals = [&](const std::vector<SimResult>& results, size_t* at) {
+    CellTotals t;
+    for (int i = 0; i < args.runs; ++i) {
+      const SimResult& r = results[(*at)++];
+      t.checksum_failures += r.checksum_failures;
+      t.scrub_detections += r.scrub_detections;
+      t.quarantined += r.partitions_quarantined;
+      t.repaired += r.partitions_repaired;
+      t.aborted += r.collections_aborted_corrupt;
+      t.pages_scrubbed += r.pages_scrubbed;
+      t.collections += r.collections;
+    }
+    return t;
+  };
+
+  SweepRunner runner(args.threads);
+  std::vector<SimResult> results = runner.Run(make_points());
+
+  std::vector<CellTotals> cells;
+  size_t at = 0;
+  TablePrinter t({"corrupt_prob", "scrub", "chk_fail", "scrub_det",
+                  "quarantined", "repaired", "aborted", "collections"});
+  for (double rate : kCorruptionRates) {
+    for (uint32_t scrub : kScrubIntervals) {
+      CellTotals c = cell_totals(results, &at);
+      cells.push_back(c);
+      t.AddRow({TablePrinter::Fmt(rate, 3), scrub == 0 ? "off" : "on",
+                std::to_string(c.checksum_failures),
+                std::to_string(c.scrub_detections),
+                std::to_string(c.quarantined), std::to_string(c.repaired),
+                std::to_string(c.aborted), std::to_string(c.collections)});
+    }
+  }
+  t.Print(std::cout);
+
+  // Invariants every cell must satisfy: each quarantine is repaired
+  // (end-of-run drain guarantees it), and zero-corruption cells stay
+  // entirely on the healthy path.
+  bool ok = true;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (cells[i].quarantined != cells[i].repaired) {
+      std::cout << "FAIL: cell " << i << " quarantined "
+                << cells[i].quarantined << " != repaired "
+                << cells[i].repaired << "\n";
+      ok = false;
+    }
+  }
+  if (cells[0].checksum_failures != 0 || cells[0].quarantined != 0) {
+    std::cout << "FAIL: zero-corruption cell detected phantom damage\n";
+    ok = false;
+  }
+
+  // Determinism across worker-thread counts: the same grid on one
+  // thread must produce identical aggregate outcomes.
+  SweepRunner serial(1);
+  std::vector<SimResult> serial_results = serial.Run(make_points());
+  size_t sat = 0;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    CellTotals c = cell_totals(serial_results, &sat);
+    if (!(c == cells[i])) {
+      std::cout << "FAIL: cell " << i << " differs between --threads="
+                << runner.threads() << " and --threads=1\n";
+      ok = false;
+    }
+  }
+  std::cout << (ok ? "\nself-healing invariants: OK (every quarantine "
+                     "repaired; deterministic\nacross thread counts)\n"
+                   : "\nself-healing invariants: FAILED\n");
+
+  std::cout << "\nExpected shape: with the scrubber off, every detection "
+               "comes from a\ndemand read or a collection's from-space scan "
+               "(aborted collections);\nwith it on, the scrubber finds most "
+               "latent damage first, so aborts\ndrop while total detections "
+               "rise. Repairs always equal quarantines.\n";
+  return ok ? 0 : 1;
+}

@@ -162,6 +162,14 @@ CollectionReport Collector::Collect(ObjectStore& store,
                                     PartitionId partition) {
   ODBGC_CHECK_MSG(!journal_.pending,
                   "Collect while crash recovery is pending");
+  if (store.IsQuarantined(partition)) {
+    // A quarantined partition's pages are suspect and its derived state
+    // is pending repair; collecting it could consume corrupt data.
+    CollectionReport report;
+    report.partition = partition;
+    report.skipped_quarantine = true;
+    return report;
+  }
   EnsurePlanCache(store);
   const uint64_t epoch = store.plan_epoch(partition);
   CollectionPlan& plan = plan_cache_[partition];
@@ -258,6 +266,15 @@ CollectionReport Collector::ApplyCollection(ObjectStore& store,
                                             const CollectionPlan& plan) {
   ODBGC_CHECK_MSG(!journal_.pending,
                   "Collect while crash recovery is pending");
+  if (store.IsQuarantined(partition)) {
+    // Covers CollectBatch too: a partition quarantined after its plan was
+    // computed (e.g. an earlier apply's remembered-set read hit a corrupt
+    // page) must not be applied.
+    CollectionReport skipped;
+    skipped.partition = partition;
+    skipped.skipped_quarantine = true;
+    return skipped;
+  }
   ++attempts_;
   const bool crash_now =
       crash_point_ != CrashPoint::kNone && attempts_ == crash_attempt_;
@@ -286,6 +303,24 @@ CollectionReport Collector::ApplyCollection(ObjectStore& store,
   if (part.used() > 0) {
     store.TouchRange(partition, 0, part.used(), /*dirty=*/false,
                      IoContext::kCollector);
+  }
+
+  // Damage gate: if the from-space scan surfaced a detection (checksum
+  // mismatch, device fault) in this partition, abort before anything is
+  // written or flipped. Nothing has mutated yet — plan was a pure memory
+  // computation and step 1 was read-only — so from-space remains
+  // authoritative and the caller can quarantine + repair, then retry.
+  if (store.buffer_pool().HasPendingCorruption(partition)) {
+    report.aborted_corrupt = true;
+    const IoStats at_abort = store.io_stats();
+    report.gc_reads = at_abort.gc_reads - before_io.gc_reads;
+    report.gc_writes = at_abort.gc_writes - before_io.gc_writes;
+    ODBGC_IF_TEL(tel_) { tel_->End("scan"); }
+    ODBGC_IF_TEL(tel_) {
+      tel_->Instant("collection_aborted_corrupt",
+                    {{"partition", partition}});
+    }
+    return report;
   }
 
   const std::vector<ObjectId>& copy_order = plan.copy_order;

@@ -35,6 +35,16 @@ struct CollectionReport {
   // decided by recovery (roll forward) or not (roll back).
   bool crashed = false;
   CrashPoint crash_point = CrashPoint::kNone;
+  // The partition was quarantined at Collect time; nothing was read,
+  // written, or mutated. The caller should pick another partition.
+  bool skipped_quarantine = false;
+  // The step-1 from-space scan surfaced a corruption detection (checksum
+  // mismatch or device fault) in this partition, and the collection
+  // aborted *before its commit point*: no object was destroyed, moved,
+  // or rewritten, so from-space stays fully authoritative. gc_reads
+  // counts the scan that found the damage; the caller quarantines and
+  // repairs, then may retry.
+  bool aborted_corrupt = false;
 };
 
 // Outcome of recovering from an injected crash.

@@ -7,11 +7,12 @@ namespace odbgc {
 
 PartitionId UpdatedPointerSelector::Select(const ObjectStore& store) {
   ODBGC_CHECK(store.partition_count() > 0);
-  PartitionId best = 0;
+  PartitionId best = kInvalidPartition;
   uint64_t best_overwrites = 0;
   uint64_t best_stamp = ~0ull;
   bool have = false;
   for (const Partition& p : store.partitions()) {
+    if (store.IsQuarantined(p.id())) continue;
     uint64_t ow = p.overwrites();
     uint64_t stamp = p.last_collected_stamp();
     // Prefer more overwrites; break ties toward the least recently
@@ -29,24 +30,44 @@ PartitionId UpdatedPointerSelector::Select(const ObjectStore& store) {
 
 PartitionId RandomSelector::Select(const ObjectStore& store) {
   ODBGC_CHECK(store.partition_count() > 0);
-  return static_cast<PartitionId>(rng_.NextBelow(store.partition_count()));
+  if (store.quarantined_count() == 0) {
+    // The common (healthy) path: one draw over all partitions, exactly
+    // the historical RNG consumption.
+    return static_cast<PartitionId>(rng_.NextBelow(store.partition_count()));
+  }
+  std::vector<PartitionId> healthy;
+  healthy.reserve(store.partition_count());
+  for (const Partition& p : store.partitions()) {
+    if (!store.IsQuarantined(p.id())) healthy.push_back(p.id());
+  }
+  if (healthy.empty()) return kInvalidPartition;
+  return healthy[rng_.NextBelow(healthy.size())];
 }
 
 PartitionId RoundRobinSelector::Select(const ObjectStore& store) {
   ODBGC_CHECK(store.partition_count() > 0);
-  PartitionId p = next_ % static_cast<PartitionId>(store.partition_count());
-  next_ = p + 1;
-  return p;
+  const PartitionId count =
+      static_cast<PartitionId>(store.partition_count());
+  for (PartitionId step = 0; step < count; ++step) {
+    PartitionId p = (next_ + step) % count;
+    if (store.IsQuarantined(p)) continue;
+    next_ = p + 1;
+    return p;
+  }
+  return kInvalidPartition;
 }
 
 PartitionId MostGarbageOracleSelector::Select(const ObjectStore& store) {
   ODBGC_CHECK(store.partition_count() > 0);
   ScanReachabilityInto(store, &scan_, &scratch_);
-  PartitionId best = 0;
+  PartitionId best = kInvalidPartition;
   uint64_t best_garbage = 0;
+  bool have = false;
   for (const Partition& p : store.partitions()) {
+    if (store.IsQuarantined(p.id())) continue;
     uint64_t g = UnreachableBytesInPartition(store, scan_, p.id());
-    if (g > best_garbage) {
+    if (!have || g > best_garbage) {
+      have = true;
       best_garbage = g;
       best = p.id();
     }
@@ -57,10 +78,13 @@ PartitionId MostGarbageOracleSelector::Select(const ObjectStore& store) {
 PartitionId LeastRecentlyCollectedSelector::Select(
     const ObjectStore& store) {
   ODBGC_CHECK(store.partition_count() > 0);
-  PartitionId best = 0;
+  PartitionId best = kInvalidPartition;
   uint64_t best_stamp = ~0ull;
+  bool have = false;
   for (const Partition& p : store.partitions()) {
-    if (p.last_collected_stamp() < best_stamp) {
+    if (store.IsQuarantined(p.id())) continue;
+    if (!have || p.last_collected_stamp() < best_stamp) {
+      have = true;
       best_stamp = p.last_collected_stamp();
       best = p.id();
     }
@@ -70,10 +94,11 @@ PartitionId LeastRecentlyCollectedSelector::Select(
 
 PartitionId OverwriteDensitySelector::Select(const ObjectStore& store) {
   ODBGC_CHECK(store.partition_count() > 0);
-  PartitionId best = 0;
+  PartitionId best = kInvalidPartition;
   double best_density = -1.0;
   uint64_t best_stamp = ~0ull;
   for (const Partition& p : store.partitions()) {
+    if (store.IsQuarantined(p.id())) continue;
     double density =
         p.used() == 0
             ? 0.0

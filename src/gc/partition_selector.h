@@ -16,6 +16,11 @@ namespace odbgc {
 // studied in [CWZ94]; this paper fixes UpdatedPointer and studies the
 // collection *rate*, but the selection policy matters to the CGS/CB
 // estimator — see Section 4.1.2 and the selection ablation bench).
+//
+// Quarantined partitions (ObjectStore::IsQuarantined) are never
+// selected; if every partition is quarantined, Select returns
+// kInvalidPartition and the caller skips the collection. With no
+// quarantine in effect every selector behaves bit-for-bit as before.
 class PartitionSelector {
  public:
   virtual ~PartitionSelector() = default;

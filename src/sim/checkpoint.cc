@@ -165,6 +165,23 @@ void SaveResult(SnapshotWriter& w, const SimResult& res) {
   w.U64(res.io_write_failures);
   w.U64(res.torn_writes);
   w.U64(res.torn_repairs);
+  w.U64(res.checksum_failures);
+  w.U64(res.bitflips_injected);
+  w.U64(res.decays_armed);
+  w.U64(res.device_faults);
+  w.U64(res.pages_scrubbed);
+  w.U64(res.scrub_detections);
+  w.U64(res.partitions_quarantined);
+  w.U64(res.partitions_repaired);
+  w.U64(res.repair_pages_rewritten);
+  w.U64(res.collections_aborted_corrupt);
+  w.U64(res.quarantine_log.size());
+  for (const QuarantineEvent& q : res.quarantine_log) {
+    w.U64(q.detected_event);
+    w.U32(q.partition);
+    w.U8(q.kind);
+    w.U64(q.repaired_event);
+  }
   w.U64(res.log.size());
   for (const CollectionRecord& rec : res.log) SaveCollectionRecord(w, rec);
   w.U64(res.phases.size());
@@ -214,6 +231,26 @@ void LoadResult(SnapshotReader& r, SimResult* res) {
   res->io_write_failures = r.U64();
   res->torn_writes = r.U64();
   res->torn_repairs = r.U64();
+  res->checksum_failures = r.U64();
+  res->bitflips_injected = r.U64();
+  res->decays_armed = r.U64();
+  res->device_faults = r.U64();
+  res->pages_scrubbed = r.U64();
+  res->scrub_detections = r.U64();
+  res->partitions_quarantined = r.U64();
+  res->partitions_repaired = r.U64();
+  res->repair_pages_rewritten = r.U64();
+  res->collections_aborted_corrupt = r.U64();
+  const uint64_t quarantine_count = r.U64();
+  res->quarantine_log.clear();
+  for (uint64_t i = 0; i < quarantine_count && r.ok(); ++i) {
+    QuarantineEvent q;
+    q.detected_event = r.U64();
+    q.partition = r.U32();
+    q.kind = r.U8();
+    q.repaired_event = r.U64();
+    res->quarantine_log.push_back(q);
+  }
   const uint64_t log_count = r.U64();
   res->log.clear();
   for (uint64_t i = 0; i < log_count && r.ok(); ++i) {
@@ -361,6 +398,11 @@ uint64_t ConfigFingerprint(const SimConfig& config) {
   w.F64(st.fault.read_fault_prob);
   w.F64(st.fault.write_fault_prob);
   w.F64(st.fault.torn_write_prob);
+  w.F64(st.fault.bitflip_prob);
+  w.F64(st.fault.decay_prob);
+  w.U32(st.fault.decay_latency);
+  w.F64(st.fault.dead_page_prob);
+  w.F64(st.fault.dead_partition_prob);
   w.U32(st.fault.max_retries);
   w.F64(st.fault.retry_backoff_ms);
   w.Bool(st.fault.commit_protocol);
@@ -396,6 +438,10 @@ uint64_t ConfigFingerprint(const SimConfig& config) {
   w.Bool(config.verify_after_collection);
   w.Bool(config.verify_after_recovery);
   w.Bool(config.verify_reachability);
+  w.U32(config.scrub_interval_events);
+  w.U32(config.scrub_pages_per_quantum);
+  w.Bool(config.auto_repair);
+  w.Bool(config.verify_after_repair);
   // FNV-1a 64 over the canonical field bytes.
   uint64_t h = 14695981039346656037ull;
   for (const unsigned char c : w.data()) {
@@ -423,6 +469,7 @@ void Simulation::SaveState(SnapshotWriter& w) const {
   w.F64(last_estimate_error_pp_);
   store_->SaveState(w);
   collector_.SaveState(w);
+  scrubber_.SaveState(w);
   policy_->SaveState(w);
   selector_->SaveState(w);
   w.U64(passive_estimators_.size());
@@ -450,6 +497,7 @@ void Simulation::RestoreState(SnapshotReader& r) {
   last_estimate_error_pp_ = r.F64();
   store_->RestoreState(r);
   collector_.RestoreState(r);
+  scrubber_.RestoreState(r);
   policy_->RestoreState(r);
   selector_->RestoreState(r);
   const uint64_t passive_count = r.U64();

@@ -50,7 +50,9 @@ enum class CheckpointError : uint8_t {
 
 const char* CheckpointErrorName(CheckpointError error);
 
-inline constexpr uint32_t kCheckpointVersion = 1;
+// v2: self-healing state (page-health sets in the fault injector,
+// quarantine flags, corruption queue, scrub cursor, repair counters).
+inline constexpr uint32_t kCheckpointVersion = 2;
 inline constexpr uint32_t kCheckpointFooterMagic = 0x54504b43;  // "CKPT"
 
 // Hash of the configuration fields that determine simulation behavior.

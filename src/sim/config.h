@@ -88,6 +88,23 @@ struct SimConfig {
   bool verify_after_recovery = true;
   bool verify_reachability = false;
 
+  // Self-healing (storage/scrubber.h + quarantine/repair). The scrubber
+  // runs one quantum every `scrub_interval_events` applied trace events
+  // (0 disables it), reading up to `scrub_pages_per_quantum` pages
+  // through the media so latent damage (bit-flips, decayed pages) is
+  // detected before a demand read consumes it. Detections quarantine the
+  // damaged partition; with `auto_repair` the simulation heals the
+  // media, rewrites the partition's pages from the authoritative object
+  // state, rebuilds all derived state, and releases the quarantine (at
+  // scrub ticks when the scrubber is on — so the quarantine window is
+  // observable — or immediately otherwise). `verify_after_repair` runs
+  // the partition verifier on each repaired partition; a violation
+  // aborts the run. Zero-fault runs never enter any of these paths.
+  uint32_t scrub_interval_events = 0;
+  uint32_t scrub_pages_per_quantum = 8;
+  bool auto_repair = true;
+  bool verify_after_repair = true;
+
   // Per-run wall-clock budget in milliseconds (0 disables). Checked every
   // 4096 events inside Simulation::RunFrom; an exceeded budget raises
   // SimDeadlineExceeded (sim/errors.h), which sweep harnesses classify

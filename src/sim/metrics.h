@@ -30,6 +30,16 @@ struct CollectionRecord {
   Phase phase = Phase::kNone;
 };
 
+// One partition quarantine episode (self-healing): a corruption
+// detection took the partition out of service, and repair (if any)
+// returned it.
+struct QuarantineEvent {
+  uint64_t detected_event = 0;  // clock.events when quarantined
+  PartitionId partition = kInvalidPartition;
+  uint8_t kind = 0;             // CorruptionKind of the first detection
+  uint64_t repaired_event = 0;  // clock.events at release; 0 = never
+};
+
 struct PhaseTransition {
   Phase phase = Phase::kNone;
   uint64_t at_collection = 0;  // collections completed when phase began
@@ -102,6 +112,20 @@ struct SimResult {
   uint64_t io_write_failures = 0;
   uint64_t torn_writes = 0;
   uint64_t torn_repairs = 0;
+
+  // Self-healing (zero unless the fault plan injects silent corruption
+  // or the scrubber is enabled).
+  uint64_t checksum_failures = 0;    // corrupt pages caught on read
+  uint64_t bitflips_injected = 0;
+  uint64_t decays_armed = 0;
+  uint64_t device_faults = 0;        // reads/writes hitting dead media
+  uint64_t pages_scrubbed = 0;
+  uint64_t scrub_detections = 0;     // detections made by the scrubber
+  uint64_t partitions_quarantined = 0;
+  uint64_t partitions_repaired = 0;
+  uint64_t repair_pages_rewritten = 0;
+  uint64_t collections_aborted_corrupt = 0;
+  std::vector<QuarantineEvent> quarantine_log;
 
   std::vector<CollectionRecord> log;
   std::vector<PhaseTransition> phases;

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "obs/build_info.h"
+#include "storage/buffer_pool.h"
 #include "util/json.h"
 
 namespace odbgc {
@@ -123,6 +124,54 @@ std::string SimResultToJson(const SimResult& result,
     w.Value(result.torn_writes);
     w.Key("torn_repairs");
     w.Value(result.torn_repairs);
+    w.EndObject();
+  }
+
+  // Self-healing outcomes (checksums, scrub, quarantine, repair).
+  // Emitted whenever the machinery did anything, same contract as
+  // "faults" above.
+  if (result.checksum_failures > 0 || result.device_faults > 0 ||
+      result.bitflips_injected > 0 || result.decays_armed > 0 ||
+      result.pages_scrubbed > 0 || result.partitions_quarantined > 0 ||
+      result.collections_aborted_corrupt > 0) {
+    w.Key("self_healing");
+    w.BeginObject();
+    w.Key("checksum_failures");
+    w.Value(result.checksum_failures);
+    w.Key("bitflips_injected");
+    w.Value(result.bitflips_injected);
+    w.Key("decays_armed");
+    w.Value(result.decays_armed);
+    w.Key("device_faults");
+    w.Value(result.device_faults);
+    w.Key("pages_scrubbed");
+    w.Value(result.pages_scrubbed);
+    w.Key("scrub_detections");
+    w.Value(result.scrub_detections);
+    w.Key("partitions_quarantined");
+    w.Value(result.partitions_quarantined);
+    w.Key("partitions_repaired");
+    w.Value(result.partitions_repaired);
+    w.Key("repair_pages_rewritten");
+    w.Value(result.repair_pages_rewritten);
+    w.Key("collections_aborted_corrupt");
+    w.Value(result.collections_aborted_corrupt);
+    w.Key("quarantine_log");
+    w.BeginArray();
+    for (const QuarantineEvent& q : result.quarantine_log) {
+      w.BeginObject();
+      w.Key("detected_event");
+      w.Value(q.detected_event);
+      w.Key("partition");
+      w.Value(static_cast<uint64_t>(q.partition));
+      w.Key("kind");
+      w.Value(
+          CorruptionKindName(static_cast<CorruptionKind>(q.kind)));
+      w.Key("repaired_event");
+      w.Value(q.repaired_event);
+      w.EndObject();
+    }
+    w.EndArray();
     w.EndObject();
   }
 

@@ -94,6 +94,10 @@ void Simulation::InitTelemetry() {
   tel_ = std::make_unique<obs::Telemetry>(config_.telemetry);
   tel_garbage_pct_ = tel_->metrics().GetGauge("sim.garbage_pct");
   tel_est_err_ = tel_->metrics().GetHistogram("sim.estimator_error_pp_x100");
+  tel_pages_scrubbed_ = tel_->metrics().GetCounter("storage.pages_scrubbed");
+  tel_quarantined_ = tel_->metrics().GetCounter("gc.partitions_quarantined");
+  tel_repaired_ = tel_->metrics().GetCounter("repair.partitions_repaired");
+  tel_repair_pages_ = tel_->metrics().GetCounter("repair.pages_rewritten");
   store_->buffer_pool().AttachTelemetry(tel_.get());
   collector_.AttachTelemetry(tel_.get());
   policy_->AttachTelemetry(tel_.get());
@@ -133,12 +137,115 @@ void Simulation::RunVerifier(const char* when) {
                   vr.Summary().c_str());
 }
 
+void Simulation::DrainCorruption() {
+  BufferPool& pool = store_->buffer_pool();
+  if (pool.pending_corruption_count() == 0) return;
+  for (const CorruptionEvent& ev : pool.TakeCorruptionEvents()) {
+    if (ev.kind == CorruptionKind::kScrub) ++result_.scrub_detections;
+    const PartitionId p = ev.page.partition;
+    if (!store_->QuarantinePartition(p)) continue;  // already quarantined
+    ++result_.partitions_quarantined;
+    QuarantineEvent q;
+    q.detected_event = clock_.events;
+    q.partition = p;
+    q.kind = static_cast<uint8_t>(ev.kind);
+    result_.quarantine_log.push_back(q);
+    ODBGC_IF_TEL(tel_.get()) {
+      tel_quarantined_->Increment();
+      tel_->Instant("quarantine",
+                    {{"partition", p},
+                     {"page", ev.page.page_index},
+                     {"kind", CorruptionKindName(ev.kind)}});
+    }
+  }
+}
+
+void Simulation::RepairQuarantined() {
+  std::vector<PartitionId> damaged;
+  for (const Partition& p : store_->partitions()) {
+    if (store_->IsQuarantined(p.id())) damaged.push_back(p.id());
+  }
+  if (damaged.empty()) return;
+  ODBGC_TEL_SPAN(repair_span, tel_.get(), "repair",
+                 {{"partitions", static_cast<uint64_t>(damaged.size())}});
+  // Heal the media (in a real system: remap to spare blocks or restore
+  // the extent from a replica) and rewrite every used page from the
+  // authoritative object state — the slot arena survives page damage in
+  // this simulator, exactly as a redundant copy would. The rewrites are
+  // charged as collector I/O; they also clear any still-armed decay on
+  // the rewritten pages.
+  FaultInjector* injector = store_->mutable_fault_injector();
+  BufferPool& pool = store_->buffer_pool();
+  const uint32_t page_bytes = store_->config().page_bytes;
+  for (PartitionId pid : damaged) {
+    if (injector != nullptr) injector->HealPartition(pid);
+    const Partition& part = store_->partition(pid);
+    const uint32_t used_pages = static_cast<uint32_t>(
+        (static_cast<uint64_t>(part.used()) + page_bytes - 1) / page_bytes);
+    for (uint32_t pg = 0; pg < used_pages; ++pg) {
+      pool.WriteThrough(PageId{pid, pg}, IoContext::kCollector);
+    }
+    result_.repair_pages_rewritten += used_pages;
+    ODBGC_IF_TEL(tel_.get()) { tel_repair_pages_->Add(used_pages); }
+  }
+  // One pass rebuilds every partition's derived state (reverse index,
+  // backrefs, cross-partition counters, free-space index) from the
+  // primary slot arena; batching it across this tick's repairs keeps
+  // the pass O(heap) regardless of how many partitions were damaged.
+  store_->RebuildDerivedState();
+  for (PartitionId pid : damaged) {
+    store_->ReleasePartition(pid);
+    ++result_.partitions_repaired;
+    for (auto it = result_.quarantine_log.rbegin();
+         it != result_.quarantine_log.rend(); ++it) {
+      if (it->partition == pid && it->repaired_event == 0) {
+        it->repaired_event = clock_.events;
+        break;
+      }
+    }
+    ODBGC_IF_TEL(tel_.get()) { tel_repaired_->Increment(); }
+    if (config_.verify_after_repair) {
+      VerifierReport vr = VerifyPartition(*store_, pid);
+      ++result_.verifier_runs;
+      ODBGC_CHECK_FMT(vr.ok(), "partition verifier after repair of %u: %s",
+                      pid, vr.Summary().c_str());
+    }
+  }
+}
+
+void Simulation::SelfHealTick() {
+  if (store_->partition_count() == 0) return;
+  DrainCorruption();
+  const uint32_t interval = config_.scrub_interval_events;
+  const bool scrub_due =
+      interval > 0 && clock_.events % interval == 0;
+  if (scrub_due) {
+    ScrubReport sr =
+        scrubber_.ScrubQuantum(*store_, config_.scrub_pages_per_quantum);
+    result_.pages_scrubbed += sr.pages_scrubbed;
+    ODBGC_IF_TEL(tel_.get()) {
+      tel_pages_scrubbed_->Add(sr.pages_scrubbed);
+    }
+    DrainCorruption();
+  }
+  if (!config_.auto_repair) return;
+  if (store_->quarantined_count() == 0) return;
+  // With the scrubber on, repair rides its cadence so the quarantine
+  // window is observable (selectors route around the partition in the
+  // meantime); without it, repair synchronously.
+  if (scrub_due || interval == 0) RepairQuarantined();
+}
+
 void Simulation::UpdateClock() {
   const IoStats& io = store_->io_stats();
   clock_.app_io = io.app_total();
   clock_.gc_io = io.gc_total();
   clock_.pointer_overwrites = store_->pointer_overwrites();
-  clock_.db_used_bytes = store_->used_bytes();
+  // Quarantined partitions are out of service: their bytes do not feed
+  // the policies' database-size view while repair owns them (exactly 0
+  // unless something is quarantined right now).
+  clock_.db_used_bytes =
+      store_->used_bytes() - store_->quarantined_used_bytes();
   clock_.bytes_allocated = store_->allocated_bytes_total();
   clock_.partitions = store_->partition_count();
 }
@@ -205,8 +312,21 @@ void Simulation::MaybeCollect() {
   if (!policy_->ShouldCollect(clock_)) return;
 
   PartitionId pid = selector_->Select(*store_);
+  // Every partition quarantined: nothing is collectable until repair
+  // releases one; the policy gets another chance at the next event.
+  if (pid == kInvalidPartition) return;
   uint64_t overwrites_at_selection = store_->partition(pid).overwrites();
   CollectionReport report = collector_.Collect(*store_, pid);
+  if (report.aborted_corrupt) {
+    // The from-space scan detected corruption and the collection backed
+    // out before its commit point; the detection is pending and the next
+    // SelfHealTick quarantines + repairs the partition. The aborted
+    // scan's I/O stays in the store's counters (it really happened).
+    ++result_.collections_aborted_corrupt;
+    UpdateClock();
+    return;
+  }
+  if (report.skipped_quarantine) return;
   if (report.crashed && !HandleCrash(&report)) {
     // Rolled back: no collection happened (its wasted I/O is still in the
     // store's counters); the policy gets another chance at the next event.
@@ -348,6 +468,7 @@ void Simulation::Apply(const TraceEvent& event) {
     SampleGarbage();
   }
   MaybeCollect();
+  SelfHealTick();
   // Offer the reporter a sample every 1024 events; it throttles on wall
   // time itself, so this only bounds how often we assemble a sample.
   if (progress_ != nullptr && (clock_.events & 1023u) == 0) {
@@ -376,6 +497,14 @@ obs::ProgressSample Simulation::MakeProgressSample() const {
 }
 
 SimResult Simulation::Finish() {
+  // End-of-run self-heal drain: quarantine any detection still pending
+  // and repair outstanding quarantines so the run ends with a fully
+  // healthy store (repair here is unconditional on the scrub cadence —
+  // there are no more events for it to ride on).
+  DrainCorruption();
+  if (config_.auto_repair && store_->quarantined_count() > 0) {
+    RepairQuarantined();
+  }
   UpdateClock();
   ClosePhaseSegment();
   result_.clock = clock_;
@@ -419,6 +548,10 @@ SimResult Simulation::Finish() {
   result_.io_write_failures = io.write_failures;
   result_.torn_writes = io.torn_writes;
   result_.torn_repairs = io.torn_repairs;
+  result_.checksum_failures = io.checksum_failures;
+  result_.bitflips_injected = io.bitflips;
+  result_.decays_armed = io.decays_armed;
+  result_.device_faults = io.device_faults;
   ODBGC_IF_TEL(tel_.get()) {
     if (tel_phase_span_open_) {
       tel_->End("phase");
@@ -439,8 +572,18 @@ void Simulation::RunIdlePeriod(uint32_t max_collections) {
     UpdateClock();
     if (!policy_->ShouldCollectWhenIdle(clock_)) break;
     PartitionId pid = selector_->Select(*store_);
+    if (pid == kInvalidPartition) break;  // everything quarantined
     uint64_t overwrites_at_selection = store_->partition(pid).overwrites();
     CollectionReport report = collector_.Collect(*store_, pid);
+    if (report.aborted_corrupt) {
+      // Quarantine immediately (the idle loop re-selects within this
+      // event, so the detection must take effect now or the same damaged
+      // partition would be re-scanned until the iteration bound).
+      ++result_.collections_aborted_corrupt;
+      DrainCorruption();
+      continue;
+    }
+    if (report.skipped_quarantine) continue;
     if (report.crashed && !HandleCrash(&report)) continue;
     if (config_.verify_after_collection) RunVerifier("collection");
 

@@ -13,6 +13,7 @@
 #include "sim/config.h"
 #include "sim/metrics.h"
 #include "storage/object_store.h"
+#include "storage/scrubber.h"
 #include "trace/trace.h"
 
 namespace odbgc {
@@ -113,6 +114,16 @@ class Simulation {
   // violation.
   void RunVerifier(const char* when);
   void MaybeCollect();
+  // Self-healing, run at every event boundary: drains the buffer pool's
+  // corruption detections into quarantines, runs a scrub quantum when
+  // one is due, and repairs quarantined partitions (at scrub ticks when
+  // the scrubber is on, immediately otherwise). A no-op — one integer
+  // compare — on healthy zero-fault runs.
+  void SelfHealTick();
+  // Quarantines the partition of every pending corruption detection.
+  void DrainCorruption();
+  // Heals, rewrites, rebuilds and releases every quarantined partition.
+  void RepairQuarantined();
   void RunIdlePeriod(uint32_t max_collections);
   void OpenWindowIfReady();
   void ClosePhaseSegment();
@@ -131,6 +142,10 @@ class Simulation {
   std::unique_ptr<obs::Telemetry> tel_;
   obs::Gauge* tel_garbage_pct_ = nullptr;
   obs::Histogram* tel_est_err_ = nullptr;
+  obs::Counter* tel_pages_scrubbed_ = nullptr;
+  obs::Counter* tel_quarantined_ = nullptr;
+  obs::Counter* tel_repaired_ = nullptr;
+  obs::Counter* tel_repair_pages_ = nullptr;
   bool tel_phase_span_open_ = false;
 
   // Live progress (not owned; null unless --progress).
@@ -148,6 +163,7 @@ class Simulation {
   GarbageEstimator* estimator_;  // owned by policy_ (SAGA) or null
   std::vector<GarbageEstimator*> passive_estimators_;  // not owned
   Collector collector_;
+  Scrubber scrubber_;
 
   SimClock clock_;
   SimResult result_;

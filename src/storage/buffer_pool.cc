@@ -6,6 +6,18 @@
 
 namespace odbgc {
 
+const char* CorruptionKindName(CorruptionKind kind) {
+  switch (kind) {
+    case CorruptionKind::kChecksum:
+      return "checksum";
+    case CorruptionKind::kDeviceFault:
+      return "device-fault";
+    case CorruptionKind::kScrub:
+      return "scrub";
+  }
+  return "unknown";
+}
+
 BufferPool::BufferPool(uint32_t frame_count,
                        uint32_t pages_per_partition_hint)
     : frame_count_(frame_count), pages_hint_(pages_per_partition_hint) {
@@ -41,6 +53,9 @@ void BufferPool::AttachTelemetry(obs::Telemetry* telemetry) {
   tc_.fault_permanent = m.GetCounter("storage.fault.permanent_failures");
   tc_.torn_writes = m.GetCounter("storage.fault.torn_writes");
   tc_.torn_repairs = m.GetCounter("storage.fault.torn_repairs");
+  tc_.checksum_failures = m.GetCounter("storage.checksum_failures");
+  tc_.bitflips = m.GetCounter("storage.fault.bitflips");
+  tc_.device_faults = m.GetCounter("storage.fault.device_faults");
 }
 
 void BufferPool::RecordTransfer(PageId page, IoContext ctx, bool is_write) {
@@ -91,6 +106,21 @@ void BufferPool::RecordTransfer(PageId page, IoContext ctx, bool is_write) {
     ++(app ? stats_.app_writes : stats_.gc_writes);
     if (disk_ != nullptr) disk_->OnTransfer(page, ctx);
   }
+  if (outcome.bitflipped) ++stats_.bitflips;
+  if (outcome.decay_armed) ++stats_.decays_armed;
+  if (outcome.corrupt) {
+    // Page CRC mismatch. There is no in-page redundancy to rewrite from,
+    // so unlike a tear this is not absorbed here: the detection is queued
+    // for the simulation to quarantine the partition and run repair.
+    ++stats_.checksum_failures;
+    pending_corruption_.push_back(
+        {page, scrubbing_ ? CorruptionKind::kScrub
+                          : CorruptionKind::kChecksum});
+  }
+  if (outcome.dead) {
+    ++stats_.device_faults;
+    pending_corruption_.push_back({page, CorruptionKind::kDeviceFault});
+  }
   ODBGC_IF_TEL(tel_) {
     if (outcome.retries > 0) {
       tel_->Advance(outcome.retries);  // retries are real transfers
@@ -107,6 +137,9 @@ void BufferPool::RecordTransfer(PageId page, IoContext ctx, bool is_write) {
       tc_.torn_repairs->Increment();
       (app ? tc_.writes_app : tc_.writes_gc)->Increment();
     }
+    if (outcome.bitflipped) tc_.bitflips->Increment();
+    if (outcome.corrupt) tc_.checksum_failures->Increment();
+    if (outcome.dead) tc_.device_faults->Increment();
   }
 }
 
@@ -176,6 +209,9 @@ void BufferPool::DropPartitionTail(PartitionId partition,
     }
     f = next;
   }
+  // The tail's media content is discarded along with the frames: pending
+  // tears / corruption / decay on those pages are moot now.
+  if (fault_ != nullptr) fault_->ForgetTail(partition, first_dropped);
 }
 
 void BufferPool::FlushAll(IoContext ctx) {
@@ -218,8 +254,20 @@ void BufferPool::SaveState(SnapshotWriter& w) const {
   w.U64(stats_.write_failures);
   w.U64(stats_.torn_writes);
   w.U64(stats_.torn_repairs);
+  w.U64(stats_.checksum_failures);
+  w.U64(stats_.bitflips);
+  w.U64(stats_.decays_armed);
+  w.U64(stats_.device_faults);
   w.U64(hits_);
   w.U64(misses_);
+  // Undrained detections (normally empty: the simulation drains the
+  // queue before every checkpoint boundary).
+  w.U64(pending_corruption_.size());
+  for (const CorruptionEvent& e : pending_corruption_) {
+    w.U32(e.page.partition);
+    w.U32(e.page.page_index);
+    w.U8(static_cast<uint8_t>(e.kind));
+  }
 }
 
 void BufferPool::RestoreState(SnapshotReader& r) {
@@ -257,8 +305,20 @@ void BufferPool::RestoreState(SnapshotReader& r) {
   stats_.write_failures = r.U64();
   stats_.torn_writes = r.U64();
   stats_.torn_repairs = r.U64();
+  stats_.checksum_failures = r.U64();
+  stats_.bitflips = r.U64();
+  stats_.decays_armed = r.U64();
+  stats_.device_faults = r.U64();
   hits_ = r.U64();
   misses_ = r.U64();
+  pending_corruption_.clear();
+  const uint64_t pending = r.U64();
+  for (uint64_t i = 0; i < pending && r.ok(); ++i) {
+    CorruptionEvent e;
+    e.page = PageId{r.U32(), r.U32()};
+    e.kind = static_cast<CorruptionKind>(r.U8());
+    pending_corruption_.push_back(e);
+  }
 }
 
 size_t BufferPool::DiscardAll() {

@@ -13,6 +13,23 @@
 
 namespace odbgc {
 
+// How a page was found to be damaged. The pool surfaces detections as
+// typed events (below) that the simulation drains at event boundaries to
+// make quarantine decisions.
+enum class CorruptionKind : uint8_t {
+  kChecksum = 0,     // read returned an image failing its page CRC
+  kDeviceFault = 1,  // transfer lost to a permanently dead page/device
+  kScrub = 2,        // checksum mismatch found by a scrub read
+};
+
+const char* CorruptionKindName(CorruptionKind kind);
+
+// One detected-damage event, in detection order.
+struct CorruptionEvent {
+  PageId page{0, 0};
+  CorruptionKind kind = CorruptionKind::kChecksum;
+};
+
 // LRU page buffer. The paper sets the buffer to the partition size
 // (12 x 8 KB pages, Section 3.1): small enough that a collection's
 // sequential scan does not retain the whole database, large enough that a
@@ -119,6 +136,29 @@ class BufferPool {
   // page_read/page_write instant. Counter handles are resolved here,
   // once, so the hot path is a null check plus plain increments.
   void AttachTelemetry(obs::Telemetry* telemetry);
+
+  // Damage detections (checksum mismatches, dead-device transfers) since
+  // the last drain, in detection order. The simulation polls this at
+  // event boundaries to quarantine the affected partitions; with no fault
+  // injector attached the queue is always empty.
+  std::vector<CorruptionEvent> TakeCorruptionEvents() {
+    return std::move(pending_corruption_);
+  }
+  bool HasPendingCorruption(PartitionId partition) const {
+    for (const CorruptionEvent& e : pending_corruption_) {
+      if (e.page.partition == partition) return true;
+    }
+    return false;
+  }
+  size_t pending_corruption_count() const {
+    return pending_corruption_.size();
+  }
+
+  // Marks subsequent transfers as scrub reads: detections they surface
+  // are typed kScrub instead of kChecksum. The scrubber brackets its
+  // quantum with this so repair accounting can tell proactive detection
+  // from demand-read detection apart.
+  void SetScrubbing(bool scrubbing) { scrubbing_ = scrubbing; }
 
   const IoStats& stats() const { return stats_; }
   uint32_t frame_count() const { return frame_count_; }
@@ -274,6 +314,9 @@ class BufferPool {
     obs::Counter* fault_permanent = nullptr;
     obs::Counter* torn_writes = nullptr;
     obs::Counter* torn_repairs = nullptr;
+    obs::Counter* checksum_failures = nullptr;
+    obs::Counter* bitflips = nullptr;
+    obs::Counter* device_faults = nullptr;
   } tc_;
   std::vector<Frame> frames_;
   int32_t lru_head_ = kNoFrame;  // most recently used
@@ -291,6 +334,8 @@ class BufferPool {
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   size_t pinned_pages_ = 0;
+  bool scrubbing_ = false;
+  std::vector<CorruptionEvent> pending_corruption_;
 };
 
 }  // namespace odbgc

@@ -37,6 +37,12 @@ FaultOutcome FaultInjector::Attempt(double prob) {
 }
 
 FaultOutcome FaultInjector::OnRead(PageId page) {
+  ++transfers_;
+  if (page_dead(page)) {
+    FaultOutcome o;
+    o.dead = true;
+    return o;
+  }
   FaultOutcome o = Attempt(plan_.read_fault_prob);
   if (!o.permanent) {
     auto it = torn_.find(page);
@@ -46,39 +52,108 @@ FaultOutcome FaultInjector::OnRead(PageId page) {
       o.repaired_tear = true;
       torn_.erase(it);
     }
+    // Weak sectors rot on their own clock: the decay becomes a real
+    // checksum mismatch once enough transfers have passed.
+    auto decay = decaying_.find(page);
+    if (decay != decaying_.end() && decay->second <= transfers_) {
+      corrupt_.insert(page);
+      decaying_.erase(decay);
+    }
+    if (corrupt_.count(page) != 0) {
+      // Checksum mismatch: the page image is garbage. Unlike a tear
+      // there is no in-page redundancy to rewrite from; the page stays
+      // corrupt until repair reconstructs it from the primary copy.
+      o.corrupt = true;
+    }
   }
   return o;
 }
 
-void FaultInjector::SaveState(SnapshotWriter& w) const {
-  for (uint64_t s : rng_.state()) w.U64(s);
-  // The torn set is unordered in memory; serialize sorted so the bytes
-  // (and the payload CRC) are stable across runs.
-  std::vector<PageId> torn(torn_.begin(), torn_.end());
-  std::sort(torn.begin(), torn.end(), [](const PageId& a, const PageId& b) {
-    return a.partition != b.partition ? a.partition < b.partition
-                                      : a.page_index < b.page_index;
-  });
-  w.U64(torn.size());
-  for (const PageId& p : torn) {
+namespace {
+
+bool PageIdLess(const PageId& a, const PageId& b) {
+  return a.partition != b.partition ? a.partition < b.partition
+                                    : a.page_index < b.page_index;
+}
+
+// The page-health sets are unordered in memory; serialize sorted so the
+// bytes (and the payload CRC) are stable across runs.
+void SavePageSet(SnapshotWriter& w,
+                 const std::unordered_set<PageId, PageIdHash>& set) {
+  std::vector<PageId> pages(set.begin(), set.end());
+  std::sort(pages.begin(), pages.end(), PageIdLess);
+  w.U64(pages.size());
+  for (const PageId& p : pages) {
     w.U32(p.partition);
     w.U32(p.page_index);
   }
+}
+
+void LoadPageSet(SnapshotReader& r,
+                 std::unordered_set<PageId, PageIdHash>* set) {
+  set->clear();
+  const uint64_t n = r.U64();
+  for (uint64_t i = 0; i < n && r.ok(); ++i) {
+    PageId p{r.U32(), r.U32()};
+    set->insert(p);
+  }
+}
+
+}  // namespace
+
+void FaultInjector::SaveState(SnapshotWriter& w) const {
+  for (uint64_t s : rng_.state()) w.U64(s);
+  SavePageSet(w, torn_);
+  w.U64(transfers_);
+  SavePageSet(w, corrupt_);
+  std::vector<std::pair<PageId, uint64_t>> decaying(decaying_.begin(),
+                                                    decaying_.end());
+  std::sort(decaying.begin(), decaying.end(),
+            [](const auto& a, const auto& b) {
+              return PageIdLess(a.first, b.first);
+            });
+  w.U64(decaying.size());
+  for (const auto& [page, due] : decaying) {
+    w.U32(page.partition);
+    w.U32(page.page_index);
+    w.U64(due);
+  }
+  SavePageSet(w, dead_pages_);
+  std::vector<PartitionId> dead_parts(dead_partitions_.begin(),
+                                      dead_partitions_.end());
+  std::sort(dead_parts.begin(), dead_parts.end());
+  w.U64(dead_parts.size());
+  for (PartitionId p : dead_parts) w.U32(p);
 }
 
 void FaultInjector::RestoreState(SnapshotReader& r) {
   std::array<uint64_t, 4> s;
   for (uint64_t& x : s) x = r.U64();
   rng_.set_state(s);
-  torn_.clear();
-  uint64_t n = r.U64();
-  for (uint64_t i = 0; i < n && r.ok(); ++i) {
+  LoadPageSet(r, &torn_);
+  transfers_ = r.U64();
+  LoadPageSet(r, &corrupt_);
+  decaying_.clear();
+  const uint64_t decay_count = r.U64();
+  for (uint64_t i = 0; i < decay_count && r.ok(); ++i) {
     PageId p{r.U32(), r.U32()};
-    torn_.insert(p);
+    decaying_[p] = r.U64();
+  }
+  LoadPageSet(r, &dead_pages_);
+  dead_partitions_.clear();
+  const uint64_t dead_part_count = r.U64();
+  for (uint64_t i = 0; i < dead_part_count && r.ok(); ++i) {
+    dead_partitions_.insert(r.U32());
   }
 }
 
 FaultOutcome FaultInjector::OnWrite(PageId page) {
+  ++transfers_;
+  if (page_dead(page)) {
+    FaultOutcome o;
+    o.dead = true;
+    return o;
+  }
   FaultOutcome o = Attempt(plan_.write_fault_prob);
   if (o.permanent) return o;  // nothing reached the platter
   if (plan_.torn_write_prob > 0.0 && rng_.NextBool(plan_.torn_write_prob)) {
@@ -88,7 +163,74 @@ FaultOutcome FaultInjector::OnWrite(PageId page) {
     // A clean rewrite replaces any earlier torn image of the page.
     torn_.erase(page);
   }
+  // A completed write lays down a fresh image, superseding any earlier
+  // corruption or pending decay of the old one...
+  corrupt_.erase(page);
+  decaying_.erase(page);
+  // ...and then rolls its own dice. Draw order is fixed (bit-flip, decay,
+  // dead page, dead partition) and every draw is gated on its knob so
+  // zero-probability kinds consume no randomness.
+  if (plan_.bitflip_prob > 0.0 && rng_.NextBool(plan_.bitflip_prob)) {
+    o.bitflipped = true;
+    corrupt_.insert(page);
+  }
+  if (plan_.decay_prob > 0.0 && rng_.NextBool(plan_.decay_prob)) {
+    o.decay_armed = true;
+    decaying_[page] = transfers_ + plan_.decay_latency;
+  }
+  if (plan_.dead_page_prob > 0.0 && rng_.NextBool(plan_.dead_page_prob)) {
+    // The location failed as the write landed: the write is lost and the
+    // page (possibly the whole partition's device) is dead from now on.
+    o.dead = true;
+    dead_pages_.insert(page);
+    if (plan_.dead_partition_prob > 0.0 &&
+        rng_.NextBool(plan_.dead_partition_prob)) {
+      dead_partitions_.insert(page.partition);
+    }
+  }
   return o;
+}
+
+void FaultInjector::HealPage(PageId page) {
+  torn_.erase(page);
+  corrupt_.erase(page);
+  decaying_.erase(page);
+  dead_pages_.erase(page);
+}
+
+void FaultInjector::HealPartition(PartitionId p) {
+  for (auto it = torn_.begin(); it != torn_.end();) {
+    it = it->partition == p ? torn_.erase(it) : std::next(it);
+  }
+  for (auto it = corrupt_.begin(); it != corrupt_.end();) {
+    it = it->partition == p ? corrupt_.erase(it) : std::next(it);
+  }
+  for (auto it = decaying_.begin(); it != decaying_.end();) {
+    it = it->first.partition == p ? decaying_.erase(it) : std::next(it);
+  }
+  for (auto it = dead_pages_.begin(); it != dead_pages_.end();) {
+    it = it->partition == p ? dead_pages_.erase(it) : std::next(it);
+  }
+  dead_partitions_.erase(p);
+}
+
+void FaultInjector::ForgetTail(PartitionId p, uint32_t first_page) {
+  for (auto it = torn_.begin(); it != torn_.end();) {
+    const bool drop = it->partition == p && it->page_index >= first_page &&
+                      it->page_index != kMetaPageIndex;
+    it = drop ? torn_.erase(it) : std::next(it);
+  }
+  for (auto it = corrupt_.begin(); it != corrupt_.end();) {
+    const bool drop = it->partition == p && it->page_index >= first_page &&
+                      it->page_index != kMetaPageIndex;
+    it = drop ? corrupt_.erase(it) : std::next(it);
+  }
+  for (auto it = decaying_.begin(); it != decaying_.end();) {
+    const bool drop = it->first.partition == p &&
+                      it->first.page_index >= first_page &&
+                      it->first.page_index != kMetaPageIndex;
+    it = drop ? decaying_.erase(it) : std::next(it);
+  }
 }
 
 }  // namespace odbgc

@@ -2,6 +2,7 @@
 #define ODBGC_STORAGE_FAULT_INJECTOR_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "storage/types.h"
@@ -46,6 +47,23 @@ struct FaultPlan {
   // Probability that a completed write leaves the page torn. A torn page
   // is detected on its next read and repaired by a rewrite.
   double torn_write_prob = 0.0;
+  // Probability that a completed write silently flips bits in the stored
+  // page image. Nothing is reported at write time; the per-page checksum
+  // catches the mismatch on the next media read (demand miss or scrub).
+  double bitflip_prob = 0.0;
+  // Latent media decay: probability that a completed write leaves the
+  // page on a weak sector that rots after decay_latency further physical
+  // transfers (to any page). Like a bit-flip, the rot is only observable
+  // as a checksum mismatch once the page is next read from media.
+  double decay_prob = 0.0;
+  uint32_t decay_latency = 64;
+  // Permanent device faults: probability that a completed write kills the
+  // page's physical location for good (every later transfer fails without
+  // retry), and — given a dead page — the conditional probability that the
+  // whole partition's device dies with it. Dead locations stay dead until
+  // repair remaps them (HealPage / HealPartition).
+  double dead_page_prob = 0.0;
+  double dead_partition_prob = 0.0;
   uint32_t max_retries = 3;
   // Base backoff charged to the disk-time model before the first retry;
   // doubles per subsequent retry. Ignored unless disk timing is enabled.
@@ -69,7 +87,8 @@ struct FaultPlan {
 
   bool io_faults_enabled() const {
     return read_fault_prob > 0.0 || write_fault_prob > 0.0 ||
-           torn_write_prob > 0.0;
+           torn_write_prob > 0.0 || bitflip_prob > 0.0 || decay_prob > 0.0 ||
+           dead_page_prob > 0.0;
   }
   bool enabled() const {
     return io_faults_enabled() || crash_point != CrashPoint::kNone ||
@@ -83,6 +102,15 @@ struct FaultOutcome {
   bool permanent = false;    // every attempt failed
   bool torn = false;         // write completed but left the page torn
   bool repaired_tear = false;  // read detected a torn page (rewrite due)
+  // The read returned a page image whose CRC does not match its stored
+  // checksum (earlier bit-flip or materialized decay). The page's logical
+  // content is unusable until repair rewrites it from the primary copy.
+  bool corrupt = false;
+  bool bitflipped = false;   // write silently corrupted the stored image
+  bool decay_armed = false;  // write landed on a weak sector (latent)
+  // The page's (or its partition's) physical location is permanently
+  // dead: the transfer failed outright, no retry can help.
+  bool dead = false;
 };
 
 // Deterministic fault source for the buffer pool's physical transfers.
@@ -98,16 +126,40 @@ class FaultInjector {
   FaultInjector& operator=(const FaultInjector&) = delete;
 
   // Decides the fate of one read / write transfer of `page`. Each call
-  // advances the RNG by the number of attempts (plus one draw per
-  // completed write for the tear decision).
+  // advances the RNG by the number of attempts, plus — per completed
+  // write — one draw per enabled post-write fault kind (tear, bit-flip,
+  // decay, dead page; disabled kinds draw nothing, so adding a knob at
+  // probability zero leaves existing fault streams untouched).
   FaultOutcome OnRead(PageId page);
   FaultOutcome OnWrite(PageId page);
 
   const FaultPlan& plan() const { return plan_; }
   size_t torn_page_count() const { return torn_.size(); }
+  size_t corrupt_page_count() const { return corrupt_.size(); }
+  size_t decaying_page_count() const { return decaying_.size(); }
+  size_t dead_page_count() const { return dead_pages_.size(); }
+  size_t dead_partition_count() const { return dead_partitions_.size(); }
+  bool page_dead(PageId page) const {
+    return dead_partitions_.count(page.partition) != 0 ||
+           dead_pages_.count(page) != 0;
+  }
+  bool partition_dead(PartitionId p) const {
+    return dead_partitions_.count(p) != 0;
+  }
 
-  // Checkpoint hooks: RNG stream position and the torn-page set (the
-  // plan itself is configuration and travels with SimConfig).
+  // Repair hooks: clear all health state for one page / every page of a
+  // partition (models rewriting from the primary copy plus remapping dead
+  // locations to spare sectors or a replacement device).
+  void HealPage(PageId page);
+  void HealPartition(PartitionId p);
+  // Pages at index >= first_page of `p` were physically discarded (the
+  // partition shrank); their content no longer exists, so pending tears,
+  // corruption and decay schedules for them are moot. Dead locations stay
+  // dead — a device fault outlives the data.
+  void ForgetTail(PartitionId p, uint32_t first_page);
+
+  // Checkpoint hooks: RNG stream position and the per-page health state
+  // (the plan itself is configuration and travels with SimConfig).
   void SaveState(SnapshotWriter& w) const;
   void RestoreState(SnapshotReader& r);
 
@@ -119,6 +171,13 @@ class FaultInjector {
   FaultPlan plan_;
   Rng rng_;
   std::unordered_set<PageId, PageIdHash> torn_;
+  // Pages whose stored image fails its checksum (detected on next read).
+  std::unordered_set<PageId, PageIdHash> corrupt_;
+  // Weak sectors: page -> transfer count at which the image rots.
+  std::unordered_map<PageId, uint64_t, PageIdHash> decaying_;
+  std::unordered_set<PageId, PageIdHash> dead_pages_;
+  std::unordered_set<PartitionId> dead_partitions_;
+  uint64_t transfers_ = 0;  // physical transfers seen (decay clock)
 };
 
 }  // namespace odbgc

@@ -44,9 +44,10 @@ Partition& ObjectStore::PartitionFor(uint32_t size, ObjectId near_hint) {
                   "object larger than a partition");
   if (near_hint != kNullObject && Exists(near_hint)) {
     Partition& near = partitions_[objects_[near_hint].partition];
-    if (near.Fits(size)) return near;
+    if (near.Fits(size) && !IsQuarantined(near.id())) return near;
   }
-  if (!partitions_.empty() && partitions_[alloc_cursor_].Fits(size)) {
+  if (!partitions_.empty() && partitions_[alloc_cursor_].Fits(size) &&
+      !IsQuarantined(alloc_cursor_)) {
     return partitions_[alloc_cursor_];
   }
   // First fit over existing partitions (space freed by collections is
@@ -62,9 +63,76 @@ Partition& ObjectStore::PartitionFor(uint32_t size, ObjectId near_hint) {
   PartitionId id = static_cast<PartitionId>(partitions_.size());
   partitions_.emplace_back(id, config_.partition_bytes);
   plan_epochs_.push_back(0);
+  if (!quarantined_.empty()) quarantined_.push_back(0);
   free_index_.PushPartition(config_.partition_bytes);
   alloc_cursor_ = id;
   return partitions_.back();
+}
+
+bool ObjectStore::QuarantinePartition(PartitionId p) {
+  ODBGC_CHECK(p < partitions_.size());
+  if (IsQuarantined(p)) return false;
+  if (quarantined_.size() < partitions_.size()) {
+    quarantined_.resize(partitions_.size(), 0);
+  }
+  quarantined_[p] = 1;
+  ++quarantined_count_;
+  // Hide the partition from the allocator: the free-space index reports
+  // it full, and PartitionFor's cursor / hint fast paths check the flag.
+  free_index_.Update(p, 0);
+  ++plan_epochs_[p];
+  return true;
+}
+
+void ObjectStore::ReleasePartition(PartitionId p) {
+  ODBGC_CHECK(p < partitions_.size());
+  ODBGC_CHECK_MSG(IsQuarantined(p), "releasing a healthy partition");
+  quarantined_[p] = 0;
+  --quarantined_count_;
+  free_index_.Update(p, partitions_[p].free_bytes());
+  ++plan_epochs_[p];
+}
+
+uint64_t ObjectStore::quarantined_used_bytes() const {
+  if (quarantined_count_ == 0) return 0;
+  uint64_t total = 0;
+  for (const Partition& part : partitions_) {
+    if (IsQuarantined(part.id())) total += part.used();
+  }
+  return total;
+}
+
+void ObjectStore::RebuildDerivedState() {
+  // Wipe the derived side completely, then rebuild it from the primary
+  // data in canonical (source id, slot index) order. The result is
+  // verifier-identical to incrementally maintained state (the in-ref
+  // lists are unordered multisets) and deterministic regardless of the
+  // history that preceded the rebuild.
+  for (size_t i = 0; i < objects_.size(); ++i) {
+    in_refs_[i].clear();
+    objects_[i].xpart_in_refs = 0;
+  }
+  for (ObjectId id = 1; id < objects_.size(); ++id) {
+    const ObjectRecord& rec = objects_[id];
+    if (!rec.exists) continue;
+    for (uint32_t j = 0; j < rec.slot_count; ++j) {
+      const uint32_t pos = rec.slot_begin + j;
+      const ObjectId target = slot_arena_[pos].target;
+      if (target == kNullObject || !Exists(target)) continue;
+      std::vector<InRef>& tin = in_refs_[target];
+      slot_arena_[pos].backref = static_cast<uint32_t>(tin.size());
+      tin.push_back(InRef{id, pos});
+      if (rec.partition != objects_[target].partition) {
+        ++objects_[target].xpart_in_refs;
+      }
+    }
+  }
+  for (const Partition& part : partitions_) {
+    free_index_.Update(part.id(),
+                       IsQuarantined(part.id()) ? 0 : part.free_bytes());
+  }
+  // Every partition's planning inputs may have changed.
+  for (uint64_t& epoch : plan_epochs_) ++epoch;
 }
 
 void ObjectStore::CreateObject(ObjectId id, uint32_t size,
@@ -286,6 +354,13 @@ void ObjectStore::SaveState(SnapshotWriter& w) const {
   w.VecU32(roots_);
   w.U32(newest_object_);
   w.U32(alloc_cursor_);
+  // Quarantined partition ids, ascending (the flag vector is positional,
+  // so iteration order is already sorted).
+  std::vector<uint32_t> quarantined_ids;
+  for (PartitionId p = 0; p < quarantined_.size(); ++p) {
+    if (quarantined_[p] != 0) quarantined_ids.push_back(p);
+  }
+  w.VecU32(quarantined_ids);
 
   w.Tag("POOL");
   pool_->SaveState(w);
@@ -374,6 +449,20 @@ void ObjectStore::RestoreState(SnapshotReader& r) {
   roots_ = r.VecU32();
   newest_object_ = r.U32();
   alloc_cursor_ = r.U32();
+  quarantined_.clear();
+  quarantined_count_ = 0;
+  for (uint32_t p : r.VecU32()) {
+    if (p >= partitions_.size()) {
+      r.MarkMalformed("quarantined partition out of range");
+      return;
+    }
+    if (quarantined_.size() < partitions_.size()) {
+      quarantined_.resize(partitions_.size(), 0);
+    }
+    quarantined_[p] = 1;
+    ++quarantined_count_;
+    free_index_.Update(p, 0);
+  }
 
   r.Tag("POOL");
   pool_->RestoreState(r);

@@ -344,6 +344,36 @@ class ObjectStore {
   const DiskModel* disk_model() const { return disk_.get(); }
   // Null unless config.fault has I/O faults enabled.
   const FaultInjector* fault_injector() const { return fault_.get(); }
+  // Mutable injector access for the repair path (healing page state).
+  FaultInjector* mutable_fault_injector() { return fault_.get(); }
+
+  // --- Quarantine (self-healing) ---
+  //
+  // A partition whose pages failed checksum verification or whose device
+  // died is quarantined: the allocator stops placing objects in it, the
+  // collector and the partition selectors skip it, and the simulation
+  // excludes its bytes from the policies' accounting until repair
+  // restores it to service. Returns false if already quarantined.
+  bool QuarantinePartition(PartitionId p);
+  // Returns the partition to service (allocation and collection resume).
+  void ReleasePartition(PartitionId p);
+  bool IsQuarantined(PartitionId p) const {
+    return quarantined_count_ != 0 && p < quarantined_.size() &&
+           quarantined_[p] != 0;
+  }
+  size_t quarantined_count() const { return quarantined_count_; }
+  // Bytes currently resident in quarantined partitions (zero when none
+  // is quarantined, so zero-fault accounting is untouched).
+  uint64_t quarantined_used_bytes() const;
+
+  // Rebuilds every piece of derived state from the primary data (slot
+  // arena targets + partition object lists + headers + roots): the
+  // reverse index (in-ref lists and slot back-references), the
+  // cross-partition in-ref counters, and the free-space index. In-ref
+  // lists come out in canonical (source id, slot) order — equivalent
+  // under the verifier's multiset semantics, deterministic at any thread
+  // count. All plan epochs are bumped. Used by RepairHeap.
+  void RebuildDerivedState();
 
   // --- Collector support ---
 
@@ -439,6 +469,10 @@ class ObjectStore {
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<DiskModel> disk_;
   std::unique_ptr<FaultInjector> fault_;
+  // Parallel to partitions_ (1 = quarantined) plus a count so the
+  // zero-quarantine common case is a single integer compare.
+  std::vector<uint8_t> quarantined_;
+  size_t quarantined_count_ = 0;
   PartitionId alloc_cursor_ = 0;  // partition last allocated from
   FreeSpaceIndex free_index_;     // first-fit over partition free bytes
   // log2(page_bytes) when page_bytes is a power of two (the common

@@ -59,6 +59,14 @@ struct IoStats {
   uint64_t torn_writes = 0;     // writes that left the page torn
   uint64_t torn_repairs = 0;    // tears detected on read and rewritten
 
+  // Self-healing accounting (zero unless the matching FaultPlan knobs
+  // are set). Injection counters record what the fault plan did to the
+  // media; checksum_failures records what the read path caught.
+  uint64_t checksum_failures = 0;  // reads that failed page CRC verify
+  uint64_t bitflips = 0;           // writes that silently corrupted a page
+  uint64_t decays_armed = 0;       // writes that landed on a weak sector
+  uint64_t device_faults = 0;      // transfers lost to dead pages/devices
+
   uint64_t app_total() const { return app_reads + app_writes; }
   uint64_t gc_total() const { return gc_reads + gc_writes; }
   uint64_t total() const { return app_total() + gc_total(); }

@@ -83,7 +83,10 @@ VerifierReport VerifyHeap(const ObjectStore& store,
       sink.Add("partition %u used %u != resident bytes %" PRIu64, part.id(),
                part.used(), packed);
     }
-    if (store.indexed_free_bytes(part.id()) != part.free_bytes()) {
+    // A quarantined partition is deliberately reported full by the
+    // allocation index; skip the agreement check until repair releases it.
+    if (!store.IsQuarantined(part.id()) &&
+        store.indexed_free_bytes(part.id()) != part.free_bytes()) {
       sink.Add("partition %u free-space index %u != free bytes %u", part.id(),
                store.indexed_free_bytes(part.id()), part.free_bytes());
     }
@@ -166,9 +169,12 @@ VerifierReport VerifyHeap(const ObjectStore& store,
       const uint32_t b = slots[j].backref;
       if (b >= tin.size() || tin[b].src != id ||
           tin[b].backref_pos != rec.slot_begin + j) {
-        sink.Add("object %u slot %zu backref %u does not index its entry in "
-                 "target %u",
-                 id, j, b, target);
+        // Partition ids lead the message so quarantine decisions can be
+        // targeted straight from the summary.
+        sink.Add("partition %u object %u slot %zu backref %u does not index "
+                 "its entry in target %u (partition %u)",
+                 rec.partition, id, j, b, target,
+                 store.object(target).partition);
       }
     }
     uint32_t xpart = 0;
@@ -177,8 +183,8 @@ VerifierReport VerifyHeap(const ObjectStore& store,
       if (store.object(ir.src).partition != rec.partition) ++xpart;
     }
     if (xpart != rec.xpart_in_refs) {
-      sink.Add("object %u xpart_in_refs %u != recount %u", id,
-               rec.xpart_in_refs, xpart);
+      sink.Add("partition %u object %u xpart_in_refs %u != recount %u",
+               rec.partition, id, rec.xpart_in_refs, xpart);
     }
   }
 
@@ -197,6 +203,105 @@ VerifierReport VerifyHeap(const ObjectStore& store,
     }
   }
 
+  return report;
+}
+
+VerifierReport VerifyPartition(const ObjectStore& store, PartitionId pid,
+                               const VerifierOptions& options) {
+  VerifierReport report;
+  ViolationSink sink(&report, options.max_violations);
+  if (pid >= store.partition_count()) {
+    sink.Add("partition %u does not exist (%zu partitions)", pid,
+             store.partition_count());
+    return report;
+  }
+  const Partition& part = store.partition(pid);
+  ++report.partitions_checked;
+
+  // Layout + packing (check 1), per-resident record agreement, slot
+  // validity and 4b index consistency — the partition-attributable
+  // subset of VerifyHeap.
+  if (part.used() > part.capacity()) {
+    sink.Add("partition %u used %u > capacity %u", pid, part.used(),
+             part.capacity());
+  }
+  uint64_t packed = 0;
+  for (ObjectId id : part.objects()) {
+    if (!store.Exists(id)) {
+      sink.Add("partition %u lists destroyed object %u", pid, id);
+      continue;
+    }
+    ++report.objects_checked;
+    const ObjectRecord& rec = store.object(id);
+    if (rec.partition != pid) {
+      sink.Add("object %u listed in partition %u but records %u", id, pid,
+               rec.partition);
+      continue;
+    }
+    if (rec.size == 0) sink.Add("object %u has zero size", id);
+    if (rec.offset != packed) {
+      sink.Add("object %u at offset %u, expected %" PRIu64
+               " (stale from-space position)",
+               id, rec.offset, packed);
+    }
+    packed += rec.size;
+    if (rec.offset + static_cast<uint64_t>(rec.size) > part.capacity()) {
+      sink.Add("object %u overruns partition %u", id, pid);
+    }
+    const std::span<const Slot> slots = store.slots(id);
+    for (size_t j = 0; j < slots.size(); ++j) {
+      const ObjectId target = slots[j].target;
+      ++report.slots_checked;
+      if (target == kNullObject) continue;
+      if (!store.Exists(target)) {
+        sink.Add("object %u slot points at destroyed object %u", id, target);
+        continue;
+      }
+      const std::vector<InRef>& tin = store.in_refs(target);
+      const uint32_t b = slots[j].backref;
+      if (b >= tin.size() || tin[b].src != id ||
+          tin[b].backref_pos != rec.slot_begin + j) {
+        sink.Add("partition %u object %u slot %zu backref %u does not index "
+                 "its entry in target %u (partition %u)",
+                 pid, id, j, b, target, store.object(target).partition);
+      }
+    }
+    uint32_t xpart = 0;
+    for (const InRef& ir : store.in_refs(id)) {
+      if (!store.Exists(ir.src)) {
+        sink.Add("object %u in_refs names destroyed object %u", id, ir.src);
+        continue;
+      }
+      if (store.object(ir.src).partition != pid) ++xpart;
+    }
+    if (xpart != rec.xpart_in_refs) {
+      sink.Add("partition %u object %u xpart_in_refs %u != recount %u", pid,
+               id, rec.xpart_in_refs, xpart);
+    }
+  }
+  if (packed != part.used()) {
+    sink.Add("partition %u used %u != resident bytes %" PRIu64, pid,
+             part.used(), packed);
+  }
+  // A quarantined partition is deliberately reported full by the index;
+  // only a healthy partition's entry must agree with its free bytes.
+  if (!store.IsQuarantined(pid) &&
+      store.indexed_free_bytes(pid) != part.free_bytes()) {
+    sink.Add("partition %u free-space index %u != free bytes %u", pid,
+             store.indexed_free_bytes(pid), part.free_bytes());
+  }
+  return report;
+}
+
+RepairReport RepairHeap(ObjectStore& store) {
+  RepairReport report;
+  store.RebuildDerivedState();
+  for (ObjectId id = 1; id <= store.max_object_id(); ++id) {
+    if (!store.Exists(id)) continue;
+    ++report.objects_rebuilt;
+    report.in_refs_rebuilt += store.in_refs(id).size();
+  }
+  report.partitions_reindexed = store.partition_count();
   return report;
 }
 

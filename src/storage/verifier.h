@@ -59,6 +59,33 @@ struct VerifierReport {
 VerifierReport VerifyHeap(const ObjectStore& store,
                           const VerifierOptions& options = {});
 
+// Partition-scoped subset of VerifyHeap for incremental checking (scrub
+// quanta, post-repair validation, odbgc_run --verify=partition): layout
+// and packing of `pid` (check 1), record agreement and slot validity for
+// its residents (2, 3), back-reference identity and xpart recounts for
+// its residents (4b), and the free-space index entry for `pid`. The
+// store-global checks (full remembered-set multiset, roots, reachability
+// agreement) stay with VerifyHeap — they cannot be attributed to one
+// partition.
+VerifierReport VerifyPartition(const ObjectStore& store, PartitionId pid,
+                               const VerifierOptions& options = {});
+
+// Outcome of one repair pass.
+struct RepairReport {
+  uint64_t objects_rebuilt = 0;   // existing objects whose edges were redone
+  uint64_t in_refs_rebuilt = 0;   // reverse-index entries reconstructed
+  uint64_t partitions_reindexed = 0;  // free-space index entries refreshed
+};
+
+// Derived-state repair: reconstructs the reverse index (in-ref lists +
+// slot back-references), the cross-partition in-ref counters, and the
+// free-space index from the primary data (slot arena + partition lists +
+// headers). After RepairHeap, a VerifyHeap pass with reachability
+// agreement off reports clean index state no matter how desynced the
+// derived structures were. Deterministic: the rebuilt state depends only
+// on the primary data, never on the corruption history.
+RepairReport RepairHeap(ObjectStore& store);
+
 }  // namespace odbgc
 
 #endif  // ODBGC_STORAGE_VERIFIER_H_

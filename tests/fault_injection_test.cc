@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/telemetry.h"
 #include "sim/parallel.h"
 #include "sim/runner.h"
 #include "storage/buffer_pool.h"
@@ -76,8 +77,36 @@ TEST(FaultInjectorTest, ZeroProbabilityDrawsNothing) {
     FaultOutcome w = inj.OnWrite(P(0, i));
     ASSERT_EQ(r.retries, 0u);
     ASSERT_FALSE(r.permanent || r.torn || r.repaired_tear);
+    ASSERT_FALSE(r.corrupt || r.bitflipped || r.decay_armed || r.dead);
     ASSERT_EQ(w.retries, 0u);
     ASSERT_FALSE(w.permanent || w.torn || w.repaired_tear);
+    ASSERT_FALSE(w.corrupt || w.bitflipped || w.decay_armed || w.dead);
+  }
+}
+
+TEST(FaultInjectorTest, SilentCorruptionKnobsAtZeroPreserveOldStreams) {
+  // The silent-corruption knobs are gated on probability > 0, so a plan
+  // that never heard of them draws the exact same RNG sequence as one
+  // that sets them all to zero explicitly — committed goldens from
+  // before the knobs existed stay byte-identical.
+  FaultInjector old_style(FlakyPlan(), 42);
+  FaultPlan explicit_zero = FlakyPlan();
+  explicit_zero.bitflip_prob = 0.0;
+  explicit_zero.decay_prob = 0.0;
+  explicit_zero.dead_page_prob = 0.0;
+  explicit_zero.dead_partition_prob = 0.0;
+  FaultInjector with_zero(explicit_zero, 42);
+  for (uint32_t i = 0; i < 500; ++i) {
+    PageId page = P(i % 5, i % 11);
+    FaultOutcome oa =
+        i % 2 ? old_style.OnWrite(page) : old_style.OnRead(page);
+    FaultOutcome ob =
+        i % 2 ? with_zero.OnWrite(page) : with_zero.OnRead(page);
+    ASSERT_EQ(oa.retries, ob.retries) << i;
+    ASSERT_EQ(oa.permanent, ob.permanent) << i;
+    ASSERT_EQ(oa.torn, ob.torn) << i;
+    ASSERT_FALSE(ob.corrupt || ob.bitflipped || ob.decay_armed || ob.dead)
+        << i;
   }
 }
 
@@ -152,6 +181,61 @@ TEST(BufferPoolFaultTest, TornWritebackThenRepairOnReread) {
   pool.Access(P(0, 0), /*dirty=*/false, IoContext::kApplication);
   EXPECT_EQ(pool.stats().torn_repairs, 1u);
   EXPECT_EQ(pool.stats().app_writes, writes_before + 1);
+}
+
+TEST(BufferPoolFaultTest, TornRepairUnderTelemetryCountersAndBackoff) {
+  // The torn-page repair cycle with the full observability stack
+  // attached: telemetry counters must mirror IoStats exactly, and the
+  // repair write must be charged to the disk clock — neither may change
+  // what a bare pool would have done.
+  DiskParams dparams;
+  FaultPlan plan;
+  plan.torn_write_prob = 1.0;
+  plan.retry_backoff_ms = 0.5;
+
+  // Reference: the same access pattern on a pool with no telemetry.
+  FaultInjector bare_inj(plan, 1);
+  DiskModel bare_disk(dparams, 1024, 8);
+  BufferPool bare(1);
+  bare.AttachDiskModel(&bare_disk);
+  bare.AttachFaultInjector(&bare_inj);
+
+  FaultInjector inj(plan, 1);
+  DiskModel disk(dparams, 1024, 8);
+  obs::TelemetryOptions opts;
+  opts.enabled = true;
+  obs::Telemetry tel(opts);
+  BufferPool pool(1);
+  pool.AttachDiskModel(&disk);
+  pool.AttachFaultInjector(&inj);
+  pool.AttachTelemetry(&tel);
+
+  for (BufferPool* p : {&bare, &pool}) {
+    // Dirty page 0; evicting it performs the (torn) write-back; the
+    // re-read detects the tear and pays the repair write.
+    p->Access(P(0, 0), /*dirty=*/true, IoContext::kApplication);
+    p->Access(P(0, 1), /*dirty=*/false, IoContext::kApplication);
+    p->Access(P(0, 0), /*dirty=*/false, IoContext::kApplication);
+  }
+  EXPECT_EQ(pool.stats().torn_writes, 1u);
+  EXPECT_EQ(pool.stats().torn_repairs, 1u);
+
+  // Telemetry counters agree with the pool's own stats.
+  obs::MetricsRegistry& m = tel.metrics();
+  EXPECT_EQ(m.GetCounter("storage.fault.torn_writes")->value, 1u);
+  EXPECT_EQ(m.GetCounter("storage.fault.torn_repairs")->value, 1u);
+  EXPECT_EQ(m.GetCounter("storage.page_writes.app")->value,
+            pool.stats().app_writes);
+  EXPECT_EQ(m.GetCounter("storage.page_reads.app")->value,
+            pool.stats().app_reads);
+
+  // Observability changed nothing: stats and disk time match the bare
+  // pool, and the repair write's service time landed on the app clock.
+  EXPECT_EQ(pool.stats().app_reads, bare.stats().app_reads);
+  EXPECT_EQ(pool.stats().app_writes, bare.stats().app_writes);
+  EXPECT_EQ(disk.app_ms(), bare_disk.app_ms());
+  EXPECT_GT(disk.app_ms(), 0.0);
+  EXPECT_EQ(disk.gc_ms(), 0.0);
 }
 
 TEST(BufferPoolFaultTest, RetryBackoffChargedToDiskClock) {

@@ -126,6 +126,49 @@ TEST(ToolCommonTest, BuildSimConfigPolicies) {
   }
 }
 
+TEST(ToolCommonTest, ExitCodesAreStableApi) {
+  // Scripts and CI (tools/check_soak.sh, tools/check_recovery.sh,
+  // docs/RECOVERY.md, README.md) branch on these values; changing one
+  // is a breaking interface change, not a refactor.
+  EXPECT_EQ(tools::kExitOk, 0);
+  EXPECT_EQ(tools::kExitUsage, 2);
+  EXPECT_EQ(tools::kExitIo, 3);
+  EXPECT_EQ(tools::kExitSimFailure, 4);
+  EXPECT_EQ(tools::kExitCrashInjected, 5);
+}
+
+TEST(ToolCommonTest, BuildSimConfigSelfHealingKnobs) {
+  SimConfig cfg;
+  std::string error;
+  Flags f = ParseOk({"--policy=saga", "--bitflip-prob=0.01",
+                     "--decay-prob=0.005", "--decay-latency=32",
+                     "--dead-page-prob=0.002", "--dead-partition-prob=0.2",
+                     "--fault-seed=9", "--scrub-interval=64",
+                     "--scrub-pages=16", "--no-auto-repair",
+                     "--no-verify-after-repair"});
+  ASSERT_TRUE(tools::BuildSimConfig(f, &cfg, &error)) << error;
+  EXPECT_DOUBLE_EQ(cfg.store.fault.bitflip_prob, 0.01);
+  EXPECT_DOUBLE_EQ(cfg.store.fault.decay_prob, 0.005);
+  EXPECT_EQ(cfg.store.fault.decay_latency, 32u);
+  EXPECT_DOUBLE_EQ(cfg.store.fault.dead_page_prob, 0.002);
+  EXPECT_DOUBLE_EQ(cfg.store.fault.dead_partition_prob, 0.2);
+  EXPECT_EQ(cfg.store.fault.seed, 9u);
+  EXPECT_EQ(cfg.scrub_interval_events, 64u);
+  EXPECT_EQ(cfg.scrub_pages_per_quantum, 16u);
+  EXPECT_FALSE(cfg.auto_repair);
+  EXPECT_FALSE(cfg.verify_after_repair);
+
+  // Defaults: everything off, repair on — the knob-free configuration
+  // must stay byte-identical to a build without self-healing.
+  SimConfig plain;
+  Flags none = ParseOk({"--policy=saga"});
+  ASSERT_TRUE(tools::BuildSimConfig(none, &plain, &error)) << error;
+  EXPECT_DOUBLE_EQ(plain.store.fault.bitflip_prob, 0.0);
+  EXPECT_EQ(plain.scrub_interval_events, 0u);
+  EXPECT_TRUE(plain.auto_repair);
+  EXPECT_TRUE(plain.verify_after_repair);
+}
+
 TEST(ToolCommonTest, BuildWorkloadTraceKinds) {
   std::string error;
   for (const char* w : {"uniform-churn", "bursty-deletes", "growing-db",

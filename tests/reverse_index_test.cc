@@ -120,11 +120,19 @@ TEST(ReverseIndexChurnTest, VerifierFlagsDesyncedIndices) {
   store.WriteRef(1, 0, 2);
   ASSERT_TRUE(VerifyHeap(store, BareOptions()).ok());
 
+  // Index-consistency messages name the partition so an operator can go
+  // straight from a violation to `odbgc_run --verify=partition` and the
+  // quarantine/repair machinery (docs/RECOVERY.md).
+  const std::string where =
+      "partition " + std::to_string(store.object(2).partition);
+
   // A miscounted cross-partition counter.
   ++store.mutable_object(2).xpart_in_refs;
   VerifierReport xpart = VerifyHeap(store, BareOptions());
   EXPECT_FALSE(xpart.ok());
   EXPECT_NE(xpart.Summary().find("xpart_in_refs"), std::string::npos)
+      << xpart.Summary();
+  EXPECT_NE(xpart.Summary().find(where), std::string::npos)
       << xpart.Summary();
   --store.mutable_object(2).xpart_in_refs;
   ASSERT_TRUE(VerifyHeap(store, BareOptions()).ok());
@@ -135,7 +143,24 @@ TEST(ReverseIndexChurnTest, VerifierFlagsDesyncedIndices) {
   EXPECT_FALSE(backref.ok());
   EXPECT_NE(backref.Summary().find("backref"), std::string::npos)
       << backref.Summary();
+  EXPECT_NE(backref.Summary().find(where), std::string::npos)
+      << backref.Summary();
   store.mutable_in_refs(2)[0].backref_pos -= 1;
+  ASSERT_TRUE(VerifyHeap(store, BareOptions()).ok());
+
+  // VerifyPartition flags the same desync when pointed at the damaged
+  // partition and stays clean on the others.
+  ++store.mutable_object(2).xpart_in_refs;
+  const PartitionId damaged = store.object(2).partition;
+  VerifierReport scoped = VerifyPartition(store, damaged, BareOptions());
+  EXPECT_FALSE(scoped.ok());
+  EXPECT_NE(scoped.Summary().find(where), std::string::npos)
+      << scoped.Summary();
+  for (PartitionId p = 0; p < store.partition_count(); ++p) {
+    if (p == damaged) continue;
+    EXPECT_TRUE(VerifyPartition(store, p, BareOptions()).ok()) << p;
+  }
+  --store.mutable_object(2).xpart_in_refs;
   ASSERT_TRUE(VerifyHeap(store, BareOptions()).ok());
 }
 

@@ -3,8 +3,9 @@
 # smoke (export a trace, validate it with odbgc_tracecheck), a
 # checkpoint/resume + recovery-fuzz smoke (docs/RECOVERY.md), a
 # parallel-collection bench smoke (checksums must agree across
-# --gc-threads), then both sanitizer passes (tools/check_asan.sh,
-# tools/check_tsan.sh). Each
+# --gc-threads), a self-healing chaos smoke (silent corruption must be
+# detected, quarantined and repaired — docs/RECOVERY.md), then both
+# sanitizer passes (tools/check_asan.sh, tools/check_tsan.sh). Each
 # flavor builds into its own directory so the gates do not disturb an
 # existing working build. Usage: tools/check_all.sh
 set -euo pipefail
@@ -98,6 +99,26 @@ c4 = {s["name"]: s["checksum"] for s in t4["sections"]}
 assert c1 == c4, "checksums diverged across --gc-threads: %r vs %r" % (c1, c4)
 print("bench smoke: %d section checksums identical at gc-threads 1 and 4"
       % len(c1))
+EOF
+
+# Self-healing smoke: one OO7 Small' run under the full silent
+# corruption plan (bit flips + latent decay + dead pages/partitions,
+# scrubber on) must finish cleanly with --verify=partition, repair
+# every quarantined partition, and actually detect damage. The full
+# 50-seed chaos soak runs in CI (tools/check_soak.sh).
+"$run" --workload=oo7 --oo7=smallprime --policy=saga --seed=3 \
+    --fault-seed=1003 --bitflip-prob=0.01 --decay-prob=0.005 \
+    --decay-latency=32 --dead-page-prob=0.002 --dead-partition-prob=0.2 \
+    --scrub-interval=32 --scrub-pages=8 --verify=partition \
+    --json="$ckpt_dir/chaos.json" > /dev/null
+python3 - "$ckpt_dir" <<'EOF'
+import json, sys
+h = json.load(open(sys.argv[1] + "/chaos.json"))["self_healing"]
+assert h["checksum_failures"] > 0, "chaos run injected nothing"
+assert h["partitions_quarantined"] == h["partitions_repaired"] > 0, h
+print("self-healing smoke: %d corruptions detected, %d partitions "
+      "quarantined and repaired, verify clean"
+      % (h["checksum_failures"], h["partitions_repaired"]))
 EOF
 
 # Crash-anywhere recovery fuzz (a short schedule here; CI runs the full

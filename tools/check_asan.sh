@@ -13,11 +13,11 @@ cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DODBGC_SANITIZE=address
 cmake --build "$BUILD_DIR" --target \
-  fault_injection_test recovery_test buffer_pool_test fuzz_test \
-  storage_test collector_test -j "$(nproc)"
+  fault_injection_test self_healing_test recovery_test buffer_pool_test \
+  fuzz_test storage_test collector_test -j "$(nproc)"
 
-for t in fault_injection_test recovery_test buffer_pool_test fuzz_test \
-         storage_test collector_test; do
+for t in fault_injection_test self_healing_test recovery_test \
+         buffer_pool_test fuzz_test storage_test collector_test; do
   echo "== ${t} under address sanitizer =="
   "$BUILD_DIR/tests/$t"
 done

@@ -14,7 +14,7 @@ cmake -B "$BUILD_DIR" -S . \
   -DODBGC_SANITIZE="$SANITIZER"
 cmake --build "$BUILD_DIR" \
   --target parallel_test simulation_test parallel_collect_test \
-  -j "$(nproc)"
+  self_healing_test -j "$(nproc)"
 
 echo "== parallel_test under ${SANITIZER} sanitizer =="
 "$BUILD_DIR/tests/parallel_test"
@@ -22,4 +22,6 @@ echo "== simulation_test under ${SANITIZER} sanitizer =="
 "$BUILD_DIR/tests/simulation_test"
 echo "== parallel_collect_test (intra-run parallel collector) under ${SANITIZER} sanitizer =="
 "$BUILD_DIR/tests/parallel_collect_test"
+echo "== self_healing_test (chaos sweeps across thread counts) under ${SANITIZER} sanitizer =="
+"$BUILD_DIR/tests/self_healing_test"
 echo "OK: no ${SANITIZER} sanitizer reports"

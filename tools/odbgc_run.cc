@@ -9,12 +9,14 @@
 //   odbgc_run --workload=oo7 --checkpoint=run.ckpt --resume --json=out.json
 //   odbgc_run --runs=8 --base-seed=1 --threads=4 --sweep-json=sweep.json
 //
-// Exit codes:
+// Exit codes (tools/tool_common.h; tables in README.md and
+// docs/RECOVERY.md):
 //   0  success
 //   2  configuration / usage error (bad flags, unknown values)
 //   3  I/O or checkpoint error (unreadable trace, unwritable report,
 //      corrupt checkpoint, failed checkpoint write)
-//   4  simulation failure (deadline exceeded, failed sweep runs)
+//   4  simulation failure (deadline exceeded, failed sweep runs,
+//      --verify violations)
 //   5  injected crash reached (--crash-at-event fired; resume with
 //      --resume to continue from the last checkpoint)
 
@@ -32,18 +34,20 @@
 #include "sim/parallel.h"
 #include "sim/report.h"
 #include "sim/simulation.h"
+#include "storage/verifier.h"
 #include "tools/tool_common.h"
 #include "trace/trace.h"
 #include "util/flags.h"
 
 namespace {
 
-// Exit codes (see the header comment).
-constexpr int kExitOk = 0;
-constexpr int kExitUsage = 2;
-constexpr int kExitIo = 3;
-constexpr int kExitSimFailure = 4;
-constexpr int kExitCrashInjected = 5;
+// Exit codes (see the header comment; defined once in tool_common.h so
+// tests and other tools reference the same values).
+using odbgc::tools::kExitOk;
+using odbgc::tools::kExitUsage;
+using odbgc::tools::kExitIo;
+using odbgc::tools::kExitSimFailure;
+using odbgc::tools::kExitCrashInjected;
 
 bool DumpCollectionLogCsv(const odbgc::SimResult& result,
                           const std::string& path) {
@@ -183,6 +187,8 @@ int main(int argc, char** argv) {
                  "[--trace-events-cap=N]  --progress\n"
                  "  durability:    --checkpoint=FILE --checkpoint-every=N  "
                  "--resume  --crash-at-event=N  --deadline-ms=X\n"
+                 "  verification:  --verify=none|heap|partition "
+                 "(post-run; violations exit 4)\n"
                  "  sweeps:        --runs=N [--base-seed=N --threads=N "
                  "--retries=N --retry-backoff-ms=X --run-deadline-ms=X "
                  "--sweep-json=FILE --crash-at-event=N --crash-seed=S]\n"
@@ -258,9 +264,22 @@ int main(int argc, char** argv) {
       static_cast<int64_t>(config.telemetry.max_trace_events)));
   const bool progress = flags.GetBool("progress", false);
 
+  // Post-run verification: --verify=heap runs the full cross-partition
+  // heap verifier; --verify=partition runs the partition-local verifier
+  // on every partition (the scrubber/repair entry point, satellite of
+  // docs/RECOVERY.md's self-healing contract). Violations exit 4.
+  const std::string verify_mode = flags.GetString("verify", "none");
+  if (verify_mode != "none" && verify_mode != "heap" &&
+      verify_mode != "partition") {
+    std::fprintf(stderr,
+                 "error: unknown --verify '%s' (none|heap|partition)\n",
+                 verify_mode.c_str());
+    return kExitUsage;
+  }
+
   if (!tools::CheckNoUnusedFlags(flags, &error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
-    return 2;
+    return kExitUsage;
   }
   if (!trace_out.empty() && !obs::GetBuildInfo().telemetry) {
     std::fprintf(stderr,
@@ -315,6 +334,31 @@ int main(int argc, char** argv) {
     return kExitSimFailure;
   }
 
+  if (verify_mode == "heap") {
+    VerifierReport vr = VerifyHeap(sim.store());
+    if (!vr.ok()) {
+      std::fprintf(stderr, "error: heap verifier: %s\n",
+                   vr.Summary().c_str());
+      return kExitSimFailure;
+    }
+    std::printf("verify            heap clean (%llu objects, %llu slots)\n",
+                static_cast<unsigned long long>(vr.objects_checked),
+                static_cast<unsigned long long>(vr.slots_checked));
+  } else if (verify_mode == "partition") {
+    size_t bad = 0;
+    for (PartitionId p = 0;
+         p < static_cast<PartitionId>(sim.store().partition_count()); ++p) {
+      VerifierReport vr = VerifyPartition(sim.store(), p);
+      if (vr.ok()) continue;
+      ++bad;
+      std::fprintf(stderr, "error: partition %u verifier: %s\n", p,
+                   vr.Summary().c_str());
+    }
+    if (bad > 0) return kExitSimFailure;
+    std::printf("verify            %zu partitions clean\n",
+                sim.store().partition_count());
+  }
+
   std::printf("policy            %s\n", sim.policy().name().c_str());
   std::printf("events            %llu (%llu pointer overwrites)\n",
               static_cast<unsigned long long>(r.clock.events),
@@ -339,6 +383,16 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.buffer_misses),
               100.0 * static_cast<double>(r.buffer_hits) /
                   static_cast<double>(r.buffer_hits + r.buffer_misses));
+  if (r.partitions_quarantined > 0 || r.pages_scrubbed > 0 ||
+      r.checksum_failures > 0 || r.device_faults > 0) {
+    std::printf("self-healing      %llu checksum + %llu device detections, "
+                "%llu pages scrubbed, %llu quarantined / %llu repaired\n",
+                static_cast<unsigned long long>(r.checksum_failures),
+                static_cast<unsigned long long>(r.device_faults),
+                static_cast<unsigned long long>(r.pages_scrubbed),
+                static_cast<unsigned long long>(r.partitions_quarantined),
+                static_cast<unsigned long long>(r.partitions_repaired));
+  }
   if (r.disk_app_ms > 0.0 || r.disk_gc_ms > 0.0) {
     std::printf("disk time         %.1f s app + %.1f s gc "
                 "(%llu sequential, %llu random transfers)\n",

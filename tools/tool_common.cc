@@ -204,6 +204,29 @@ bool BuildSimConfig(const Flags& flags, SimConfig* config,
   }
   config->selector_seed = static_cast<uint64_t>(flags.GetInt("seed", 1)) *
                               7919 + 17;
+
+  // Fault injection & self-healing. All defaults are "off": a run that
+  // passes none of these stays byte-identical to a faultless build.
+  FaultPlan& fault = config->store.fault;
+  fault.read_fault_prob = flags.GetDouble("read-fault-prob", 0.0);
+  fault.write_fault_prob = flags.GetDouble("write-fault-prob", 0.0);
+  fault.torn_write_prob = flags.GetDouble("torn-prob", 0.0);
+  fault.bitflip_prob = flags.GetDouble("bitflip-prob", 0.0);
+  fault.decay_prob = flags.GetDouble("decay-prob", 0.0);
+  fault.decay_latency = static_cast<uint32_t>(
+      flags.GetInt("decay-latency", fault.decay_latency));
+  fault.dead_page_prob = flags.GetDouble("dead-page-prob", 0.0);
+  fault.dead_partition_prob = flags.GetDouble("dead-partition-prob", 0.0);
+  fault.seed = static_cast<uint64_t>(
+      flags.GetInt("fault-seed", static_cast<int64_t>(fault.seed)));
+  fault.commit_protocol = flags.GetBool("commit-protocol", false);
+  config->scrub_interval_events =
+      static_cast<uint32_t>(flags.GetInt("scrub-interval", 0));
+  config->scrub_pages_per_quantum = static_cast<uint32_t>(
+      flags.GetInt("scrub-pages", config->scrub_pages_per_quantum));
+  config->auto_repair = !flags.GetBool("no-auto-repair", false);
+  config->verify_after_repair =
+      !flags.GetBool("no-verify-after-repair", false);
   return true;
 }
 
@@ -226,6 +249,16 @@ Simulation flags:
   --selector=updated|random|roundrobin|oracle|lru|density
   --partition-kb=96 --page-kb=8 --buffer-pages=12 --preamble=10
   --disk-timing   (report simulated elapsed disk time)
+
+Fault injection & self-healing:
+  --read-fault-prob=F --write-fault-prob=F   (transient, retried)
+  --torn-prob=F                              (torn write, repaired on read)
+  --bitflip-prob=F --decay-prob=F --decay-latency=N   (silent corruption,
+                   caught by checksum on read or by the scrubber)
+  --dead-page-prob=F --dead-partition-prob=F (permanent device faults)
+  --fault-seed=N --commit-protocol
+  --scrub-interval=EVENTS --scrub-pages=N    (background media scrub)
+  --no-auto-repair --no-verify-after-repair
 )");
 }
 

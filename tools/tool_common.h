@@ -10,6 +10,18 @@
 
 namespace odbgc::tools {
 
+// Exit codes shared by the CLI tools (documented in README.md and
+// docs/RECOVERY.md; asserted by tests/flags_test.cc). Scripts and CI
+// branch on these, so their values are API.
+inline constexpr int kExitOk = 0;            // success
+inline constexpr int kExitUsage = 2;         // bad flags / unknown values
+inline constexpr int kExitIo = 3;            // unreadable/unwritable file,
+                                             // corrupt checkpoint
+inline constexpr int kExitSimFailure = 4;    // deadline, failed sweep
+                                             // runs, verifier violations
+inline constexpr int kExitCrashInjected = 5; // --crash-at-event fired;
+                                             // resume to continue
+
 // Flag vocabulary shared by the CLI tools. All functions return false
 // and fill *error on unknown values.
 
@@ -30,6 +42,11 @@ bool BuildWorkloadTrace(const Flags& flags, Trace* trace,
 // --selector=updated|random|roundrobin|oracle
 // --partition-kb=N --page-kb=N --buffer-pages=N --preamble=N
 // --opportunism (enables the quiescence extension)
+// Fault injection & self-healing: --read-fault-prob=F --write-fault-prob=F
+// --torn-prob=F --bitflip-prob=F --decay-prob=F --decay-latency=N
+// --dead-page-prob=F --dead-partition-prob=F --fault-seed=N
+// --commit-protocol --scrub-interval=N --scrub-pages=N
+// --no-auto-repair --no-verify-after-repair
 bool BuildSimConfig(const Flags& flags, SimConfig* config,
                     std::string* error);
 
