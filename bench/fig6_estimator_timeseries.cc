@@ -1,14 +1,30 @@
 // Figure 6: time-varying behavior of garbage estimation under the SAGA
 // policy at a requested garbage percentage of 10%, for (a) CGS/CB and
-// (b) FGS/HB. Prints the target / actual / estimated garbage percentage
-// at each collection, with phase annotations.
+// (b) FGS/HB. Consumes the telemetry time-series sampler (the same
+// frames odbgc_run --timeseries-out exports): each row is one sampled
+// frame carrying the sim.garbage_pct / sim.estimator_garbage_pct gauges,
+// so the figure reads the exact stream downstream tooling gets.
 
 #include <iostream>
 
 #include "bench/bench_util.h"
+#include "obs/metrics.h"
 #include "sim/parallel.h"
 #include "sim/runner.h"
 #include "util/table_printer.h"
+
+namespace {
+
+// The sampled gauge, or 0 when the frame predates its first Set.
+double GaugeValue(const odbgc::obs::TelemetrySnapshot& metrics,
+                  const char* id) {
+  for (const odbgc::obs::GaugeSnapshot& g : metrics.gauges) {
+    if (g.id == id) return g.value;
+  }
+  return 0.0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace odbgc;
@@ -32,20 +48,39 @@ int main(int argc, char** argv) {
     cfg.estimator = v.kind;
     cfg.fgs_history_factor = 0.8;
     cfg.saga.garbage_frac = 0.10;
+    cfg.telemetry.enabled = true;
+    cfg.telemetry.sample_interval_events = 4096;
     SimResult r = runner.RunOne(cfg, params, args.base_seed);
 
     std::cout << "\n" << v.label << "  (" << r.collections
-              << " collections)\n";
-    TablePrinter t({"collection", "phase", "target_pct", "actual_pct",
-                    "estimated_pct"});
-    for (const CollectionRecord& rec : r.log) {
-      t.AddRow({TablePrinter::Fmt(rec.index),
-                PhaseName(rec.phase),
-                TablePrinter::Fmt(rec.target_garbage_pct, 1),
-                TablePrinter::Fmt(rec.actual_garbage_pct, 2),
-                TablePrinter::Fmt(rec.estimated_garbage_pct, 2)});
+              << " collections, " << r.timeseries.size() << " frames)\n";
+    TablePrinter t({"frame", "event", "collections", "target_pct",
+                    "actual_pct", "estimated_pct"});
+    double err_sum = 0.0;
+    size_t err_samples = 0;
+    for (const obs::TimeSeriesFrame& frame : r.timeseries) {
+      const double actual = GaugeValue(frame.metrics, "sim.garbage_pct");
+      const double estimated =
+          GaugeValue(frame.metrics, "sim.estimator_garbage_pct");
+      t.AddRow({TablePrinter::Fmt(frame.seq),
+                TablePrinter::Fmt(frame.event),
+                TablePrinter::Fmt(frame.collections),
+                TablePrinter::Fmt(100.0 * cfg.saga.garbage_frac, 1),
+                TablePrinter::Fmt(actual, 2),
+                TablePrinter::Fmt(estimated, 2)});
+      if (frame.collections > 0) {
+        err_sum += actual > estimated ? actual - estimated
+                                      : estimated - actual;
+        ++err_samples;
+      }
     }
     t.Print(std::cout);
+    if (err_samples > 0) {
+      std::cout << "mean |actual - estimated| = "
+                << TablePrinter::Fmt(
+                       err_sum / static_cast<double>(err_samples), 2)
+                << " pp over " << err_samples << " post-bootstrap frames\n";
+    }
   }
   std::cout << "\nExpected shape: CGS/CB's estimate swings widely and "
                "overestimates (its\nrepresentativeness assumption breaks "

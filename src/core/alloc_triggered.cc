@@ -17,6 +17,17 @@ bool AllocationRatePolicy::ShouldCollect(const SimClock& clock) {
 void AllocationRatePolicy::OnCollection(const CollectionOutcome& /*outcome*/,
                                         const SimClock& clock) {
   next_threshold_ = clock.bytes_allocated + interval_;
+  ODBGC_IF_TEL(tel_) { RecordDecision(); }
+}
+
+void AllocationRatePolicy::RecordDecision() {
+  tel_->Instant("policy_decision", {{"policy", "alloc_rate"},
+                                    {"interval", interval_},
+                                    {"next_threshold", next_threshold_}});
+  if (obs::DecisionLedger* ledger = tel_->ledger()) {
+    ledger->Append("alloc_rate", obs::DecisionReason::kAllocInterval,
+                   static_cast<double>(interval_), next_threshold_, 0.0);
+  }
 }
 
 std::string AllocationRatePolicy::name() const {
@@ -30,6 +41,16 @@ bool AllocationTriggeredPolicy::ShouldCollect(const SimClock& clock) {
 void AllocationTriggeredPolicy::OnCollection(
     const CollectionOutcome& /*outcome*/, const SimClock& clock) {
   partitions_seen_ = clock.partitions;
+  ODBGC_IF_TEL(tel_) { RecordDecision(); }
+}
+
+void AllocationTriggeredPolicy::RecordDecision() {
+  tel_->Instant("policy_decision", {{"policy", "alloc_triggered"},
+                                    {"partitions_seen", partitions_seen_}});
+  if (obs::DecisionLedger* ledger = tel_->ledger()) {
+    ledger->Append("alloc_triggered", obs::DecisionReason::kPartitionGrowth,
+                   0.0, partitions_seen_, 0.0);
+  }
 }
 
 }  // namespace odbgc

@@ -32,6 +32,9 @@ class AllocationRatePolicy : public RatePolicy {
   void RestoreState(SnapshotReader& r) override { next_threshold_ = r.U64(); }
 
  private:
+  // Out of line; see FixedRatePolicy::RecordDecision.
+  void RecordDecision();
+
   uint64_t interval_;
   uint64_t next_threshold_;
 };
@@ -54,6 +57,9 @@ class AllocationTriggeredPolicy : public RatePolicy {
   void RestoreState(SnapshotReader& r) override { partitions_seen_ = r.U64(); }
 
  private:
+  // Out of line; see FixedRatePolicy::RecordDecision.
+  void RecordDecision();
+
   uint64_t partitions_seen_ = 0;
 };
 

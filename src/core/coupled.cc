@@ -47,10 +47,16 @@ void CoupledIoPolicy::OnCollection(const CollectionOutcome& outcome,
   // out there, relative to the reference level that justifies the full
   // budget?
   double scale = 1.0;
+  obs::DecisionReason reason = obs::DecisionReason::kBudgetSolve;
   if (clock.db_used_bytes > 0) {
     double reference = static_cast<double>(clock.db_used_bytes) *
                        options_.garbage_ref_frac;
     scale = estimator_->Estimate() / reference;
+  }
+  if (scale < options_.min_scale) {
+    reason = obs::DecisionReason::kScaleFloor;
+  } else if (scale > options_.max_scale) {
+    reason = obs::DecisionReason::kScaleCeiling;
   }
   scale = std::clamp(scale, options_.min_scale, options_.max_scale);
   double f = options_.io_frac * scale;
@@ -62,14 +68,19 @@ void CoupledIoPolicy::OnCollection(const CollectionOutcome& outcome,
       static_cast<double>(hist_gc_io_sum_) + static_cast<double>(curr_gc_io);
   double delta_app_io =
       gc_term * (1.0 - f) / f - static_cast<double>(hist_app_io_sum_);
-  if (delta_app_io < 1.0) delta_app_io = 1.0;
+  const bool over_budget = delta_app_io < 1.0;
+  if (over_budget) delta_app_io = 1.0;
+  if (over_budget && reason == obs::DecisionReason::kBudgetSolve) {
+    reason = obs::DecisionReason::kOverBudgetFloor;
+  }
   next_app_io_threshold_ =
       clock.app_io + static_cast<uint64_t>(std::llround(delta_app_io));
 
-  ODBGC_IF_TEL(tel_) { RecordDecision(scale, delta_app_io); }
+  ODBGC_IF_TEL(tel_) { RecordDecision(scale, delta_app_io, reason); }
 }
 
-void CoupledIoPolicy::RecordDecision(double scale, double delta_app_io) {
+void CoupledIoPolicy::RecordDecision(double scale, double delta_app_io,
+                                     obs::DecisionReason reason) {
   tel_->Instant("policy_decision",
                 {{"policy", "coupled"},
                  {"effective_frac", last_effective_frac_},
@@ -78,6 +89,10 @@ void CoupledIoPolicy::RecordDecision(double scale, double delta_app_io) {
                  {"next_threshold", next_app_io_threshold_}});
   tel_->metrics().GetGauge("policy.coupled.effective_frac")
       ->Set(last_effective_frac_);
+  if (obs::DecisionLedger* ledger = tel_->ledger()) {
+    ledger->Append("coupled", reason, delta_app_io, next_app_io_threshold_,
+                   100.0 * last_effective_frac_);
+  }
 }
 
 void CoupledIoPolicy::SaveState(SnapshotWriter& w) const {

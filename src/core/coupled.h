@@ -58,7 +58,8 @@ class CoupledIoPolicy : public RatePolicy {
  private:
   // Out of line so OnCollection's hot path pays only a predicted-not-
   // taken branch, not the trace-argument stack frame.
-  void RecordDecision(double scale, double delta_app_io);
+  void RecordDecision(double scale, double delta_app_io,
+                      obs::DecisionReason reason);
 
   Options options_;
   std::unique_ptr<GarbageEstimator> estimator_;

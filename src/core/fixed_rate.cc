@@ -17,6 +17,17 @@ bool FixedRatePolicy::ShouldCollect(const SimClock& clock) {
 void FixedRatePolicy::OnCollection(const CollectionOutcome& /*outcome*/,
                                    const SimClock& clock) {
   next_threshold_ = clock.pointer_overwrites + interval_;
+  ODBGC_IF_TEL(tel_) { RecordDecision(); }
+}
+
+void FixedRatePolicy::RecordDecision() {
+  tel_->Instant("policy_decision", {{"policy", wire_name_},
+                                    {"interval", interval_},
+                                    {"next_threshold", next_threshold_}});
+  if (obs::DecisionLedger* ledger = tel_->ledger()) {
+    ledger->Append(wire_name_, obs::DecisionReason::kIntervalElapsed,
+                   static_cast<double>(interval_), next_threshold_, 0.0);
+  }
 }
 
 std::string FixedRatePolicy::name() const {
@@ -41,6 +52,8 @@ ConnectivityHeuristicPolicy::ConnectivityHeuristicPolicy(
     double avg_connectivity, double avg_object_bytes,
     uint64_t partition_bytes)
     : FixedRatePolicy(DeriveInterval(avg_connectivity, avg_object_bytes,
-                                     partition_bytes)) {}
+                                     partition_bytes)) {
+  set_wire_name("connectivity");
+}
 
 }  // namespace odbgc

@@ -24,9 +24,19 @@ class FixedRatePolicy : public RatePolicy {
   void SaveState(SnapshotWriter& w) const override { w.U64(next_threshold_); }
   void RestoreState(SnapshotReader& r) override { next_threshold_ = r.U64(); }
 
+ protected:
+  // Ledger/trace wire name; the connectivity subclass overrides it so its
+  // decisions stay distinguishable from a hand-picked fixed rate.
+  void set_wire_name(const char* name) { wire_name_ = name; }
+
  private:
+  // Out of line so OnCollection's hot path pays only a predicted-not-
+  // taken branch, not the trace-argument stack frame.
+  void RecordDecision();
+
   uint64_t interval_;
   uint64_t next_threshold_;
+  const char* wire_name_ = "fixed";
 };
 
 // The "more clever" fixed-rate heuristic of Section 2.1: derive N from

@@ -56,6 +56,7 @@ void SagaPolicy::OnCollection(const CollectionOutcome& outcome,
   const double numerator = curr_coll - garb_diff;
 
   double dt;
+  obs::DecisionReason reason = obs::DecisionReason::kSlopeSolve;
   constexpr double kSlopeEpsilon = 1e-9;
   if (has_slope_ && slope_ > kSlopeEpsilon) {
     dt = numerator / slope_;
@@ -68,9 +69,11 @@ void SagaPolicy::OnCollection(const CollectionOutcome& outcome,
     if (numerator < 0.0) {
       dt = static_cast<double>(options_.dt_min);
       ++dt_min_clamps_;
+      reason = obs::DecisionReason::kDegenerateSlopeMin;
     } else {
       dt = static_cast<double>(options_.dt_max);
       ++dt_max_clamps_;
+      reason = obs::DecisionReason::kDegenerateSlopeMax;
     }
   }
 
@@ -78,9 +81,15 @@ void SagaPolicy::OnCollection(const CollectionOutcome& outcome,
   if (!(dt >= static_cast<double>(options_.dt_min))) {  // also catches NaN
     dt_int = options_.dt_min;
     ++dt_min_clamps_;
+    if (reason == obs::DecisionReason::kSlopeSolve) {
+      reason = obs::DecisionReason::kDtMinClamp;
+    }
   } else if (dt >= static_cast<double>(options_.dt_max)) {
     dt_int = options_.dt_max;
     ++dt_max_clamps_;
+    if (reason == obs::DecisionReason::kSlopeSolve) {
+      reason = obs::DecisionReason::kDtMaxClamp;
+    }
   } else {
     dt_int = static_cast<uint64_t>(std::llround(dt));
   }
@@ -88,11 +97,12 @@ void SagaPolicy::OnCollection(const CollectionOutcome& outcome,
   next_overwrite_threshold_ = t + dt_int;
   idle_stalled_ = false;  // load resumed; re-arm opportunism
 
-  ODBGC_IF_TEL(tel_) { RecordDecision(dt_int, act_garb, target_garb); }
+  ODBGC_IF_TEL(tel_) { RecordDecision(dt_int, act_garb, target_garb, reason); }
 }
 
 void SagaPolicy::RecordDecision(uint64_t dt, double act_garb,
-                                double target_garb) {
+                                double target_garb,
+                                obs::DecisionReason reason) {
   tel_->Instant("policy_decision",
                 {{"policy", "saga"},
                  {"dt", dt},
@@ -102,6 +112,10 @@ void SagaPolicy::RecordDecision(uint64_t dt, double act_garb,
                  {"next_threshold", next_overwrite_threshold_}});
   tel_->metrics().GetGauge("policy.saga.dt")->Set(static_cast<double>(dt));
   tel_->metrics().GetGauge("policy.saga.act_garb")->Set(act_garb);
+  if (obs::DecisionLedger* ledger = tel_->ledger()) {
+    ledger->Append("saga", reason, static_cast<double>(dt),
+                   next_overwrite_threshold_, 100.0 * options_.garbage_frac);
+  }
 }
 
 bool SagaPolicy::ShouldCollectWhenIdle(const SimClock& clock) {
@@ -136,6 +150,10 @@ void SagaPolicy::OnIdleCollection(const CollectionOutcome& outcome,
     }
     last_dt_ = static_cast<uint64_t>(dt);
     next_overwrite_threshold_ = clock.pointer_overwrites + last_dt_;
+    ODBGC_IF_TEL(tel_) {
+      RecordDecision(last_dt_, act_garb, target_garb,
+                     obs::DecisionReason::kIdleReschedule);
+    }
   }
 }
 

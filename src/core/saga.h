@@ -73,7 +73,8 @@ class SagaPolicy : public RatePolicy {
  private:
   // Out of line so OnCollection's hot path pays only a predicted-not-
   // taken branch, not the trace-argument stack frame.
-  void RecordDecision(uint64_t dt, double act_garb, double target_garb);
+  void RecordDecision(uint64_t dt, double act_garb, double target_garb,
+                      obs::DecisionReason reason);
 
   Options options_;
   std::unique_ptr<GarbageEstimator> estimator_;

@@ -48,18 +48,19 @@ void SaioPolicy::OnCollection(const CollectionOutcome& outcome,
       gc_term * (1.0 - f) / f - static_cast<double>(hist_app_io_sum_);
   // The solved interval can be non-positive when the window is already
   // over budget; the soonest we can act is the next application I/O.
-  if (delta_app_io < 1.0) delta_app_io = 1.0;
+  const bool over_budget = delta_app_io < 1.0;
+  if (over_budget) delta_app_io = 1.0;
   last_delta_app_io_ = static_cast<uint64_t>(std::llround(delta_app_io));
   next_app_io_threshold_ = clock.app_io + last_delta_app_io_;
   // A scheduled collection under load means garbage is flowing again;
   // re-arm the idle probe.
   idle_yield_known_ = false;
 
-  ODBGC_IF_TEL(tel_) { RecordDecision(period_app_io, curr_gc_io); }
+  ODBGC_IF_TEL(tel_) { RecordDecision(period_app_io, curr_gc_io, over_budget); }
 }
 
-void SaioPolicy::RecordDecision(uint64_t period_app_io,
-                                uint64_t curr_gc_io) {
+void SaioPolicy::RecordDecision(uint64_t period_app_io, uint64_t curr_gc_io,
+                                bool over_budget) {
   tel_->Instant("policy_decision",
                 {{"policy", "saio"},
                  {"delta_app_io", last_delta_app_io_},
@@ -68,6 +69,13 @@ void SaioPolicy::RecordDecision(uint64_t period_app_io,
                  {"next_threshold", next_app_io_threshold_}});
   tel_->metrics().GetGauge("policy.saio.delta_app_io")->Set(
       static_cast<double>(last_delta_app_io_));
+  if (obs::DecisionLedger* ledger = tel_->ledger()) {
+    ledger->Append("saio",
+                   over_budget ? obs::DecisionReason::kOverBudgetFloor
+                               : obs::DecisionReason::kBudgetSolve,
+                   static_cast<double>(last_delta_app_io_),
+                   next_app_io_threshold_, 100.0 * io_frac_);
+  }
 }
 
 void SaioPolicy::set_opportunism(bool enabled,

@@ -68,7 +68,8 @@ class SaioPolicy : public RatePolicy {
 
   // Out of line so OnCollection's hot path pays only a predicted-not-
   // taken branch, not the trace-argument stack frame.
-  void RecordDecision(uint64_t period_app_io, uint64_t curr_gc_io);
+  void RecordDecision(uint64_t period_app_io, uint64_t curr_gc_io,
+                      bool over_budget);
 
   double io_frac_;
   size_t history_size_;

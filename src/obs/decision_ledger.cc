@@ -1,0 +1,150 @@
+#include "obs/decision_ledger.h"
+
+#include "util/snapshot.h"
+
+namespace odbgc::obs {
+
+const char* DecisionReasonName(DecisionReason r) {
+  switch (r) {
+    case DecisionReason::kIntervalElapsed:
+      return "interval_elapsed";
+    case DecisionReason::kAllocInterval:
+      return "alloc_interval";
+    case DecisionReason::kPartitionGrowth:
+      return "partition_growth";
+    case DecisionReason::kBudgetSolve:
+      return "budget_solve";
+    case DecisionReason::kOverBudgetFloor:
+      return "over_budget_floor";
+    case DecisionReason::kScaleFloor:
+      return "scale_floor";
+    case DecisionReason::kScaleCeiling:
+      return "scale_ceiling";
+    case DecisionReason::kSlopeSolve:
+      return "slope_solve";
+    case DecisionReason::kDegenerateSlopeMin:
+      return "degenerate_slope_min";
+    case DecisionReason::kDegenerateSlopeMax:
+      return "degenerate_slope_max";
+    case DecisionReason::kDtMinClamp:
+      return "dt_min_clamp";
+    case DecisionReason::kDtMaxClamp:
+      return "dt_max_clamp";
+    case DecisionReason::kIdleReschedule:
+      return "idle_reschedule";
+  }
+  return "unknown";
+}
+
+DecisionLedger::DecisionLedger(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void DecisionLedger::Append(const char* policy, DecisionReason reason,
+                            double chosen_interval, uint64_t next_threshold,
+                            double target) {
+  PolicyDecisionRecord rec = context_;
+  rec.seq = total_;
+  rec.policy = policy;
+  rec.reason = reason;
+  rec.chosen_interval = chosen_interval;
+  rec.next_threshold = next_threshold;
+  rec.target = target;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(rec));
+  } else {
+    ring_[head_] = std::move(rec);
+    head_ = (head_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+std::vector<PolicyDecisionRecord> DecisionLedger::Records() const {
+  std::vector<PolicyDecisionRecord> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+namespace {
+
+void SaveRecord(SnapshotWriter& w, const PolicyDecisionRecord& r) {
+  w.U64(r.seq);
+  w.U64(r.tick);
+  w.U64(r.event);
+  w.U64(r.collection);
+  w.U64(r.app_io);
+  w.U64(r.gc_io);
+  w.F64(r.io_pct);
+  w.F64(r.garbage_pct);
+  w.U64(r.actual_garbage_bytes);
+  w.U64(r.estimate_bytes);
+  w.U64(r.estimator_spread_bytes);
+  w.U64(r.db_used_bytes);
+  w.U64(r.collection_gc_io);
+  w.U64(r.bytes_reclaimed);
+  w.Str(r.policy);
+  w.U8(static_cast<uint8_t>(r.reason));
+  w.F64(r.chosen_interval);
+  w.U64(r.next_threshold);
+  w.F64(r.target);
+}
+
+PolicyDecisionRecord RestoreRecord(SnapshotReader& r) {
+  PolicyDecisionRecord rec;
+  rec.seq = r.U64();
+  rec.tick = r.U64();
+  rec.event = r.U64();
+  rec.collection = r.U64();
+  rec.app_io = r.U64();
+  rec.gc_io = r.U64();
+  rec.io_pct = r.F64();
+  rec.garbage_pct = r.F64();
+  rec.actual_garbage_bytes = r.U64();
+  rec.estimate_bytes = r.U64();
+  rec.estimator_spread_bytes = r.U64();
+  rec.db_used_bytes = r.U64();
+  rec.collection_gc_io = r.U64();
+  rec.bytes_reclaimed = r.U64();
+  rec.policy = r.Str();
+  rec.reason = static_cast<DecisionReason>(r.U8());
+  rec.chosen_interval = r.F64();
+  rec.next_threshold = r.U64();
+  rec.target = r.F64();
+  return rec;
+}
+
+}  // namespace
+
+void DecisionLedger::SaveState(SnapshotWriter& w) const {
+  w.Tag("DLG0");
+  w.U64(total_);
+  w.U64(ring_.size());
+  // Oldest-first, so restore can refill a ring of any capacity and keep
+  // the newest suffix.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    SaveRecord(w, ring_[(head_ + i) % ring_.size()]);
+  }
+  w.Tag("DLGE");
+}
+
+void DecisionLedger::RestoreState(SnapshotReader& r) {
+  r.Tag("DLG0");
+  total_ = r.U64();
+  const uint64_t n = r.U64();
+  ring_.clear();
+  head_ = 0;
+  for (uint64_t i = 0; i < n && r.ok(); ++i) {
+    PolicyDecisionRecord rec = RestoreRecord(r);
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(rec));
+    } else {
+      ring_[head_] = std::move(rec);
+      head_ = (head_ + 1) % capacity_;
+    }
+  }
+  r.Tag("DLGE");
+}
+
+}  // namespace odbgc::obs

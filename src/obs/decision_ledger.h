@@ -1,0 +1,107 @@
+#ifndef ODBGC_OBS_DECISION_LEDGER_H_
+#define ODBGC_OBS_DECISION_LEDGER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace odbgc {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace odbgc
+
+namespace odbgc::obs {
+
+// Why a rate policy chose the interval it chose. One closed vocabulary
+// across all five policy families so downstream consumers (odbgc_analyze,
+// learned-policy feature extraction) never parse free-form strings.
+// docs/POLICIES.md tables which codes each policy can emit.
+enum class DecisionReason : uint8_t {
+  kIntervalElapsed = 0,  // fixed/connectivity: static interval re-armed
+  kAllocInterval,        // alloc_rate: allocation-clock interval re-armed
+  kPartitionGrowth,      // alloc_triggered: partition count grew
+  kBudgetSolve,          // saio/coupled: closed-form I/O budget solve
+  kOverBudgetFloor,      // saio/coupled: already over budget, floored at 1
+  kScaleFloor,           // coupled: garbage scale clamped up to min_scale
+  kScaleCeiling,         // coupled: garbage scale clamped down to max_scale
+  kSlopeSolve,           // saga: garbage-slope solve inside [dt_min, dt_max]
+  kDegenerateSlopeMin,   // saga: unusable slope while over target -> dt_min
+  kDegenerateSlopeMax,   // saga: unusable slope while under target -> dt_max
+  kDtMinClamp,           // saga: solved dt clamped up to dt_min
+  kDtMaxClamp,           // saga: solved dt clamped down to dt_max
+  kIdleReschedule,       // saga: threshold recomputed after an idle collection
+};
+
+// Stable wire name for a reason code ("budget_solve", ...).
+const char* DecisionReasonName(DecisionReason r);
+
+// One policy decision: the run context the controller saw (filled by the
+// simulation just before the policy's OnCollection/OnIdleCollection) plus
+// what the policy decided (filled by the policy's cold recording path).
+struct PolicyDecisionRecord {
+  // --- context ---
+  uint64_t seq = 0;          // 0-based decision index, never reused
+  uint64_t tick = 0;         // logical tick at decision time
+  uint64_t event = 0;        // trace event cursor at decision time
+  uint64_t collection = 0;   // 1-based collection index; 0 for idle decisions
+  uint64_t app_io = 0;       // cumulative application transfers
+  uint64_t gc_io = 0;        // cumulative GC transfers
+  double io_pct = 0.0;       // GC share of all transfers so far, percent
+  double garbage_pct = 0.0;  // oracle garbage / used bytes, percent
+  uint64_t actual_garbage_bytes = 0;    // whole-database verifier oracle
+  uint64_t estimate_bytes = 0;          // the policy's own estimator view
+  uint64_t estimator_spread_bytes = 0;  // max-min across attached estimators
+  uint64_t db_used_bytes = 0;
+  uint64_t collection_gc_io = 0;  // this collection's copy traffic
+  uint64_t bytes_reclaimed = 0;   // this collection's reclaim
+  // --- decision ---
+  std::string policy;  // RatePolicy::name()
+  DecisionReason reason = DecisionReason::kIntervalElapsed;
+  double chosen_interval = 0.0;  // policy-clock units until the next trigger
+  uint64_t next_threshold = 0;   // absolute clock threshold armed
+  double target = 0.0;  // io%% (saio/coupled) or garbage%% (saga); else 0
+};
+
+// Bounded ring of the most recent decisions. Writes are two-phase: the
+// simulation stages run context with SetContext, then the policy merges
+// its half in via Append. The ring keeps the newest `capacity` records
+// and counts what it sheds, so a long run degrades to a suffix rather
+// than failing. Snapshot/restored through checkpoints for byte-identical
+// crash/resume exports.
+class DecisionLedger {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  explicit DecisionLedger(size_t capacity);
+
+  // Stage the context half of the next record. Decision fields in `ctx`
+  // are ignored; Append overwrites them.
+  void SetContext(const PolicyDecisionRecord& ctx) { context_ = ctx; }
+
+  // Complete and commit the staged record with the policy's decision.
+  void Append(const char* policy, DecisionReason reason,
+              double chosen_interval, uint64_t next_threshold, double target);
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return ring_.size(); }
+  uint64_t total() const { return total_; }
+  uint64_t dropped() const { return total_ - ring_.size(); }
+
+  // Records oldest-first.
+  std::vector<PolicyDecisionRecord> Records() const;
+
+  void SaveState(SnapshotWriter& w) const;
+  void RestoreState(SnapshotReader& r);
+
+ private:
+  size_t capacity_;
+  std::vector<PolicyDecisionRecord> ring_;
+  size_t head_ = 0;  // index of the oldest record once the ring is full
+  uint64_t total_ = 0;
+  PolicyDecisionRecord context_;
+};
+
+}  // namespace odbgc::obs
+
+#endif  // ODBGC_OBS_DECISION_LEDGER_H_

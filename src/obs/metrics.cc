@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "util/snapshot.h"
+
 namespace odbgc::obs {
 
 namespace {
@@ -58,6 +60,22 @@ double Histogram::Percentile(double p) const {
   return static_cast<double>(max_);
 }
 
+void Histogram::SaveState(SnapshotWriter& w) const {
+  for (size_t b = 0; b < kBuckets; ++b) w.U64(buckets_[b]);
+  w.U64(count_);
+  w.U64(sum_);
+  w.U64(min_);
+  w.U64(max_);
+}
+
+void Histogram::RestoreState(SnapshotReader& r) {
+  for (size_t b = 0; b < kBuckets; ++b) buckets_[b] = r.U64();
+  count_ = r.U64();
+  sum_ = r.U64();
+  min_ = r.U64();
+  max_ = r.U64();
+}
+
 template <typename T>
 T* MetricsRegistry::FindOrCreate(std::vector<Entry<T>>* entries,
                                  const char* id) {
@@ -102,6 +120,65 @@ TelemetrySnapshot MetricsRegistry::Snapshot() const {
   std::sort(snap.gauges.begin(), snap.gauges.end(), by_id);
   std::sort(snap.histograms.begin(), snap.histograms.end(), by_id);
   return snap;
+}
+
+void MetricsRegistry::SaveState(SnapshotWriter& w) const {
+  // Serialize in sorted-id order so the stream does not depend on
+  // registration order (lazy registration can differ between an original
+  // and a resumed process; Snapshot() sorts anyway).
+  auto sorted_ids = [](const auto& entries) {
+    std::vector<const std::string*> ids;
+    ids.reserve(entries.size());
+    for (const auto& e : entries) ids.push_back(&e.id);
+    std::sort(ids.begin(), ids.end(),
+              [](const std::string* a, const std::string* b) {
+                return *a < *b;
+              });
+    return ids;
+  };
+  w.Tag("MET0");
+  w.U64(counters_.size());
+  for (const std::string* id : sorted_ids(counters_)) {
+    w.Str(*id);
+    for (const Entry<Counter>& e : counters_) {
+      if (e.id == *id) w.U64(e.instrument->value);
+    }
+  }
+  w.U64(gauges_.size());
+  for (const std::string* id : sorted_ids(gauges_)) {
+    w.Str(*id);
+    for (const Entry<Gauge>& e : gauges_) {
+      if (e.id == *id) w.F64(e.instrument->value);
+    }
+  }
+  w.U64(histograms_.size());
+  for (const std::string* id : sorted_ids(histograms_)) {
+    w.Str(*id);
+    for (const Entry<Histogram>& e : histograms_) {
+      if (e.id == *id) e.instrument->SaveState(w);
+    }
+  }
+  w.Tag("METE");
+}
+
+void MetricsRegistry::RestoreState(SnapshotReader& r) {
+  r.Tag("MET0");
+  const uint64_t nc = r.U64();
+  for (uint64_t i = 0; i < nc && r.ok(); ++i) {
+    const std::string id = r.Str();
+    GetCounter(id.c_str())->value = r.U64();
+  }
+  const uint64_t ng = r.U64();
+  for (uint64_t i = 0; i < ng && r.ok(); ++i) {
+    const std::string id = r.Str();
+    GetGauge(id.c_str())->value = r.F64();
+  }
+  const uint64_t nh = r.U64();
+  for (uint64_t i = 0; i < nh && r.ok(); ++i) {
+    const std::string id = r.Str();
+    GetHistogram(id.c_str())->RestoreState(r);
+  }
+  r.Tag("METE");
 }
 
 }  // namespace odbgc::obs

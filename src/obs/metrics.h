@@ -7,6 +7,11 @@
 #include <string>
 #include <vector>
 
+namespace odbgc {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace odbgc
+
 namespace odbgc::obs {
 
 // A monotonic counter. Instrumented code holds the Counter* obtained
@@ -51,6 +56,11 @@ class Histogram {
   double Percentile(double p) const;
 
   const uint64_t* buckets() const { return buckets_; }
+
+  // Bit-exact serialization (buckets + running stats) for checkpointed
+  // telemetry; see MetricsRegistry::SaveState.
+  void SaveState(SnapshotWriter& w) const;
+  void RestoreState(SnapshotReader& r);
 
  private:
   uint64_t buckets_[kBuckets] = {};
@@ -111,6 +121,14 @@ class MetricsRegistry {
 
   // Sorted-by-id copy of every registered instrument.
   TelemetrySnapshot Snapshot() const;
+
+  // Checkpoint support. SaveState serializes every instrument sorted by
+  // id; RestoreState re-registers each id (instruments registered before
+  // the restore keep their pointers — registration only appends) and
+  // overwrites its value, so a resumed run continues the original run's
+  // streams bit-exactly.
+  void SaveState(SnapshotWriter& w) const;
+  void RestoreState(SnapshotReader& r);
 
  private:
   template <typename T>

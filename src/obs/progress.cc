@@ -53,13 +53,26 @@ void ProgressReporter::PrintLine(const ProgressSample& sample,
     std::snprintf(err, sizeof(err), ", est err %+.2fpp",
                   sample.estimate_error_pp);
   }
+  // Self-healing suffix, only once any of its state is nonzero — the
+  // line stays identical to older builds on healthy runs.
+  char heal[96] = "";
+  if (sample.pages_scrubbed > 0 || sample.quarantined_partitions > 0 ||
+      sample.pending_corruption > 0) {
+    std::snprintf(heal, sizeof(heal),
+                  ", scrub %llu pages@p%u, %llu quarantined, %llu pending",
+                  static_cast<unsigned long long>(sample.pages_scrubbed),
+                  sample.scrub_cursor_partition,
+                  static_cast<unsigned long long>(
+                      sample.quarantined_partitions),
+                  static_cast<unsigned long long>(sample.pending_corruption));
+  }
   std::fprintf(out_,
                "%s[%s%llu events, %.0f ev/s] %llu collections, "
-               "gc-io %.2f%%%s\n",
+               "gc-io %.2f%%%s%s\n",
                final_line ? "progress: done " : "progress: ", pct,
                static_cast<unsigned long long>(sample.events), rate,
                static_cast<unsigned long long>(sample.collections), gc_pct,
-               err);
+               err, heal);
   std::fflush(out_);
   ++lines_;
   last_events_ = sample.events;

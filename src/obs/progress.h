@@ -19,6 +19,12 @@ struct ProgressSample {
   // meaningful only when has_estimate.
   bool has_estimate = false;
   double estimate_error_pp = 0.0;
+  // Self-healing state (PR 7's counters); the printed line only grows a
+  // suffix when any of these is nonzero, so healthy runs are unchanged.
+  uint64_t pages_scrubbed = 0;
+  uint32_t scrub_cursor_partition = 0;
+  uint64_t quarantined_partitions = 0;
+  uint64_t pending_corruption = 0;
 };
 
 // Live progress for one simulation run: periodic single-line reports to

@@ -5,8 +5,15 @@
 #include <initializer_list>
 #include <memory>
 
+#include "obs/decision_ledger.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace_recorder.h"
+
+namespace odbgc {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace odbgc
 
 // Compile-time master switch. Built with -DODBGC_TELEMETRY=0 (CMake
 // option ODBGC_TELEMETRY=OFF) every instrumentation site in the hot
@@ -46,8 +53,20 @@ struct TelemetryOptions {
   bool page_events = true;
   // Trace buffer cap; see TraceRecorder.
   size_t max_trace_events = TraceRecorder::kDefaultMaxEvents;
+  // Record every rate-policy decision into a bounded ledger
+  // (--decisions-out). Implies metric collection stays meaningful even
+  // when `enabled` is false, so any() treats it as an enable.
+  bool record_decisions = false;
+  size_t decision_capacity = DecisionLedger::kDefaultCapacity;
+  // Snapshot the metrics registry every N applied trace events into
+  // time-series frames (--timeseries-out). 0 disables sampling.
+  uint64_t sample_interval_events = 0;
+  size_t sample_capacity = TimeSeriesSampler::kDefaultCapacity;
 
-  bool any() const { return enabled || capture_trace; }
+  bool any() const {
+    return enabled || capture_trace || record_decisions ||
+           sample_interval_events != 0;
+  }
 };
 
 // One run's telemetry context: a metrics registry, an optional trace
@@ -87,6 +106,21 @@ class Telemetry {
   // True when per-transfer page I/O instants should be recorded.
   bool page_events() const { return page_events_; }
 
+  // --- decision ledger / time-series sampler ---
+  // Null unless the corresponding option enabled them; recording sites
+  // test for null, so unconfigured streams cost nothing.
+  DecisionLedger* ledger() { return ledger_.get(); }
+  const DecisionLedger* ledger() const { return ledger_.get(); }
+  TimeSeriesSampler* sampler() { return sampler_.get(); }
+  const TimeSeriesSampler* sampler() const { return sampler_.get(); }
+
+  // Checkpoint support: ticks, every metric, the decision ledger and the
+  // sampled frames round-trip bit-exactly, so a crash/resume run exports
+  // byte-identical streams. The structured trace recorder is NOT part of
+  // the snapshot (traces remain per-process).
+  void SaveState(SnapshotWriter& w) const;
+  void RestoreState(SnapshotReader& r);
+
   void Instant(const char* name, std::initializer_list<TraceArg> args = {}) {
     if (recorder_) recorder_->Instant(name, ticks_, args);
   }
@@ -102,6 +136,8 @@ class Telemetry {
   uint64_t ticks_ = 0;
   MetricsRegistry metrics_;
   std::unique_ptr<TraceRecorder> recorder_;
+  std::unique_ptr<DecisionLedger> ledger_;
+  std::unique_ptr<TimeSeriesSampler> sampler_;
   bool page_events_ = false;
 };
 

@@ -1,0 +1,68 @@
+#ifndef ODBGC_OBS_TIMESERIES_H_
+#define ODBGC_OBS_TIMESERIES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace odbgc {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace odbgc
+
+namespace odbgc::obs {
+
+// One periodic snapshot of the metrics registry, stamped with the
+// simulation's deterministic clocks. The sequence of frames is the
+// learned-policy feature stream and what fig6-style time-series plots
+// consume; it is a pure function of the simulated execution, so it is
+// byte-identical across sweep thread counts and across crash/resume.
+struct TimeSeriesFrame {
+  uint64_t seq = 0;          // 0-based frame index, never reused
+  uint64_t event = 0;        // trace event cursor when sampled
+  uint64_t tick = 0;         // logical tick when sampled
+  uint64_t collections = 0;  // collections completed so far
+  TelemetrySnapshot metrics;
+};
+
+// Samples the registry every `interval_events` applied trace events into
+// a bounded ring (newest `capacity` frames kept; shed frames counted).
+class TimeSeriesSampler {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 13;
+  static constexpr uint64_t kDefaultIntervalEvents = 1024;
+
+  TimeSeriesSampler(uint64_t interval_events, size_t capacity);
+
+  uint64_t interval() const { return interval_; }
+  // True when a frame is owed at this event count.
+  bool Due(uint64_t events) const {
+    return interval_ != 0 && events % interval_ == 0;
+  }
+
+  void Sample(uint64_t event, uint64_t tick, uint64_t collections,
+              const MetricsRegistry& registry);
+
+  size_t size() const { return ring_.size(); }
+  uint64_t total() const { return total_; }
+  uint64_t dropped() const { return total_ - ring_.size(); }
+
+  // Frames oldest-first.
+  std::vector<TimeSeriesFrame> Frames() const;
+
+  void SaveState(SnapshotWriter& w) const;
+  void RestoreState(SnapshotReader& r);
+
+ private:
+  uint64_t interval_;
+  size_t capacity_;
+  std::vector<TimeSeriesFrame> ring_;
+  size_t head_ = 0;  // index of the oldest frame once the ring is full
+  uint64_t total_ = 0;
+};
+
+}  // namespace odbgc::obs
+
+#endif  // ODBGC_OBS_TIMESERIES_H_

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/telemetry.h"
 #include "sim/simulation.h"
 #include "util/snapshot.h"
 
@@ -476,6 +477,11 @@ void Simulation::SaveState(SnapshotWriter& w) const {
   for (const GarbageEstimator* passive : passive_estimators_) {
     passive->SaveState(w);
   }
+  // Telemetry travels as a length-prefixed sub-blob: an empty string for
+  // telemetry-off runs, so the surrounding layout is version-stable.
+  SnapshotWriter tw;
+  if (tel_ != nullptr) tel_->SaveState(tw);
+  w.Str(tw.Take());
   w.Tag("ENDS");
 }
 
@@ -507,6 +513,19 @@ void Simulation::RestoreState(SnapshotReader& r) {
   }
   for (GarbageEstimator* passive : passive_estimators_) {
     passive->RestoreState(r);
+  }
+  // Telemetry sub-blob. Empty means the checkpointed run had telemetry
+  // off; a non-empty blob is restored only when this run has telemetry
+  // (the config fingerprint deliberately ignores telemetry options, so a
+  // resume may enable or disable it).
+  const std::string tel_blob = r.Str();
+  if (tel_ != nullptr && !tel_blob.empty()) {
+    SnapshotReader tr(tel_blob);
+    tel_->RestoreState(tr);
+    if (!tr.ok()) {
+      r.MarkMalformed("telemetry blob: " + tr.error());
+      return;
+    }
   }
   r.Tag("ENDS");
 }

@@ -52,15 +52,19 @@ const char* CheckpointErrorName(CheckpointError error);
 
 // v2: self-healing state (page-health sets in the fault injector,
 // quarantine flags, corruption queue, scrub cursor, repair counters).
-inline constexpr uint32_t kCheckpointVersion = 2;
+// v3: telemetry state (logical ticks, metrics registry, decision ledger,
+// time-series frames) as a length-prefixed blob — empty for
+// telemetry-off runs.
+inline constexpr uint32_t kCheckpointVersion = 3;
 inline constexpr uint32_t kCheckpointFooterMagic = 0x54504b43;  // "CKPT"
 
 // Hash of the configuration fields that determine simulation behavior.
 // Deliberately EXCLUDED, so that a resumed run may drop them: the crash
 // schedule (crash_point / crash_at_collection / crash_at_event), the
 // fault and selector seeds (the live RNG states travel in the payload),
-// the wall-clock deadline, and telemetry options (telemetry is not
-// checkpointed).
+// the wall-clock deadline, and telemetry options (telemetry state in the
+// payload is restored when the resuming config enables telemetry, and
+// skipped — without failing — when it does not).
 uint64_t ConfigFingerprint(const SimConfig& config);
 
 // Serializes `sim` and writes it to `path` atomically (see layout above).

@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "core/clock.h"
+#include "obs/decision_ledger.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "storage/types.h"
 #include "trace/event.h"
 #include "util/stats.h"
@@ -134,6 +136,15 @@ struct SimResult {
 
   // Telemetry snapshot (empty unless SimConfig::telemetry.enabled).
   obs::TelemetrySnapshot telemetry;
+
+  // Policy decision ledger (empty unless telemetry.record_decisions) and
+  // periodic time-series frames (empty unless
+  // telemetry.sample_interval_events > 0), oldest-first. The *_dropped
+  // counters report how many older entries each bounded ring shed.
+  std::vector<obs::PolicyDecisionRecord> decisions;
+  uint64_t decisions_dropped = 0;
+  std::vector<obs::TimeSeriesFrame> timeseries;
+  uint64_t timeseries_dropped = 0;
 };
 
 // Derived per-collection series (Figure 7b's graphs).

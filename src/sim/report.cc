@@ -25,6 +25,58 @@ void WriteStats(JsonWriter& w, const RunningStats& s) {
   w.EndObject();
 }
 
+void WriteSnapshot(JsonWriter& w, const obs::TelemetrySnapshot& snap) {
+  w.Key("counters");
+  w.BeginObject();
+  for (const obs::CounterSnapshot& c : snap.counters) {
+    w.Key(c.id);
+    w.Value(c.value);
+  }
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const obs::GaugeSnapshot& g : snap.gauges) {
+    w.Key(g.id);
+    w.Value(g.value);
+  }
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const obs::HistogramSnapshot& h : snap.histograms) {
+    w.Key(h.id);
+    w.BeginObject();
+    w.Key("count");
+    w.Value(h.count);
+    w.Key("min");
+    w.Value(h.min);
+    w.Key("max");
+    w.Value(h.max);
+    w.Key("mean");
+    w.Value(h.mean);
+    w.Key("p50");
+    w.Value(h.p50);
+    w.Key("p95");
+    w.Value(h.p95);
+    w.Key("p99");
+    w.Value(h.p99);
+    w.EndObject();
+  }
+  w.EndObject();
+}
+
+// Maps the stall.* histogram ids onto the stall-cause taxonomy
+// (docs/OBSERVABILITY.md). Order here is emission order.
+struct StallCause {
+  const char* histogram_id;
+  const char* cause;
+};
+constexpr StallCause kStallCauses[] = {
+    {"stall.gc_copy_io", "gc_copy"},
+    {"stall.scrub_read_through_io", "scrub_read_through"},
+    {"stall.quarantine_repair_io", "quarantine_repair"},
+    {"stall.fault_retry_io", "fault_retry"},
+};
+
 }  // namespace
 
 std::string SimResultToJson(const SimResult& result,
@@ -252,42 +304,62 @@ std::string SimResultToJson(const SimResult& result,
   if (!result.telemetry.empty()) {
     w.Key("telemetry");
     w.BeginObject();
-    w.Key("counters");
-    w.BeginObject();
-    for (const obs::CounterSnapshot& c : result.telemetry.counters) {
-      w.Key(c.id);
-      w.Value(c.value);
-    }
+    WriteSnapshot(w, result.telemetry);
     w.EndObject();
-    w.Key("gauges");
-    w.BeginObject();
-    for (const obs::GaugeSnapshot& g : result.telemetry.gauges) {
-      w.Key(g.id);
-      w.Value(g.value);
-    }
-    w.EndObject();
-    w.Key("histograms");
-    w.BeginObject();
+
+    // Stall attribution: which subsystem's I/O the application stalled
+    // behind, as per-cause log2 histograms. Emitted only when at least
+    // one cause fired, same contract as "faults"/"self_healing".
+    bool any_stall = false;
     for (const obs::HistogramSnapshot& h : result.telemetry.histograms) {
-      w.Key(h.id);
+      for (const StallCause& cause : kStallCauses) {
+        if (h.id == cause.histogram_id && h.count > 0) any_stall = true;
+      }
+    }
+    if (any_stall) {
+      w.Key("stall_attribution");
       w.BeginObject();
-      w.Key("count");
-      w.Value(h.count);
-      w.Key("min");
-      w.Value(h.min);
-      w.Key("max");
-      w.Value(h.max);
-      w.Key("mean");
-      w.Value(h.mean);
-      w.Key("p50");
-      w.Value(h.p50);
-      w.Key("p95");
-      w.Value(h.p95);
-      w.Key("p99");
-      w.Value(h.p99);
+      for (const StallCause& cause : kStallCauses) {
+        for (const obs::HistogramSnapshot& h : result.telemetry.histograms) {
+          if (h.id != cause.histogram_id || h.count == 0) continue;
+          w.Key(cause.cause);
+          w.BeginObject();
+          w.Key("count");
+          w.Value(h.count);
+          w.Key("mean");
+          w.Value(h.mean);
+          w.Key("p50");
+          w.Value(h.p50);
+          w.Key("p95");
+          w.Value(h.p95);
+          w.Key("p99");
+          w.Value(h.p99);
+          w.EndObject();
+        }
+      }
       w.EndObject();
     }
+  }
+
+  // Decision-ledger / time-series stream stats. The streams themselves
+  // export as JSONL (DecisionsToJsonl / TimeSeriesToJsonl); the report
+  // only says how much each stream captured and shed.
+  if (!result.decisions.empty() || result.decisions_dropped > 0) {
+    w.Key("decision_ledger");
+    w.BeginObject();
+    w.Key("records");
+    w.Value(static_cast<uint64_t>(result.decisions.size()));
+    w.Key("dropped");
+    w.Value(result.decisions_dropped);
     w.EndObject();
+  }
+  if (!result.timeseries.empty() || result.timeseries_dropped > 0) {
+    w.Key("timeseries");
+    w.BeginObject();
+    w.Key("frames");
+    w.Value(static_cast<uint64_t>(result.timeseries.size()));
+    w.Key("dropped");
+    w.Value(result.timeseries_dropped);
     w.EndObject();
   }
 
@@ -394,6 +466,95 @@ bool WriteSweepReportJson(const std::vector<SweepPoint>& points,
   size_t written = std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
   return written == json.size();
+}
+
+std::string DecisionsToJsonl(const SimResult& result) {
+  std::string out;
+  for (const obs::PolicyDecisionRecord& d : result.decisions) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("seq");
+    w.Value(d.seq);
+    w.Key("tick");
+    w.Value(d.tick);
+    w.Key("event");
+    w.Value(d.event);
+    w.Key("collection");
+    w.Value(d.collection);
+    w.Key("policy");
+    w.Value(d.policy);
+    w.Key("reason");
+    w.Value(obs::DecisionReasonName(d.reason));
+    w.Key("chosen_interval");
+    w.Value(d.chosen_interval);
+    w.Key("next_threshold");
+    w.Value(d.next_threshold);
+    w.Key("target");
+    w.Value(d.target);
+    w.Key("io_pct");
+    w.Value(d.io_pct);
+    w.Key("garbage_pct");
+    w.Value(d.garbage_pct);
+    w.Key("app_io");
+    w.Value(d.app_io);
+    w.Key("gc_io");
+    w.Value(d.gc_io);
+    w.Key("actual_garbage_bytes");
+    w.Value(d.actual_garbage_bytes);
+    w.Key("estimate_bytes");
+    w.Value(d.estimate_bytes);
+    w.Key("estimator_spread_bytes");
+    w.Value(d.estimator_spread_bytes);
+    w.Key("db_used_bytes");
+    w.Value(d.db_used_bytes);
+    w.Key("collection_gc_io");
+    w.Value(d.collection_gc_io);
+    w.Key("bytes_reclaimed");
+    w.Value(d.bytes_reclaimed);
+    w.EndObject();
+    out += w.TakeString();
+    out += '\n';
+  }
+  return out;
+}
+
+bool WriteDecisionsJsonl(const SimResult& result, const std::string& path) {
+  std::string jsonl = DecisionsToJsonl(result);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  size_t written = std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+  std::fclose(f);
+  return written == jsonl.size();
+}
+
+std::string TimeSeriesToJsonl(const SimResult& result) {
+  std::string out;
+  for (const obs::TimeSeriesFrame& frame : result.timeseries) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("seq");
+    w.Value(frame.seq);
+    w.Key("event");
+    w.Value(frame.event);
+    w.Key("tick");
+    w.Value(frame.tick);
+    w.Key("collections");
+    w.Value(frame.collections);
+    WriteSnapshot(w, frame.metrics);
+    w.EndObject();
+    out += w.TakeString();
+    out += '\n';
+  }
+  return out;
+}
+
+bool WriteTimeSeriesJsonl(const SimResult& result, const std::string& path) {
+  std::string jsonl = TimeSeriesToJsonl(result);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  size_t written = std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+  std::fclose(f);
+  return written == jsonl.size();
 }
 
 }  // namespace odbgc

@@ -35,6 +35,23 @@ bool WriteSweepReportJson(const std::vector<SweepPoint>& points,
                           const std::string& path,
                           bool include_collection_log = false);
 
+// Serializes the policy decision ledger as JSONL: one JSON object per
+// line, oldest decision first, in the schema documented in
+// docs/OBSERVABILITY.md. Deterministic: byte-identical for identical
+// simulated executions.
+std::string DecisionsToJsonl(const SimResult& result);
+
+// Writes DecisionsToJsonl(result) to `path`; false on I/O failure.
+bool WriteDecisionsJsonl(const SimResult& result, const std::string& path);
+
+// Serializes the time-series sampler frames as JSONL, one frame per
+// line, oldest first. Each frame carries the full metrics snapshot at
+// that instant (counters/gauges/histograms).
+std::string TimeSeriesToJsonl(const SimResult& result);
+
+// Writes TimeSeriesToJsonl(result) to `path`; false on I/O failure.
+bool WriteTimeSeriesJsonl(const SimResult& result, const std::string& path);
+
 }  // namespace odbgc
 
 #endif  // ODBGC_SIM_REPORT_H_

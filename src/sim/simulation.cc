@@ -1,5 +1,6 @@
 #include "sim/simulation.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
@@ -93,11 +94,18 @@ void Simulation::InitTelemetry() {
   if (!config_.telemetry.any()) return;
   tel_ = std::make_unique<obs::Telemetry>(config_.telemetry);
   tel_garbage_pct_ = tel_->metrics().GetGauge("sim.garbage_pct");
+  tel_est_garbage_pct_ =
+      tel_->metrics().GetGauge("sim.estimator_garbage_pct");
   tel_est_err_ = tel_->metrics().GetHistogram("sim.estimator_error_pp_x100");
   tel_pages_scrubbed_ = tel_->metrics().GetCounter("storage.pages_scrubbed");
   tel_quarantined_ = tel_->metrics().GetCounter("gc.partitions_quarantined");
   tel_repaired_ = tel_->metrics().GetCounter("repair.partitions_repaired");
   tel_repair_pages_ = tel_->metrics().GetCounter("repair.pages_rewritten");
+  tel_stall_gc_copy_ = tel_->metrics().GetHistogram("stall.gc_copy_io");
+  tel_stall_scrub_ =
+      tel_->metrics().GetHistogram("stall.scrub_read_through_io");
+  tel_stall_repair_ =
+      tel_->metrics().GetHistogram("stall.quarantine_repair_io");
   store_->buffer_pool().AttachTelemetry(tel_.get());
   collector_.AttachTelemetry(tel_.get());
   policy_->AttachTelemetry(tel_.get());
@@ -186,7 +194,10 @@ void Simulation::RepairQuarantined() {
       pool.WriteThrough(PageId{pid, pg}, IoContext::kCollector);
     }
     result_.repair_pages_rewritten += used_pages;
-    ODBGC_IF_TEL(tel_.get()) { tel_repair_pages_->Add(used_pages); }
+    ODBGC_IF_TEL(tel_.get()) {
+      tel_repair_pages_->Add(used_pages);
+      tel_stall_repair_->Record(used_pages);
+    }
   }
   // One pass rebuilds every partition's derived state (reverse index,
   // backrefs, cross-partition counters, free-space index) from the
@@ -225,6 +236,9 @@ void Simulation::SelfHealTick() {
     result_.pages_scrubbed += sr.pages_scrubbed;
     ODBGC_IF_TEL(tel_.get()) {
       tel_pages_scrubbed_->Add(sr.pages_scrubbed);
+      if (sr.pages_scrubbed > 0) {
+        tel_stall_scrub_->Record(sr.pages_scrubbed);
+      }
     }
     DrainCorruption();
   }
@@ -352,6 +366,15 @@ void Simulation::MaybeCollect() {
   result_.total_reclaimed_bytes += report.bytes_reclaimed;
   result_.total_reclaimed_objects += report.objects_reclaimed;
 
+  ODBGC_IF_TEL(tel_.get()) {
+    // The collection's copy traffic is an app-visible stall regardless of
+    // what the policy decides next.
+    tel_stall_gc_copy_->Record(report.gc_io());
+    if (obs::DecisionLedger* ledger = tel_->ledger()) {
+      StageDecisionContext(*ledger, report, /*idle=*/false);
+    }
+  }
+
   policy_->OnCollection(
       CollectionOutcome{report.gc_io(), report.bytes_reclaimed}, clock_);
 
@@ -366,6 +389,7 @@ void Simulation::MaybeCollect() {
       // Histograms hold integers; store hundredths of a percentage point.
       tel_est_err_->Record(static_cast<uint64_t>(
           std::llround(std::abs(last_estimate_error_pp_) * 100.0)));
+      tel_est_garbage_pct_->Set(est_pct);
     }
   }
 
@@ -398,6 +422,66 @@ void Simulation::MaybeCollect() {
   }
 
   OpenWindowIfReady();
+}
+
+void Simulation::StageDecisionContext(obs::DecisionLedger& ledger,
+                                      const CollectionReport& report,
+                                      bool idle) {
+  obs::PolicyDecisionRecord ctx;
+  ctx.tick = tel_->now();
+  ctx.event = clock_.events;
+  ctx.collection = idle ? 0 : result_.collections;
+  ctx.app_io = clock_.app_io;
+  ctx.gc_io = clock_.gc_io;
+  const uint64_t total_io = clock_.total_io();
+  if (total_io > 0) {
+    ctx.io_pct = 100.0 * static_cast<double>(clock_.gc_io) /
+                 static_cast<double>(total_io);
+  }
+  ctx.db_used_bytes = store_->used_bytes();
+  ctx.actual_garbage_bytes = store_->actual_garbage_bytes();
+  if (ctx.db_used_bytes > 0) {
+    ctx.garbage_pct = 100.0 * static_cast<double>(ctx.actual_garbage_bytes) /
+                      static_cast<double>(ctx.db_used_bytes);
+  }
+  // Estimator panel: the policy's own estimate plus the spread across
+  // every attached estimator (policy + passives) — the disagreement
+  // signal the paper's Section 4 accuracy discussion is about.
+  bool have_any = false;
+  double est_min = 0.0;
+  double est_max = 0.0;
+  auto fold = [&](double est) {
+    if (est < 0.0) est = 0.0;
+    if (!have_any) {
+      est_min = est_max = est;
+      have_any = true;
+    } else {
+      if (est < est_min) est_min = est;
+      if (est > est_max) est_max = est;
+    }
+  };
+  if (estimator_ != nullptr) {
+    const double est = std::max(0.0, estimator_->Estimate());
+    ctx.estimate_bytes = static_cast<uint64_t>(std::llround(est));
+    fold(est);
+  }
+  for (GarbageEstimator* passive : passive_estimators_) {
+    fold(passive->Estimate());
+  }
+  if (have_any) {
+    ctx.estimator_spread_bytes =
+        static_cast<uint64_t>(std::llround(est_max - est_min));
+  }
+  ctx.collection_gc_io = report.gc_io();
+  ctx.bytes_reclaimed = report.bytes_reclaimed;
+  ledger.SetContext(ctx);
+}
+
+void Simulation::TakeTimeSeriesSample(obs::TimeSeriesSampler& sampler) {
+  sampler.Sample(clock_.events, tel_->now(), result_.collections,
+                 tel_->metrics());
+  tel_->Instant("timeseries_sample",
+                {{"event", clock_.events}, {"frame", sampler.total() - 1}});
 }
 
 void Simulation::Apply(const TraceEvent& event) {
@@ -469,6 +553,12 @@ void Simulation::Apply(const TraceEvent& event) {
   }
   MaybeCollect();
   SelfHealTick();
+  ODBGC_IF_TEL(tel_.get()) {
+    if (obs::TimeSeriesSampler* sampler = tel_->sampler();
+        sampler != nullptr && sampler->Due(clock_.events)) {
+      TakeTimeSeriesSample(*sampler);
+    }
+  }
   // Offer the reporter a sample every 1024 events; it throttles on wall
   // time itself, so this only bounds how often we assemble a sample.
   if (progress_ != nullptr && (clock_.events & 1023u) == 0) {
@@ -493,6 +583,10 @@ obs::ProgressSample Simulation::MakeProgressSample() const {
   s.gc_io = clock_.gc_io;
   s.has_estimate = last_estimate_valid_;
   s.estimate_error_pp = last_estimate_error_pp_;
+  s.pages_scrubbed = result_.pages_scrubbed;
+  s.scrub_cursor_partition = scrubber_.cursor_partition();
+  s.quarantined_partitions = store_->quarantined_count();
+  s.pending_corruption = store_->buffer_pool().pending_corruption_count();
   return s;
 }
 
@@ -558,6 +652,14 @@ SimResult Simulation::Finish() {
       tel_phase_span_open_ = false;
     }
     result_.telemetry = tel_->Snapshot();
+    if (const obs::DecisionLedger* ledger = tel_->ledger()) {
+      result_.decisions = ledger->Records();
+      result_.decisions_dropped = ledger->dropped();
+    }
+    if (const obs::TimeSeriesSampler* sampler = tel_->sampler()) {
+      result_.timeseries = sampler->Frames();
+      result_.timeseries_dropped = sampler->dropped();
+    }
   }
   if (progress_ != nullptr) progress_->Finish(MakeProgressSample());
   return result_;
@@ -603,6 +705,11 @@ void Simulation::RunIdlePeriod(uint32_t max_collections) {
     result_.idle_gc_io += report.gc_io();
     result_.total_reclaimed_bytes += report.bytes_reclaimed;
     result_.total_reclaimed_objects += report.objects_reclaimed;
+    ODBGC_IF_TEL(tel_.get()) {
+      if (obs::DecisionLedger* ledger = tel_->ledger()) {
+        StageDecisionContext(*ledger, report, /*idle=*/true);
+      }
+    }
     policy_->OnIdleCollection(
         CollectionOutcome{report.gc_io(), report.bytes_reclaimed}, clock_);
   }

@@ -65,9 +65,13 @@ class Simulation {
   // needs to continue deterministically: clock, accumulated results,
   // phase/window accounting, the store (partitions, objects, buffer
   // pool, fault injector, disk model), the collector, the policy with
-  // its owned estimator, the partition selector, and any passive
-  // estimators registered at save time. Telemetry is NOT checkpointed;
-  // byte-identical resume is guaranteed only for telemetry-off runs.
+  // its owned estimator, the partition selector, any passive estimators
+  // registered at save time, and — when telemetry is on — the telemetry
+  // state (logical ticks, every metric, the decision ledger and the
+  // time-series frames), so a crash/resume run exports byte-identical
+  // metric/decision/time-series streams. The structured trace recorder
+  // is the one exception: traces remain per-process, so byte-identical
+  // resume of a *trace export* is only guaranteed for capture-off runs.
   // RestoreState requires a simulation freshly built from the same
   // config (same component types and passive-estimator count).
   void SaveState(SnapshotWriter& w) const;
@@ -131,6 +135,12 @@ class Simulation {
   // Creates the telemetry context when the config enables it and attaches
   // it to the store's buffer pool, the collector and the policy.
   void InitTelemetry();
+  // Cold paths behind ODBGC_IF_TEL: stage the run-context half of the
+  // next ledger record (the policy appends its decision half from
+  // OnCollection/OnIdleCollection) and take one time-series frame.
+  void StageDecisionContext(obs::DecisionLedger& ledger,
+                            const CollectionReport& report, bool idle);
+  void TakeTimeSeriesSample(obs::TimeSeriesSampler& sampler);
   obs::ProgressSample MakeProgressSample() const;
 
   SimConfig config_;
@@ -141,11 +151,17 @@ class Simulation {
   // Telemetry (null unless enabled) and cached instrument handles.
   std::unique_ptr<obs::Telemetry> tel_;
   obs::Gauge* tel_garbage_pct_ = nullptr;
+  obs::Gauge* tel_est_garbage_pct_ = nullptr;
   obs::Histogram* tel_est_err_ = nullptr;
   obs::Counter* tel_pages_scrubbed_ = nullptr;
   obs::Counter* tel_quarantined_ = nullptr;
   obs::Counter* tel_repaired_ = nullptr;
   obs::Counter* tel_repair_pages_ = nullptr;
+  // Stall attribution: app-visible I/O stalls bucketed by cause
+  // (docs/OBSERVABILITY.md). The fault-retry cause lives in BufferPool.
+  obs::Histogram* tel_stall_gc_copy_ = nullptr;
+  obs::Histogram* tel_stall_scrub_ = nullptr;
+  obs::Histogram* tel_stall_repair_ = nullptr;
   bool tel_phase_span_open_ = false;
 
   // Live progress (not owned; null unless --progress).

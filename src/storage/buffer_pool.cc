@@ -56,6 +56,7 @@ void BufferPool::AttachTelemetry(obs::Telemetry* telemetry) {
   tc_.checksum_failures = m.GetCounter("storage.checksum_failures");
   tc_.bitflips = m.GetCounter("storage.fault.bitflips");
   tc_.device_faults = m.GetCounter("storage.fault.device_faults");
+  tc_.fault_retry_stall = m.GetHistogram("stall.fault_retry_io");
 }
 
 void BufferPool::RecordTransfer(PageId page, IoContext ctx, bool is_write) {
@@ -125,6 +126,7 @@ void BufferPool::RecordTransfer(PageId page, IoContext ctx, bool is_write) {
     if (outcome.retries > 0) {
       tel_->Advance(outcome.retries);  // retries are real transfers
       tc_.fault_retries->Add(outcome.retries);
+      if (app) tc_.fault_retry_stall->Record(outcome.retries);
       tel_->Instant("fault_retry", {{"partition", page.partition},
                                     {"page", page.page_index},
                                     {"retries", outcome.retries},

@@ -317,6 +317,9 @@ class BufferPool {
     obs::Counter* checksum_failures = nullptr;
     obs::Counter* bitflips = nullptr;
     obs::Counter* device_faults = nullptr;
+    // Stall attribution: retry counts of application-context transfers
+    // that hit transient faults (gc-context retries are not app-visible).
+    obs::Histogram* fault_retry_stall = nullptr;
   } tc_;
   std::vector<Frame> frames_;
   int32_t lru_head_ = kNoFrame;  // most recently used

@@ -4,9 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/decision_ledger.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
+#include "obs/timeseries.h"
 #include "obs/trace_recorder.h"
+#include "util/snapshot.h"
 
 namespace odbgc::obs {
 namespace {
@@ -221,6 +224,238 @@ TEST(TelemetryTest, ScopedSpanBalancesAndNullIsNoop) {
 
   // Null telemetry: every ScopedSpan operation is a no-op.
   { ScopedSpan nothing(nullptr, "x"); }
+}
+
+// --- histogram edge cases -------------------------------------------------
+
+TEST(HistogramTest, ExactPowersOfTwoKeepMinMaxAndExtremesExact) {
+  // 2^k is the first value of bucket k+1 — every sample here sits on a
+  // bucket boundary, the worst case for the log-scale layout.
+  Histogram h;
+  uint64_t sum = 0;
+  for (int k = 0; k <= 62; ++k) {
+    h.Record(uint64_t{1} << k);
+    sum += uint64_t{1} << k;
+  }
+  EXPECT_EQ(h.count(), 63u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), uint64_t{1} << 62);
+  EXPECT_EQ(h.mean(), static_cast<double>(sum) / 63.0);
+  EXPECT_EQ(h.Percentile(0.0), 1.0);
+  EXPECT_EQ(h.Percentile(100.0), static_cast<double>(uint64_t{1} << 62));
+}
+
+TEST(HistogramTest, BucketBoundaryNeighborsKeepPercentilesOrdered) {
+  // 2^k - 1 and 2^k land in adjacent buckets; percentiles must stay
+  // monotone and inside the observed range across that boundary.
+  Histogram h;
+  const uint64_t k = uint64_t{1} << 10;
+  h.Record(k - 1);
+  h.Record(k);
+  h.Record(k + 1);
+  double prev = h.Percentile(0.0);
+  for (double p : {10.0, 50.0, 90.0, 99.0, 100.0}) {
+    const double v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    EXPECT_GE(v, static_cast<double>(k - 1)) << "p=" << p;
+    EXPECT_LE(v, static_cast<double>(k + 1)) << "p=" << p;
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, P99OnEmptyAndSingleSample) {
+  Histogram empty;
+  EXPECT_EQ(empty.Percentile(99.0), 0.0);
+
+  Histogram single;
+  single.Record(5);
+  EXPECT_EQ(single.Percentile(99.0), 5.0);
+}
+
+TEST(HistogramTest, SaveRestoreRoundTripIsBitExact) {
+  Histogram h;
+  h.Record(0);
+  h.Record(1);
+  h.Record(1023);
+  h.Record(1024);
+  h.Record(UINT64_MAX);
+  SnapshotWriter w;
+  h.SaveState(w);
+
+  Histogram restored;
+  restored.Record(7);  // pre-existing state must be overwritten
+  SnapshotReader r(w.data());
+  restored.RestoreState(r);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(restored.count(), h.count());
+  EXPECT_EQ(restored.min(), h.min());
+  EXPECT_EQ(restored.max(), h.max());
+  EXPECT_EQ(restored.mean(), h.mean());
+  for (double p : {50.0, 95.0, 99.0}) {
+    EXPECT_EQ(restored.Percentile(p), h.Percentile(p));
+  }
+}
+
+TEST(MetricsRegistryTest, CounterOverflowWrapsModulo64Bits) {
+  // Counters are plain uint64 adds: overflow wraps (defined unsigned
+  // behavior) rather than saturating. A run long enough to wrap a
+  // counter is outside the design envelope, but the behavior is pinned
+  // so a wrap shows up as a small value, not UB.
+  MetricsRegistry m;
+  Counter* c = m.GetCounter("test.wrap");
+  c->Add(UINT64_MAX);
+  EXPECT_EQ(c->value, UINT64_MAX);
+  c->Add(2);
+  EXPECT_EQ(c->value, 1u);
+  c->Increment();
+  EXPECT_EQ(c->value, 2u);
+}
+
+TEST(MetricsRegistryTest, SaveRestoreIsRegistrationOrderIndependent) {
+  MetricsRegistry a;
+  a.GetCounter("z.counter")->Add(42);
+  a.GetCounter("a.counter")->Add(7);
+  a.GetGauge("m.gauge")->Set(2.5);
+  a.GetHistogram("h.hist")->Record(100);
+
+  SnapshotWriter w;
+  a.SaveState(w);
+
+  // The restoring registry registered the same ids in a different order
+  // (lazy registration order differs across configs); restored values
+  // must land on the right instruments anyway.
+  MetricsRegistry b;
+  Counter* pre = b.GetCounter("a.counter");
+  b.GetHistogram("h.hist");
+  SnapshotReader r(w.data());
+  b.RestoreState(r);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(pre->value, 7u);  // handle stability across restore
+  EXPECT_EQ(b.GetCounter("z.counter")->value, 42u);
+  EXPECT_EQ(b.GetGauge("m.gauge")->value, 2.5);
+  EXPECT_EQ(b.GetHistogram("h.hist")->count(), 1u);
+
+  // And the snapshots (the JSON surface) agree entirely.
+  TelemetrySnapshot sa = a.Snapshot();
+  TelemetrySnapshot sb = b.Snapshot();
+  ASSERT_EQ(sa.counters.size(), sb.counters.size());
+  for (size_t i = 0; i < sa.counters.size(); ++i) {
+    EXPECT_EQ(sa.counters[i].id, sb.counters[i].id);
+    EXPECT_EQ(sa.counters[i].value, sb.counters[i].value);
+  }
+}
+
+// --- decision ledger ------------------------------------------------------
+
+PolicyDecisionRecord ContextAt(uint64_t tick) {
+  PolicyDecisionRecord ctx;
+  ctx.tick = tick;
+  ctx.event = tick * 2;
+  ctx.collection = tick;
+  ctx.app_io = tick * 10;
+  ctx.io_pct = 12.5;
+  ctx.db_used_bytes = 1 << 20;
+  return ctx;
+}
+
+TEST(DecisionLedgerTest, RingShedsOldestAndCountsDropped) {
+  DecisionLedger ledger(4);
+  for (uint64_t i = 0; i < 6; ++i) {
+    ledger.SetContext(ContextAt(i));
+    ledger.Append("saga", DecisionReason::kSlopeSolve, 10.0, 100 + i, 10.0);
+  }
+  EXPECT_EQ(ledger.size(), 4u);
+  EXPECT_EQ(ledger.total(), 6u);
+  EXPECT_EQ(ledger.dropped(), 2u);
+  std::vector<PolicyDecisionRecord> records = ledger.Records();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records.front().seq, 2u);  // oldest surviving decision
+  EXPECT_EQ(records.back().seq, 5u);
+  EXPECT_EQ(records.front().tick, 2u);
+  EXPECT_EQ(records.back().next_threshold, 105u);
+}
+
+TEST(DecisionLedgerTest, SaveRestoreRoundTripsRecordsExactly) {
+  DecisionLedger ledger(8);
+  for (uint64_t i = 0; i < 5; ++i) {
+    ledger.SetContext(ContextAt(i));
+    ledger.Append(i % 2 == 0 ? "saio" : "saga",
+                  i % 2 == 0 ? DecisionReason::kBudgetSolve
+                             : DecisionReason::kDtMinClamp,
+                  3.5 * static_cast<double>(i), 50 + i, 10.0);
+  }
+  SnapshotWriter w;
+  ledger.SaveState(w);
+
+  DecisionLedger restored(8);
+  SnapshotReader r(w.data());
+  restored.RestoreState(r);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(restored.total(), ledger.total());
+  std::vector<PolicyDecisionRecord> a = ledger.Records();
+  std::vector<PolicyDecisionRecord> b = restored.Records();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seq, b[i].seq);
+    EXPECT_EQ(a[i].policy, b[i].policy);
+    EXPECT_EQ(a[i].reason, b[i].reason);
+    EXPECT_EQ(a[i].chosen_interval, b[i].chosen_interval);
+    EXPECT_EQ(a[i].next_threshold, b[i].next_threshold);
+    EXPECT_EQ(a[i].io_pct, b[i].io_pct);
+  }
+}
+
+TEST(DecisionLedgerTest, ReasonNamesAreStableWireStrings) {
+  EXPECT_STREQ(DecisionReasonName(DecisionReason::kBudgetSolve),
+               "budget_solve");
+  EXPECT_STREQ(DecisionReasonName(DecisionReason::kSlopeSolve),
+               "slope_solve");
+  EXPECT_STREQ(DecisionReasonName(DecisionReason::kIdleReschedule),
+               "idle_reschedule");
+}
+
+// --- time-series sampler --------------------------------------------------
+
+TEST(TimeSeriesSamplerTest, DueHonorsIntervalAndZeroDisables) {
+  TimeSeriesSampler sampler(256, 16);
+  EXPECT_TRUE(sampler.Due(256));
+  EXPECT_TRUE(sampler.Due(512));
+  EXPECT_FALSE(sampler.Due(255));
+  TimeSeriesSampler off(0, 16);
+  EXPECT_FALSE(off.Due(256));
+}
+
+TEST(TimeSeriesSamplerTest, RingAndSaveRestoreRoundTrip) {
+  MetricsRegistry m;
+  Counter* c = m.GetCounter("x.count");
+  TimeSeriesSampler sampler(1, 4);
+  for (uint64_t i = 0; i < 6; ++i) {
+    c->Increment();
+    sampler.Sample(i, i * 3, i, m);
+  }
+  EXPECT_EQ(sampler.size(), 4u);
+  EXPECT_EQ(sampler.total(), 6u);
+  EXPECT_EQ(sampler.dropped(), 2u);
+
+  SnapshotWriter w;
+  sampler.SaveState(w);
+  TimeSeriesSampler restored(1, 4);
+  SnapshotReader r(w.data());
+  restored.RestoreState(r);
+  ASSERT_TRUE(r.ok());
+  std::vector<TimeSeriesFrame> a = sampler.Frames();
+  std::vector<TimeSeriesFrame> b = restored.Frames();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seq, b[i].seq);
+    EXPECT_EQ(a[i].event, b[i].event);
+    EXPECT_EQ(a[i].tick, b[i].tick);
+    ASSERT_EQ(a[i].metrics.counters.size(), b[i].metrics.counters.size());
+    EXPECT_EQ(a[i].metrics.counters[0].value,
+              b[i].metrics.counters[0].value);
+  }
+  EXPECT_EQ(b.front().seq, 2u);  // oldest surviving frame
+  EXPECT_EQ(b.back().metrics.counters[0].value, 6u);
 }
 
 }  // namespace

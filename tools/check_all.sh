@@ -17,14 +17,16 @@ cmake --build build-check -j "$(nproc)"
 ctest --test-dir build-check --output-on-failure
 
 # Telemetry smoke: a real OO7 run must export a valid Chrome trace
-# containing the core span taxonomy, and --version must answer.
+# containing the core span taxonomy plus the controller-introspection
+# instants, under strict name checking, and --version must answer.
 trace_tmp="$(mktemp /tmp/odbgc_trace.XXXXXX.json)"
 trap 'rm -f "$trace_tmp"' EXIT
 ./build-check/tools/odbgc_run --version
 ./build-check/tools/odbgc_run --workload=oo7 --policy=saga \
-    --saga-frac=0.10 --trace-out="$trace_tmp" > /dev/null
-./build-check/tools/odbgc_tracecheck \
-    --require-span=collection,scan,copy,page_read,page_write,policy_decision \
+    --saga-frac=0.10 --trace-out="$trace_tmp" \
+    --decisions-out=/dev/null --timeseries-out=/dev/null > /dev/null
+./build-check/tools/odbgc_tracecheck --strict-names \
+    --require-span=collection,scan,copy,page_read,page_write,policy_decision,timeseries_sample \
     "$trace_tmp"
 
 # Checkpoint/resume smoke on OO7 Small': kill a SAIO run halfway via
@@ -50,6 +52,25 @@ set -e
     --json="$ckpt_dir/resumed.json" > /dev/null
 cmp "$ckpt_dir/golden.json" "$ckpt_dir/resumed.json"
 echo "checkpoint/resume smoke: byte-identical after halfway kill"
+
+# Controller-introspection smoke: SAIO and SAGA runs over OO7 Small'
+# must export decision ledgers whose A/B diff reproduces the paper's
+# accuracy ordering (figures 4/5): SAIO holds the I/O target better,
+# SAGA holds the garbage target better.
+"$run" --workload=oo7 --oo7=smallprime --policy=saio --seed=4 \
+    --saio-frac=0.10 --decisions-out="$ckpt_dir/saio.jsonl" > /dev/null
+"$run" --workload=oo7 --oo7=smallprime --policy=saga --seed=4 \
+    --saga-frac=0.10 --decisions-out="$ckpt_dir/saga.jsonl" > /dev/null
+analyze_out="$(./build-check/tools/odbgc_analyze --diff \
+    --a="$ckpt_dir/saio.jsonl" --b="$ckpt_dir/saga.jsonl" \
+    --label-a=saio --label-b=saga)"
+echo "$analyze_out" | grep -q 'io_accuracy_winner=saio' || {
+  echo "FAIL: analyze diff lost fig4 ordering:"; echo "$analyze_out"
+  exit 1; }
+echo "$analyze_out" | grep -q 'garbage_accuracy_winner=saga' || {
+  echo "FAIL: analyze diff lost fig5 ordering:"; echo "$analyze_out"
+  exit 1; }
+echo "analyze smoke: SAIO wins I/O accuracy, SAGA wins garbage accuracy"
 
 # Sweep failure isolation: one deliberately crashed run must land as
 # structured failure data while the other runs stay byte-identical to a

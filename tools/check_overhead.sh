@@ -3,8 +3,8 @@
 # telemetry layer when it is compiled in but idle (no Telemetry object
 # attached). Builds bench/micro_policy_overhead twice — with
 # -DODBGC_TELEMETRY=OFF and with the default ON — runs both, and fails
-# if the *geometric mean* of the per-benchmark median regressions
-# exceeds the budget (2% by default; override: TOLERANCE_PCT=N).
+# if the *geometric mean* of the per-benchmark regressions exceeds the
+# budget (2% by default; override: TOLERANCE_PCT=N).
 #
 # Why the geomean and not per-benchmark gates: these functions run in
 # 1.5–20 ns, where code placement alone (function alignment, BTB
@@ -14,6 +14,14 @@
 # across-the-board regression still trips the gate. Per-benchmark
 # deltas are printed for inspection either way.
 #
+# Why interleaved rounds: running the whole OFF suite then the whole ON
+# suite bakes machine drift (thermal throttle, noisy neighbors) into
+# one side of every comparison — on a busy host that alone swings the
+# geomean by ±8%. Instead the two binaries run alternately for ROUNDS
+# rounds (default 3) and each benchmark keeps its per-side minimum:
+# minima discard slow outliers, and interleaving gives both sides the
+# same exposure to any drift.
+#
 # Usage: tools/check_overhead.sh [build-dir-prefix]
 set -euo pipefail
 
@@ -21,36 +29,45 @@ cd "$(dirname "$0")/.."
 
 prefix="${1:-build-overhead}"
 tolerance="${TOLERANCE_PCT:-2}"
-repetitions="${REPETITIONS:-7}"
+repetitions="${REPETITIONS:-5}"
+rounds="${ROUNDS:-3}"
 
-build_and_run() {
-  local dir="$1" telemetry="$2" out="$3"
+build() {
+  local dir="$1" telemetry="$2"
   cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release \
       -DODBGC_TELEMETRY="$telemetry" \
       -DCMAKE_CXX_FLAGS="-falign-functions=64" > /dev/null
   cmake --build "$dir" -j "$(nproc)" --target micro_policy_overhead \
       > /dev/null
+}
+
+run_once() {
+  local dir="$1" out="$2"
   "./$dir/bench/micro_policy_overhead" \
       --benchmark_repetitions="$repetitions" \
       --benchmark_report_aggregates_only=true \
       --benchmark_format=json > "$out"
 }
 
-off_json="$(mktemp /tmp/overhead_off.XXXXXX.json)"
-on_json="$(mktemp /tmp/overhead_on.XXXXXX.json)"
-trap 'rm -f "$off_json" "$on_json"' EXIT
+tmpdir="$(mktemp -d /tmp/overhead.XXXXXX)"
+trap 'rm -rf "$tmpdir"' EXIT
 
-echo "== building + running micro_policy_overhead (ODBGC_TELEMETRY=OFF)"
-build_and_run "$prefix-off" OFF "$off_json"
-echo "== building + running micro_policy_overhead (ODBGC_TELEMETRY=ON, idle)"
-build_and_run "$prefix-on" ON "$on_json"
+echo "== building micro_policy_overhead (ODBGC_TELEMETRY=OFF)"
+build "$prefix-off" OFF
+echo "== building micro_policy_overhead (ODBGC_TELEMETRY=ON)"
+build "$prefix-on" ON
+echo "== running $rounds interleaved OFF/ON rounds (idle telemetry)"
+for round in $(seq 1 "$rounds"); do
+  run_once "$prefix-off" "$tmpdir/off_$round.json"
+  run_once "$prefix-on" "$tmpdir/on_$round.json"
+done
 
-python3 - "$off_json" "$on_json" "$tolerance" <<'PY'
+python3 - "$tmpdir" "$rounds" "$tolerance" <<'PY'
 import json
 import math
 import sys
 
-off_path, on_path, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+tmpdir, rounds, tolerance = sys.argv[1], int(sys.argv[2]), float(sys.argv[3])
 
 def medians(path):
     with open(path) as f:
@@ -60,8 +77,14 @@ def medians(path):
     return {b["run_name"]: b["real_time"] for b in doc["benchmarks"]
             if b.get("aggregate_name") == "median"}
 
-off = medians(off_path)
-on = medians(on_path)
+def best(side):
+    runs = [medians(f"{tmpdir}/{side}_{r}.json")
+            for r in range(1, rounds + 1)]
+    return {name: min(run[name] for run in runs if name in run)
+            for name in runs[0]}
+
+off = best("off")
+on = best("on")
 common = sorted(set(off) & set(on))
 if not common:
     sys.exit("no common benchmarks between the two runs")

@@ -185,6 +185,8 @@ int main(int argc, char** argv) {
                  "  observability: --version  --telemetry  "
                  "--trace-out=FILE [--no-page-events] "
                  "[--trace-events-cap=N]  --progress\n"
+                 "                 --decisions-out=FILE  "
+                 "--timeseries-out=FILE [--sample-every=N]\n"
                  "  durability:    --checkpoint=FILE --checkpoint-every=N  "
                  "--resume  --crash-at-event=N  --deadline-ms=X\n"
                  "  verification:  --verify=none|heap|partition "
@@ -255,13 +257,28 @@ int main(int argc, char** argv) {
   // Observability flags. --trace-out implies trace capture; --telemetry
   // alone collects metrics only (cheapest useful configuration).
   std::string trace_out = flags.GetString("trace-out", "");
-  config.telemetry.enabled =
-      flags.GetBool("telemetry", false) || !trace_out.empty();
+  std::string decisions_out = flags.GetString("decisions-out", "");
+  std::string timeseries_out = flags.GetString("timeseries-out", "");
+  const int64_t sample_every = flags.GetInt(
+      "sample-every",
+      static_cast<int64_t>(obs::TimeSeriesSampler::kDefaultIntervalEvents));
+  config.telemetry.enabled = flags.GetBool("telemetry", false) ||
+                             !trace_out.empty() || !decisions_out.empty() ||
+                             !timeseries_out.empty();
   config.telemetry.capture_trace = !trace_out.empty();
   config.telemetry.page_events = !flags.GetBool("no-page-events", false);
   config.telemetry.max_trace_events = static_cast<size_t>(flags.GetInt(
       "trace-events-cap",
       static_cast<int64_t>(config.telemetry.max_trace_events)));
+  config.telemetry.record_decisions = !decisions_out.empty();
+  if (!timeseries_out.empty()) {
+    if (sample_every <= 0) {
+      std::fprintf(stderr, "error: --sample-every must be positive\n");
+      return kExitUsage;
+    }
+    config.telemetry.sample_interval_events =
+        static_cast<uint64_t>(sample_every);
+  }
   const bool progress = flags.GetBool("progress", false);
 
   // Post-run verification: --verify=heap runs the full cross-partition
@@ -281,10 +298,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return kExitUsage;
   }
-  if (!trace_out.empty() && !obs::GetBuildInfo().telemetry) {
+  if ((!trace_out.empty() || !decisions_out.empty() ||
+       !timeseries_out.empty()) &&
+      !obs::GetBuildInfo().telemetry) {
     std::fprintf(stderr,
-                 "error: --trace-out requires a build with "
-                 "ODBGC_TELEMETRY=ON\n");
+                 "error: --trace-out/--decisions-out/--timeseries-out "
+                 "require a build with ODBGC_TELEMETRY=ON\n");
     return 2;
   }
 
@@ -428,6 +447,34 @@ int main(int argc, char** argv) {
       return kExitIo;
     }
     std::printf("json report       %s\n", json_path.c_str());
+  }
+  if (!decisions_out.empty()) {
+    if (!WriteDecisionsJsonl(r, decisions_out)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   decisions_out.c_str());
+      return kExitIo;
+    }
+    std::printf("decision ledger   %s (%zu records", decisions_out.c_str(),
+                r.decisions.size());
+    if (r.decisions_dropped > 0) {
+      std::printf(", %llu dropped at cap",
+                  static_cast<unsigned long long>(r.decisions_dropped));
+    }
+    std::printf(")\n");
+  }
+  if (!timeseries_out.empty()) {
+    if (!WriteTimeSeriesJsonl(r, timeseries_out)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   timeseries_out.c_str());
+      return kExitIo;
+    }
+    std::printf("time series       %s (%zu frames", timeseries_out.c_str(),
+                r.timeseries.size());
+    if (r.timeseries_dropped > 0) {
+      std::printf(", %llu dropped at cap",
+                  static_cast<unsigned long long>(r.timeseries_dropped));
+    }
+    std::printf(")\n");
   }
   if (!trace_out.empty()) {
     obs::Telemetry* tel = sim.telemetry();

@@ -3,14 +3,21 @@
 //
 //   odbgc_tracecheck run.json
 //   odbgc_tracecheck --require-span=collection --require-span=scan t.json
+//   odbgc_tracecheck --strict-names t.json
 //
 // Exit 0: the file parses with util/json, is a trace_event object with a
 // traceEvents array, every event carries the required ph/ts/pid/tid
-// fields (plus name for non-metadata events and "s" for instants), and
-// B/E spans balance per tid. Exit 1: any violation (each is printed).
+// fields (plus name for non-metadata events and "s" for instants), B/E
+// spans balance per tid, and timestamps never decrease within a tid
+// (the simulation's tick timebase is monotonic, so a regression means a
+// corrupted or reordered export). With --strict-names, every span and
+// instant name must come from the known vocabulary below — a tripwire
+// for renamed or misspelled emit sites. Exit 1: any violation (each is
+// printed).
 
 #include <cstdio>
 #include <cstring>
+#include <iterator>
 #include <map>
 #include <string>
 #include <vector>
@@ -32,6 +39,34 @@ bool ReadFile(const std::string& path, std::string* out) {
   return true;
 }
 
+// Every span and instant name the simulator emits (--strict-names).
+// Grown alongside the emit sites; docs/OBSERVABILITY.md carries the
+// same table with the meaning of each.
+const char* const kKnownSpanNames[] = {
+    "collection", "collection_batch", "copy",           "get_trace",
+    "idle_period", "phase",           "plan",           "recovery",
+    "remembered_set", "repair",       "run_simulation", "scan",
+    "verifier",
+};
+const char* const kKnownInstantNames[] = {
+    "collection_aborted_corrupt",
+    "crash",
+    "fault_retry",
+    "page_read",
+    "page_write",
+    "policy_decision",
+    "quarantine",
+    "timeseries_sample",
+};
+
+bool NameKnown(const char* const* table, size_t count,
+               const std::string& name) {
+  for (size_t i = 0; i < count; ++i) {
+    if (name == table[i]) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -47,9 +82,11 @@ int main(int argc, char** argv) {
   // Repeated --require-span flags collapse to the last value in the
   // parser; accept a comma-separated list instead.
   std::string require = flags.GetString("require-span", "");
+  const bool strict_names = flags.GetBool("strict-names", false);
   if (flags.GetBool("help", false) || flags.positional().size() != 1) {
     std::fprintf(stderr,
-                 "usage: odbgc_tracecheck [--require-span=a,b,...] FILE\n");
+                 "usage: odbgc_tracecheck [--require-span=a,b,...] "
+                 "[--strict-names] FILE\n");
     return flags.GetBool("help", false) ? 0 : 2;
   }
   const std::string& path = flags.positional()[0];
@@ -82,9 +119,11 @@ int main(int argc, char** argv) {
     ++violations;
   };
 
-  // Per-tid span stack depth (B/E balance) and the set of span/instant
-  // names seen, for --require-span.
+  // Per-tid span stack depth (B/E balance), last-seen timestamp
+  // (monotonicity), and the set of span/instant names seen, for
+  // --require-span.
   std::map<double, long> depth;
+  std::map<double, double> last_ts;
   std::map<std::string, uint64_t> names_seen;
   const std::vector<JsonValue>& items = events->array_items();
   for (size_t i = 0; i < items.size(); ++i) {
@@ -112,10 +151,27 @@ int main(int argc, char** argv) {
       continue;
     }
     if (tid == nullptr || !tid->is_number()) continue;
+    // The simulation's tick timebase only moves forward: within a tid,
+    // a decreasing ts means a reordered or corrupted export. Metadata
+    // ('M') events carry no meaningful ts and are exempt.
+    if (phc != 'M' && ts != nullptr && ts->is_number()) {
+      const double tid_key = tid->number_value();
+      auto it = last_ts.find(tid_key);
+      if (it != last_ts.end() && ts->number_value() < it->second) {
+        complain(i, "ts decreased within tid");
+      } else {
+        last_ts[tid_key] = ts->number_value();
+      }
+    }
     switch (phc) {
       case 'B':
         ++depth[tid->number_value()];
         ++names_seen[name->string_value()];
+        if (strict_names &&
+            !NameKnown(kKnownSpanNames, std::size(kKnownSpanNames),
+                       name->string_value())) {
+          complain(i, "span name outside the known vocabulary");
+        }
         break;
       case 'E':
         if (--depth[tid->number_value()] < 0) {
@@ -128,6 +184,11 @@ int main(int argc, char** argv) {
           complain(i, "instant missing scope \"s\"");
         }
         ++names_seen[name->string_value()];
+        if (strict_names &&
+            !NameKnown(kKnownInstantNames, std::size(kKnownInstantNames),
+                       name->string_value())) {
+          complain(i, "instant name outside the known vocabulary");
+        }
         break;
       }
       case 'C':
