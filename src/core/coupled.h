@@ -46,6 +46,12 @@ class CoupledIoPolicy : public RatePolicy {
                     const SimClock& clock) override;
   std::string name() const override;
 
+  // Budget coordination: retargets the base I/O budget the garbage
+  // scale multiplies (the scale clamps are unchanged).
+  void SetIoBudget(double io_frac) override {
+    if (io_frac > 0.0 && io_frac < 1.0) options_.io_frac = io_frac;
+  }
+
   GarbageEstimator& estimator() { return *estimator_; }
   const Options& options() const { return options_; }
   double last_effective_frac() const { return last_effective_frac_; }

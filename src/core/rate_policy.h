@@ -47,6 +47,17 @@ class RatePolicy {
 
   virtual std::string name() const = 0;
 
+  // --- Multi-tenant budget coordination (sim/multi_tenant.h) ---
+  //
+  // Retargets the policy's GC I/O budget to `io_frac` of total I/O. A
+  // global coordinator calls this between collections to rebalance one
+  // fleet-wide budget across per-shard policies; policies without an
+  // I/O-fraction knob (fixed rate, SAGA, the allocation baselines)
+  // ignore it. Takes effect at the next OnCollection solve — the armed
+  // threshold is not retroactively moved, so a budget change never
+  // reorders an already-scheduled collection.
+  virtual void SetIoBudget(double io_frac) { (void)io_frac; }
+
   // Checkpoint hooks (sim/checkpoint.h). Implementations serialize their
   // mutable scheduling state — thresholds, histories, smoothed slopes —
   // but not constructor parameters (those travel with SimConfig). The

@@ -52,6 +52,12 @@ class SaioPolicy : public RatePolicy {
   // Enables/configures opportunism (disabled yields base-paper behavior).
   void set_opportunism(bool enabled, uint64_t min_idle_yield_bytes = 4096);
 
+  // Budget coordination: clamps to (0, 1) open interval; the new
+  // fraction feeds the next OnCollection solve.
+  void SetIoBudget(double io_frac) override {
+    if (io_frac > 0.0 && io_frac < 1.0) io_frac_ = io_frac;
+  }
+
   double io_frac() const { return io_frac_; }
   size_t history_size() const { return history_size_; }
   uint64_t next_app_io_threshold() const { return next_app_io_threshold_; }

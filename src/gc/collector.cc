@@ -88,6 +88,16 @@ void Collector::PlanPartition(const ObjectStore& store, PartitionId partition,
   for (ObjectId root : store.roots()) {
     if (headers[root].partition == partition) visit(root);
   }
+  // Externally pinned objects (the cross-shard remembered set): a
+  // referencer in another store holds them live, exactly as an in-store
+  // cross-partition in-ref would. The pin list is sorted by id, so this
+  // walk is deterministic.
+  for (const auto& [pinned, count] : store.external_pins()) {
+    (void)count;
+    if (store.Exists(pinned) && headers[pinned].partition == partition) {
+      visit(pinned);
+    }
+  }
   // The newest allocation is pinned: the application still holds a
   // transient reference to it even if it is not linked in yet.
   const ObjectId newest = store.newest_object();
@@ -137,6 +147,8 @@ void Collector::PlanPartition(const ObjectStore& store, PartitionId partition,
   for (ObjectId id : part.objects()) {
     if (mark.Test(id)) continue;
     ODBGC_CHECK_MSG(!store.IsRoot(id), "collector reclaiming a root");
+    ODBGC_CHECK_MSG(!store.IsExternallyPinned(id),
+                    "collector reclaiming an externally pinned object");
     plan->reclaimed_bytes += store.object(id).size;
     reclaim.push_back(id);
   }

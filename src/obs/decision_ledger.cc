@@ -32,6 +32,10 @@ const char* DecisionReasonName(DecisionReason r) {
       return "dt_max_clamp";
     case DecisionReason::kIdleReschedule:
       return "idle_reschedule";
+    case DecisionReason::kBudgetGrant:
+      return "budget_grant";
+    case DecisionReason::kBudgetRevoke:
+      return "budget_revoke";
   }
   return "unknown";
 }

@@ -31,6 +31,8 @@ enum class DecisionReason : uint8_t {
   kDtMinClamp,           // saga: solved dt clamped up to dt_min
   kDtMaxClamp,           // saga: solved dt clamped down to dt_max
   kIdleReschedule,       // saga: threshold recomputed after an idle collection
+  kBudgetGrant,          // coordinator: shard's GC I/O budget raised
+  kBudgetRevoke,         // coordinator: shard's GC I/O budget lowered
 };
 
 // Stable wire name for a reason code ("budget_solve", ...).

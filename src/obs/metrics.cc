@@ -34,6 +34,15 @@ void Histogram::Record(uint64_t value) {
   if (value > max_) max_ = value;
 }
 
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
 double Histogram::Percentile(double p) const {
   if (count_ == 0) return 0.0;
   if (p <= 0.0) return static_cast<double>(min());

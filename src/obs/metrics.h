@@ -57,6 +57,13 @@ class Histogram {
 
   const uint64_t* buckets() const { return buckets_; }
 
+  // Folds another histogram's samples into this one (bucket-wise sum plus
+  // the running stats). Used to aggregate per-shard stall histograms into
+  // one fleet-wide distribution; merging preserves every per-bucket count,
+  // so percentiles of the merge equal percentiles of the pooled samples
+  // at this histogram's bucket resolution.
+  void Merge(const Histogram& other);
+
   // Bit-exact serialization (buckets + running stats) for checkpointed
   // telemetry; see MetricsRegistry::SaveState.
   void SaveState(SnapshotWriter& w) const;

@@ -55,7 +55,9 @@ const char* CheckpointErrorName(CheckpointError error);
 // v3: telemetry state (logical ticks, metrics registry, decision ledger,
 // time-series frames) as a length-prefixed blob — empty for
 // telemetry-off runs.
-inline constexpr uint32_t kCheckpointVersion = 3;
+// v4: the object store serializes external pins (the cross-shard
+// remembered set) between the root list and the newest-allocation pin.
+inline constexpr uint32_t kCheckpointVersion = 4;
 inline constexpr uint32_t kCheckpointFooterMagic = 0x54504b43;  // "CKPT"
 
 // Hash of the configuration fields that determine simulation behavior.

@@ -1,0 +1,132 @@
+#include "sim/client_mux.h"
+
+#include <limits>
+#include <utility>
+
+#include "sim/multi_client.h"
+#include "util/check.h"
+
+namespace odbgc {
+
+size_t ClientMux::AddClient(std::unique_ptr<EventSource> source,
+                            const MuxClientOptions& options) {
+  ODBGC_CHECK(source != nullptr);
+  ODBGC_CHECK(options.base_chunk > 0);
+  ODBGC_CHECK_MSG(events_drawn_ == 0 && !turn_active_,
+                  "AddClient after the first Next()");
+  Client c;
+  c.offset = next_offset_;
+  const uint32_t max_id = source->max_object_id();
+  ODBGC_CHECK_MSG(next_offset_ <=
+                      std::numeric_limits<uint32_t>::max() - (max_id + 1),
+                  "client id ranges overflow the 32-bit id space");
+  next_offset_ += max_id + 1;
+  c.source = std::move(source);
+  c.rng = Rng(options.seed);
+  c.options = options;
+  clients_.push_back(std::move(c));
+  ++alive_;
+  return clients_.size() - 1;
+}
+
+size_t ClientMux::AddClient(std::shared_ptr<const Trace> trace,
+                            const MuxClientOptions& options) {
+  ODBGC_CHECK(trace != nullptr);
+  const uint32_t max_id = MaxObjectId(*trace);
+  return AddClient(
+      std::make_unique<TraceCursorSource>(std::move(trace), max_id),
+      options);
+}
+
+bool ClientMux::StartTurn() {
+  // Round-robin from cursor_; a pass that finds only sleeping clients
+  // fast-forwards round_ to the earliest wake-up instead of spinning.
+  while (alive_ > 0) {
+    uint64_t earliest_wake = std::numeric_limits<uint64_t>::max();
+    const size_t n = clients_.size();
+    for (size_t scanned = 0; scanned < n; ++scanned) {
+      if (cursor_ >= n) {
+        cursor_ = 0;
+        ++round_;
+      }
+      const size_t idx = cursor_++;
+      Client& c = clients_[idx];
+      if (c.exhausted) continue;
+      if (c.sleep_until_round > round_) {
+        if (c.sleep_until_round < earliest_wake) {
+          earliest_wake = c.sleep_until_round;
+        }
+        continue;
+      }
+      // Found a turn: arm the budget (chunk plus seeded jitter).
+      current_ = idx;
+      turn_budget_ = c.options.base_chunk;
+      if (c.options.chunk_jitter > 0) {
+        turn_budget_ += static_cast<uint32_t>(
+            c.rng.NextBelow(c.options.chunk_jitter + 1));
+      }
+      turn_active_ = true;
+      return true;
+    }
+    // Every alive client is thinking: jump time forward.
+    if (earliest_wake == std::numeric_limits<uint64_t>::max()) {
+      return false;  // defensive; alive_ should have been 0
+    }
+    round_ = earliest_wake;
+  }
+  return false;
+}
+
+void ClientMux::EndTurn() {
+  Client& c = clients_[current_];
+  if (!c.exhausted && c.options.think_time > 0) {
+    const uint64_t rest = c.rng.NextBelow(c.options.think_time + 1);
+    if (rest > 0) c.sleep_until_round = round_ + 1 + (rest - 1);
+  }
+  turn_active_ = false;
+  turn_budget_ = 0;
+}
+
+bool ClientMux::Next(TraceEvent* out, uint32_t* client) {
+  while (alive_ > 0) {
+    if (!turn_active_ && !StartTurn()) return false;
+    Client& c = clients_[current_];
+    TraceEvent e;
+    if (!c.source->Next(&e)) {
+      // Exhausted clients drop out of the rotation for good. A source
+      // may not run dry mid create->link window (its own stream always
+      // links what it creates), so no pending state needs unwinding.
+      c.exhausted = true;
+      --alive_;
+      EndTurn();
+      continue;
+    }
+    RemapEventIds(&e, c.offset);
+    if (e.kind == EventKind::kCreate) {
+      c.pending_unlinked = e.a;
+    } else if (c.pending_unlinked != 0 &&
+               ((e.kind == EventKind::kWriteRef &&
+                 e.c == c.pending_unlinked) ||
+                (e.kind == EventKind::kAddRoot &&
+                 e.a == c.pending_unlinked))) {
+      c.pending_unlinked = 0;
+    }
+    if (turn_budget_ > 0) --turn_budget_;
+    if (turn_budget_ == 0 && c.pending_unlinked == 0) EndTurn();
+    ++events_drawn_;
+    *out = e;
+    if (client != nullptr) *client = static_cast<uint32_t>(current_);
+    return true;
+  }
+  return false;
+}
+
+size_t ClientMux::ApproxMemoryBytes() const {
+  size_t bytes = sizeof(*this) + clients_.capacity() * sizeof(Client);
+  for (const Client& c : clients_) {
+    if (c.source != nullptr) bytes += c.source->ApproxMemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace odbgc

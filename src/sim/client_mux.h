@@ -1,0 +1,123 @@
+#ifndef ODBGC_SIM_CLIENT_MUX_H_
+#define ODBGC_SIM_CLIENT_MUX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "trace/event_source.h"
+#include "util/random.h"
+
+namespace odbgc {
+
+// Per-client scheduling knobs for the mux. All randomness comes from the
+// client's own seeded RNG, drawn inside the mux's serial state machine,
+// so the merged stream is a pure function of (clients, options, seeds).
+struct MuxClientOptions {
+  // Baseline events per turn (the legacy interleaver's `chunk`).
+  uint32_t base_chunk = 64;
+  // Turn length becomes base_chunk + uniform[0, chunk_jitter]; 0 draws
+  // no randomness (keeps the stream bit-identical to the jitter-free
+  // schedule).
+  uint32_t chunk_jitter = 0;
+  // After a turn the client thinks for uniform[0, think_time] rounds —
+  // it skips that many of its round-robin slots; 0 draws no randomness.
+  uint32_t think_time = 0;
+  // Seed of the client's private scheduling RNG.
+  uint64_t seed = 1;
+};
+
+// Streaming multi-client composition: merges events from per-client
+// EventSources into one deterministic stream, drawing lazily — the
+// replacement for the materialize-everything InterleaveClients at
+// fleet scale. 10,000 clients x millions of events cost O(clients)
+// memory: per client the mux holds a source cursor, an id offset, an
+// RNG and a few counters.
+//
+// Semantics: deterministic round-robin in client-registration order.
+// Each turn draws a chunk of events (base_chunk plus seeded jitter)
+// from one client, extended past the chunk while the client's most
+// recent allocation is still unlinked (the same safe-point rule as
+// InterleaveClients: the store's newest-allocation pin protects exactly
+// one in-flight object, so a client may not be preempted inside its
+// create->link window). Think time makes a client sit out whole rounds.
+// Exhausted clients drop out. Id remapping is an arithmetic offset per
+// client applied at draw time (RemapEventIds), assigning each client
+// the disjoint range [offset, offset + max_object_id] exactly as the
+// legacy path did.
+//
+// The merged stream depends only on registration order and the options;
+// it is byte-identical however the consumer batches its Next() calls.
+// With zero jitter and zero think time it reproduces
+// InterleaveClients(clients, chunk) event for event.
+class ClientMux {
+ public:
+  ClientMux() = default;
+  ClientMux(const ClientMux&) = delete;
+  ClientMux& operator=(const ClientMux&) = delete;
+
+  // Registers a client; draws come in registration order. Returns the
+  // client's index. All registration must happen before the first
+  // Next() call.
+  size_t AddClient(std::unique_ptr<EventSource> source,
+                   const MuxClientOptions& options);
+
+  // Convenience: replay a (typically cache-shared) trace. Computes the
+  // trace's max id once here; use the EventSource overload with a
+  // precomputed TraceCursorSource to share that scan across clients.
+  size_t AddClient(std::shared_ptr<const Trace> trace,
+                   const MuxClientOptions& options);
+
+  // Draws the next merged event. Returns false when every client is
+  // exhausted. When `client` is non-null it receives the index of the
+  // client that produced the event — the sharded engine routes on it
+  // (annotation events carry no object id to route by).
+  bool Next(TraceEvent* out, uint32_t* client = nullptr);
+
+  size_t clients() const { return clients_.size(); }
+  size_t alive() const { return alive_; }
+  uint64_t events_drawn() const { return events_drawn_; }
+  // The id offset assigned to client `c` (its ids occupy
+  // [offset + 1, offset + max_object_id]).
+  uint32_t client_offset(size_t c) const { return clients_[c].offset; }
+  // One past the largest id any registered client can emit.
+  uint32_t id_limit() const { return next_offset_; }
+
+  // Resident bytes of the mux itself plus every client's source state
+  // (shared cached traces excluded; see EventSource::ApproxMemoryBytes).
+  size_t ApproxMemoryBytes() const;
+
+ private:
+  struct Client {
+    std::unique_ptr<EventSource> source;
+    uint32_t offset = 0;
+    Rng rng{1};
+    MuxClientOptions options;
+    uint64_t sleep_until_round = 0;
+    uint32_t pending_unlinked = 0;  // remapped id of an unlinked create
+    bool exhausted = false;
+  };
+
+  // Picks the next client with an eligible turn (round-robin from
+  // cursor_, fast-forwarding rounds past universal think time). Returns
+  // false when no client remains.
+  bool StartTurn();
+  void EndTurn();
+
+  std::vector<Client> clients_;
+  size_t alive_ = 0;
+  uint64_t events_drawn_ = 0;
+  uint32_t next_offset_ = 0;
+
+  // Turn state.
+  bool turn_active_ = false;
+  size_t current_ = 0;       // client owning the active turn
+  uint32_t turn_budget_ = 0; // events left before the next safe point
+  size_t cursor_ = 0;        // next client index to consider
+  uint64_t round_ = 0;       // completed round-robin passes
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_SIM_CLIENT_MUX_H_

@@ -1,15 +1,14 @@
 #include "sim/multi_client.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/check.h"
 
 namespace odbgc {
 
-namespace {
-
 // Which fields of an event hold object ids (by kind).
-void RemapEvent(TraceEvent* e, uint32_t offset) {
+void RemapEventIds(TraceEvent* e, uint32_t offset) {
   auto shift = [offset](uint32_t id) {
     return id == 0 ? 0u : id + offset;
   };
@@ -34,8 +33,6 @@ void RemapEvent(TraceEvent* e, uint32_t offset) {
       break;
   }
 }
-
-}  // namespace
 
 uint32_t MaxObjectId(const Trace& trace) {
   uint32_t max_id = 0;
@@ -64,22 +61,23 @@ Trace RemapObjectIds(const Trace& trace, uint32_t offset) {
   Trace out;
   out.Reserve(trace.size());
   for (TraceEvent e : trace.events()) {
-    RemapEvent(&e, offset);
+    RemapEventIds(&e, offset);
     out.Append(e);
   }
   return out;
 }
 
-Trace InterleaveClients(const std::vector<Trace>& clients, uint32_t chunk) {
-  ODBGC_CHECK(chunk > 0);
-  // Remap each client into a disjoint id range.
-  std::vector<Trace> remapped;
-  uint32_t offset = 0;
-  for (const Trace& client : clients) {
-    remapped.push_back(RemapObjectIds(client, offset));
-    offset += MaxObjectId(client) + 1;
-  }
+Trace RemapObjectIds(Trace&& trace, uint32_t offset) {
+  Trace out = std::move(trace);
+  for (TraceEvent& e : out.mutable_events()) RemapEventIds(&e, offset);
+  return out;
+}
 
+namespace {
+
+// The merge core shared by both InterleaveClients overloads; inputs are
+// already remapped into disjoint id ranges.
+Trace MergeRemapped(const std::vector<Trace>& remapped, uint32_t chunk) {
   Trace out;
   size_t total = 0;
   for (const Trace& t : remapped) total += t.size();
@@ -117,6 +115,32 @@ Trace InterleaveClients(const std::vector<Trace>& clients, uint32_t chunk) {
     }
   }
   return out;
+}
+
+}  // namespace
+
+Trace InterleaveClients(const std::vector<Trace>& clients, uint32_t chunk) {
+  ODBGC_CHECK(chunk > 0);
+  // Remap each client into a disjoint id range.
+  std::vector<Trace> remapped;
+  uint32_t offset = 0;
+  for (const Trace& client : clients) {
+    uint32_t max_id = MaxObjectId(client);
+    remapped.push_back(RemapObjectIds(client, offset));
+    offset += max_id + 1;
+  }
+  return MergeRemapped(remapped, chunk);
+}
+
+Trace InterleaveClients(std::vector<Trace>&& clients, uint32_t chunk) {
+  ODBGC_CHECK(chunk > 0);
+  uint32_t offset = 0;
+  for (Trace& client : clients) {
+    uint32_t max_id = MaxObjectId(client);  // before the in-place shift
+    client = RemapObjectIds(std::move(client), offset);
+    offset += max_id + 1;
+  }
+  return MergeRemapped(clients, chunk);
 }
 
 }  // namespace odbgc

@@ -13,14 +13,30 @@ namespace odbgc {
 // precisely because a rate hand-tuned from one application's profile
 // "may be in conflict with other applications manipulating the same
 // database"; these helpers build that situation from per-client traces.
+//
+// This is the legacy materializing path (ext_multi_client): every
+// client's whole trace is held in memory and merged into one new trace.
+// The streaming equivalent for thousands of clients is sim/client_mux.h,
+// which draws events lazily and applies the same id remapping
+// arithmetic per event at draw time.
+
+// Adds `offset` to every object id field of one event in place, by
+// event kind (null ids and annotation events are untouched). The single
+// shared definition of "which fields hold ids" — used by the trace-copy
+// remap below and by ClientMux's draw-time remap.
+void RemapEventIds(TraceEvent* e, uint32_t offset);
 
 // Rewrites every object id in `trace` by adding `offset`, so traces
 // generated independently (each numbering its objects from 1) can share
 // one store without collisions. Clustering hints are remapped too;
 // annotation events are untouched.
 Trace RemapObjectIds(const Trace& trace, uint32_t offset);
+// In-place overload: rewrites the owned trace without copying its event
+// vector (the legacy interleaver feeds per-client copies through this).
+Trace RemapObjectIds(Trace&& trace, uint32_t offset);
 
-// The largest object id referenced by the trace (0 if none).
+// The largest object id referenced by the trace (0 if none), in one
+// pass over every id-bearing field including clustering hints.
 uint32_t MaxObjectId(const Trace& trace);
 
 // Interleaves the clients' traces into one stream against a shared
@@ -31,6 +47,9 @@ uint32_t MaxObjectId(const Trace& trace);
 // collection — so no finer concurrency model is needed). Exhausted
 // clients drop out; the result carries every event of every client.
 Trace InterleaveClients(const std::vector<Trace>& clients, uint32_t chunk);
+// Move overload: consumes the client traces, remapping each in place
+// (halves peak memory — no remapped copy alongside the originals).
+Trace InterleaveClients(std::vector<Trace>&& clients, uint32_t chunk);
 
 }  // namespace odbgc
 

@@ -1,0 +1,406 @@
+#include "sim/multi_tenant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/multi_client.h"
+#include "sim/runner.h"
+#include "util/check.h"
+
+namespace odbgc {
+
+constexpr uint32_t MultiTenantReport::kLanes[];
+
+double MultiTenantReport::ModeledSpeedup(size_t lane_index) const {
+  ODBGC_CHECK(lane_index < kLaneCounts);
+  if (modeled_units[lane_index] <= 0.0) return 0.0;
+  return modeled_units[0] / modeled_units[lane_index];
+}
+
+uint64_t MultiTenantReport::FleetChecksum() const {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(clients);
+  mix(events);
+  mix(epochs);
+  mix(xshard_writes);
+  mix(pins_granted);
+  mix(pins_revoked);
+  mix(pins_reconciled);
+  mix(exchange_batches);
+  mix(budget_grants);
+  mix(budget_revokes);
+  mix(contention_events);
+  mix(contention_delay_units);
+  for (const SimResult& s : shards) {
+    mix(s.clock.app_io);
+    mix(s.clock.gc_io);
+    mix(s.clock.pointer_overwrites);
+    mix(s.clock.events);
+    mix(s.collections);
+    mix(s.total_reclaimed_bytes);
+    mix(s.final_db_used_bytes);
+    mix(s.final_actual_garbage_bytes);
+  }
+  return h;
+}
+
+MultiTenantEngine::MultiTenantEngine(const MultiTenantOptions& options)
+    : options_(options),
+      rng_(options.seed),
+      ledger_(1 << 12) {
+  ODBGC_CHECK(options_.num_shards > 0);
+  ODBGC_CHECK(options_.epoch_events > 0);
+  pool_ = std::make_unique<ThreadPool>(options_.threads);
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    SimConfig cfg = options_.shard_config;
+    // Decorrelate the shard selectors/fault streams from each other and
+    // from every client RNG.
+    ApplyRunSeeds(&cfg, options_.seed * 1000003ull + s);
+    sims_.push_back(std::make_unique<Simulation>(cfg));
+  }
+  // Catalog ids occupy [1, catalog_per_shard] of every shard's local id
+  // space; tenants get offsets past them.
+  shard_next_offset_.assign(options_.num_shards, options_.catalog_per_shard);
+  epoch_batch_.resize(options_.num_shards);
+  exchange_.resize(options_.num_shards);
+  prev_io_.assign(options_.num_shards, 0);
+  shard_budget_.assign(options_.num_shards, options_.global_io_frac);
+  CreateCatalog();
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    prev_io_[s] = sims_[s]->clock().total_io();
+  }
+}
+
+void MultiTenantEngine::CreateCatalog() {
+  // The catalog objects are unreachable from any root on purpose: their
+  // liveness is carried entirely by external pins — the engine's
+  // permanent "directory pin" here plus one refcount per live remote
+  // reference. They carry no kGarbageMark and are never unpinned, so
+  // they can never perturb a shard's garbage ground truth.
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    for (uint32_t k = 1; k <= options_.catalog_per_shard; ++k) {
+      sims_[s]->Apply(CreateEvent(k, options_.catalog_object_bytes, 0));
+      sims_[s]->store().AddExternalPin(k);
+    }
+  }
+}
+
+size_t MultiTenantEngine::AddClient(std::unique_ptr<EventSource> source,
+                                    const MuxClientOptions& mux_options) {
+  ODBGC_CHECK(!finished_);
+  ODBGC_CHECK(source != nullptr);
+  const uint32_t max_id = source->max_object_id();
+  const size_t c = mux_.AddClient(std::move(source), mux_options);
+  ODBGC_CHECK(c == client_shard_.size());
+  const uint32_t shard = static_cast<uint32_t>(c % sims_.size());
+  const uint32_t local_offset = shard_next_offset_[shard];
+  ODBGC_CHECK_MSG(
+      local_offset <= UINT32_MAX - (max_id + 1),
+      "shard-local id ranges overflow the 32-bit id space");
+  shard_next_offset_[shard] = local_offset + max_id + 1;
+  client_shard_.push_back(shard);
+  // Composing the mux's global offset with this delta (mod 2^32) lands
+  // the client's ids on [local_offset + 1, local_offset + max_id].
+  client_delta_.push_back(local_offset - mux_.client_offset(c));
+  return c;
+}
+
+size_t MultiTenantEngine::AddClient(std::shared_ptr<const Trace> trace,
+                                    const MuxClientOptions& mux_options) {
+  ODBGC_CHECK(trace != nullptr);
+  const uint32_t max_id = MaxObjectId(*trace);
+  return AddClient(
+      std::make_unique<TraceCursorSource>(std::move(trace), max_id),
+      mux_options);
+}
+
+void MultiTenantEngine::EnqueuePinDelta(uint32_t shard, uint32_t id,
+                                        int32_t delta) {
+  exchange_[shard].push_back(PinDelta{id, delta});
+}
+
+void MultiTenantEngine::ApplyExchange() {
+  for (size_t s = 0; s < sims_.size(); ++s) {
+    if (exchange_[s].empty()) continue;
+    ++exchange_batches_;
+    ObjectStore& store = sims_[s]->store();
+    for (const PinDelta& d : exchange_[s]) {
+      if (d.delta > 0) {
+        store.AddExternalPin(d.id);
+      } else {
+        store.RemoveExternalPin(d.id);
+      }
+    }
+    exchange_[s].clear();
+  }
+}
+
+void MultiTenantEngine::RouteEvent(TraceEvent e, uint32_t client) {
+  const uint32_t s = client_shard_[client];
+  RemapEventIds(&e, client_delta_[client]);
+  const uint64_t total_catalog =
+      static_cast<uint64_t>(sims_.size()) * options_.catalog_per_shard;
+  if (e.kind == EventKind::kWriteRef && total_catalog > 0) {
+    const RefKey key{s, e.a, e.b};
+    auto it = remote_refs_.find(key);
+    if (it != remote_refs_.end()) {
+      // The slot is being overwritten: the old remote target loses one
+      // refcount (delivered at the next epoch start; the target stays
+      // alive meanwhile under the engine's directory pin).
+      EnqueuePinDelta(it->second.first, it->second.second, -1);
+      ++pins_revoked_;
+      remote_refs_.erase(it);
+    }
+    // Only null-target writes are redirected: the local apply then
+    // detaches nothing it would not have detached anyway, so the
+    // clients' garbage ground truth is untouched.
+    if (e.c == 0 && options_.share_prob > 0.0 &&
+        rng_.NextDouble() < options_.share_prob) {
+      const uint64_t pick = rng_.NextBelow(total_catalog);
+      const uint32_t target_shard =
+          static_cast<uint32_t>(pick / options_.catalog_per_shard);
+      const uint32_t target_id =
+          1 + static_cast<uint32_t>(pick % options_.catalog_per_shard);
+      if (target_shard == s) {
+        // Same shard: an ordinary local reference.
+        e.c = target_id;
+      } else {
+        // Cross-shard: the local store keeps the null slot (shard
+        // stores never hold foreign ids); the reference lives in the
+        // engine's remembered set, backed by a +1 pin on the target.
+        remote_refs_[key] = {target_shard, target_id};
+        EnqueuePinDelta(target_shard, target_id, +1);
+        ++pins_granted_;
+        ++xshard_writes_;
+      }
+    }
+  }
+  epoch_batch_[s].push_back(e);
+}
+
+void MultiTenantEngine::Reconcile() {
+  for (auto it = remote_refs_.begin(); it != remote_refs_.end();) {
+    const uint32_t src_shard = std::get<0>(it->first);
+    const uint32_t src_id = std::get<1>(it->first);
+    if (!sims_[src_shard]->store().Exists(src_id)) {
+      EnqueuePinDelta(it->second.first, it->second.second, -1);
+      ++pins_reconciled_;
+      it = remote_refs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void MultiTenantEngine::EndEpoch() {
+  const size_t n = sims_.size();
+  // Per-shard epoch cost: events applied plus this epoch's simulated
+  // I/O — the unit of the modeled lane schedule.
+  std::vector<uint64_t> cost(n, 0);
+  uint64_t total = 0;
+  for (size_t s = 0; s < n; ++s) {
+    const uint64_t io = sims_[s]->clock().total_io();
+    cost[s] = epoch_batch_[s].size() + (io - prev_io_[s]);
+    prev_io_[s] = io;
+    total += cost[s];
+  }
+  // Contention: a shard drawing more than twice the fair share of the
+  // epoch queues behind the shared commit latch. The delay grows with
+  // the excess and carries seeded jitter; it is charged to the hot
+  // shard's lane cost (and the serial schedule), never to real state.
+  for (size_t s = 0; s < n; ++s) {
+    if (n > 1 && cost[s] * n > 2 * total) {
+      const uint64_t excess = cost[s] * n - 2 * total;
+      const uint64_t delay =
+          excess / (2 * n) + rng_.NextBelow(cost[s] / 16 + 1);
+      cost[s] += delay;
+      contention_delay_ += delay;
+      ++contention_events_;
+    }
+  }
+  // Modeled lane schedule: LPT-pack the shard costs onto L lanes for
+  // each fixed L and accumulate the makespan. Descending cost, shard id
+  // breaking ties; the least-loaded (lowest-index on ties) lane wins —
+  // fully deterministic and independent of the actual thread count.
+  std::vector<size_t> order(n);
+  for (size_t s = 0; s < n; ++s) order[s] = s;
+  std::sort(order.begin(), order.end(), [&cost](size_t a, size_t b) {
+    if (cost[a] != cost[b]) return cost[a] > cost[b];
+    return a < b;
+  });
+  for (size_t li = 0; li < MultiTenantReport::kLaneCounts; ++li) {
+    const uint32_t lanes = MultiTenantReport::kLanes[li];
+    std::vector<uint64_t> load(lanes, 0);
+    for (size_t s : order) {
+      size_t best = 0;
+      for (size_t l = 1; l < lanes; ++l) {
+        if (load[l] < load[best]) best = l;
+      }
+      load[best] += cost[s];
+    }
+    modeled_units_[li] +=
+        static_cast<double>(*std::max_element(load.begin(), load.end()));
+  }
+  Reconcile();
+  if (options_.coordinator_period > 0 &&
+      epochs_ % options_.coordinator_period == 0) {
+    CoordinatorTick();
+  }
+}
+
+void MultiTenantEngine::CoordinatorTick() {
+  const size_t n = sims_.size();
+  // Redistribute the fleet budget by observed garbage share: tenants
+  // sitting on more uncollected garbage earn a larger io fraction, each
+  // grant clamped to [min_shard_frac, max_shard_frac].
+  std::vector<uint64_t> garbage(n, 0);
+  uint64_t total_garbage = 0;
+  for (size_t s = 0; s < n; ++s) {
+    garbage[s] = sims_[s]->store().actual_garbage_bytes();
+    total_garbage += garbage[s];
+  }
+  for (size_t s = 0; s < n; ++s) {
+    const double weight =
+        total_garbage > 0
+            ? static_cast<double>(garbage[s]) /
+                  static_cast<double>(total_garbage)
+            : 1.0 / static_cast<double>(n);
+    double budget = options_.global_io_frac *
+                    static_cast<double>(n) * weight;
+    budget = std::min(std::max(budget, options_.min_shard_frac),
+                      options_.max_shard_frac);
+    const double old = shard_budget_[s];
+    if (std::fabs(budget - old) < 1e-9) continue;
+    sims_[s]->policy().SetIoBudget(budget);
+    shard_budget_[s] = budget;
+    const SimClock& ck = sims_[s]->clock();
+    obs::PolicyDecisionRecord ctx;
+    ctx.event = mux_.events_drawn();
+    ctx.app_io = ck.app_io;
+    ctx.gc_io = ck.gc_io;
+    ctx.io_pct = ck.total_io() > 0
+                     ? 100.0 * static_cast<double>(ck.gc_io) /
+                           static_cast<double>(ck.total_io())
+                     : 0.0;
+    ctx.garbage_pct = ck.db_used_bytes > 0
+                          ? 100.0 * static_cast<double>(garbage[s]) /
+                                static_cast<double>(ck.db_used_bytes)
+                          : 0.0;
+    ctx.actual_garbage_bytes = garbage[s];
+    ctx.db_used_bytes = ck.db_used_bytes;
+    ctx.collection = sims_[s]->collections();
+    ledger_.SetContext(ctx);
+    // chosen_interval carries the budget delta, next_threshold the shard
+    // index, target the granted fraction in percent (docs/POLICIES.md).
+    const bool grant = budget > old;
+    ledger_.Append("budget_coordinator",
+                   grant ? obs::DecisionReason::kBudgetGrant
+                         : obs::DecisionReason::kBudgetRevoke,
+                   budget - old, s, 100.0 * budget);
+    if (grant) {
+      ++budget_grants_;
+    } else {
+      ++budget_revokes_;
+    }
+  }
+}
+
+MultiTenantReport MultiTenantEngine::Run() {
+  ODBGC_CHECK_MSG(!finished_, "MultiTenantEngine::Run is callable once");
+  finished_ = true;
+  bool done = false;
+  TraceEvent e;
+  uint32_t client = 0;
+  while (!done) {
+    ++epochs_;
+    // 1. Serial: deliver the previous epoch's pin deltas, shard order.
+    ApplyExchange();
+    // 2. Serial: drain one epoch from the mux, routing + intercepting.
+    for (auto& batch : epoch_batch_) batch.clear();
+    uint32_t drained = 0;
+    while (drained < options_.epoch_events && mux_.Next(&e, &client)) {
+      RouteEvent(e, client);
+      ++drained;
+    }
+    done = drained < options_.epoch_events;
+    if (drained == 0) {
+      --epochs_;  // nothing happened; do not close an empty epoch
+      break;
+    }
+    // 3. Parallel: apply each shard's batch. Shards share no mutable
+    // state, so any thread count computes the same result.
+    pool_->ParallelFor(sims_.size(), [this](size_t s) {
+      for (const TraceEvent& ev : epoch_batch_[s]) sims_[s]->Apply(ev);
+    });
+    // 4. Serial barrier: contention, modeled lanes, reconciliation,
+    // coordinator.
+    EndEpoch();
+  }
+  // Flush the last epoch's reconciliation/overwrite revokes so final
+  // pin counts balance.
+  ApplyExchange();
+  return BuildReport();
+}
+
+MultiTenantReport MultiTenantEngine::BuildReport() {
+  MultiTenantReport r;
+  r.clients = mux_.clients();
+  r.events = mux_.events_drawn();
+  r.epochs = epochs_;
+  r.xshard_writes = xshard_writes_;
+  r.pins_granted = pins_granted_;
+  r.pins_revoked = pins_revoked_;
+  r.pins_reconciled = pins_reconciled_;
+  r.exchange_batches = exchange_batches_;
+  r.budget_grants = budget_grants_;
+  r.budget_revokes = budget_revokes_;
+  r.coordinator_decisions = ledger_.Records();
+  r.contention_events = contention_events_;
+  r.contention_delay_units = contention_delay_;
+  for (size_t li = 0; li < MultiTenantReport::kLaneCounts; ++li) {
+    r.modeled_units[li] = modeled_units_[li];
+  }
+  obs::Histogram merged;
+  bool any_tel = false;
+  r.shards.reserve(sims_.size());
+  for (auto& sim : sims_) {
+    r.shards.push_back(sim->Finish());
+    if (obs::Telemetry* tel = sim->telemetry()) {
+      merged.Merge(*tel->metrics().GetHistogram("stall.gc_copy_io"));
+      any_tel = true;
+    }
+  }
+  if (any_tel) {
+    r.stall_gc_copy.id = "stall.gc_copy_io";
+    r.stall_gc_copy.count = merged.count();
+    r.stall_gc_copy.min = merged.min();
+    r.stall_gc_copy.max = merged.max();
+    r.stall_gc_copy.mean = merged.mean();
+    r.stall_gc_copy.p50 = merged.Percentile(50.0);
+    r.stall_gc_copy.p95 = merged.Percentile(95.0);
+    r.stall_gc_copy.p99 = merged.Percentile(99.0);
+  }
+  return r;
+}
+
+size_t MultiTenantEngine::ApproxMemoryBytes() const {
+  size_t bytes = sizeof(*this) + mux_.ApproxMemoryBytes();
+  for (const auto& batch : epoch_batch_) {
+    bytes += batch.capacity() * sizeof(TraceEvent);
+  }
+  for (const auto& ex : exchange_) {
+    bytes += ex.capacity() * sizeof(PinDelta);
+  }
+  bytes += remote_refs_.size() *
+           (sizeof(RefKey) + sizeof(std::pair<uint32_t, uint32_t>) +
+            4 * sizeof(void*));
+  return bytes;
+}
+
+}  // namespace odbgc

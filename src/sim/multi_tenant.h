@@ -1,0 +1,226 @@
+#ifndef ODBGC_SIM_MULTI_TENANT_H_
+#define ODBGC_SIM_MULTI_TENANT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "obs/decision_ledger.h"
+#include "obs/metrics.h"
+#include "sim/client_mux.h"
+#include "sim/config.h"
+#include "sim/metrics.h"
+#include "sim/simulation.h"
+#include "trace/event_source.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace odbgc {
+
+// Sharded multi-tenant scale-out: partitions the client fleet across
+// independent shards — each with its own ObjectStore, BufferPool and
+// RatePolicy — applies per-shard event batches on a thread pool, and
+// rebalances a global GC I/O budget across the shard policies from
+// observed garbage shares. See DESIGN.md ("Sharded multi-tenant
+// scale-out") for the commit-order determinism argument and the
+// cross-shard exchange protocol.
+struct MultiTenantOptions {
+  uint32_t num_shards = 4;
+  // Apply-lane thread pool size (<= 0 selects the hardware default).
+  // Output is byte-identical at any value: shards share no mutable
+  // state during the parallel phase and everything order-sensitive
+  // happens in the serial epoch barrier.
+  int threads = 1;
+  // Events drained from the mux per epoch — the serial commit grain.
+  // Larger epochs amortize the barrier; smaller ones tighten the
+  // remembered-set exchange lag (which is <= 1 epoch either way).
+  uint32_t epoch_events = 4096;
+  // Shared catalog: immortal directory objects per shard that remote
+  // tenants may reference. 0 disables all cross-shard machinery.
+  uint32_t catalog_per_shard = 4;
+  uint32_t catalog_object_bytes = 512;
+  // Probability that a null-target pointer write is redirected at a
+  // random catalog object (the cross-shard reference generator). Only
+  // null-target writes are rewritten: the old-target detach is a no-op
+  // either way and catalog objects are immortal, so the clients'
+  // kGarbageMark ground truth is untouched.
+  double share_prob = 0.02;
+  // Engine RNG seed (share draws, contention jitter) — independent of
+  // every per-client and per-shard stream.
+  uint64_t seed = 1;
+  // Budget coordinator cadence in epochs; 0 disables it.
+  uint32_t coordinator_period = 8;
+  // Fleet-wide GC I/O budget: the mean per-shard io fraction the
+  // coordinator redistributes, and the per-shard clamp range it may
+  // grant any single tenant.
+  double global_io_frac = 0.10;
+  double min_shard_frac = 0.02;
+  double max_shard_frac = 0.40;
+  // Template for every shard's Simulation; per-shard seeds are derived
+  // from `seed` via ApplyRunSeeds so shard selectors decorrelate.
+  SimConfig shard_config;
+};
+
+// Everything one multi-tenant run produces. Plain data; the bench and
+// the determinism tests compare FleetChecksum() across thread counts.
+struct MultiTenantReport {
+  std::vector<SimResult> shards;
+
+  uint64_t clients = 0;
+  uint64_t events = 0;  // total events drained from the mux
+  uint64_t epochs = 0;
+
+  // Cross-shard remembered-set exchange.
+  uint64_t xshard_writes = 0;     // writes redirected across shards
+  uint64_t pins_granted = 0;      // +1 pin messages enqueued
+  uint64_t pins_revoked = 0;      // -1 from slot overwrites
+  uint64_t pins_reconciled = 0;   // -1 from dead source objects
+  uint64_t exchange_batches = 0;  // non-empty per-shard buffers applied
+
+  // Budget coordinator.
+  uint64_t budget_grants = 0;
+  uint64_t budget_revokes = 0;
+  std::vector<obs::PolicyDecisionRecord> coordinator_decisions;
+
+  // Contention model: seeded latch-queueing delay charged to shards
+  // drawing more than twice the fair share of an epoch's cost.
+  uint64_t contention_events = 0;
+  uint64_t contention_delay_units = 0;
+
+  // Deterministic modeled scale-out (see EXPERIMENTS.md): per-epoch
+  // shard costs are LPT-packed onto L lanes for each fixed L below and
+  // the makespans accumulated. modeled_units[i] is the fleet's modeled
+  // apply time on kLanes[i] lanes — computed identically at any actual
+  // --threads, so the scaling story is host- and thread-independent.
+  static constexpr size_t kLaneCounts = 4;
+  static constexpr uint32_t kLanes[kLaneCounts] = {1, 2, 4, 8};
+  double modeled_units[kLaneCounts] = {0.0, 0.0, 0.0, 0.0};
+  // Serial-units / L-lane-units; 0 when the run was empty.
+  double ModeledSpeedup(size_t lane_index) const;
+
+  // Fleet-wide app-visible GC stall distribution: every shard's
+  // stall.gc_copy_io histogram merged (empty id when telemetry was off).
+  obs::HistogramSnapshot stall_gc_copy;
+
+  // FNV-1a over every order-sensitive counter above plus each shard's
+  // final clock — the cross-thread byte-identity witness.
+  uint64_t FleetChecksum() const;
+};
+
+// The sharded engine. Usage:
+//
+//   MultiTenantEngine engine(options);
+//   engine.AddClient(std::make_unique<StreamingChurnSource>(...), mux_opts);
+//   ...
+//   MultiTenantReport report = engine.Run();
+//
+// Clients are assigned to shards round-robin (client index % num_shards)
+// and their mux-global object ids are re-remapped into the owning
+// shard's private id space at routing time, so each shard's store sees
+// a dense id range it alone owns.
+//
+// Epoch loop (Run): serially apply the previous epoch's exchanged pin
+// deltas shard-by-shard, serially drain up to epoch_events from the mux
+// (routing each event to its shard and intercepting cross-shard
+// writes), apply every shard's batch in parallel (disjoint state), then
+// serially close the epoch: charge contention, accumulate the modeled
+// lane schedule, reconcile dead remote sources, and run the budget
+// coordinator. All randomness and all cross-shard decisions live in the
+// serial sections, so the report is a pure function of (options,
+// clients) at any thread count.
+class MultiTenantEngine {
+ public:
+  explicit MultiTenantEngine(const MultiTenantOptions& options);
+
+  MultiTenantEngine(const MultiTenantEngine&) = delete;
+  MultiTenantEngine& operator=(const MultiTenantEngine&) = delete;
+
+  // Registers a tenant; must precede Run(). Returns the client index.
+  size_t AddClient(std::unique_ptr<EventSource> source,
+                   const MuxClientOptions& mux_options);
+  size_t AddClient(std::shared_ptr<const Trace> trace,
+                   const MuxClientOptions& mux_options);
+
+  // Drains every client to exhaustion and returns the fleet report.
+  // Callable once.
+  MultiTenantReport Run();
+
+  const MultiTenantOptions& options() const { return options_; }
+  size_t num_shards() const { return sims_.size(); }
+  ClientMux& mux() { return mux_; }
+  Simulation& shard(size_t s) { return *sims_[s]; }
+  // Engine + mux + per-shard batch buffers (stores excluded; their size
+  // tracks the live set, not the event count).
+  size_t ApproxMemoryBytes() const;
+
+ private:
+  // A cross-shard remembered-set entry: (source shard, source local id,
+  // slot) -> (target shard, target local id). std::map for deterministic
+  // reconciliation order.
+  using RefKey = std::tuple<uint32_t, uint32_t, uint32_t>;
+  struct PinDelta {
+    uint32_t id = 0;
+    int32_t delta = 0;
+  };
+
+  void CreateCatalog();
+  // Applies (and clears) every shard's pending pin-delta buffer, in
+  // shard order.
+  void ApplyExchange();
+  // Routes one drained event to its shard, intercepting pointer writes
+  // for the cross-shard reference model.
+  void RouteEvent(TraceEvent e, uint32_t client);
+  void EnqueuePinDelta(uint32_t shard, uint32_t id, int32_t delta);
+  // Drops remembered-set entries whose source object died this epoch.
+  void Reconcile();
+  // Contention + modeled lanes + reconciliation + coordinator.
+  void EndEpoch();
+  void CoordinatorTick();
+  MultiTenantReport BuildReport();
+
+  MultiTenantOptions options_;
+  Rng rng_;
+  ClientMux mux_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<Simulation>> sims_;
+
+  // Per-client routing state (index == mux client index).
+  std::vector<uint32_t> client_shard_;
+  std::vector<uint32_t> client_delta_;  // local_offset - global_offset
+
+  // Per-shard local id allocation cursor (catalog ids come first).
+  std::vector<uint32_t> shard_next_offset_;
+
+  // Epoch state.
+  std::vector<std::vector<TraceEvent>> epoch_batch_;
+  std::vector<std::vector<PinDelta>> exchange_;
+  std::vector<uint64_t> prev_io_;
+  std::map<RefKey, std::pair<uint32_t, uint32_t>> remote_refs_;
+  uint64_t epochs_ = 0;
+
+  // Coordinator state.
+  obs::DecisionLedger ledger_;
+  std::vector<double> shard_budget_;
+
+  // Counters mirrored into the report.
+  uint64_t xshard_writes_ = 0;
+  uint64_t pins_granted_ = 0;
+  uint64_t pins_revoked_ = 0;
+  uint64_t pins_reconciled_ = 0;
+  uint64_t exchange_batches_ = 0;
+  uint64_t budget_grants_ = 0;
+  uint64_t budget_revokes_ = 0;
+  uint64_t contention_events_ = 0;
+  uint64_t contention_delay_ = 0;
+  double modeled_units_[MultiTenantReport::kLaneCounts] = {0, 0, 0, 0};
+
+  bool finished_ = false;
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_SIM_MULTI_TENANT_H_

@@ -104,6 +104,9 @@ class Simulation {
   const ObjectStore& store() const { return *store_; }
   RatePolicy& policy() { return *policy_; }
   uint64_t collections() const { return result_.collections; }
+  // Live counters (the multi-tenant coordinator reads per-shard io/garbage
+  // shares between events without waiting for Finish()).
+  const SimClock& clock() const { return clock_; }
 
  private:
   void UpdateClock();

@@ -250,6 +250,43 @@ bool ObjectStore::IsRoot(ObjectId id) const {
   return std::find(roots_.begin(), roots_.end(), id) != roots_.end();
 }
 
+void ObjectStore::AddExternalPin(ObjectId id) {
+  ODBGC_CHECK(Exists(id));
+  auto it = std::lower_bound(
+      external_pins_.begin(), external_pins_.end(), id,
+      [](const std::pair<ObjectId, uint32_t>& e, ObjectId v) {
+        return e.first < v;
+      });
+  if (it != external_pins_.end() && it->first == id) {
+    ++it->second;
+  } else {
+    external_pins_.insert(it, {id, 1u});
+  }
+  // The pinned object became a planning root of its partition.
+  ++plan_epochs_[objects_[id].partition];
+}
+
+void ObjectStore::RemoveExternalPin(ObjectId id) {
+  auto it = std::lower_bound(
+      external_pins_.begin(), external_pins_.end(), id,
+      [](const std::pair<ObjectId, uint32_t>& e, ObjectId v) {
+        return e.first < v;
+      });
+  ODBGC_CHECK_MSG(it != external_pins_.end() && it->first == id,
+                  "removing an external pin that was never added");
+  if (--it->second == 0) external_pins_.erase(it);
+  if (Exists(id)) ++plan_epochs_[objects_[id].partition];
+}
+
+bool ObjectStore::IsExternallyPinned(ObjectId id) const {
+  auto it = std::lower_bound(
+      external_pins_.begin(), external_pins_.end(), id,
+      [](const std::pair<ObjectId, uint32_t>& e, ObjectId v) {
+        return e.first < v;
+      });
+  return it != external_pins_.end() && it->first == id;
+}
+
 void ObjectStore::RecordGarbageCreated(uint64_t bytes, uint64_t objects) {
   garbage_created_bytes_ += bytes;
   garbage_created_objects_ += objects;
@@ -352,6 +389,15 @@ void ObjectStore::SaveState(SnapshotWriter& w) const {
   }
 
   w.VecU32(roots_);
+  // External pins, already in ascending id order (sorted invariant).
+  std::vector<uint32_t> pin_ids;
+  std::vector<uint32_t> pin_counts;
+  for (const auto& [id, count] : external_pins_) {
+    pin_ids.push_back(id);
+    pin_counts.push_back(count);
+  }
+  w.VecU32(pin_ids);
+  w.VecU32(pin_counts);
   w.U32(newest_object_);
   w.U32(alloc_cursor_);
   // Quarantined partition ids, ascending (the flag vector is positional,
@@ -447,6 +493,26 @@ void ObjectStore::RestoreState(SnapshotReader& r) {
   }
 
   roots_ = r.VecU32();
+  {
+    std::vector<uint32_t> pin_ids = r.VecU32();
+    std::vector<uint32_t> pin_counts = r.VecU32();
+    if (pin_counts.size() != pin_ids.size()) {
+      r.MarkMalformed("external pin id/count length mismatch");
+      return;
+    }
+    external_pins_.clear();
+    for (size_t i = 0; i < pin_ids.size(); ++i) {
+      if (i > 0 && pin_ids[i] <= pin_ids[i - 1]) {
+        r.MarkMalformed("external pins not strictly ascending");
+        return;
+      }
+      if (pin_counts[i] == 0) {
+        r.MarkMalformed("external pin with zero count");
+        return;
+      }
+      external_pins_.emplace_back(pin_ids[i], pin_counts[i]);
+    }
+  }
   newest_object_ = r.U32();
   alloc_cursor_ = r.U32();
   quarantined_.clear();

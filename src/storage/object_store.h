@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "storage/buffer_pool.h"
@@ -320,6 +321,29 @@ class ObjectStore {
   const std::vector<ObjectId>& roots() const { return roots_; }
   bool IsRoot(ObjectId id) const;
 
+  // --- External pins (cross-shard remembered set) ---
+  //
+  // A refcounted liveness pin held by a referencer *outside* this store
+  // — in the sharded multi-tenant engine, an object in another shard
+  // whose pointer slot targets this object. Pins extend the
+  // slot_backrefs/xpart_in_refs remembered-set machinery across the
+  // store boundary: the collector treats every pinned object as a
+  // partition root (it can never be reclaimed while pinned), exactly as
+  // an object with xpart_in_refs > 0 is protected within one store.
+  // Unlike AddRoot, pins are counted, so several remote referencers can
+  // pin the same object independently. Kept as a sorted (id, count)
+  // vector: iteration order is deterministic for planning and
+  // serialization, and the set stays small (one entry per remotely
+  // referenced object, not per remote reference).
+  void AddExternalPin(ObjectId id);
+  // Decrements; drops the entry at zero. CHECK-fails on an unpinned id.
+  void RemoveExternalPin(ObjectId id);
+  bool IsExternallyPinned(ObjectId id) const;
+  // Sorted by object id.
+  const std::vector<std::pair<ObjectId, uint32_t>>& external_pins() const {
+    return external_pins_;
+  }
+
   // The most recently created object (kNullObject if none, or if the
   // pin is disabled by config). A real application holds a transient
   // reference to its newest allocation until it links the object into
@@ -465,6 +489,8 @@ class ObjectStore {
   // Reverse-index lists, indexed by ObjectId like objects_.
   std::vector<std::vector<InRef>> in_refs_;
   std::vector<ObjectId> roots_;
+  // Sorted (id, refcount); see AddExternalPin.
+  std::vector<std::pair<ObjectId, uint32_t>> external_pins_;
   ObjectId newest_object_ = kNullObject;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<DiskModel> disk_;

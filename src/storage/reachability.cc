@@ -19,6 +19,14 @@ void ScanReachabilityInto(const ObjectStore& store, ReachabilityResult* result,
   for (ObjectId root : store.roots()) {
     if (reachable.TestAndSet(root)) worklist.push_back(root);
   }
+  // Externally pinned objects are live by remote reference (the
+  // cross-shard remembered set); the scanner mirrors the collector.
+  for (const auto& [pinned, count] : store.external_pins()) {
+    (void)count;
+    if (store.Exists(pinned) && reachable.TestAndSet(pinned)) {
+      worklist.push_back(pinned);
+    }
+  }
   // Breadth-first via a head cursor — one growable buffer, no per-node
   // deque block traffic.
   const ObjectRecord* headers = store.header_arena();

@@ -193,6 +193,25 @@ VerifierReport VerifyHeap(const ObjectStore& store,
     if (!store.Exists(root)) sink.Add("root %u does not exist", root);
   }
 
+  // 5b. External pins: sorted, positive counts, live targets. A pin on a
+  // destroyed object means a remote referencer outlived its target — the
+  // exchange protocol failed to revoke.
+  {
+    const auto& pins = store.external_pins();
+    for (size_t i = 0; i < pins.size(); ++i) {
+      if (i > 0 && pins[i].first <= pins[i - 1].first) {
+        sink.Add("external pins out of order at entry %zu", i);
+      }
+      if (pins[i].second == 0) {
+        sink.Add("external pin on object %u has zero count", pins[i].first);
+      }
+      if (!store.Exists(pins[i].first)) {
+        sink.Add("externally pinned object %u does not exist",
+                 pins[i].first);
+      }
+    }
+  }
+
   // 6. Ground-truth reachability agreement.
   if (options.check_reachability_agreement) {
     ReachabilityResult scan = ScanReachability(store);

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "oo7/generator.h"
 #include "sim/multi_client.h"
 #include "sim/simulation.h"
@@ -164,6 +167,31 @@ TEST(RemapTest, ZeroOffsetIsIdentity) {
   Trace r = RemapObjectIds(a, 0);
   ASSERT_EQ(r.size(), a.size());
   for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(r[i], a[i]);
+}
+
+TEST(RemapTest, MoveOverloadMatchesCopyWithoutAllocating) {
+  Trace a = SmallChurn(24);
+  Trace copied = RemapObjectIds(a, 500);
+  const TraceEvent* storage = a.events().data();
+  Trace moved = RemapObjectIds(std::move(a), 500);
+  ASSERT_EQ(moved.size(), copied.size());
+  for (size_t i = 0; i < copied.size(); ++i) EXPECT_EQ(moved[i], copied[i]);
+  // In place: the moved-from trace's event array was reused, not copied.
+  EXPECT_EQ(moved.events().data(), storage);
+}
+
+TEST(InterleaveTest, MoveOverloadMatchesCopyOverload) {
+  Trace a = TinyOo7(25);
+  Trace b = SmallChurn(26);
+  Trace by_copy = InterleaveClients({a, b}, 40);
+  std::vector<Trace> clients;
+  clients.push_back(std::move(a));
+  clients.push_back(std::move(b));
+  Trace by_move = InterleaveClients(std::move(clients), 40);
+  ASSERT_EQ(by_move.size(), by_copy.size());
+  for (size_t i = 0; i < by_copy.size(); ++i) {
+    EXPECT_EQ(by_move[i], by_copy[i]);
+  }
 }
 
 }  // namespace

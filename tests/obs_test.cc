@@ -412,6 +412,43 @@ TEST(DecisionLedgerTest, ReasonNamesAreStableWireStrings) {
                "slope_solve");
   EXPECT_STREQ(DecisionReasonName(DecisionReason::kIdleReschedule),
                "idle_reschedule");
+  EXPECT_STREQ(DecisionReasonName(DecisionReason::kBudgetGrant),
+               "budget_grant");
+  EXPECT_STREQ(DecisionReasonName(DecisionReason::kBudgetRevoke),
+               "budget_revoke");
+}
+
+TEST(HistogramTest, MergePoolsSamplesExactly) {
+  Histogram a;
+  Histogram b;
+  Histogram pooled;
+  for (uint64_t v : {0ull, 1ull, 7ull, 300ull}) {
+    a.Record(v);
+    pooled.Record(v);
+  }
+  for (uint64_t v : {2ull, 2ull, 9000ull}) {
+    b.Record(v);
+    pooled.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), pooled.count());
+  EXPECT_EQ(a.min(), pooled.min());
+  EXPECT_EQ(a.max(), pooled.max());
+  EXPECT_DOUBLE_EQ(a.mean(), pooled.mean());
+  for (double p : {50.0, 95.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(a.Percentile(p), pooled.Percentile(p)) << "p" << p;
+  }
+  // Merging an empty histogram is the identity.
+  Histogram empty;
+  const uint64_t before = a.count();
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), before);
+  // Merging *into* an empty histogram copies the distribution.
+  Histogram fresh;
+  fresh.Merge(pooled);
+  EXPECT_EQ(fresh.count(), pooled.count());
+  EXPECT_EQ(fresh.min(), pooled.min());
+  EXPECT_EQ(fresh.max(), pooled.max());
 }
 
 // --- time-series sampler --------------------------------------------------

@@ -1,23 +1,28 @@
 #!/usr/bin/env python3
-"""Compare a fresh micro_core_hotpath run against the committed baseline.
+"""Compare fresh benchmark runs against the committed baselines.
 
 Usage:
     tools/bench_diff.py --baseline=BENCH_core.json \
         --run=run1.json [--run=run2.json ...] [--max-regression=0.20]
+    tools/bench_diff.py \
+        --pair=BENCH_core.json:BENCH_hotpath_run.json \
+        --pair=BENCH_multi_tenant.json:BENCH_multi_tenant_run.json
 
-Two checks per benchmark section:
+Both micro_core_hotpath and ext_multi_tenant emit run JSON with the
+same section shape ({name, ops_per_sec, checksum}), so one diff tool
+gates all committed baselines. Two checks per benchmark section:
   * correctness: every run's checksum must equal the baseline's
     checksum_after — the sections digest observable simulation state, so
     any drift is a behavior change, not noise. A mismatch always fails.
   * performance: ops_per_sec must not fall more than --max-regression
-    (default 20%) below the baseline's after.ops_per_sec. Pass --run
-    several times to compare the per-section best (the baseline itself
-    is a per-section minimum over interleaved rounds). Timing on shared
-    CI runners is noisy, hence the generous threshold; the CI job is
-    non-blocking and exists to flag trends, not to gate merges.
+    (default 20%) below the baseline's after.ops_per_sec. List a run
+    file several times (comma-separated in --pair, or repeated --run)
+    to take the per-section best. Timing on shared CI runners is noisy,
+    hence the generous threshold; the CI job is non-blocking and exists
+    to flag trends, not to gate merges.
 
-Exit 0 when every section passes, 1 on any checksum mismatch or
-over-threshold regression, 2 on usage/file errors.
+Exit 0 when every section of every pair passes, 1 on any checksum
+mismatch or over-threshold regression, 2 on usage/file errors.
 """
 
 import argparse
@@ -34,19 +39,9 @@ def load_json(path):
         sys.exit(2)
 
 
-def main():
-    parser = argparse.ArgumentParser(
-        description="Diff a micro_core_hotpath run against BENCH_core.json")
-    parser.add_argument("--baseline", default="BENCH_core.json")
-    parser.add_argument("--run", action="append", default=None,
-                        help="run JSON; repeat to take per-section best")
-    parser.add_argument("--max-regression", type=float, default=0.20,
-                        help="max allowed ops/sec drop vs baseline "
-                             "(fraction, default 0.20)")
-    args = parser.parse_args()
-    run_paths = args.run or ["BENCH_hotpath_run.json"]
-
-    baseline = load_json(args.baseline)
+def diff_pair(baseline_path, run_paths, max_regression):
+    """Diff one baseline against its run files; returns failure count."""
+    baseline = load_json(baseline_path)
     base_sections = {s["name"]: s for s in baseline.get("sections", [])}
     # Per-section best across runs; checksums must agree in every run.
     run_sections = {}
@@ -62,6 +57,7 @@ def main():
                 run_sections[name] = s
 
     failures = 0
+    print(f"== {baseline_path} vs {', '.join(run_paths)}")
     for name in checksum_conflicts:
         print(f"{name:24} FAIL (checksum differs between runs — "
               f"non-deterministic section)")
@@ -83,7 +79,7 @@ def main():
         base_ops = float(base["after"]["ops_per_sec"])
         run_ops = float(r["ops_per_sec"])
         ratio = run_ops / base_ops if base_ops > 0 else 0.0
-        if ratio < 1.0 - args.max_regression:
+        if ratio < 1.0 - max_regression:
             verdicts.append(f"ops/sec regressed {100 * (1 - ratio):.1f}%")
         verdict = "ok" if not verdicts else "FAIL (" + "; ".join(verdicts) + ")"
         if verdicts:
@@ -94,6 +90,41 @@ def main():
     extra = set(run_sections) - set(base_sections)
     for name in sorted(extra):
         print(f"{name:24} (new section, no baseline — informational)")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff benchmark runs against committed baselines")
+    parser.add_argument("--baseline", default="BENCH_core.json")
+    parser.add_argument("--run", action="append", default=None,
+                        help="run JSON; repeat to take per-section best")
+    parser.add_argument("--pair", action="append", default=None,
+                        metavar="BASELINE:RUN[,RUN...]",
+                        help="gate an extra baseline/run pair; repeatable. "
+                             "When given, --baseline/--run are ignored.")
+    parser.add_argument("--max-regression", type=float, default=0.20,
+                        help="max allowed ops/sec drop vs baseline "
+                             "(fraction, default 0.20)")
+    args = parser.parse_args()
+
+    if args.pair:
+        pairs = []
+        for spec in args.pair:
+            baseline_path, sep, runs = spec.partition(":")
+            if not sep or not runs:
+                print(f"error: --pair wants BASELINE:RUN[,RUN...], "
+                      f"got {spec!r}", file=sys.stderr)
+                return 2
+            pairs.append((baseline_path, runs.split(",")))
+    else:
+        pairs = [(args.baseline, args.run or ["BENCH_hotpath_run.json"])]
+
+    failures = 0
+    for i, (baseline_path, run_paths) in enumerate(pairs):
+        if i:
+            print()
+        failures += diff_pair(baseline_path, run_paths, args.max_regression)
 
     if failures:
         print(f"\n{failures} section(s) failed "

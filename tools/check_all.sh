@@ -122,6 +122,30 @@ print("bench smoke: %d section checksums identical at gc-threads 1 and 4"
       % len(c1))
 EOF
 
+# Multi-tenant smoke: the sharded engine's 100-client cell must produce
+# byte-identical fleet checksums at two apply-lane counts run in
+# separate processes (the in-binary --check-threads re-run is skipped —
+# this cross-process compare subsumes it).
+mt_bench="$PWD/build-check/bench/ext_multi_tenant"
+(cd "$bench_dir" && "$mt_bench" --clients=100 --threads=1 \
+    --check-threads=0 --trace-cache-mb=1 --json-out=mt1.json > /dev/null)
+(cd "$bench_dir" && "$mt_bench" --clients=100 --threads=3 \
+    --check-threads=0 --trace-cache-mb=1 --json-out=mt3.json > /dev/null)
+python3 - "$bench_dir" <<'EOF'
+import json, sys
+d = sys.argv[1]
+t1 = json.load(open(d + "/mt1.json"))
+t3 = json.load(open(d + "/mt3.json"))
+c1 = {s["name"]: s["checksum"] for s in t1["sections"]}
+c3 = {s["name"]: s["checksum"] for s in t3["sections"]}
+assert c1 == c3, "fleet checksums diverged across --threads: %r vs %r" % (
+    c1, c3)
+s1 = t1["sections"][0]
+assert s1["clients"] == 100 and s1["ops"] > 0, s1
+print("multi-tenant smoke: 100-client fleet checksum identical at "
+      "threads 1 and 3 (%d events)" % s1["ops"])
+EOF
+
 # Self-healing smoke: one OO7 Small' run under the full silent
 # corruption plan (bit flips + latent decay + dead pages/partitions,
 # scrubber on) must finish cleanly with --verify=partition, repair

@@ -14,7 +14,7 @@ cmake -B "$BUILD_DIR" -S . \
   -DODBGC_SANITIZE="$SANITIZER"
 cmake --build "$BUILD_DIR" \
   --target parallel_test simulation_test parallel_collect_test \
-  self_healing_test -j "$(nproc)"
+  self_healing_test client_mux_test multi_tenant_test -j "$(nproc)"
 
 echo "== parallel_test under ${SANITIZER} sanitizer =="
 "$BUILD_DIR/tests/parallel_test"
@@ -24,4 +24,8 @@ echo "== parallel_collect_test (intra-run parallel collector) under ${SANITIZER}
 "$BUILD_DIR/tests/parallel_collect_test"
 echo "== self_healing_test (chaos sweeps across thread counts) under ${SANITIZER} sanitizer =="
 "$BUILD_DIR/tests/self_healing_test"
+echo "== client_mux_test (streaming merge determinism) under ${SANITIZER} sanitizer =="
+"$BUILD_DIR/tests/client_mux_test"
+echo "== multi_tenant_test (sharded apply + budget coordinator) under ${SANITIZER} sanitizer =="
+"$BUILD_DIR/tests/multi_tenant_test"
 echo "OK: no ${SANITIZER} sanitizer reports"
