@@ -36,6 +36,20 @@ const char* DecisionReasonName(DecisionReason r) {
       return "budget_grant";
     case DecisionReason::kBudgetRevoke:
       return "budget_revoke";
+    case DecisionReason::kGovernorBoost:
+      return "governor_boost";
+    case DecisionReason::kEmergencyGc:
+      return "emergency_gc";
+    case DecisionReason::kAdmissionDefer:
+      return "admission_defer";
+    case DecisionReason::kSafeModeEnter:
+      return "safe_mode_enter";
+    case DecisionReason::kSafeModeExit:
+      return "safe_mode_exit";
+    case DecisionReason::kBreakerOpen:
+      return "breaker_open";
+    case DecisionReason::kBreakerClose:
+      return "breaker_close";
   }
   return "unknown";
 }

@@ -33,6 +33,13 @@ enum class DecisionReason : uint8_t {
   kIdleReschedule,       // saga: threshold recomputed after an idle collection
   kBudgetGrant,          // coordinator: shard's GC I/O budget raised
   kBudgetRevoke,         // coordinator: shard's GC I/O budget lowered
+  kGovernorBoost,        // governor: yellow-watermark forced collection
+  kEmergencyGc,          // governor: red-watermark synchronous collection
+  kAdmissionDefer,       // mux/engine: client chunk deferred at a safe point
+  kSafeModeEnter,        // governor: swapped to the fixed-rate fallback
+  kSafeModeExit,         // governor: hysteresis-gated return to the policy
+  kBreakerOpen,          // coordinator: shard circuit breaker opened
+  kBreakerClose,         // coordinator: shard circuit breaker closed
 };
 
 // Stable wire name for a reason code ("budget_solve", ...).

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "core/fixed_rate.h"
 #include "obs/telemetry.h"
 #include "sim/simulation.h"
 #include "util/snapshot.h"
@@ -176,6 +177,14 @@ void SaveResult(SnapshotWriter& w, const SimResult& res) {
   w.U64(res.partitions_repaired);
   w.U64(res.repair_pages_rewritten);
   w.U64(res.collections_aborted_corrupt);
+  w.U64(res.governor_yellow_entries);
+  w.U64(res.governor_red_entries);
+  w.U64(res.governor_boost_collections);
+  w.U64(res.governor_emergency_collections);
+  w.U64(res.governor_gc_io);
+  w.U64(res.safe_mode_entries);
+  w.U64(res.safe_mode_exits);
+  w.U64(res.peak_utilization_pct_x100);
   w.U64(res.quarantine_log.size());
   for (const QuarantineEvent& q : res.quarantine_log) {
     w.U64(q.detected_event);
@@ -242,6 +251,14 @@ void LoadResult(SnapshotReader& r, SimResult* res) {
   res->partitions_repaired = r.U64();
   res->repair_pages_rewritten = r.U64();
   res->collections_aborted_corrupt = r.U64();
+  res->governor_yellow_entries = r.U64();
+  res->governor_red_entries = r.U64();
+  res->governor_boost_collections = r.U64();
+  res->governor_emergency_collections = r.U64();
+  res->governor_gc_io = r.U64();
+  res->safe_mode_entries = r.U64();
+  res->safe_mode_exits = r.U64();
+  res->peak_utilization_pct_x100 = r.U64();
   const uint64_t quarantine_count = r.U64();
   res->quarantine_log.clear();
   for (uint64_t i = 0; i < quarantine_count && r.ok(); ++i) {
@@ -389,6 +406,7 @@ uint64_t ConfigFingerprint(const SimConfig& config) {
   w.U32(st.partition_bytes);
   w.U32(st.page_bytes);
   w.U32(st.buffer_pages);
+  w.U64(st.max_db_bytes);
   w.Bool(st.pin_newest_allocation);
   w.Bool(st.enable_disk_timing);
   w.F64(st.disk.seek_ms);
@@ -443,6 +461,21 @@ uint64_t ConfigFingerprint(const SimConfig& config) {
   w.U32(config.scrub_pages_per_quantum);
   w.Bool(config.auto_repair);
   w.Bool(config.verify_after_repair);
+  const GovernorConfig& gov = config.governor;
+  w.Bool(gov.enabled);
+  w.F64(gov.yellow_frac);
+  w.F64(gov.red_frac);
+  w.F64(gov.hysteresis_frac);
+  w.U32(gov.check_interval_events);
+  w.U64(gov.boost_interval_overwrites);
+  w.F64(gov.io_saturation_frac);
+  w.U32(gov.emergency_max_collections);
+  w.F64(gov.safe_mode_divergence_frac);
+  w.U32(gov.safe_mode_divergence_count);
+  w.F64(gov.safe_mode_flip_frac);
+  w.U32(gov.safe_mode_window);
+  w.U32(gov.safe_mode_exit_clean);
+  w.U64(gov.safe_mode_fixed_interval);
   // FNV-1a 64 over the canonical field bytes.
   uint64_t h = 14695981039346656037ull;
   for (const unsigned char c : w.data()) {
@@ -476,6 +509,16 @@ void Simulation::SaveState(SnapshotWriter& w) const {
   w.U64(passive_estimators_.size());
   for (const GarbageEstimator* passive : passive_estimators_) {
     passive->SaveState(w);
+  }
+  // Overload governor. Presence is config-determined (the fingerprint
+  // covers governor.enabled), so the flag is a consistency check, not a
+  // negotiation.
+  w.Bool(governor_ != nullptr);
+  if (governor_ != nullptr) {
+    governor_->SaveState(w);
+    w.Bool(safe_mode_);
+    w.Bool(safe_policy_ != nullptr);
+    if (safe_policy_ != nullptr) safe_policy_->SaveState(w);
   }
   // Telemetry travels as a length-prefixed sub-blob: an empty string for
   // telemetry-off runs, so the surrounding layout is version-stable.
@@ -513,6 +556,25 @@ void Simulation::RestoreState(SnapshotReader& r) {
   }
   for (GarbageEstimator* passive : passive_estimators_) {
     passive->RestoreState(r);
+  }
+  const bool has_governor = r.Bool();
+  if (has_governor != (governor_ != nullptr)) {
+    r.MarkMalformed("governor presence mismatch");
+    return;
+  }
+  if (has_governor) {
+    governor_->RestoreState(r);
+    safe_mode_ = r.Bool();
+    if (r.Bool()) {
+      if (safe_policy_ == nullptr) {
+        safe_policy_ = std::make_unique<FixedRatePolicy>(
+            config_.governor.safe_mode_fixed_interval);
+#if ODBGC_TELEMETRY
+        if (tel_ != nullptr) safe_policy_->AttachTelemetry(tel_.get());
+#endif
+      }
+      safe_policy_->RestoreState(r);
+    }
   }
   // Telemetry sub-blob. Empty means the checkpointed run had telemetry
   // off; a non-empty blob is restored only when this run has telemetry

@@ -57,7 +57,12 @@ const char* CheckpointErrorName(CheckpointError error);
 // telemetry-off runs.
 // v4: the object store serializes external pins (the cross-shard
 // remembered set) between the root list and the newest-allocation pin.
-inline constexpr uint32_t kCheckpointVersion = 4;
+// v5: overload-governor state (pressure level, safe-mode flag and the
+// fallback policy's schedule, oscillation window) between the passive
+// estimators and the telemetry blob, plus the governor counters in the
+// result block; the config fingerprint covers max_db_bytes and the
+// governor knobs.
+inline constexpr uint32_t kCheckpointVersion = 5;
 inline constexpr uint32_t kCheckpointFooterMagic = 0x54504b43;  // "CKPT"
 
 // Hash of the configuration fields that determine simulation behavior.

@@ -38,6 +38,14 @@ size_t ClientMux::AddClient(std::shared_ptr<const Trace> trace,
       options);
 }
 
+void ClientMux::SetAdmissionGate(AdmissionGate gate, uint32_t defer_limit) {
+  gate_ = std::move(gate);
+  defer_limit_ = defer_limit;
+  if (!gate_) {
+    for (Client& c : clients_) c.defer_streak = 0;
+  }
+}
+
 bool ClientMux::StartTurn() {
   // Round-robin from cursor_; a pass that finds only sleeping clients
   // fast-forwards round_ to the earliest wake-up instead of spinning.
@@ -58,6 +66,21 @@ bool ClientMux::StartTurn() {
         }
         continue;
       }
+      // Admission gate: a deferred client sits this round out, exactly
+      // like think time. The valve admits after defer_limit_ consecutive
+      // deferrals so a persistently red gate throttles rather than
+      // starves.
+      if (gate_ && gate_(static_cast<uint32_t>(idx)) &&
+          (defer_limit_ == 0 || c.defer_streak < defer_limit_)) {
+        ++c.defer_streak;
+        ++admission_deferrals_;
+        c.sleep_until_round = round_ + 1;
+        if (c.sleep_until_round < earliest_wake) {
+          earliest_wake = c.sleep_until_round;
+        }
+        continue;
+      }
+      c.defer_streak = 0;
       // Found a turn: arm the budget (chunk plus seeded jitter).
       current_ = idx;
       turn_budget_ = c.options.base_chunk;

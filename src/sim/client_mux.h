@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -75,6 +76,24 @@ class ClientMux {
   // (annotation events carry no object id to route by).
   bool Next(TraceEvent* out, uint32_t* client = nullptr);
 
+  // Admission backpressure. When a gate is installed, StartTurn consults
+  // it at each turn boundary (the same safe points that bound create->
+  // link windows): a gate returning true defers the client's whole turn
+  // by one round instead of admitting it. A per-client valve admits
+  // unconditionally after `defer_limit` consecutive deferrals, so
+  // admission can never starve the collections that need events applied
+  // to make progress. The gate MUST be a deterministic function of
+  // (client, state updated only between Next() calls) — the merged
+  // stream stays a pure function of registration order, options and the
+  // gate's decisions, byte-identical across consumers and thread counts.
+  // Passing a null gate uninstalls it. defer_limit == 0 disables the
+  // valve — then the caller must guarantee the gate eventually admits,
+  // or a universally-deferred fleet spins forever.
+  using AdmissionGate = std::function<bool(uint32_t client)>;
+  void SetAdmissionGate(AdmissionGate gate, uint32_t defer_limit);
+  // Total turns deferred by the gate since construction.
+  uint64_t admission_deferrals() const { return admission_deferrals_; }
+
   size_t clients() const { return clients_.size(); }
   size_t alive() const { return alive_; }
   uint64_t events_drawn() const { return events_drawn_; }
@@ -96,6 +115,7 @@ class ClientMux {
     MuxClientOptions options;
     uint64_t sleep_until_round = 0;
     uint32_t pending_unlinked = 0;  // remapped id of an unlinked create
+    uint32_t defer_streak = 0;      // consecutive gate deferrals
     bool exhausted = false;
   };
 
@@ -109,6 +129,11 @@ class ClientMux {
   size_t alive_ = 0;
   uint64_t events_drawn_ = 0;
   uint32_t next_offset_ = 0;
+
+  // Admission backpressure (null = admit everything).
+  AdmissionGate gate_;
+  uint32_t defer_limit_ = 0;
+  uint64_t admission_deferrals_ = 0;
 
   // Turn state.
   bool turn_active_ = false;

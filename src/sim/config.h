@@ -9,6 +9,7 @@
 #include "core/saga.h"
 #include "gc/partition_selector.h"
 #include "obs/telemetry.h"
+#include "sim/governor.h"
 #include "storage/object_store.h"
 
 namespace odbgc {
@@ -104,6 +105,13 @@ struct SimConfig {
   uint32_t scrub_pages_per_quantum = 8;
   bool auto_repair = true;
   bool verify_after_repair = true;
+
+  // Overload protection (sim/governor.h): watermark-driven pressure
+  // governor with rate boost, emergency collection and safe-mode policy
+  // fallback. Default-disabled; knob-free runs are byte-identical to
+  // pre-governor builds. Works with StoreConfig::max_db_bytes for the
+  // capacity watermarks (uncapped runs keep only the safe-mode fence).
+  GovernorConfig governor;
 
   // Per-run wall-clock budget in milliseconds (0 disables). Checked every
   // 4096 events inside Simulation::RunFrom; an exceeded budget raises

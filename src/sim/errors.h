@@ -26,6 +26,10 @@ enum class SimErrorKind : uint8_t {
   // at construction / call entry, before any run starts, so a bad knob
   // cannot abort a half-finished sweep.
   kInvalidConfig = 4,
+  // An allocation needed a new partition but StoreConfig::max_db_bytes
+  // was already fully committed. Deterministic: the same trace against
+  // the same capacity exhausts at the same event, so never transient.
+  kSpaceExhausted = 5,
 };
 
 const char* SimErrorKindName(SimErrorKind kind);
@@ -94,6 +98,35 @@ class SimInvalidConfig : public SimError {
                  "invalid sweep configuration: " + detail) {}
 };
 
+// The database hit its configured capacity: an allocation needed a new
+// partition, no existing partition could hold the object, and growing
+// would push the committed partition footprint past
+// StoreConfig::max_db_bytes. Carries the accounting a caller needs to
+// report how full the store was when it died.
+class SpaceExhaustedError : public SimError {
+ public:
+  SpaceExhaustedError(uint64_t used_bytes, uint64_t committed_bytes,
+                      uint64_t max_db_bytes)
+      : SimError(SimErrorKind::kSpaceExhausted, /*transient=*/false,
+                 "database capacity exhausted: " +
+                     std::to_string(used_bytes) + " bytes live+garbage, " +
+                     std::to_string(committed_bytes) +
+                     " bytes committed to partitions, capacity " +
+                     std::to_string(max_db_bytes) + " bytes"),
+        used_bytes_(used_bytes),
+        committed_bytes_(committed_bytes),
+        max_db_bytes_(max_db_bytes) {}
+
+  uint64_t used_bytes() const { return used_bytes_; }
+  uint64_t committed_bytes() const { return committed_bytes_; }
+  uint64_t max_db_bytes() const { return max_db_bytes_; }
+
+ private:
+  uint64_t used_bytes_;
+  uint64_t committed_bytes_;
+  uint64_t max_db_bytes_;
+};
+
 inline const char* SimErrorKindName(SimErrorKind kind) {
   switch (kind) {
     case SimErrorKind::kGeneric: return "generic";
@@ -101,6 +134,7 @@ inline const char* SimErrorKindName(SimErrorKind kind) {
     case SimErrorKind::kCrashInjected: return "crash_injected";
     case SimErrorKind::kCheckpointWrite: return "checkpoint_write";
     case SimErrorKind::kInvalidConfig: return "invalid_config";
+    case SimErrorKind::kSpaceExhausted: return "space_exhausted";
   }
   return "unknown";
 }

@@ -129,6 +129,19 @@ struct SimResult {
   uint64_t collections_aborted_corrupt = 0;
   std::vector<QuarantineEvent> quarantine_log;
 
+  // Overload governor (zero unless SimConfig::governor.enabled and the
+  // run actually came under pressure). Governor-forced collections are
+  // accounted here, not in `collections` — like idle collections they
+  // are outside the policy's schedule.
+  uint64_t governor_yellow_entries = 0;
+  uint64_t governor_red_entries = 0;
+  uint64_t governor_boost_collections = 0;
+  uint64_t governor_emergency_collections = 0;
+  uint64_t governor_gc_io = 0;  // forced collections' copy traffic
+  uint64_t safe_mode_entries = 0;
+  uint64_t safe_mode_exits = 0;
+  uint64_t peak_utilization_pct_x100 = 0;  // max observed, 100ths of a %
+
   std::vector<CollectionRecord> log;
   std::vector<PhaseTransition> phases;
   // One entry per kPhaseMark in trace order (phases may repeat).

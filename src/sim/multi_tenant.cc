@@ -35,6 +35,9 @@ uint64_t MultiTenantReport::FleetChecksum() const {
   mix(exchange_batches);
   mix(budget_grants);
   mix(budget_revokes);
+  mix(admission_deferrals);
+  mix(breaker_opens);
+  mix(breaker_closes);
   mix(contention_events);
   mix(contention_delay_units);
   for (const SimResult& s : shards) {
@@ -71,6 +74,9 @@ MultiTenantEngine::MultiTenantEngine(const MultiTenantOptions& options)
   exchange_.resize(options_.num_shards);
   prev_io_.assign(options_.num_shards, 0);
   shard_budget_.assign(options_.num_shards, options_.global_io_frac);
+  breaker_open_.assign(options_.num_shards, 0);
+  breaker_clean_.assign(options_.num_shards, 0);
+  defer_ledger_epoch_.assign(options_.num_shards, 0);
   CreateCatalog();
   for (uint32_t s = 0; s < options_.num_shards; ++s) {
     prev_io_[s] = sims_[s]->clock().total_io();
@@ -254,6 +260,66 @@ void MultiTenantEngine::EndEpoch() {
   }
 }
 
+double MultiTenantEngine::BreakerClamp(size_t s, double budget) {
+  // Unhealthy = red-watermark pressure or a quarantine-heavy store. Open
+  // the breaker on the first unhealthy tick; close it only after
+  // breaker_close_ticks consecutive healthy ones.
+  const ObjectStore& store = sims_[s]->store();
+  const size_t parts = store.partition_count();
+  const double qfrac =
+      parts > 0 ? static_cast<double>(store.quarantined_count()) /
+                      static_cast<double>(parts)
+                : 0.0;
+  const bool unhealthy =
+      sims_[s]->pressure_level() == PressureLevel::kRed ||
+      qfrac >= options_.breaker_quarantine_frac;
+  if (breaker_open_[s] == 0) {
+    if (unhealthy) {
+      breaker_open_[s] = 1;
+      breaker_clean_[s] = 0;
+      ++breaker_opens_;
+      LedgerShardEvent(s, "breaker", obs::DecisionReason::kBreakerOpen,
+                       options_.min_shard_frac);
+    }
+  } else if (unhealthy) {
+    breaker_clean_[s] = 0;
+  } else if (++breaker_clean_[s] >= options_.breaker_close_ticks) {
+    breaker_open_[s] = 0;
+    breaker_clean_[s] = 0;
+    ++breaker_closes_;
+    LedgerShardEvent(s, "breaker", obs::DecisionReason::kBreakerClose,
+                     budget);
+  }
+  return breaker_open_[s] != 0 ? options_.min_shard_frac : budget;
+}
+
+void MultiTenantEngine::LedgerShardEvent(size_t s, const char* who,
+                                         obs::DecisionReason reason,
+                                         double target_frac) {
+  const SimClock& ck = sims_[s]->clock();
+  obs::PolicyDecisionRecord ctx;
+  ctx.event = mux_.events_drawn();
+  ctx.app_io = ck.app_io;
+  ctx.gc_io = ck.gc_io;
+  ctx.io_pct = ck.total_io() > 0
+                   ? 100.0 * static_cast<double>(ck.gc_io) /
+                         static_cast<double>(ck.total_io())
+                   : 0.0;
+  ctx.db_used_bytes = ck.db_used_bytes;
+  ctx.actual_garbage_bytes = sims_[s]->store().actual_garbage_bytes();
+  ctx.garbage_pct = ck.db_used_bytes > 0
+                        ? 100.0 * static_cast<double>(
+                                      ctx.actual_garbage_bytes) /
+                              static_cast<double>(ck.db_used_bytes)
+                        : 0.0;
+  ctx.collection = sims_[s]->collections();
+  ledger_.SetContext(ctx);
+  // Same field semantics as the coordinator's budget records:
+  // next_threshold carries the shard index, target the fraction in
+  // percent (docs/POLICIES.md).
+  ledger_.Append(who, reason, 0.0, s, 100.0 * target_frac);
+}
+
 void MultiTenantEngine::CoordinatorTick() {
   const size_t n = sims_.size();
   // Redistribute the fleet budget by observed garbage share: tenants
@@ -275,6 +341,9 @@ void MultiTenantEngine::CoordinatorTick() {
                     static_cast<double>(n) * weight;
     budget = std::min(std::max(budget, options_.min_shard_frac),
                       options_.max_shard_frac);
+    if (options_.breaker) {
+      budget = BreakerClamp(s, budget);
+    }
     const double old = shard_budget_[s];
     if (std::fabs(budget - old) < 1e-9) continue;
     sims_[s]->policy().SetIoBudget(budget);
@@ -314,6 +383,29 @@ void MultiTenantEngine::CoordinatorTick() {
 MultiTenantReport MultiTenantEngine::Run() {
   ODBGC_CHECK_MSG(!finished_, "MultiTenantEngine::Run is callable once");
   finished_ = true;
+  if (options_.backpressure) {
+    // The gate runs inside the serial drain; pressure levels only move
+    // during the parallel apply, so within one drain the gate is a fixed
+    // function of the shard states the barrier committed — deterministic
+    // at any thread count.
+    mux_.SetAdmissionGate(
+        [this](uint32_t client) {
+          const uint32_t s = client_shard_[client];
+          if (sims_[s]->pressure_level() != PressureLevel::kRed) {
+            return false;
+          }
+          if (defer_ledger_epoch_[s] != epochs_) {
+            // First deferral this epoch for this shard (epochs_ is the
+            // 1-based current epoch inside the drain).
+            defer_ledger_epoch_[s] = epochs_;
+            LedgerShardEvent(s, "admission",
+                             obs::DecisionReason::kAdmissionDefer,
+                             shard_budget_[s]);
+          }
+          return true;
+        },
+        options_.admission_defer_limit);
+  }
   bool done = false;
   TraceEvent e;
   uint32_t client = 0;
@@ -360,6 +452,9 @@ MultiTenantReport MultiTenantEngine::BuildReport() {
   r.exchange_batches = exchange_batches_;
   r.budget_grants = budget_grants_;
   r.budget_revokes = budget_revokes_;
+  r.admission_deferrals = mux_.admission_deferrals();
+  r.breaker_opens = breaker_opens_;
+  r.breaker_closes = breaker_closes_;
   r.coordinator_decisions = ledger_.Records();
   r.contention_events = contention_events_;
   r.contention_delay_units = contention_delay_;

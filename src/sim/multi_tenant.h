@@ -60,6 +60,29 @@ struct MultiTenantOptions {
   double global_io_frac = 0.10;
   double min_shard_frac = 0.02;
   double max_shard_frac = 0.40;
+  // Overload protection across the fleet (both default-off; the
+  // backpressure gate reads shard pressure, so it needs
+  // shard_config.governor.enabled to ever fire).
+  //
+  // Admission backpressure: while a shard sits at the red watermark, its
+  // clients' turns are deferred at mux safe points — the fleet stops
+  // feeding allocations to the tenant that is out of space. The valve
+  // admits a client after admission_defer_limit consecutive deferrals,
+  // because a shard only collects while events are applied: backpressure
+  // throttles the backlog, it must never starve the GC out of existence.
+  bool backpressure = false;
+  uint32_t admission_defer_limit = 4;
+  // Circuit breaker: a red-watermark or quarantine-heavy shard has its
+  // GC I/O budget pinned to min_shard_frac until it has been healthy for
+  // breaker_close_ticks consecutive coordinator ticks. The point is
+  // fleet isolation, not space recovery — a sick shard's garbage share
+  // would otherwise earn it an ever-larger slice of the global budget
+  // while its collections abort against quarantined partitions; the
+  // shard's own governor still runs emergency collections outside the
+  // policy budget, so clamping never blocks the space path.
+  bool breaker = false;
+  double breaker_quarantine_frac = 0.5;  // quarantined/partitions to open
+  uint32_t breaker_close_ticks = 2;
   // Template for every shard's Simulation; per-shard seeds are derived
   // from `seed` via ApplyRunSeeds so shard selectors decorrelate.
   SimConfig shard_config;
@@ -85,6 +108,12 @@ struct MultiTenantReport {
   uint64_t budget_grants = 0;
   uint64_t budget_revokes = 0;
   std::vector<obs::PolicyDecisionRecord> coordinator_decisions;
+
+  // Overload protection (zero unless the options enable it and some
+  // shard actually came under pressure).
+  uint64_t admission_deferrals = 0;
+  uint64_t breaker_opens = 0;
+  uint64_t breaker_closes = 0;
 
   // Contention model: seeded latch-queueing delay charged to shards
   // drawing more than twice the fair share of an epoch's cost.
@@ -180,6 +209,12 @@ class MultiTenantEngine {
   // Contention + modeled lanes + reconciliation + coordinator.
   void EndEpoch();
   void CoordinatorTick();
+  // Circuit-breaker state machine for shard `s`; returns the budget the
+  // coordinator may grant (min_shard_frac while the breaker is open).
+  double BreakerClamp(size_t s, double budget);
+  // Stages shard context and appends a breaker/admission ledger record.
+  void LedgerShardEvent(size_t s, const char* who,
+                        obs::DecisionReason reason, double target_frac);
   MultiTenantReport BuildReport();
 
   MultiTenantOptions options_;
@@ -206,6 +241,11 @@ class MultiTenantEngine {
   obs::DecisionLedger ledger_;
   std::vector<double> shard_budget_;
 
+  // Circuit breaker / backpressure state.
+  std::vector<uint8_t> breaker_open_;
+  std::vector<uint32_t> breaker_clean_;     // consecutive healthy ticks
+  std::vector<uint64_t> defer_ledger_epoch_;  // last epoch ledgered, 1-based
+
   // Counters mirrored into the report.
   uint64_t xshard_writes_ = 0;
   uint64_t pins_granted_ = 0;
@@ -214,6 +254,8 @@ class MultiTenantEngine {
   uint64_t exchange_batches_ = 0;
   uint64_t budget_grants_ = 0;
   uint64_t budget_revokes_ = 0;
+  uint64_t breaker_opens_ = 0;
+  uint64_t breaker_closes_ = 0;
   uint64_t contention_events_ = 0;
   uint64_t contention_delay_ = 0;
   double modeled_units_[MultiTenantReport::kLaneCounts] = {0, 0, 0, 0};

@@ -227,6 +227,34 @@ std::string SimResultToJson(const SimResult& result,
     w.EndObject();
   }
 
+  // Overload governor outcomes. Emitted whenever the governor observed
+  // any pressure or intervened, same contract as "faults" above.
+  if (result.governor_yellow_entries > 0 || result.governor_red_entries > 0 ||
+      result.governor_boost_collections > 0 ||
+      result.governor_emergency_collections > 0 ||
+      result.safe_mode_entries > 0 || result.safe_mode_exits > 0 ||
+      result.peak_utilization_pct_x100 > 0) {
+    w.Key("overload");
+    w.BeginObject();
+    w.Key("governor_yellow_entries");
+    w.Value(result.governor_yellow_entries);
+    w.Key("governor_red_entries");
+    w.Value(result.governor_red_entries);
+    w.Key("governor_boost_collections");
+    w.Value(result.governor_boost_collections);
+    w.Key("governor_emergency_collections");
+    w.Value(result.governor_emergency_collections);
+    w.Key("governor_gc_io");
+    w.Value(result.governor_gc_io);
+    w.Key("safe_mode_entries");
+    w.Value(result.safe_mode_entries);
+    w.Key("safe_mode_exits");
+    w.Value(result.safe_mode_exits);
+    w.Key("peak_utilization_pct");
+    w.Value(static_cast<double>(result.peak_utilization_pct_x100) / 100.0);
+    w.EndObject();
+  }
+
   if (result.disk_app_ms > 0.0 || result.disk_gc_ms > 0.0) {
     w.Key("disk");
     w.BeginObject();

@@ -70,6 +70,7 @@ Simulation::Simulation(const SimConfig& config,
   ODBGC_CHECK(policy_ != nullptr && selector_ != nullptr);
   ConfigureCollector();
   InitTelemetry();
+  InitGovernor();
 }
 
 namespace {
@@ -87,6 +88,13 @@ Simulation::Simulation(const SimConfig& config)
   selector_ = MakeSelector(config_.selector, config_.selector_seed);
   ConfigureCollector();
   InitTelemetry();
+  InitGovernor();
+}
+
+void Simulation::InitGovernor() {
+  if (!config_.governor.enabled) return;
+  governor_ = std::make_unique<PressureGovernor>(config_.governor);
+  emergency_selector_ = std::make_unique<MostGarbageOracleSelector>();
 }
 
 void Simulation::InitTelemetry() {
@@ -323,7 +331,7 @@ void Simulation::OpenWindowIfReady() {
 
 void Simulation::MaybeCollect() {
   if (store_->partition_count() == 0) return;
-  if (!policy_->ShouldCollect(clock_)) return;
+  if (!ActivePolicy()->ShouldCollect(clock_)) return;
 
   PartitionId pid = selector_->Select(*store_);
   // Every partition quarantined: nothing is collectable until repair
@@ -375,7 +383,7 @@ void Simulation::MaybeCollect() {
     }
   }
 
-  policy_->OnCollection(
+  ActivePolicy()->OnCollection(
       CollectionOutcome{report.gc_io(), report.bytes_reclaimed}, clock_);
 
   if (estimator_ != nullptr && store_->used_bytes() > 0) {
@@ -391,6 +399,18 @@ void Simulation::MaybeCollect() {
           std::llround(std::abs(last_estimate_error_pp_) * 100.0)));
       tel_est_garbage_pct_->Set(est_pct);
     }
+  }
+
+  // Feed the governor's oscillation/divergence signals from the policy's
+  // own collections only — governor-forced collections never count, or
+  // the interventions would mask the instability they respond to.
+  if (governor_ != nullptr) {
+    const bool divergence_valid =
+        estimator_ != nullptr && store_->used_bytes() > 0;
+    const double divergence_frac =
+        divergence_valid ? std::abs(last_estimate_error_pp_) / 100.0 : 0.0;
+    governor_->ObserveCollection(clock_.pointer_overwrites, divergence_valid,
+                                 divergence_frac);
   }
 
   if (config_.record_collection_log) {
@@ -553,6 +573,7 @@ void Simulation::Apply(const TraceEvent& event) {
   }
   MaybeCollect();
   SelfHealTick();
+  if (governor_ != nullptr) GovernorTick();
   ODBGC_IF_TEL(tel_.get()) {
     if (obs::TimeSeriesSampler* sampler = tel_->sampler();
         sampler != nullptr && sampler->Due(clock_.events)) {
@@ -672,7 +693,7 @@ void Simulation::RunIdlePeriod(uint32_t max_collections) {
   if (store_->partition_count() == 0) return;
   for (uint32_t i = 0; i < max_collections; ++i) {
     UpdateClock();
-    if (!policy_->ShouldCollectWhenIdle(clock_)) break;
+    if (!ActivePolicy()->ShouldCollectWhenIdle(clock_)) break;
     PartitionId pid = selector_->Select(*store_);
     if (pid == kInvalidPartition) break;  // everything quarantined
     uint64_t overwrites_at_selection = store_->partition(pid).overwrites();
@@ -710,8 +731,152 @@ void Simulation::RunIdlePeriod(uint32_t max_collections) {
         StageDecisionContext(*ledger, report, /*idle=*/true);
       }
     }
-    policy_->OnIdleCollection(
+    ActivePolicy()->OnIdleCollection(
         CollectionOutcome{report.gc_io(), report.bytes_reclaimed}, clock_);
+  }
+}
+
+void Simulation::GovernorTick() {
+  const GovernorConfig& gov = config_.governor;
+  if (clock_.events % gov.check_interval_events != 0) return;
+  const double util = store_->utilization();
+  const uint64_t util_x100 =
+      static_cast<uint64_t>(std::llround(util * 10000.0));
+  if (util_x100 > result_.peak_utilization_pct_x100) {
+    result_.peak_utilization_pct_x100 = util_x100;
+  }
+  governor_->ObserveIo(clock_.app_io, clock_.gc_io);
+  const PressureLevel before = governor_->level();
+  const PressureLevel level = governor_->ObserveUtilization(util);
+  if (level > before) {
+    if (level == PressureLevel::kYellow) {
+      ++result_.governor_yellow_entries;
+    } else {
+      ++result_.governor_red_entries;
+    }
+  }
+  if (level == PressureLevel::kRed) {
+    // Red: space is nearly gone. Collect the highest-garbage partitions
+    // synchronously until the pressure breaks or the per-tick bound is
+    // hit — regardless of I/O saturation, because exhausting capacity is
+    // strictly worse than a stall.
+    for (uint32_t i = 0; i < gov.emergency_max_collections; ++i) {
+      if (store_->utilization() < gov.red_frac - gov.hysteresis_frac) break;
+      if (!GovernorCollect(obs::DecisionReason::kEmergencyGc)) break;
+      ++result_.governor_emergency_collections;
+    }
+    governor_->OnForcedCollection(clock_.pointer_overwrites);
+    governor_->ObserveUtilization(store_->utilization());
+  } else if (governor_->BoostDue(clock_.pointer_overwrites)) {
+    // Yellow: one forced collection through the configured selector every
+    // boost interval, on top of whatever the active policy schedules.
+    // BoostDue holds off while the disk is GC-saturated — more GC I/O
+    // would steal the bandwidth the backlog needs; backpressure (in the
+    // multi-tenant engine) is the right lever there.
+    if (GovernorCollect(obs::DecisionReason::kGovernorBoost)) {
+      ++result_.governor_boost_collections;
+    }
+    governor_->OnForcedCollection(clock_.pointer_overwrites);
+    governor_->ObserveUtilization(store_->utilization());
+  }
+  if (!safe_mode_ && governor_->ShouldEnterSafeMode()) {
+    EnterSafeMode();
+  } else if (safe_mode_ && governor_->ShouldExitSafeMode()) {
+    ExitSafeMode();
+  }
+}
+
+bool Simulation::GovernorCollect(obs::DecisionReason reason) {
+  if (store_->partition_count() == 0) return false;
+  PartitionSelector* sel = reason == obs::DecisionReason::kEmergencyGc
+                               ? emergency_selector_.get()
+                               : selector_.get();
+  PartitionId pid = sel->Select(*store_);
+  if (pid == kInvalidPartition) return false;  // everything quarantined
+  uint64_t overwrites_at_selection = store_->partition(pid).overwrites();
+  CollectionReport report = collector_.Collect(*store_, pid);
+  if (report.aborted_corrupt) {
+    // Quarantine now: the emergency loop re-selects within this tick, so
+    // the detection must take effect immediately or the same damaged
+    // partition would be re-scanned until the iteration bound.
+    ++result_.collections_aborted_corrupt;
+    DrainCorruption();
+    UpdateClock();
+    return false;
+  }
+  if (report.skipped_quarantine) return false;
+  if (report.crashed && !HandleCrash(&report)) {
+    UpdateClock();
+    return false;
+  }
+  if (config_.verify_after_collection) RunVerifier("collection");
+
+  EstimatorCollectionInfo info;
+  info.partition = pid;
+  info.bytes_reclaimed = report.bytes_reclaimed;
+  info.partition_overwrites = overwrites_at_selection;
+  info.partition_count = store_->partition_count();
+  info.ground_truth_garbage_bytes = store_->actual_garbage_bytes();
+  if (estimator_ != nullptr) estimator_->OnCollection(info);
+  for (GarbageEstimator* passive : passive_estimators_) {
+    passive->OnCollection(info);
+  }
+
+  UpdateClock();
+  // Governor-forced collections are outside the policy's schedule: like
+  // idle collections they skip OnCollection (the policy's own threshold
+  // stays armed) and are accounted in the governor_* counters, not
+  // result_.collections.
+  result_.governor_gc_io += report.gc_io();
+  result_.total_reclaimed_bytes += report.bytes_reclaimed;
+  result_.total_reclaimed_objects += report.objects_reclaimed;
+  ODBGC_IF_TEL(tel_.get()) { tel_stall_gc_copy_->Record(report.gc_io()); }
+  LedgerGovernorRecord(reason, report, 100.0 * store_->utilization());
+  return true;
+}
+
+void Simulation::EnterSafeMode() {
+  safe_mode_ = true;
+  ++result_.safe_mode_entries;
+  governor_->EnterSafeMode();
+  if (safe_policy_ == nullptr) {
+    safe_policy_ = std::make_unique<FixedRatePolicy>(
+        config_.governor.safe_mode_fixed_interval);
+#if ODBGC_TELEMETRY
+    if (tel_ != nullptr) safe_policy_->AttachTelemetry(tel_.get());
+#endif
+  }
+  // FixedRatePolicy's threshold semantics make the first safe-mode
+  // collection fire at the next event — exactly the right reflex when
+  // the configured policy has just been judged untrustworthy.
+  LedgerGovernorRecord(obs::DecisionReason::kSafeModeEnter,
+                       CollectionReport{}, 100.0 * store_->utilization());
+}
+
+void Simulation::ExitSafeMode() {
+  safe_mode_ = false;
+  ++result_.safe_mode_exits;
+  governor_->ExitSafeMode();
+  LedgerGovernorRecord(obs::DecisionReason::kSafeModeExit,
+                       CollectionReport{}, 100.0 * store_->utilization());
+}
+
+void Simulation::LedgerGovernorRecord(obs::DecisionReason reason,
+                                      const CollectionReport& report,
+                                      double target) {
+  ODBGC_IF_TEL(tel_.get()) {
+    obs::DecisionLedger* ledger = tel_->ledger();
+    if (ledger == nullptr) return;
+    StageDecisionContext(*ledger, report, /*idle=*/true);
+    double interval = 0.0;
+    if (reason == obs::DecisionReason::kGovernorBoost) {
+      interval =
+          static_cast<double>(config_.governor.boost_interval_overwrites);
+    } else if (reason == obs::DecisionReason::kSafeModeEnter) {
+      interval =
+          static_cast<double>(config_.governor.safe_mode_fixed_interval);
+    }
+    ledger->Append("governor", reason, interval, 0, target);
   }
 }
 

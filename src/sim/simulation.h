@@ -108,6 +108,17 @@ class Simulation {
   // shares between events without waiting for Finish()).
   const SimClock& clock() const { return clock_; }
 
+  // Overload governor view (sim/governor.h). kNormal / false when the
+  // governor is disabled. The multi-tenant engine reads these from its
+  // serial sections to drive admission backpressure and the per-shard
+  // circuit breaker.
+  PressureLevel pressure_level() const {
+    return governor_ != nullptr ? governor_->level()
+                                : PressureLevel::kNormal;
+  }
+  bool safe_mode() const { return safe_mode_; }
+  const SimResult& result_so_far() const { return result_; }
+
  private:
   void UpdateClock();
   void SampleGarbage();
@@ -132,12 +143,34 @@ class Simulation {
   // Heals, rewrites, rebuilds and releases every quarantined partition.
   void RepairQuarantined();
   void RunIdlePeriod(uint32_t max_collections);
+  // Overload governor, evaluated every governor.check_interval_events
+  // applied events: observes utilization / I/O saturation, runs the
+  // yellow rate boost and red emergency collections, and commits
+  // safe-mode transitions. One integer compare when the governor is off.
+  void GovernorTick();
+  // One governor-forced collection (boost or emergency). Returns false
+  // when nothing was collectable (no partitions, all quarantined, or the
+  // collection backed out). Accounted outside the policy's schedule.
+  bool GovernorCollect(obs::DecisionReason reason);
+  void EnterSafeMode();
+  void ExitSafeMode();
+  // The policy currently steering collections: the configured one, or
+  // the conservative fixed-rate fallback while safe mode holds.
+  RatePolicy* ActivePolicy() {
+    return safe_mode_ ? safe_policy_.get() : policy_.get();
+  }
+  // Stages ledger context and appends a governor-originated record.
+  void LedgerGovernorRecord(obs::DecisionReason reason,
+                            const CollectionReport& report, double target);
   void OpenWindowIfReady();
   void ClosePhaseSegment();
   void OpenPhaseSegment(Phase phase);
   // Creates the telemetry context when the config enables it and attaches
   // it to the store's buffer pool, the collector and the policy.
   void InitTelemetry();
+  // Creates the pressure governor and its emergency selector when
+  // config.governor.enabled.
+  void InitGovernor();
   // Cold paths behind ODBGC_IF_TEL: stage the run-context half of the
   // next ledger record (the policy appends its decision half from
   // OnCollection/OnIdleCollection) and take one time-series frame.
@@ -183,6 +216,16 @@ class Simulation {
   std::vector<GarbageEstimator*> passive_estimators_;  // not owned
   Collector collector_;
   Scrubber scrubber_;
+
+  // Overload protection (null / false unless config.governor.enabled).
+  // The safe-mode fallback policy is created lazily on first entry and
+  // kept for re-entries; the emergency selector is the highest-garbage
+  // oracle regardless of the configured selection policy (at red the
+  // goal is bytes back per collection, not estimator fidelity).
+  std::unique_ptr<PressureGovernor> governor_;
+  std::unique_ptr<RatePolicy> safe_policy_;
+  std::unique_ptr<PartitionSelector> emergency_selector_;
+  bool safe_mode_ = false;
 
   SimClock clock_;
   SimResult result_;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <bit>
 
+#include "sim/errors.h"
 #include "util/check.h"
 
 namespace odbgc {
@@ -59,7 +60,16 @@ Partition& ObjectStore::PartitionFor(uint32_t size, ObjectId near_hint) {
     alloc_cursor_ = fit;
     return partitions_[fit];
   }
-  // Grow: allocation never triggers a collection (Section 3.1).
+  // Grow: allocation never triggers a collection (Section 3.1). Under a
+  // capacity ceiling the growth is bounded: when the next partition
+  // would push the committed footprint past max_db_bytes, allocation
+  // has truly outrun collection and the store raises the typed error
+  // instead of silently growing.
+  if (config_.max_db_bytes > 0 &&
+      committed_bytes() + config_.partition_bytes > config_.max_db_bytes) {
+    throw SpaceExhaustedError(used_bytes_, committed_bytes(),
+                              config_.max_db_bytes);
+  }
   PartitionId id = static_cast<PartitionId>(partitions_.size());
   partitions_.emplace_back(id, config_.partition_bytes);
   plan_epochs_.push_back(0);

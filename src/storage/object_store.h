@@ -87,6 +87,14 @@ struct StoreConfig {
   // Defaults to all-off, which leaves behavior byte-identical to a store
   // without fault support.
   FaultPlan fault;
+  // Capacity ceiling in bytes for the partition footprint (0 = uncapped,
+  // today's unbounded growth). With a cap, an allocation that needs a
+  // new partition when the footprint is already at the ceiling raises
+  // SpaceExhaustedError (sim/errors.h) instead of growing — the regime
+  // the 1996 paper's rate control exists to prevent. Capped runs whose
+  // footprint never reaches the ceiling are byte-identical to uncapped
+  // ones.
+  uint64_t max_db_bytes = 0;
 };
 
 // The simulated object database: partitions, objects, pointer slots,
@@ -297,6 +305,22 @@ class ObjectStore {
   const Partition& partition(PartitionId p) const;
   Partition& mutable_partition(PartitionId p);
   const std::vector<Partition>& partitions() const { return partitions_; }
+
+  // Bytes committed to partitions on disk — the quantity capped by
+  // StoreConfig::max_db_bytes. Grows in whole partitions and never
+  // shrinks (collections compact within partitions).
+  uint64_t committed_bytes() const {
+    return static_cast<uint64_t>(partitions_.size()) *
+           config_.partition_bytes;
+  }
+  // Fraction of the capacity occupied by live + uncollected garbage
+  // bytes; 0 when uncapped. This is the governor's utilization signal:
+  // unlike the committed footprint it falls when collections reclaim.
+  double utilization() const {
+    if (config_.max_db_bytes == 0) return 0.0;
+    return static_cast<double>(used_bytes_) /
+           static_cast<double>(config_.max_db_bytes);
+  }
 
   // --- Plan-input versioning (the collector's plan cache) ---
   //

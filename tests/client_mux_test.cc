@@ -227,6 +227,90 @@ TEST(ClientMuxTest, SourceMemoryIsIndependentOfRemainingEvents) {
   EXPECT_LT(b.ApproxMemoryBytes(), 2 * a.ApproxMemoryBytes());
 }
 
+TEST(ClientMuxAdmissionTest, GateDefersWithoutLosingEvents) {
+  // A permanently hostile gate against one client: the defer valve must
+  // keep admitting it every `defer_limit` rounds, so the merged stream
+  // still carries every event of every client.
+  Trace a = SmallChurn(21);
+  Trace b = SmallChurn(22);
+  ClientMux gated;
+  gated.AddClient(std::make_shared<Trace>(a), MuxClientOptions{});
+  gated.AddClient(std::make_shared<Trace>(b), MuxClientOptions{});
+  gated.SetAdmissionGate([](uint32_t client) { return client == 1; },
+                         /*defer_limit=*/2);
+  Trace streamed = Drain(gated);
+  EXPECT_EQ(streamed.size(), a.size() + b.size());
+  EXPECT_GT(gated.admission_deferrals(), 0u);
+}
+
+TEST(ClientMuxAdmissionTest, GatedStreamIndependentOfPullPattern) {
+  // The backpressure path must preserve the mux's core contract: the
+  // merged stream is a function of client state only, not of how the
+  // consumer batches its pulls.
+  auto build = [] {
+    auto mux = std::make_unique<ClientMux>();
+    MuxClientOptions opts;
+    opts.base_chunk = 13;
+    opts.chunk_jitter = 9;
+    opts.think_time = 3;
+    opts.seed = 81;
+    mux->AddClient(std::make_shared<Trace>(SmallChurn(23)), opts);
+    opts.seed = 82;
+    mux->AddClient(std::make_shared<Trace>(SmallChurn(24)), opts);
+    opts.seed = 83;
+    mux->AddClient(std::make_shared<Trace>(TinyOo7(25)), opts);
+    mux->SetAdmissionGate([](uint32_t client) { return client != 0; },
+                          /*defer_limit=*/3);
+    return mux;
+  };
+  auto ones = build();
+  Trace singles = Drain(*ones);
+
+  auto batched = build();
+  Trace ragged;
+  TraceEvent e;
+  size_t batch = 1;
+  bool done = false;
+  while (!done) {
+    for (size_t i = 0; i < batch; ++i) {
+      if (!batched->Next(&e)) {
+        done = true;
+        break;
+      }
+      ragged.Append(e);
+    }
+    batch = (batch % 7) + 1;
+  }
+  ASSERT_EQ(singles.size(), ragged.size());
+  for (size_t i = 0; i < singles.size(); ++i) {
+    ASSERT_EQ(singles[i], ragged[i]) << "i=" << i;
+  }
+  EXPECT_EQ(ones->admission_deferrals(), batched->admission_deferrals());
+}
+
+TEST(ClientMuxAdmissionTest, UninstallingGateRestoresUngatedStream) {
+  // Installing and immediately uninstalling a gate before the first
+  // draw must leave the schedule untouched.
+  Trace a = SmallChurn(26);
+  Trace b = SmallChurn(27);
+  auto run = [&](bool install) {
+    ClientMux mux;
+    mux.AddClient(std::make_shared<Trace>(a), MuxClientOptions{});
+    mux.AddClient(std::make_shared<Trace>(b), MuxClientOptions{});
+    if (install) {
+      mux.SetAdmissionGate([](uint32_t) { return true; }, 2);
+      mux.SetAdmissionGate(nullptr, 0);
+    }
+    return Drain(mux);
+  };
+  Trace plain = run(false);
+  Trace cycled = run(true);
+  ASSERT_EQ(plain.size(), cycled.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    ASSERT_EQ(plain[i], cycled[i]) << "i=" << i;
+  }
+}
+
 TEST(ClientMuxTest, RegistrationAfterFirstDrawIsRejected) {
   ClientMux mux;
   mux.AddClient(std::make_shared<Trace>(SmallChurn(12)),

@@ -135,6 +135,47 @@ TEST(ToolCommonTest, ExitCodesAreStableApi) {
   EXPECT_EQ(tools::kExitIo, 3);
   EXPECT_EQ(tools::kExitSimFailure, 4);
   EXPECT_EQ(tools::kExitCrashInjected, 5);
+  EXPECT_EQ(tools::kExitSpaceExhausted, 6);
+}
+
+TEST(ToolCommonTest, BuildSimConfigCapacityAndGovernorKnobs) {
+  SimConfig cfg;
+  std::string error;
+  Flags f = ParseOk(
+      {"--policy=saio", "--max-db-mb=64", "--governor",
+       "--governor-yellow=0.6", "--governor-red=0.8",
+       "--governor-hysteresis=0.04", "--governor-check-interval=32",
+       "--governor-boost-interval=256", "--governor-emergency-max=8",
+       "--safe-mode-divergence=0.3", "--safe-mode-flip=0.6",
+       "--safe-mode-rate=128"});
+  ASSERT_TRUE(tools::BuildSimConfig(f, &cfg, &error)) << error;
+  EXPECT_EQ(cfg.store.max_db_bytes, 64ull * 1024 * 1024);
+  EXPECT_TRUE(cfg.governor.enabled);
+  EXPECT_DOUBLE_EQ(cfg.governor.yellow_frac, 0.6);
+  EXPECT_DOUBLE_EQ(cfg.governor.red_frac, 0.8);
+  EXPECT_DOUBLE_EQ(cfg.governor.hysteresis_frac, 0.04);
+  EXPECT_EQ(cfg.governor.check_interval_events, 32u);
+  EXPECT_EQ(cfg.governor.boost_interval_overwrites, 256u);
+  EXPECT_EQ(cfg.governor.emergency_max_collections, 8u);
+  EXPECT_DOUBLE_EQ(cfg.governor.safe_mode_divergence_frac, 0.3);
+  EXPECT_DOUBLE_EQ(cfg.governor.safe_mode_flip_frac, 0.6);
+  EXPECT_EQ(cfg.governor.safe_mode_fixed_interval, 128u);
+
+  // Defaults stay off: no cap, no governor.
+  SimConfig plain;
+  Flags none = ParseOk({"--policy=saio"});
+  ASSERT_TRUE(tools::BuildSimConfig(none, &plain, &error)) << error;
+  EXPECT_EQ(plain.store.max_db_bytes, 0u);
+  EXPECT_FALSE(plain.governor.enabled);
+}
+
+TEST(ToolCommonTest, BuildSimConfigRejectsInvertedWatermarks) {
+  SimConfig cfg;
+  std::string error;
+  Flags f = ParseOk({"--policy=saio", "--governor", "--governor-yellow=0.9",
+                     "--governor-red=0.5"});
+  EXPECT_FALSE(tools::BuildSimConfig(f, &cfg, &error));
+  EXPECT_NE(error.find("governor"), std::string::npos);
 }
 
 TEST(ToolCommonTest, BuildSimConfigSelfHealingKnobs) {

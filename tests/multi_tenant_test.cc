@@ -188,6 +188,76 @@ TEST(MultiTenantTest, StallHistogramsMergeAcrossShards) {
   EXPECT_EQ(r.stall_gc_copy.count, per_shard);
 }
 
+// Governed fleet: capped shard stores with the pressure governor on,
+// admission backpressure and the circuit breaker active. The defer gate
+// runs in the serial drain and shard pressure only moves during the
+// parallel apply phase, so the whole degradation cascade must stay
+// byte-identical at any apply-lane count.
+MultiTenantOptions GovernedFleet(int threads) {
+  MultiTenantOptions opt = SmallFleet(2, threads);
+  // Live set per shard (3 streaming-churn clients) is ~72 KB; 7
+  // partitions of 16 KB put it above yellow, and garbage spikes push
+  // red. Boost is disabled so shards actually reach the red watermark —
+  // backpressure and the breaker both key off it — and the governor
+  // checks often enough that one inter-check allocation burst cannot
+  // blow through the red-to-ceiling headroom.
+  opt.shard_config.store.max_db_bytes = 7 * 16 * 1024;
+  opt.shard_config.governor.enabled = true;
+  opt.shard_config.governor.boost_interval_overwrites = 1ull << 40;
+  opt.shard_config.governor.check_interval_events = 16;
+  opt.backpressure = true;
+  opt.admission_defer_limit = 4;
+  opt.breaker = true;
+  return opt;
+}
+
+TEST(MultiTenantOverloadTest, GovernedFleetDeterministicAcrossThreads) {
+  MultiTenantReport base;
+  bool first = true;
+  for (int threads : {1, 2, 4}) {
+    MultiTenantEngine engine(GovernedFleet(threads));
+    AddChurnClients(engine, 6, 500);
+    MultiTenantReport r = engine.Run();
+    if (first) {
+      base = r;
+      first = false;
+      // The cell is only meaningful if the degradation path actually
+      // ran: shards must have come under enough pressure to defer.
+      EXPECT_GT(r.admission_deferrals, 0u);
+    } else {
+      EXPECT_EQ(r.FleetChecksum(), base.FleetChecksum())
+          << "threads=" << threads;
+      EXPECT_EQ(r.admission_deferrals, base.admission_deferrals);
+      EXPECT_EQ(r.breaker_opens, base.breaker_opens);
+    }
+  }
+}
+
+TEST(MultiTenantOverloadTest, BackpressureStillDrainsEveryEvent) {
+  // Deferral reschedules turns, it never drops them: all client events
+  // must reach their shards.
+  MultiTenantEngine engine(GovernedFleet(2));
+  AddChurnClients(engine, 6, 300);
+  MultiTenantReport r = engine.Run();
+  uint64_t applied = 0;
+  for (const SimResult& s : r.shards) applied += s.clock.events;
+  // Each shard additionally applied its catalog creations.
+  EXPECT_EQ(applied, r.events + 2ull * 3ull);
+  EXPECT_GT(r.events, 0u);
+}
+
+TEST(MultiTenantOverloadTest, UngovernedFleetUnchangedByOverloadKnobs) {
+  // With backpressure/breaker off, the new fields must not disturb the
+  // established fleet checksum path: two identical runs agree and the
+  // overload counters stay zero.
+  MultiTenantReport a = RunFleet(2, 1, 4, 300);
+  MultiTenantReport b = RunFleet(2, 2, 4, 300);
+  EXPECT_EQ(a.FleetChecksum(), b.FleetChecksum());
+  EXPECT_EQ(a.admission_deferrals, 0u);
+  EXPECT_EQ(a.breaker_opens, 0u);
+  EXPECT_EQ(a.breaker_closes, 0u);
+}
+
 TEST(ExternalPinTest, PinKeepsUnrootedObjectAliveUntilReleased) {
   StoreConfig cfg;
   cfg.partition_bytes = 4096;

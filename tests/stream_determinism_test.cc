@@ -21,6 +21,7 @@
 #include "sim/report.h"
 #include "sim/runner.h"
 #include "sim/simulation.h"
+#include "workloads/synthetic.h"
 
 namespace odbgc {
 namespace {
@@ -229,6 +230,53 @@ TEST(StreamDeterminismTest, TelemetryOffResumeOfTelemetryOnCheckpoint) {
   SimConfig plain_clean = plain;
   SimResult golden = Simulation(plain_clean).Run(*trace);
   EXPECT_EQ(SimResultToJson(r), SimResultToJson(golden));
+  RemoveCheckpointFiles(ckpt);
+}
+
+// A governed run under capacity pressure ledgers its interventions
+// (boosts/emergency collections as policy "governor"); those records
+// ride the same rings, so the streams must stay byte-identical across
+// crash + resume exactly like policy decisions do.
+TEST(StreamDeterminismTest, GovernedOverloadCrashResumeStreamsByteIdentical) {
+  SKIP_WITHOUT_TELEMETRY();
+  UniformChurnOptions churn;
+  churn.seed = 17;
+  churn.cycles = 1500;
+  churn.list_count = 8;
+  churn.target_length = 16;
+  Trace trace = MakeUniformChurn(churn);
+
+  SimConfig cfg = TinyStreamingConfig(PolicyKind::kFixedRate);
+  cfg.fixed_rate_overwrites = 1000000;  // lazy: pressure is all there is
+  cfg.store.max_db_bytes = 8 * 16 * 1024;
+  cfg.governor.enabled = true;
+
+  Streams golden = StreamsOf(Simulation(cfg).Run(trace));
+  ASSERT_NE(golden.decisions.find("\"governor\""), std::string::npos);
+
+  const std::string ckpt = TempPath("governed_streams.ckpt");
+  RemoveCheckpointFiles(ckpt);
+  const uint64_t checkpoint_every = 257;
+  const uint64_t kill = trace.size() / 2;
+  ASSERT_GT(kill, checkpoint_every);
+
+  SimConfig crash_cfg = cfg;
+  crash_cfg.store.fault.crash_at_event = kill;
+  Simulation victim(crash_cfg);
+  bool crashed = false;
+  try {
+    victim.RunFrom(trace, ckpt, checkpoint_every);
+  } catch (const SimCrashInjected&) {
+    crashed = true;
+  }
+  ASSERT_TRUE(crashed);
+
+  ResumeResult rr = ResumeFromCheckpoint(cfg, ckpt);
+  ASSERT_TRUE(rr.ok()) << CheckpointErrorName(rr.error);
+  Streams resumed = StreamsOf(rr.sim->RunFrom(trace, ckpt, checkpoint_every));
+  EXPECT_EQ(resumed.decisions, golden.decisions);
+  EXPECT_EQ(resumed.timeseries, golden.timeseries);
+  EXPECT_EQ(resumed.report, golden.report);
   RemoveCheckpointFiles(ckpt);
 }
 

@@ -166,6 +166,33 @@ print("self-healing smoke: %d corruptions detected, %d partitions "
       % (h["checksum_failures"], h["partitions_repaired"]))
 EOF
 
+# Overload-governor smoke: the same capacity-capped uniform-churn run
+# (lazy fixed-rate policy, 1 MB ceiling) must exit 6 ungoverned and
+# complete with --governor, with the report showing interventions and a
+# peak utilization held under the ceiling. The multi-seed governed
+# chaos soak runs in CI (tools/check_soak.sh).
+overload_flags="--workload=uniform-churn --cycles=4000 --lists=8 \
+    --length=16 --policy=fixed --rate=1000000 --max-db-mb=1"
+set +e
+"$run" $overload_flags > /dev/null 2>&1
+overload_exit=$?
+set -e
+[ "$overload_exit" -eq 6 ] || {
+  echo "FAIL: capped ungoverned run exited $overload_exit, want 6"; exit 1; }
+"$run" $overload_flags --governor \
+    --json="$ckpt_dir/overload.json" > /dev/null
+python3 - "$ckpt_dir" <<'EOF'
+import json, sys
+o = json.load(open(sys.argv[1] + "/overload.json"))["overload"]
+boosts = o["governor_boost_collections"]
+emergencies = o["governor_emergency_collections"]
+assert boosts + emergencies > 0, "governor survived without intervening: %r" % o
+assert o["peak_utilization_pct"] < 100.0, o
+print("overload smoke: exit 6 ungoverned; governed run survived the same cap "
+      "(%d boosts, %d emergencies, peak %.1f%%)"
+      % (boosts, emergencies, o["peak_utilization_pct"]))
+EOF
+
 # Crash-anywhere recovery fuzz (a short schedule here; CI runs the full
 # 50-kill-point pass — see .github/workflows/ci.yml).
 ODBGC_RECOVERY_KILLS="${ODBGC_RECOVERY_KILLS:-5}" \

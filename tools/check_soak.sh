@@ -13,10 +13,18 @@
 # cursor. Exit codes observed must be exactly 0 (clean) or 5 -> 0
 # (injected crash, then resume) -- see docs/RECOVERY.md.
 #
+# A second leg soaks the overload governor: capacity-capped governed
+# uniform-churn runs under the same silent-corruption plan, with the
+# ungoverned twin required to exit 6 and a subset of governed seeds
+# killed mid-degradation and resumed to byte-identity (checkpoint v5
+# carries the governor and safe-mode state).
+#
 # Usage: tools/check_soak.sh [build-dir]
-#   ODBGC_SOAK_SEEDS   seeds to soak (default 50)
-#   ODBGC_SOAK_CRASHES crash/resume pairs among those seeds (default 8)
-#   ODBGC_SOAK_OO7     OO7 preset (default smallprime)
+#   ODBGC_SOAK_SEEDS            seeds to soak (default 50)
+#   ODBGC_SOAK_CRASHES          crash/resume pairs among those seeds (default 8)
+#   ODBGC_SOAK_OO7              OO7 preset (default smallprime)
+#   ODBGC_SOAK_OVERLOAD_SEEDS   governed capped seeds (default 10)
+#   ODBGC_SOAK_OVERLOAD_CRASHES crash/resume pairs among those (default 4)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -129,5 +137,88 @@ print(json.load(open('$golden'))['events'])")"
 done
 echo "   $CRASHES/$CRASHES crash/resume pairs byte-identical"
 
+# Overload chaos soak: governed, capacity-capped uniform-churn runs
+# under the same silent-corruption plan. The ungoverned twin must hit
+# the ceiling (exit 6); every governed seed must survive its cap with
+# at least one intervention and a clean partition verify; and a subset
+# is killed mid-degradation and resumed, requiring byte-identity with
+# the uninterrupted report.
+OSEEDS="${ODBGC_SOAK_OVERLOAD_SEEDS:-10}"
+OCRASHES="${ODBGC_SOAK_OVERLOAD_CRASHES:-4}"
+
+capped() {  # seed extra args... (pass --governor yourself)
+  local seed="$1"
+  shift
+  "$RUN" --workload=uniform-churn --cycles=4000 --lists=8 --length=16 \
+      --policy=fixed --rate=1000000 --max-db-mb=1 \
+      --seed="$seed" --fault-seed="$((2000 + seed))" \
+      --bitflip-prob=0.01 --decay-prob=0.005 --decay-latency=32 \
+      --scrub-interval=32 --scrub-pages=8 "$@"
+}
+
+echo "== soak: overload control (capped, ungoverned -> exit 6) =="
+set +e
+capped 1 > /dev/null 2>&1
+control_exit=$?
+set -e
+if [[ $control_exit -ne 6 ]]; then
+  echo "FAIL: capped ungoverned control exited $control_exit, want 6" >&2
+  exit 1
+fi
+
+echo "== soak: $OSEEDS governed capped seeds under the chaos plan =="
+for ((s = 1; s <= OSEEDS; ++s)); do
+  if ! capped "$s" --governor --verify=partition \
+      --json="$WORK/overload-$s.json" > /dev/null; then
+    echo "FAIL: governed seed $s did not survive its capacity cap" >&2
+    exit 1
+  fi
+done
+python3 - "$WORK" "$OSEEDS" <<'EOF'
+import json, sys
+work, seeds = sys.argv[1], int(sys.argv[2])
+boosts = emergencies = 0
+for s in range(1, seeds + 1):
+    o = json.load(open("%s/overload-%d.json" % (work, s)))["overload"]
+    acted = o["governor_boost_collections"] + o["governor_emergency_collections"]
+    assert acted > 0, "seed %d survived without intervening: %r" % (s, o)
+    assert o["peak_utilization_pct"] < 100.0, "seed %d: %r" % (s, o)
+    boosts += o["governor_boost_collections"]
+    emergencies += o["governor_emergency_collections"]
+print("   governed invariants OK over %d seeds: %d boosts, %d emergency "
+      "collections, every peak under the ceiling" % (seeds, boosts, emergencies))
+EOF
+
+echo "== soak: $OCRASHES governed crash/resume pairs mid-degradation =="
+for ((i = 0; i < OCRASHES; ++i)); do
+  s=$(( 1 + i * OSEEDS / OCRASHES ))
+  golden="$WORK/overload-$s.json"
+  events="$(python3 -c "
+import json
+print(json.load(open('$golden'))['events'])")"
+  ckpt="$WORK/overload-crash-$s.ckpt"
+  rm -f "$ckpt" "$ckpt.prev" "$ckpt.tmp"
+  set +e
+  capped "$s" --governor --verify=partition --checkpoint="$ckpt" \
+      --checkpoint-every=500 --crash-at-event="$((events / 2))" \
+      > /dev/null 2>&1
+  crash_exit=$?
+  set -e
+  if [[ $crash_exit -ne 5 ]]; then
+    echo "FAIL: governed seed $s kill exited $crash_exit, want 5" >&2
+    exit 1
+  fi
+  capped "$s" --governor --verify=partition --checkpoint="$ckpt" --resume \
+      --json="$WORK/overload-resumed-$s.json" > /dev/null
+  if ! cmp -s "$golden" "$WORK/overload-resumed-$s.json"; then
+    echo "FAIL: governed seed $s resume diverged mid-degradation" >&2
+    diff <(head -c 400 "$golden") \
+        <(head -c 400 "$WORK/overload-resumed-$s.json") >&2 || true
+    exit 1
+  fi
+done
+echo "   $OCRASHES/$OCRASHES governed crash/resume pairs byte-identical"
+
 echo "OK: chaos soak green ($SEEDS seeds + $CRASHES crash/resume pairs," \
-    "every corruption detected and repaired)"
+    "every corruption detected and repaired; $OSEEDS governed capped" \
+    "seeds + $OCRASHES mid-degradation resumes)"

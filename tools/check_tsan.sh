@@ -14,7 +14,8 @@ cmake -B "$BUILD_DIR" -S . \
   -DODBGC_SANITIZE="$SANITIZER"
 cmake --build "$BUILD_DIR" \
   --target parallel_test simulation_test parallel_collect_test \
-  self_healing_test client_mux_test multi_tenant_test -j "$(nproc)"
+  self_healing_test client_mux_test multi_tenant_test overload_test \
+  -j "$(nproc)"
 
 echo "== parallel_test under ${SANITIZER} sanitizer =="
 "$BUILD_DIR/tests/parallel_test"
@@ -28,4 +29,6 @@ echo "== client_mux_test (streaming merge determinism) under ${SANITIZER} saniti
 "$BUILD_DIR/tests/client_mux_test"
 echo "== multi_tenant_test (sharded apply + budget coordinator) under ${SANITIZER} sanitizer =="
 "$BUILD_DIR/tests/multi_tenant_test"
+echo "== overload_test (governor + governed fleet backpressure) under ${SANITIZER} sanitizer =="
+"$BUILD_DIR/tests/overload_test"
 echo "OK: no ${SANITIZER} sanitizer reports"

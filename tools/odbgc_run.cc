@@ -48,6 +48,7 @@ using odbgc::tools::kExitUsage;
 using odbgc::tools::kExitIo;
 using odbgc::tools::kExitSimFailure;
 using odbgc::tools::kExitCrashInjected;
+using odbgc::tools::kExitSpaceExhausted;
 
 bool DumpCollectionLogCsv(const odbgc::SimResult& result,
                           const std::string& path) {
@@ -347,6 +348,16 @@ int main(int argc, char** argv) {
   } catch (const SimCheckpointWriteError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return kExitIo;
+  } catch (const SpaceExhaustedError& e) {
+    // Must precede the generic SimError handler: capacity exhaustion has
+    // its own exit code so operators can tell "db full" from "sim broke".
+    std::fprintf(stderr,
+                 "error: %s\n"
+                 "hint: raise --max-db-mb, or enable --governor so "
+                 "emergency collection and backpressure engage before "
+                 "the ceiling\n",
+                 e.what());
+    return kExitSpaceExhausted;
   } catch (const SimError& e) {
     std::fprintf(stderr, "error: simulation failed (%s): %s\n",
                  SimErrorKindName(e.kind()), e.what());

@@ -227,6 +227,37 @@ bool BuildSimConfig(const Flags& flags, SimConfig* config,
   config->auto_repair = !flags.GetBool("no-auto-repair", false);
   config->verify_after_repair =
       !flags.GetBool("no-verify-after-repair", false);
+
+  // Capacity & overload governor. All defaults are "off": uncapped,
+  // ungoverned runs stay byte-identical to pre-governor builds.
+  config->store.max_db_bytes =
+      static_cast<uint64_t>(flags.GetInt("max-db-mb", 0)) * 1024 * 1024;
+  GovernorConfig& gov = config->governor;
+  gov.enabled = flags.GetBool("governor", false);
+  gov.yellow_frac = flags.GetDouble("governor-yellow", gov.yellow_frac);
+  gov.red_frac = flags.GetDouble("governor-red", gov.red_frac);
+  gov.hysteresis_frac =
+      flags.GetDouble("governor-hysteresis", gov.hysteresis_frac);
+  gov.check_interval_events = static_cast<uint32_t>(
+      flags.GetInt("governor-check-interval", gov.check_interval_events));
+  gov.boost_interval_overwrites = static_cast<uint64_t>(flags.GetInt(
+      "governor-boost-interval",
+      static_cast<int64_t>(gov.boost_interval_overwrites)));
+  gov.emergency_max_collections = static_cast<uint32_t>(flags.GetInt(
+      "governor-emergency-max", gov.emergency_max_collections));
+  gov.safe_mode_divergence_frac = flags.GetDouble(
+      "safe-mode-divergence", gov.safe_mode_divergence_frac);
+  gov.safe_mode_flip_frac =
+      flags.GetDouble("safe-mode-flip", gov.safe_mode_flip_frac);
+  gov.safe_mode_fixed_interval = static_cast<uint64_t>(flags.GetInt(
+      "safe-mode-rate", static_cast<int64_t>(gov.safe_mode_fixed_interval)));
+  if (gov.enabled &&
+      (gov.yellow_frac <= 0.0 || gov.yellow_frac > gov.red_frac ||
+       gov.red_frac > 1.0)) {
+    *error = "--governor-yellow/--governor-red must satisfy "
+             "0 < yellow <= red <= 1";
+    return false;
+  }
   return true;
 }
 
@@ -259,6 +290,14 @@ Fault injection & self-healing:
   --fault-seed=N --commit-protocol
   --scrub-interval=EVENTS --scrub-pages=N    (background media scrub)
   --no-auto-repair --no-verify-after-repair
+
+Capacity & overload governor:
+  --max-db-mb=N       (capacity ceiling; exhausting it exits 6)
+  --governor          (enable the pressure governor)
+  --governor-yellow=F --governor-red=F --governor-hysteresis=F
+  --governor-check-interval=EVENTS --governor-boost-interval=OVERWRITES
+  --governor-emergency-max=N
+  --safe-mode-divergence=F --safe-mode-flip=F --safe-mode-rate=OVERWRITES
 )");
 }
 

@@ -21,6 +21,8 @@ inline constexpr int kExitSimFailure = 4;    // deadline, failed sweep
                                              // runs, verifier violations
 inline constexpr int kExitCrashInjected = 5; // --crash-at-event fired;
                                              // resume to continue
+inline constexpr int kExitSpaceExhausted = 6; // --max-db-mb capacity hit
+                                              // with no way to grow
 
 // Flag vocabulary shared by the CLI tools. All functions return false
 // and fill *error on unknown values.
